@@ -1,0 +1,131 @@
+//! Sharing groups.
+//!
+//! Function registration "may also specify users, or groups of users, who
+//! may invoke the function" (§3). Groups are the Globus Groups analogue:
+//! named member sets referenced from function/endpoint sharing lists.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use funcx_types::ids::Uuid;
+use funcx_types::UserId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Identifies a sharing group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct GroupId(pub Uuid);
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+struct Group {
+    name: String,
+    members: HashSet<UserId>,
+}
+
+/// Thread-safe group registry.
+pub struct GroupStore {
+    groups: RwLock<HashMap<GroupId, Group>>,
+}
+
+impl GroupStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        GroupStore { groups: RwLock::new(HashMap::new()) }
+    }
+
+    /// Create a group.
+    pub fn create(&self, name: &str) -> GroupId {
+        let id = GroupId(Uuid::random());
+        self.groups
+            .write()
+            .insert(id, Group { name: name.to_string(), members: HashSet::new() });
+        id
+    }
+
+    /// Add a member; false if the group does not exist.
+    pub fn add_member(&self, group: GroupId, user: UserId) -> bool {
+        match self.groups.write().get_mut(&group) {
+            Some(g) => {
+                g.members.insert(user);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Remove a member; true if they were a member.
+    pub fn remove_member(&self, group: GroupId, user: UserId) -> bool {
+        self.groups
+            .write()
+            .get_mut(&group)
+            .map(|g| g.members.remove(&user))
+            .unwrap_or(false)
+    }
+
+    /// Membership test.
+    pub fn is_member(&self, group: GroupId, user: UserId) -> bool {
+        self.groups.read().get(&group).map(|g| g.members.contains(&user)).unwrap_or(false)
+    }
+
+    /// Group name, if it exists.
+    pub fn name(&self, group: GroupId) -> Option<String> {
+        self.groups.read().get(&group).map(|g| g.name.clone())
+    }
+
+    /// Member count (0 for unknown groups).
+    pub fn member_count(&self, group: GroupId) -> usize {
+        self.groups.read().get(&group).map(|g| g.members.len()).unwrap_or(0)
+    }
+}
+
+impl Default for GroupStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_lifecycle() {
+        let store = GroupStore::new();
+        let g = store.create("ssx-team");
+        let alice = UserId::from_u128(1);
+        assert_eq!(store.name(g).unwrap(), "ssx-team");
+        assert!(!store.is_member(g, alice));
+        assert!(store.add_member(g, alice));
+        assert!(store.is_member(g, alice));
+        assert_eq!(store.member_count(g), 1);
+        assert!(store.remove_member(g, alice));
+        assert!(!store.is_member(g, alice));
+        assert!(!store.remove_member(g, alice));
+    }
+
+    #[test]
+    fn unknown_group_operations_are_safe() {
+        let store = GroupStore::new();
+        let ghost = GroupId(Uuid::from_u128(42));
+        assert!(!store.add_member(ghost, UserId::from_u128(1)));
+        assert!(!store.is_member(ghost, UserId::from_u128(1)));
+        assert_eq!(store.member_count(ghost), 0);
+        assert!(store.name(ghost).is_none());
+    }
+
+    #[test]
+    fn duplicate_add_is_idempotent() {
+        let store = GroupStore::new();
+        let g = store.create("g");
+        let u = UserId::from_u128(1);
+        store.add_member(g, u);
+        store.add_member(g, u);
+        assert_eq!(store.member_count(g), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! Identities and identity providers.
+//!
+//! Globus Auth federates institutional, Google, and ORCID identities
+//! (§4.8); the provider matters for display and for the uniqueness key
+//! (`alice` at two providers is two identities).
+
+use std::collections::HashMap;
+
+use funcx_types::UserId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Where an identity comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum IdentityProvider {
+    /// A university / national-lab IdP.
+    Institution,
+    /// Google account.
+    Google,
+    /// ORCID researcher id.
+    Orcid,
+}
+
+/// A registered identity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Identity {
+    /// Stable funcX user id.
+    pub user_id: UserId,
+    /// Username at the provider (e.g. email).
+    pub username: String,
+    /// Issuing provider.
+    pub provider: IdentityProvider,
+}
+
+/// Thread-safe identity registry keyed on (username, provider).
+pub struct IdentityStore {
+    by_key: RwLock<HashMap<(String, IdentityProvider), Identity>>,
+    by_id: RwLock<HashMap<UserId, Identity>>,
+}
+
+impl IdentityStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        IdentityStore { by_key: RwLock::new(HashMap::new()), by_id: RwLock::new(HashMap::new()) }
+    }
+
+    /// Register (or look up) an identity; idempotent per (username,
+    /// provider) — repeated logins yield the same [`UserId`].
+    pub fn register(&self, username: &str, provider: IdentityProvider) -> UserId {
+        let key = (username.to_string(), provider);
+        if let Some(existing) = self.by_key.read().get(&key) {
+            return existing.user_id;
+        }
+        let mut by_key = self.by_key.write();
+        // Double-checked: another thread may have registered meanwhile.
+        if let Some(existing) = by_key.get(&key) {
+            return existing.user_id;
+        }
+        let identity = Identity {
+            user_id: UserId::random(),
+            username: username.to_string(),
+            provider,
+        };
+        by_key.insert(key, identity.clone());
+        self.by_id.write().insert(identity.user_id, identity.clone());
+        identity.user_id
+    }
+
+    /// Look up an identity by user id.
+    pub fn get(&self, user: UserId) -> Option<Identity> {
+        self.by_id.read().get(&user).cloned()
+    }
+
+    /// Number of registered identities.
+    pub fn len(&self) -> usize {
+        self.by_id.read().len()
+    }
+
+    /// True if no identities are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for IdentityStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_provider() {
+        let store = IdentityStore::new();
+        let a1 = store.register("alice", IdentityProvider::Google);
+        let a2 = store.register("alice", IdentityProvider::Google);
+        let a3 = store.register("alice", IdentityProvider::Orcid);
+        assert_eq!(a1, a2);
+        assert_ne!(a1, a3, "same username at another provider is a new identity");
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        let store = IdentityStore::new();
+        let id = store.register("bob@uni.edu", IdentityProvider::Institution);
+        let identity = store.get(id).unwrap();
+        assert_eq!(identity.username, "bob@uni.edu");
+        assert_eq!(identity.provider, IdentityProvider::Institution);
+        assert!(store.get(UserId::from_u128(999)).is_none());
+    }
+
+    #[test]
+    fn concurrent_registration_yields_one_identity() {
+        let store = std::sync::Arc::new(IdentityStore::new());
+        let ids: Vec<UserId> = std::thread::scope(|s| {
+            (0..8)
+                .map(|_| {
+                    let store = store.clone();
+                    s.spawn(move || store.register("carol", IdentityProvider::Google))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,130 @@
+//! Globus Auth substitute (§4.8 of the paper).
+//!
+//! The real funcX "uses Globus Auth for authentication, authorization, and
+//! protection of all APIs": users authenticate with an institutional,
+//! Google, or ORCID identity; clients obtain OAuth tokens carrying funcX
+//! scopes (e.g. `urn:globus:auth:scope:funcx:register_function`); endpoints
+//! are themselves Auth clients. This crate reproduces the *decisions* that
+//! machinery makes — who is authenticated, which scopes a token carries,
+//! which users/groups a function is shared with — plus the per-request
+//! validation cost that shows up in the paper's `ts` latency component
+//! (Figure 4: "Most funcX overhead is captured in ts as a result of
+//! authentication").
+//!
+//! Modules: [`identity`] (users and providers), [`scope`] (funcX scopes),
+//! [`token`] (issuance/validation/expiry), [`group`] (sharing groups), and
+//! the combined [`AuthService`].
+
+pub mod group;
+pub mod identity;
+pub mod scope;
+pub mod token;
+
+pub use group::{GroupId, GroupStore};
+pub use identity::{Identity, IdentityProvider};
+pub use scope::Scope;
+pub use token::{AccessToken, TokenStore};
+
+use std::sync::Arc;
+
+use funcx_types::time::SharedClock;
+use funcx_types::{FuncxError, Result, UserId};
+
+/// The combined authentication/authorization service the funcX REST layer
+/// consults on every request.
+pub struct AuthService {
+    /// Identity registry.
+    pub identities: identity::IdentityStore,
+    /// Token issuance and validation.
+    pub tokens: TokenStore,
+    /// Sharing groups.
+    pub groups: GroupStore,
+}
+
+impl AuthService {
+    /// New service on the given clock (token expiry is virtual time).
+    pub fn new(clock: SharedClock) -> Arc<Self> {
+        Arc::new(AuthService {
+            identities: identity::IdentityStore::new(),
+            tokens: TokenStore::new(clock),
+            groups: GroupStore::new(),
+        })
+    }
+
+    /// One-step login helper: register an identity (idempotent by username
+    /// and provider) and issue a token with the given scopes.
+    pub fn login(
+        &self,
+        username: &str,
+        provider: IdentityProvider,
+        scopes: &[Scope],
+    ) -> (UserId, String) {
+        let user = self.identities.register(username, provider);
+        let token = self.tokens.issue(user, scopes);
+        (user, token)
+    }
+
+    /// Validate a bearer token and require one scope; returns the caller.
+    /// This is the check the REST layer runs on every request.
+    pub fn authorize(&self, bearer: &str, required: Scope) -> Result<UserId> {
+        let token = self
+            .tokens
+            .validate(bearer)
+            .ok_or_else(|| FuncxError::Unauthenticated("invalid or expired token".into()))?;
+        if !token.has_scope(required) {
+            return Err(FuncxError::Forbidden(format!(
+                "token lacks required scope {}",
+                required.urn()
+            )));
+        }
+        Ok(token.user)
+    }
+
+    /// Is `user` a member of any of `groups`?
+    pub fn in_any_group(&self, user: UserId, groups: &[GroupId]) -> bool {
+        groups.iter().any(|g| self.groups.is_member(*g, user))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+
+    #[test]
+    fn login_then_authorize() {
+        let auth = AuthService::new(ManualClock::new());
+        let (user, token) =
+            auth.login("rchard@anl.gov", IdentityProvider::Institution, &[Scope::All]);
+        assert_eq!(auth.authorize(&token, Scope::RunFunction).unwrap(), user);
+        assert_eq!(auth.authorize(&token, Scope::RegisterEndpoint).unwrap(), user);
+    }
+
+    #[test]
+    fn missing_scope_is_forbidden_not_unauthenticated() {
+        let auth = AuthService::new(ManualClock::new());
+        let (_, token) =
+            auth.login("u", IdentityProvider::Google, &[Scope::ViewTask]);
+        let e = auth.authorize(&token, Scope::RegisterFunction).unwrap_err();
+        assert!(matches!(e, FuncxError::Forbidden(_)));
+    }
+
+    #[test]
+    fn bogus_token_is_unauthenticated() {
+        let auth = AuthService::new(ManualClock::new());
+        let e = auth.authorize("not-a-token", Scope::RunFunction).unwrap_err();
+        assert!(matches!(e, FuncxError::Unauthenticated(_)));
+    }
+
+    #[test]
+    fn group_membership_checks() {
+        let auth = AuthService::new(ManualClock::new());
+        let (alice, _) = auth.login("alice", IdentityProvider::Orcid, &[Scope::All]);
+        let (bob, _) = auth.login("bob", IdentityProvider::Orcid, &[Scope::All]);
+        let xpcs = auth.groups.create("xpcs-beamline");
+        auth.groups.add_member(xpcs, alice);
+        assert!(auth.in_any_group(alice, &[xpcs]));
+        assert!(!auth.in_any_group(bob, &[xpcs]));
+        assert!(!auth.in_any_group(alice, &[]));
+    }
+}

@@ -1,0 +1,87 @@
+//! funcX authorization scopes.
+//!
+//! "funcX has associated Globus Auth scopes (e.g.,
+//! `urn:globus:auth:scope:funcx:register_function`) via which other clients
+//! may obtain authorizations for programmatic access" (§4.8).
+
+use serde::{Deserialize, Serialize};
+
+/// An OAuth-style scope on the funcX API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scope {
+    /// Register and update functions.
+    RegisterFunction,
+    /// Register and manage endpoints (what agent deployments hold).
+    RegisterEndpoint,
+    /// Submit tasks.
+    RunFunction,
+    /// Poll task status and fetch results.
+    ViewTask,
+    /// Everything (interactive user sessions).
+    All,
+}
+
+impl Scope {
+    /// Canonical URN for the scope.
+    pub fn urn(&self) -> &'static str {
+        match self {
+            Scope::RegisterFunction => "urn:globus:auth:scope:funcx:register_function",
+            Scope::RegisterEndpoint => "urn:globus:auth:scope:funcx:register_endpoint",
+            Scope::RunFunction => "urn:globus:auth:scope:funcx:run_function",
+            Scope::ViewTask => "urn:globus:auth:scope:funcx:view_task",
+            Scope::All => "urn:globus:auth:scope:funcx:all",
+        }
+    }
+
+    /// Parse a URN.
+    pub fn from_urn(urn: &str) -> Option<Scope> {
+        match urn {
+            "urn:globus:auth:scope:funcx:register_function" => Some(Scope::RegisterFunction),
+            "urn:globus:auth:scope:funcx:register_endpoint" => Some(Scope::RegisterEndpoint),
+            "urn:globus:auth:scope:funcx:run_function" => Some(Scope::RunFunction),
+            "urn:globus:auth:scope:funcx:view_task" => Some(Scope::ViewTask),
+            "urn:globus:auth:scope:funcx:all" => Some(Scope::All),
+            _ => None,
+        }
+    }
+
+    /// Does a granted scope satisfy a required one?
+    pub fn satisfies(granted: Scope, required: Scope) -> bool {
+        granted == Scope::All || granted == required
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Scope; 5] = [
+        Scope::RegisterFunction,
+        Scope::RegisterEndpoint,
+        Scope::RunFunction,
+        Scope::ViewTask,
+        Scope::All,
+    ];
+
+    #[test]
+    fn urn_roundtrip() {
+        for s in ALL {
+            assert_eq!(Scope::from_urn(s.urn()), Some(s));
+        }
+        assert_eq!(Scope::from_urn("urn:nope"), None);
+    }
+
+    #[test]
+    fn all_satisfies_everything() {
+        for s in ALL {
+            assert!(Scope::satisfies(Scope::All, s));
+        }
+    }
+
+    #[test]
+    fn narrow_scopes_only_satisfy_themselves() {
+        assert!(Scope::satisfies(Scope::RunFunction, Scope::RunFunction));
+        assert!(!Scope::satisfies(Scope::RunFunction, Scope::ViewTask));
+        assert!(!Scope::satisfies(Scope::ViewTask, Scope::All));
+    }
+}

@@ -1,0 +1,141 @@
+//! Bearer-token issuance and validation, with virtual-time expiry.
+
+use std::collections::HashMap;
+
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use funcx_types::UserId;
+use parking_lot::RwLock;
+use rand::RngCore;
+
+use crate::scope::Scope;
+
+/// Default token lifetime (48 virtual hours, matching Globus Auth's
+/// access-token order of magnitude).
+pub const DEFAULT_TTL: VirtualDuration = VirtualDuration::from_secs(48 * 3600);
+
+/// A validated access token.
+#[derive(Debug, Clone)]
+pub struct AccessToken {
+    /// Token owner.
+    pub user: UserId,
+    /// Granted scopes.
+    pub scopes: Vec<Scope>,
+    /// Virtual expiry instant.
+    pub expires_at: VirtualInstant,
+}
+
+impl AccessToken {
+    /// Does this token carry (or subsume) the scope?
+    pub fn has_scope(&self, required: Scope) -> bool {
+        self.scopes.iter().any(|s| Scope::satisfies(*s, required))
+    }
+}
+
+/// Issues opaque bearer strings and validates them.
+pub struct TokenStore {
+    clock: SharedClock,
+    tokens: RwLock<HashMap<String, AccessToken>>,
+}
+
+impl TokenStore {
+    /// New store on the given clock.
+    pub fn new(clock: SharedClock) -> Self {
+        TokenStore { clock, tokens: RwLock::new(HashMap::new()) }
+    }
+
+    /// Issue a token with the default TTL.
+    pub fn issue(&self, user: UserId, scopes: &[Scope]) -> String {
+        self.issue_with_ttl(user, scopes, DEFAULT_TTL)
+    }
+
+    /// Issue a token with an explicit TTL.
+    pub fn issue_with_ttl(&self, user: UserId, scopes: &[Scope], ttl: VirtualDuration) -> String {
+        let mut raw = [0u8; 24];
+        rand::thread_rng().fill_bytes(&mut raw);
+        let bearer: String = raw.iter().map(|b| format!("{b:02x}")).collect();
+        let token = AccessToken {
+            user,
+            scopes: scopes.to_vec(),
+            expires_at: self.clock.now() + ttl,
+        };
+        self.tokens.write().insert(bearer.clone(), token);
+        bearer
+    }
+
+    /// Validate a bearer string; `None` if unknown, revoked, or expired.
+    pub fn validate(&self, bearer: &str) -> Option<AccessToken> {
+        let guard = self.tokens.read();
+        let token = guard.get(bearer)?;
+        if self.clock.now() >= token.expires_at {
+            return None;
+        }
+        Some(token.clone())
+    }
+
+    /// Revoke a token; true if it existed.
+    pub fn revoke(&self, bearer: &str) -> bool {
+        self.tokens.write().remove(bearer).is_some()
+    }
+
+    /// Drop expired tokens; returns how many were reclaimed.
+    pub fn sweep(&self) -> usize {
+        let now = self.clock.now();
+        let mut guard = self.tokens.write();
+        let before = guard.len();
+        guard.retain(|_, t| now < t.expires_at);
+        before - guard.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn issue_validate_revoke() {
+        let store = TokenStore::new(ManualClock::new());
+        let user = UserId::from_u128(1);
+        let bearer = store.issue(user, &[Scope::RunFunction]);
+        let token = store.validate(&bearer).unwrap();
+        assert_eq!(token.user, user);
+        assert!(token.has_scope(Scope::RunFunction));
+        assert!(!token.has_scope(Scope::RegisterEndpoint));
+        assert!(store.revoke(&bearer));
+        assert!(store.validate(&bearer).is_none());
+        assert!(!store.revoke(&bearer));
+    }
+
+    #[test]
+    fn tokens_expire_on_virtual_time() {
+        let clock = ManualClock::new();
+        let store = TokenStore::new(clock.clone());
+        let bearer =
+            store.issue_with_ttl(UserId::from_u128(1), &[Scope::All], Duration::from_secs(60));
+        assert!(store.validate(&bearer).is_some());
+        clock.advance(Duration::from_secs(61));
+        assert!(store.validate(&bearer).is_none());
+        assert_eq!(store.sweep(), 1);
+    }
+
+    #[test]
+    fn tokens_are_unique_and_opaque() {
+        let store = TokenStore::new(ManualClock::new());
+        let a = store.issue(UserId::from_u128(1), &[Scope::All]);
+        let b = store.issue(UserId::from_u128(1), &[Scope::All]);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), 48);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn all_scope_subsumes() {
+        let store = TokenStore::new(ManualClock::new());
+        let bearer = store.issue(UserId::from_u128(1), &[Scope::All]);
+        let token = store.validate(&bearer).unwrap();
+        for s in [Scope::RegisterFunction, Scope::RunFunction, Scope::ViewTask] {
+            assert!(token.has_scope(s));
+        }
+    }
+}

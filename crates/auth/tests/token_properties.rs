@@ -1,0 +1,69 @@
+//! Property tests over the auth substrate: token opacity/uniqueness and
+//! scope algebra under arbitrary grants.
+
+use funcx_auth::{AuthService, IdentityProvider, Scope};
+use funcx_types::time::ManualClock;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_scope() -> impl Strategy<Value = Scope> {
+    prop_oneof![
+        Just(Scope::RegisterFunction),
+        Just(Scope::RegisterEndpoint),
+        Just(Scope::RunFunction),
+        Just(Scope::ViewTask),
+        Just(Scope::All),
+    ]
+}
+
+proptest! {
+    /// A token authorizes exactly the scopes it carries (with `All`
+    /// subsuming), never more.
+    #[test]
+    fn tokens_authorize_exactly_their_scopes(
+        granted in proptest::collection::hash_set(arb_scope(), 1..4)
+    ) {
+        let auth = AuthService::new(ManualClock::new());
+        let scopes: Vec<Scope> = granted.iter().copied().collect();
+        let (user, token) = auth.login("prop-user", IdentityProvider::Orcid, &scopes);
+        for required in [
+            Scope::RegisterFunction,
+            Scope::RegisterEndpoint,
+            Scope::RunFunction,
+            Scope::ViewTask,
+        ] {
+            let allowed = granted.contains(&required) || granted.contains(&Scope::All);
+            match auth.authorize(&token, required) {
+                Ok(got) => {
+                    prop_assert!(allowed, "{required:?} must have been denied");
+                    prop_assert_eq!(got, user);
+                }
+                Err(e) => {
+                    prop_assert!(!allowed, "{required:?} wrongly denied: {e}");
+                }
+            }
+        }
+    }
+
+    /// Tokens are unique and unforgeable-by-truncation: every prefix or
+    /// mutation of a real token fails validation.
+    #[test]
+    fn token_strings_are_opaque(n in 1usize..20) {
+        let auth = AuthService::new(ManualClock::new());
+        let mut seen = HashSet::new();
+        for i in 0..n {
+            let (_, token) =
+                auth.login(&format!("u{i}"), IdentityProvider::Google, &[Scope::All]);
+            prop_assert!(seen.insert(token.clone()), "duplicate token issued");
+            // Truncations never validate.
+            prop_assert!(auth.authorize(&token[..token.len() - 1], Scope::All).is_err());
+            // Single-character mutations never validate.
+            let mut mutated = token.clone().into_bytes();
+            mutated[0] = if mutated[0] == b'0' { b'1' } else { b'0' };
+            let mutated = String::from_utf8(mutated).unwrap();
+            if mutated != token {
+                prop_assert!(auth.authorize(&mutated, Scope::All).is_err());
+            }
+        }
+    }
+}

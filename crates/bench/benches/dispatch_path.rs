@@ -1,0 +1,44 @@
+//! End-to-end dispatch cost through the real threaded pipeline: one task,
+//! submit → execute → result, in-process (the funcX row of Table 1 minus
+//! network and calibrated service costs).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funcx::deploy::TestBedBuilder;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let bed = TestBedBuilder::new()
+        .speedup(1000.0)
+        .managers(1)
+        .workers_per_manager(4)
+        .build();
+    let f = bed
+        .client
+        .register_function("def f():\n    return None\n", "f")
+        .unwrap();
+    // Warm everything.
+    for _ in 0..5 {
+        let t = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
+        bed.client.get_result(t, Duration::from_secs(30)).unwrap();
+    }
+
+    let mut g = c.benchmark_group("dispatch_path");
+    g.sample_size(30);
+    g.bench_function("noop_round_trip", |b| {
+        b.iter(|| {
+            let t = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
+            bed.client.get_result(t, Duration::from_secs(30)).unwrap()
+        })
+    });
+    g.bench_function("submit_only", |b| {
+        b.iter(|| bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap())
+    });
+    g.finish();
+    // Drain anything the submit_only bench queued before teardown.
+    std::thread::sleep(Duration::from_millis(500));
+    drop(bed);
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

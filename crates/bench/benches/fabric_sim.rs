@@ -1,0 +1,26 @@
+//! Cost of the discrete-event fabric itself (events/second of simulation),
+//! so experiment sweep runtimes are predictable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funcx_sim::fabric::{simulate_fabric, FabricParams};
+
+fn bench_fabric(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric_sim");
+    g.sample_size(10);
+    g.bench_function("10k_tasks_256_workers", |b| {
+        let p = FabricParams::theta();
+        b.iter(|| simulate_fabric(&p, 256, 10_000, |_| 0.0, 1))
+    });
+    g.bench_function("100k_tasks_4096_workers", |b| {
+        let p = FabricParams::theta();
+        b.iter(|| simulate_fabric(&p, 4096, 100_000, |_| 0.001, 1))
+    });
+    g.bench_function("weak_16k_workers_160k_tasks", |b| {
+        let p = FabricParams::cori();
+        b.iter(|| simulate_fabric(&p, 16_384, 163_840, |_| 0.0, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fabric);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! FxScript costs: parse (per dispatch) and execute (per task).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funcx_lang::{parse, run_function, Limits, NoopHooks, Value};
+use funcx_workload::CaseStudy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_parse(c: &mut Criterion) {
+    let small = "def f(x):\n    return x * 2\n";
+    let ssx = CaseStudy::Ssx.source();
+    let xpcs = CaseStudy::Xpcs.source();
+    let mut g = c.benchmark_group("parse");
+    g.bench_function("one_liner", |b| b.iter(|| parse(std::hint::black_box(small)).unwrap()));
+    g.bench_function("ssx_kernel", |b| b.iter(|| parse(std::hint::black_box(ssx)).unwrap()));
+    g.bench_function("xpcs_kernel", |b| b.iter(|| parse(std::hint::black_box(xpcs)).unwrap()));
+    g.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let limits = Limits::default();
+    let mut g = c.benchmark_group("execute");
+
+    let fib = "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n";
+    g.bench_function("fib_12", |b| {
+        b.iter(|| {
+            run_function(fib, "fib", &[Value::Int(12)], &[], &NoopHooks, &limits).unwrap()
+        })
+    });
+
+    let loop_src = "def f(n):\n    t = 0\n    for i in range(n):\n        t += i\n    return t\n";
+    g.bench_function("loop_10k", |b| {
+        b.iter(|| {
+            run_function(loop_src, "f", &[Value::Int(10_000)], &[], &NoopHooks, &limits).unwrap()
+        })
+    });
+
+    // Case-study kernels with pre-generated inputs (pads are sleeps, which
+    // NoopHooks skip — this measures the pure compute shape).
+    let mut rng = StdRng::seed_from_u64(1);
+    for case in [CaseStudy::Xtract, CaseStudy::DlhubInference, CaseStudy::Hep] {
+        let args = case.gen_args(&mut rng);
+        g.bench_function(case.name(), |b| {
+            b.iter(|| {
+                run_function(case.source(), case.entry(), &args, &[], &NoopHooks, &limits)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_execute);
+criterion_main!(benches);

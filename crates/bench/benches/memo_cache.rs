@@ -1,0 +1,31 @@
+//! Memoization cache hot path (§4.7): key hashing, hit, miss, insert.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funcx_service::MemoCache;
+
+const BODY: &str = "def sleepy_double(x):\n    sleep(1)\n    return x * 2\n";
+
+fn bench_memo(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memo");
+    g.bench_function("key_hash", |b| {
+        b.iter(|| MemoCache::key(std::hint::black_box(BODY), std::hint::black_box(b"{\"args\":[7]}")))
+    });
+
+    let cache = MemoCache::new(100_000);
+    for i in 0..10_000u64 {
+        cache.insert(i, vec![0u8; 64]);
+    }
+    g.bench_function("get_hit", |b| b.iter(|| cache.get(std::hint::black_box(5_000)).unwrap()));
+    g.bench_function("get_miss", |b| b.iter(|| cache.get(std::hint::black_box(u64::MAX))));
+    g.bench_function("insert_fresh", |b| {
+        let mut i = 20_000u64;
+        b.iter(|| {
+            i += 1;
+            cache.insert(i, vec![0u8; 64]);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_memo);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Routing-policy ablation (DESIGN.md decision 2): the paper's randomized
+//! greedy vs first-fit vs least-loaded, over realistic manager counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use funcx_endpoint::scheduler::{
+    FirstFit, LeastLoaded, ManagerView, RandomizedGreedy, RoutingPolicy,
+};
+use funcx_types::{ContainerImageId, ManagerId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn make_views(n: usize, with_containers: bool) -> Vec<ManagerView> {
+    (0..n)
+        .map(|i| ManagerView {
+            manager_id: ManagerId::from_u128(i as u128 + 1),
+            credit: 1 + (i % 64),
+            deployed_containers: if with_containers && i % 4 == 0 {
+                vec![ContainerImageId::from_u128(7)]
+            } else {
+                vec![]
+            },
+        })
+        .collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    for &n in &[4usize, 64, 1024] {
+        let views = make_views(n, true);
+        let img = Some(ContainerImageId::from_u128(7));
+        g.bench_function(format!("randomized_greedy_{n}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| RandomizedGreedy.route(&mut rng, std::hint::black_box(&views), img))
+        });
+        g.bench_function(format!("first_fit_{n}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| FirstFit.route(&mut rng, std::hint::black_box(&views), img))
+        });
+        g.bench_function(format!("least_loaded_{n}"), |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| LeastLoaded.route(&mut rng, std::hint::black_box(&views), img))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Hot path behind every task: the §4.6 serialization facade.
+//! Includes the codec-ordering ablation (DESIGN.md decision 4).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use funcx_lang::Value;
+use funcx_serial::codec::{Codec, JsonCodec, NativeCodec};
+use funcx_serial::{pack_buffer, unpack_buffer, CodecTag, Payload, Serializer};
+use funcx_types::ids::Uuid;
+
+fn typical_document() -> Value {
+    Value::Dict(vec![
+        (
+            "args".into(),
+            Value::List(vec![
+                Value::from("test.h5"),
+                Value::Int(0),
+                Value::Int(10),
+                Value::Float(0.5),
+            ]),
+        ),
+        (
+            "kwargs".into(),
+            Value::Dict(vec![
+                ("threshold".into(), Value::Float(90.0)),
+                ("mode".into(), Value::from("stills")),
+            ]),
+        ),
+    ])
+}
+
+fn large_document() -> Value {
+    Value::List((0..1000).map(Value::Int).collect())
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let doc = Payload::Document(typical_document());
+    let big = Payload::Document(large_document());
+
+    let mut g = c.benchmark_group("codec_encode");
+    g.bench_function("json_typical", |b| {
+        b.iter(|| JsonCodec.try_encode(std::hint::black_box(&doc)).unwrap())
+    });
+    g.bench_function("native_typical", |b| {
+        b.iter(|| NativeCodec.try_encode(std::hint::black_box(&doc)).unwrap())
+    });
+    g.bench_function("json_1k_ints", |b| {
+        b.iter(|| JsonCodec.try_encode(std::hint::black_box(&big)).unwrap())
+    });
+    g.bench_function("native_1k_ints", |b| {
+        b.iter(|| NativeCodec.try_encode(std::hint::black_box(&big)).unwrap())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("codec_decode");
+    let json_bytes = JsonCodec.try_encode(&doc).unwrap();
+    let native_bytes = NativeCodec.try_encode(&doc).unwrap();
+    g.bench_function("json_typical", |b| {
+        b.iter(|| JsonCodec.decode(std::hint::black_box(&json_bytes)).unwrap())
+    });
+    g.bench_function("native_typical", |b| {
+        b.iter(|| NativeCodec.decode(std::hint::black_box(&native_bytes)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_facade_ordering(c: &mut Criterion) {
+    // Ablation: §4.6 "sorts the serialization libraries by speed". Compare
+    // the default (JSON-first) facade against native-first on typical
+    // documents.
+    let doc = Payload::Document(typical_document());
+    let json_first = Serializer::default();
+    let native_first = Serializer::new(vec![Box::new(NativeCodec), Box::new(JsonCodec)]);
+
+    let mut g = c.benchmark_group("facade_ordering");
+    g.bench_function("json_first", |b| {
+        b.iter(|| json_first.serialize(std::hint::black_box(&doc)).unwrap())
+    });
+    g.bench_function("native_first", |b| {
+        b.iter(|| native_first.serialize(std::hint::black_box(&doc)).unwrap())
+    });
+    // Bytes payloads fall through JSON → the ordering penalty case.
+    let binary = Payload::Document(Value::Bytes(vec![7u8; 256]));
+    g.bench_function("json_first_binary_fallthrough", |b| {
+        b.iter(|| json_first.serialize(std::hint::black_box(&binary)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let routing = Uuid::from_u128(42);
+    let body = vec![1u8; 512];
+    let packed = pack_buffer(routing, CodecTag::Native, &body);
+    let mut g = c.benchmark_group("pack");
+    g.bench_function("pack_512B", |b| {
+        b.iter(|| pack_buffer(std::hint::black_box(routing), CodecTag::Native, &body))
+    });
+    g.bench_function("unpack_512B", |b| {
+        b.iter(|| unpack_buffer(std::hint::black_box(&packed)).unwrap())
+    });
+    g.bench_function("roundtrip_packed_document", |b| {
+        let s = Serializer::default();
+        let payload = Payload::Document(typical_document());
+        b.iter_batched(
+            || s.serialize_packed(routing, &payload).unwrap(),
+            |buf| Serializer::default().deserialize_packed(&buf).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs, bench_facade_ordering, bench_packing);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! The Redis-substitute hot paths: hash ops and queue push/pop (§4.1).
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use funcx_store::{BlockingQueue, KvStore};
+use funcx_types::time::ManualClock;
+
+fn bench_kv(c: &mut Criterion) {
+    let kv = KvStore::new(ManualClock::new());
+    let value = Bytes::from_static(&[0u8; 256]);
+    for i in 0..1000 {
+        kv.hset("tasks", &format!("t{i}"), value.clone());
+    }
+    let mut g = c.benchmark_group("kv");
+    g.bench_function("hset", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            kv.hset("bench", &format!("k{}", i % 4096), value.clone())
+        })
+    });
+    g.bench_function("hget_hit", |b| {
+        b.iter(|| kv.hget("tasks", std::hint::black_box("t500")).unwrap())
+    });
+    g.bench_function("hget_miss", |b| {
+        b.iter(|| kv.hget("tasks", std::hint::black_box("absent")))
+    });
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    let payload = Bytes::from_static(&[0u8; 16]); // a task-id entry
+    g.bench_function("push_pop_pair", |b| {
+        let q = BlockingQueue::new();
+        b.iter(|| {
+            q.push_back(payload.clone());
+            q.try_pop().unwrap()
+        })
+    });
+    g.bench_function("drain_64", |b| {
+        let q = BlockingQueue::new();
+        b.iter(|| {
+            for _ in 0..64 {
+                q.push_back(payload.clone());
+            }
+            q.drain(64)
+        })
+    });
+    g.bench_function("requeue_front", |b| {
+        let q = BlockingQueue::new();
+        q.push_back(payload.clone());
+        b.iter(|| {
+            q.push_front(payload.clone());
+            q.try_pop().unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kv, bench_queue);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! `repro` — regenerate every table and figure of the funcX paper.
+//!
+//! ```sh
+//! cargo run --release -p funcx-bench --bin repro            # everything
+//! cargo run --release -p funcx-bench --bin repro fig5-weak  # one experiment
+//! cargo run --release -p funcx-bench --bin repro --quick    # reduced sizes
+//! ```
+
+use funcx_bench::experiments::{self, ALL_EXPERIMENTS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let run_all = wanted.is_empty();
+    let should = |id: &str| run_all || wanted.contains(&id);
+
+    let mut ran = 0;
+    for id in ALL_EXPERIMENTS {
+        if !should(id) {
+            continue;
+        }
+        run_one(id, quick);
+        ran += 1;
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment(s): {wanted:?}");
+        eprintln!("available: {}", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(2);
+    }
+}
+
+fn run_one(id: &str, quick: bool) {
+    match id {
+        "fig1" => {
+            let results = experiments::fig1::run(100, 2020);
+            println!("{}", experiments::fig1::table(&results));
+        }
+        "table1" => {
+            let (warm, cold) = if quick { (100, 3) } else { (2_000, 30) };
+            let rows = experiments::table1::run(warm, cold, 2020);
+            println!("{}", experiments::table1::table(&rows));
+        }
+        "fig4" => {
+            let b = experiments::fig4::run(if quick { 30 } else { 150 });
+            println!("{}", experiments::fig4::table(&b));
+        }
+        "fig5-strong" => {
+            let tasks = if quick { 20_000 } else { 100_000 };
+            let series = experiments::fig5::run_strong(tasks);
+            println!(
+                "{}",
+                experiments::fig5::table(
+                    &format!("Figure 5a: strong scaling ({tasks} tasks)"),
+                    &series
+                )
+            );
+        }
+        "fig5-weak" => {
+            let max_workers = if quick { 16_384 } else { 131_072 };
+            let series = experiments::fig5::run_weak(max_workers);
+            println!(
+                "{}",
+                experiments::fig5::table("Figure 5b: weak scaling (10 tasks/container)", &series)
+            );
+        }
+        "throughput" => {
+            let (theta, cori) = experiments::fig5::peak_throughput();
+            println!("== §5.2.3: peak single-agent throughput ==");
+            println!("Theta: {theta:.0} tasks/s   (paper: 1694)");
+            println!("Cori:  {cori:.0} tasks/s   (paper: 1466)");
+            println!();
+        }
+        "fig6" => {
+            let samples = experiments::fig6::run();
+            println!("{}", experiments::fig6::table(&samples, 10));
+        }
+        "fig7" => {
+            let points = experiments::fig7::run();
+            println!(
+                "{}",
+                experiments::fig7::table(
+                    "Figure 7: task latency around a manager failure (kill 2s, recover 8s; stretched schedule)",
+                    &points,
+                    0.5
+                )
+            );
+        }
+        "fig8" => {
+            let points = experiments::fig8::run();
+            println!("{}", experiments::fig8::table(&points));
+        }
+        "table2" => {
+            let rows = experiments::table2::run(if quick { 200 } else { 2_000 }, 2020);
+            println!("{}", experiments::table2::table(&rows));
+        }
+        "batching" => {
+            let r = experiments::opt_batching::run(10_000);
+            println!("{}", experiments::opt_batching::table(&r));
+        }
+        "fig9" => {
+            let tasks = if quick { 1_000_000 } else { 10_000_000 };
+            let points = experiments::fig9::run_model(tasks);
+            println!("{}", experiments::fig9::table(&points));
+            let measured = experiments::fig9::measure_submission(5_000, 500);
+            println!(
+                "grounding: real in-proc service sustains {measured:.0} submissions/s at batch 500\n"
+            );
+        }
+        "fig10" => {
+            let sweeps = experiments::fig10::run();
+            println!("{}", experiments::fig10::table(&sweeps));
+        }
+        "fig11" => {
+            let sweeps = experiments::fig11::run(10_000);
+            println!("{}", experiments::fig11::table(&sweeps));
+        }
+        "table3" => {
+            let (tasks, workers) = if quick { (120, 8) } else { (480, 16) };
+            let points = experiments::table3::run(tasks, workers);
+            println!("{}", experiments::table3::table(&points));
+        }
+        "ablation-warm-ttl" => {
+            let tasks = if quick { 200 } else { 1000 };
+            let points = experiments::ablation_warm_ttl::run(tasks, 300.0, 2020);
+            println!("{}", experiments::ablation_warm_ttl::table(&points));
+        }
+        other => unreachable!("unlisted experiment {other}"),
+    }
+}

@@ -1,0 +1,83 @@
+//! Figure 1: "Distribution of latencies for 100 function calls, for each of
+//! the six case studies."
+
+use funcx_workload::CaseStudy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+
+/// Per-case summary over `n` sampled calls.
+#[derive(Debug, Clone)]
+pub struct CaseLatencies {
+    /// Which case study.
+    pub case: CaseStudy,
+    /// Sampled durations in seconds, sorted ascending.
+    pub sorted_secs: Vec<f64>,
+}
+
+impl CaseLatencies {
+    /// Percentile (0–100) over the samples.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let idx = ((self.sorted_secs.len() - 1) as f64 * p / 100.0).round() as usize;
+        self.sorted_secs[idx]
+    }
+
+    /// Sample mean.
+    pub fn mean(&self) -> f64 {
+        self.sorted_secs.iter().sum::<f64>() / self.sorted_secs.len() as f64
+    }
+}
+
+/// Sample `n` calls per case study.
+pub fn run(n: usize, seed: u64) -> Vec<CaseLatencies> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    CaseStudy::ALL
+        .iter()
+        .map(|case| {
+            let mut samples: Vec<f64> = (0..n)
+                .map(|_| case.duration_model().sample(&mut rng).as_secs_f64())
+                .collect();
+            samples.sort_by(f64::total_cmp);
+            CaseLatencies { case: *case, sorted_secs: samples }
+        })
+        .collect()
+}
+
+/// Paper-shaped table.
+pub fn table(results: &[CaseLatencies]) -> Table {
+    let mut t = Table::new(
+        "Figure 1: case-study function latencies (100 calls each, seconds)",
+        &["case study", "p5", "median", "mean", "p95", "max"],
+    );
+    for r in results {
+        t.row(vec![
+            r.case.name().to_string(),
+            format!("{:.3}", r.percentile(5.0)),
+            format!("{:.3}", r.percentile(50.0)),
+            format!("{:.3}", r.mean()),
+            format!("{:.3}", r.percentile(95.0)),
+            format!("{:.3}", r.sorted_secs.last().copied().unwrap_or(0.0)),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_ordering_holds() {
+        let results = run(100, 1);
+        assert_eq!(results.len(), 6);
+        let by_case = |c: CaseStudy| results.iter().find(|r| r.case == c).unwrap();
+        // XPCS (~50 s) is the slowest; MNIST inference among the fastest.
+        let xpcs = by_case(CaseStudy::Xpcs).mean();
+        let mnist = by_case(CaseStudy::DlhubInference).mean();
+        let ssx = by_case(CaseStudy::Ssx);
+        assert!(xpcs > 40.0);
+        assert!(mnist < 1.0);
+        assert!(ssx.percentile(5.0) >= 1.0 && ssx.percentile(95.0) <= 2.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Figure 10: "Effect of batch size (1–1024) on the use cases" — average
+//! latency per request as the user-driven batch size grows, for the six
+//! case-study functions.
+//!
+//! Model (matching the paper's definition): a batch of B requests is
+//! transmitted to a container and executed serially; the average latency
+//! per request is `(C_ROUND + B × mean_duration) / B`, where `C_ROUND` is
+//! the fixed cost of getting one batch through the cloud service to a
+//! worker and its results back. Short functions amortize `C_ROUND`
+//! dramatically; XPCS's ~50 s `corr` sees nothing ("long-running functions
+//! do not benefit").
+
+use funcx_workload::CaseStudy;
+
+use crate::report::Table;
+
+/// Fixed round-trip cost of one batch through the service to a worker (s).
+pub const C_ROUND: f64 = 2.0;
+
+/// Average latency per request at batch size `batch` for `case`.
+pub fn avg_latency(case: CaseStudy, batch: usize) -> f64 {
+    let d = case.duration_model().mean();
+    (C_ROUND + batch as f64 * d) / batch as f64
+}
+
+/// One case's sweep.
+#[derive(Debug, Clone)]
+pub struct CaseSweep {
+    /// The case study.
+    pub case: CaseStudy,
+    /// (batch size, average latency per request in seconds).
+    pub points: Vec<(usize, f64)>,
+}
+
+/// Sweep batch sizes 1–1024 for all six cases.
+pub fn run() -> Vec<CaseSweep> {
+    let batches = [1usize, 4, 16, 64, 256, 1024];
+    CaseStudy::ALL
+        .iter()
+        .map(|case| CaseSweep {
+            case: *case,
+            points: batches.iter().map(|&b| (b, avg_latency(*case, b))).collect(),
+        })
+        .collect()
+}
+
+/// Paper-shaped table.
+pub fn table(sweeps: &[CaseSweep]) -> Table {
+    let mut t = Table::new(
+        "Figure 10: average latency per request (s) vs batch size",
+        &["case study", "B=1", "B=4", "B=16", "B=64", "B=256", "B=1024"],
+    );
+    for s in sweeps {
+        let mut row = vec![s.case.name().to_string()];
+        row.extend(s.points.iter().map(|(_, l)| format!("{l:.2}")));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_functions_benefit_long_ones_do_not() {
+        let sweeps = run();
+        let by_case = |c: CaseStudy| sweeps.iter().find(|s| s.case == c).unwrap();
+
+        // MNIST inference (sub-second): enormous benefit from batching.
+        let mnist = by_case(CaseStudy::DlhubInference);
+        let (_, at1) = mnist.points[0];
+        let (_, at256) = mnist.points[4];
+        assert!(at1 / at256 > 5.0, "tens-to-hundreds batching pays: {at1:.2} → {at256:.2}");
+
+        // Diminishing returns: 256 → 1024 gains little.
+        let (_, at1024) = mnist.points[5];
+        assert!(at256 / at1024 < 1.5, "large batches flatten: {at256:.3} vs {at1024:.3}");
+
+        // XPCS (~50 s): batching is irrelevant.
+        let xpcs = by_case(CaseStudy::Xpcs);
+        let (_, x1) = xpcs.points[0];
+        let (_, x1024) = xpcs.points[5];
+        assert!(x1 / x1024 < 1.1, "long functions see no benefit: {x1:.1} vs {x1024:.1}");
+    }
+
+    #[test]
+    fn floors_are_the_mean_durations() {
+        for sweep in run() {
+            let floor = sweep.case.duration_model().mean();
+            let (_, at1024) = *sweep.points.last().unwrap();
+            assert!(
+                (at1024 - floor) / floor < 0.05,
+                "{}: avg latency converges to the mean duration",
+                sweep.case.name()
+            );
+        }
+    }
+}

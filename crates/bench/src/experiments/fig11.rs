@@ -1,0 +1,79 @@
+//! Figure 11: "Effect of prefetching" — completion time of 10 000 tasks on
+//! 4 Theta nodes × 64 containers as the per-node prefetch count grows, for
+//! no-op / 1 ms / 10 ms / 100 ms functions.
+
+use funcx_sim::fabric::{simulate_fabric, FabricParams};
+
+use crate::report::Table;
+
+/// One function's sweep across prefetch counts.
+#[derive(Debug, Clone)]
+pub struct PrefetchSweep {
+    /// Function duration label.
+    pub function: &'static str,
+    /// (prefetch count, completion seconds).
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The sweep: prefetch 0–256 for each duration.
+pub fn run(tasks: usize) -> Vec<PrefetchSweep> {
+    let prefetches = [0usize, 8, 16, 32, 64, 128, 256];
+    let functions: [(&'static str, f64); 4] =
+        [("no-op", 0.0), ("1ms", 0.001), ("10ms", 0.010), ("100ms", 0.100)];
+    functions
+        .iter()
+        .map(|&(label, d)| PrefetchSweep {
+            function: label,
+            points: prefetches
+                .iter()
+                .map(|&prefetch| {
+                    let params = FabricParams { prefetch, ..FabricParams::theta() };
+                    let t = simulate_fabric(&params, 256, tasks, |_| d, 1).completion_time;
+                    (prefetch, t)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Paper-shaped table.
+pub fn table(sweeps: &[PrefetchSweep]) -> Table {
+    let mut t = Table::new(
+        "Figure 11: completion time (s) of 10k tasks vs prefetch count (4 nodes x 64)",
+        &["function", "p=0", "p=8", "p=16", "p=32", "p=64", "p=128", "p=256"],
+    );
+    for s in sweeps {
+        let mut row = vec![s.function.to_string()];
+        row.extend(s.points.iter().map(|(_, c)| format!("{c:.1}")));
+        t.row(row);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn completion_drops_then_diminishes_past_64() {
+        for sweep in run(10_000) {
+            let at = |p: usize| {
+                sweep.points.iter().find(|(q, _)| *q == p).map(|(_, c)| *c).unwrap()
+            };
+            assert!(
+                at(0) > 1.4 * at(64),
+                "{}: prefetch helps dramatically ({:.1}s → {:.1}s)",
+                sweep.function,
+                at(0),
+                at(64)
+            );
+            assert!(
+                at(256) > 0.55 * at(64),
+                "{}: benefit diminishes past ~64 ({:.1}s vs {:.1}s)",
+                sweep.function,
+                at(64),
+                at(256)
+            );
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Figure 4: "funcX latency breakdown for a warm container" — the
+//! `ts`/`tf`/`te`/`tw` decomposition from the task timeline.
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx_workload::synthetic;
+
+use crate::report::Table;
+
+/// Mean stage latencies in milliseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Breakdown {
+    /// Web-service latency (authenticate, store, enqueue).
+    pub ts_ms: f64,
+    /// Forwarder latency (queue read, dispatch, result write).
+    pub tf_ms: f64,
+    /// Endpoint latency (agent/manager queuing and dispatch).
+    pub te_ms: f64,
+    /// Function execution time.
+    pub tw_ms: f64,
+}
+
+impl Breakdown {
+    /// Sum of all stages.
+    pub fn total_ms(&self) -> f64 {
+        self.ts_ms + self.tf_ms + self.te_ms + self.tw_ms
+    }
+}
+
+/// Instrument `samples` warm invocations.
+pub fn run(samples: usize) -> Breakdown {
+    let _guard = crate::pipeline_guard();
+    let mut bed = TestBedBuilder::new()
+        .speedup(10.0)
+        .managers(1)
+        .workers_per_manager(2)
+        .service_costs(Duration::from_millis(35), Duration::from_millis(3))
+        .wan_latency(Duration::from_millis(1))
+        .build();
+    let f = bed
+        .client
+        .register_function(synthetic::ECHO_SRC, synthetic::ECHO_ENTRY)
+        .unwrap();
+    // Warm the path first.
+    for _ in 0..3 {
+        let t = bed.client.run(f, bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
+        bed.client.get_result(t, Duration::from_secs(60)).unwrap();
+    }
+    let (mut ts, mut tf, mut te, mut tw) = (0.0, 0.0, 0.0, 0.0);
+    let mut counted = 0usize;
+    for _ in 0..samples {
+        let t = bed.client.run(f, bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
+        bed.client.get_result(t, Duration::from_secs(60)).unwrap();
+        let tl = bed.service.task_record(t).unwrap().timeline;
+        let (Some(s), Some(fwd), Some(e), Some(w)) =
+            (tl.t_service(), tl.t_forwarder(), tl.t_endpoint(), tl.t_exec())
+        else {
+            continue;
+        };
+        ts += s.as_secs_f64();
+        tf += fwd.as_secs_f64();
+        te += e.as_secs_f64();
+        tw += w.as_secs_f64();
+        counted += 1;
+    }
+    bed.shutdown();
+    let n = counted.max(1) as f64;
+    Breakdown {
+        ts_ms: ts / n * 1e3,
+        tf_ms: tf / n * 1e3,
+        te_ms: te / n * 1e3,
+        tw_ms: tw / n * 1e3,
+    }
+}
+
+/// Paper-shaped table.
+pub fn table(b: &Breakdown) -> Table {
+    let mut t = Table::new(
+        "Figure 4: funcX warm-container latency breakdown (ms)",
+        &["stage", "mean (ms)", "role"],
+    );
+    t.row(vec!["ts".into(), format!("{:.1}", b.ts_ms), "web service (auth, store, enqueue)".into()]);
+    t.row(vec!["tf".into(), format!("{:.1}", b.tf_ms), "forwarder (read, dispatch, result)".into()]);
+    t.row(vec!["te".into(), format!("{:.1}", b.te_ms), "endpoint (agent/manager queuing)".into()]);
+    t.row(vec!["tw".into(), format!("{:.1}", b.tw_ms), "function execution".into()]);
+    t.row(vec!["total".into(), format!("{:.1}", b.total_ms()), String::new()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ts_dominates_and_tw_is_small() {
+        let b = run(40);
+        // Figure 4's conclusion: "Most funcX overhead is captured in ts as
+        // a result of authentication ... tw is fast relative to the overall
+        // system latency."
+        assert!(b.ts_ms > b.tw_ms, "ts {:.2} > tw {:.2}", b.ts_ms, b.tw_ms);
+        assert!(b.ts_ms >= 30.0, "auth-dominated ts, got {:.2}", b.ts_ms);
+        assert!(b.tw_ms < 10.0, "echo executes fast, got {:.2}", b.tw_ms);
+        assert!(b.total_ms() < 400.0, "warm path stays sub-second: {:.1}", b.total_ms());
+    }
+}

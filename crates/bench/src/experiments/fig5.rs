@@ -1,0 +1,162 @@
+//! Figure 5: strong and weak scaling of the funcX agent on Theta and Cori,
+//! plus the §5.2.3 peak-throughput numbers — on the discrete-event fabric.
+
+use funcx_sim::fabric::{simulate_fabric, FabricParams};
+
+use crate::report::Table;
+
+/// One scaling point.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// Worker (container) count.
+    pub workers: usize,
+    /// Completion time in seconds.
+    pub completion_s: f64,
+}
+
+/// A scaling series for one (system, function) pair.
+#[derive(Debug, Clone)]
+pub struct ScaleSeries {
+    /// "Theta" / "Cori".
+    pub system: &'static str,
+    /// "no-op" / "sleep" / "stress".
+    pub function: &'static str,
+    /// Points in ascending worker order.
+    pub points: Vec<ScalePoint>,
+}
+
+fn series(
+    system: &'static str,
+    params: &FabricParams,
+    function: &'static str,
+    duration: f64,
+    worker_counts: &[usize],
+    tasks_for: impl Fn(usize) -> usize,
+) -> ScaleSeries {
+    let points = worker_counts
+        .iter()
+        .map(|&workers| {
+            let tasks = tasks_for(workers);
+            let report = simulate_fabric(params, workers, tasks, |_| duration, 1);
+            ScalePoint { workers, completion_s: report.completion_time }
+        })
+        .collect();
+    ScaleSeries { system, function, points }
+}
+
+/// Strong scaling (Figure 5a): 100 000 tasks, increasing containers.
+/// The paper runs no-op and sleep on Theta, no-op on Cori.
+pub fn run_strong(tasks: usize) -> Vec<ScaleSeries> {
+    let theta = FabricParams::theta();
+    let cori = FabricParams::cori();
+    let counts = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+    vec![
+        series("Theta", &theta, "no-op", 0.0, &counts, |_| tasks),
+        series("Theta", &theta, "sleep", 1.0, &counts, |_| tasks),
+        series("Cori", &cori, "no-op", 0.0, &counts, |_| tasks),
+    ]
+}
+
+/// Weak scaling (Figure 5b): 10 tasks per container. The paper scales
+/// Cori no-op to 131 072 containers (>1.3 M tasks); Theta runs no-op,
+/// sleep, and stress.
+pub fn run_weak(max_workers: usize) -> Vec<ScaleSeries> {
+    let theta = FabricParams::theta();
+    let cori = FabricParams::cori();
+    let mut counts = vec![64, 256, 1024, 4096, 16_384];
+    if max_workers >= 65_536 {
+        counts.push(65_536);
+    }
+    if max_workers >= 131_072 {
+        counts.push(131_072);
+    }
+    let per = |w: usize| w * 10;
+    vec![
+        series("Theta", &theta, "no-op", 0.0, &counts, per),
+        series("Theta", &theta, "sleep", 1.0, &counts, per),
+        series("Theta", &theta, "stress", 60.0, &counts, per),
+        series("Cori", &cori, "no-op", 0.0, &counts, per),
+    ]
+}
+
+/// §5.2.3: maximum observed agent throughput (requests / completion time),
+/// taken over the weak-scaling no-op runs.
+pub fn peak_throughput() -> (f64, f64) {
+    let theta = FabricParams::theta();
+    let cori = FabricParams::cori();
+    let mut best_theta: f64 = 0.0;
+    let mut best_cori: f64 = 0.0;
+    for workers in [1024usize, 4096, 16_384] {
+        let t = simulate_fabric(&theta, workers, workers * 10, |_| 0.0, 1);
+        let c = simulate_fabric(&cori, workers, workers * 10, |_| 0.0, 1);
+        best_theta = best_theta.max(t.throughput);
+        best_cori = best_cori.max(c.throughput);
+    }
+    (best_theta, best_cori)
+}
+
+/// Paper-shaped table for one set of series.
+pub fn table(title: &str, series: &[ScaleSeries]) -> Table {
+    let mut t = Table::new(title, &["system", "function", "workers", "completion (s)"]);
+    for s in series {
+        for p in &s.points {
+            t.row(vec![
+                s.system.to_string(),
+                s.function.to_string(),
+                p.workers.to_string(),
+                format!("{:.1}", p.completion_s),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn completion(series: &[ScaleSeries], system: &str, function: &str, workers: usize) -> f64 {
+        series
+            .iter()
+            .find(|s| s.system == system && s.function == function)
+            .and_then(|s| s.points.iter().find(|p| p.workers == workers))
+            .map(|p| p.completion_s)
+            .unwrap_or_else(|| panic!("missing point {system}/{function}/{workers}"))
+    }
+
+    #[test]
+    fn strong_scaling_crossovers() {
+        let series = run_strong(100_000);
+        // No-op: completion decreases until ~256 containers, then flat.
+        let noop64 = completion(&series, "Theta", "no-op", 64);
+        let noop256 = completion(&series, "Theta", "no-op", 256);
+        let noop8192 = completion(&series, "Theta", "no-op", 8192);
+        assert!(noop64 > 1.5 * noop256);
+        assert!(noop8192 > 0.6 * noop256, "flat: {noop256:.0} vs {noop8192:.0}");
+        // Sleep: keeps improving until ~2048.
+        let sleep256 = completion(&series, "Theta", "sleep", 256);
+        let sleep2048 = completion(&series, "Theta", "sleep", 2048);
+        let sleep8192 = completion(&series, "Theta", "sleep", 8192);
+        assert!(sleep256 > 4.0 * sleep2048);
+        assert!(sleep8192 > 0.6 * sleep2048);
+    }
+
+    #[test]
+    fn weak_scaling_shapes() {
+        let series = run_weak(16_384);
+        // No-op grows with scale (time to distribute), stress stays flat.
+        let noop1k = completion(&series, "Cori", "no-op", 1024);
+        let noop16k = completion(&series, "Cori", "no-op", 16_384);
+        assert!(noop16k > 8.0 * noop1k);
+        let stress1k = completion(&series, "Theta", "stress", 1024);
+        let stress16k = completion(&series, "Theta", "stress", 16_384);
+        assert!(stress16k < 1.5 * stress1k);
+    }
+
+    #[test]
+    fn peak_throughput_matches_section_523() {
+        let (theta, cori) = peak_throughput();
+        assert!((theta - 1694.0).abs() / 1694.0 < 0.10, "Theta {theta:.0}/s (paper 1694)");
+        assert!((cori - 1466.0).abs() / 1466.0 < 0.12, "Cori {cori:.0}/s (paper 1466)");
+    }
+}

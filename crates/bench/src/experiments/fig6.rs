@@ -1,0 +1,72 @@
+//! Figure 6: Kubernetes elasticity — pods tracking per-function load.
+
+use funcx_sim::elasticity::{run_elasticity, ElasticityConfig, ElasticitySample};
+
+use crate::report::Table;
+
+/// Run the paper's configuration (1 s / 10 s / 20 s functions, waves of
+/// 1 / 5 / 20 every 120 s, 0–10 pods each).
+pub fn run() -> Vec<ElasticitySample> {
+    run_elasticity(&ElasticityConfig::default(), 2020)
+}
+
+/// Print the timeline subsampled every `step` seconds.
+pub fn table(samples: &[ElasticitySample], step: u64) -> Table {
+    let mut t = Table::new(
+        "Figure 6: concurrent functions and active pods over time",
+        &["t (s)", "1s tasks", "1s pods", "10s tasks", "10s pods", "20s tasks", "20s pods"],
+    );
+    let max_t = samples.iter().map(|s| s.t).max().unwrap_or(0);
+    for time in (0..=max_t).step_by(step as usize) {
+        let cell = |f: usize| {
+            samples
+                .iter()
+                .find(|s| s.t == time && s.function == f)
+                .map(|s| (s.concurrent_tasks, s.active_pods))
+                .unwrap_or((0, 0))
+        };
+        let (t0, p0) = cell(0);
+        let (t1, p1) = cell(1);
+        let (t2, p2) = cell(2);
+        t.row(vec![
+            time.to_string(),
+            t0.to_string(),
+            p0.to_string(),
+            t1.to_string(),
+            p1.to_string(),
+            t2.to_string(),
+            p2.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pods_sawtooth_with_waves() {
+        let samples = run();
+        let max_pods = |f: usize, lo: u64, hi: u64| {
+            samples
+                .iter()
+                .filter(|s| s.function == f && (lo..hi).contains(&s.t))
+                .map(|s| s.active_pods)
+                .max()
+                .unwrap_or(0)
+        };
+        // Each wave drives the 20s function to its 10-pod cap, and pods
+        // drain before the next wave.
+        for wave in 0..3u64 {
+            let start = wave * 120;
+            assert_eq!(max_pods(2, start, start + 60), 10, "wave {wave}");
+            let drained = samples
+                .iter()
+                .find(|s| s.function == 2 && s.t == start + 115)
+                .map(|s| s.active_pods)
+                .unwrap_or(99);
+            assert_eq!(drained, 0, "wave {wave} drained");
+        }
+    }
+}

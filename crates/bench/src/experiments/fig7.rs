@@ -1,0 +1,158 @@
+//! Figure 7: "Timeline showing task processing latency for 100ms functions,
+//! when a manager fails and recovers" (§5.4).
+//!
+//! A stream of 100 ms sleep tasks is launched at a uniform (virtual) rate
+//! at two managers; one is killed partway through and later replaced. Task
+//! latency spikes while capacity is halved and the lost tasks re-execute,
+//! then recovers.
+
+use std::time::Duration;
+
+use funcx::deploy::{TestBed, TestBedBuilder};
+use funcx::prelude::*;
+
+use crate::report::Table;
+
+/// One observed task: when it was submitted and how long it took.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencyPoint {
+    /// Submission time (virtual seconds from experiment start).
+    pub submit_s: f64,
+    /// End-to-end latency (virtual seconds).
+    pub latency_s: f64,
+}
+
+/// Drive a uniform stream of `total` tasks of `exec_s` virtual seconds at
+/// `interval` (virtual), invoking `at_task(i, bed)` before each submission
+/// for failure injection.
+pub fn uniform_stream(
+    bed: &mut TestBed,
+    total: usize,
+    exec_s: f64,
+    interval: Duration,
+    mut at_task: impl FnMut(usize, &mut TestBed),
+) -> Vec<LatencyPoint> {
+    let f = bed
+        .client
+        .register_function(
+            &format!("def f():\n    sleep({exec_s})\n    return 0\n"),
+            "f",
+        )
+        .expect("sleep function registers");
+    let t0 = bed.clock.now();
+    let mut tasks = Vec::with_capacity(total);
+    for i in 0..total {
+        at_task(i, bed);
+        let submit_s = bed.clock.now().saturating_duration_since(t0).as_secs_f64();
+        let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
+        tasks.push((submit_s, task));
+        // Pace against absolute virtual deadlines, not relative sleeps:
+        // wall-timer overshoot on one interval is then compensated on the
+        // next, keeping the *rate* exact on slow or loaded hosts.
+        let target = t0 + interval.mul_f64((i + 1) as f64);
+        bed.clock.sleep_until(target);
+    }
+    let ids: Vec<TaskId> = tasks.iter().map(|(_, t)| *t).collect();
+    bed.client
+        .get_results(&ids, Duration::from_secs(120))
+        .expect("stream drains after recovery");
+    tasks
+        .iter()
+        .map(|(submit_s, task)| {
+            let total = bed
+                .service
+                .task_record(*task)
+                .ok()
+                .and_then(|r| r.timeline.total())
+                .unwrap_or(Duration::ZERO);
+            LatencyPoint { submit_s: *submit_s, latency_s: total.as_secs_f64() }
+        })
+        .collect()
+}
+
+/// Run Figure 7: manager killed at ~2 s, replaced at ~6 s, 16 s horizon.
+/// (The paper's schedule is 2 s / 4 s over a shorter window; we stretch
+/// the outage and tail so the spike and the recovery are each measured
+/// over several seconds, which keeps the shape robust on a loaded
+/// single-core host.)
+///
+/// Capacity arithmetic: 2 managers × 4 workers × 1 s tasks = 8 tasks/s
+/// healthy, 4/s after one manager dies. A 6 tasks/s arrival rate keeps the
+/// healthy system near capacity ("ensuring that the system is kept at
+/// capacity", §5.4) and overwhelms the degraded one, so the failure window
+/// piles up a queue that drains after the replacement manager attaches.
+pub fn run() -> Vec<LatencyPoint> {
+    let _guard = crate::pipeline_guard();
+    let mut bed = TestBedBuilder::new()
+        .speedup(20.0)
+        .managers(2)
+        .workers_per_manager(4)
+        .build();
+    let interval = Duration::from_micros(166_000); // 6 tasks/s
+    let points = uniform_stream(&mut bed, 120, 1.0, interval, |i, bed| {
+        if i == 12 {
+            bed.kill_manager(0); // t ≈ 2 s
+        }
+        if i == 48 {
+            bed.add_manager(); // t ≈ 8 s
+        }
+    });
+    bed.shutdown();
+    points
+}
+
+/// Mean latency per bucket of `bucket_s` virtual seconds.
+pub fn bucketize(points: &[LatencyPoint], bucket_s: f64) -> Vec<(f64, f64)> {
+    let mut buckets: std::collections::BTreeMap<u64, (f64, usize)> = Default::default();
+    for p in points {
+        let b = (p.submit_s / bucket_s) as u64;
+        let e = buckets.entry(b).or_insert((0.0, 0));
+        e.0 += p.latency_s;
+        e.1 += 1;
+    }
+    buckets
+        .into_iter()
+        .map(|(b, (sum, n))| (b as f64 * bucket_s, sum / n as f64))
+        .collect()
+}
+
+/// Paper-shaped timeline table.
+pub fn table(title: &str, points: &[LatencyPoint], bucket_s: f64) -> Table {
+    let mut t = Table::new(title, &["t (s)", "mean latency (s)"]);
+    for (time, latency) in bucketize(points, bucket_s) {
+        t.row(vec![format!("{time:.1}"), format!("{latency:.3}")]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_spikes_on_failure_and_recovers() {
+        let points = run();
+        assert_eq!(points.len(), 120);
+        let buckets = bucketize(&points, 2.0);
+        let mean_at = |t: f64| {
+            buckets
+                .iter()
+                .find(|(b, _)| (*b - t).abs() < 0.01)
+                .map(|(_, l)| *l)
+                .unwrap_or(f64::NAN)
+        };
+        let healthy = mean_at(0.0);
+        // The queue builds through the outage; it peaks just before the
+        // replacement manager attaches at ~8 s.
+        let failed = mean_at(4.0).max(mean_at(6.0));
+        let recovered = mean_at(18.0);
+        assert!(
+            failed > 1.8 * healthy,
+            "failure spike: healthy {healthy:.3}s vs failed {failed:.3}s"
+        );
+        assert!(
+            recovered < failed / 1.5,
+            "recovery: failed {failed:.3}s vs recovered {recovered:.3}s"
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! One module per table/figure of the paper's evaluation (§5).
+//!
+//! Every experiment returns both structured data (asserted on by tests)
+//! and a [`Table`](crate::report::Table) shaped like the paper's
+//! presentation. The `repro` binary prints them.
+
+pub mod ablation_warm_ttl;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod opt_batching;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+
+/// Ids accepted by the `repro` binary.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "fig1",
+    "table1",
+    "fig4",
+    "fig5-strong",
+    "fig5-weak",
+    "throughput",
+    "fig6",
+    "fig7",
+    "fig8",
+    "table2",
+    "batching",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table3",
+    "ablation-warm-ttl",
+];

@@ -1,0 +1,50 @@
+//! §5.5.2: executor-side batching — "the completion time with batching
+//! enabled is 6.7s (compared to 118s when disabled)" for 10 000 no-ops on
+//! 4 Theta nodes × 64 containers.
+
+use funcx_sim::fabric::{simulate_fabric, FabricParams};
+
+use crate::report::Table;
+
+/// Result pair.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchingResult {
+    /// Completion with batching enabled (s).
+    pub enabled_s: f64,
+    /// Completion with batching disabled (s).
+    pub disabled_s: f64,
+}
+
+/// Run the experiment.
+pub fn run(tasks: usize) -> BatchingResult {
+    let enabled = FabricParams::theta();
+    let disabled = FabricParams { batching: false, ..FabricParams::theta() };
+    BatchingResult {
+        enabled_s: simulate_fabric(&enabled, 256, tasks, |_| 0.0, 1).completion_time,
+        disabled_s: simulate_fabric(&disabled, 256, tasks, |_| 0.0, 1).completion_time,
+    }
+}
+
+/// Paper-shaped table.
+pub fn table(r: &BatchingResult) -> Table {
+    let mut t = Table::new(
+        "§5.5.2: executor-side batching, 10k no-ops on 4 nodes x 64 workers",
+        &["batching", "completion (s)", "paper (s)"],
+    );
+    t.row(vec!["enabled".into(), format!("{:.1}", r.enabled_s), "6.7".into()]);
+    t.row(vec!["disabled".into(), format!("{:.1}", r.disabled_s), "118".into()]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_magnitudes() {
+        let r = run(10_000);
+        assert!((4.0..12.0).contains(&r.enabled_s), "enabled {:.1}s", r.enabled_s);
+        assert!((70.0..200.0).contains(&r.disabled_s), "disabled {:.1}s", r.disabled_s);
+        assert!(r.disabled_s / r.enabled_s > 8.0, "order-of-magnitude gap");
+    }
+}

@@ -1,0 +1,204 @@
+//! Table 1: "FaaS latency breakdown (in ms)" — warm and cold round trips
+//! for Azure, Google, Amazon (modelled from the paper's measurements; the
+//! services are closed) and funcX (measured through the real pipeline).
+//!
+//! Method notes, mirroring §5.1: the same hello-world echo function is
+//! used everywhere; the client sits 18.2 ms from the service (the paper
+//! submits from ANL Cooley to AWS US-East), so 2×18.2 ms of client WAN is
+//! part of every round trip. funcX cold start restarts the endpoint so the
+//! first function pays container instantiation.
+
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+
+use funcx_container::SystemProfile;
+use funcx_sim::commercial::{summarize, CommercialProvider, LatencySummary};
+use funcx_workload::synthetic;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+
+/// Client→service one-way WAN latency (Cooley → AWS US-East, §5.1).
+pub const CLIENT_WAN_MS: f64 = 18.2;
+
+/// One provider's measured/modelled row.
+#[derive(Debug, Clone)]
+pub struct ProviderRow {
+    /// Provider name.
+    pub name: &'static str,
+    /// Warm totals (ms).
+    pub warm: LatencySummary,
+    /// Cold totals (ms).
+    pub cold: LatencySummary,
+    /// Function execution portion, warm (ms).
+    pub warm_function_ms: f64,
+}
+
+/// Run the full Table 1: three modelled competitors plus measured funcX.
+pub fn run(warm_samples: usize, cold_samples: usize, seed: u64) -> Vec<ProviderRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    for provider in CommercialProvider::ALL {
+        let warm: Vec<f64> = (0..warm_samples).map(|_| provider.sample_warm(&mut rng)).collect();
+        let cold: Vec<f64> = (0..cold_samples).map(|_| provider.sample_cold(&mut rng)).collect();
+        rows.push(ProviderRow {
+            name: provider.name(),
+            warm: summarize(&warm),
+            cold: summarize(&cold),
+            warm_function_ms: provider.model().function_ms,
+        });
+    }
+    rows.push(measure_funcx(warm_samples.min(300), cold_samples.min(5), seed));
+    rows
+}
+
+/// Measure funcX through the real threaded pipeline.
+pub fn measure_funcx(warm_samples: usize, cold_runs: usize, seed: u64) -> ProviderRow {
+    let _guard = crate::pipeline_guard();
+    // Warm path: calibrated service costs, very low speedup so wall-clock
+    // scheduling noise (≈ speedup × 1 ms per hop) stays far below the
+    // ~100 ms round trip being measured, even on loaded debug-build CI.
+    let mut bed = TestBedBuilder::new()
+        .speedup(2.0)
+        .managers(1)
+        .workers_per_manager(2)
+        .service_costs(Duration::from_millis(35), Duration::from_millis(3))
+        .wan_latency(Duration::from_millis(1))
+        .build();
+    let f = bed
+        .client
+        .register_function(synthetic::ECHO_SRC, synthetic::ECHO_ENTRY)
+        .expect("echo registers");
+    // Prime the path (cold machinery, thread wake-ups).
+    for _ in 0..3 {
+        let t = bed
+            .client
+            .run(f, bed.endpoint_id, synthetic::echo_args(), vec![])
+            .unwrap();
+        bed.client.get_result(t, Duration::from_secs(60)).unwrap();
+    }
+    let mut warm = Vec::with_capacity(warm_samples);
+    let mut function_ms = Vec::with_capacity(warm_samples);
+    for _ in 0..warm_samples {
+        let t0 = bed.clock.now();
+        let t = bed
+            .client
+            .run(f, bed.endpoint_id, synthetic::echo_args(), vec![])
+            .unwrap();
+        bed.client.get_result(t, Duration::from_secs(60)).unwrap();
+        let service_rtt = bed.clock.now().saturating_duration_since(t0).as_secs_f64() * 1e3;
+        warm.push(service_rtt + 2.0 * CLIENT_WAN_MS);
+        let record = bed.service.task_record(t).unwrap();
+        function_ms
+            .push(record.timeline.t_exec().unwrap_or(Duration::ZERO).as_secs_f64() * 1e3);
+    }
+    bed.shutdown();
+
+    // Cold path: a fresh endpoint whose first function instantiates its
+    // container (EC2 Singularity profile — the endpoint of §5.1 runs on
+    // EC2). One sample per fresh deployment.
+    let mut cold = Vec::with_capacity(cold_runs);
+    for i in 0..cold_runs {
+        let mut cold_bed = TestBedBuilder::new()
+            .speedup(200.0)
+            .managers(1)
+            .workers_per_manager(1)
+            .service_costs(Duration::from_millis(35), Duration::from_millis(3))
+            .wan_latency(Duration::from_millis(1))
+            .containers(SystemProfile::Ec2)
+            .seed(seed + i as u64)
+            .build();
+        let img = cold_bed
+            .service
+            .register_image(
+                &cold_bed.token,
+                "funcx/echo:1",
+                SystemProfile::Ec2.native_tech(),
+                vec![],
+            )
+            .unwrap();
+        let f = cold_bed
+            .service
+            .register_function(
+                &cold_bed.token,
+                "echo",
+                synthetic::ECHO_SRC,
+                synthetic::ECHO_ENTRY,
+                Some(img),
+                funcx_registry::Sharing::default(),
+            )
+            .unwrap();
+        let t0 = cold_bed.clock.now();
+        let t = cold_bed
+            .client
+            .run(f, cold_bed.endpoint_id, synthetic::echo_args(), vec![])
+            .unwrap();
+        cold_bed.client.get_result(t, Duration::from_secs(120)).unwrap();
+        let rtt = cold_bed.clock.now().saturating_duration_since(t0).as_secs_f64() * 1e3;
+        cold.push(rtt + 2.0 * CLIENT_WAN_MS);
+        cold_bed.shutdown();
+    }
+
+    ProviderRow {
+        name: "funcX",
+        warm: summarize(&warm),
+        cold: summarize(&cold),
+        warm_function_ms: summarize(&function_ms).mean_ms,
+    }
+}
+
+/// Paper-shaped table (overhead = total − function time).
+pub fn table(rows: &[ProviderRow]) -> Table {
+    let mut t = Table::new(
+        "Table 1: FaaS latency breakdown (ms)",
+        &["provider", "", "overhead", "function", "total", "std dev"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.name.to_string(),
+            "warm".into(),
+            format!("{:.1}", r.warm.mean_ms - r.warm_function_ms),
+            format!("{:.1}", r.warm_function_ms),
+            format!("{:.1}", r.warm.mean_ms),
+            format!("{:.1}", r.warm.std_ms),
+        ]);
+        t.row(vec![
+            String::new(),
+            "cold".into(),
+            format!("{:.1}", r.cold.mean_ms - r.warm_function_ms),
+            format!("{:.1}", r.warm_function_ms),
+            format!("{:.1}", r.cold.mean_ms),
+            format!("{:.1}", r.cold.std_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn funcx_warm_is_commercial_class_and_cold_is_slow() {
+        let rows = run(60, 3, 7);
+        let funcx = rows.iter().find(|r| r.name == "funcX").unwrap();
+        let amazon = rows.iter().find(|r| r.name == "Amazon").unwrap();
+        // Paper: funcX warm 111 ms vs Amazon 100 ms — same class.
+        assert!(
+            funcx.warm.mean_ms > 60.0 && funcx.warm.mean_ms < 220.0,
+            "funcX warm {:.1} ms",
+            funcx.warm.mean_ms
+        );
+        assert!(funcx.warm.mean_ms < 3.0 * amazon.warm.mean_ms);
+        // Paper: funcX cold 1497 ms — the worst cold start except Azure's tail.
+        assert!(
+            funcx.cold.mean_ms > 800.0,
+            "funcX cold {:.1} ms must be container-dominated",
+            funcx.cold.mean_ms
+        );
+        assert!(funcx.cold.mean_ms > 5.0 * funcx.warm.mean_ms);
+    }
+}

@@ -1,0 +1,89 @@
+//! Table 2: "Cold container instantiation time for different container
+//! technologies on different resources."
+
+use funcx_container::{ColdStartModel, ContainerTech, SystemProfile};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::report::Table;
+
+/// One measured row.
+#[derive(Debug, Clone)]
+pub struct InstantiationRow {
+    /// Host system.
+    pub system: SystemProfile,
+    /// Container technology.
+    pub tech: ContainerTech,
+    /// Observed min (s).
+    pub min_s: f64,
+    /// Observed max (s).
+    pub max_s: f64,
+    /// Observed mean (s).
+    pub mean_s: f64,
+}
+
+/// The paper's four rows, `n` instantiations each.
+pub fn run(n: usize, seed: u64) -> Vec<InstantiationRow> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pairs = [
+        (SystemProfile::ThetaKnl, ContainerTech::Singularity),
+        (SystemProfile::CoriKnl, ContainerTech::Shifter),
+        (SystemProfile::Ec2, ContainerTech::Docker),
+        (SystemProfile::Ec2, ContainerTech::Singularity),
+    ];
+    pairs
+        .iter()
+        .map(|&(system, tech)| {
+            let model = ColdStartModel::for_pair(system, tech);
+            let samples: Vec<f64> =
+                (0..n).map(|_| model.sample(&mut rng).as_secs_f64()).collect();
+            InstantiationRow {
+                system,
+                tech,
+                min_s: samples.iter().copied().fold(f64::INFINITY, f64::min),
+                max_s: samples.iter().copied().fold(0.0, f64::max),
+                mean_s: samples.iter().sum::<f64>() / n as f64,
+            }
+        })
+        .collect()
+}
+
+/// Paper-shaped table.
+pub fn table(rows: &[InstantiationRow]) -> Table {
+    let mut t = Table::new(
+        "Table 2: cold container instantiation time (s)",
+        &["system", "container", "min (s)", "max (s)", "mean (s)"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.system.name().to_string(),
+            r.tech.name().to_string(),
+            format!("{:.2}", r.min_s),
+            format!("{:.2}", r.max_s),
+            format!("{:.2}", r.mean_s),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_match_paper_calibration() {
+        let rows = run(2000, 1);
+        let theta = &rows[0];
+        assert!((theta.mean_s - 10.40).abs() < 1.0, "Theta mean {:.2}", theta.mean_s);
+        assert!(theta.min_s >= 9.83);
+        let cori = &rows[1];
+        assert!((cori.mean_s - 8.49).abs() < 1.0, "Cori mean {:.2}", cori.mean_s);
+        assert!(cori.max_s <= 31.26);
+        let ec2_docker = &rows[2];
+        assert!((ec2_docker.mean_s - 1.79).abs() < 0.2);
+        let ec2_sing = &rows[3];
+        assert!((ec2_sing.mean_s - 1.22).abs() < 0.2);
+        // HPC ≫ cloud — the motivation for warming (§5.5.1).
+        assert!(theta.mean_s > 5.0 * ec2_docker.mean_s);
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment implementations for every table and figure in the paper's
+//! evaluation (§5). The `repro` binary prints them in paper-shaped rows;
+//! integration tests assert on their shapes. See DESIGN.md for the
+//! experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+
+pub mod experiments;
+pub mod report;
+
+pub use report::Table;
+
+/// Real-pipeline experiments measure virtual time against wall-clock poll
+/// granularity; running several such testbeds concurrently (as `cargo
+/// test` does) distorts each other's timings. Timing-sensitive experiments
+/// take this lock.
+pub static PIPELINE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Acquire the pipeline lock, surviving poisoning from a panicked test.
+pub fn pipeline_guard() -> std::sync::MutexGuard<'static, ()> {
+    PIPELINE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}

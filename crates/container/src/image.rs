@@ -1,0 +1,132 @@
+//! Container image registry.
+//!
+//! "funcX requires that each container includes a base set of software,
+//! including Python 3 and funcX worker software" (§4.2). Images here carry
+//! a name, a technology, and the list of FxScript modules baked in — the
+//! analogue of the Python dependencies a DLHub/repo2docker image bundles.
+
+use std::collections::HashMap;
+
+use funcx_types::ContainerImageId;
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::tech::ContainerTech;
+
+/// A registered container image.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerImage {
+    /// Image id (referenced from function registrations).
+    pub image_id: ContainerImageId,
+    /// Human name, e.g. `dlhub/mnist:3`.
+    pub name: String,
+    /// Format this image was built for.
+    pub tech: ContainerTech,
+    /// FxScript modules available inside (beyond the always-present base).
+    pub modules: Vec<String>,
+}
+
+impl ContainerImage {
+    /// Can a function whose program imports `required` run in this image?
+    /// The base runtime is always present; extra modules must be baked in.
+    pub fn supports_imports(&self, required: &[String]) -> bool {
+        required.iter().all(|m| self.modules.iter().any(|have| have == m))
+    }
+}
+
+/// Thread-safe image table.
+pub struct ImageRegistry {
+    by_id: RwLock<HashMap<ContainerImageId, ContainerImage>>,
+}
+
+impl ImageRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        ImageRegistry { by_id: RwLock::new(HashMap::new()) }
+    }
+
+    /// Register an image.
+    pub fn register(&self, name: &str, tech: ContainerTech, modules: Vec<String>) -> ContainerImageId {
+        let image_id = ContainerImageId::random();
+        self.by_id.write().insert(
+            image_id,
+            ContainerImage { image_id, name: name.to_string(), tech, modules },
+        );
+        image_id
+    }
+
+    /// Fetch an image.
+    pub fn get(&self, id: ContainerImageId) -> Option<ContainerImage> {
+        self.by_id.read().get(&id).cloned()
+    }
+
+    /// Convert an image to another technology — the paper notes "it is easy
+    /// to convert from a common representation (e.g., a Dockerfile) to both
+    /// formats" (§4.2). Returns the id of the converted image.
+    pub fn convert(&self, id: ContainerImageId, target: ContainerTech) -> Option<ContainerImageId> {
+        let source = self.get(id)?;
+        if source.tech == target {
+            return Some(id);
+        }
+        Some(self.register(
+            &format!("{}+{}", source.name, target.name().to_lowercase()),
+            target,
+            source.modules,
+        ))
+    }
+
+    /// Number of registered images.
+    pub fn len(&self) -> usize {
+        self.by_id.read().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ImageRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_fetch() {
+        let reg = ImageRegistry::new();
+        let id = reg.register("xtract/topic:1", ContainerTech::Docker, vec!["math".into()]);
+        let img = reg.get(id).unwrap();
+        assert_eq!(img.name, "xtract/topic:1");
+        assert_eq!(img.tech, ContainerTech::Docker);
+        assert!(reg.get(ContainerImageId::from_u128(404)).is_none());
+    }
+
+    #[test]
+    fn import_support() {
+        let reg = ImageRegistry::new();
+        let id = reg.register("img", ContainerTech::Docker, vec!["math".into(), "json".into()]);
+        let img = reg.get(id).unwrap();
+        assert!(img.supports_imports(&[]));
+        assert!(img.supports_imports(&["math".to_string()]));
+        assert!(!img.supports_imports(&["math".to_string(), "tensorflow".to_string()]));
+    }
+
+    #[test]
+    fn conversion_creates_sibling_image() {
+        let reg = ImageRegistry::new();
+        let docker = reg.register("dials:2", ContainerTech::Docker, vec!["math".into()]);
+        let shifter = reg.convert(docker, ContainerTech::Shifter).unwrap();
+        assert_ne!(docker, shifter);
+        let converted = reg.get(shifter).unwrap();
+        assert_eq!(converted.tech, ContainerTech::Shifter);
+        assert_eq!(converted.modules, vec!["math".to_string()]);
+        // Converting to the same tech is the identity.
+        assert_eq!(reg.convert(docker, ContainerTech::Docker).unwrap(), docker);
+        assert_eq!(reg.len(), 2);
+    }
+}

@@ -1,0 +1,26 @@
+//! Container management for funcX-rs (§4.2, §4.5, §4.7, Table 2).
+//!
+//! funcX packages functions in Docker, Singularity, or Shifter containers,
+//! instantiates them on demand, and keeps them *warm* for a few minutes
+//! after use because cold starts on HPC systems are expensive — Table 2
+//! measures 10.4 s mean for Singularity on Theta versus 1.79 s for Docker
+//! on EC2, blamed on "slower clock speed on KNL nodes and shared file
+//! system contention when fetching images".
+//!
+//! We cannot run Docker in this reproduction, so [`runtime`] models
+//! instantiation cost with per-(system, technology) distributions
+//! calibrated to Table 2's min/mean/max, charged against the virtual
+//! clock — which preserves precisely the behaviour funcX's warming
+//! optimization exists to avoid. [`warming`] implements the warm pool with
+//! its 5–10-minute TTL; [`image`] is the image registry; [`tech`] the
+//! technology/system taxonomy.
+
+pub mod image;
+pub mod runtime;
+pub mod tech;
+pub mod warming;
+
+pub use image::{ContainerImage, ImageRegistry};
+pub use runtime::{ColdStartModel, ContainerInstance, ContainerRuntime};
+pub use tech::{ContainerTech, SystemProfile};
+pub use warming::{Acquired, WarmPool, WarmPoolStats};

@@ -1,0 +1,96 @@
+//! Container technologies and host-system profiles.
+
+use serde::{Deserialize, Serialize};
+
+/// The three technologies funcX adopts "in the first instance" (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContainerTech {
+    /// Local and cloud deployments.
+    Docker,
+    /// HPC; supported at ALCF (Theta).
+    Singularity,
+    /// HPC; supported at NERSC (Cori).
+    Shifter,
+}
+
+impl ContainerTech {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ContainerTech::Docker => "Docker",
+            ContainerTech::Singularity => "Singularity",
+            ContainerTech::Shifter => "Shifter",
+        }
+    }
+}
+
+/// Host systems from the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemProfile {
+    /// ANL Theta: 4392 KNL nodes, 64 cores each, Singularity.
+    ThetaKnl,
+    /// NERSC Cori KNL partition: 9688 nodes, 68 cores / 272 threads, Shifter.
+    CoriKnl,
+    /// AWS EC2 (m5.large in Table 2).
+    Ec2,
+    /// Kubernetes cluster (elasticity experiment, Figure 6).
+    Kubernetes,
+}
+
+impl SystemProfile {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SystemProfile::ThetaKnl => "Theta",
+            SystemProfile::CoriKnl => "Cori",
+            SystemProfile::Ec2 => "EC2",
+            SystemProfile::Kubernetes => "Kubernetes",
+        }
+    }
+
+    /// The container technology the facility supports (§4.2: "Singularity
+    /// at ALCF and Shifter at NERSC").
+    pub fn native_tech(&self) -> ContainerTech {
+        match self {
+            SystemProfile::ThetaKnl => ContainerTech::Singularity,
+            SystemProfile::CoriKnl => ContainerTech::Shifter,
+            SystemProfile::Ec2 | SystemProfile::Kubernetes => ContainerTech::Docker,
+        }
+    }
+
+    /// Worker slots per node used in the paper's scaling runs (§5.2: 64
+    /// Singularity containers per Theta node, 256 Shifter containers per
+    /// Cori node via 4 hardware threads/core).
+    pub fn containers_per_node(&self) -> usize {
+        match self {
+            SystemProfile::ThetaKnl => 64,
+            SystemProfile::CoriKnl => 256,
+            SystemProfile::Ec2 => 36, // c5n.9xlarge vCPUs (Figure 9 host)
+            SystemProfile::Kubernetes => 10,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_techs_match_facilities() {
+        assert_eq!(SystemProfile::ThetaKnl.native_tech(), ContainerTech::Singularity);
+        assert_eq!(SystemProfile::CoriKnl.native_tech(), ContainerTech::Shifter);
+        assert_eq!(SystemProfile::Ec2.native_tech(), ContainerTech::Docker);
+    }
+
+    #[test]
+    fn per_node_container_counts_match_paper() {
+        assert_eq!(SystemProfile::ThetaKnl.containers_per_node(), 64);
+        assert_eq!(SystemProfile::CoriKnl.containers_per_node(), 256);
+    }
+
+    #[test]
+    fn names_render() {
+        assert_eq!(ContainerTech::Shifter.name(), "Shifter");
+        assert_eq!(SystemProfile::CoriKnl.name(), "Cori");
+    }
+}

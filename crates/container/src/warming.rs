@@ -1,0 +1,233 @@
+//! Container warming (§4.7).
+//!
+//! "Function containers are kept warm by leaving them running for a short
+//! period of time (5-10 minutes) following the execution of a function.
+//! Warm containers remove the need to instantiate a new container to
+//! execute a function, significantly reducing latency."
+//!
+//! The pool tracks idle instances per image with a virtual-time TTL.
+//! Acquire returns a warm instance when one exists; otherwise the caller
+//! cold-starts through the [`ContainerRuntime`](crate::runtime) and
+//! releases the instance back when the task completes.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use funcx_types::ContainerImageId;
+use parking_lot::Mutex;
+
+use crate::runtime::ContainerInstance;
+
+/// Default warm TTL: the middle of the paper's "5-10 minutes".
+pub const DEFAULT_WARM_TTL: VirtualDuration = VirtualDuration::from_secs(7 * 60 + 30);
+
+/// Outcome of an acquire.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Acquired {
+    /// A warm instance was available.
+    Warm(ContainerInstance),
+    /// Pool miss: the caller must cold-start.
+    Cold,
+}
+
+/// Counters for the warming ablation bench.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WarmPoolStats {
+    /// Acquires served warm.
+    pub warm_hits: u64,
+    /// Acquires that required a cold start.
+    pub cold_misses: u64,
+    /// Instances reaped after their TTL lapsed.
+    pub reaped: u64,
+}
+
+impl WarmPoolStats {
+    /// Warm-hit ratio in [0, 1]; 0 when no acquires happened.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.warm_hits + self.cold_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+struct IdleInstance {
+    instance: ContainerInstance,
+    idle_since: VirtualInstant,
+}
+
+/// Per-node warm-container pool.
+pub struct WarmPool {
+    clock: SharedClock,
+    ttl: VirtualDuration,
+    idle: Mutex<HashMap<ContainerImageId, Vec<IdleInstance>>>,
+    stats: Mutex<WarmPoolStats>,
+}
+
+impl WarmPool {
+    /// New pool with the paper's default TTL.
+    pub fn new(clock: SharedClock) -> Arc<Self> {
+        Self::with_ttl(clock, DEFAULT_WARM_TTL)
+    }
+
+    /// New pool with an explicit TTL (the warming ablation sweeps this).
+    pub fn with_ttl(clock: SharedClock, ttl: VirtualDuration) -> Arc<Self> {
+        Arc::new(WarmPool {
+            clock,
+            ttl,
+            idle: Mutex::new(HashMap::new()),
+            stats: Mutex::new(WarmPoolStats::default()),
+        })
+    }
+
+    /// Try to take a warm instance for `image`. Expired instances are
+    /// reaped on the way.
+    pub fn acquire(&self, image: ContainerImageId) -> Acquired {
+        let now = self.clock.now();
+        let mut idle = self.idle.lock();
+        let mut stats = self.stats.lock();
+        if let Some(list) = idle.get_mut(&image) {
+            // Reap stale entries first (cheapest at the point of use).
+            let before = list.len();
+            list.retain(|e| now.saturating_duration_since(e.idle_since) < self.ttl);
+            stats.reaped += (before - list.len()) as u64;
+            if let Some(entry) = list.pop() {
+                stats.warm_hits += 1;
+                return Acquired::Warm(entry.instance);
+            }
+        }
+        stats.cold_misses += 1;
+        Acquired::Cold
+    }
+
+    /// Return an instance after task completion; it stays warm for the TTL.
+    pub fn release(&self, instance: ContainerInstance) {
+        let now = self.clock.now();
+        self.idle
+            .lock()
+            .entry(instance.image)
+            .or_default()
+            .push(IdleInstance { instance, idle_since: now });
+    }
+
+    /// Reap every expired instance (periodic maintenance); returns the
+    /// number reaped.
+    pub fn reap(&self) -> usize {
+        let now = self.clock.now();
+        let mut idle = self.idle.lock();
+        let mut reaped = 0;
+        idle.retain(|_, list| {
+            let before = list.len();
+            list.retain(|e| now.saturating_duration_since(e.idle_since) < self.ttl);
+            reaped += before - list.len();
+            !list.is_empty()
+        });
+        self.stats.lock().reaped += reaped as u64;
+        reaped
+    }
+
+    /// Idle instances currently warm for `image`.
+    pub fn warm_count(&self, image: ContainerImageId) -> usize {
+        self.idle.lock().get(&image).map(Vec::len).unwrap_or(0)
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> WarmPoolStats {
+        *self.stats.lock()
+    }
+
+    /// The configured TTL.
+    pub fn ttl(&self) -> VirtualDuration {
+        self.ttl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tech::ContainerTech;
+    use funcx_types::time::ManualClock;
+    use std::time::Duration;
+
+    fn instance(image: ContainerImageId, n: u64) -> ContainerInstance {
+        ContainerInstance { instance: n, image, tech: ContainerTech::Docker }
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let clock = ManualClock::new();
+        let pool = WarmPool::new(clock);
+        let img = ContainerImageId::from_u128(1);
+        assert_eq!(pool.acquire(img), Acquired::Cold);
+        pool.release(instance(img, 0));
+        assert!(matches!(pool.acquire(img), Acquired::Warm(_)));
+        // Taken out of the pool — next acquire misses again.
+        assert_eq!(pool.acquire(img), Acquired::Cold);
+        let stats = pool.stats();
+        assert_eq!(stats.warm_hits, 1);
+        assert_eq!(stats.cold_misses, 2);
+        assert!((stats.hit_ratio() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ttl_expiry_reaps_on_acquire() {
+        let clock = ManualClock::new();
+        let pool = WarmPool::with_ttl(clock.clone(), Duration::from_secs(300));
+        let img = ContainerImageId::from_u128(1);
+        pool.release(instance(img, 0));
+        clock.advance(Duration::from_secs(301));
+        assert_eq!(pool.acquire(img), Acquired::Cold);
+        assert_eq!(pool.stats().reaped, 1);
+    }
+
+    #[test]
+    fn instances_warm_within_ttl() {
+        let clock = ManualClock::new();
+        let pool = WarmPool::with_ttl(clock.clone(), Duration::from_secs(300));
+        let img = ContainerImageId::from_u128(1);
+        pool.release(instance(img, 0));
+        clock.advance(Duration::from_secs(299));
+        assert!(matches!(pool.acquire(img), Acquired::Warm(_)));
+    }
+
+    #[test]
+    fn pools_are_per_image() {
+        let clock = ManualClock::new();
+        let pool = WarmPool::new(clock);
+        let img_a = ContainerImageId::from_u128(1);
+        let img_b = ContainerImageId::from_u128(2);
+        pool.release(instance(img_a, 0));
+        assert_eq!(pool.acquire(img_b), Acquired::Cold);
+        assert!(matches!(pool.acquire(img_a), Acquired::Warm(_)));
+    }
+
+    #[test]
+    fn periodic_reap() {
+        let clock = ManualClock::new();
+        let pool = WarmPool::with_ttl(clock.clone(), Duration::from_secs(60));
+        let img = ContainerImageId::from_u128(1);
+        pool.release(instance(img, 0));
+        pool.release(instance(img, 1));
+        clock.advance(Duration::from_secs(30));
+        pool.release(instance(img, 2));
+        clock.advance(Duration::from_secs(40)); // first two now 70s idle, third 40s
+        assert_eq!(pool.reap(), 2);
+        assert_eq!(pool.warm_count(img), 1);
+    }
+
+    #[test]
+    fn lifo_reuse_keeps_hottest_instance() {
+        // Most-recently-released should be handed out first (better cache
+        // locality on the node, and the stalest instances age out).
+        let clock = ManualClock::new();
+        let pool = WarmPool::new(clock);
+        let img = ContainerImageId::from_u128(1);
+        pool.release(instance(img, 0));
+        pool.release(instance(img, 1));
+        let Acquired::Warm(got) = pool.acquire(img) else { panic!() };
+        assert_eq!(got.instance, 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the warm pool: conservation (an instance is either
+//! held by a worker, warm in the pool, or reaped — never duplicated) and
+//! TTL correctness under arbitrary schedules.
+
+use std::time::Duration;
+
+use funcx_container::{Acquired, ContainerTech, WarmPool};
+use funcx_types::time::ManualClock;
+use funcx_types::ContainerImageId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    /// Acquire for image (0..3).
+    Acquire(u8),
+    /// Release a held instance (if any) for image.
+    Release(u8),
+    /// Advance time by seconds.
+    Advance(u16),
+    /// Run the periodic reaper.
+    Reap,
+}
+
+fn arb_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        (0u8..3).prop_map(PoolOp::Acquire),
+        (0u8..3).prop_map(PoolOp::Release),
+        (0u16..400).prop_map(PoolOp::Advance),
+        Just(PoolOp::Reap),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn instances_are_conserved_and_ttl_holds(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let clock = ManualClock::new();
+        let ttl = Duration::from_secs(300);
+        let pool = WarmPool::with_ttl(clock.clone(), ttl);
+        let mut next_instance = 0u64;
+        // Instances currently held by "workers", per image.
+        let mut held: Vec<Vec<u64>> = vec![vec![], vec![], vec![]];
+        // Our model of warm instances: (id, idle_since_seconds).
+        let mut warm: Vec<Vec<(u64, u64)>> = vec![vec![], vec![], vec![]];
+        let mut now_s = 0u64;
+
+        for op in ops {
+            match op {
+                PoolOp::Acquire(img_idx) => {
+                    let image = ContainerImageId::from_u128(img_idx as u128 + 1);
+                    // Expire model entries first (pool reaps on acquire).
+                    warm[img_idx as usize].retain(|(_, since)| now_s - since < 300);
+                    match pool.acquire(image) {
+                        Acquired::Warm(inst) => {
+                            // Must be a model-warm instance (LIFO: the most
+                            // recently released).
+                            let expected = warm[img_idx as usize].pop();
+                            prop_assert_eq!(
+                                Some(inst.instance),
+                                expected.map(|(id, _)| id),
+                                "warm hit must return the most recent release"
+                            );
+                            held[img_idx as usize].push(inst.instance);
+                        }
+                        Acquired::Cold => {
+                            prop_assert!(
+                                warm[img_idx as usize].is_empty(),
+                                "pool missed though the model holds a live warm instance"
+                            );
+                            // Simulate a cold start.
+                            held[img_idx as usize].push(next_instance);
+                            next_instance += 1;
+                        }
+                    }
+                }
+                PoolOp::Release(img_idx) => {
+                    if let Some(id) = held[img_idx as usize].pop() {
+                        let image = ContainerImageId::from_u128(img_idx as u128 + 1);
+                        pool.release(funcx_container::ContainerInstance {
+                            instance: id,
+                            image,
+                            tech: ContainerTech::Docker,
+                        });
+                        warm[img_idx as usize].push((id, now_s));
+                    }
+                }
+                PoolOp::Advance(secs) => {
+                    clock.advance(Duration::from_secs(secs as u64));
+                    now_s += secs as u64;
+                }
+                PoolOp::Reap => {
+                    pool.reap();
+                    for w in warm.iter_mut() {
+                        w.retain(|(_, since)| now_s - since < 300);
+                    }
+                }
+            }
+            // Invariant: pool warm counts never exceed the model's live set
+            // (the pool may hold expired entries it has not visited yet,
+            // but never *more live* than the model).
+            for (i, w) in warm.iter().enumerate() {
+                let image = ContainerImageId::from_u128(i as u128 + 1);
+                prop_assert!(
+                    pool.warm_count(image) >= w.len(),
+                    "pool lost a live warm instance for image {i}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! # funcX-rs
+//!
+//! A from-scratch Rust reproduction of *"funcX: A Federated Function
+//! Serving Fabric for Science"* (Chard et al., HPDC 2020): a cloud-hosted
+//! function-as-a-service platform whose endpoints turn clusters, clouds,
+//! and supercomputers into function-serving systems.
+//!
+//! The platform pieces live in focused crates; this umbrella crate
+//! re-exports the public API and provides [`deploy::TestBed`] — a one-call
+//! harness that stands up the whole fabric (service, forwarder, agent,
+//! managers, workers) inside one process on a shared virtual clock, which
+//! is how the examples, integration tests, and experiment harness drive
+//! the system.
+//!
+//! ```
+//! use funcx::deploy::TestBedBuilder;
+//! use funcx::Value;
+//! use std::time::Duration;
+//!
+//! // Service + one endpoint with 2 nodes × 4 workers, virtual time 1000×.
+//! let mut bed = TestBedBuilder::new().speedup(1000.0).managers(2).workers_per_manager(4).build();
+//!
+//! let f = bed.client.register_function("def double(x):\n    return x * 2\n", "double").unwrap();
+//! let task = bed.client.run(f, bed.endpoint_id, vec![Value::Int(21)], vec![]).unwrap();
+//! let out = bed.client.get_result(task, Duration::from_secs(20)).unwrap();
+//! assert_eq!(out, Value::Int(42));
+//! bed.shutdown();
+//! ```
+
+pub mod deploy;
+
+pub use funcx_lang::{LangError, Value};
+pub use funcx_sdk::{FmapSpec, FuncXClient, InProcApi, RestApi, ServiceApi};
+pub use funcx_service::{FuncxService, ServiceConfig, SubmitRequest};
+pub use funcx_types::{
+    EndpointId, FuncxError, FunctionId, Result, TaskId, UserId,
+};
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::deploy::{TestBed, TestBedBuilder};
+    pub use funcx_lang::Value;
+    pub use funcx_sdk::{FmapSpec, FuncXClient};
+    pub use funcx_types::task::{TaskOutcome, TaskState};
+    pub use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+}

@@ -1,0 +1,359 @@
+//! The elasticity controller: live autoscaling of the threaded fabric
+//! (§4.4).
+//!
+//! "funcX uses Parsl's provider interface to interact with various
+//! resources ... and define rules for automatic scaling." The controller
+//! polls the agent's load counters, asks the
+//! [`ScalingPolicy`](funcx_provider::ScalingPolicy) for a decision, and
+//! turns scale-out into pilot-job submissions: capacity only materializes
+//! after the provider's queue delay, when a manager is launched on each
+//! granted node. Scale-in stops idle managers and releases their jobs
+//! (§4.3: the agent "can shut down managers to release resources when they
+//! are not needed").
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_provider::{JobId, JobStatus, Provider, ScalingDecision, ScalingPolicy};
+use funcx_types::time::{SharedClock, VirtualInstant};
+
+use crate::agent::AgentStats;
+use crate::manager::Manager;
+
+/// Counters exposed for tests/experiments.
+#[derive(Debug, Default)]
+pub struct FleetStats {
+    /// Pilot jobs submitted.
+    pub jobs_submitted: AtomicUsize,
+    /// Managers launched on granted nodes.
+    pub managers_launched: AtomicUsize,
+    /// Managers stopped by scale-in.
+    pub managers_stopped: AtomicUsize,
+}
+
+/// A running elasticity controller for one endpoint.
+pub struct ElasticFleet {
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<FleetStats>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ElasticFleet {
+    /// Start controlling. `launch_manager` creates a manager on one
+    /// granted node and attaches it to the agent (the pilot-job body);
+    /// it is called once per node of each started job.
+    pub fn spawn(
+        clock: SharedClock,
+        agent_stats: Arc<AgentStats>,
+        provider: Arc<dyn Provider>,
+        policy: ScalingPolicy,
+        workers_per_manager: usize,
+        launch_manager: impl FnMut() -> Manager + Send + 'static,
+        poll: Duration,
+    ) -> ElasticFleet {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(FleetStats::default());
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::Builder::new()
+                .name("funcx-elastic-fleet".into())
+                .spawn(move || {
+                    run_fleet_loop(
+                        clock,
+                        agent_stats,
+                        provider,
+                        policy,
+                        workers_per_manager,
+                        launch_manager,
+                        poll,
+                        shutdown,
+                        stats,
+                    )
+                })
+                .expect("spawn fleet thread")
+        };
+        ElasticFleet { shutdown, stats, thread: Some(thread) }
+    }
+
+    /// Live counters.
+    pub fn stats(&self) -> &FleetStats {
+        &self.stats
+    }
+
+    /// Stop controlling (running managers are stopped too).
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ElasticFleet {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+struct FleetNode {
+    job: JobId,
+    manager: Manager,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_fleet_loop(
+    clock: SharedClock,
+    agent_stats: Arc<AgentStats>,
+    provider: Arc<dyn Provider>,
+    policy: ScalingPolicy,
+    workers_per_manager: usize,
+    mut launch_manager: impl FnMut() -> Manager,
+    poll: Duration,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<FleetStats>,
+) {
+    // Jobs submitted but whose nodes haven't been populated yet.
+    let mut queued_jobs: VecDeque<JobId> = VecDeque::new();
+    let mut fleet: Vec<FleetNode> = Vec::new();
+    let mut idle_since: Option<VirtualInstant> = None;
+
+    while !shutdown.load(Ordering::Acquire) {
+        // 1. Materialize capacity for jobs the scheduler started: one
+        //    manager per granted node (the pilot-job body).
+        let mut still_queued = VecDeque::new();
+        while let Some(job) = queued_jobs.pop_front() {
+            match provider.status(job) {
+                JobStatus::Running => {
+                    for _node in provider.nodes(job) {
+                        let manager = launch_manager();
+                        stats.managers_launched.fetch_add(1, Ordering::Relaxed);
+                        fleet.push(FleetNode { job, manager });
+                    }
+                }
+                JobStatus::Pending => still_queued.push_back(job),
+                // Failed/cancelled jobs are dropped; the policy will
+                // re-request capacity if demand persists.
+                _ => {}
+            }
+        }
+        queued_jobs = still_queued;
+
+        // 2. Cull managers that died on their own.
+        fleet.retain(|n| n.manager.is_running());
+
+        // 3. Observe load and decide.
+        let pending_tasks = agent_stats.pending.load(Ordering::Relaxed);
+        let outstanding = agent_stats.outstanding.load(Ordering::Relaxed);
+        let running_nodes = fleet.len();
+        let pending_nodes: usize =
+            queued_jobs.iter().map(|j| provider.nodes(*j).len().max(1)).sum();
+        // Aggregate idle slots → whole idle nodes (conservative).
+        let idle_slots = agent_stats.idle_slots.load(Ordering::Relaxed);
+        let idle_nodes = if outstanding == 0 && pending_tasks == 0 {
+            running_nodes
+        } else {
+            (idle_slots / workers_per_manager.max(1)).min(running_nodes)
+        };
+        let now = clock.now();
+        if idle_nodes > 0 && pending_tasks == 0 {
+            idle_since.get_or_insert(now);
+        } else {
+            idle_since = None;
+        }
+        let longest_idle =
+            idle_since.map(|s| now.saturating_duration_since(s)).unwrap_or(Duration::ZERO);
+
+        let decision = policy.decide(&funcx_provider::scaling::ScalingInputs {
+            pending_tasks,
+            running_nodes,
+            pending_nodes,
+            idle_nodes,
+            longest_idle,
+            now,
+        });
+
+        // 4. Act.
+        match decision {
+            ScalingDecision::ScaleOut(n) => {
+                // One node per job so scale-in can release them singly.
+                for _ in 0..n {
+                    if let Ok(job) = provider.submit(1) {
+                        stats.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+                        queued_jobs.push_back(job);
+                    } else {
+                        break; // provider limits reached
+                    }
+                }
+            }
+            ScalingDecision::ScaleIn(n) => {
+                for _ in 0..n.min(fleet.len()) {
+                    if let Some(mut node) = fleet.pop() {
+                        node.manager.stop();
+                        let _ = provider.cancel(node.job);
+                        stats.managers_stopped.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                idle_since = None;
+            }
+            ScalingDecision::Hold => {}
+        }
+
+        std::thread::sleep(poll);
+    }
+
+    // Teardown: release everything.
+    for mut node in fleet {
+        node.manager.stop();
+        let _ = provider.cancel(node.job);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Agent;
+    use crate::config::EndpointConfig;
+    use funcx_proto::channel::inproc_pair;
+    use funcx_proto::message::Message;
+    use funcx_provider::KubernetesProvider;
+    use funcx_serial::Serializer;
+    use funcx_types::time::RealClock;
+    use funcx_types::EndpointId;
+
+    /// End-to-end: a burst of tasks provisions pods; draining releases
+    /// them (the Figure 6 dynamic on the real threaded fabric).
+    #[test]
+    fn fleet_grows_under_load_and_shrinks_when_idle() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let config = EndpointConfig {
+            workers_per_manager: 1,
+            dispatch_overhead: Duration::ZERO,
+            heartbeat_period: Duration::from_secs(2),
+            heartbeat_timeout: Duration::from_secs(600),
+            ..EndpointConfig::default()
+        };
+        let (fwd_side, agent_side) = inproc_pair();
+        let agent = Arc::new(Agent::spawn(
+            EndpointId::random(),
+            config.clone(),
+            Arc::clone(&clock),
+            agent_side,
+        ));
+        let _ = fwd_side.recv_timeout(Duration::from_secs(5)).unwrap(); // registration
+
+        let provider: Arc<dyn Provider> =
+            KubernetesProvider::new(Arc::new(funcx_types::time::RealClock::with_speedup(1000.0)) as SharedClock, 10, 5);
+        // NB: provider runs on its own identically-sped clock; job start
+        // delays are 1-3 virtual seconds either way.
+        let policy = ScalingPolicy {
+            min_nodes: 0,
+            max_nodes: 10,
+            slots_per_node: 1,
+            aggressiveness: 1.0,
+            scale_in_after_idle: Duration::from_secs(5),
+        };
+        let launch = {
+            let agent = Arc::clone(&agent);
+            let clock = Arc::clone(&clock);
+            let config = config.clone();
+            move || {
+                let (agent_mgr, mgr_side) = inproc_pair();
+                let manager = crate::manager::Manager::spawn(
+                    config.clone(),
+                    Arc::clone(&clock),
+                    Serializer::default(),
+                    mgr_side,
+                    None,
+                    None,
+                );
+                agent.attach_manager(agent_mgr);
+                manager
+            }
+        };
+        let mut fleet = ElasticFleet::spawn(
+            Arc::clone(&clock),
+            agent.stats_handle(),
+            Arc::clone(&provider),
+            policy,
+            1,
+            launch,
+            Duration::from_millis(2),
+        );
+
+        // No load: nothing provisioned.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(agent.stats().managers.load(Ordering::Relaxed), 0);
+
+        // Burst of 6 long tasks (5000 virtual s ≈ 5 s wall — they stay
+        // running for the whole observation window).
+        let serializer = Serializer::default();
+        let tasks: Vec<_> = (0..6)
+            .map(|i| {
+                let task_id = funcx_types::TaskId::from_u128(100 + i);
+                let code = serializer
+                    .serialize_packed(
+                        task_id.uuid(),
+                        &funcx_serial::Payload::Code {
+                            source: "def f():\n    sleep(5000)\n    return 0\n".into(),
+                            entry: "f".into(),
+                        },
+                    )
+                    .unwrap();
+                let doc = funcx_lang::Value::Dict(vec![
+                    ("args".into(), funcx_lang::Value::List(vec![])),
+                    ("kwargs".into(), funcx_lang::Value::Dict(vec![])),
+                ]);
+                let payload = serializer
+                    .serialize_packed(task_id.uuid(), &funcx_serial::Payload::Document(doc))
+                    .unwrap();
+                funcx_proto::message::TaskDispatch {
+                    task_id,
+                    function_id: funcx_types::FunctionId::from_u128(1),
+                    code,
+                    payload,
+                    container: None,
+                    container_modules: vec![],
+                }
+            })
+            .collect();
+        fwd_side.send(Message::Tasks(tasks)).unwrap();
+
+        // The fleet must grow to absorb the 6 tasks (1 worker per node).
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let launched = fleet.stats().managers_launched.load(Ordering::Relaxed);
+            if launched >= 6 {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "fleet failed to grow: {launched}");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(fleet.stats().jobs_submitted.load(Ordering::Relaxed) >= 6);
+
+        // Wait for completion + idle threshold → scale-in releases every
+        // manager the fleet launched (however many the policy chose).
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let launched = fleet.stats().managers_launched.load(Ordering::Relaxed);
+            let stopped = fleet.stats().managers_stopped.load(Ordering::Relaxed);
+            if stopped >= 6 && stopped == launched {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "fleet failed to shrink: launched {launched}, stopped {stopped}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // With everything cancelled, the provider's allocation meter stops.
+        let a = provider.node_seconds_consumed();
+        std::thread::sleep(Duration::from_millis(20));
+        let b = provider.node_seconds_consumed();
+        assert!((b - a).abs() < 1e-9, "no pod still accruing: {a} vs {b}");
+        fleet.stop();
+        drop(fwd_side);
+    }
+}

@@ -1,0 +1,31 @@
+//! The funcX endpoint fabric (§4.3–§4.5 of the paper).
+//!
+//! An endpoint is three layers:
+//!
+//! * the **funcX agent** ([`agent`]) — the persistent process on a login
+//!   node that registers with the cloud service, receives tasks over its
+//!   forwarder channel, and routes them to managers with a randomized
+//!   greedy algorithm; it re-executes tasks lost to manager failures and
+//!   heartbeats both up (to the forwarder) and down (to managers);
+//! * a **manager** per compute node ([`manager`]) — owns the node's worker
+//!   slots, advertises current and anticipated capacity (the §4.7
+//!   batching + prefetching optimizations), and deploys workers into
+//!   suitable containers on demand (§4.5);
+//! * **workers** ([`worker`]) — one per container, each executing one task
+//!   at a time with blocking communication, exactly as §4.3 describes.
+//!
+//! [`scheduler`] holds the pure routing logic (unit-testable without
+//! threads); [`config`] the tunables the evaluation sweeps.
+
+pub mod agent;
+pub mod elastic;
+pub mod config;
+pub mod manager;
+pub mod scheduler;
+pub mod worker;
+
+pub use agent::{Agent, AgentStats};
+pub use elastic::ElasticFleet;
+pub use config::EndpointConfig;
+pub use manager::Manager;
+pub use worker::Worker;

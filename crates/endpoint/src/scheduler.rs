@@ -1,0 +1,193 @@
+//! Randomized greedy task→manager routing (§4.3, §4.5).
+//!
+//! "The funcX agent implements a greedy, randomized scheduling algorithm to
+//! route tasks to managers ... the agent attempts to send tasks to managers
+//! with suitable deployed containers. If there is availability on several
+//! managers, the agent allocates pending tasks in a randomized manner."
+//!
+//! The routing function is pure (no channels, no threads) so the policy can
+//! be unit-tested and swapped — "both the function routing and container
+//! deployment components are implemented with modular interfaces via which
+//! users can integrate their own algorithms".
+
+use funcx_types::{ContainerImageId, ManagerId};
+use rand::Rng;
+
+/// A manager's capacity snapshot as the agent sees it.
+#[derive(Debug, Clone)]
+pub struct ManagerView {
+    /// Manager id.
+    pub manager_id: ManagerId,
+    /// Remaining task credit (idle workers + prefetch − outstanding).
+    pub credit: usize,
+    /// Container images with live workers on that node.
+    pub deployed_containers: Vec<ContainerImageId>,
+}
+
+/// Routing policy interface — swap in alternatives for the ablation bench.
+pub trait RoutingPolicy: Send + Sync {
+    /// Pick a manager for a task needing `container` (None = any), from
+    /// `managers` (all entries guaranteed `credit > 0`). Returning `None`
+    /// leaves the task queued.
+    fn route(
+        &self,
+        rng: &mut dyn rand::RngCore,
+        managers: &[ManagerView],
+        container: Option<ContainerImageId>,
+    ) -> Option<ManagerId>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The paper's policy: prefer managers with the needed container deployed;
+/// break ties uniformly at random.
+pub struct RandomizedGreedy;
+
+impl RoutingPolicy for RandomizedGreedy {
+    fn route(
+        &self,
+        rng: &mut dyn rand::RngCore,
+        managers: &[ManagerView],
+        container: Option<ContainerImageId>,
+    ) -> Option<ManagerId> {
+        if managers.is_empty() {
+            return None;
+        }
+        // First choice: managers that already run the needed container.
+        if let Some(img) = container {
+            let suitable: Vec<&ManagerView> = managers
+                .iter()
+                .filter(|m| m.deployed_containers.contains(&img))
+                .collect();
+            if !suitable.is_empty() {
+                let pick = rng.gen_range(0..suitable.len());
+                return Some(suitable[pick].manager_id);
+            }
+        }
+        // Otherwise any manager with credit; the chosen one deploys the
+        // container on demand (§4.5).
+        let pick = rng.gen_range(0..managers.len());
+        Some(managers[pick].manager_id)
+    }
+
+    fn name(&self) -> &'static str {
+        "randomized-greedy"
+    }
+}
+
+/// Ablation baseline: always the first manager with credit (no randomness,
+/// no container affinity).
+pub struct FirstFit;
+
+impl RoutingPolicy for FirstFit {
+    fn route(
+        &self,
+        _rng: &mut dyn rand::RngCore,
+        managers: &[ManagerView],
+        _container: Option<ContainerImageId>,
+    ) -> Option<ManagerId> {
+        managers.first().map(|m| m.manager_id)
+    }
+
+    fn name(&self) -> &'static str {
+        "first-fit"
+    }
+}
+
+/// Ablation baseline: manager with the most remaining credit (least
+/// loaded), container-oblivious.
+pub struct LeastLoaded;
+
+impl RoutingPolicy for LeastLoaded {
+    fn route(
+        &self,
+        _rng: &mut dyn rand::RngCore,
+        managers: &[ManagerView],
+        _container: Option<ContainerImageId>,
+    ) -> Option<ManagerId> {
+        managers.iter().max_by_key(|m| m.credit).map(|m| m.manager_id)
+    }
+
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn views(specs: &[(u128, usize, &[u128])]) -> Vec<ManagerView> {
+        specs
+            .iter()
+            .map(|(id, credit, imgs)| ManagerView {
+                manager_id: ManagerId::from_u128(*id),
+                credit: *credit,
+                deployed_containers: imgs
+                    .iter()
+                    .map(|i| ContainerImageId::from_u128(*i))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_managers_routes_nowhere() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(RandomizedGreedy.route(&mut rng, &[], None), None);
+    }
+
+    #[test]
+    fn container_affinity_wins() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let managers = views(&[(1, 10, &[]), (2, 10, &[7]), (3, 10, &[])]);
+        let img = Some(ContainerImageId::from_u128(7));
+        for _ in 0..50 {
+            assert_eq!(
+                RandomizedGreedy.route(&mut rng, &managers, img),
+                Some(ManagerId::from_u128(2))
+            );
+        }
+    }
+
+    #[test]
+    fn falls_back_to_any_manager_when_no_affinity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let managers = views(&[(1, 10, &[]), (2, 10, &[])]);
+        let img = Some(ContainerImageId::from_u128(99));
+        let got = RandomizedGreedy.route(&mut rng, &managers, img);
+        assert!(got.is_some());
+    }
+
+    #[test]
+    fn randomized_spread_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let managers = views(&[(1, 10, &[]), (2, 10, &[]), (3, 10, &[]), (4, 10, &[])]);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4000 {
+            let m = RandomizedGreedy.route(&mut rng, &managers, None).unwrap();
+            *counts.entry(m).or_insert(0usize) += 1;
+        }
+        assert_eq!(counts.len(), 4);
+        for (_, c) in counts {
+            assert!((800..1200).contains(&c), "skewed: {c}");
+        }
+    }
+
+    #[test]
+    fn first_fit_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let managers = views(&[(5, 1, &[]), (6, 99, &[])]);
+        assert_eq!(FirstFit.route(&mut rng, &managers, None), Some(ManagerId::from_u128(5)));
+    }
+
+    #[test]
+    fn least_loaded_prefers_most_credit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let managers = views(&[(5, 1, &[]), (6, 99, &[]), (7, 50, &[])]);
+        assert_eq!(LeastLoaded.route(&mut rng, &managers, None), Some(ManagerId::from_u128(6)));
+    }
+}

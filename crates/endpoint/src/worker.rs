@@ -1,0 +1,450 @@
+//! Workers: one container, one task at a time (§4.3).
+//!
+//! "Workers persist within containers and each executes one task at a time.
+//! Since workers have a single responsibility, they use blocking
+//! communication to wait for functions from the manager. Once a task is
+//! received it is deserialized, executed, and the serialized results are
+//! returned via the manager."
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, Sender};
+use funcx_container::{Acquired, ContainerRuntime, WarmPool};
+use funcx_lang::{ExecHooks, Limits, Value};
+use funcx_proto::message::{TaskDispatch, TaskResult};
+use funcx_serial::{Payload, Serializer};
+use funcx_types::time::SharedClock;
+use funcx_types::{ContainerImageId, WorkerId};
+use parking_lot::Mutex;
+
+/// Hooks wiring FxScript's `sleep`/`stress`/`print` to the virtual clock
+/// and a per-task stdout capture.
+struct WorkerHooks {
+    clock: SharedClock,
+    stdout: Mutex<Vec<String>>,
+}
+
+impl ExecHooks for WorkerHooks {
+    fn sleep(&self, d: Duration) {
+        self.clock.sleep(d);
+    }
+
+    fn stress(&self, d: Duration) {
+        // CPU burn occupies the worker exactly like sleep in virtual time;
+        // the distinction matters for schedulers that co-locate, which
+        // funcX's one-task-per-worker model rules out.
+        self.clock.sleep(d);
+    }
+
+    fn print(&self, line: &str) {
+        self.stdout.lock().push(line.to_string());
+    }
+}
+
+/// Split a packed input document into (args, kwargs). The SDK encodes every
+/// invocation as `{"args": [...], "kwargs": {...}}`.
+pub fn parse_invocation(doc: &Value) -> (Vec<Value>, Vec<(String, Value)>) {
+    let args = match doc.dict_get("args") {
+        Some(Value::List(items)) => items.clone(),
+        _ => Vec::new(),
+    };
+    let kwargs = match doc.dict_get("kwargs") {
+        Some(Value::Dict(pairs)) => pairs.clone(),
+        _ => Vec::new(),
+    };
+    (args, kwargs)
+}
+
+/// A worker bound to (at most) one container image.
+pub struct Worker {
+    /// Worker id (diagnostics).
+    pub worker_id: WorkerId,
+    clock: SharedClock,
+    serializer: Serializer,
+    limits: Limits,
+    runtime: Option<Arc<ContainerRuntime>>,
+    warm_pool: Option<Arc<WarmPool>>,
+    /// Image the worker's container currently provides.
+    current_container: Option<ContainerImageId>,
+}
+
+impl Worker {
+    /// New bare-environment worker (no container runtime attached; tasks
+    /// requiring containers are redeployed through `runtime` when given).
+    pub fn new(
+        clock: SharedClock,
+        serializer: Serializer,
+        limits: Limits,
+        runtime: Option<Arc<ContainerRuntime>>,
+        warm_pool: Option<Arc<WarmPool>>,
+    ) -> Self {
+        Worker {
+            worker_id: WorkerId::random(),
+            clock,
+            serializer,
+            limits,
+            runtime,
+            warm_pool,
+            current_container: None,
+        }
+    }
+
+    /// The image this worker's container currently provides.
+    pub fn current_container(&self) -> Option<ContainerImageId> {
+        self.current_container
+    }
+
+    /// Ensure the worker is inside a container providing `image`, cold
+    /// starting (and charging virtual time) on a warm-pool miss. `None`
+    /// keeps / reverts to the bare environment (free).
+    fn ensure_container(&mut self, image: Option<ContainerImageId>) -> Result<(), String> {
+        if self.current_container == image {
+            return Ok(());
+        }
+        // Release the old container back to the warm pool.
+        if let (Some(old), Some(pool), Some(rt)) =
+            (self.current_container, &self.warm_pool, &self.runtime)
+        {
+            pool.release(funcx_container::ContainerInstance {
+                instance: self.worker_id.uuid().as_u128() as u64,
+                image: old,
+                tech: rt.system().native_tech(),
+            });
+        }
+        match image {
+            None => {
+                self.current_container = None;
+                Ok(())
+            }
+            Some(img) => {
+                let Some(rt) = &self.runtime else {
+                    return Err("task requires a container but worker has no runtime".into());
+                };
+                let warm = self
+                    .warm_pool
+                    .as_ref()
+                    .map(|p| p.acquire(img))
+                    .unwrap_or(Acquired::Cold);
+                match warm {
+                    Acquired::Warm(_) => {}
+                    Acquired::Cold => {
+                        rt.start(img, rt.system().native_tech())
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+                self.current_container = Some(img);
+                Ok(())
+            }
+        }
+    }
+
+    /// Execute one dispatched task to completion. Blocking; charges all
+    /// container/execution time to the virtual clock.
+    pub fn execute(&mut self, task: &TaskDispatch, endpoint_received_nanos: u64) -> TaskResult {
+        let fail = |msg: String, start: u64, end: u64, serializer: &Serializer| {
+            let tb = Payload::Traceback(funcx_lang::LangError::new(msg, 0));
+            let body = serializer
+                .serialize_packed(task.task_id.uuid(), &tb)
+                .unwrap_or_default();
+            TaskResult {
+                task_id: task.task_id,
+                success: false,
+                body,
+                endpoint_received_nanos,
+                exec_start_nanos: start,
+                exec_end_nanos: end,
+                stdout: Vec::new(),
+            }
+        };
+
+        // Container setup happens before exec_start: it is endpoint
+        // overhead (`te`), not function time (`tw`).
+        if let Err(msg) = self.ensure_container(task.container) {
+            let now = self.clock.now().as_nanos();
+            return fail(msg, now, now, &self.serializer);
+        }
+
+        // Unpack code and input.
+        let code = match self.serializer.deserialize_packed(&task.code) {
+            Ok((_, Payload::Code { source, entry })) => (source, entry),
+            Ok(_) => {
+                let now = self.clock.now().as_nanos();
+                return fail("code buffer did not contain code".into(), now, now, &self.serializer);
+            }
+            Err(e) => {
+                let now = self.clock.now().as_nanos();
+                return fail(format!("bad code buffer: {e}"), now, now, &self.serializer);
+            }
+        };
+        let doc = match self.serializer.deserialize_packed(&task.payload) {
+            Ok((_, Payload::Document(v))) => v,
+            Ok(_) => Value::Dict(vec![]),
+            Err(e) => {
+                let now = self.clock.now().as_nanos();
+                return fail(format!("bad input buffer: {e}"), now, now, &self.serializer);
+            }
+        };
+        let (args, kwargs) = parse_invocation(&doc);
+
+        let hooks = WorkerHooks { clock: Arc::clone(&self.clock), stdout: Mutex::new(Vec::new()) };
+        let exec_start = self.clock.now().as_nanos();
+        let outcome = funcx_lang::run_function_in_env(
+            &code.0,
+            &code.1,
+            &args,
+            &kwargs,
+            &hooks,
+            &self.limits,
+            &task.container_modules,
+        );
+        let exec_end = self.clock.now().as_nanos();
+        let stdout = hooks.stdout.into_inner();
+
+        match outcome {
+            Ok(value) => {
+                let body = self
+                    .serializer
+                    .serialize_packed(task.task_id.uuid(), &Payload::Document(value));
+                match body {
+                    Ok(body) => TaskResult {
+                        task_id: task.task_id,
+                        success: true,
+                        body,
+                        endpoint_received_nanos,
+                        exec_start_nanos: exec_start,
+                        exec_end_nanos: exec_end,
+                        stdout,
+                    },
+                    Err(e) => fail(
+                        format!("result serialization failed: {e}"),
+                        exec_start,
+                        exec_end,
+                        &self.serializer,
+                    ),
+                }
+            }
+            Err(lang_err) => {
+                let tb = Payload::Traceback(lang_err);
+                let body = self
+                    .serializer
+                    .serialize_packed(task.task_id.uuid(), &tb)
+                    .unwrap_or_default();
+                TaskResult {
+                    task_id: task.task_id,
+                    success: false,
+                    body,
+                    endpoint_received_nanos,
+                    exec_start_nanos: exec_start,
+                    exec_end_nanos: exec_end,
+                    stdout,
+                }
+            }
+        }
+    }
+}
+
+/// What the manager sends a worker thread.
+pub enum WorkerCommand {
+    /// Run this task (stamped with when the agent got it).
+    Run(Box<TaskDispatch>, u64),
+    /// Exit the worker loop.
+    Stop,
+}
+
+/// Spawn a worker event loop on its own (big-stacked) thread.
+///
+/// The worker blocks on its command channel ("workers ... use blocking
+/// communication to wait for functions", §4.3) and reports each result —
+/// tagged with its slot index and current container — to the manager.
+pub fn spawn_worker_thread(
+    slot: usize,
+    mut worker: Worker,
+    commands: Receiver<WorkerCommand>,
+    results: Sender<(usize, Option<ContainerImageId>, TaskResult)>,
+    stack_bytes: usize,
+) -> std::thread::JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("funcx-worker-{slot}"))
+        .stack_size(stack_bytes)
+        .spawn(move || {
+            while let Ok(cmd) = commands.recv() {
+                match cmd {
+                    WorkerCommand::Stop => break,
+                    WorkerCommand::Run(task, received) => {
+                        let result = worker.execute(&task, received);
+                        let container = worker.current_container();
+                        if results.send((slot, container, result)).is_err() {
+                            break;
+                        }
+                    }
+                }
+            }
+        })
+        .expect("spawn worker thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::RealClock;
+    use funcx_types::{FunctionId, TaskId};
+
+    fn serializer() -> Serializer {
+        Serializer::default()
+    }
+
+    fn make_dispatch(source: &str, entry: &str, args: Vec<Value>) -> TaskDispatch {
+        let s = serializer();
+        let task_id = TaskId::random();
+        let code = s
+            .serialize_packed(
+                task_id.uuid(),
+                &Payload::Code { source: source.into(), entry: entry.into() },
+            )
+            .unwrap();
+        let doc = Value::Dict(vec![
+            ("args".into(), Value::List(args)),
+            ("kwargs".into(), Value::Dict(vec![])),
+        ]);
+        let payload = s.serialize_packed(task_id.uuid(), &Payload::Document(doc)).unwrap();
+        TaskDispatch {
+            task_id,
+            function_id: FunctionId::random(),
+            code,
+            payload,
+            container: None,
+            container_modules: vec![],
+        }
+    }
+
+    fn bare_worker(clock: SharedClock) -> Worker {
+        Worker::new(clock, serializer(), Limits::default(), None, None)
+    }
+
+    #[test]
+    fn executes_shipped_code() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let mut w = bare_worker(clock);
+        let task = make_dispatch(
+            "def double(x):\n    return x * 2\n",
+            "double",
+            vec![Value::Int(21)],
+        );
+        let result = w.execute(&task, 0);
+        assert!(result.success, "{result:?}");
+        let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
+        assert_eq!(payload, Payload::Document(Value::Int(42)));
+    }
+
+    #[test]
+    fn sleep_charges_virtual_time_and_sets_exec_span() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(10_000.0));
+        let mut w = bare_worker(Arc::clone(&clock));
+        let task = make_dispatch("def f():\n    sleep(2)\n    return 'ok'\n", "f", vec![]);
+        let result = w.execute(&task, 0);
+        assert!(result.success);
+        assert!(
+            result.exec_nanos() >= 1_900_000_000,
+            "slept {} ns",
+            result.exec_nanos()
+        );
+    }
+
+    #[test]
+    fn failure_ships_a_traceback() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let mut w = bare_worker(clock);
+        let task = make_dispatch("def f():\n    return 1 / 0\n", "f", vec![]);
+        let result = w.execute(&task, 0);
+        assert!(!result.success);
+        let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
+        let Payload::Traceback(e) = payload else { panic!("expected traceback") };
+        assert!(e.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn stdout_is_captured() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let mut w = bare_worker(clock);
+        let task = make_dispatch(
+            "def f():\n    print('hello', 1)\n    print('world')\n    return None\n",
+            "f",
+            vec![],
+        );
+        let result = w.execute(&task, 0);
+        assert_eq!(result.stdout, vec!["hello 1".to_string(), "world".to_string()]);
+    }
+
+    #[test]
+    fn container_task_cold_starts_then_reuses() {
+        use funcx_container::SystemProfile;
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1_000_000.0));
+        let rt = ContainerRuntime::new(Arc::clone(&clock), SystemProfile::Ec2, 1);
+        let pool = WarmPool::new(Arc::clone(&clock));
+        let mut w = Worker::new(
+            Arc::clone(&clock),
+            serializer(),
+            Limits::default(),
+            Some(Arc::clone(&rt)),
+            Some(pool),
+        );
+        let img = ContainerImageId::from_u128(5);
+        let mut task = make_dispatch("def f():\n    return 1\n", "f", vec![]);
+        task.container = Some(img);
+
+        let before = clock.now();
+        let r1 = w.execute(&task, 0);
+        let cold_elapsed = clock.now().saturating_duration_since(before);
+        assert!(r1.success);
+        assert!(cold_elapsed >= Duration::from_secs(1), "cold start charged");
+        assert_eq!(rt.cold_start_count(), 1);
+        assert_eq!(w.current_container(), Some(img));
+
+        // Same container again: no new cold start.
+        let r2 = w.execute(&task, 0);
+        assert!(r2.success);
+        assert_eq!(rt.cold_start_count(), 1);
+    }
+
+    #[test]
+    fn container_without_runtime_fails_cleanly() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let mut w = bare_worker(clock);
+        let mut task = make_dispatch("def f():\n    return 1\n", "f", vec![]);
+        task.container = Some(ContainerImageId::from_u128(9));
+        let result = w.execute(&task, 0);
+        assert!(!result.success);
+    }
+
+    #[test]
+    fn worker_thread_loop_runs_and_stops() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let w = bare_worker(clock);
+        let (cmd_tx, cmd_rx) = crossbeam::channel::unbounded();
+        let (res_tx, res_rx) = crossbeam::channel::unbounded();
+        let handle = spawn_worker_thread(3, w, cmd_rx, res_tx, 4 << 20);
+        let task = make_dispatch("def f():\n    return 7\n", "f", vec![]);
+        cmd_tx.send(WorkerCommand::Run(Box::new(task), 42)).unwrap();
+        let (slot, _, result) = res_rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(slot, 3);
+        assert!(result.success);
+        assert_eq!(result.endpoint_received_nanos, 42);
+        cmd_tx.send(WorkerCommand::Stop).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn kwargs_parsed_from_invocation_doc() {
+        let doc = Value::Dict(vec![
+            ("args".into(), Value::List(vec![Value::Int(1)])),
+            ("kwargs".into(), Value::Dict(vec![("x".into(), Value::Int(2))])),
+        ]);
+        let (args, kwargs) = parse_invocation(&doc);
+        assert_eq!(args, vec![Value::Int(1)]);
+        assert_eq!(kwargs, vec![("x".to_string(), Value::Int(2))]);
+        // Missing keys default to empty.
+        let (a, k) = parse_invocation(&Value::Dict(vec![]));
+        assert!(a.is_empty() && k.is_empty());
+    }
+}

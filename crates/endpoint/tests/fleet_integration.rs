@@ -1,0 +1,141 @@
+//! Integration: the elasticity controller against each provider family —
+//! the §4.4 matrix ("batch schedulers such as Slurm ... the major cloud
+//! vendors ...; and Kubernetes") driving the same fleet logic.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_endpoint::{Agent, ElasticFleet, EndpointConfig, Manager};
+use funcx_proto::channel::inproc_pair;
+use funcx_proto::message::{Message, TaskDispatch};
+use funcx_provider::{
+    BatchScheduler, KubernetesProvider, Provider, ProviderLimits, ScalingPolicy, SchedulerKind,
+};
+use funcx_serial::{Payload, Serializer};
+use funcx_types::time::{RealClock, SharedClock};
+use funcx_types::{EndpointId, FunctionId, TaskId};
+
+fn config() -> EndpointConfig {
+    EndpointConfig {
+        workers_per_manager: 2,
+        dispatch_overhead: Duration::ZERO,
+        heartbeat_period: Duration::from_secs(2),
+        heartbeat_timeout: Duration::from_secs(600),
+        ..EndpointConfig::default()
+    }
+}
+
+fn dispatch(serializer: &Serializer, i: u128) -> TaskDispatch {
+    let task_id = TaskId::from_u128(1000 + i);
+    let code = serializer
+        .serialize_packed(
+            task_id.uuid(),
+            &Payload::Code { source: "def f():\n    sleep(200)\n    return 0\n".into(), entry: "f".into() },
+        )
+        .unwrap();
+    let doc = funcx_lang::Value::Dict(vec![
+        ("args".into(), funcx_lang::Value::List(vec![])),
+        ("kwargs".into(), funcx_lang::Value::Dict(vec![])),
+    ]);
+    let payload = serializer
+        .serialize_packed(task_id.uuid(), &Payload::Document(doc))
+        .unwrap();
+    TaskDispatch {
+        task_id,
+        function_id: FunctionId::from_u128(1),
+        code,
+        payload,
+        container: None,
+        container_modules: vec![],
+    }
+}
+
+/// Drive one provider through grow-then-drain; returns (launched, results).
+fn drive_provider(provider: Arc<dyn Provider>, tasks: usize) -> (usize, usize) {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let config = config();
+    let (fwd_side, agent_side) = inproc_pair();
+    let agent =
+        Arc::new(Agent::spawn(EndpointId::random(), config.clone(), Arc::clone(&clock), agent_side));
+    let _ = fwd_side.recv_timeout(Duration::from_secs(5)).unwrap(); // registration
+
+    let policy = ScalingPolicy {
+        min_nodes: 0,
+        max_nodes: 8,
+        slots_per_node: config.workers_per_manager,
+        aggressiveness: 1.0,
+        scale_in_after_idle: Duration::from_secs(30),
+    };
+    let launch = {
+        let agent = Arc::clone(&agent);
+        let clock = Arc::clone(&clock);
+        let config = config.clone();
+        move || {
+            let (agent_mgr, mgr_side) = inproc_pair();
+            let manager = Manager::spawn(
+                config.clone(),
+                Arc::clone(&clock),
+                Serializer::default(),
+                mgr_side,
+                None,
+                None,
+            );
+            agent.attach_manager(agent_mgr);
+            manager
+        }
+    };
+    let mut fleet = ElasticFleet::spawn(
+        Arc::clone(&clock),
+        agent.stats_handle(),
+        Arc::clone(&provider),
+        policy,
+        config.workers_per_manager,
+        launch,
+        Duration::from_millis(2),
+    );
+
+    let serializer = Serializer::default();
+    let batch: Vec<TaskDispatch> = (0..tasks as u128).map(|i| dispatch(&serializer, i)).collect();
+    fwd_side.send(Message::Tasks(batch)).unwrap();
+
+    // Collect all results (capacity must be provisioned for any to flow).
+    let mut results = 0usize;
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    while results < tasks && std::time::Instant::now() < deadline {
+        match fwd_side.recv_timeout(Duration::from_millis(50)) {
+            Ok(Message::Results(rs)) => results += rs.len(),
+            Ok(Message::Heartbeat { seq }) => {
+                let _ = fwd_side.send(Message::HeartbeatAck { seq });
+            }
+            _ => {}
+        }
+    }
+    let launched = fleet.stats().managers_launched.load(Ordering::Relaxed);
+    fleet.stop();
+    (launched, results)
+}
+
+#[test]
+fn kubernetes_provider_feeds_the_fleet() {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let provider: Arc<dyn Provider> = KubernetesProvider::new(clock, 8, 1);
+    let (launched, results) = drive_provider(provider, 8);
+    assert!(launched >= 1, "pods launched: {launched}");
+    assert_eq!(results, 8, "all tasks completed on elastic pods");
+}
+
+#[test]
+fn backfill_batch_scheduler_feeds_the_fleet() {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    // Backfill keeps virtual queue delays to seconds (wall: milliseconds).
+    let provider: Arc<dyn Provider> = BatchScheduler::with_backfill(
+        clock,
+        SchedulerKind::Condor,
+        ProviderLimits { max_nodes_per_job: 8, max_total_nodes: 16 },
+        1,
+    );
+    let (launched, results) = drive_provider(provider, 6);
+    assert!(launched >= 1, "nodes granted: {launched}");
+    assert_eq!(results, 6, "all tasks completed on batch-granted nodes");
+}

@@ -1,0 +1,164 @@
+//! Abstract syntax tree for FxScript.
+
+use serde::{Deserialize, Serialize};
+
+/// A whole source unit: `def`s plus module-level statements (imports).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Function definitions, in source order.
+    pub defs: Vec<FunctionDef>,
+    /// Modules named in `import` statements. The paper requires "the
+    /// function body must specify all imported modules" (§3); we record and
+    /// whitelist-check them at load time.
+    pub imports: Vec<String>,
+}
+
+impl Program {
+    /// Look up a definition by name.
+    pub fn find_def(&self, name: &str) -> Option<&FunctionDef> {
+        self.defs.iter().find(|d| d.name == name)
+    }
+}
+
+/// One `def name(params): body`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Line of the `def`.
+    pub line: u32,
+}
+
+/// A parameter, optionally with a default-value expression.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default expression, evaluated at call time if the argument is absent.
+    pub default: Option<Expr>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// `target = value` / `target[i] = value` (`op` for `+=` / `-=`).
+    Assign { target: AssignTarget, op: AssignOp, value: Expr, line: u32 },
+    /// Bare expression evaluated for effect.
+    Expr(Expr),
+    /// `return expr?`
+    Return { value: Option<Expr>, line: u32 },
+    /// `if cond: then elif.. else: otherwise`
+    If { branches: Vec<(Expr, Vec<Stmt>)>, otherwise: Vec<Stmt>, line: u32 },
+    /// `for var in iterable: body`
+    For { var: String, iterable: Expr, body: Vec<Stmt>, line: u32 },
+    /// `while cond: body`
+    While { cond: Expr, body: Vec<Stmt>, line: u32 },
+    /// `break`
+    Break { line: u32 },
+    /// `continue`
+    Continue { line: u32 },
+    /// `pass`
+    Pass,
+    /// Nested function definition.
+    Def(FunctionDef),
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AssignTarget {
+    /// Plain variable.
+    Name(String),
+    /// `container[index]`.
+    Index { container: Box<Expr>, index: Box<Expr> },
+}
+
+/// `=`, `+=`, `-=`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `True` / `False`.
+    Bool(bool),
+    /// `None`.
+    None,
+    /// Variable reference.
+    Name { name: String, line: u32 },
+    /// `[a, b, c]`.
+    List(Vec<Expr>),
+    /// `{k: v, ...}`.
+    Dict(Vec<(Expr, Expr)>),
+    /// Binary operation.
+    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr>, line: u32 },
+    /// Unary operation.
+    Unary { op: UnOp, operand: Box<Expr>, line: u32 },
+    /// Function call with positional and keyword arguments.
+    Call { callee: String, args: Vec<Expr>, kwargs: Vec<(String, Expr)>, line: u32 },
+    /// Method-style call `receiver.method(args)` — sugar for builtin calls
+    /// on the receiver (e.g. `s.upper()`, `xs.append(1)`).
+    MethodCall { receiver: Box<Expr>, method: String, args: Vec<Expr>, line: u32 },
+    /// `container[index]` (negative indexes count from the end) or slice.
+    Index { container: Box<Expr>, index: Box<Expr>, line: u32 },
+    /// Conditional expression `a if c else b`.
+    Ternary { cond: Box<Expr>, then: Box<Expr>, otherwise: Box<Expr>, line: u32 },
+}
+
+impl Expr {
+    /// Best-effort source line for error messages.
+    pub fn line(&self) -> u32 {
+        match self {
+            Expr::Name { line, .. }
+            | Expr::Binary { line, .. }
+            | Expr::Unary { line, .. }
+            | Expr::Call { line, .. }
+            | Expr::MethodCall { line, .. }
+            | Expr::Index { line, .. }
+            | Expr::Ternary { line, .. } => *line,
+            _ => 0,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    FloorDiv,
+    Mod,
+    Pow,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    In,
+    NotIn,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    Neg,
+    Not,
+}

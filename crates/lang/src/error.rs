@@ -1,0 +1,71 @@
+//! Error type for FxScript lexing, parsing, and execution.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Result alias for language operations.
+pub type LangResult<T> = std::result::Result<T, LangError>;
+
+/// An error with a source line number (1-based; 0 when no location applies).
+///
+/// When a function fails on a worker this rendering is what travels back to
+/// the client — the analogue of the serialized traceback the Python system
+/// ships via `tblib` (§4.6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LangError {
+    /// Human-readable description.
+    pub message: String,
+    /// 1-based source line, or 0 when unknown.
+    pub line: u32,
+    /// Call-stack function names, innermost last (mini traceback).
+    pub stack: Vec<String>,
+}
+
+impl LangError {
+    /// New error at `line`.
+    pub fn new(message: impl Into<String>, line: u32) -> Self {
+        LangError { message: message.into(), line, stack: Vec::new() }
+    }
+
+    /// Append a stack frame as the error propagates out of a call.
+    pub fn in_function(mut self, name: &str) -> Self {
+        self.stack.push(name.to_string());
+        self
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)?;
+        } else {
+            write!(f, "{}", self.message)?;
+        }
+        if !self.stack.is_empty() {
+            let mut frames: Vec<&str> = self.stack.iter().map(String::as_str).collect();
+            frames.reverse();
+            write!(f, " (in {})", frames.join(" <- "))?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_line_and_stack() {
+        let e = LangError::new("division by zero", 3).in_function("inner").in_function("outer");
+        assert_eq!(e.to_string(), "line 3: division by zero (in outer <- inner)");
+    }
+
+    #[test]
+    fn display_without_line() {
+        let e = LangError::new("no such function", 0);
+        assert_eq!(e.to_string(), "no such function");
+    }
+}

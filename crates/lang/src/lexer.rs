@@ -1,0 +1,513 @@
+//! Indentation-aware lexer for FxScript.
+//!
+//! The lexer converts source text into a flat token stream in which block
+//! structure is explicit (`Indent`/`Dedent` tokens), following the classic
+//! Python tokenizer design: an indent stack, with blank lines and
+//! comment-only lines ignored, and indentation suspended inside brackets.
+
+use crate::error::{LangError, LangResult};
+use crate::token::{Tok, Token};
+
+/// Tokenize FxScript source.
+pub fn lex(source: &str) -> LangResult<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    indent_stack: Vec<usize>,
+    /// Nesting depth of () [] {} — newlines/indentation ignored when > 0.
+    bracket_depth: usize,
+    tokens: Vec<Token>,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            indent_stack: vec![0],
+            bracket_depth: 0,
+            tokens: Vec::new(),
+            _source: source,
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Tok) {
+        self.tokens.push(Token { kind, line: self.line });
+    }
+
+    fn err(&self, msg: impl Into<String>) -> LangError {
+        LangError::new(msg, self.line)
+    }
+
+    fn run(mut self) -> LangResult<Vec<Token>> {
+        // Start of input: treat like start of a line.
+        self.handle_line_start()?;
+        while let Some(c) = self.peek() {
+            match c {
+                '\n' => {
+                    self.bump();
+                    if self.bracket_depth == 0 {
+                        // Collapse consecutive newlines; only emit if the
+                        // last significant token was not already a newline
+                        // or structural token.
+                        if matches!(
+                            self.tokens.last().map(|t| &t.kind),
+                            Some(Tok::Newline) | Some(Tok::Indent) | Some(Tok::Dedent) | None
+                        ) {
+                            // skip redundant newline
+                        } else {
+                            self.push(Tok::Newline);
+                        }
+                        self.handle_line_start()?;
+                    }
+                }
+                ' ' | '\t' | '\r' => {
+                    self.bump();
+                }
+                '#' => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                '0'..='9' => self.lex_number()?,
+                '"' | '\'' => self.lex_string()?,
+                c if c.is_alphabetic() || c == '_' => self.lex_name(),
+                _ => self.lex_operator()?,
+            }
+        }
+        // Close any trailing statement and open blocks.
+        if !matches!(
+            self.tokens.last().map(|t| &t.kind),
+            Some(Tok::Newline) | Some(Tok::Indent) | Some(Tok::Dedent) | None
+        ) {
+            self.push(Tok::Newline);
+        }
+        while self.indent_stack.len() > 1 {
+            self.indent_stack.pop();
+            self.push(Tok::Dedent);
+        }
+        self.push(Tok::Eof);
+        Ok(self.tokens)
+    }
+
+    /// At the start of a logical line (bracket_depth == 0): measure
+    /// indentation, skipping blank/comment-only lines, then emit
+    /// Indent/Dedent tokens as the level changes.
+    fn handle_line_start(&mut self) -> LangResult<()> {
+        loop {
+            let mut width = 0usize;
+            let mark = self.pos;
+            while let Some(c) = self.peek() {
+                match c {
+                    ' ' => {
+                        width += 1;
+                        self.bump();
+                    }
+                    '\t' => {
+                        // Tabs count as 8 to the next stop, like CPython's
+                        // default; mixing is legal as long as levels nest.
+                        width += 8 - (width % 8);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                // Blank or comment-only line: consume to newline, repeat.
+                Some('\n') => {
+                    self.bump();
+                    continue;
+                }
+                Some('#') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some('\r') => {
+                    self.bump();
+                    continue;
+                }
+                None => {
+                    // EOF at line start; rewind nothing, run() closes blocks.
+                    let _ = mark;
+                    return Ok(());
+                }
+                Some(_) => {
+                    let current = *self.indent_stack.last().expect("indent stack never empty");
+                    if width > current {
+                        self.indent_stack.push(width);
+                        self.push(Tok::Indent);
+                    } else if width < current {
+                        while *self.indent_stack.last().unwrap() > width {
+                            self.indent_stack.pop();
+                            self.push(Tok::Dedent);
+                        }
+                        if *self.indent_stack.last().unwrap() != width {
+                            return Err(self.err("unindent does not match any outer level"));
+                        }
+                    }
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn lex_number(&mut self) -> LangResult<()> {
+        let start_line = self.line;
+        let mut text = String::new();
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                if c != '_' {
+                    text.push(c);
+                }
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                text.push(c);
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+            {
+                is_float = true;
+                text.push(c);
+                self.bump();
+                // optional sign
+                if let Some(s) = self.peek() {
+                    if s == '+' || s == '-' {
+                        text.push(s);
+                        self.bump();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let kind = if is_float {
+            Tok::Float(text.parse().map_err(|_| self.err(format!("bad float literal '{text}'")))?)
+        } else {
+            Tok::Int(text.parse().map_err(|_| self.err(format!("bad int literal '{text}'")))?)
+        };
+        self.tokens.push(Token { kind, line: start_line });
+        Ok(())
+    }
+
+    fn lex_string(&mut self) -> LangResult<()> {
+        let quote = self.bump().expect("caller checked");
+        let start_line = self.line;
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('r') => s.push('\r'),
+                    Some('\\') => s.push('\\'),
+                    Some('\'') => s.push('\''),
+                    Some('"') => s.push('"'),
+                    Some('0') => s.push('\0'),
+                    Some(other) => {
+                        return Err(self.err(format!("unknown escape '\\{other}'")));
+                    }
+                    None => return Err(self.err("unterminated string literal")),
+                },
+                Some('\n') => return Err(self.err("newline in string literal")),
+                Some(c) => s.push(c),
+            }
+        }
+        self.tokens.push(Token { kind: Tok::Str(s), line: start_line });
+        Ok(())
+    }
+
+    fn lex_name(&mut self) {
+        let start_line = self.line;
+        let mut name = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' {
+                name.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let kind = match name.as_str() {
+            "def" => Tok::Def,
+            "return" => Tok::Return,
+            "if" => Tok::If,
+            "elif" => Tok::Elif,
+            "else" => Tok::Else,
+            "for" => Tok::For,
+            "while" => Tok::While,
+            "in" => Tok::In,
+            "and" => Tok::And,
+            "or" => Tok::Or,
+            "not" => Tok::Not,
+            "True" => Tok::True,
+            "False" => Tok::False,
+            "None" => Tok::None,
+            "pass" => Tok::Pass,
+            "break" => Tok::Break,
+            "continue" => Tok::Continue,
+            "import" => Tok::Import,
+            _ => Tok::Name(name),
+        };
+        // Fuse `not in` into a single token for the parser.
+        if kind == Tok::In {
+            if let Some(last) = self.tokens.last() {
+                if last.kind == Tok::Not {
+                    self.tokens.pop();
+                    self.tokens.push(Token { kind: Tok::NotIn, line: start_line });
+                    return;
+                }
+            }
+        }
+        self.tokens.push(Token { kind, line: start_line });
+    }
+
+    fn lex_operator(&mut self) -> LangResult<()> {
+        let c = self.bump().expect("caller checked");
+        let two = |l: &Self, second: char| l.peek() == Some(second);
+        let kind = match c {
+            '(' => {
+                self.bracket_depth += 1;
+                Tok::LParen
+            }
+            ')' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                Tok::RParen
+            }
+            '[' => {
+                self.bracket_depth += 1;
+                Tok::LBracket
+            }
+            ']' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                Tok::RBracket
+            }
+            '{' => {
+                self.bracket_depth += 1;
+                Tok::LBrace
+            }
+            '}' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                Tok::RBrace
+            }
+            ',' => Tok::Comma,
+            ':' => Tok::Colon,
+            '.' => Tok::Dot,
+            '+' => {
+                if two(self, '=') {
+                    self.bump();
+                    Tok::PlusAssign
+                } else {
+                    Tok::Plus
+                }
+            }
+            '-' => {
+                if two(self, '=') {
+                    self.bump();
+                    Tok::MinusAssign
+                } else {
+                    Tok::Minus
+                }
+            }
+            '*' => {
+                if two(self, '*') {
+                    self.bump();
+                    Tok::DoubleStar
+                } else {
+                    Tok::Star
+                }
+            }
+            '/' => {
+                if two(self, '/') {
+                    self.bump();
+                    Tok::DoubleSlash
+                } else {
+                    Tok::Slash
+                }
+            }
+            '%' => Tok::Percent,
+            '=' => {
+                if two(self, '=') {
+                    self.bump();
+                    Tok::Eq
+                } else {
+                    Tok::Assign
+                }
+            }
+            '!' => {
+                if two(self, '=') {
+                    self.bump();
+                    Tok::Ne
+                } else {
+                    return Err(self.err("unexpected '!'"));
+                }
+            }
+            '<' => {
+                if two(self, '=') {
+                    self.bump();
+                    Tok::Le
+                } else {
+                    Tok::Lt
+                }
+            }
+            '>' => {
+                if two(self, '=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            other => return Err(self.err(format!("unexpected character '{other}'"))),
+        };
+        self.push(kind);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            kinds("x = 1\n"),
+            vec![Tok::Name("x".into()), Tok::Assign, Tok::Int(1), Tok::Newline, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn indent_dedent_pairs() {
+        let toks = kinds("if x:\n    y = 1\nz = 2\n");
+        let indents = toks.iter().filter(|t| **t == Tok::Indent).count();
+        let dedents = toks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn nested_blocks_close_at_eof() {
+        let toks = kinds("def f():\n    if x:\n        return 1\n");
+        let dedents = toks.iter().filter(|t| **t == Tok::Dedent).count();
+        assert_eq!(dedents, 2, "both open blocks must close");
+    }
+
+    #[test]
+    fn blank_and_comment_lines_ignored() {
+        let toks = kinds("x = 1\n\n# comment\n   \ny = 2\n");
+        assert!(!toks.contains(&Tok::Indent));
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Newline).count(), 2);
+    }
+
+    #[test]
+    fn newlines_inside_brackets_ignored() {
+        let toks = kinds("x = [1,\n     2,\n     3]\n");
+        assert!(!toks.contains(&Tok::Indent));
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Newline).count(), 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            kinds("s = \"a\\nb\"\n")[2],
+            Tok::Str("a\nb".into())
+        );
+        assert_eq!(kinds("s = 'it\\'s'\n")[2], Tok::Str("it's".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("s = \"abc\n").is_err());
+        assert!(lex("s = \"abc").is_err());
+    }
+
+    #[test]
+    fn float_and_int_literals() {
+        assert_eq!(kinds("x = 1.5\n")[2], Tok::Float(1.5));
+        assert_eq!(kinds("x = 1e3\n")[2], Tok::Float(1000.0));
+        assert_eq!(kinds("x = 2e-3\n")[2], Tok::Float(0.002));
+        assert_eq!(kinds("x = 1_000\n")[2], Tok::Int(1000));
+    }
+
+    #[test]
+    fn not_in_fuses() {
+        let toks = kinds("x = a not in b\n");
+        assert!(toks.contains(&Tok::NotIn));
+        assert!(!toks.contains(&Tok::Not));
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = kinds("a == b != c <= d >= e // f ** g\n");
+        for t in [Tok::Eq, Tok::Ne, Tok::Le, Tok::Ge, Tok::DoubleSlash, Tok::DoubleStar] {
+            assert!(toks.contains(&t), "missing {t:?}");
+        }
+    }
+
+    #[test]
+    fn bad_unindent_is_error() {
+        let r = lex("if x:\n        y = 1\n    z = 2\n");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn carriage_returns_tolerated() {
+        let toks = kinds("x = 1\r\ny = 2\r\n");
+        assert_eq!(toks.iter().filter(|t| **t == Tok::Newline).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let toks = lex("x = 1\ny = 2\n").unwrap();
+        let y = toks.iter().find(|t| t.kind == Tok::Name("y".into())).unwrap();
+        assert_eq!(y.line, 2);
+    }
+
+    #[test]
+    fn eof_without_trailing_newline() {
+        let toks = kinds("x = 1");
+        assert_eq!(toks.last(), Some(&Tok::Eof));
+        assert!(toks.contains(&Tok::Newline), "synthesized trailing newline");
+    }
+}

@@ -1,0 +1,776 @@
+//! Recursive-descent parser for FxScript.
+//!
+//! Statements are parsed by lookahead on the leading keyword; expressions by
+//! precedence climbing. Precedence (loosest → tightest):
+//! ternary `a if c else b` → `or` → `and` → `not` → comparisons/`in` →
+//! `+ -` → `* / // %` → unary `-` → `**` (right-assoc) → call/index/method.
+
+use crate::ast::*;
+use crate::error::{LangError, LangResult};
+use crate::token::{Tok, Token};
+
+/// Parse a token stream (from [`crate::lexer::lex`]) into a [`Program`].
+pub fn parse_program(tokens: &[Token]) -> LangResult<Program> {
+    let mut p = Parser { tokens, pos: 0, expr_depth: 0, block_depth: 0 };
+    let mut defs = Vec::new();
+    let mut imports = Vec::new();
+    loop {
+        match p.peek() {
+            Tok::Eof => break,
+            Tok::Newline => {
+                p.bump();
+            }
+            Tok::Def => {
+                defs.push(p.parse_def()?);
+            }
+            Tok::Import => {
+                p.bump();
+                loop {
+                    let name = p.expect_name()?;
+                    imports.push(name);
+                    if p.peek() == &Tok::Comma {
+                        p.bump();
+                    } else {
+                        break;
+                    }
+                }
+                p.expect(&Tok::Newline)?;
+            }
+            other => {
+                return Err(LangError::new(
+                    format!("expected 'def' or 'import' at top level, found '{other}'"),
+                    p.line(),
+                ))
+            }
+        }
+    }
+    Ok(Program { defs, imports })
+}
+
+/// Maximum expression-nesting depth. Each level costs ~10 recursive host
+/// frames through the precedence chain, so this bounds parser stack use to
+/// well under a 2 MB test-thread stack even in debug builds. Source comes
+/// from the network; deeper nesting is rejected, not recursed into.
+const MAX_EXPR_DEPTH: u32 = 40;
+
+/// Maximum statement/block nesting depth.
+const MAX_BLOCK_DEPTH: u32 = 32;
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    expr_depth: u32,
+    block_depth: u32,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &Tok {
+        &self.tokens[(self.pos + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn bump(&mut self) -> &Tok {
+        let t = &self.tokens[self.pos.min(self.tokens.len() - 1)].kind;
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> LangResult<()> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::new(
+                format!("expected '{want}', found '{}'", self.peek()),
+                self.line(),
+            ))
+        }
+    }
+
+    fn expect_name(&mut self) -> LangResult<String> {
+        match self.peek().clone() {
+            Tok::Name(n) => {
+                self.bump();
+                Ok(n)
+            }
+            other => Err(LangError::new(format!("expected a name, found '{other}'"), self.line())),
+        }
+    }
+
+    fn parse_def(&mut self) -> LangResult<FunctionDef> {
+        let line = self.line();
+        self.expect(&Tok::Def)?;
+        let name = self.expect_name()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        let mut seen_default = false;
+        while self.peek() != &Tok::RParen {
+            let pname = self.expect_name()?;
+            let default = if self.peek() == &Tok::Assign {
+                self.bump();
+                seen_default = true;
+                Some(self.parse_expr()?)
+            } else {
+                if seen_default {
+                    return Err(LangError::new(
+                        format!("non-default parameter '{pname}' follows default parameter"),
+                        self.line(),
+                    ));
+                }
+                None
+            };
+            params.push(Param { name: pname, default });
+            if self.peek() == &Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        self.expect(&Tok::Colon)?;
+        let body = self.parse_block()?;
+        Ok(FunctionDef { name, params, body, line })
+    }
+
+    /// `: NEWLINE INDENT stmt+ DEDENT`
+    fn parse_block(&mut self) -> LangResult<Vec<Stmt>> {
+        if self.block_depth >= MAX_BLOCK_DEPTH {
+            return Err(LangError::new("blocks nested too deeply", self.line()));
+        }
+        self.block_depth += 1;
+        let result = self.parse_block_inner();
+        self.block_depth -= 1;
+        result
+    }
+
+    fn parse_block_inner(&mut self) -> LangResult<Vec<Stmt>> {
+        self.expect(&Tok::Newline)?;
+        self.expect(&Tok::Indent)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &Tok::Dedent && self.peek() != &Tok::Eof {
+            if self.peek() == &Tok::Newline {
+                self.bump();
+                continue;
+            }
+            stmts.push(self.parse_stmt()?);
+        }
+        self.expect(&Tok::Dedent)?;
+        if stmts.is_empty() {
+            return Err(LangError::new("empty block", self.line()));
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> LangResult<Stmt> {
+        let line = self.line();
+        match self.peek() {
+            Tok::Return => {
+                self.bump();
+                let value = if self.peek() == &Tok::Newline {
+                    None
+                } else {
+                    Some(self.parse_expr()?)
+                };
+                self.expect(&Tok::Newline)?;
+                Ok(Stmt::Return { value, line })
+            }
+            Tok::Pass => {
+                self.bump();
+                self.expect(&Tok::Newline)?;
+                Ok(Stmt::Pass)
+            }
+            Tok::Break => {
+                self.bump();
+                self.expect(&Tok::Newline)?;
+                Ok(Stmt::Break { line })
+            }
+            Tok::Continue => {
+                self.bump();
+                self.expect(&Tok::Newline)?;
+                Ok(Stmt::Continue { line })
+            }
+            Tok::If => {
+                self.bump();
+                let mut branches = Vec::new();
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::Colon)?;
+                let body = self.parse_block()?;
+                branches.push((cond, body));
+                let mut otherwise = Vec::new();
+                loop {
+                    match self.peek() {
+                        Tok::Elif => {
+                            self.bump();
+                            let c = self.parse_expr()?;
+                            self.expect(&Tok::Colon)?;
+                            let b = self.parse_block()?;
+                            branches.push((c, b));
+                        }
+                        Tok::Else => {
+                            self.bump();
+                            self.expect(&Tok::Colon)?;
+                            otherwise = self.parse_block()?;
+                            break;
+                        }
+                        _ => break,
+                    }
+                }
+                Ok(Stmt::If { branches, otherwise, line })
+            }
+            Tok::For => {
+                self.bump();
+                let var = self.expect_name()?;
+                self.expect(&Tok::In)?;
+                let iterable = self.parse_expr()?;
+                self.expect(&Tok::Colon)?;
+                let body = self.parse_block()?;
+                Ok(Stmt::For { var, iterable, body, line })
+            }
+            Tok::While => {
+                self.bump();
+                let cond = self.parse_expr()?;
+                self.expect(&Tok::Colon)?;
+                let body = self.parse_block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            Tok::Def => Ok(Stmt::Def(self.parse_def()?)),
+            Tok::Import => Err(LangError::new(
+                "imports are only allowed at top level".to_string(),
+                line,
+            )),
+            _ => self.parse_assign_or_expr(line),
+        }
+    }
+
+    fn parse_assign_or_expr(&mut self, line: u32) -> LangResult<Stmt> {
+        let expr = self.parse_expr()?;
+        let op = match self.peek() {
+            Tok::Assign => Some(AssignOp::Set),
+            Tok::PlusAssign => Some(AssignOp::Add),
+            Tok::MinusAssign => Some(AssignOp::Sub),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.parse_expr()?;
+            self.expect(&Tok::Newline)?;
+            let target = match expr {
+                Expr::Name { name, .. } => AssignTarget::Name(name),
+                Expr::Index { container, index, .. } => {
+                    AssignTarget::Index { container, index }
+                }
+                _ => {
+                    return Err(LangError::new("invalid assignment target", line));
+                }
+            };
+            Ok(Stmt::Assign { target, op, value, line })
+        } else {
+            self.expect(&Tok::Newline)?;
+            Ok(Stmt::Expr(expr))
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn parse_expr(&mut self) -> LangResult<Expr> {
+        if self.expr_depth >= MAX_EXPR_DEPTH {
+            return Err(LangError::new("expression nested too deeply", self.line()));
+        }
+        self.expr_depth += 1;
+        let result = self.parse_ternary();
+        self.expr_depth -= 1;
+        result
+    }
+
+    fn parse_ternary(&mut self) -> LangResult<Expr> {
+        let then = self.parse_or()?;
+        if self.peek() == &Tok::If {
+            let line = self.line();
+            self.bump();
+            let cond = self.parse_or()?;
+            self.expect(&Tok::Else)?;
+            // Recurse through parse_expr so chained ternaries count against
+            // the nesting limit.
+            let otherwise = self.parse_expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                otherwise: Box::new(otherwise),
+                line,
+            })
+        } else {
+            Ok(then)
+        }
+    }
+
+    fn parse_or(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.parse_and()?;
+        while self.peek() == &Tok::Or {
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_and()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.parse_not()?;
+        while self.peek() == &Tok::And {
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_not()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> LangResult<Expr> {
+        if self.peek() == &Tok::Not {
+            if self.expr_depth >= MAX_EXPR_DEPTH {
+                return Err(LangError::new("expression nested too deeply", self.line()));
+            }
+            let line = self.line();
+            self.bump();
+            self.expr_depth += 1;
+            let operand = self.parse_not();
+            self.expr_depth -= 1;
+            Ok(Expr::Unary { op: UnOp::Not, operand: Box::new(operand?), line })
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> LangResult<Expr> {
+        let lhs = self.parse_additive()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            Tok::In => BinOp::In,
+            Tok::NotIn => BinOp::NotIn,
+            _ => return Ok(lhs),
+        };
+        let line = self.line();
+        self.bump();
+        let rhs = self.parse_additive()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line })
+    }
+
+    fn parse_additive(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_multiplicative()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_multiplicative(&mut self) -> LangResult<Expr> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::DoubleSlash => BinOp::FloorDiv,
+                Tok::Percent => BinOp::Mod,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs), line };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> LangResult<Expr> {
+        if self.peek() == &Tok::Minus {
+            if self.expr_depth >= MAX_EXPR_DEPTH {
+                return Err(LangError::new("expression nested too deeply", self.line()));
+            }
+            let line = self.line();
+            self.bump();
+            self.expr_depth += 1;
+            let operand = self.parse_unary();
+            self.expr_depth -= 1;
+            Ok(Expr::Unary { op: UnOp::Neg, operand: Box::new(operand?), line })
+        } else {
+            self.parse_power()
+        }
+    }
+
+    fn parse_power(&mut self) -> LangResult<Expr> {
+        let base = self.parse_postfix()?;
+        if self.peek() == &Tok::DoubleStar {
+            let line = self.line();
+            self.bump();
+            // Right-associative: parse the exponent at unary level so
+            // `2 ** -1` and `2 ** 3 ** 2` work like Python.
+            let exp = self.parse_unary()?;
+            Ok(Expr::Binary { op: BinOp::Pow, lhs: Box::new(base), rhs: Box::new(exp), line })
+        } else {
+            Ok(base)
+        }
+    }
+
+    fn parse_postfix(&mut self) -> LangResult<Expr> {
+        let mut expr = self.parse_atom()?;
+        loop {
+            match self.peek() {
+                Tok::LBracket => {
+                    let line = self.line();
+                    self.bump();
+                    let index = self.parse_expr()?;
+                    self.expect(&Tok::RBracket)?;
+                    expr = Expr::Index {
+                        container: Box::new(expr),
+                        index: Box::new(index),
+                        line,
+                    };
+                }
+                Tok::Dot => {
+                    let line = self.line();
+                    self.bump();
+                    let method = self.expect_name()?;
+                    self.expect(&Tok::LParen)?;
+                    let (args, kwargs) = self.parse_call_args()?;
+                    if !kwargs.is_empty() {
+                        return Err(LangError::new(
+                            "method calls do not take keyword arguments",
+                            line,
+                        ));
+                    }
+                    expr = Expr::MethodCall {
+                        receiver: Box::new(expr),
+                        method,
+                        args,
+                        line,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    fn parse_call_args(&mut self) -> LangResult<(Vec<Expr>, Vec<(String, Expr)>)> {
+        let mut args = Vec::new();
+        let mut kwargs: Vec<(String, Expr)> = Vec::new();
+        while self.peek() != &Tok::RParen {
+            // Keyword argument? Need `Name =` lookahead (but not `==`).
+            let is_kw = matches!(self.peek(), Tok::Name(_)) && self.peek_ahead(1) == &Tok::Assign;
+            if is_kw {
+                let name = self.expect_name()?;
+                self.expect(&Tok::Assign)?;
+                let value = self.parse_expr()?;
+                if kwargs.iter().any(|(n, _)| n == &name) {
+                    return Err(LangError::new(
+                        format!("duplicate keyword argument '{name}'"),
+                        self.line(),
+                    ));
+                }
+                kwargs.push((name, value));
+            } else {
+                if !kwargs.is_empty() {
+                    return Err(LangError::new(
+                        "positional argument follows keyword argument",
+                        self.line(),
+                    ));
+                }
+                args.push(self.parse_expr()?);
+            }
+            if self.peek() == &Tok::Comma {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok((args, kwargs))
+    }
+
+    fn parse_atom(&mut self) -> LangResult<Expr> {
+        let line = self.line();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            Tok::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            Tok::None => {
+                self.bump();
+                Ok(Expr::None)
+            }
+            Tok::Name(name) => {
+                self.bump();
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    let (args, kwargs) = self.parse_call_args()?;
+                    Ok(Expr::Call { callee: name, args, kwargs, line })
+                } else {
+                    Ok(Expr::Name { name, line })
+                }
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(inner)
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                while self.peek() != &Tok::RBracket {
+                    items.push(self.parse_expr()?);
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBracket)?;
+                Ok(Expr::List(items))
+            }
+            Tok::LBrace => {
+                self.bump();
+                let mut pairs = Vec::new();
+                while self.peek() != &Tok::RBrace {
+                    let k = self.parse_expr()?;
+                    self.expect(&Tok::Colon)?;
+                    let v = self.parse_expr()?;
+                    pairs.push((k, v));
+                    if self.peek() == &Tok::Comma {
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(Expr::Dict(pairs))
+            }
+            other => Err(LangError::new(format!("unexpected token '{other}'"), line)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> LangResult<Program> {
+        parse_program(&lex(src)?)
+    }
+
+    #[test]
+    fn def_with_params_and_defaults() {
+        let p = parse("def f(a, b=2, c=3):\n    return a\n").unwrap();
+        let d = p.find_def("f").unwrap();
+        assert_eq!(d.params.len(), 3);
+        assert!(d.params[0].default.is_none());
+        assert!(d.params[1].default.is_some());
+    }
+
+    #[test]
+    fn default_before_positional_rejected() {
+        assert!(parse("def f(a=1, b):\n    return a\n").is_err());
+    }
+
+    #[test]
+    fn imports_collected() {
+        let p = parse("import math, strings\ndef f():\n    return 0\n").unwrap();
+        assert_eq!(p.imports, vec!["math".to_string(), "strings".to_string()]);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("def f():\n    return 1 + 2 * 3\n").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.defs[0].body[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = e else { panic!("got {e:?}") };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let p = parse("def f():\n    return 2 ** 3 ** 2\n").unwrap();
+        let Stmt::Return { value: Some(e), .. } = &p.defs[0].body[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Pow, rhs, .. } = e else { panic!() };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Pow, .. }));
+    }
+
+    #[test]
+    fn if_elif_else_chain() {
+        let p = parse(
+            "def f(x):\n    if x > 0:\n        return 1\n    elif x < 0:\n        return -1\n    else:\n        return 0\n",
+        )
+        .unwrap();
+        let Stmt::If { branches, otherwise, .. } = &p.defs[0].body[0] else { panic!() };
+        assert_eq!(branches.len(), 2);
+        assert_eq!(otherwise.len(), 1);
+    }
+
+    #[test]
+    fn call_with_kwargs() {
+        let p = parse("def f():\n    return g(1, 2, start=0, end=10)\n").unwrap();
+        let Stmt::Return { value: Some(Expr::Call { args, kwargs, .. }), .. } =
+            &p.defs[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(args.len(), 2);
+        assert_eq!(kwargs.len(), 2);
+    }
+
+    #[test]
+    fn positional_after_keyword_rejected() {
+        assert!(parse("def f():\n    return g(a=1, 2)\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_keyword_rejected() {
+        assert!(parse("def f():\n    return g(a=1, a=2)\n").is_err());
+    }
+
+    #[test]
+    fn indexed_assignment() {
+        let p = parse("def f(xs):\n    xs[0] = 5\n    return xs\n").unwrap();
+        assert!(matches!(
+            p.defs[0].body[0],
+            Stmt::Assign { target: AssignTarget::Index { .. }, .. }
+        ));
+    }
+
+    #[test]
+    fn augmented_assignment() {
+        let p = parse("def f(x):\n    x += 1\n    x -= 2\n    return x\n").unwrap();
+        assert!(matches!(p.defs[0].body[0], Stmt::Assign { op: AssignOp::Add, .. }));
+        assert!(matches!(p.defs[0].body[1], Stmt::Assign { op: AssignOp::Sub, .. }));
+    }
+
+    #[test]
+    fn method_call_chain() {
+        let p = parse("def f(s):\n    return s.upper().strip()\n").unwrap();
+        let Stmt::Return { value: Some(Expr::MethodCall { method, receiver, .. }), .. } =
+            &p.defs[0].body[0]
+        else {
+            panic!()
+        };
+        assert_eq!(method, "strip");
+        assert!(matches!(**receiver, Expr::MethodCall { .. }));
+    }
+
+    #[test]
+    fn ternary_expression() {
+        let p = parse("def f(x):\n    return 1 if x > 0 else -1\n").unwrap();
+        assert!(matches!(
+            p.defs[0].body[0],
+            Stmt::Return { value: Some(Expr::Ternary { .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn nested_def() {
+        let p = parse("def outer():\n    def inner(x):\n        return x\n    return inner(1)\n")
+            .unwrap();
+        assert!(matches!(p.defs[0].body[0], Stmt::Def(_)));
+    }
+
+    #[test]
+    fn while_with_break_continue() {
+        let p = parse(
+            "def f():\n    while True:\n        if x:\n            break\n        continue\n    return 0\n",
+        )
+        .unwrap();
+        assert!(matches!(p.defs[0].body[0], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn list_and_dict_literals() {
+        let p = parse("def f():\n    return [{1: 'a'}, {'k': [1, 2]}]\n").unwrap();
+        let Stmt::Return { value: Some(Expr::List(items)), .. } = &p.defs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(items.len(), 2);
+    }
+
+    #[test]
+    fn not_in_operator() {
+        let p = parse("def f(x, xs):\n    return x not in xs\n").unwrap();
+        assert!(matches!(
+            p.defs[0].body[0],
+            Stmt::Return { value: Some(Expr::Binary { op: BinOp::NotIn, .. }), .. }
+        ));
+    }
+
+    #[test]
+    fn empty_block_rejected() {
+        assert!(parse("def f():\n    pass\n").is_ok());
+        assert!(parse("def f():\nx = 1\n").is_err());
+    }
+
+    #[test]
+    fn top_level_expression_rejected() {
+        assert!(parse("1 + 2\n").is_err());
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_recursed() {
+        // Parenthesis nesting.
+        let deep = format!("def f():\n    return {}1{}\n", "(".repeat(200), ")".repeat(200));
+        let e = parse(&deep).unwrap_err();
+        assert!(e.to_string().contains("nested too deeply"), "{e}");
+        // Unary chains.
+        let minus = format!("def f():\n    return {}1\n", "-".repeat(500));
+        assert!(parse(&minus).is_err());
+        let nots = format!("def f():\n    return {}True\n", "not ".repeat(500));
+        assert!(parse(&nots).is_err());
+        // Block nesting.
+        let mut src = String::from("def f():\n");
+        for depth in 0..60 {
+            src.push_str(&"    ".repeat(depth + 1));
+            src.push_str("if True:\n");
+        }
+        src.push_str(&"    ".repeat(61));
+        src.push_str("pass\n");
+        assert!(parse(&src).is_err());
+        // Shallow versions of all three still parse.
+        assert!(parse("def f():\n    return ((((1))))\n").is_ok());
+        assert!(parse("def f():\n    return --1\n").is_ok());
+        assert!(parse("def f():\n    if True:\n        if True:\n            pass\n").is_ok());
+    }
+}

@@ -1,0 +1,136 @@
+//! Token stream produced by the FxScript lexer.
+
+use std::fmt;
+
+/// One lexical token plus its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: Tok,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// Token kinds. Indentation structure is made explicit as `Indent`/`Dedent`
+/// tokens (one per level change) so the parser never sees whitespace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    // Literals and names
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Name(String),
+
+    // Keywords
+    Def,
+    Return,
+    If,
+    Elif,
+    Else,
+    For,
+    While,
+    In,
+    NotIn, // synthesized from `not in`
+    And,
+    Or,
+    Not,
+    True,
+    False,
+    None,
+    Pass,
+    Break,
+    Continue,
+    Import,
+
+    // Punctuation / operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Colon,
+    Dot,
+    Assign,     // =
+    PlusAssign, // +=
+    MinusAssign,
+    Plus,
+    Minus,
+    Star,
+    DoubleStar, // **
+    Slash,
+    DoubleSlash, // //
+    Percent,
+    Eq, // ==
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+
+    // Structure
+    Newline,
+    Indent,
+    Dedent,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "{s:?}"),
+            Tok::Name(n) => write!(f, "{n}"),
+            Tok::Def => write!(f, "def"),
+            Tok::Return => write!(f, "return"),
+            Tok::If => write!(f, "if"),
+            Tok::Elif => write!(f, "elif"),
+            Tok::Else => write!(f, "else"),
+            Tok::For => write!(f, "for"),
+            Tok::While => write!(f, "while"),
+            Tok::In => write!(f, "in"),
+            Tok::NotIn => write!(f, "not in"),
+            Tok::And => write!(f, "and"),
+            Tok::Or => write!(f, "or"),
+            Tok::Not => write!(f, "not"),
+            Tok::True => write!(f, "True"),
+            Tok::False => write!(f, "False"),
+            Tok::None => write!(f, "None"),
+            Tok::Pass => write!(f, "pass"),
+            Tok::Break => write!(f, "break"),
+            Tok::Continue => write!(f, "continue"),
+            Tok::Import => write!(f, "import"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::Comma => write!(f, ","),
+            Tok::Colon => write!(f, ":"),
+            Tok::Dot => write!(f, "."),
+            Tok::Assign => write!(f, "="),
+            Tok::PlusAssign => write!(f, "+="),
+            Tok::MinusAssign => write!(f, "-="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::DoubleStar => write!(f, "**"),
+            Tok::Slash => write!(f, "/"),
+            Tok::DoubleSlash => write!(f, "//"),
+            Tok::Percent => write!(f, "%"),
+            Tok::Eq => write!(f, "=="),
+            Tok::Ne => write!(f, "!="),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Newline => write!(f, "<newline>"),
+            Tok::Indent => write!(f, "<indent>"),
+            Tok::Dedent => write!(f, "<dedent>"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! Runtime values for FxScript.
+//!
+//! Values mirror the JSON-able subset of Python the real funcX most often
+//! carries (§4.6 notes the service limits payloads to modest sizes and most
+//! arguments are primitives, lists, and dicts). Dicts preserve insertion
+//! order and key on strings — like JSON objects — with non-string keys
+//! rendered to their canonical string form.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An FxScript runtime value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Value {
+    /// `None`.
+    None,
+    /// Booleans.
+    Bool(bool),
+    /// 64-bit integers.
+    Int(i64),
+    /// 64-bit floats.
+    Float(f64),
+    /// Strings.
+    Str(String),
+    /// Lists.
+    List(Vec<Value>),
+    /// Insertion-ordered string-keyed maps.
+    Dict(Vec<(String, Value)>),
+    /// Raw bytes (out-of-band data references, staged-file tokens).
+    Bytes(Vec<u8>),
+}
+
+impl Value {
+    /// Python-style truthiness.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::None => false,
+            Value::Bool(b) => *b,
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Str(s) => !s.is_empty(),
+            Value::List(v) => !v.is_empty(),
+            Value::Dict(d) => !d.is_empty(),
+            Value::Bytes(b) => !b.is_empty(),
+        }
+    }
+
+    /// Type name for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::None => "None",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::List(_) => "list",
+            Value::Dict(_) => "dict",
+            Value::Bytes(_) => "bytes",
+        }
+    }
+
+    /// Numeric view (ints widen to float) if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Exact integer view.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
+            _ => None,
+        }
+    }
+
+    /// Dict lookup by key.
+    pub fn dict_get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Dict(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Dict insert/replace by key (preserving insertion order for new keys).
+    pub fn dict_set(&mut self, key: String, value: Value) -> bool {
+        match self {
+            Value::Dict(pairs) => {
+                if let Some(slot) = pairs.iter_mut().find(|(k, _)| *k == key) {
+                    slot.1 = value;
+                } else {
+                    pairs.push((key, value));
+                }
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Canonical key form used when a non-string value indexes a dict.
+    pub fn key_repr(&self) -> String {
+        match self {
+            Value::Str(s) => s.clone(),
+            other => other.to_string(),
+        }
+    }
+
+    /// Approximate heap footprint in bytes, used to enforce sandbox memory
+    /// limits.
+    pub fn approx_size(&self) -> usize {
+        match self {
+            Value::None | Value::Bool(_) | Value::Int(_) | Value::Float(_) => 8,
+            Value::Str(s) => 24 + s.len(),
+            Value::Bytes(b) => 24 + b.len(),
+            Value::List(v) => 24 + v.iter().map(Value::approx_size).sum::<usize>(),
+            Value::Dict(d) => {
+                24 + d.iter().map(|(k, v)| 24 + k.len() + v.approx_size()).sum::<usize>()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::None => write!(f, "None"),
+            Value::Bool(true) => write!(f, "True"),
+            Value::Bool(false) => write!(f, "False"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e16 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Value::Str(s) => write!(f, "{s}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", item.repr())?;
+                }
+                write!(f, "]")
+            }
+            Value::Dict(pairs) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "'{k}': {}", v.repr())?;
+                }
+                write!(f, "}}")
+            }
+            Value::Bytes(b) => write!(f, "b<{} bytes>", b.len()),
+        }
+    }
+}
+
+impl Value {
+    /// Python-`repr`-style rendering: strings quoted, everything else as
+    /// `Display`.
+    pub fn repr(&self) -> String {
+        match self {
+            Value::Str(s) => format!("'{s}'"),
+            other => other.to_string(),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::List(v.into_iter().map(Into::into).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness_matches_python() {
+        assert!(!Value::None.truthy());
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::Str(String::new()).truthy());
+        assert!(Value::Str("x".into()).truthy());
+        assert!(!Value::List(vec![]).truthy());
+        assert!(Value::List(vec![Value::None]).truthy());
+        assert!(!Value::Float(0.0).truthy());
+    }
+
+    #[test]
+    fn display_like_python() {
+        assert_eq!(Value::Bool(true).to_string(), "True");
+        assert_eq!(Value::Float(2.0).to_string(), "2.0");
+        assert_eq!(Value::Float(2.5).to_string(), "2.5");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("a".into())]).to_string(),
+            "[1, 'a']"
+        );
+        assert_eq!(
+            Value::Dict(vec![("k".into(), Value::Int(1))]).to_string(),
+            "{'k': 1}"
+        );
+    }
+
+    #[test]
+    fn dict_preserves_insertion_order_and_replaces() {
+        let mut d = Value::Dict(vec![]);
+        d.dict_set("b".into(), Value::Int(1));
+        d.dict_set("a".into(), Value::Int(2));
+        d.dict_set("b".into(), Value::Int(3));
+        let Value::Dict(pairs) = &d else { panic!() };
+        assert_eq!(pairs[0], ("b".to_string(), Value::Int(3)));
+        assert_eq!(pairs[1], ("a".to_string(), Value::Int(2)));
+        assert_eq!(d.dict_get("b"), Some(&Value::Int(3)));
+        assert_eq!(d.dict_get("missing"), None);
+    }
+
+    #[test]
+    fn approx_size_grows_with_content() {
+        let small = Value::Str("ab".into());
+        let big = Value::Str("a".repeat(1000));
+        assert!(big.approx_size() > small.approx_size());
+        let nested = Value::List(vec![big.clone(), big]);
+        assert!(nested.approx_size() > 2000);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let v = Value::Dict(vec![
+            ("xs".into(), Value::List(vec![Value::Int(1), Value::Float(2.5)])),
+            ("s".into(), Value::Str("hi".into())),
+            ("b".into(), Value::Bytes(vec![0, 255])),
+        ]);
+        let json = serde_json::to_string(&v).unwrap();
+        let back: Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v, back);
+    }
+}

@@ -1,0 +1,129 @@
+//! Robustness properties of the FxScript front end.
+//!
+//! Function source arrives from the network (registered by arbitrary
+//! users); the lexer, parser, and interpreter must reject garbage with
+//! errors — never panic, hang, or blow the stack.
+
+use funcx_lang::{parse, run_function, validate_function, Limits, NoopHooks, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode input must lex/parse to Ok or Err — never panic.
+    #[test]
+    fn parse_never_panics_on_arbitrary_text(src in "\\PC{0,200}") {
+        let _ = parse(&src);
+    }
+
+    /// Arbitrary ASCII with plausible code characters.
+    #[test]
+    fn parse_never_panics_on_code_like_text(src in "[ -~\\n\\t]{0,300}") {
+        let _ = parse(&src);
+    }
+
+    /// Validation agrees with parsing: if validate says OK, the function
+    /// must actually be invokable (possibly failing at runtime, but found).
+    #[test]
+    fn validate_implies_invokable(n in 0i64..100) {
+        let src = format!("def f(x):\n    return x + {n}\n");
+        prop_assert!(validate_function(&src, "f").is_ok());
+        let out = run_function(
+            &src, "f", &[Value::Int(1)], &[], &NoopHooks, &Limits::default(),
+        ).unwrap();
+        prop_assert_eq!(out, Value::Int(1 + n));
+    }
+
+    /// Deeply nested expressions must not overflow the parser stack: they
+    /// either parse (shallow enough) or error, within the test's stack.
+    #[test]
+    fn nested_parens_bounded(depth in 0usize..120) {
+        let expr = format!("{}1{}", "(".repeat(depth), ")".repeat(depth));
+        let src = format!("def f():\n    return {expr}\n");
+        let _ = parse(&src);
+    }
+
+    /// The interpreter's fuel bound always terminates loopy programs.
+    #[test]
+    fn fuel_always_terminates(iters in 1u64..1_000_000) {
+        let src = format!(
+            "def f():\n    t = 0\n    for i in range({iters}):\n        t += 1\n    return t\n"
+        );
+        let limits = Limits { max_fuel: 10_000, ..Limits::default() };
+        let result = run_function(&src, "f", &[], &[], &NoopHooks, &limits);
+        // Either finished within fuel or was cut off — both are fine;
+        // what is not fine is hanging, which proptest's timeout would flag.
+        match result {
+            Ok(v) => prop_assert_eq!(v, Value::Int(iters as i64)),
+            Err(e) => prop_assert!(e.to_string().contains("fuel")),
+        }
+    }
+
+    /// Values surviving a trip through the worker's invocation encoding
+    /// (args/kwargs dict) evaluate identically.
+    #[test]
+    fn echo_is_identity_for_ints_and_strings(x in any::<i64>(), s in "[a-z]{0,16}") {
+        let src = "def echo2(a, b):\n    return [a, b]\n";
+        let out = run_function(
+            src,
+            "echo2",
+            &[Value::Int(x), Value::from(s.as_str())],
+            &[],
+            &NoopHooks,
+            &Limits::default(),
+        )
+        .unwrap();
+        prop_assert_eq!(out, Value::List(vec![Value::Int(x), Value::from(s.as_str())]));
+    }
+}
+
+/// Regression corpus: inputs that historically crash naive lexers/parsers.
+#[test]
+fn hostile_corpus_rejected_cleanly() {
+    let corpus: &[&str] = &[
+        "",
+        "\n\n\n",
+        "def",
+        "def f",
+        "def f(",
+        "def f():",
+        "def f():\n",
+        "def f():\nreturn",
+        "def f():\n\treturn 1\n  return 2\n", // inconsistent indent
+        "def f():\n    return 0x", // bad literal shape
+        "def f():\n    return 'unterminated",
+        "def f():\n    return \\",
+        "import",
+        "import os; system('rm -rf /')",
+        "def f():\n    return ((((((((((1))))))))))\n",
+        "def f(a, a):\n    return a\n", // duplicate params accepted or not, no panic
+        "def f():\n    return 1 +\n",
+        "def f():\n    x = {1: }\n",
+        "def 𝕗():\n    return 1\n",
+        "def f():\n    if :\n        pass\n",
+    ];
+    for src in corpus {
+        // Must return, not panic.
+        let _ = parse(src);
+        let _ = validate_function(src, "f");
+    }
+}
+
+/// The sandbox rejects oversized results without crashing the worker.
+#[test]
+fn sandbox_size_limit_holds_for_growing_structures() {
+    let src = "\
+def f(n):
+    xs = []
+    for i in range(n):
+        xs.append('payload-string-chunk')
+    return xs
+";
+    let limits = Limits { max_value_bytes: 10_000, ..Limits::default() };
+    // Small n fits; large n is rejected with a size error.
+    assert!(run_function(src, "f", &[Value::Int(10)], &[], &NoopHooks, &limits).is_ok());
+    let err =
+        run_function(src, "f", &[Value::Int(100_000)], &[], &NoopHooks, &limits).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("size limit") || msg.contains("fuel"), "{msg}");
+}

@@ -1,0 +1,324 @@
+//! The [`Channel`] abstraction and its in-process implementation.
+//!
+//! A `Channel` is a bidirectional, message-oriented, possibly-failing pipe —
+//! the role ZeroMQ DEALER/ROUTER pairs play in the paper. Components hold
+//! `ChannelHandle`s (boxed trait objects) so the same agent/forwarder code
+//! runs over in-process queues or TCP without change. Failure injection for
+//! the fault-tolerance experiments (Figures 7 and 8) works by dropping a
+//! handle: the peer observes `Disconnected`, exactly like a ZeroMQ peer
+//! losing its socket.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use funcx_types::{FuncxError, Result};
+
+use crate::message::Message;
+
+/// A bidirectional message pipe.
+pub trait Channel: Send + Sync {
+    /// Send a message; fails with `Disconnected` if the peer is gone.
+    fn send(&self, msg: Message) -> Result<()>;
+    /// Receive with a wall-clock timeout; `Timeout` if nothing arrived,
+    /// `Disconnected` if the peer is gone and the pipe is drained.
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message>;
+    /// Receive without blocking.
+    fn try_recv(&self) -> Result<Option<Message>>;
+    /// Close this side; the peer sees `Disconnected` once drained.
+    fn close(&self);
+    /// True once either side closed.
+    fn is_closed(&self) -> bool;
+}
+
+/// Boxed channel, the form components store.
+pub type ChannelHandle = Arc<dyn Channel>;
+
+/// One side of an in-process channel pair.
+struct InprocSide {
+    tx: Sender<Message>,
+    rx: Receiver<Message>,
+    closed: Arc<AtomicBool>,
+}
+
+impl Channel for InprocSide {
+    fn send(&self, msg: Message) -> Result<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(FuncxError::Disconnected("channel closed".into()));
+        }
+        self.tx
+            .send(msg)
+            .map_err(|_| FuncxError::Disconnected("peer receiver dropped".into()))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message> {
+        if self.closed.load(Ordering::Acquire) && self.rx.is_empty() {
+            return Err(FuncxError::Disconnected("channel closed".into()));
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(m),
+            Err(RecvTimeoutError::Timeout) => {
+                if self.closed.load(Ordering::Acquire) {
+                    Err(FuncxError::Disconnected("channel closed".into()))
+                } else {
+                    Err(FuncxError::Timeout("recv".into()))
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(FuncxError::Disconnected("peer sender dropped".into()))
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>> {
+        match self.rx.try_recv() {
+            Ok(m) => Ok(Some(m)),
+            Err(crossbeam::channel::TryRecvError::Empty) => {
+                if self.closed.load(Ordering::Acquire) {
+                    Err(FuncxError::Disconnected("channel closed".into()))
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(FuncxError::Disconnected("peer sender dropped".into()))
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// Create a connected pair of in-process channels. Closing either side (or
+/// dropping it) disconnects the peer — the hook the failure-injection
+/// experiments use.
+pub fn inproc_pair() -> (ChannelHandle, ChannelHandle) {
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    let closed = Arc::new(AtomicBool::new(false));
+    let a = InprocSide { tx: a_tx, rx: a_rx, closed: Arc::clone(&closed) };
+    let b = InprocSide { tx: b_tx, rx: b_rx, closed };
+    (Arc::new(a), Arc::new(b))
+}
+
+/// One side of a latency-injecting in-process pair: every message is
+/// stamped with `send_time + latency` and is not delivered before that
+/// virtual instant. Messages in flight overlap (bandwidth is not modelled,
+/// only propagation delay) — the behaviour that makes batching (§4.7) pay:
+/// a request/reply exchange costs a full round trip, while one big batch
+/// costs a single latency.
+struct LatencySide {
+    tx: Sender<(funcx_types::time::VirtualInstant, Message)>,
+    rx: Receiver<(funcx_types::time::VirtualInstant, Message)>,
+    clock: funcx_types::time::SharedClock,
+    latency: Duration,
+    closed: Arc<AtomicBool>,
+}
+
+impl Channel for LatencySide {
+    fn send(&self, msg: Message) -> Result<()> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(FuncxError::Disconnected("channel closed".into()));
+        }
+        let deliver_at = self.clock.now() + self.latency;
+        self.tx
+            .send((deliver_at, msg))
+            .map_err(|_| FuncxError::Disconnected("peer receiver dropped".into()))
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Message> {
+        if self.closed.load(Ordering::Acquire) && self.rx.is_empty() {
+            return Err(FuncxError::Disconnected("channel closed".into()));
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok((deliver_at, m)) => {
+                self.clock.sleep_until(deliver_at);
+                Ok(m)
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if self.closed.load(Ordering::Acquire) {
+                    Err(FuncxError::Disconnected("channel closed".into()))
+                } else {
+                    Err(FuncxError::Timeout("recv".into()))
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(FuncxError::Disconnected("peer sender dropped".into()))
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<Message>> {
+        match self.rx.try_recv() {
+            Ok((deliver_at, m)) => {
+                self.clock.sleep_until(deliver_at);
+                Ok(Some(m))
+            }
+            Err(crossbeam::channel::TryRecvError::Empty) => {
+                if self.closed.load(Ordering::Acquire) {
+                    Err(FuncxError::Disconnected("channel closed".into()))
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(crossbeam::channel::TryRecvError::Disconnected) => {
+                Err(FuncxError::Disconnected("peer sender dropped".into()))
+            }
+        }
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::Release);
+    }
+
+    fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Acquire)
+    }
+}
+
+/// A connected in-process pair with one-way propagation delay `latency`
+/// (in virtual time). Pass `Duration::ZERO` for a plain pair.
+pub fn inproc_pair_with_latency(
+    clock: funcx_types::time::SharedClock,
+    latency: Duration,
+) -> (ChannelHandle, ChannelHandle) {
+    if latency.is_zero() {
+        return inproc_pair();
+    }
+    let (a_tx, b_rx) = unbounded();
+    let (b_tx, a_rx) = unbounded();
+    let closed = Arc::new(AtomicBool::new(false));
+    let a = LatencySide {
+        tx: a_tx,
+        rx: a_rx,
+        clock: Arc::clone(&clock),
+        latency,
+        closed: Arc::clone(&closed),
+    };
+    let b = LatencySide { tx: b_tx, rx: b_rx, clock, latency, closed };
+    (Arc::new(a), Arc::new(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn bidirectional_send_recv() {
+        let (a, b) = inproc_pair();
+        a.send(Message::Heartbeat { seq: 1 }).unwrap();
+        b.send(Message::HeartbeatAck { seq: 1 }).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(100)).unwrap(),
+            Message::Heartbeat { seq: 1 }
+        );
+        assert_eq!(
+            a.recv_timeout(Duration::from_millis(100)).unwrap(),
+            Message::HeartbeatAck { seq: 1 }
+        );
+    }
+
+    #[test]
+    fn timeout_when_empty() {
+        let (a, _b) = inproc_pair();
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(20)),
+            Err(FuncxError::Timeout(_))
+        ));
+    }
+
+    #[test]
+    fn close_disconnects_both_sides() {
+        let (a, b) = inproc_pair();
+        a.close();
+        assert!(a.is_closed() && b.is_closed());
+        assert!(matches!(
+            b.send(Message::Shutdown),
+            Err(FuncxError::Disconnected(_))
+        ));
+        assert!(matches!(
+            b.recv_timeout(Duration::from_millis(10)),
+            Err(FuncxError::Disconnected(_))
+        ));
+    }
+
+    #[test]
+    fn drop_of_peer_disconnects() {
+        let (a, b) = inproc_pair();
+        drop(b);
+        assert!(matches!(a.send(Message::Shutdown), Err(FuncxError::Disconnected(_))));
+    }
+
+    #[test]
+    fn try_recv_nonblocking() {
+        let (a, b) = inproc_pair();
+        assert_eq!(a.try_recv().unwrap(), None);
+        b.send(Message::Shutdown).unwrap();
+        assert_eq!(a.try_recv().unwrap(), Some(Message::Shutdown));
+    }
+
+    #[test]
+    fn latency_pair_delays_delivery_in_virtual_time() {
+        use funcx_types::time::{Clock, RealClock};
+        let clock = Arc::new(RealClock::with_speedup(1000.0));
+        let (a, b) = inproc_pair_with_latency(clock.clone(), Duration::from_secs(1));
+        let t0 = clock.now();
+        a.send(Message::Heartbeat { seq: 1 }).unwrap();
+        let _ = b.recv_timeout(Duration::from_secs(10)).unwrap();
+        let elapsed = clock.now().saturating_duration_since(t0);
+        assert!(elapsed >= Duration::from_millis(900), "one-way delay, got {elapsed:?}");
+    }
+
+    #[test]
+    fn latency_pair_overlaps_inflight_messages() {
+        use funcx_types::time::{Clock, RealClock};
+        let clock = Arc::new(RealClock::with_speedup(1000.0));
+        let (a, b) = inproc_pair_with_latency(clock.clone(), Duration::from_secs(1));
+        let t0 = clock.now();
+        // 10 messages sent back-to-back share the pipe; total time should
+        // be ~1 latency, not ~10.
+        for seq in 0..10 {
+            a.send(Message::Heartbeat { seq }).unwrap();
+        }
+        for _ in 0..10 {
+            b.recv_timeout(Duration::from_secs(10)).unwrap();
+        }
+        let elapsed = clock.now().saturating_duration_since(t0);
+        assert!(elapsed < Duration::from_secs(5), "pipelined, got {elapsed:?}");
+    }
+
+    #[test]
+    fn zero_latency_pair_is_plain() {
+        use funcx_types::time::ManualClock;
+        let (a, b) = inproc_pair_with_latency(ManualClock::new(), Duration::ZERO);
+        a.send(Message::Shutdown).unwrap();
+        // Would hang on a frozen ManualClock if latency were injected.
+        assert_eq!(b.recv_timeout(Duration::from_millis(100)).unwrap(), Message::Shutdown);
+    }
+
+    #[test]
+    fn messages_preserve_order_across_threads() {
+        let (a, b) = inproc_pair();
+        let h = thread::spawn(move || {
+            for seq in 0..1000 {
+                a.send(Message::Heartbeat { seq }).unwrap();
+            }
+        });
+        for expect in 0..1000 {
+            let Message::Heartbeat { seq } = b.recv_timeout(Duration::from_secs(5)).unwrap()
+            else {
+                panic!()
+            };
+            assert_eq!(seq, expect);
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,95 @@
+//! Heartbeat liveness tracking.
+//!
+//! "The forwarder uses heartbeats to detect if an agent is disconnected"
+//! (§4.1) and "the funcX agent relies on periodic heartbeat messages and a
+//! watchdog process to detect lost managers" (§4.3). Both sides use this
+//! tracker: record a beat whenever any message arrives from the peer, and
+//! poll `is_alive` from the watchdog loop.
+
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use parking_lot::Mutex;
+
+/// Tracks when a peer was last heard from, on virtual time.
+pub struct HeartbeatTracker {
+    clock: SharedClock,
+    timeout: VirtualDuration,
+    last_seen: Mutex<VirtualInstant>,
+    /// Heartbeat sequence counter for outgoing beats.
+    seq: Mutex<u64>,
+}
+
+impl HeartbeatTracker {
+    /// New tracker; the peer is considered alive at creation.
+    pub fn new(clock: SharedClock, timeout: VirtualDuration) -> Self {
+        let now = clock.now();
+        HeartbeatTracker { clock, timeout, last_seen: Mutex::new(now), seq: Mutex::new(0) }
+    }
+
+    /// Record evidence of life (any inbound message counts, not only
+    /// heartbeats — data is better proof than probes).
+    pub fn record(&self) {
+        *self.last_seen.lock() = self.clock.now();
+    }
+
+    /// True while the peer has been heard from within the timeout.
+    pub fn is_alive(&self) -> bool {
+        let now = self.clock.now();
+        now.saturating_duration_since(*self.last_seen.lock()) < self.timeout
+    }
+
+    /// Virtual time since the last beat.
+    pub fn silence(&self) -> VirtualDuration {
+        self.clock.now().saturating_duration_since(*self.last_seen.lock())
+    }
+
+    /// Next outgoing heartbeat sequence number.
+    pub fn next_seq(&self) -> u64 {
+        let mut s = self.seq.lock();
+        *s += 1;
+        *s
+    }
+
+    /// The configured timeout.
+    pub fn timeout(&self) -> VirtualDuration {
+        self.timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn alive_until_timeout() {
+        let clock = ManualClock::new();
+        let hb = HeartbeatTracker::new(clock.clone(), Duration::from_secs(5));
+        assert!(hb.is_alive());
+        clock.advance(Duration::from_secs(4));
+        assert!(hb.is_alive());
+        clock.advance(Duration::from_secs(2));
+        assert!(!hb.is_alive());
+        assert_eq!(hb.silence(), Duration::from_secs(6));
+    }
+
+    #[test]
+    fn record_resets_silence() {
+        let clock = ManualClock::new();
+        let hb = HeartbeatTracker::new(clock.clone(), Duration::from_secs(5));
+        clock.advance(Duration::from_secs(4));
+        hb.record();
+        clock.advance(Duration::from_secs(4));
+        assert!(hb.is_alive(), "4s since last beat < 5s timeout");
+        clock.advance(Duration::from_secs(2));
+        assert!(!hb.is_alive());
+    }
+
+    #[test]
+    fn sequence_monotonic() {
+        let hb = HeartbeatTracker::new(ManualClock::new(), Duration::from_secs(1));
+        assert_eq!(hb.next_seq(), 1);
+        assert_eq!(hb.next_seq(), 2);
+        assert_eq!(hb.next_seq(), 3);
+    }
+}

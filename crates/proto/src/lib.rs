@@ -1,0 +1,26 @@
+//! Wire protocol for funcX-rs — the ZeroMQ substitute.
+//!
+//! The paper's components talk over ZeroMQ channels: "Endpoints establish
+//! ZeroMQ connections with their forwarder to receive tasks, return
+//! results, and perform heartbeats" (§4.1), and the agent "uses ZeroMQ
+//! sockets to communicate with its managers" (§4.3). This crate provides:
+//!
+//! * [`message`] — the typed messages that flow service↔agent↔manager,
+//!   including batched task dispatch (§4.7 internal batching) and capacity
+//!   advertisements (§4.7 prefetching);
+//! * [`channel`] — the [`Channel`](channel::Channel) trait plus an
+//!   in-process implementation (two endpoints in one process, used by tests
+//!   and single-machine experiments);
+//! * [`tcp`] — the same protocol over real TCP sockets with length-prefixed
+//!   frames, for multi-process deployments;
+//! * [`heartbeat`] — liveness tracking on virtual time, backing both the
+//!   forwarder's endpoint-loss detection and the agent's manager watchdog.
+
+pub mod channel;
+pub mod heartbeat;
+pub mod message;
+pub mod tcp;
+
+pub use channel::{inproc_pair, inproc_pair_with_latency, Channel, ChannelHandle};
+pub use heartbeat::HeartbeatTracker;
+pub use message::{Message, TaskDispatch, TaskResult};

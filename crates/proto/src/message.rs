@@ -1,0 +1,242 @@
+//! Typed protocol messages.
+//!
+//! One message enum covers both hops (forwarder↔agent and agent↔manager);
+//! each hop simply uses the subset that makes sense for it. Payload bodies
+//! are opaque packed buffers from `funcx-serial` — the protocol layer
+//! routes, it never deserializes function data (§4.6).
+
+use serde::{Deserialize, Serialize};
+
+use funcx_types::{ContainerImageId, EndpointId, FunctionId, ManagerId, TaskId};
+
+/// One task travelling toward a worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDispatch {
+    /// Task id.
+    pub task_id: TaskId,
+    /// Registered function to run.
+    pub function_id: FunctionId,
+    /// Packed code buffer (function source, shipped with the task so the
+    /// worker needs no registry access).
+    pub code: Vec<u8>,
+    /// Packed input document buffer.
+    pub payload: Vec<u8>,
+    /// Container the function must run in (`None` = plain worker env).
+    pub container: Option<ContainerImageId>,
+    /// Modules the container image ships beyond the base runtime (§4.2) —
+    /// the worker's interpreter permits these imports.
+    #[serde(default)]
+    pub container_modules: Vec<String>,
+}
+
+/// One result travelling back to the service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResult {
+    /// Task id.
+    pub task_id: TaskId,
+    /// True on success.
+    pub success: bool,
+    /// Packed output document (success) or packed traceback (failure).
+    pub body: Vec<u8>,
+    /// Virtual instant the task arrived at the agent (nanos). With the
+    /// in-process transports all components share one clock, so these
+    /// timestamps are directly comparable at the service — the
+    /// instrumentation behind Figure 4's `te`/`tw` breakdown.
+    pub endpoint_received_nanos: u64,
+    /// Virtual instant the function body started executing (nanos).
+    pub exec_start_nanos: u64,
+    /// Virtual instant the function body finished (nanos).
+    pub exec_end_nanos: u64,
+    /// Captured `print` output, if any.
+    pub stdout: Vec<String>,
+}
+
+impl TaskResult {
+    /// `tw`: pure function execution time in nanoseconds.
+    pub fn exec_nanos(&self) -> u64 {
+        self.exec_end_nanos.saturating_sub(self.exec_start_nanos)
+    }
+}
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    // ---- registration handshake ----------------------------------------
+    /// Agent → forwarder: (re)register this endpoint (§4.3: on recovery the
+    /// agent "repeats the registration process to acquire a new forwarder").
+    RegisterEndpoint {
+        /// Endpoint registering.
+        endpoint_id: EndpointId,
+        /// Restart generation; a higher generation invalidates older
+        /// connections from the same endpoint.
+        generation: u64,
+    },
+    /// Manager → agent: a manager came up on a node and advertises itself.
+    RegisterManager {
+        /// Manager registering.
+        manager_id: ManagerId,
+        /// Worker slots on this node.
+        capacity: usize,
+        /// Container images with warm workers already deployed.
+        deployed_containers: Vec<ContainerImageId>,
+    },
+    /// Ack for either registration.
+    RegisterAck,
+
+    // ---- task flow ------------------------------------------------------
+    /// One or more tasks heading toward workers. Always a batch on the wire
+    /// — a single task is a batch of one (§4.7: managers "request many
+    /// tasks on behalf of their workers, minimizing network communication").
+    Tasks(Vec<TaskDispatch>),
+    /// Manager → agent: request up to `max` tasks (executor-side batching).
+    TaskRequest {
+        /// Requesting manager.
+        manager_id: ManagerId,
+        /// Maximum tasks the manager can take right now.
+        max: usize,
+    },
+    /// Results heading back to the service (batched symmetrically).
+    Results(Vec<TaskResult>),
+
+    // ---- capacity / prefetch ---------------------------------------------
+    /// Manager → agent: continuous advertisement of current and anticipated
+    /// capacity (§4.7 "Advertising with opportunistic prefetching").
+    CapacityAdvert {
+        /// Advertising manager.
+        manager_id: ManagerId,
+        /// Idle worker slots right now.
+        idle: usize,
+        /// Extra tasks the manager is willing to buffer beyond idle slots.
+        prefetch: usize,
+        /// Containers with live workers.
+        deployed_containers: Vec<ContainerImageId>,
+    },
+
+    // ---- liveness ---------------------------------------------------------
+    /// Periodic liveness probe (either direction).
+    Heartbeat {
+        /// Monotonic sequence number from the sender.
+        seq: u64,
+    },
+    /// Echo of a heartbeat.
+    HeartbeatAck {
+        /// Sequence being acknowledged.
+        seq: u64,
+    },
+
+    // ---- control ----------------------------------------------------------
+    /// Orderly shutdown of the peer.
+    Shutdown,
+}
+
+impl Message {
+    /// Serialize for the TCP transport (JSON body; the frame layer adds a
+    /// length prefix).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("message serialization is infallible")
+    }
+
+    /// Parse a frame body.
+    pub fn from_bytes(bytes: &[u8]) -> funcx_types::Result<Self> {
+        serde_json::from_slice(bytes).map_err(|e| {
+            funcx_types::FuncxError::ProtocolViolation(format!("bad message frame: {e}"))
+        })
+    }
+
+    /// Short tag for logs/metrics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Message::RegisterEndpoint { .. } => "register_endpoint",
+            Message::RegisterManager { .. } => "register_manager",
+            Message::RegisterAck => "register_ack",
+            Message::Tasks(_) => "tasks",
+            Message::TaskRequest { .. } => "task_request",
+            Message::Results(_) => "results",
+            Message::CapacityAdvert { .. } => "capacity_advert",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::HeartbeatAck { .. } => "heartbeat_ack",
+            Message::Shutdown => "shutdown",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dispatch() -> TaskDispatch {
+        TaskDispatch {
+            task_id: TaskId::from_u128(1),
+            function_id: FunctionId::from_u128(2),
+            code: vec![1, 2, 3],
+            payload: vec![4, 5],
+            container: Some(ContainerImageId::from_u128(3)),
+            container_modules: vec!["tomopy".into()],
+        }
+    }
+
+    #[test]
+    fn all_variants_roundtrip() {
+        let msgs = vec![
+            Message::RegisterEndpoint { endpoint_id: EndpointId::from_u128(9), generation: 3 },
+            Message::RegisterManager {
+                manager_id: ManagerId::from_u128(4),
+                capacity: 64,
+                deployed_containers: vec![ContainerImageId::from_u128(7)],
+            },
+            Message::RegisterAck,
+            Message::Tasks(vec![sample_dispatch()]),
+            Message::TaskRequest { manager_id: ManagerId::from_u128(4), max: 16 },
+            Message::Results(vec![TaskResult {
+                task_id: TaskId::from_u128(1),
+                success: false,
+                body: vec![9],
+                endpoint_received_nanos: 100,
+                exec_start_nanos: 120,
+                exec_end_nanos: 243,
+                stdout: vec!["line".into()],
+            }]),
+            Message::CapacityAdvert {
+                manager_id: ManagerId::from_u128(4),
+                idle: 3,
+                prefetch: 8,
+                deployed_containers: vec![],
+            },
+            Message::Heartbeat { seq: 42 },
+            Message::HeartbeatAck { seq: 42 },
+            Message::Shutdown,
+        ];
+        for m in msgs {
+            let bytes = m.to_bytes();
+            assert_eq!(Message::from_bytes(&bytes).unwrap(), m, "kind {}", m.kind());
+        }
+    }
+
+    #[test]
+    fn garbage_frame_is_protocol_violation() {
+        let e = Message::from_bytes(b"not json").unwrap_err();
+        assert!(matches!(e, funcx_types::FuncxError::ProtocolViolation(_)));
+    }
+
+    #[test]
+    fn exec_nanos_is_derived_and_saturating() {
+        let mut r = TaskResult {
+            task_id: TaskId::from_u128(1),
+            success: true,
+            body: vec![],
+            endpoint_received_nanos: 0,
+            exec_start_nanos: 100,
+            exec_end_nanos: 350,
+            stdout: vec![],
+        };
+        assert_eq!(r.exec_nanos(), 250);
+        r.exec_end_nanos = 50;
+        assert_eq!(r.exec_nanos(), 0);
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(Message::Shutdown.kind(), "shutdown");
+        assert_eq!(Message::Tasks(vec![]).kind(), "tasks");
+    }
+}

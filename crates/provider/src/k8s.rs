@@ -1,0 +1,112 @@
+//! Kubernetes provider: fast pod creation, per-function pod limits.
+//!
+//! Figure 6's elasticity experiment "deployed a funcX endpoint on a
+//! Kubernetes cluster, and used funcX to scale the number of active pods
+//! ... limit[ing] each function to use between 0 to 10 pods". On
+//! Kubernetes each "node" is a pod hosting one manager+worker pair (§4.5:
+//! "both the manager and the worker are deployed within a pod").
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_types::time::SharedClock;
+use funcx_types::{FuncxError, Result};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::provider::{JobId, JobStatus, JobTable, NodeHandle, Provider, ProviderLimits};
+
+/// Simulated Kubernetes API server.
+pub struct KubernetesProvider {
+    table: JobTable,
+    limits: ProviderLimits,
+    rng: Mutex<StdRng>,
+}
+
+impl KubernetesProvider {
+    /// New provider; `max_pods` caps simultaneously running pods (the
+    /// experiment's 0–10 range).
+    pub fn new(clock: SharedClock, max_pods: usize, seed: u64) -> Arc<Self> {
+        Arc::new(KubernetesProvider {
+            table: JobTable::new(clock),
+            limits: ProviderLimits { max_nodes_per_job: max_pods, max_total_nodes: max_pods },
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        })
+    }
+
+    /// Pods currently running.
+    pub fn active_pods(&self) -> usize {
+        self.table.running_nodes()
+    }
+}
+
+impl Provider for KubernetesProvider {
+    fn name(&self) -> &'static str {
+        "kubernetes"
+    }
+
+    fn submit(&self, pods: usize) -> Result<JobId> {
+        if pods == 0 {
+            return Err(FuncxError::ProvisioningFailed("cannot request zero pods".into()));
+        }
+        if self.table.running_nodes() + pods > self.limits.max_total_nodes {
+            return Err(FuncxError::ProvisioningFailed(format!(
+                "pod limit {} would be exceeded",
+                self.limits.max_total_nodes
+            )));
+        }
+        // Pod scheduling + image pull on a warm node: 1–3 s.
+        let delay = Duration::from_secs_f64(self.rng.lock().gen_range(1.0..3.0));
+        Ok(self.table.insert(pods, delay))
+    }
+
+    fn status(&self, job: JobId) -> JobStatus {
+        self.table.status(job)
+    }
+
+    fn nodes(&self, job: JobId) -> Vec<NodeHandle> {
+        self.table.nodes(job)
+    }
+
+    fn cancel(&self, job: JobId) -> Result<()> {
+        self.table.cancel(job)
+    }
+
+    fn limits(&self) -> ProviderLimits {
+        self.limits
+    }
+
+    fn node_seconds_consumed(&self) -> f64 {
+        self.table.node_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+
+    #[test]
+    fn pods_come_up_in_seconds() {
+        let clock = ManualClock::new();
+        let k8s = KubernetesProvider::new(clock.clone(), 10, 5);
+        let job = k8s.submit(3).unwrap();
+        clock.advance(Duration::from_secs(3));
+        assert_eq!(k8s.status(job), JobStatus::Running);
+        assert_eq!(k8s.active_pods(), 3);
+    }
+
+    #[test]
+    fn pod_ceiling_is_ten() {
+        let clock = ManualClock::new();
+        let k8s = KubernetesProvider::new(clock.clone(), 10, 5);
+        let a = k8s.submit(10).unwrap();
+        clock.advance(Duration::from_secs(5));
+        assert!(k8s.submit(1).is_err());
+        // Scale-in frees headroom — the Figure 6 sawtooth.
+        k8s.cancel(a).unwrap();
+        assert_eq!(k8s.active_pods(), 0);
+        assert!(k8s.submit(5).is_ok());
+    }
+}

@@ -1,0 +1,34 @@
+//! Compute-infrastructure providers for funcX-rs (§4.4 of the paper).
+//!
+//! "funcX uses Parsl's provider interface to interact with various
+//! resources, specify resource-specific requirements (e.g., allocations,
+//! queues, limits), and define rules for automatic scaling ... This
+//! interface allows funcX to be deployed on batch schedulers such as Slurm,
+//! Torque, Cobalt, SGE, and Condor; the major cloud vendors ...; and
+//! Kubernetes."
+//!
+//! The agent uses a *pilot job* model: it submits block requests for whole
+//! nodes, waits out the scheduler's queue delay, and launches managers on
+//! the nodes once the job starts. This crate provides:
+//!
+//! * [`provider`] — the [`Provider`](provider::Provider) trait (submit /
+//!   status / cancel / limits) plus job bookkeeping shared by all backends;
+//! * [`batch`] — simulated batch schedulers with per-facility queue-delay
+//!   models and allocation (node-hour) accounting;
+//! * [`cloud`] — a cloud backend (instance boot delay, per-second billing);
+//! * [`k8s`] — a Kubernetes backend with fast pod creation and pod-count
+//!   limits (the elasticity experiment of Figure 6 runs on this);
+//! * [`scaling`] — the autoscaling policy that turns queue depth and idle
+//!   capacity into scale-out/in decisions.
+
+pub mod batch;
+pub mod cloud;
+pub mod k8s;
+pub mod provider;
+pub mod scaling;
+
+pub use batch::{BatchScheduler, SchedulerKind};
+pub use cloud::CloudProvider;
+pub use k8s::KubernetesProvider;
+pub use provider::{JobId, JobStatus, NodeHandle, Provider, ProviderLimits};
+pub use scaling::{ScalingDecision, ScalingPolicy};

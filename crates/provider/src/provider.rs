@@ -1,0 +1,244 @@
+//! The provider trait and shared pilot-job bookkeeping.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use funcx_types::{FuncxError, Result};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Identifies one pilot-job submission (a *block* in Parsl terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Lifecycle of a pilot job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobStatus {
+    /// Waiting in the scheduler queue.
+    Pending,
+    /// Nodes allocated and running.
+    Running,
+    /// Finished or released.
+    Completed,
+    /// Scheduler rejected or killed the job.
+    Failed,
+    /// Cancelled by the agent.
+    Cancelled,
+}
+
+/// One provisioned node within a running job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeHandle {
+    /// Owning job.
+    pub job: JobId,
+    /// Node index within the job (0-based).
+    pub index: usize,
+}
+
+/// Static limits a provider enforces (allocation caps, instance quotas).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProviderLimits {
+    /// Maximum nodes in a single job.
+    pub max_nodes_per_job: usize,
+    /// Maximum simultaneously running nodes.
+    pub max_total_nodes: usize,
+}
+
+/// The Parsl-style provider interface the agent programs against.
+pub trait Provider: Send + Sync {
+    /// Backend name for logs ("slurm", "cobalt", "ec2", "kubernetes", ...).
+    fn name(&self) -> &'static str;
+
+    /// Submit a pilot job for `nodes` nodes.
+    fn submit(&self, nodes: usize) -> Result<JobId>;
+
+    /// Current status (evaluated against virtual time — queued jobs start
+    /// once their sampled queue delay elapses).
+    fn status(&self, job: JobId) -> JobStatus;
+
+    /// Node handles for a running job (empty unless `Running`).
+    fn nodes(&self, job: JobId) -> Vec<NodeHandle>;
+
+    /// Cancel / release a job. Releasing running nodes stops their
+    /// allocation charge.
+    fn cancel(&self, job: JobId) -> Result<()>;
+
+    /// Provider limits.
+    fn limits(&self) -> ProviderLimits;
+
+    /// Total node-seconds of allocation consumed so far ("research CI use
+    /// allocation-based usage models", §2).
+    fn node_seconds_consumed(&self) -> f64;
+}
+
+/// Shared job table used by every simulated backend: each job gets a start
+/// delay sampled at submit time, and status is derived lazily from the
+/// clock, so no background threads are needed.
+pub(crate) struct JobTable {
+    pub(crate) clock: SharedClock,
+    next_id: AtomicU64,
+    jobs: Mutex<HashMap<JobId, JobEntry>>,
+}
+
+pub(crate) struct JobEntry {
+    pub nodes: usize,
+    /// Kept for queue-wait reporting even though core logic keys off
+    /// `starts_at`.
+    #[allow(dead_code)]
+    pub submitted_at: VirtualInstant,
+    /// When the scheduler will start the job.
+    pub starts_at: VirtualInstant,
+    /// Terminal override (cancel/fail); `None` = derived from time.
+    pub terminal: Option<JobStatus>,
+    /// When the job reached a terminal state (for allocation accounting).
+    pub ended_at: Option<VirtualInstant>,
+}
+
+impl JobTable {
+    pub fn new(clock: SharedClock) -> Self {
+        JobTable { clock, next_id: AtomicU64::new(1), jobs: Mutex::new(HashMap::new()) }
+    }
+
+    pub fn insert(&self, nodes: usize, queue_delay: VirtualDuration) -> JobId {
+        let id = JobId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let now = self.clock.now();
+        self.jobs.lock().insert(
+            id,
+            JobEntry {
+                nodes,
+                submitted_at: now,
+                starts_at: now + queue_delay,
+                terminal: None,
+                ended_at: None,
+            },
+        );
+        id
+    }
+
+    pub fn status(&self, job: JobId) -> JobStatus {
+        let jobs = self.jobs.lock();
+        match jobs.get(&job) {
+            None => JobStatus::Failed,
+            Some(e) => {
+                if let Some(t) = e.terminal {
+                    return t;
+                }
+                if self.clock.now() >= e.starts_at {
+                    JobStatus::Running
+                } else {
+                    JobStatus::Pending
+                }
+            }
+        }
+    }
+
+    pub fn nodes(&self, job: JobId) -> Vec<NodeHandle> {
+        if self.status(job) != JobStatus::Running {
+            return Vec::new();
+        }
+        let jobs = self.jobs.lock();
+        match jobs.get(&job) {
+            Some(e) => (0..e.nodes).map(|index| NodeHandle { job, index }).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    pub fn cancel(&self, job: JobId) -> Result<()> {
+        let now = self.clock.now();
+        let mut jobs = self.jobs.lock();
+        let e = jobs
+            .get_mut(&job)
+            .ok_or_else(|| FuncxError::ProvisioningFailed(format!("unknown {job}")))?;
+        if e.terminal.is_none() {
+            e.terminal = Some(JobStatus::Cancelled);
+            e.ended_at = Some(now);
+        }
+        Ok(())
+    }
+
+    /// Nodes currently running (for quota checks).
+    pub fn running_nodes(&self) -> usize {
+        let now = self.clock.now();
+        self.jobs
+            .lock()
+            .values()
+            .filter(|e| e.terminal.is_none() && now >= e.starts_at)
+            .map(|e| e.nodes)
+            .sum()
+    }
+
+    /// Node-seconds consumed across all jobs (running time × nodes).
+    pub fn node_seconds(&self) -> f64 {
+        let now = self.clock.now();
+        self.jobs
+            .lock()
+            .values()
+            .map(|e| {
+                let end = e.ended_at.unwrap_or(now);
+                let ran = end.saturating_duration_since(e.starts_at);
+                ran.as_secs_f64() * e.nodes as f64
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn job_starts_after_queue_delay() {
+        let clock = ManualClock::new();
+        let table = JobTable::new(clock.clone());
+        let job = table.insert(4, Duration::from_secs(60));
+        assert_eq!(table.status(job), JobStatus::Pending);
+        assert!(table.nodes(job).is_empty());
+        clock.advance(Duration::from_secs(61));
+        assert_eq!(table.status(job), JobStatus::Running);
+        let nodes = table.nodes(job);
+        assert_eq!(nodes.len(), 4);
+        assert_eq!(nodes[2], NodeHandle { job, index: 2 });
+    }
+
+    #[test]
+    fn cancel_is_terminal_and_stops_accounting() {
+        let clock = ManualClock::new();
+        let table = JobTable::new(clock.clone());
+        let job = table.insert(2, Duration::ZERO);
+        clock.advance(Duration::from_secs(100));
+        table.cancel(job).unwrap();
+        clock.advance(Duration::from_secs(1000));
+        assert_eq!(table.status(job), JobStatus::Cancelled);
+        // 2 nodes × 100 s; the post-cancel 1000 s must not be charged.
+        assert!((table.node_seconds() - 200.0).abs() < 1e-6);
+        assert!(table.cancel(JobId(999)).is_err());
+    }
+
+    #[test]
+    fn running_nodes_counts_only_active() {
+        let clock = ManualClock::new();
+        let table = JobTable::new(clock.clone());
+        let a = table.insert(3, Duration::ZERO);
+        let _b = table.insert(5, Duration::from_secs(100)); // still queued
+        assert_eq!(table.running_nodes(), 3);
+        table.cancel(a).unwrap();
+        assert_eq!(table.running_nodes(), 0);
+        clock.advance(Duration::from_secs(101));
+        assert_eq!(table.running_nodes(), 5);
+    }
+
+    #[test]
+    fn unknown_job_is_failed() {
+        let table = JobTable::new(ManualClock::new());
+        assert_eq!(table.status(JobId(42)), JobStatus::Failed);
+    }
+}

@@ -1,0 +1,302 @@
+//! Autoscaling policy.
+//!
+//! "As funcX workloads are often sporadic, resources must be provisioned as
+//! needed to reduce costs due to idle resources" (§4.4); the provider
+//! interface lets deployments "define rules for automatic scaling (i.e.,
+//! limits and scaling aggressiveness)". The agent runs this policy
+//! periodically: queue depth pushes scale-out, sustained idleness pushes
+//! scale-in (§4.3: the agent "can shut down managers to release resources
+//! when they are not needed").
+
+use std::time::Duration;
+
+use funcx_types::time::{VirtualDuration, VirtualInstant};
+use serde::{Deserialize, Serialize};
+
+/// What the policy tells the agent to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScalingDecision {
+    /// Submit a pilot job for this many more nodes.
+    ScaleOut(usize),
+    /// Release this many idle nodes.
+    ScaleIn(usize),
+    /// Do nothing.
+    Hold,
+}
+
+/// Scaling rules.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScalingPolicy {
+    /// Never fewer running nodes than this.
+    pub min_nodes: usize,
+    /// Never more running nodes than this.
+    pub max_nodes: usize,
+    /// Worker slots one node provides (tasks a node absorbs in parallel).
+    pub slots_per_node: usize,
+    /// Aggressiveness in (0, 1]: fraction of the computed node deficit to
+    /// request in one step (Parsl's parallelism knob).
+    pub aggressiveness: f64,
+    /// A node must be idle this long before it may be released.
+    pub scale_in_after_idle: VirtualDuration,
+}
+
+impl Default for ScalingPolicy {
+    fn default() -> Self {
+        ScalingPolicy {
+            min_nodes: 0,
+            max_nodes: 8,
+            slots_per_node: 1,
+            aggressiveness: 1.0,
+            scale_in_after_idle: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Live inputs to one scaling decision.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalingInputs {
+    /// Tasks waiting with no slot.
+    pub pending_tasks: usize,
+    /// Nodes currently running (incl. idle).
+    pub running_nodes: usize,
+    /// Nodes queued at the provider but not yet started.
+    pub pending_nodes: usize,
+    /// Of the running nodes, how many are fully idle.
+    pub idle_nodes: usize,
+    /// How long the *longest-idle* node has been idle.
+    pub longest_idle: VirtualDuration,
+    /// Now (unused by the default rules; custom policies may window on it).
+    pub now: VirtualInstant,
+}
+
+impl ScalingPolicy {
+    /// Compute the next action.
+    pub fn decide(&self, inputs: &ScalingInputs) -> ScalingDecision {
+        let provisioned = inputs.running_nodes + inputs.pending_nodes;
+
+        // Floor first: below min_nodes always grows, even with no load.
+        if provisioned < self.min_nodes {
+            return ScalingDecision::ScaleOut(self.min_nodes - provisioned);
+        }
+
+        // Demand: nodes needed to give every pending task a slot.
+        if inputs.pending_tasks > 0 {
+            let needed = inputs.pending_tasks.div_ceil(self.slots_per_node.max(1));
+            let headroom = self.max_nodes.saturating_sub(provisioned);
+            let idle_slots = inputs.idle_nodes * self.slots_per_node;
+            if inputs.pending_tasks > idle_slots && headroom > 0 {
+                // Nodes already idle or already requested both count against
+                // the deficit — otherwise the policy re-requests the same
+                // capacity every tick while a pilot job sits in the queue.
+                let deficit = needed
+                    .saturating_sub(inputs.idle_nodes + inputs.pending_nodes)
+                    .min(headroom);
+                let step = ((deficit as f64) * self.aggressiveness).ceil() as usize;
+                if step > 0 {
+                    return ScalingDecision::ScaleOut(step);
+                }
+            }
+            return ScalingDecision::Hold;
+        }
+
+        // No demand: release idle nodes past the idle threshold, but never
+        // below the floor.
+        if inputs.idle_nodes > 0
+            && inputs.longest_idle >= self.scale_in_after_idle
+            && inputs.running_nodes > self.min_nodes
+        {
+            let releasable = inputs
+                .idle_nodes
+                .min(inputs.running_nodes - self.min_nodes);
+            if releasable > 0 {
+                return ScalingDecision::ScaleIn(releasable);
+            }
+        }
+        ScalingDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Safety invariants over arbitrary inputs: decisions never push
+        /// the fleet above max_nodes or (via scale-in) below min_nodes,
+        /// and scale-in only touches idle nodes.
+        #[test]
+        fn decisions_respect_limits(
+            min_nodes in 0usize..8,
+            extra_max in 0usize..32,
+            slots in 1usize..16,
+            pending_tasks in 0usize..500,
+            running in 0usize..40,
+            pending_nodes in 0usize..40,
+            idle in 0usize..40,
+            idle_secs in 0u64..120,
+        ) {
+            let max_nodes = min_nodes + extra_max;
+            let policy = ScalingPolicy {
+                min_nodes,
+                max_nodes,
+                slots_per_node: slots,
+                aggressiveness: 1.0,
+                scale_in_after_idle: Duration::from_secs(30),
+            };
+            let idle = idle.min(running);
+            let inputs = ScalingInputs {
+                pending_tasks,
+                running_nodes: running,
+                pending_nodes,
+                idle_nodes: idle,
+                longest_idle: Duration::from_secs(idle_secs),
+                now: VirtualInstant::ZERO,
+            };
+            match policy.decide(&inputs) {
+                ScalingDecision::ScaleOut(n) => {
+                    prop_assert!(n > 0);
+                    prop_assert!(
+                        running + pending_nodes + n <= max_nodes
+                            || running + pending_nodes < min_nodes,
+                        "out {n} would exceed max {max_nodes} (r={running}, p={pending_nodes})"
+                    );
+                }
+                ScalingDecision::ScaleIn(n) => {
+                    prop_assert!(n > 0);
+                    prop_assert!(n <= idle, "can only release idle nodes");
+                    prop_assert!(running - n >= min_nodes, "never below the floor");
+                    prop_assert!(pending_tasks == 0, "never shrink with work waiting");
+                }
+                ScalingDecision::Hold => {}
+            }
+        }
+
+        /// Monotonicity: more pending tasks never yields a smaller
+        /// scale-out step (fixed everything else).
+        #[test]
+        fn scale_out_monotone_in_demand(base in 0usize..200, extra in 1usize..200) {
+            let policy = ScalingPolicy { max_nodes: 1000, ..ScalingPolicy::default() };
+            let at = |pending_tasks| {
+                let inputs = ScalingInputs {
+                    pending_tasks,
+                    running_nodes: 0,
+                    pending_nodes: 0,
+                    idle_nodes: 0,
+                    longest_idle: Duration::ZERO,
+                    now: VirtualInstant::ZERO,
+                };
+                match policy.decide(&inputs) {
+                    ScalingDecision::ScaleOut(n) => n,
+                    _ => 0,
+                }
+            };
+            prop_assert!(at(base + extra) >= at(base));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> ScalingInputs {
+        ScalingInputs {
+            pending_tasks: 0,
+            running_nodes: 0,
+            pending_nodes: 0,
+            idle_nodes: 0,
+            longest_idle: Duration::ZERO,
+            now: VirtualInstant::ZERO,
+        }
+    }
+
+    #[test]
+    fn respects_min_floor() {
+        let policy = ScalingPolicy { min_nodes: 2, ..ScalingPolicy::default() };
+        assert_eq!(policy.decide(&inputs()), ScalingDecision::ScaleOut(2));
+        let i = ScalingInputs { running_nodes: 1, pending_nodes: 1, ..inputs() };
+        assert_eq!(policy.decide(&i), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn scales_out_proportionally_to_queue() {
+        let policy = ScalingPolicy { max_nodes: 10, slots_per_node: 4, ..ScalingPolicy::default() };
+        let i = ScalingInputs { pending_tasks: 20, ..inputs() };
+        assert_eq!(policy.decide(&i), ScalingDecision::ScaleOut(5));
+    }
+
+    #[test]
+    fn caps_at_max_nodes() {
+        let policy = ScalingPolicy { max_nodes: 3, ..ScalingPolicy::default() };
+        let i = ScalingInputs { pending_tasks: 100, running_nodes: 2, ..inputs() };
+        assert_eq!(policy.decide(&i), ScalingDecision::ScaleOut(1));
+        let i = ScalingInputs { pending_tasks: 100, running_nodes: 3, ..inputs() };
+        assert_eq!(policy.decide(&i), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn pending_nodes_count_toward_provisioned() {
+        // Don't double-submit while a pilot job is still queued.
+        let policy = ScalingPolicy { max_nodes: 4, ..ScalingPolicy::default() };
+        let i = ScalingInputs { pending_tasks: 10, pending_nodes: 4, ..inputs() };
+        assert_eq!(policy.decide(&i), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn idle_slots_absorb_demand_without_growth() {
+        let policy = ScalingPolicy { max_nodes: 10, slots_per_node: 8, ..ScalingPolicy::default() };
+        let i = ScalingInputs {
+            pending_tasks: 5,
+            running_nodes: 2,
+            idle_nodes: 1,
+            ..inputs()
+        };
+        // 5 pending ≤ 8 idle slots: no growth.
+        assert_eq!(policy.decide(&i), ScalingDecision::Hold);
+    }
+
+    #[test]
+    fn aggressiveness_dampens_growth() {
+        let policy = ScalingPolicy {
+            max_nodes: 100,
+            aggressiveness: 0.5,
+            ..ScalingPolicy::default()
+        };
+        let i = ScalingInputs { pending_tasks: 40, ..inputs() };
+        assert_eq!(policy.decide(&i), ScalingDecision::ScaleOut(20));
+    }
+
+    #[test]
+    fn scale_in_waits_for_idle_threshold() {
+        let policy = ScalingPolicy {
+            scale_in_after_idle: Duration::from_secs(30),
+            ..ScalingPolicy::default()
+        };
+        let mut i = ScalingInputs {
+            running_nodes: 4,
+            idle_nodes: 3,
+            longest_idle: Duration::from_secs(10),
+            ..inputs()
+        };
+        assert_eq!(policy.decide(&i), ScalingDecision::Hold);
+        i.longest_idle = Duration::from_secs(31);
+        assert_eq!(policy.decide(&i), ScalingDecision::ScaleIn(3));
+    }
+
+    #[test]
+    fn scale_in_never_breaches_floor() {
+        let policy = ScalingPolicy {
+            min_nodes: 2,
+            scale_in_after_idle: Duration::ZERO,
+            ..ScalingPolicy::default()
+        };
+        let i = ScalingInputs {
+            running_nodes: 3,
+            idle_nodes: 3,
+            longest_idle: Duration::from_secs(60),
+            ..inputs()
+        };
+        assert_eq!(policy.decide(&i), ScalingDecision::ScaleIn(1));
+    }
+}

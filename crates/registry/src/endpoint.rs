@@ -1,0 +1,229 @@
+//! Registered endpoints.
+//!
+//! "Administrators or users can deploy a funcX agent and register an
+//! endpoint for themselves and/or others, providing descriptive (e.g.,
+//! name, description) metadata. Each endpoint is assigned a unique
+//! identifier for subsequent use" (§3).
+
+use std::collections::HashMap;
+
+use funcx_auth::GroupId;
+use funcx_types::time::VirtualInstant;
+use funcx_types::{EndpointId, FuncxError, Result, UserId};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Connection status tracked by the service (drives forwarder lifecycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EndpointStatus {
+    /// Registered but no agent connected.
+    Offline,
+    /// Agent connected and heartbeating.
+    Online,
+}
+
+/// A registered endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndpointRecord {
+    /// Assigned at registration.
+    pub endpoint_id: EndpointId,
+    /// Registering administrator/user.
+    pub owner: UserId,
+    /// Display name (e.g. "theta-knl").
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Users allowed to target this endpoint (empty + !public = owner only).
+    pub allowed_users: Vec<UserId>,
+    /// Groups allowed to target this endpoint.
+    pub allowed_groups: Vec<GroupId>,
+    /// Anyone may target this endpoint.
+    pub public: bool,
+    /// Connection status.
+    pub status: EndpointStatus,
+    /// Agent restart generation (bumped on each re-registration, §4.3).
+    pub generation: u64,
+    /// Virtual registration time.
+    pub registered_at: VirtualInstant,
+}
+
+impl EndpointRecord {
+    /// May `user` run tasks on this endpoint?
+    pub fn may_use(&self, user: UserId, in_allowed_group: impl Fn(&[GroupId]) -> bool) -> bool {
+        self.owner == user
+            || self.public
+            || self.allowed_users.contains(&user)
+            || (!self.allowed_groups.is_empty() && in_allowed_group(&self.allowed_groups))
+    }
+}
+
+/// Thread-safe endpoint table.
+pub struct EndpointRegistry {
+    by_id: RwLock<HashMap<EndpointId, EndpointRecord>>,
+}
+
+impl EndpointRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        EndpointRegistry { by_id: RwLock::new(HashMap::new()) }
+    }
+
+    /// Register a new endpoint.
+    pub fn register(
+        &self,
+        owner: UserId,
+        name: &str,
+        description: &str,
+        public: bool,
+        now: VirtualInstant,
+    ) -> EndpointId {
+        let endpoint_id = EndpointId::random();
+        let record = EndpointRecord {
+            endpoint_id,
+            owner,
+            name: name.to_string(),
+            description: description.to_string(),
+            allowed_users: Vec::new(),
+            allowed_groups: Vec::new(),
+            public,
+            status: EndpointStatus::Offline,
+            generation: 0,
+            registered_at: now,
+        };
+        self.by_id.write().insert(endpoint_id, record);
+        endpoint_id
+    }
+
+    /// Fetch an endpoint.
+    pub fn get(&self, id: EndpointId) -> Result<EndpointRecord> {
+        self.by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))
+    }
+
+    /// Agent (re)connected: mark online and bump the generation. Returns
+    /// the new generation — stale connections from older generations are
+    /// rejected by the forwarder.
+    pub fn mark_online(&self, id: EndpointId) -> Result<u64> {
+        let mut guard = self.by_id.write();
+        let rec = guard.get_mut(&id).ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))?;
+        rec.status = EndpointStatus::Online;
+        rec.generation += 1;
+        Ok(rec.generation)
+    }
+
+    /// Agent lost: mark offline.
+    pub fn mark_offline(&self, id: EndpointId) -> Result<()> {
+        let mut guard = self.by_id.write();
+        let rec = guard.get_mut(&id).ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))?;
+        rec.status = EndpointStatus::Offline;
+        Ok(())
+    }
+
+    /// Update the sharing lists (owner only).
+    pub fn set_sharing(
+        &self,
+        id: EndpointId,
+        caller: UserId,
+        allowed_users: Vec<UserId>,
+        allowed_groups: Vec<GroupId>,
+        public: bool,
+    ) -> Result<()> {
+        let mut guard = self.by_id.write();
+        let rec = guard.get_mut(&id).ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))?;
+        if rec.owner != caller {
+            return Err(FuncxError::Forbidden(format!(
+                "user {caller} does not own endpoint {id}"
+            )));
+        }
+        rec.allowed_users = allowed_users;
+        rec.allowed_groups = allowed_groups;
+        rec.public = public;
+        Ok(())
+    }
+
+    /// All registered endpoints (ids).
+    pub fn ids(&self) -> Vec<EndpointId> {
+        self.by_id.read().keys().copied().collect()
+    }
+
+    /// Total registered endpoints.
+    pub fn len(&self) -> usize {
+        self.by_id.read().len()
+    }
+
+    /// True if none are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for EndpointRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: VirtualInstant = VirtualInstant::ZERO;
+
+    #[test]
+    fn register_and_status_lifecycle() {
+        let reg = EndpointRegistry::new();
+        let owner = UserId::from_u128(1);
+        let id = reg.register(owner, "cooley-login", "ANL cluster", false, T0);
+        assert_eq!(reg.get(id).unwrap().status, EndpointStatus::Offline);
+        let g1 = reg.mark_online(id).unwrap();
+        assert_eq!(g1, 1);
+        assert_eq!(reg.get(id).unwrap().status, EndpointStatus::Online);
+        reg.mark_offline(id).unwrap();
+        // Recovery re-registers and gets a fresh generation (§4.3).
+        let g2 = reg.mark_online(id).unwrap();
+        assert_eq!(g2, 2);
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let reg = EndpointRegistry::new();
+        let ghost = EndpointId::from_u128(404);
+        assert!(reg.get(ghost).is_err());
+        assert!(reg.mark_online(ghost).is_err());
+        assert!(reg.mark_offline(ghost).is_err());
+    }
+
+    #[test]
+    fn sharing_rules() {
+        let reg = EndpointRegistry::new();
+        let owner = UserId::from_u128(1);
+        let friend = UserId::from_u128(2);
+        let stranger = UserId::from_u128(3);
+        let id = reg.register(owner, "ep", "", false, T0);
+
+        let rec = reg.get(id).unwrap();
+        assert!(rec.may_use(owner, |_| false));
+        assert!(!rec.may_use(friend, |_| false));
+
+        reg.set_sharing(id, owner, vec![friend], vec![], false).unwrap();
+        let rec = reg.get(id).unwrap();
+        assert!(rec.may_use(friend, |_| false));
+        assert!(!rec.may_use(stranger, |_| false));
+
+        // Non-owner cannot change sharing.
+        assert!(matches!(
+            reg.set_sharing(id, friend, vec![], vec![], true),
+            Err(FuncxError::Forbidden(_))
+        ));
+    }
+
+    #[test]
+    fn public_endpoint_open_to_all() {
+        let reg = EndpointRegistry::new();
+        let id = reg.register(UserId::from_u128(1), "open", "", true, T0);
+        assert!(reg.get(id).unwrap().may_use(UserId::from_u128(42), |_| false));
+    }
+}

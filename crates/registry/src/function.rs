@@ -1,0 +1,254 @@
+//! Registered functions.
+//!
+//! Registration (§3): "The request includes: a name and the serialized
+//! function body. Users may also specify users, or groups of users, who may
+//! invoke the function. Optionally, the user may specify a container image
+//! ... funcX assigns a universally unique identifier ... Users may update
+//! functions they own."
+
+use std::collections::HashMap;
+
+use funcx_auth::GroupId;
+use funcx_types::time::VirtualInstant;
+use funcx_types::{ContainerImageId, FuncxError, FunctionId, Result, UserId};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// Who, besides the owner, may invoke a function.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Sharing {
+    /// Anyone may invoke.
+    pub public: bool,
+    /// Explicitly shared users.
+    pub users: Vec<UserId>,
+    /// Shared groups.
+    pub groups: Vec<GroupId>,
+}
+
+/// A registered function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionRecord {
+    /// Assigned at registration.
+    pub function_id: FunctionId,
+    /// Registering user — the only user who may update it.
+    pub owner: UserId,
+    /// Display name.
+    pub name: String,
+    /// FxScript source (the "serialized function body").
+    pub source: String,
+    /// Entry-point `def` within the source.
+    pub entry: String,
+    /// Container image to execute in, if any (§4.2).
+    pub container: Option<ContainerImageId>,
+    /// Invocation sharing policy.
+    pub sharing: Sharing,
+    /// Bumped on every owner update.
+    pub version: u32,
+    /// Virtual registration time.
+    pub registered_at: VirtualInstant,
+}
+
+impl FunctionRecord {
+    /// May `user` invoke this function?
+    pub fn may_invoke(&self, user: UserId, in_shared_group: impl Fn(&[GroupId]) -> bool) -> bool {
+        self.owner == user
+            || self.sharing.public
+            || self.sharing.users.contains(&user)
+            || (!self.sharing.groups.is_empty() && in_shared_group(&self.sharing.groups))
+    }
+}
+
+/// Thread-safe function table with an owner index.
+pub struct FunctionRegistry {
+    by_id: RwLock<HashMap<FunctionId, FunctionRecord>>,
+    by_owner: RwLock<HashMap<UserId, Vec<FunctionId>>>,
+}
+
+impl FunctionRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        FunctionRegistry { by_id: RwLock::new(HashMap::new()), by_owner: RwLock::new(HashMap::new()) }
+    }
+
+    /// Register a new function, assigning its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register(
+        &self,
+        owner: UserId,
+        name: &str,
+        source: &str,
+        entry: &str,
+        container: Option<ContainerImageId>,
+        sharing: Sharing,
+        now: VirtualInstant,
+    ) -> FunctionId {
+        let function_id = FunctionId::random();
+        let record = FunctionRecord {
+            function_id,
+            owner,
+            name: name.to_string(),
+            source: source.to_string(),
+            entry: entry.to_string(),
+            container,
+            sharing,
+            version: 1,
+            registered_at: now,
+        };
+        self.by_id.write().insert(function_id, record);
+        self.by_owner.write().entry(owner).or_default().push(function_id);
+        function_id
+    }
+
+    /// Fetch a function.
+    pub fn get(&self, id: FunctionId) -> Result<FunctionRecord> {
+        self.by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| FuncxError::FunctionNotFound(id.to_string()))
+    }
+
+    /// Update source/entry/container/sharing. Only the owner may update
+    /// (§3); bumps the version.
+    pub fn update(
+        &self,
+        id: FunctionId,
+        caller: UserId,
+        source: Option<&str>,
+        entry: Option<&str>,
+        container: Option<Option<ContainerImageId>>,
+        sharing: Option<Sharing>,
+    ) -> Result<u32> {
+        let mut guard = self.by_id.write();
+        let record = guard
+            .get_mut(&id)
+            .ok_or_else(|| FuncxError::FunctionNotFound(id.to_string()))?;
+        if record.owner != caller {
+            return Err(FuncxError::Forbidden(format!(
+                "user {caller} does not own function {id}"
+            )));
+        }
+        if let Some(s) = source {
+            record.source = s.to_string();
+        }
+        if let Some(e) = entry {
+            record.entry = e.to_string();
+        }
+        if let Some(c) = container {
+            record.container = c;
+        }
+        if let Some(sh) = sharing {
+            record.sharing = sh;
+        }
+        record.version += 1;
+        Ok(record.version)
+    }
+
+    /// All functions owned by a user (registration order).
+    pub fn list_by_owner(&self, owner: UserId) -> Vec<FunctionId> {
+        self.by_owner.read().get(&owner).cloned().unwrap_or_default()
+    }
+
+    /// Total registered functions.
+    pub fn len(&self) -> usize {
+        self.by_id.read().len()
+    }
+
+    /// True if the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: VirtualInstant = VirtualInstant::ZERO;
+
+    fn registry_with_fn(owner: UserId, sharing: Sharing) -> (FunctionRegistry, FunctionId) {
+        let reg = FunctionRegistry::new();
+        let id = reg.register(owner, "f", "def f():\n    return 1\n", "f", None, sharing, T0);
+        (reg, id)
+    }
+
+    #[test]
+    fn register_and_get() {
+        let owner = UserId::from_u128(1);
+        let (reg, id) = registry_with_fn(owner, Sharing::default());
+        let rec = reg.get(id).unwrap();
+        assert_eq!(rec.owner, owner);
+        assert_eq!(rec.version, 1);
+        assert_eq!(reg.list_by_owner(owner), vec![id]);
+        assert!(reg.get(FunctionId::from_u128(404)).is_err());
+    }
+
+    #[test]
+    fn only_owner_updates() {
+        let owner = UserId::from_u128(1);
+        let intruder = UserId::from_u128(2);
+        let (reg, id) = registry_with_fn(owner, Sharing::default());
+        let e = reg.update(id, intruder, Some("def f():\n    return 2\n"), None, None, None);
+        assert!(matches!(e, Err(FuncxError::Forbidden(_))));
+        let v = reg
+            .update(id, owner, Some("def f():\n    return 2\n"), None, None, None)
+            .unwrap();
+        assert_eq!(v, 2);
+        assert!(reg.get(id).unwrap().source.contains("return 2"));
+    }
+
+    #[test]
+    fn invoke_permissions() {
+        let owner = UserId::from_u128(1);
+        let friend = UserId::from_u128(2);
+        let stranger = UserId::from_u128(3);
+        let group_member = UserId::from_u128(4);
+        let g = GroupId(funcx_types::ids::Uuid::from_u128(77));
+
+        let sharing = Sharing { public: false, users: vec![friend], groups: vec![g] };
+        let (reg, id) = registry_with_fn(owner, sharing);
+        let rec = reg.get(id).unwrap();
+
+        let member_check = |user: UserId| move |groups: &[GroupId]| {
+            user == group_member && groups.contains(&g)
+        };
+        assert!(rec.may_invoke(owner, member_check(owner)));
+        assert!(rec.may_invoke(friend, member_check(friend)));
+        assert!(rec.may_invoke(group_member, member_check(group_member)));
+        assert!(!rec.may_invoke(stranger, member_check(stranger)));
+    }
+
+    #[test]
+    fn public_functions_open_to_all() {
+        let (reg, id) = registry_with_fn(
+            UserId::from_u128(1),
+            Sharing { public: true, ..Sharing::default() },
+        );
+        let rec = reg.get(id).unwrap();
+        assert!(rec.may_invoke(UserId::from_u128(99), |_| false));
+    }
+
+    #[test]
+    fn sharing_update_takes_effect() {
+        let owner = UserId::from_u128(1);
+        let friend = UserId::from_u128(2);
+        let (reg, id) = registry_with_fn(owner, Sharing::default());
+        assert!(!reg.get(id).unwrap().may_invoke(friend, |_| false));
+        reg.update(
+            id,
+            owner,
+            None,
+            None,
+            None,
+            Some(Sharing { public: false, users: vec![friend], groups: vec![] }),
+        )
+        .unwrap();
+        assert!(reg.get(id).unwrap().may_invoke(friend, |_| false));
+    }
+}

@@ -1,0 +1,13 @@
+//! Registry of functions and endpoints — the AWS RDS substitute (§4.1).
+//!
+//! "The funcX service maintains a registry of funcX endpoints, functions,
+//! and users in a persistent AWS RDS database." Users live in `funcx-auth`;
+//! this crate stores the other two with the semantics §3 specifies:
+//! functions are versioned, owner-updatable, and shareable with users or
+//! groups; endpoints carry descriptive metadata and a visibility policy.
+
+pub mod endpoint;
+pub mod function;
+
+pub use endpoint::{EndpointRecord, EndpointRegistry, EndpointStatus};
+pub use function::{FunctionRecord, FunctionRegistry, Sharing};

@@ -1,0 +1,212 @@
+//! Transport abstraction: the SDK's view of the service.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+use funcx_lang::Value;
+use funcx_registry::Sharing;
+use funcx_service::service::SubmitRequest;
+use funcx_service::FuncxService;
+use funcx_types::task::TaskState;
+use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+
+/// Terminal task value as the SDK sees it: the output document, or the
+/// remote error rendering.
+pub type TaskValue = std::result::Result<Value, String>;
+
+/// What the client needs from the service, transport-agnostic.
+pub trait ServiceApi: Send + Sync {
+    /// Register a function.
+    fn register_function(&self, bearer: &str, source: &str, entry: &str) -> Result<FunctionId>;
+    /// Register an endpoint.
+    fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId>;
+    /// Submit one task.
+    fn submit(&self, bearer: &str, request: SubmitRequest) -> Result<TaskId>;
+    /// Submit many tasks in one request.
+    fn submit_batch(&self, bearer: &str, requests: Vec<SubmitRequest>) -> Result<Vec<TaskId>>;
+    /// Task state.
+    fn status(&self, bearer: &str, task: TaskId) -> Result<TaskState>;
+    /// Task outcome once terminal (`None` while in flight).
+    fn result(&self, bearer: &str, task: TaskId) -> Result<Option<TaskValue>>;
+}
+
+// ---------------------------------------------------------------------------
+
+/// Direct in-process calls (client and service share the process).
+pub struct InProcApi {
+    service: Arc<FuncxService>,
+}
+
+impl InProcApi {
+    /// Wrap a service handle.
+    pub fn new(service: Arc<FuncxService>) -> Self {
+        InProcApi { service }
+    }
+}
+
+impl ServiceApi for InProcApi {
+    fn register_function(&self, bearer: &str, source: &str, entry: &str) -> Result<FunctionId> {
+        self.service
+            .register_function(bearer, entry, source, entry, None, Sharing::default())
+    }
+
+    fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId> {
+        self.service.register_endpoint(bearer, name, "", public)
+    }
+
+    fn submit(&self, bearer: &str, request: SubmitRequest) -> Result<TaskId> {
+        self.service.submit(bearer, request)
+    }
+
+    fn submit_batch(&self, bearer: &str, requests: Vec<SubmitRequest>) -> Result<Vec<TaskId>> {
+        self.service.submit_batch(bearer, requests)
+    }
+
+    fn status(&self, bearer: &str, task: TaskId) -> Result<TaskState> {
+        self.service.status(bearer, task)
+    }
+
+    fn result(&self, bearer: &str, task: TaskId) -> Result<Option<TaskValue>> {
+        match self.service.get_result(bearer, task)? {
+            None => Ok(None),
+            Some(funcx_types::task::TaskOutcome::Success(body)) => {
+                match self.service.serializer().deserialize_packed(&body) {
+                    Ok((_, funcx_serial::Payload::Document(v))) => Ok(Some(Ok(v))),
+                    Ok(_) => Err(FuncxError::Internal("result body was not a document".into())),
+                    Err(e) => Err(e),
+                }
+            }
+            Some(funcx_types::task::TaskOutcome::Failure(msg)) => Ok(Some(Err(msg))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Real HTTP against a served REST API.
+pub struct RestApi {
+    addr: SocketAddr,
+}
+
+impl RestApi {
+    /// Point at a server (from `funcx_service::rest::serve_rest`).
+    pub fn new(addr: SocketAddr) -> Self {
+        RestApi { addr }
+    }
+
+    fn call(
+        &self,
+        method: &str,
+        path: &str,
+        bearer: &str,
+        body: serde_json::Value,
+    ) -> Result<serde_json::Value> {
+        let raw = if body.is_null() { Vec::new() } else { serde_json::to_vec(&body).unwrap() };
+        let resp = funcx_service::http::http_request(self.addr, method, path, Some(bearer), &raw)?;
+        let parsed: serde_json::Value = serde_json::from_slice(&resp.body)
+            .map_err(|e| FuncxError::ProtocolViolation(format!("bad JSON from service: {e}")))?;
+        if resp.status != 200 {
+            let code = parsed["error"].as_str().unwrap_or("internal");
+            let msg = parsed["message"].as_str().unwrap_or("").to_string();
+            return Err(match code {
+                "unauthenticated" => FuncxError::Unauthenticated(msg),
+                "forbidden" => FuncxError::Forbidden(msg),
+                "function_not_found" => FuncxError::FunctionNotFound(msg),
+                "endpoint_not_found" => FuncxError::EndpointNotFound(msg),
+                "task_not_found" => FuncxError::TaskNotFound(msg),
+                "bad_request" => FuncxError::BadRequest(msg),
+                _ => FuncxError::Internal(format!("{code}: {msg}")),
+            });
+        }
+        Ok(parsed)
+    }
+
+    fn submit_body(request: &SubmitRequest) -> serde_json::Value {
+        serde_json::json!({
+            "function_id": request.function_id.to_string(),
+            "endpoint_id": request.endpoint_id.to_string(),
+            "args": request.args,
+            "kwargs": request.kwargs,
+            "allow_memo": request.allow_memo,
+        })
+    }
+}
+
+impl ServiceApi for RestApi {
+    fn register_function(&self, bearer: &str, source: &str, entry: &str) -> Result<FunctionId> {
+        let out = self.call(
+            "POST",
+            "/v1/functions",
+            bearer,
+            serde_json::json!({ "name": entry, "source": source, "entry": entry }),
+        )?;
+        out["function_id"]
+            .as_str()
+            .ok_or_else(|| FuncxError::ProtocolViolation("missing function_id".into()))?
+            .parse()
+    }
+
+    fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId> {
+        let out = self.call(
+            "POST",
+            "/v1/endpoints",
+            bearer,
+            serde_json::json!({ "name": name, "public": public }),
+        )?;
+        out["endpoint_id"]
+            .as_str()
+            .ok_or_else(|| FuncxError::ProtocolViolation("missing endpoint_id".into()))?
+            .parse()
+    }
+
+    fn submit(&self, bearer: &str, request: SubmitRequest) -> Result<TaskId> {
+        let out = self.call("POST", "/v1/submit", bearer, Self::submit_body(&request))?;
+        out["task_id"]
+            .as_str()
+            .ok_or_else(|| FuncxError::ProtocolViolation("missing task_id".into()))?
+            .parse()
+    }
+
+    fn submit_batch(&self, bearer: &str, requests: Vec<SubmitRequest>) -> Result<Vec<TaskId>> {
+        let tasks: Vec<serde_json::Value> = requests.iter().map(Self::submit_body).collect();
+        let out = self.call("POST", "/v1/batch", bearer, serde_json::json!({ "tasks": tasks }))?;
+        out["task_ids"]
+            .as_array()
+            .ok_or_else(|| FuncxError::ProtocolViolation("missing task_ids".into()))?
+            .iter()
+            .map(|v| {
+                v.as_str()
+                    .ok_or_else(|| FuncxError::ProtocolViolation("non-string task id".into()))?
+                    .parse()
+            })
+            .collect()
+    }
+
+    fn status(&self, bearer: &str, task: TaskId) -> Result<TaskState> {
+        let out = self.call("GET", &format!("/v1/tasks/{task}/status"), bearer, serde_json::Value::Null)?;
+        match out["status"].as_str() {
+            Some("Received") => Ok(TaskState::Received),
+            Some("WaitingForEndpoint") => Ok(TaskState::WaitingForEndpoint),
+            Some("DispatchedToEndpoint") => Ok(TaskState::DispatchedToEndpoint),
+            Some("WaitingForLaunch") => Ok(TaskState::WaitingForLaunch),
+            Some("Running") => Ok(TaskState::Running),
+            Some("Success") => Ok(TaskState::Success),
+            Some("Failed") => Ok(TaskState::Failed),
+            other => Err(FuncxError::ProtocolViolation(format!("bad status {other:?}"))),
+        }
+    }
+
+    fn result(&self, bearer: &str, task: TaskId) -> Result<Option<TaskValue>> {
+        let out = self.call("GET", &format!("/v1/tasks/{task}/result"), bearer, serde_json::Value::Null)?;
+        if out["pending"] == serde_json::Value::Bool(true) {
+            return Ok(None);
+        }
+        if out["success"] == serde_json::Value::Bool(true) {
+            let v: Value = serde_json::from_value(out["result"].clone())
+                .map_err(|e| FuncxError::ProtocolViolation(format!("bad result value: {e}")))?;
+            Ok(Some(Ok(v)))
+        } else {
+            Ok(Some(Err(out["error"].as_str().unwrap_or("unknown failure").to_string())))
+        }
+    }
+}

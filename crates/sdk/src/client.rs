@@ -1,0 +1,167 @@
+//! `FuncXClient` — the user-facing handle (§3, Listing 1).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use funcx_lang::Value;
+use funcx_service::service::SubmitRequest;
+use funcx_types::task::TaskState;
+use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+
+use crate::api::ServiceApi;
+use crate::fmap::FmapSpec;
+
+/// The client: `fc = FuncXClient(); fc.register_function(...); fc.run(...)`.
+pub struct FuncXClient {
+    api: Arc<dyn ServiceApi>,
+    bearer: String,
+    /// Wall-clock poll interval for result waiting.
+    poll: Duration,
+}
+
+impl FuncXClient {
+    /// New client over any transport with the user's bearer token.
+    pub fn new(api: Arc<dyn ServiceApi>, bearer: String) -> Self {
+        FuncXClient { api, bearer, poll: Duration::from_millis(5) }
+    }
+
+    /// Adjust the result-poll interval.
+    pub fn with_poll_interval(mut self, poll: Duration) -> Self {
+        self.poll = poll;
+        self
+    }
+
+    /// The transport handle (escape hatch for advanced calls).
+    pub fn api(&self) -> &Arc<dyn ServiceApi> {
+        &self.api
+    }
+
+    /// Register a function from source; `entry` names the `def` to invoke.
+    pub fn register_function(&self, source: &str, entry: &str) -> Result<FunctionId> {
+        self.api.register_function(&self.bearer, source, entry)
+    }
+
+    /// Register an endpoint record (the agent deployment references it).
+    pub fn register_endpoint(&self, name: &str, public: bool) -> Result<EndpointId> {
+        self.api.register_endpoint(&self.bearer, name, public)
+    }
+
+    /// Invoke a function on an endpoint: Listing 1's
+    /// `fc.run(func_id, endpoint_id, fname='test.h5', ...)`.
+    pub fn run(
+        &self,
+        function_id: FunctionId,
+        endpoint_id: EndpointId,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+    ) -> Result<TaskId> {
+        self.api.submit(
+            &self.bearer,
+            SubmitRequest { function_id, endpoint_id, args, kwargs, allow_memo: false },
+        )
+    }
+
+    /// Like [`run`](Self::run) but allows a memoized result (§4.7:
+    /// "memoization is only used if explicitly set by the user").
+    pub fn run_memoized(
+        &self,
+        function_id: FunctionId,
+        endpoint_id: EndpointId,
+        args: Vec<Value>,
+        kwargs: Vec<(String, Value)>,
+    ) -> Result<TaskId> {
+        self.api.submit(
+            &self.bearer,
+            SubmitRequest { function_id, endpoint_id, args, kwargs, allow_memo: true },
+        )
+    }
+
+    /// Task state right now.
+    pub fn status(&self, task: TaskId) -> Result<TaskState> {
+        self.api.status(&self.bearer, task)
+    }
+
+    /// One non-blocking result probe.
+    pub fn try_result(&self, task: TaskId) -> Result<Option<std::result::Result<Value, String>>> {
+        self.api.result(&self.bearer, task)
+    }
+
+    /// Block (polling) until the task completes or `timeout` of wall time
+    /// passes. Listing 1's `res = fc.get_result(task_id)`.
+    pub fn get_result(&self, task: TaskId, timeout: Duration) -> Result<Value> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.api.result(&self.bearer, task)? {
+                Some(Ok(v)) => return Ok(v),
+                Some(Err(remote)) => return Err(FuncxError::ExecutionFailed(remote)),
+                None => {
+                    if Instant::now() >= deadline {
+                        return Err(FuncxError::Timeout(format!("result of {task}")));
+                    }
+                    std::thread::sleep(self.poll);
+                }
+            }
+        }
+    }
+
+    /// Wait for many tasks; results in submission order.
+    pub fn get_results(&self, tasks: &[TaskId], timeout: Duration) -> Result<Vec<Value>> {
+        let deadline = Instant::now() + timeout;
+        tasks
+            .iter()
+            .map(|t| {
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.get_result(*t, remaining.max(Duration::from_millis(1)))
+            })
+            .collect()
+    }
+
+    /// The `map` command (§4.7): batch-submit one task per item of
+    /// `inputs`, `spec.batch_size` tasks per request. Returns task ids in
+    /// item order.
+    ///
+    /// `f = fmap(func_id, iterator, ep_id, batch_size, batch_count)`
+    pub fn fmap<I>(
+        &self,
+        function_id: FunctionId,
+        inputs: I,
+        endpoint_id: EndpointId,
+        spec: FmapSpec,
+    ) -> Result<Vec<TaskId>>
+    where
+        I: IntoIterator<Item = Vec<Value>>,
+    {
+        let mut all_ids = Vec::new();
+        // Lazy, islice-style partitioning: at most one batch of requests is
+        // ever materialized ("partitions the computation's iterator into
+        // memory-efficient batches of tasks", §4.7).
+        let mut iter = inputs.into_iter();
+        let mut batches_sent = 0usize;
+        loop {
+            let batch_size = spec.effective_batch_size(batches_sent);
+            if batch_size == 0 {
+                break;
+            }
+            let mut requests = Vec::with_capacity(batch_size);
+            for args in iter.by_ref().take(batch_size) {
+                requests.push(SubmitRequest {
+                    function_id,
+                    endpoint_id,
+                    args,
+                    kwargs: vec![],
+                    allow_memo: false,
+                });
+            }
+            if requests.is_empty() {
+                break;
+            }
+            let got = requests.len();
+            all_ids.extend(self.api.submit_batch(&self.bearer, requests)?);
+            batches_sent += 1;
+            if got < batch_size {
+                break; // iterator exhausted mid-batch
+            }
+        }
+        Ok(all_ids)
+    }
+}

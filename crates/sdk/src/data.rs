@@ -1,0 +1,147 @@
+//! Out-of-band data staging — the Globus transfer substitute (§4.6).
+//!
+//! "While the serializer can act on arbitrary Python objects and
+//! input/output data, for performance and cost reasons we limit the size
+//! of data that can be passed through the funcX service. Instead, we rely
+//! on out-of-band data transfer mechanisms, such as Globus, when passing
+//! large datasets to/from funcX functions. Data can be staged prior to the
+//! invocation of a function (or after the completion of a function) and a
+//! reference to the data's location can be passed to/from the function as
+//! input/output arguments."
+//!
+//! [`DataStage`] plays Globus's role: large payloads are `put` into the
+//! stage, and the resulting `globus://` reference string travels through
+//! the service instead of the bytes. Functions treat references as opaque
+//! strings (exactly like Listing 1's `fname`); results can be references
+//! too, which the client resolves after retrieval.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use funcx_lang::Value;
+use funcx_types::ids::Uuid;
+use funcx_types::{FuncxError, Result};
+use parking_lot::RwLock;
+
+/// URI scheme of staged-data references.
+pub const SCHEME: &str = "globus://";
+
+/// An out-of-band data store shared between clients and (conceptually) the
+/// storage systems adjacent to endpoints. One instance per "transfer
+/// fabric"; clone handles freely.
+#[derive(Clone)]
+pub struct DataStage {
+    inner: Arc<RwLock<HashMap<String, Arc<Vec<u8>>>>>,
+}
+
+impl DataStage {
+    /// Empty stage.
+    pub fn new() -> Self {
+        DataStage { inner: Arc::new(RwLock::new(HashMap::new())) }
+    }
+
+    /// Stage a payload; returns its reference (e.g.
+    /// `globus://0aa3.../dataset`).
+    pub fn put(&self, label: &str, data: Vec<u8>) -> String {
+        let reference = format!("{SCHEME}{}/{label}", Uuid::random());
+        self.inner.write().insert(reference.clone(), Arc::new(data));
+        reference
+    }
+
+    /// Resolve a reference.
+    pub fn get(&self, reference: &str) -> Result<Arc<Vec<u8>>> {
+        self.inner
+            .read()
+            .get(reference)
+            .cloned()
+            .ok_or_else(|| FuncxError::BadRequest(format!("no staged data at {reference}")))
+    }
+
+    /// Delete staged data; true if it existed (post-retrieval cleanup).
+    pub fn delete(&self, reference: &str) -> bool {
+        self.inner.write().remove(reference).is_some()
+    }
+
+    /// Stage a payload and wrap the reference as a function argument.
+    pub fn stage_arg(&self, label: &str, data: Vec<u8>) -> Value {
+        Value::Str(self.put(label, data))
+    }
+
+    /// If `value` is a staged-data reference, resolve it; otherwise `None`.
+    pub fn resolve(&self, value: &Value) -> Option<Result<Arc<Vec<u8>>>> {
+        match value {
+            Value::Str(s) if s.starts_with(SCHEME) => Some(self.get(s)),
+            _ => None,
+        }
+    }
+
+    /// Number of staged objects.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True when nothing is staged.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for DataStage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Is this value a staged-data reference?
+pub fn is_reference(value: &Value) -> bool {
+    matches!(value, Value::Str(s) if s.starts_with(SCHEME))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let stage = DataStage::new();
+        let data = vec![7u8; 100_000];
+        let reference = stage.put("frames.h5", data.clone());
+        assert!(reference.starts_with(SCHEME));
+        assert!(reference.ends_with("/frames.h5"));
+        assert_eq!(*stage.get(&reference).unwrap(), data);
+        assert!(stage.delete(&reference));
+        assert!(stage.get(&reference).is_err());
+        assert!(!stage.delete(&reference));
+    }
+
+    #[test]
+    fn references_are_unique_per_put() {
+        let stage = DataStage::new();
+        let a = stage.put("x", vec![1]);
+        let b = stage.put("x", vec![2]);
+        assert_ne!(a, b);
+        assert_eq!(*stage.get(&a).unwrap(), vec![1]);
+        assert_eq!(*stage.get(&b).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn resolve_only_touches_references() {
+        let stage = DataStage::new();
+        let arg = stage.stage_arg("d", vec![9, 9]);
+        assert!(is_reference(&arg));
+        assert_eq!(*stage.resolve(&arg).unwrap().unwrap(), vec![9, 9]);
+        assert!(stage.resolve(&Value::from("plain string")).is_none());
+        assert!(stage.resolve(&Value::Int(7)).is_none());
+        // Unknown reference resolves to an error, not a panic.
+        let ghost = Value::from(format!("{SCHEME}nope/x"));
+        assert!(stage.resolve(&ghost).unwrap().is_err());
+    }
+
+    #[test]
+    fn clones_share_the_fabric() {
+        let a = DataStage::new();
+        let b = a.clone();
+        let r = a.put("shared", vec![1, 2, 3]);
+        assert_eq!(*b.get(&r).unwrap(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Batching specification for the `map` command (§4.7).
+//!
+//! "`f = fmap(func_id, iterator, ep_id, batch_size, batch_count)` ...
+//! `batch_size` is the number of tasks included in each batch, and
+//! `batch_count` is the total number of batches. (Note: `batch_count`
+//! takes precedence over `batch_size`.)"
+
+use funcx_types::{FuncxError, Result};
+
+/// How to partition an fmap iterator into submission batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FmapSpec {
+    mode: Mode,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Fixed number of tasks per request.
+    BySize(usize),
+    /// Fixed number of requests; per-request size derived from the total.
+    ByCount { batches: usize, derived_size: usize },
+}
+
+impl FmapSpec {
+    /// `batch_size` tasks per request.
+    pub fn by_size(batch_size: usize) -> Result<FmapSpec> {
+        if batch_size == 0 {
+            return Err(FuncxError::BadRequest("batch_size must be positive".into()));
+        }
+        Ok(FmapSpec { mode: Mode::BySize(batch_size) })
+    }
+
+    /// Exactly `batch_count` requests over `total_items` items (the
+    /// iterator's length must be known for this mode, as with Python's
+    /// `islice` over a sized iterable).
+    pub fn by_count(batch_count: usize, total_items: usize) -> Result<FmapSpec> {
+        if batch_count == 0 {
+            return Err(FuncxError::BadRequest("batch_count must be positive".into()));
+        }
+        if total_items == 0 {
+            return Err(FuncxError::BadRequest("cannot fmap zero items by count".into()));
+        }
+        Ok(FmapSpec {
+            mode: Mode::ByCount {
+                batches: batch_count,
+                derived_size: total_items.div_ceil(batch_count),
+            },
+        })
+    }
+
+    /// Combine the paper's two optional knobs with its precedence rule:
+    /// `batch_count` wins when both are given.
+    pub fn from_options(
+        batch_size: Option<usize>,
+        batch_count: Option<usize>,
+        total_items: Option<usize>,
+    ) -> Result<FmapSpec> {
+        match (batch_count, batch_size, total_items) {
+            (Some(count), _, Some(total)) => Self::by_count(count, total),
+            (Some(_), _, None) => Err(FuncxError::BadRequest(
+                "batch_count requires a sized iterator".into(),
+            )),
+            (None, Some(size), _) => Self::by_size(size),
+            (None, None, _) => Self::by_size(1),
+        }
+    }
+
+    /// Tasks to put in batch number `batches_sent` (0-based); 0 means stop.
+    pub fn effective_batch_size(&self, batches_sent: usize) -> usize {
+        match self.mode {
+            Mode::BySize(n) => n,
+            Mode::ByCount { batches, derived_size } => {
+                if batches_sent < batches {
+                    derived_size
+                } else {
+                    0
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_size_is_constant() {
+        let s = FmapSpec::by_size(64).unwrap();
+        assert_eq!(s.effective_batch_size(0), 64);
+        assert_eq!(s.effective_batch_size(1000), 64);
+        assert!(FmapSpec::by_size(0).is_err());
+    }
+
+    #[test]
+    fn by_count_derives_size_and_stops() {
+        // 10 items over 3 batches → ceil(10/3) = 4, then 4, then 2 (the
+        // iterator runs dry), then stop.
+        let s = FmapSpec::by_count(3, 10).unwrap();
+        assert_eq!(s.effective_batch_size(0), 4);
+        assert_eq!(s.effective_batch_size(2), 4);
+        assert_eq!(s.effective_batch_size(3), 0);
+        assert!(FmapSpec::by_count(0, 10).is_err());
+        assert!(FmapSpec::by_count(3, 0).is_err());
+    }
+
+    #[test]
+    fn count_takes_precedence_over_size() {
+        let s = FmapSpec::from_options(Some(100), Some(4), Some(20)).unwrap();
+        assert_eq!(s.effective_batch_size(0), 5, "20 items / 4 batches");
+        assert_eq!(s.effective_batch_size(4), 0);
+    }
+
+    #[test]
+    fn count_without_total_is_rejected() {
+        assert!(FmapSpec::from_options(None, Some(4), None).is_err());
+    }
+
+    #[test]
+    fn defaults_to_unbatched() {
+        let s = FmapSpec::from_options(None, None, None).unwrap();
+        assert_eq!(s.effective_batch_size(0), 1);
+    }
+}

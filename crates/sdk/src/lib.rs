@@ -1,0 +1,46 @@
+//! The funcX SDK (§3, Listing 1).
+//!
+//! "funcX provides a Python SDK that wraps the REST API" — this is the Rust
+//! equivalent. The same [`FuncXClient`] runs over two transports:
+//!
+//! * [`api::InProcApi`] — direct calls into an in-process
+//!   [`FuncxService`](funcx_service::FuncxService) (what the throughput
+//!   benchmarks use; Figure 9's client and endpoint share one machine);
+//! * [`api::RestApi`] — real HTTP against a served REST endpoint.
+//!
+//! The Listing 1 flow:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use funcx_sdk::{api::InProcApi, FuncXClient};
+//! use funcx_service::{FuncxService, ServiceConfig};
+//! use funcx_auth::{IdentityProvider, Scope};
+//! use funcx_lang::Value;
+//! use funcx_types::time::RealClock;
+//!
+//! let clock = Arc::new(RealClock::with_speedup(1000.0));
+//! let service = FuncxService::new(clock, ServiceConfig::default());
+//! let (_, token) = service.auth.login("me", IdentityProvider::Institution, &[Scope::All]);
+//! let fc = FuncXClient::new(Arc::new(InProcApi::new(Arc::clone(&service))), token.clone());
+//!
+//! let func_id = fc
+//!     .register_function("def automo_preview(fname):\n    return fname\n", "automo_preview")
+//!     .unwrap();
+//! let endpoint_id = service.register_endpoint(&token, "ep", "", false).unwrap();
+//! let task_id = fc
+//!     .run(func_id, endpoint_id, vec![Value::from("test.h5")], vec![])
+//!     .unwrap();
+//! // (With no live endpoint attached the task stays queued; a full
+//! // deployment would now fc.get_result(task_id, ...).)
+//! assert!(fc.status(task_id).is_ok());
+//! ```
+
+pub mod api;
+pub mod client;
+pub mod data;
+pub mod fmap;
+
+pub use api::{InProcApi, RestApi, ServiceApi};
+pub use client::FuncXClient;
+pub use data::DataStage;
+pub use fmap::FmapSpec;

@@ -1,0 +1,174 @@
+//! SDK behaviour against a mock transport: batching shape of `fmap`,
+//! result polling, and error propagation — no service, no threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_lang::Value;
+use funcx_sdk::api::{ServiceApi, TaskValue};
+use funcx_sdk::{FmapSpec, FuncXClient};
+use funcx_service::SubmitRequest;
+use funcx_types::task::TaskState;
+use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+use parking_lot::Mutex;
+
+/// Records every call; scripts results.
+#[derive(Default)]
+struct MockApi {
+    batch_sizes: Mutex<Vec<usize>>,
+    single_submits: Mutex<usize>,
+    /// Results served per poll, keyed by task; `None` entries mean
+    /// "pending this many polls first".
+    pending_polls: Mutex<usize>,
+    outcome: Mutex<Option<TaskValue>>,
+    /// When set, the iterator-pull counter is sampled at each batch call
+    /// (observes fmap's laziness).
+    pull_counter: Mutex<Option<Arc<std::sync::atomic::AtomicUsize>>>,
+    pulls_at_batch: Mutex<Vec<usize>>,
+}
+
+impl ServiceApi for MockApi {
+    fn register_function(&self, _b: &str, _s: &str, _e: &str) -> Result<FunctionId> {
+        Ok(FunctionId::from_u128(1))
+    }
+
+    fn register_endpoint(&self, _b: &str, _n: &str, _p: bool) -> Result<EndpointId> {
+        Ok(EndpointId::from_u128(2))
+    }
+
+    fn submit(&self, _b: &str, _r: SubmitRequest) -> Result<TaskId> {
+        *self.single_submits.lock() += 1;
+        Ok(TaskId::random())
+    }
+
+    fn submit_batch(&self, _b: &str, requests: Vec<SubmitRequest>) -> Result<Vec<TaskId>> {
+        self.batch_sizes.lock().push(requests.len());
+        if let Some(counter) = self.pull_counter.lock().as_ref() {
+            self.pulls_at_batch
+                .lock()
+                .push(counter.load(std::sync::atomic::Ordering::SeqCst));
+        }
+        Ok(requests.iter().map(|_| TaskId::random()).collect())
+    }
+
+    fn status(&self, _b: &str, _t: TaskId) -> Result<TaskState> {
+        Ok(TaskState::Running)
+    }
+
+    fn result(&self, _b: &str, _t: TaskId) -> Result<Option<TaskValue>> {
+        let mut pending = self.pending_polls.lock();
+        if *pending > 0 {
+            *pending -= 1;
+            return Ok(None);
+        }
+        Ok(self.outcome.lock().clone())
+    }
+}
+
+fn client(api: Arc<MockApi>) -> FuncXClient {
+    FuncXClient::new(api, "token".into()).with_poll_interval(Duration::from_millis(1))
+}
+
+#[test]
+fn fmap_by_size_partitions_into_equal_batches() {
+    let api = Arc::new(MockApi::default());
+    let fc = client(Arc::clone(&api));
+    let inputs: Vec<Vec<Value>> = (0..23).map(|i| vec![Value::Int(i)]).collect();
+    let ids = fc
+        .fmap(
+            FunctionId::from_u128(1),
+            inputs,
+            EndpointId::from_u128(2),
+            FmapSpec::by_size(10).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(ids.len(), 23);
+    assert_eq!(*api.batch_sizes.lock(), vec![10, 10, 3]);
+    assert_eq!(*api.single_submits.lock(), 0, "fmap never submits singly");
+}
+
+#[test]
+fn fmap_by_count_caps_the_number_of_requests() {
+    let api = Arc::new(MockApi::default());
+    let fc = client(Arc::clone(&api));
+    let inputs: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+    let ids = fc
+        .fmap(
+            FunctionId::from_u128(1),
+            inputs,
+            EndpointId::from_u128(2),
+            FmapSpec::by_count(4, 100).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(ids.len(), 100);
+    assert_eq!(*api.batch_sizes.lock(), vec![25, 25, 25, 25]);
+}
+
+#[test]
+fn fmap_is_lazy_over_the_iterator() {
+    // An iterator that counts how far it was pulled: fmap must pull batch
+    // by batch ("memory-efficient batches", §4.7), not collect everything
+    // up front.
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let pulled = Arc::new(AtomicUsize::new(0));
+    let pulled2 = Arc::clone(&pulled);
+    let api = Arc::new(MockApi::default());
+    *api.pull_counter.lock() = Some(Arc::clone(&pulled));
+    let fc = client(Arc::clone(&api));
+    let inputs = (0..50).map(move |i| {
+        pulled2.fetch_add(1, Ordering::SeqCst);
+        vec![Value::Int(i)]
+    });
+    let ids = fc
+        .fmap(
+            FunctionId::from_u128(1),
+            inputs,
+            EndpointId::from_u128(2),
+            FmapSpec::by_size(10).unwrap(),
+        )
+        .unwrap();
+    assert_eq!(ids.len(), 50);
+    assert_eq!(pulled.load(Ordering::SeqCst), 50, "each item pulled exactly once");
+    // At each of the five batch submissions, only that batch's items had
+    // been pulled — the sixth pull probe (iterator exhaustion) may or may
+    // not have happened by the last call.
+    let observed = api.pulls_at_batch.lock().clone();
+    assert_eq!(observed.len(), 5);
+    for (i, &pulls) in observed.iter().enumerate() {
+        let batch_end = (i + 1) * 10;
+        assert!(
+            pulls <= batch_end + 1,
+            "batch {i}: {pulls} items pulled before submission (limit {})",
+            batch_end + 1
+        );
+    }
+}
+
+#[test]
+fn get_result_polls_until_ready() {
+    let api = Arc::new(MockApi::default());
+    *api.pending_polls.lock() = 3;
+    *api.outcome.lock() = Some(Ok(Value::Int(7)));
+    let fc = client(Arc::clone(&api));
+    let out = fc.get_result(TaskId::from_u128(9), Duration::from_secs(5)).unwrap();
+    assert_eq!(out, Value::Int(7));
+}
+
+#[test]
+fn get_result_times_out_cleanly() {
+    let api = Arc::new(MockApi::default());
+    *api.pending_polls.lock() = usize::MAX; // never ready
+    let fc = client(Arc::clone(&api));
+    let err = fc.get_result(TaskId::from_u128(9), Duration::from_millis(20)).unwrap_err();
+    assert!(matches!(err, FuncxError::Timeout(_)));
+}
+
+#[test]
+fn remote_failures_become_execution_failed() {
+    let api = Arc::new(MockApi::default());
+    *api.outcome.lock() = Some(Err("line 3: division by zero (in f)".into()));
+    let fc = client(Arc::clone(&api));
+    let err = fc.get_result(TaskId::from_u128(9), Duration::from_secs(1)).unwrap_err();
+    let FuncxError::ExecutionFailed(msg) = err else { panic!("{err:?}") };
+    assert!(msg.contains("division by zero"));
+}

@@ -1,0 +1,259 @@
+//! The [`Codec`] trait and the concrete codecs the facade orders by speed.
+//!
+//! Mirrors §4.6's library roster:
+//!
+//! | paper library | role | codec here |
+//! |---|---|---|
+//! | JSON | simple data, fastest for small documents | [`JsonCodec`] |
+//! | cpickle | arbitrary data objects | [`NativeCodec`] |
+//! | dill | function code | [`CodeCodec`] |
+//! | tblib | tracebacks | [`TracebackCodec`] |
+
+use funcx_lang::{LangError, Value};
+use funcx_types::{FuncxError, Result};
+
+use crate::native;
+use crate::Payload;
+
+/// One-byte codec identifier carried in every packed buffer header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CodecTag {
+    /// JSON text codec.
+    Json,
+    /// Native binary value codec.
+    Native,
+    /// Function-source codec.
+    Code,
+    /// Traceback codec.
+    Traceback,
+}
+
+impl CodecTag {
+    /// Wire byte for this codec.
+    pub fn as_byte(self) -> u8 {
+        match self {
+            CodecTag::Json => b'J',
+            CodecTag::Native => b'N',
+            CodecTag::Code => b'C',
+            CodecTag::Traceback => b'T',
+        }
+    }
+
+    /// Parse a wire byte.
+    pub fn from_byte(b: u8) -> Result<Self> {
+        match b {
+            b'J' => Ok(CodecTag::Json),
+            b'N' => Ok(CodecTag::Native),
+            b'C' => Ok(CodecTag::Code),
+            b'T' => Ok(CodecTag::Traceback),
+            other => Err(FuncxError::SerializationFailed(format!(
+                "unknown codec tag byte {other:#04x}"
+            ))),
+        }
+    }
+}
+
+/// A serialization backend. `try_encode` returns `None` when the codec
+/// cannot represent the payload (the facade then falls through to the next
+/// codec, exactly like the paper's successive-application design).
+pub trait Codec: Send + Sync {
+    /// This codec's header tag.
+    fn tag(&self) -> CodecTag;
+    /// Encode if representable.
+    fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>>;
+    /// Decode bytes previously produced by this codec.
+    fn decode(&self, bytes: &[u8]) -> Result<Payload>;
+}
+
+// ---------------------------------------------------------------------------
+
+/// JSON codec: documents only, and only when JSON can represent them
+/// faithfully (no bytes, no non-finite floats).
+pub struct JsonCodec;
+
+fn json_safe(v: &Value) -> bool {
+    match v {
+        Value::Bytes(_) => false,
+        Value::Float(f) => f.is_finite(),
+        Value::List(items) => items.iter().all(json_safe),
+        Value::Dict(pairs) => pairs.iter().all(|(_, v)| json_safe(v)),
+        _ => true,
+    }
+}
+
+impl Codec for JsonCodec {
+    fn tag(&self) -> CodecTag {
+        CodecTag::Json
+    }
+
+    fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
+        let Payload::Document(v) = payload else { return None };
+        if !json_safe(v) {
+            return None;
+        }
+        serde_json::to_vec(v).ok()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Payload> {
+        let v: Value = serde_json::from_slice(bytes)
+            .map_err(|e| FuncxError::SerializationFailed(format!("json decode: {e}")))?;
+        Ok(Payload::Document(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Native binary codec: any document.
+pub struct NativeCodec;
+
+impl Codec for NativeCodec {
+    fn tag(&self) -> CodecTag {
+        CodecTag::Native
+    }
+
+    fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
+        let Payload::Document(v) = payload else { return None };
+        let mut out = Vec::with_capacity(64);
+        native::encode_value(v, &mut out);
+        Some(out)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Payload> {
+        let (v, used) = native::decode_value(bytes)?;
+        if used != bytes.len() {
+            return Err(FuncxError::SerializationFailed(format!(
+                "native decode: {} trailing bytes",
+                bytes.len() - used
+            )));
+        }
+        Ok(Payload::Document(v))
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Code codec: `entry\n` then source (source is already text).
+pub struct CodeCodec;
+
+impl Codec for CodeCodec {
+    fn tag(&self) -> CodecTag {
+        CodecTag::Code
+    }
+
+    fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
+        let Payload::Code { source, entry } = payload else { return None };
+        debug_assert!(!entry.contains('\n'), "entry names never contain newlines");
+        let mut out = Vec::with_capacity(entry.len() + 1 + source.len());
+        out.extend_from_slice(entry.as_bytes());
+        out.push(b'\n');
+        out.extend_from_slice(source.as_bytes());
+        Some(out)
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Payload> {
+        let text = std::str::from_utf8(bytes)
+            .map_err(|_| FuncxError::SerializationFailed("code decode: invalid UTF-8".into()))?;
+        let (entry, source) = text.split_once('\n').ok_or_else(|| {
+            FuncxError::SerializationFailed("code decode: missing entry line".into())
+        })?;
+        if entry.is_empty() {
+            return Err(FuncxError::SerializationFailed("code decode: empty entry name".into()));
+        }
+        Ok(Payload::Code { source: source.to_string(), entry: entry.to_string() })
+    }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Traceback codec: message, line, and stack frames.
+pub struct TracebackCodec;
+
+impl Codec for TracebackCodec {
+    fn tag(&self) -> CodecTag {
+        CodecTag::Traceback
+    }
+
+    fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
+        let Payload::Traceback(e) = payload else { return None };
+        serde_json::to_vec(e).ok()
+    }
+
+    fn decode(&self, bytes: &[u8]) -> Result<Payload> {
+        let e: LangError = serde_json::from_slice(bytes)
+            .map_err(|e| FuncxError::SerializationFailed(format!("traceback decode: {e}")))?;
+        Ok(Payload::Traceback(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_bytes_roundtrip() {
+        for tag in [CodecTag::Json, CodecTag::Native, CodecTag::Code, CodecTag::Traceback] {
+            assert_eq!(CodecTag::from_byte(tag.as_byte()).unwrap(), tag);
+        }
+        assert!(CodecTag::from_byte(b'?').is_err());
+    }
+
+    #[test]
+    fn json_codec_declines_bytes_and_nonfinite() {
+        let c = JsonCodec;
+        assert!(c.try_encode(&Payload::Document(Value::Bytes(vec![1]))).is_none());
+        assert!(c.try_encode(&Payload::Document(Value::Float(f64::NAN))).is_none());
+        assert!(c
+            .try_encode(&Payload::Document(Value::List(vec![Value::Float(f64::INFINITY)])))
+            .is_none());
+        assert!(c.try_encode(&Payload::Document(Value::Int(1))).is_some());
+        // Declines non-documents entirely.
+        assert!(c
+            .try_encode(&Payload::Code { source: "s".into(), entry: "e".into() })
+            .is_none());
+    }
+
+    #[test]
+    fn native_codec_takes_what_json_declines() {
+        let c = NativeCodec;
+        let v = Value::Bytes(vec![1, 2, 3]);
+        let enc = c.try_encode(&Payload::Document(v.clone())).unwrap();
+        assert_eq!(c.decode(&enc).unwrap(), Payload::Document(v));
+    }
+
+    #[test]
+    fn native_codec_rejects_trailing_garbage() {
+        let c = NativeCodec;
+        let mut enc = c.try_encode(&Payload::Document(Value::Int(1))).unwrap();
+        enc.push(0);
+        assert!(c.decode(&enc).is_err());
+    }
+
+    #[test]
+    fn code_codec_roundtrip_multiline_source() {
+        let c = CodeCodec;
+        let p = Payload::Code {
+            source: "def f(x):\n    return x\n\ndef g():\n    return 0\n".into(),
+            entry: "f".into(),
+        };
+        let enc = c.try_encode(&p).unwrap();
+        assert_eq!(c.decode(&enc).unwrap(), p);
+    }
+
+    #[test]
+    fn code_codec_rejects_malformed() {
+        let c = CodeCodec;
+        assert!(c.decode(b"no-newline-anywhere").is_err());
+        assert!(c.decode(b"\nsource-with-empty-entry").is_err());
+        assert!(c.decode(&[0xff, 0xfe, b'\n']).is_err());
+    }
+
+    #[test]
+    fn traceback_codec_preserves_stack() {
+        let c = TracebackCodec;
+        let e = LangError::new("boom", 7).in_function("inner").in_function("outer");
+        let p = Payload::Traceback(e.clone());
+        let enc = c.try_encode(&p).unwrap();
+        let Payload::Traceback(back) = c.decode(&enc).unwrap() else { panic!() };
+        assert_eq!(back, e);
+    }
+}

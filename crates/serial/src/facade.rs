@@ -1,0 +1,149 @@
+//! The serializer facade: codecs applied "in order successively until the
+//! object is serialized" (§4.6).
+
+use std::sync::Arc;
+
+use funcx_types::ids::Uuid;
+use funcx_types::{FuncxError, Result};
+
+use crate::codec::{Codec, CodecTag};
+use crate::pack::{pack_buffer, unpack_buffer};
+use crate::Payload;
+
+/// The facade. Cheap to clone; codecs are shared.
+///
+/// ```
+/// use funcx_serial::{Payload, Serializer};
+/// use funcx_lang::Value;
+/// use funcx_types::ids::Uuid;
+///
+/// let s = Serializer::default();
+/// let routing = Uuid::random();
+/// let buf = s
+///     .serialize_packed(routing, &Payload::Document(Value::Int(42)))
+///     .unwrap();
+/// let (tag, payload) = s.deserialize_packed(&buf).unwrap();
+/// assert_eq!(tag, routing);
+/// assert_eq!(payload, Payload::Document(Value::Int(42)));
+/// ```
+#[derive(Clone)]
+pub struct Serializer {
+    codecs: Arc<Vec<Box<dyn Codec>>>,
+}
+
+impl Default for Serializer {
+    /// The production ordering: JSON first (fastest for the small, simple
+    /// documents that dominate funcX traffic), then the native binary codec,
+    /// then the specialized code/traceback codecs.
+    fn default() -> Self {
+        Serializer::new(vec![
+            Box::new(crate::codec::JsonCodec),
+            Box::new(crate::codec::NativeCodec),
+            Box::new(crate::codec::CodeCodec),
+            Box::new(crate::codec::TracebackCodec),
+        ])
+    }
+}
+
+impl Serializer {
+    /// Build a facade with an explicit codec ordering (ablation benches use
+    /// this to measure ordering sensitivity).
+    pub fn new(codecs: Vec<Box<dyn Codec>>) -> Self {
+        Serializer { codecs: Arc::new(codecs) }
+    }
+
+    /// Serialize a payload, returning the codec used and the encoded bytes.
+    pub fn serialize(&self, payload: &Payload) -> Result<(CodecTag, Vec<u8>)> {
+        for codec in self.codecs.iter() {
+            if let Some(bytes) = codec.try_encode(payload) {
+                return Ok((codec.tag(), bytes));
+            }
+        }
+        Err(FuncxError::SerializationFailed(
+            "no registered codec accepted the payload".into(),
+        ))
+    }
+
+    /// Deserialize bytes produced by the codec identified by `tag`.
+    pub fn deserialize(&self, tag: CodecTag, bytes: &[u8]) -> Result<Payload> {
+        let codec = self
+            .codecs
+            .iter()
+            .find(|c| c.tag() == tag)
+            .ok_or_else(|| {
+                FuncxError::SerializationFailed(format!("no codec registered for tag {tag:?}"))
+            })?;
+        codec.decode(bytes)
+    }
+
+    /// Serialize and pack into a routed wire buffer in one step.
+    pub fn serialize_packed(&self, routing: Uuid, payload: &Payload) -> Result<Vec<u8>> {
+        let (tag, body) = self.serialize(payload)?;
+        Ok(pack_buffer(routing, tag, &body))
+    }
+
+    /// Unpack a wire buffer and deserialize its body.
+    pub fn deserialize_packed(&self, buffer: &[u8]) -> Result<(Uuid, Payload)> {
+        let packed = unpack_buffer(buffer)?;
+        let payload = self.deserialize(packed.codec, packed.body)?;
+        Ok((packed.routing, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_lang::Value;
+
+    #[test]
+    fn simple_documents_choose_json() {
+        let s = Serializer::default();
+        let (tag, _) = s.serialize(&Payload::Document(Value::Int(5))).unwrap();
+        assert_eq!(tag, CodecTag::Json);
+    }
+
+    #[test]
+    fn binary_documents_fall_through_to_native() {
+        let s = Serializer::default();
+        let (tag, _) =
+            s.serialize(&Payload::Document(Value::Bytes(vec![0, 1]))).unwrap();
+        assert_eq!(tag, CodecTag::Native);
+    }
+
+    #[test]
+    fn code_falls_through_to_code_codec() {
+        let s = Serializer::default();
+        let (tag, _) = s
+            .serialize(&Payload::Code { source: "def f():\n    pass\n".into(), entry: "f".into() })
+            .unwrap();
+        assert_eq!(tag, CodecTag::Code);
+    }
+
+    #[test]
+    fn unknown_tag_on_decode_is_an_error() {
+        let s = Serializer::new(vec![Box::new(crate::codec::JsonCodec)]);
+        let e = s.deserialize(CodecTag::Native, &[]).unwrap_err();
+        assert!(matches!(e, FuncxError::SerializationFailed(_)));
+    }
+
+    #[test]
+    fn empty_facade_reports_exhaustion() {
+        let s = Serializer::new(vec![]);
+        let e = s.serialize(&Payload::Document(Value::None)).unwrap_err();
+        assert!(matches!(e, FuncxError::SerializationFailed(_)));
+    }
+
+    #[test]
+    fn reordered_facade_still_roundtrips() {
+        // Native-first ordering: JSON never gets a chance but everything
+        // still works — ordering is a performance choice, not correctness.
+        let s = Serializer::new(vec![
+            Box::new(crate::codec::NativeCodec),
+            Box::new(crate::codec::JsonCodec),
+        ]);
+        let v = Value::List(vec![Value::Int(1), Value::from("x")]);
+        let (tag, bytes) = s.serialize(&Payload::Document(v.clone())).unwrap();
+        assert_eq!(tag, CodecTag::Native);
+        assert_eq!(s.deserialize(tag, &bytes).unwrap(), Payload::Document(v));
+    }
+}

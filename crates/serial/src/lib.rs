@@ -1,0 +1,88 @@
+//! Serialization facade for funcX-rs (§4.6 of the paper).
+//!
+//! funcX "uses a Facade interface that leverages several serialization
+//! libraries, including cpickle, dill, tblib, and JSON. The funcX serializer
+//! sorts the serialization libraries by speed and applies them in order
+//! successively until the object is serialized." This crate reproduces that
+//! architecture:
+//!
+//! * [`Payload`] is what crosses the wire: an input/output *document*
+//!   (a [`Value`]), shipped function *code* (FxScript source — the `dill`
+//!   role), or a *traceback* (a [`LangError`] — the `tblib` role).
+//! * [`codec`] defines the [`Codec`](codec::Codec) trait and the concrete
+//!   codecs: JSON (fast, simple data only), the native binary codec
+//!   (everything), plus dedicated code/traceback codecs.
+//! * [`facade`] tries codecs in speed order until one accepts the payload.
+//! * [`pack`] wraps encoded bytes in a framed buffer whose header carries
+//!   the routing tag (task id) and the codec tag, "such that only the
+//!   buffers need be unpacked and deserialized at the destination" — the
+//!   service routes on the header without ever decoding the body.
+
+pub mod codec;
+pub mod facade;
+pub mod native;
+pub mod pack;
+
+pub use codec::{Codec, CodecTag};
+pub use facade::Serializer;
+pub use pack::{pack_buffer, unpack_buffer, PackedBuffer};
+
+use funcx_lang::{LangError, Value};
+use serde::{Deserialize, Serialize};
+
+/// Everything that crosses a funcX-rs wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// An input or output document (function arguments / return value).
+    Document(Value),
+    /// Shipped function code: source text plus the entry-point name.
+    Code {
+        /// FxScript source.
+        source: String,
+        /// Name of the `def` to invoke.
+        entry: String,
+    },
+    /// An execution error travelling back to the client.
+    Traceback(LangError),
+}
+
+impl Payload {
+    /// Convenience: the document value, if this is a document.
+    pub fn as_document(&self) -> Option<&Value> {
+        match self {
+            Payload::Document(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_document_roundtrip() {
+        let s = Serializer::default();
+        let v = Value::Dict(vec![
+            ("xs".into(), Value::List(vec![Value::Int(1), Value::Int(2)])),
+            ("name".into(), Value::from("hello-world")),
+        ]);
+        let task = funcx_types::TaskId::random();
+        let buf = s.serialize_packed(task.uuid(), &Payload::Document(v.clone())).unwrap();
+        let (routing, payload) = s.deserialize_packed(&buf).unwrap();
+        assert_eq!(routing, task.uuid());
+        assert_eq!(payload, Payload::Document(v));
+    }
+
+    #[test]
+    fn code_and_traceback_roundtrip() {
+        let s = Serializer::default();
+        let code = Payload::Code { source: "def f():\n    return 1\n".into(), entry: "f".into() };
+        let buf = s.serialize_packed(funcx_types::ids::Uuid::nil(), &code).unwrap();
+        assert_eq!(s.deserialize_packed(&buf).unwrap().1, code);
+
+        let tb = Payload::Traceback(LangError::new("division by zero", 3).in_function("f"));
+        let buf = s.serialize_packed(funcx_types::ids::Uuid::nil(), &tb).unwrap();
+        assert_eq!(s.deserialize_packed(&buf).unwrap().1, tb);
+    }
+}

@@ -1,0 +1,281 @@
+//! Compact binary encoding of [`Value`] trees — the `cpickle` analogue.
+//!
+//! Wire format: one tag byte per node, little-endian fixed-width scalars,
+//! u32 length prefixes. Decoding is defensive: lengths are sanity-checked
+//! against the remaining input and nesting depth is bounded, since buffers
+//! arrive from the network.
+
+use funcx_lang::Value;
+use funcx_types::{FuncxError, Result};
+
+const TAG_NONE: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_LIST: u8 = 6;
+const TAG_DICT: u8 = 7;
+const TAG_BYTES: u8 = 8;
+
+/// Maximum nesting depth accepted by the decoder.
+const MAX_DEPTH: u32 = 64;
+
+/// Encode a value tree into `out`.
+pub fn encode_value(v: &Value, out: &mut Vec<u8>) {
+    match v {
+        Value::None => out.push(TAG_NONE),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            out.push(TAG_FLOAT);
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_len(out, s.len());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Bytes(b) => {
+            out.push(TAG_BYTES);
+            write_len(out, b.len());
+            out.extend_from_slice(b);
+        }
+        Value::List(items) => {
+            out.push(TAG_LIST);
+            write_len(out, items.len());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Dict(pairs) => {
+            out.push(TAG_DICT);
+            write_len(out, pairs.len());
+            for (k, v) in pairs {
+                write_len(out, k.len());
+                out.extend_from_slice(k.as_bytes());
+                encode_value(v, out);
+            }
+        }
+    }
+}
+
+/// Decode one value tree from the front of `input`, returning the value and
+/// the number of bytes consumed.
+pub fn decode_value(input: &[u8]) -> Result<(Value, usize)> {
+    let mut cursor = Cursor { input, pos: 0 };
+    let v = cursor.read_value(0)?;
+    Ok((v, cursor.pos))
+}
+
+fn write_len(out: &mut Vec<u8>, len: usize) {
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+}
+
+struct Cursor<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn bad(&self, what: &str) -> FuncxError {
+        FuncxError::SerializationFailed(format!("native decode: {what} at offset {}", self.pos))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.input.len() {
+            return Err(self.bad("truncated input"));
+        }
+        let s = &self.input[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn read_u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn read_len(&mut self) -> Result<usize> {
+        let b = self.take(4)?;
+        let n = u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize;
+        // A length can never exceed the bytes remaining; element counts are
+        // at least 1 byte each, so this also bounds allocations.
+        if n > self.input.len() - self.pos {
+            return Err(self.bad("length prefix exceeds remaining input"));
+        }
+        Ok(n)
+    }
+
+    fn read_str(&mut self) -> Result<String> {
+        let n = self.read_len()?;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| self.bad("invalid UTF-8"))
+    }
+
+    fn read_value(&mut self, depth: u32) -> Result<Value> {
+        if depth > MAX_DEPTH {
+            return Err(self.bad("nesting too deep"));
+        }
+        match self.read_u8()? {
+            TAG_NONE => Ok(Value::None),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_INT => {
+                let b = self.take(8)?;
+                Ok(Value::Int(i64::from_le_bytes(b.try_into().expect("8 bytes"))))
+            }
+            TAG_FLOAT => {
+                let b = self.take(8)?;
+                Ok(Value::Float(f64::from_le_bytes(b.try_into().expect("8 bytes"))))
+            }
+            TAG_STR => Ok(Value::Str(self.read_str()?)),
+            TAG_BYTES => {
+                let n = self.read_len()?;
+                Ok(Value::Bytes(self.take(n)?.to_vec()))
+            }
+            TAG_LIST => {
+                let n = self.read_len()?;
+                let mut items = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    items.push(self.read_value(depth + 1)?);
+                }
+                Ok(Value::List(items))
+            }
+            TAG_DICT => {
+                let n = self.read_len()?;
+                let mut pairs = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    let k = self.read_str()?;
+                    let v = self.read_value(depth + 1)?;
+                    pairs.push((k, v));
+                }
+                Ok(Value::Dict(pairs))
+            }
+            t => Err(self.bad(&format!("unknown tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(v: &Value) -> Value {
+        let mut buf = Vec::new();
+        encode_value(v, &mut buf);
+        let (out, used) = decode_value(&buf).unwrap();
+        assert_eq!(used, buf.len(), "must consume the full encoding");
+        out
+    }
+
+    #[test]
+    fn scalars() {
+        for v in [
+            Value::None,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::Int(i64::MIN),
+            Value::Int(i64::MAX),
+            Value::Float(-0.0),
+            Value::Float(f64::INFINITY),
+            Value::Str("héllo ∀".into()),
+            Value::Bytes(vec![0, 1, 255]),
+        ] {
+            assert_eq!(roundtrip(&v), v);
+        }
+    }
+
+    #[test]
+    fn nan_roundtrips_as_nan() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Float(f64::NAN), &mut buf);
+        let (out, _) = decode_value(&buf).unwrap();
+        let Value::Float(f) = out else { panic!() };
+        assert!(f.is_nan());
+    }
+
+    #[test]
+    fn nested_containers() {
+        let v = Value::Dict(vec![
+            ("list".into(), Value::List(vec![Value::Int(1), Value::Str("x".into())])),
+            ("nested".into(), Value::Dict(vec![("k".into(), Value::None)])),
+        ]);
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let mut buf = Vec::new();
+        encode_value(&Value::Str("hello".into()), &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_value(&buf[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn hostile_length_rejected() {
+        // TAG_STR with a length claiming 4GB.
+        let buf = [TAG_STR, 0xff, 0xff, 0xff, 0xff];
+        assert!(decode_value(&buf).is_err());
+    }
+
+    #[test]
+    fn hostile_depth_rejected() {
+        // 100 nested single-element lists.
+        let mut buf = Vec::new();
+        for _ in 0..100 {
+            buf.push(TAG_LIST);
+            buf.extend_from_slice(&1u32.to_le_bytes());
+        }
+        buf.push(TAG_NONE);
+        assert!(decode_value(&buf).is_err());
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert!(decode_value(&[99]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut buf = vec![TAG_STR];
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(decode_value(&buf).is_err());
+    }
+
+    fn arb_value() -> impl Strategy<Value = Value> {
+        let leaf = prop_oneof![
+            Just(Value::None),
+            any::<bool>().prop_map(Value::Bool),
+            any::<i64>().prop_map(Value::Int),
+            any::<f64>().prop_filter("no NaN for equality", |f| !f.is_nan()).prop_map(Value::Float),
+            ".{0,20}".prop_map(Value::Str),
+            proptest::collection::vec(any::<u8>(), 0..20).prop_map(Value::Bytes),
+        ];
+        leaf.prop_recursive(4, 64, 8, |inner| {
+            prop_oneof![
+                proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
+                proptest::collection::vec((".{0,8}", inner), 0..8)
+                    .prop_map(|pairs| Value::Dict(pairs)),
+            ]
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_value(v in arb_value()) {
+            prop_assert_eq!(roundtrip(&v), v);
+        }
+
+        #[test]
+        fn decoder_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_value(&bytes); // must not panic
+        }
+    }
+}

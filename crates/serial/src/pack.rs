@@ -1,0 +1,151 @@
+//! Packed wire buffers.
+//!
+//! "Once objects are serialized, they are packed into buffers with headers
+//! that include routing tags and the serialization method, such that only
+//! the buffers need be unpacked and deserialized at the destination" (§4.6).
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! +------+-------+----------------+-----------+------------+
+//! | "FX" | codec | routing (16 B) | len (u32) | body ...   |
+//! +------+-------+----------------+-----------+------------+
+//! ```
+//!
+//! The service and forwarder route on the 16-byte routing tag (the task id)
+//! without decoding the body; only the worker (for inputs) and the client
+//! (for results) ever run a codec.
+
+use funcx_types::ids::Uuid;
+use funcx_types::{FuncxError, Result};
+
+use crate::codec::CodecTag;
+
+/// Two-byte magic prefix.
+pub const MAGIC: [u8; 2] = *b"FX";
+
+/// Header size: magic (2) + codec (1) + routing (16) + length (4).
+pub const HEADER_LEN: usize = 2 + 1 + 16 + 4;
+
+/// A borrowed view of an unpacked buffer.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PackedBuffer<'a> {
+    /// Routing tag (task id, or nil for control payloads).
+    pub routing: Uuid,
+    /// Which codec encoded the body.
+    pub codec: CodecTag,
+    /// The encoded body.
+    pub body: &'a [u8],
+}
+
+/// Pack an encoded body into a routed buffer.
+pub fn pack_buffer(routing: Uuid, codec: CodecTag, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(codec.as_byte());
+    out.extend_from_slice(&routing.as_u128().to_be_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Unpack a routed buffer, validating magic, codec, and length.
+pub fn unpack_buffer(buffer: &[u8]) -> Result<PackedBuffer<'_>> {
+    if buffer.len() < HEADER_LEN {
+        return Err(FuncxError::SerializationFailed(format!(
+            "buffer of {} bytes is shorter than the {HEADER_LEN}-byte header",
+            buffer.len()
+        )));
+    }
+    if buffer[0..2] != MAGIC {
+        return Err(FuncxError::SerializationFailed("bad magic prefix".into()));
+    }
+    let codec = CodecTag::from_byte(buffer[2])?;
+    let routing = Uuid::from_u128(u128::from_be_bytes(
+        buffer[3..19].try_into().expect("16 bytes"),
+    ));
+    let len = u32::from_le_bytes(buffer[19..23].try_into().expect("4 bytes")) as usize;
+    let body = &buffer[HEADER_LEN..];
+    if body.len() != len {
+        return Err(FuncxError::SerializationFailed(format!(
+            "header claims {len} body bytes, buffer carries {}",
+            body.len()
+        )));
+    }
+    Ok(PackedBuffer { routing, codec, body })
+}
+
+/// Read only the routing tag — what the forwarder does on the hot path.
+pub fn peek_routing(buffer: &[u8]) -> Result<Uuid> {
+    if buffer.len() < HEADER_LEN || buffer[0..2] != MAGIC {
+        return Err(FuncxError::SerializationFailed("not a packed buffer".into()));
+    }
+    Ok(Uuid::from_u128(u128::from_be_bytes(
+        buffer[3..19].try_into().expect("16 bytes"),
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let routing = Uuid::random();
+        let buf = pack_buffer(routing, CodecTag::Native, b"hello");
+        let p = unpack_buffer(&buf).unwrap();
+        assert_eq!(p.routing, routing);
+        assert_eq!(p.codec, CodecTag::Native);
+        assert_eq!(p.body, b"hello");
+        assert_eq!(peek_routing(&buf).unwrap(), routing);
+    }
+
+    #[test]
+    fn empty_body_ok() {
+        let buf = pack_buffer(Uuid::nil(), CodecTag::Json, b"");
+        let p = unpack_buffer(&buf).unwrap();
+        assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(unpack_buffer(b"FX").is_err());
+        assert!(unpack_buffer(&[]).is_err());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = pack_buffer(Uuid::nil(), CodecTag::Json, b"x");
+        buf[0] = b'Z';
+        assert!(unpack_buffer(&buf).is_err());
+        assert!(peek_routing(&buf).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut buf = pack_buffer(Uuid::nil(), CodecTag::Json, b"abc");
+        buf.pop(); // truncate body
+        assert!(unpack_buffer(&buf).is_err());
+        buf.push(b'c');
+        buf.push(b'd'); // extend body
+        assert!(unpack_buffer(&buf).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn unpack_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let _ = unpack_buffer(&bytes);
+            let _ = peek_routing(&bytes);
+        }
+
+        #[test]
+        fn roundtrip_any_body(body in proptest::collection::vec(any::<u8>(), 0..512), raw in any::<u128>()) {
+            let routing = Uuid::from_u128(raw);
+            let buf = pack_buffer(routing, CodecTag::Code, &body);
+            let p = unpack_buffer(&buf).unwrap();
+            prop_assert_eq!(p.routing, routing);
+            prop_assert_eq!(p.body, &body[..]);
+        }
+    }
+}

@@ -1,0 +1,596 @@
+//! Forwarders: the service-side peer of each connected endpoint (§4.1).
+//!
+//! "When an endpoint registers with the funcX service a unique forwarder
+//! process is created for each endpoint. Endpoints establish ZeroMQ
+//! connections with their forwarder to receive tasks, return results, and
+//! perform heartbeats. ... The forwarder dispatches tasks to the agent only
+//! when an agent is connected. The forwarder uses heartbeats to detect if
+//! an agent is disconnected and then returns outstanding tasks back into
+//! the task queue. When the agent reconnects the tasks are forwarded to
+//! that agent. This architecture ensures that funcX agents receive tasks
+//! with at least once semantics."
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use funcx_proto::channel::{inproc_pair_with_latency, ChannelHandle};
+use funcx_proto::heartbeat::HeartbeatTracker;
+use funcx_proto::message::{Message, TaskDispatch, TaskResult};
+use funcx_serial::{pack_buffer, Payload};
+use funcx_store::QueueKind;
+use funcx_types::task::{TaskOutcome, TaskState};
+use funcx_types::time::{VirtualDuration, VirtualInstant};
+use funcx_types::{EndpointId, FuncxError, FunctionId, TaskId};
+
+use crate::memo::MemoCache;
+use crate::service::FuncxService;
+
+/// Handle to a running forwarder thread.
+pub struct Forwarder {
+    endpoint_id: EndpointId,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Forwarder {
+    /// Which endpoint this forwarder serves.
+    pub fn endpoint_id(&self) -> EndpointId {
+        self.endpoint_id
+    }
+
+    /// Stop the forwarder (service shutdown; not a failure path).
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    /// True while the forwarder loop runs — i.e. while the agent is
+    /// connected (the loop exits when the agent is lost).
+    pub fn is_running(&self) -> bool {
+        self.thread.as_ref().map(|t| !t.is_finished()).unwrap_or(false)
+    }
+}
+
+impl Drop for Forwarder {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl FuncxService {
+    /// Create the forwarder for an endpoint and return the channel the
+    /// agent should connect over, with `latency` of one-way propagation
+    /// delay injected (the WAN between the cloud service and the facility).
+    ///
+    /// Models the §4.1 registration flow: each (re)connection gets a fresh
+    /// forwarder; the old one, if any, has already exited by requeueing its
+    /// outstanding tasks.
+    pub fn connect_endpoint(
+        self: &Arc<Self>,
+        endpoint_id: EndpointId,
+        latency: VirtualDuration,
+    ) -> funcx_types::Result<(Forwarder, ChannelHandle)> {
+        // Ensure the endpoint exists before spawning anything.
+        let _ = self.endpoints.get(endpoint_id)?;
+        let (service_side, agent_side) = inproc_pair_with_latency(self.clock(), latency);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let service = Arc::clone(self);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("funcx-forwarder-{endpoint_id}"))
+                .spawn(move || run_forwarder_loop(service, endpoint_id, service_side, shutdown))
+                .expect("spawn forwarder thread")
+        };
+        Ok((Forwarder { endpoint_id, shutdown, thread: Some(thread) }, agent_side))
+    }
+}
+
+impl FuncxService {
+    /// Like [`connect_endpoint`](Self::connect_endpoint), but over real TCP:
+    /// binds `addr` (port 0 = ephemeral), returns the bound address for the
+    /// remote agent to dial (`funcx_proto::tcp::connect`), and runs the
+    /// forwarder once the agent's connection arrives. This is the
+    /// distributed deployment path — "Communication addresses are
+    /// communicated as part of the registration process" (§4.8).
+    pub fn connect_endpoint_tcp(
+        self: &Arc<Self>,
+        endpoint_id: EndpointId,
+        addr: &str,
+    ) -> funcx_types::Result<(Forwarder, std::net::SocketAddr)> {
+        let _ = self.endpoints.get(endpoint_id)?;
+        let server = funcx_proto::tcp::TcpServer::bind(addr)?;
+        let bound = server.local_addr();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let service = Arc::clone(self);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name(format!("funcx-forwarder-tcp-{endpoint_id}"))
+                .spawn(move || {
+                    // Wait for the agent to dial in, honouring shutdown.
+                    let channel = loop {
+                        if shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        match server.accept_timeout(std::time::Duration::from_millis(50)) {
+                            Ok(Some(ch)) => break ch,
+                            Ok(None) => continue,
+                            Err(_) => return,
+                        }
+                    };
+                    run_forwarder_loop(service, endpoint_id, channel, shutdown)
+                })
+                .expect("spawn tcp forwarder thread")
+        };
+        Ok((Forwarder { endpoint_id, shutdown, thread: Some(thread) }, bound))
+    }
+}
+
+fn run_forwarder_loop(
+    service: Arc<FuncxService>,
+    endpoint_id: EndpointId,
+    channel: ChannelHandle,
+    shutdown: Arc<AtomicBool>,
+) {
+    let config = service.config.clone();
+    let clock = service.clock();
+    let task_queue = service.store.queue(endpoint_id, QueueKind::Task);
+    let result_queue = service.store.queue(endpoint_id, QueueKind::Result);
+
+    // Phase 1: wait for the agent's registration.
+    loop {
+        if shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        match channel.recv_timeout(config.poll_interval) {
+            Ok(Message::RegisterEndpoint { endpoint_id: claimed, .. }) => {
+                if claimed != endpoint_id {
+                    // An agent for a different endpoint on our channel is a
+                    // protocol violation; refuse service.
+                    let _ = channel.send(Message::Shutdown);
+                    return;
+                }
+                let _ = service.endpoints.mark_online(endpoint_id);
+                let _ = channel.send(Message::RegisterAck);
+                break;
+            }
+            Ok(_) => {} // ignore anything pre-registration
+            Err(FuncxError::Timeout(_)) => {}
+            Err(_) => return, // agent vanished before registering
+        }
+    }
+
+    // Phase 2: dispatch/collect until the agent is lost or we shut down.
+    let heartbeat = HeartbeatTracker::new(clock.clone(), config.heartbeat_timeout);
+    let mut outstanding: HashMap<TaskId, ()> = HashMap::new();
+    // Per-(function, version) packed-code cache: code buffers are immutable
+    // per version, so each forwarder serializes a function body once.
+    let mut code_cache: HashMap<(FunctionId, u32), Vec<u8>> = HashMap::new();
+    let mut last_heartbeat = clock.now();
+    let mut hb_seq = 0u64;
+    let mut agent_lost = false;
+
+    while !shutdown.load(Ordering::Acquire) && !agent_lost {
+        // 1. Drain the task queue into a dispatch batch (Fig. 3 step 4).
+        let drained = task_queue.drain(config.forwarder_batch);
+        if !drained.is_empty() {
+            let mut batch: Vec<TaskDispatch> = Vec::with_capacity(drained.len());
+            let now = clock.now();
+            for raw in drained {
+                let Some(task_id) = FuncxService::queue_bytes_to_task_id(&raw) else { continue };
+                let Some(dispatch) =
+                    build_dispatch(&service, task_id, now, &mut code_cache)
+                else {
+                    continue;
+                };
+                outstanding.insert(task_id, ());
+                batch.push(dispatch);
+            }
+            if !batch.is_empty() && channel.send(Message::Tasks(batch)).is_err() {
+                agent_lost = true;
+            }
+        }
+
+        // 2. Inbound from the agent.
+        match channel.recv_timeout(config.poll_interval) {
+            Ok(msg) => {
+                heartbeat.record();
+                match msg {
+                    Message::Results(results) => {
+                        for r in &results {
+                            outstanding.remove(&r.task_id);
+                        }
+                        store_results(&service, endpoint_id, results, &result_queue);
+                    }
+                    Message::Heartbeat { seq } => {
+                        let _ = channel.send(Message::HeartbeatAck { seq });
+                    }
+                    Message::HeartbeatAck { .. } => {}
+                    Message::RegisterEndpoint { .. } => {
+                        // Duplicate registration on a live channel: ack again.
+                        let _ = channel.send(Message::RegisterAck);
+                    }
+                    Message::Shutdown => break,
+                    _ => {}
+                }
+            }
+            Err(FuncxError::Timeout(_)) => {}
+            Err(_) => agent_lost = true,
+        }
+
+        // 3. Liveness: silence beyond the timeout counts as loss.
+        if !heartbeat.is_alive() {
+            agent_lost = true;
+        }
+
+        // 4. Our own heartbeat.
+        let now = clock.now();
+        if now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period {
+            hb_seq += 1;
+            if channel.send(Message::Heartbeat { seq: hb_seq }).is_err() {
+                agent_lost = true;
+            }
+            last_heartbeat = now;
+        }
+    }
+
+    // Exit: return outstanding tasks to the queue for redelivery ("returns
+    // outstanding tasks back into the task queue", §4.1) and mark offline.
+    if agent_lost {
+        let requeued = requeue_outstanding(&service, outstanding);
+        let _ = requeued;
+        let _ = service.endpoints.mark_offline(endpoint_id);
+    }
+}
+
+/// Build the wire dispatch for a queued task, updating its record.
+fn build_dispatch(
+    service: &Arc<FuncxService>,
+    task_id: TaskId,
+    now: VirtualInstant,
+    code_cache: &mut HashMap<(FunctionId, u32), Vec<u8>>,
+) -> Option<TaskDispatch> {
+    let mut tasks = service.tasks.write();
+    let record = tasks.get_mut(&task_id)?;
+    if record.state != TaskState::WaitingForEndpoint {
+        return None; // raced with a duplicate delivery; skip
+    }
+    let function = service.functions.get(record.spec.function_id).ok()?;
+    let code = code_cache
+        .entry((function.function_id, function.version))
+        .or_insert_with(|| {
+            let payload =
+                Payload::Code { source: function.source.clone(), entry: function.entry.clone() };
+            let (tag, body) = service
+                .serializer()
+                .serialize(&payload)
+                .expect("code serialization cannot fail");
+            pack_buffer(task_id.uuid(), tag, &body)
+        })
+        .clone();
+    record.transition(TaskState::DispatchedToEndpoint);
+    record.timeline.forwarder_read = Some(now);
+    record.delivery_count += 1;
+    let container_modules = record
+        .spec
+        .container
+        .and_then(|img| service.images.get(img))
+        .map(|img| img.modules)
+        .unwrap_or_default();
+    Some(TaskDispatch {
+        task_id,
+        function_id: record.spec.function_id,
+        code,
+        payload: record.spec.payload.clone(),
+        container: record.spec.container,
+        container_modules,
+    })
+}
+
+/// Write results into records, the memo cache, and the result queue
+/// (Fig. 3 steps 5–6).
+fn store_results(
+    service: &Arc<FuncxService>,
+    _endpoint_id: EndpointId,
+    results: Vec<TaskResult>,
+    result_queue: &Arc<funcx_store::BlockingQueue>,
+) {
+    let now = service.clock().now();
+    let mut tasks = service.tasks.write();
+    for r in results {
+        let Some(record) = tasks.get_mut(&r.task_id) else { continue };
+        if record.state.is_terminal() {
+            continue; // duplicate delivery of a result
+        }
+        // Remote-side timeline (shared virtual clock).
+        record.timeline.endpoint_received =
+            Some(VirtualInstant::from_nanos(r.endpoint_received_nanos));
+        record.timeline.execution_start = Some(VirtualInstant::from_nanos(r.exec_start_nanos));
+        record.timeline.execution_end = Some(VirtualInstant::from_nanos(r.exec_end_nanos));
+        record.timeline.result_stored = Some(now);
+        if record.state == TaskState::DispatchedToEndpoint {
+            record.transition(TaskState::WaitingForLaunch);
+        }
+        if record.state == TaskState::WaitingForLaunch {
+            record.transition(TaskState::Running);
+        }
+        if r.success {
+            record.transition(TaskState::Success);
+            record.outcome = Some(TaskOutcome::Success(r.body.clone()));
+            // Memoize successful results when the submission allowed it.
+            if record.spec.allow_memo {
+                if let Ok(function) = service.functions.get(record.spec.function_id) {
+                    if let Ok(unpacked) = funcx_serial::unpack_buffer(&record.spec.payload) {
+                        let key = MemoCache::key(&function.source, unpacked.body);
+                        service.memo.insert(key, r.body.clone());
+                    }
+                }
+            }
+        } else {
+            record.transition(TaskState::Failed);
+            let message = service
+                .serializer()
+                .deserialize_packed(&r.body)
+                .ok()
+                .and_then(|(_, p)| match p {
+                    Payload::Traceback(e) => Some(e.to_string()),
+                    _ => None,
+                })
+                .unwrap_or_else(|| "execution failed (unreadable traceback)".to_string());
+            record.outcome = Some(TaskOutcome::Failure(message));
+        }
+        result_queue.push_back(FuncxService::task_id_to_queue_bytes(r.task_id));
+    }
+}
+
+/// Return outstanding tasks to the front of the queue for redelivery.
+fn requeue_outstanding(
+    service: &Arc<FuncxService>,
+    outstanding: HashMap<TaskId, ()>,
+) -> usize {
+    let mut n = 0;
+    let mut tasks = service.tasks.write();
+    for (task_id, ()) in outstanding {
+        let Some(record) = tasks.get_mut(&task_id) else { continue };
+        if record.state.is_terminal() {
+            continue;
+        }
+        if record.state == TaskState::DispatchedToEndpoint {
+            record.transition(TaskState::WaitingForEndpoint);
+        }
+        service
+            .store
+            .queue(record.spec.endpoint_id, QueueKind::Task)
+            .push_front(FuncxService::task_id_to_queue_bytes(task_id));
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use crate::service::SubmitRequest;
+    use funcx_auth::{IdentityProvider, Scope};
+    use funcx_endpoint::{Agent, EndpointConfig, Manager};
+    use funcx_lang::Value;
+    use funcx_proto::channel::inproc_pair;
+    use funcx_registry::Sharing;
+    use funcx_serial::Serializer;
+    use funcx_types::time::{RealClock, SharedClock};
+    use std::time::Duration;
+
+    fn fast_endpoint_config() -> EndpointConfig {
+        EndpointConfig {
+            workers_per_manager: 4,
+            dispatch_overhead: Duration::ZERO,
+            heartbeat_period: Duration::from_secs(2),
+            heartbeat_timeout: Duration::from_secs(600),
+            ..EndpointConfig::default()
+        }
+    }
+
+    #[allow(dead_code)]
+    struct Deployment {
+        service: Arc<FuncxService>,
+        token: String,
+        endpoint_id: EndpointId,
+        forwarder: Forwarder,
+        agent: Agent,
+        managers: Vec<Manager>,
+        clock: SharedClock,
+    }
+
+    /// Full stack: service + forwarder + agent + one manager, in-process.
+    fn deploy() -> Deployment {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let service = FuncxService::new(
+            Arc::clone(&clock),
+            ServiceConfig {
+                heartbeat_timeout: Duration::from_secs(600),
+                ..ServiceConfig::default()
+            },
+        );
+        let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+        let endpoint_id = service.register_endpoint(&token, "laptop", "", false).unwrap();
+        let (forwarder, agent_channel) =
+            service.connect_endpoint(endpoint_id, Duration::ZERO).unwrap();
+        let config = fast_endpoint_config();
+        let agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
+        let (agent_side, mgr_side) = inproc_pair();
+        let manager = Manager::spawn(
+            config,
+            Arc::clone(&clock),
+            Serializer::default(),
+            mgr_side,
+            None,
+            None,
+        );
+        agent.attach_manager(agent_side);
+        Deployment {
+            service,
+            token,
+            endpoint_id,
+            forwarder,
+            agent,
+            managers: vec![manager],
+            clock,
+        }
+    }
+
+    fn await_result(
+        d: &Deployment,
+        task: TaskId,
+        timeout: Duration,
+    ) -> Option<TaskOutcome> {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if let Ok(Some(outcome)) = d.service.get_result(&d.token, task) {
+                return Some(outcome);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        None
+    }
+
+    fn register_fn(d: &Deployment, source: &str, entry: &str) -> FunctionId {
+        d.service
+            .register_function(&d.token, entry, source, entry, None, Sharing::default())
+            .unwrap()
+    }
+
+    fn submit(
+        d: &Deployment,
+        f: FunctionId,
+        args: Vec<Value>,
+        allow_memo: bool,
+    ) -> TaskId {
+        d.service
+            .submit(
+                &d.token,
+                SubmitRequest {
+                    function_id: f,
+                    endpoint_id: d.endpoint_id,
+                    args,
+                    kwargs: vec![],
+                    allow_memo,
+                },
+            )
+            .unwrap()
+    }
+
+    #[test]
+    fn full_path_submit_execute_retrieve() {
+        let mut d = deploy();
+        let f = register_fn(&d, "def double(x):\n    return x * 2\n", "double");
+        let task = submit(&d, f, vec![Value::Int(21)], false);
+        let outcome = await_result(&d, task, Duration::from_secs(20)).expect("task completed");
+        let TaskOutcome::Success(body) = outcome else { panic!("failed: {outcome:?}") };
+        let (_, payload) = d.service.serializer().deserialize_packed(&body).unwrap();
+        assert_eq!(payload, Payload::Document(Value::Int(42)));
+        assert_eq!(d.service.status(&d.token, task).unwrap(), TaskState::Success);
+
+        // Timeline is fully populated (Figure 4 instrumentation).
+        let record = d.service.task_record(task).unwrap();
+        assert!(record.timeline.total().is_some());
+        assert!(record.timeline.t_service().is_some());
+        assert!(record.timeline.t_exec().is_some());
+        assert_eq!(record.delivery_count, 1);
+
+        for m in &mut d.managers {
+            m.stop();
+        }
+        d.agent.stop();
+        d.forwarder.stop();
+    }
+
+    #[test]
+    fn failures_surface_the_remote_traceback() {
+        let mut d = deploy();
+        let f = register_fn(&d, "def boom():\n    return 1 / 0\n", "boom");
+        let task = submit(&d, f, vec![], false);
+        let outcome = await_result(&d, task, Duration::from_secs(20)).expect("task completed");
+        let TaskOutcome::Failure(msg) = outcome else { panic!("expected failure") };
+        assert!(msg.contains("division by zero"), "{msg}");
+        assert_eq!(d.service.status(&d.token, task).unwrap(), TaskState::Failed);
+        for m in &mut d.managers {
+            m.stop();
+        }
+    }
+
+    #[test]
+    fn memoization_end_to_end() {
+        let mut d = deploy();
+        let f = register_fn(
+            &d,
+            "def slow_id(x):\n    sleep(500)\n    return x\n",
+            "slow_id",
+        );
+        // First call executes remotely (500 virtual s ≈ 0.5 s wall).
+        let t1 = submit(&d, f, vec![Value::Int(7)], true);
+        let o1 = await_result(&d, t1, Duration::from_secs(30)).expect("first run");
+        assert!(matches!(o1, TaskOutcome::Success(_)));
+        assert!(d.service.memo.len() >= 1, "result memoized");
+
+        // Second identical call is served instantly from cache — no queue.
+        let before = d.service.memo.stats().hits;
+        let t2 = submit(&d, f, vec![Value::Int(7)], true);
+        assert_eq!(d.service.status(&d.token, t2).unwrap(), TaskState::Success);
+        assert_eq!(d.service.memo.stats().hits, before + 1);
+
+        // Different argument misses.
+        let t3 = submit(&d, f, vec![Value::Int(8)], true);
+        assert_ne!(d.service.status(&d.token, t3).unwrap(), TaskState::Success);
+        let _ = await_result(&d, t3, Duration::from_secs(30));
+        for m in &mut d.managers {
+            m.stop();
+        }
+    }
+
+    #[test]
+    fn endpoint_failure_requeues_and_redelivers() {
+        let mut d = deploy();
+        let f = register_fn(&d, "def f():\n    sleep(2000)\n    return 'done'\n", "f");
+        let task = submit(&d, f, vec![], false);
+        // Let the task reach the worker (2000 virtual s ≈ 2 s wall).
+        std::thread::sleep(Duration::from_millis(300));
+        assert_eq!(d.service.status(&d.token, task).unwrap(), TaskState::DispatchedToEndpoint);
+
+        // Sever the agent (Figure 8 failure).
+        d.agent.disconnect_forwarder();
+        // Forwarder notices (channel closed) and requeues; endpoint offline.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while d.forwarder.is_running() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(!d.forwarder.is_running(), "old forwarder exits on loss");
+        assert_eq!(
+            d.service.status(&d.token, task).unwrap(),
+            TaskState::WaitingForEndpoint,
+            "outstanding task returned to the queue"
+        );
+        assert_eq!(
+            d.service.endpoints.get(d.endpoint_id).unwrap().status,
+            funcx_registry::EndpointStatus::Offline
+        );
+
+        // Recovery: agent reconnects through a fresh forwarder (§4.3).
+        let (fwd2, agent_channel) =
+            d.service.connect_endpoint(d.endpoint_id, Duration::ZERO).unwrap();
+        d.agent.reconnect(agent_channel);
+        let outcome = await_result(&d, task, Duration::from_secs(30)).expect("redelivered");
+        assert!(matches!(outcome, TaskOutcome::Success(_)));
+        let record = d.service.task_record(task).unwrap();
+        assert!(record.delivery_count >= 2, "task was redelivered");
+        drop(fwd2);
+        for m in &mut d.managers {
+            m.stop();
+        }
+    }
+}

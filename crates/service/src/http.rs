@@ -1,0 +1,332 @@
+//! Minimal HTTP/1.1 server and client.
+//!
+//! The paper's API is "a JSON POST request to the REST API" (§3). This
+//! module gives the REST layer a real socket to live on without pulling in
+//! a web framework: one thread per connection, `Connection: close`
+//! semantics, Content-Length bodies only. It is deliberately small — just
+//! enough protocol for the funcX API and its tests.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use funcx_types::{FuncxError, Result};
+
+/// Largest accepted request body (1 MiB — bigger payloads must go
+/// out-of-band, mirroring the service's data-size stance).
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// `GET`, `POST`, `PUT`, `DELETE`.
+    pub method: String,
+    /// Path with no query string, e.g. `/v1/tasks/abc/status`.
+    pub path: String,
+    /// Lower-cased header map.
+    pub headers: HashMap<String, String>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Bearer token from the Authorization header, if present.
+    pub fn bearer(&self) -> Option<&str> {
+        self.headers
+            .get("authorization")
+            .and_then(|v| v.strip_prefix("Bearer "))
+    }
+}
+
+/// An HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Body bytes (JSON in this service).
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// 200 with a JSON body.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response { status, body: body.into() }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            401 => "Unauthorized",
+            403 => "Forbidden",
+            404 => "Not Found",
+            408 => "Request Timeout",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+}
+
+/// Handler type for the server.
+pub type Handler = Arc<dyn Fn(Request) -> Response + Send + Sync>;
+
+/// A running HTTP server.
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Bind and serve `handler` on `addr` (use port 0 for ephemeral).
+    pub fn serve(addr: &str, handler: Handler) -> Result<HttpServer> {
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| FuncxError::Internal(format!("http bind {addr}: {e}")))?;
+        let local = listener
+            .local_addr()
+            .map_err(|e| FuncxError::Internal(format!("http local_addr: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| FuncxError::Internal(format!("http nonblocking: {e}")))?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("funcx-http-accept".into())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::Acquire) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                let handler = Arc::clone(&handler);
+                                std::thread::Builder::new()
+                                    .name("funcx-http-conn".into())
+                                    .spawn(move || handle_connection(stream, handler))
+                                    .ok();
+                            }
+                            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(std::time::Duration::from_millis(2));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })
+                .expect("spawn http accept thread")
+        };
+        Ok(HttpServer { addr: local, shutdown, thread: Some(thread) })
+    }
+
+    /// Bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn handle_connection(stream: TcpStream, handler: Handler) {
+    let peer = stream.try_clone();
+    let Ok(mut write_half) = peer else { return };
+    let mut reader = BufReader::new(stream);
+    match read_request(&mut reader) {
+        Ok(req) => {
+            let resp = handler(req);
+            let _ = write_response(&mut write_half, &resp);
+        }
+        Err(status) => {
+            let resp = Response::json(status, format!("{{\"error\":\"http {status}\"}}"));
+            let _ = write_response(&mut write_half, &resp);
+        }
+    }
+    let _ = write_half.shutdown(std::net::Shutdown::Both);
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::result::Result<Request, u16> {
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|_| 400u16)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(400u16)?.to_string();
+    let raw_path = parts.next().ok_or(400u16)?;
+    let path = raw_path.split('?').next().unwrap_or(raw_path).to_string();
+
+    let mut headers = HashMap::new();
+    loop {
+        let mut hline = String::new();
+        reader.read_line(&mut hline).map_err(|_| 400u16)?;
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            headers.insert(k.trim().to_lowercase(), v.trim().to_string());
+        }
+    }
+
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    if len > MAX_BODY {
+        return Err(413);
+    }
+    let mut body = vec![0u8; len];
+    if len > 0 {
+        reader.read_exact(&mut body).map_err(|_| 400u16)?;
+    }
+    Ok(Request { method, path, headers, body })
+}
+
+fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        resp.status,
+        resp.reason(),
+        resp.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(&resp.body)?;
+    stream.flush()
+}
+
+/// One-shot HTTP client request (`Connection: close`).
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    bearer: Option<&str>,
+    body: &[u8],
+) -> Result<Response> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| FuncxError::Disconnected(format!("http connect {addr}: {e}")))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: funcx\r\nContent-Length: {}\r\n", body.len());
+    if let Some(token) = bearer {
+        head.push_str(&format!("Authorization: Bearer {token}\r\n"));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|_| stream.write_all(body))
+        .map_err(|e| FuncxError::Disconnected(format!("http send: {e}")))?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .map_err(|e| FuncxError::Disconnected(format!("http recv: {e}")))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| FuncxError::ProtocolViolation("bad http status line".into()))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut hline = String::new();
+        reader
+            .read_line(&mut hline)
+            .map_err(|e| FuncxError::Disconnected(format!("http recv: {e}")))?;
+        let trimmed = hline.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = trimmed.split_once(':') {
+            if k.trim().eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| FuncxError::Disconnected(format!("http recv body: {e}")))?;
+    Ok(Response { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn echo_server() -> HttpServer {
+        HttpServer::serve(
+            "127.0.0.1:0",
+            Arc::new(|req: Request| {
+                let body = format!(
+                    "{{\"method\":\"{}\",\"path\":\"{}\",\"len\":{},\"bearer\":\"{}\"}}",
+                    req.method,
+                    req.path,
+                    req.body.len(),
+                    req.bearer().unwrap_or("")
+                );
+                Response::json(200, body)
+            }),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let server = echo_server();
+        let resp = http_request(
+            server.local_addr(),
+            "POST",
+            "/v1/submit",
+            Some("tok123"),
+            b"{\"x\":1}",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"method\":\"POST\""));
+        assert!(text.contains("\"path\":\"/v1/submit\""));
+        assert!(text.contains("\"len\":7"));
+        assert!(text.contains("\"bearer\":\"tok123\""));
+    }
+
+    #[test]
+    fn query_strings_are_stripped() {
+        let server = echo_server();
+        let resp =
+            http_request(server.local_addr(), "GET", "/v1/tasks?limit=5", None, b"").unwrap();
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(text.contains("\"path\":\"/v1/tasks\""));
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = echo_server();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..16)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let resp =
+                        http_request(addr, "GET", &format!("/r/{i}"), None, b"").unwrap();
+                    assert_eq!(resp.status, 200);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_body_get() {
+        let server = echo_server();
+        let resp = http_request(server.local_addr(), "GET", "/", None, b"").unwrap();
+        assert_eq!(resp.status, 200);
+    }
+}

@@ -1,0 +1,30 @@
+//! The cloud-hosted funcX service (§4.1 of the paper).
+//!
+//! "Users interact with funcX via a cloud-hosted service which exposes a
+//! REST API for registering functions and endpoints, and for executing
+//! functions, monitoring their execution, and retrieving results."
+//!
+//! Pieces, mapped to the paper's architecture figure:
+//!
+//! * [`service`] — the service core: registries (RDS substitute), the Redis
+//!   substitute's task/result queues, task lifecycle records, memoization;
+//! * [`forwarder`] — one forwarder per connected endpoint: pops the
+//!   endpoint's task queue, ships batches over the agent channel, writes
+//!   results back, and requeues outstanding tasks when heartbeats lapse
+//!   ("at least once semantics", §4.1);
+//! * [`memo`] — the §4.7 memoization cache (function body + input hash →
+//!   cached result);
+//! * [`http`] — a minimal HTTP/1.1 server/client so the REST API really
+//!   crosses a socket;
+//! * [`rest`] — the JSON routes bound onto [`service::FuncxService`].
+
+pub mod config;
+pub mod forwarder;
+pub mod http;
+pub mod memo;
+pub mod rest;
+pub mod service;
+
+pub use config::ServiceConfig;
+pub use memo::MemoCache;
+pub use service::{FuncxService, SubmitRequest};

@@ -1,0 +1,148 @@
+//! Memoization (§4.7).
+//!
+//! "funcX supports memoization by hashing the function body and input
+//! document and storing a mapping from hash to computed results.
+//! Memoization is only used if explicitly set by the user."
+
+use std::collections::{HashMap, VecDeque};
+
+use funcx_types::hash::memo_key;
+use parking_lot::Mutex;
+
+/// Hit/miss counters (Table 3's experiment reads these).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to stay under capacity.
+    pub evictions: u64,
+}
+
+struct Inner {
+    map: HashMap<u64, Vec<u8>>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    stats: MemoStats,
+}
+
+/// FIFO-bounded result cache keyed on (function body, input document).
+pub struct MemoCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl MemoCache {
+    /// New cache holding at most `capacity` results.
+    pub fn new(capacity: usize) -> Self {
+        MemoCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                stats: MemoStats::default(),
+            }),
+        }
+    }
+
+    /// Cache key for a function body + serialized input document.
+    pub fn key(function_body: &str, input_document: &[u8]) -> u64 {
+        memo_key(function_body.as_bytes(), input_document)
+    }
+
+    /// Look up a cached result body.
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        match inner.map.get(&key).cloned() {
+            Some(v) => {
+                inner.stats.hits += 1;
+                Some(v)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a successful result body. Failed executions are never
+    /// memoized (a retry might succeed).
+    pub fn insert(&self, key: u64, result_body: Vec<u8>) {
+        let mut inner = self.inner.lock();
+        if inner.map.insert(key, result_body).is_none() {
+            inner.order.push_back(key);
+            while inner.order.len() > self.capacity {
+                if let Some(old) = inner.order.pop_front() {
+                    inner.map.remove(&old);
+                    inner.stats.evictions += 1;
+                }
+            }
+        }
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counters snapshot.
+    pub fn stats(&self) -> MemoStats {
+        self.inner.lock().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_hits() {
+        let cache = MemoCache::new(10);
+        let k = MemoCache::key("def f():\n    return 1\n", b"{\"args\":[]}");
+        assert_eq!(cache.get(k), None);
+        cache.insert(k, vec![1, 2, 3]);
+        assert_eq!(cache.get(k), Some(vec![1, 2, 3]));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn key_distinguishes_body_and_input() {
+        let a = MemoCache::key("def f():\n    return 1\n", b"x");
+        let b = MemoCache::key("def f():\n    return 2\n", b"x");
+        let c = MemoCache::key("def f():\n    return 1\n", b"y");
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fifo_eviction_under_capacity_pressure() {
+        let cache = MemoCache::new(3);
+        for i in 0..5u64 {
+            cache.insert(i, vec![i as u8]);
+        }
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().evictions, 2);
+        // Oldest two evicted.
+        assert_eq!(cache.get(0), None);
+        assert_eq!(cache.get(1), None);
+        assert_eq!(cache.get(4), Some(vec![4]));
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order() {
+        let cache = MemoCache::new(2);
+        cache.insert(1, vec![1]);
+        cache.insert(1, vec![2]); // overwrite
+        cache.insert(2, vec![3]);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(1), Some(vec![2]));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+}

@@ -1,0 +1,524 @@
+//! The JSON REST API (§3: "All user interactions with funcX are performed
+//! via a REST API implemented by a cloud-hosted funcX service").
+//!
+//! Routes:
+//!
+//! | method | path | body | returns |
+//! |---|---|---|---|
+//! | POST | `/v1/functions` | [`RegisterFunctionBody`] | `{"function_id"}` |
+//! | PUT  | `/v1/functions/<id>` | [`UpdateFunctionBody`] | `{"version"}` |
+//! | POST | `/v1/images` | [`RegisterImageBody`] | `{"image_id"}` |
+//! | POST | `/v1/endpoints` | [`RegisterEndpointBody`] | `{"endpoint_id"}` |
+//! | POST | `/v1/submit` | [`SubmitBody`] | `{"task_id"}` |
+//! | POST | `/v1/batch` | `{"tasks": [SubmitBody...]}` | `{"task_ids"}` |
+//! | GET  | `/v1/tasks/<id>/status` | — | `{"status"}` |
+//! | GET  | `/v1/tasks/<id>/result` | — | result / pending / error |
+//!
+//! All routes require `Authorization: Bearer <token>`.
+
+use std::sync::Arc;
+
+use funcx_lang::Value;
+use funcx_serial::Payload;
+use funcx_types::task::TaskOutcome;
+use funcx_types::{EndpointId, FuncxError, FunctionId, TaskId};
+use serde::{Deserialize, Serialize};
+
+use crate::http::{Handler, HttpServer, Request, Response};
+use crate::service::{FuncxService, SubmitRequest};
+
+/// POST /v1/functions
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RegisterFunctionBody {
+    /// Display name.
+    pub name: String,
+    /// FxScript source.
+    pub source: String,
+    /// Entry-point `def`.
+    pub entry: String,
+    /// Public invocation flag.
+    #[serde(default)]
+    pub public: bool,
+    /// Container image to execute in (from POST /v1/images), if any.
+    #[serde(default)]
+    pub container_id: Option<String>,
+}
+
+/// PUT /v1/functions/<id>
+#[derive(Debug, Serialize, Deserialize)]
+pub struct UpdateFunctionBody {
+    /// New source, if changing.
+    #[serde(default)]
+    pub source: Option<String>,
+    /// New entry point, if changing.
+    #[serde(default)]
+    pub entry: Option<String>,
+}
+
+/// POST /v1/images
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RegisterImageBody {
+    /// Image name, e.g. `dlhub/mnist:3`.
+    pub name: String,
+    /// Container technology: "docker", "singularity", or "shifter".
+    pub tech: String,
+    /// FxScript modules baked in beyond the base runtime.
+    #[serde(default)]
+    pub modules: Vec<String>,
+}
+
+/// POST /v1/endpoints
+#[derive(Debug, Serialize, Deserialize)]
+pub struct RegisterEndpointBody {
+    /// Display name.
+    pub name: String,
+    /// Description.
+    #[serde(default)]
+    pub description: String,
+    /// Public targeting flag.
+    #[serde(default)]
+    pub public: bool,
+}
+
+/// POST /v1/submit (and the element type of /v1/batch)
+#[derive(Debug, Serialize, Deserialize)]
+pub struct SubmitBody {
+    /// Registered function.
+    pub function_id: String,
+    /// Target endpoint.
+    pub endpoint_id: String,
+    /// Positional args.
+    #[serde(default)]
+    pub args: Vec<Value>,
+    /// Keyword args.
+    #[serde(default)]
+    pub kwargs: Vec<(String, Value)>,
+    /// Allow memoized results.
+    #[serde(default)]
+    pub allow_memo: bool,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BatchBody {
+    tasks: Vec<SubmitBody>,
+}
+
+fn ok_json<T: Serialize>(value: &T) -> Response {
+    Response::json(200, serde_json::to_vec(value).expect("serializable"))
+}
+
+fn err_json(e: &FuncxError) -> Response {
+    let body = serde_json::json!({ "error": e.code(), "message": e.to_string() });
+    Response::json(e.http_status(), serde_json::to_vec(&body).expect("serializable"))
+}
+
+fn bad_request(msg: &str) -> Response {
+    err_json(&FuncxError::BadRequest(msg.to_string()))
+}
+
+fn parse_body<T: for<'de> Deserialize<'de>>(req: &Request) -> Result<T, Response> {
+    serde_json::from_slice(&req.body).map_err(|e| bad_request(&format!("invalid JSON body: {e}")))
+}
+
+fn submit_request_of(body: SubmitBody) -> Result<SubmitRequest, Response> {
+    let function_id: FunctionId =
+        body.function_id.parse().map_err(|_| bad_request("bad function_id"))?;
+    let endpoint_id: EndpointId =
+        body.endpoint_id.parse().map_err(|_| bad_request("bad endpoint_id"))?;
+    Ok(SubmitRequest {
+        function_id,
+        endpoint_id,
+        args: body.args,
+        kwargs: body.kwargs,
+        allow_memo: body.allow_memo,
+    })
+}
+
+/// Build the route handler over a service.
+pub fn make_handler(service: Arc<FuncxService>) -> Handler {
+    Arc::new(move |req: Request| route(&service, req))
+}
+
+/// Serve the REST API on `addr` (port 0 = ephemeral).
+pub fn serve_rest(service: Arc<FuncxService>, addr: &str) -> funcx_types::Result<HttpServer> {
+    HttpServer::serve(addr, make_handler(service))
+}
+
+fn route(service: &Arc<FuncxService>, req: Request) -> Response {
+    let Some(bearer) = req.bearer().map(str::to_string) else {
+        return err_json(&FuncxError::Unauthenticated("missing bearer token".into()));
+    };
+    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("POST", ["v1", "functions"]) => {
+            let body: RegisterFunctionBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let sharing = funcx_registry::Sharing { public: body.public, ..Default::default() };
+            let container = match body.container_id.as_deref() {
+                None => None,
+                Some(raw) => match raw.parse() {
+                    Ok(id) => Some(id),
+                    Err(_) => return bad_request("bad container_id"),
+                },
+            };
+            match service.register_function(
+                &bearer, &body.name, &body.source, &body.entry, container, sharing,
+            ) {
+                Ok(id) => ok_json(&serde_json::json!({ "function_id": id.to_string() })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("PUT", ["v1", "functions", id]) => {
+            let function_id: FunctionId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad function id"),
+            };
+            let body: UpdateFunctionBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            match service.update_function(
+                &bearer,
+                function_id,
+                body.source.as_deref(),
+                body.entry.as_deref(),
+            ) {
+                Ok(version) => ok_json(&serde_json::json!({ "version": version })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("POST", ["v1", "images"]) => {
+            let body: RegisterImageBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let tech = match body.tech.to_lowercase().as_str() {
+                "docker" => funcx_container::ContainerTech::Docker,
+                "singularity" => funcx_container::ContainerTech::Singularity,
+                "shifter" => funcx_container::ContainerTech::Shifter,
+                other => return bad_request(&format!("unknown container tech '{other}'")),
+            };
+            match service.register_image(&bearer, &body.name, tech, body.modules) {
+                Ok(id) => ok_json(&serde_json::json!({ "image_id": id.to_string() })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("POST", ["v1", "endpoints"]) => {
+            let body: RegisterEndpointBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            match service.register_endpoint(&bearer, &body.name, &body.description, body.public) {
+                Ok(id) => ok_json(&serde_json::json!({ "endpoint_id": id.to_string() })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("POST", ["v1", "submit"]) => {
+            let body: SubmitBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let request = match submit_request_of(body) {
+                Ok(r) => r,
+                Err(resp) => return resp,
+            };
+            match service.submit(&bearer, request) {
+                Ok(task) => ok_json(&serde_json::json!({ "task_id": task.to_string() })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("POST", ["v1", "batch"]) => {
+            let body: BatchBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let mut requests = Vec::with_capacity(body.tasks.len());
+            for t in body.tasks {
+                match submit_request_of(t) {
+                    Ok(r) => requests.push(r),
+                    Err(resp) => return resp,
+                }
+            }
+            match service.submit_batch(&bearer, requests) {
+                Ok(ids) => ok_json(&serde_json::json!({
+                    "task_ids": ids.iter().map(|t| t.to_string()).collect::<Vec<_>>()
+                })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "tasks", id, "status"]) => {
+            let task: TaskId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad task id"),
+            };
+            match service.status(&bearer, task) {
+                Ok(state) => ok_json(&serde_json::json!({ "status": format!("{state:?}") })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "tasks", id, "result"]) => {
+            let task: TaskId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad task id"),
+            };
+            match service.get_result(&bearer, task) {
+                Ok(None) => ok_json(&serde_json::json!({ "pending": true })),
+                Ok(Some(TaskOutcome::Success(body))) => {
+                    match service.serializer().deserialize_packed(&body) {
+                        Ok((_, Payload::Document(v))) => {
+                            ok_json(&serde_json::json!({ "pending": false, "success": true, "result": v }))
+                        }
+                        _ => ok_json(&serde_json::json!({
+                            "pending": false, "success": true, "result": null,
+                            "note": "result body not a document"
+                        })),
+                    }
+                }
+                Ok(Some(TaskOutcome::Failure(msg))) => ok_json(&serde_json::json!({
+                    "pending": false, "success": false, "error": msg
+                })),
+                Err(e) => err_json(&e),
+            }
+        }
+        _ => err_json(&FuncxError::BadRequest(format!(
+            "no route {} {}",
+            req.method, req.path
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use crate::http::http_request;
+    use funcx_auth::{IdentityProvider, Scope};
+    use funcx_types::time::{RealClock, SharedClock};
+
+    fn rest_service() -> (HttpServer, String) {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let service = FuncxService::new(clock, ServiceConfig::default());
+        let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+        let server = serve_rest(service, "127.0.0.1:0").unwrap();
+        (server, token)
+    }
+
+    fn post(
+        server: &HttpServer,
+        path: &str,
+        token: Option<&str>,
+        body: serde_json::Value,
+    ) -> (u16, serde_json::Value) {
+        let resp = http_request(
+            server.local_addr(),
+            "POST",
+            path,
+            token,
+            &serde_json::to_vec(&body).unwrap(),
+        )
+        .unwrap();
+        let parsed = serde_json::from_slice(&resp.body).unwrap_or(serde_json::Value::Null);
+        (resp.status, parsed)
+    }
+
+    #[test]
+    fn register_function_and_endpoint_over_http() {
+        let (server, token) = rest_service();
+        let (status, body) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({
+                "name": "hello",
+                "source": "def hello():\n    return 'hello-world'\n",
+                "entry": "hello"
+            }),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body["function_id"].as_str().unwrap().len() > 30);
+
+        let (status, body) = post(
+            &server,
+            "/v1/endpoints",
+            Some(&token),
+            serde_json::json!({ "name": "theta", "description": "ALCF" }),
+        );
+        assert_eq!(status, 200);
+        assert!(body["endpoint_id"].is_string());
+    }
+
+    #[test]
+    fn submit_queues_and_status_reports_over_http() {
+        let (server, token) = rest_service();
+        let (_, f) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({
+                "name": "f", "source": "def f(x):\n    return x\n", "entry": "f"
+            }),
+        );
+        let (_, ep) = post(
+            &server,
+            "/v1/endpoints",
+            Some(&token),
+            serde_json::json!({ "name": "ep" }),
+        );
+        let (status, body) = post(
+            &server,
+            "/v1/submit",
+            Some(&token),
+            serde_json::json!({
+                "function_id": f["function_id"],
+                "endpoint_id": ep["endpoint_id"],
+                "args": [{"Int": 5}]
+            }),
+        );
+        assert_eq!(status, 200, "{body}");
+        let task_id = body["task_id"].as_str().unwrap().to_string();
+
+        let resp = http_request(
+            server.local_addr(),
+            "GET",
+            &format!("/v1/tasks/{task_id}/status"),
+            Some(&token),
+            b"",
+        )
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(parsed["status"], "WaitingForEndpoint");
+
+        let resp = http_request(
+            server.local_addr(),
+            "GET",
+            &format!("/v1/tasks/{task_id}/result"),
+            Some(&token),
+            b"",
+        )
+        .unwrap();
+        let parsed: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(parsed["pending"], true);
+    }
+
+    #[test]
+    fn auth_failures_map_to_http_statuses() {
+        let (server, token) = rest_service();
+        // Missing token.
+        let resp = http_request(server.local_addr(), "POST", "/v1/functions", None, b"{}").unwrap();
+        assert_eq!(resp.status, 401);
+        // Bogus token.
+        let (status, _) = post(
+            &server,
+            "/v1/functions",
+            Some("bogus"),
+            serde_json::json!({ "name": "f", "source": "def f():\n    return 0\n", "entry": "f" }),
+        );
+        assert_eq!(status, 401);
+        // Good token, bad body.
+        let resp = http_request(
+            server.local_addr(),
+            "POST",
+            "/v1/functions",
+            Some(&token),
+            b"not json",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 400);
+        // Unknown route.
+        let resp =
+            http_request(server.local_addr(), "GET", "/v1/nowhere", Some(&token), b"").unwrap();
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn invalid_source_rejected_with_400() {
+        let (server, token) = rest_service();
+        let (status, body) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({ "name": "bad", "source": "def bad(:\n", "entry": "bad" }),
+        );
+        assert_eq!(status, 400);
+        assert_eq!(body["error"], "bad_request");
+    }
+
+    #[test]
+    fn image_registration_and_container_functions_over_http() {
+        let (server, token) = rest_service();
+        let (status, body) = post(
+            &server,
+            "/v1/images",
+            Some(&token),
+            serde_json::json!({
+                "name": "automo:1", "tech": "docker", "modules": ["tomopy"]
+            }),
+        );
+        assert_eq!(status, 200, "{body}");
+        let image_id = body["image_id"].as_str().unwrap().to_string();
+
+        // Function importing the image's module registers against it.
+        let (status, body) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({
+                "name": "prep",
+                "source": "import tomopy\ndef prep(x):\n    return x\n",
+                "entry": "prep",
+                "container_id": image_id
+            }),
+        );
+        assert_eq!(status, 200, "{body}");
+
+        // Unknown tech and bogus container ids are clean 400s.
+        let (status, _) = post(
+            &server,
+            "/v1/images",
+            Some(&token),
+            serde_json::json!({ "name": "x", "tech": "podman" }),
+        );
+        assert_eq!(status, 400);
+        let (status, _) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({
+                "name": "f", "source": "def f():\n    return 1\n", "entry": "f",
+                "container_id": "not-a-uuid"
+            }),
+        );
+        assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn batch_submission_over_http() {
+        let (server, token) = rest_service();
+        let (_, f) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({ "name": "f", "source": "def f():\n    return 0\n", "entry": "f" }),
+        );
+        let (_, ep) = post(
+            &server,
+            "/v1/endpoints",
+            Some(&token),
+            serde_json::json!({ "name": "ep" }),
+        );
+        let task = serde_json::json!({
+            "function_id": f["function_id"],
+            "endpoint_id": ep["endpoint_id"]
+        });
+        let (status, body) = post(
+            &server,
+            "/v1/batch",
+            Some(&token),
+            serde_json::json!({ "tasks": [task, task, task] }),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body["task_ids"].as_array().unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,648 @@
+//! The funcX service core.
+//!
+//! Owns the registries (RDS substitute), the task store and per-endpoint
+//! queues (Redis substitute), the memoization cache, and task lifecycle
+//! records. The REST layer and the in-proc SDK both call these methods; the
+//! per-endpoint forwarders consume the queues.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use funcx_auth::{AuthService, Scope};
+use funcx_lang::Value;
+use funcx_registry::{EndpointRegistry, FunctionRegistry, Sharing};
+use funcx_serial::{pack_buffer, Payload, Serializer};
+use funcx_store::{QueueKind, Store};
+use funcx_types::ids::Uuid;
+use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState};
+use funcx_types::time::SharedClock;
+use funcx_types::{ContainerImageId, EndpointId, FuncxError, FunctionId, Result, TaskId, UserId};
+use parking_lot::RwLock;
+
+use crate::config::ServiceConfig;
+use crate::memo::MemoCache;
+
+/// One task submission (the unit of the batch API).
+#[derive(Debug, Clone)]
+pub struct SubmitRequest {
+    /// Function to run.
+    pub function_id: FunctionId,
+    /// Endpoint to run it on.
+    pub endpoint_id: EndpointId,
+    /// Positional arguments.
+    pub args: Vec<Value>,
+    /// Keyword arguments.
+    pub kwargs: Vec<(String, Value)>,
+    /// Allow a memoized result (§4.7: off unless the user asks).
+    pub allow_memo: bool,
+}
+
+/// The cloud-hosted funcX service.
+pub struct FuncxService {
+    pub(crate) clock: SharedClock,
+    pub(crate) config: ServiceConfig,
+    /// Globus Auth substitute.
+    pub auth: Arc<AuthService>,
+    /// Function registry.
+    pub functions: FunctionRegistry,
+    /// Endpoint registry.
+    pub endpoints: EndpointRegistry,
+    /// Redis substitute (task/result queues; also usable as a scratch KV).
+    pub store: Arc<Store>,
+    /// Container image registry (§4.2: functions may name a container
+    /// image carrying their dependencies).
+    pub images: funcx_container::ImageRegistry,
+    /// Memoization cache.
+    pub memo: MemoCache,
+    pub(crate) serializer: Serializer,
+    /// Task lifecycle records (the Redis task hashset of §4.1).
+    pub(crate) tasks: RwLock<HashMap<TaskId, TaskRecord>>,
+}
+
+impl FuncxService {
+    /// Stand up a service on the given clock.
+    pub fn new(clock: SharedClock, config: ServiceConfig) -> Arc<Self> {
+        Arc::new(FuncxService {
+            auth: AuthService::new(Arc::clone(&clock)),
+            functions: FunctionRegistry::new(),
+            endpoints: EndpointRegistry::new(),
+            store: Store::new(Arc::clone(&clock)),
+            images: funcx_container::ImageRegistry::new(),
+            memo: MemoCache::new(config.memo_capacity),
+            serializer: Serializer::default(),
+            tasks: RwLock::new(HashMap::new()),
+            config,
+            clock,
+        })
+    }
+
+    /// The service clock (components of a deployment share it).
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    /// The serialization facade.
+    pub fn serializer(&self) -> &Serializer {
+        &self.serializer
+    }
+
+    fn charge_auth(&self) {
+        self.clock.sleep(self.config.auth_cost);
+    }
+
+    fn charge_store(&self) {
+        self.clock.sleep(self.config.store_cost);
+    }
+
+    // ---- registration ----------------------------------------------------
+
+    /// Register a container image (§4.2). `modules` lists the FxScript
+    /// modules baked into the image beyond the always-present base runtime
+    /// — the analogue of the Python dependencies a repo2docker build
+    /// installs.
+    pub fn register_image(
+        &self,
+        bearer: &str,
+        name: &str,
+        tech: funcx_container::ContainerTech,
+        modules: Vec<String>,
+    ) -> Result<ContainerImageId> {
+        self.charge_auth();
+        let _user = self.auth.authorize(bearer, Scope::RegisterFunction)?;
+        self.charge_store();
+        Ok(self.images.register(name, tech, modules))
+    }
+
+    /// Register a function (§3): validates the source *at registration*
+    /// so dispatch never ships an unparsable body, and — when a container
+    /// is named — checks that the image carries every module the function
+    /// imports ("The function body must specify all imported modules").
+    pub fn register_function(
+        &self,
+        bearer: &str,
+        name: &str,
+        source: &str,
+        entry: &str,
+        container: Option<ContainerImageId>,
+        sharing: Sharing,
+    ) -> Result<FunctionId> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RegisterFunction)?;
+        let program = funcx_lang::parse(source)
+            .map_err(|e| FuncxError::BadRequest(format!("function body invalid: {e}")))?;
+        if program.find_def(entry).is_none() {
+            return Err(FuncxError::BadRequest(format!(
+                "source does not define function '{entry}'"
+            )));
+        }
+        if let Some(image_id) = container {
+            let image = self.images.get(image_id).ok_or_else(|| {
+                FuncxError::BadRequest(format!("container image {image_id} is not registered"))
+            })?;
+            // Base modules ship in every worker environment (§4.2); images
+            // only need to carry anything beyond that set.
+            let extra: Vec<String> = program
+                .imports
+                .iter()
+                .filter(|m| !funcx_lang::interp::base_modules().contains(&m.as_str()))
+                .cloned()
+                .collect();
+            if !image.supports_imports(&extra) {
+                let missing: Vec<&str> = extra
+                    .iter()
+                    .filter(|m| !image.modules.iter().any(|have| have == *m))
+                    .map(String::as_str)
+                    .collect();
+                return Err(FuncxError::BadRequest(format!(
+                    "image '{}' lacks module(s) required by the function: {}",
+                    image.name,
+                    missing.join(", ")
+                )));
+            }
+        }
+        self.charge_store();
+        Ok(self
+            .functions
+            .register(user, name, source, entry, container, sharing, self.clock.now()))
+    }
+
+    /// Update a function the caller owns.
+    pub fn update_function(
+        &self,
+        bearer: &str,
+        function_id: FunctionId,
+        source: Option<&str>,
+        entry: Option<&str>,
+    ) -> Result<u32> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RegisterFunction)?;
+        if let Some(src) = source {
+            let entry_name = match entry {
+                Some(e) => e.to_string(),
+                None => self.functions.get(function_id)?.entry,
+            };
+            funcx_lang::validate_function(src, &entry_name)
+                .map_err(|e| FuncxError::BadRequest(format!("function body invalid: {e}")))?;
+        }
+        self.charge_store();
+        self.functions.update(function_id, user, source, entry, None, None)
+    }
+
+    /// Register an endpoint (§3).
+    pub fn register_endpoint(
+        &self,
+        bearer: &str,
+        name: &str,
+        description: &str,
+        public: bool,
+    ) -> Result<EndpointId> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
+        self.charge_store();
+        Ok(self.endpoints.register(user, name, description, public, self.clock.now()))
+    }
+
+    // ---- submission -------------------------------------------------------
+
+    /// Submit one task. Figure 3 steps 1–3: authenticate, store the record,
+    /// append to the endpoint's task queue.
+    pub fn submit(&self, bearer: &str, request: SubmitRequest) -> Result<TaskId> {
+        // `received` is stamped before authentication: Figure 4's `ts`
+        // component explicitly includes the auth work ("Most funcX overhead
+        // is captured in ts as a result of authentication").
+        let received = self.clock.now();
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RunFunction)?;
+        let mut ids = self.submit_authorized(user, vec![request], received)?;
+        Ok(ids.pop().expect("one request, one id"))
+    }
+
+    /// Submit many tasks under one authentication — the server side of the
+    /// user-driven `map`/batch optimization (§4.7): "creating fewer, larger
+    /// requests" amortizes the per-request auth cost.
+    pub fn submit_batch(&self, bearer: &str, requests: Vec<SubmitRequest>) -> Result<Vec<TaskId>> {
+        let received = self.clock.now();
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RunFunction)?;
+        self.submit_authorized(user, requests, received)
+    }
+
+    fn submit_authorized(
+        &self,
+        user: UserId,
+        requests: Vec<SubmitRequest>,
+        received: funcx_types::time::VirtualInstant,
+    ) -> Result<Vec<TaskId>> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for request in requests {
+            ids.push(self.submit_one(user, request, received)?);
+        }
+        Ok(ids)
+    }
+
+    fn submit_one(
+        &self,
+        user: UserId,
+        request: SubmitRequest,
+        received: funcx_types::time::VirtualInstant,
+    ) -> Result<TaskId> {
+        let function = self.functions.get(request.function_id)?;
+        if !function.may_invoke(user, |groups| self.auth.in_any_group(user, groups)) {
+            return Err(FuncxError::Forbidden(format!(
+                "function {} is not shared with user {user}",
+                request.function_id
+            )));
+        }
+        let endpoint = self.endpoints.get(request.endpoint_id)?;
+        if !endpoint.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
+            return Err(FuncxError::Forbidden(format!(
+                "endpoint {} is not shared with user {user}",
+                request.endpoint_id
+            )));
+        }
+
+        // Serialize the input document once; the same bytes feed the memo
+        // key and (packed with the task's routing tag) the dispatch payload.
+        let doc = Value::Dict(vec![
+            ("args".into(), Value::List(request.args)),
+            ("kwargs".into(), Value::Dict(request.kwargs)),
+        ]);
+        let (codec, doc_body) = self.serializer.serialize(&Payload::Document(doc))?;
+        if doc_body.len() > self.config.payload_limit {
+            return Err(FuncxError::PayloadTooLarge {
+                size: doc_body.len(),
+                limit: self.config.payload_limit,
+            });
+        }
+
+        let task_id = TaskId::random();
+        let payload = pack_buffer(task_id.uuid(), codec, &doc_body);
+        let spec = TaskSpec {
+            task_id,
+            function_id: request.function_id,
+            endpoint_id: request.endpoint_id,
+            user_id: user,
+            payload,
+            container: function.container,
+            allow_memo: request.allow_memo,
+        };
+        let mut record = TaskRecord::new(spec, received);
+
+        // Memoization short-circuit (§4.7): a hit never leaves the service.
+        if request.allow_memo {
+            let key = MemoCache::key(&function.source, &doc_body);
+            if let Some(cached) = self.memo.get(key) {
+                self.charge_store();
+                record.transition(TaskState::WaitingForEndpoint);
+                record.transition(TaskState::DispatchedToEndpoint);
+                record.transition(TaskState::WaitingForLaunch);
+                record.transition(TaskState::Running);
+                record.transition(TaskState::Success);
+                record.outcome = Some(TaskOutcome::Success(cached));
+                let now = self.clock.now();
+                record.timeline.queued_at_service = Some(now);
+                record.timeline.result_stored = Some(now);
+                self.tasks.write().insert(task_id, record);
+                return Ok(task_id);
+            }
+        }
+
+        self.charge_store();
+        record.transition(TaskState::WaitingForEndpoint);
+        record.timeline.queued_at_service = Some(self.clock.now());
+        self.tasks.write().insert(task_id, record);
+        self.store
+            .queue(request.endpoint_id, QueueKind::Task)
+            .push_back(Bytes::copy_from_slice(&task_id.uuid().as_u128().to_be_bytes()));
+        Ok(task_id)
+    }
+
+    // ---- monitoring / results ----------------------------------------------
+
+    /// Current lifecycle state of a task (owner only).
+    pub fn status(&self, bearer: &str, task_id: TaskId) -> Result<TaskState> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::ViewTask)?;
+        let tasks = self.tasks.read();
+        let record = tasks
+            .get(&task_id)
+            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?;
+        if record.spec.user_id != user {
+            return Err(FuncxError::Forbidden("not the submitting user".into()));
+        }
+        Ok(record.state)
+    }
+
+    /// Fetch a task's outcome once terminal; `Ok(None)` while still in
+    /// flight. Figure 3 step 6. Retrieval arms the record's purge TTL.
+    pub fn get_result(&self, bearer: &str, task_id: TaskId) -> Result<Option<TaskOutcome>> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::ViewTask)?;
+        self.charge_store();
+        let tasks = self.tasks.read();
+        let record = tasks
+            .get(&task_id)
+            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?;
+        if record.spec.user_id != user {
+            return Err(FuncxError::Forbidden("not the submitting user".into()));
+        }
+        Ok(record.outcome.clone())
+    }
+
+    /// Full record (timeline instrumentation for the Figure 4 breakdown).
+    pub fn task_record(&self, task_id: TaskId) -> Result<TaskRecord> {
+        self.tasks
+            .read()
+            .get(&task_id)
+            .cloned()
+            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))
+    }
+
+    /// Purge records whose results were retrieved more than the configured
+    /// TTL ago (§4.1's periodic purge). Returns reclaimed count.
+    pub fn purge_retrieved(&self) -> usize {
+        let now = self.clock.now();
+        let ttl = self.config.retrieved_result_ttl;
+        let mut tasks = self.tasks.write();
+        let before = tasks.len();
+        tasks.retain(|_, r| {
+            !(r.state.is_terminal()
+                && r.timeline
+                    .result_stored
+                    .map(|t| now.saturating_duration_since(t) >= ttl)
+                    .unwrap_or(false))
+        });
+        before - tasks.len()
+    }
+
+    /// Number of live task records.
+    pub fn task_count(&self) -> usize {
+        self.tasks.read().len()
+    }
+
+    // ---- internal: used by the forwarder ------------------------------------
+
+    pub(crate) fn queue_bytes_to_task_id(bytes: &[u8]) -> Option<TaskId> {
+        let raw: [u8; 16] = bytes.try_into().ok()?;
+        Some(TaskId(Uuid::from_u128(u128::from_be_bytes(raw))))
+    }
+
+    pub(crate) fn task_id_to_queue_bytes(task_id: TaskId) -> Bytes {
+        Bytes::copy_from_slice(&task_id.uuid().as_u128().to_be_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_auth::IdentityProvider;
+    use funcx_types::time::{Clock, ManualClock};
+
+    fn service() -> (Arc<FuncxService>, String, EndpointId, FunctionId) {
+        let svc = FuncxService::new(ManualClock::new(), ServiceConfig::default());
+        let (_, token) = svc.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+        let ep = svc.register_endpoint(&token, "test-ep", "", false).unwrap();
+        let f = svc
+            .register_function(
+                &token,
+                "double",
+                "def double(x):\n    return x * 2\n",
+                "double",
+                None,
+                Sharing::default(),
+            )
+            .unwrap();
+        (svc, token, ep, f)
+    }
+
+    fn request(f: FunctionId, ep: EndpointId) -> SubmitRequest {
+        SubmitRequest {
+            function_id: f,
+            endpoint_id: ep,
+            args: vec![Value::Int(21)],
+            kwargs: vec![],
+            allow_memo: false,
+        }
+    }
+
+    #[test]
+    fn registration_validates_source() {
+        let (svc, token, _, _) = service();
+        let bad = svc.register_function(
+            &token,
+            "broken",
+            "def broken(:\n    return\n",
+            "broken",
+            None,
+            Sharing::default(),
+        );
+        assert!(matches!(bad, Err(FuncxError::BadRequest(_))));
+        let wrong_entry = svc.register_function(
+            &token,
+            "f",
+            "def f():\n    return 1\n",
+            "not_f",
+            None,
+            Sharing::default(),
+        );
+        assert!(wrong_entry.is_err());
+    }
+
+    #[test]
+    fn submit_queues_task_for_endpoint() {
+        let (svc, token, ep, f) = service();
+        let task = svc.submit(&token, request(f, ep)).unwrap();
+        assert_eq!(svc.status(&token, task).unwrap(), TaskState::WaitingForEndpoint);
+        assert_eq!(svc.store.queue_len(ep, QueueKind::Task), 1);
+        assert_eq!(svc.get_result(&token, task).unwrap(), None);
+        // Queue item decodes back to the task id.
+        let bytes = svc.store.queue(ep, QueueKind::Task).try_pop().unwrap();
+        assert_eq!(FuncxService::queue_bytes_to_task_id(&bytes), Some(task));
+    }
+
+    #[test]
+    fn submit_requires_run_scope_and_sharing() {
+        let (svc, _token, ep, f) = service();
+        let (_, weak) = svc.auth.login("bob", IdentityProvider::Google, &[Scope::ViewTask]);
+        assert!(matches!(
+            svc.submit(&weak, request(f, ep)),
+            Err(FuncxError::Forbidden(_))
+        ));
+        let (_, other) = svc.auth.login("carol", IdentityProvider::Google, &[Scope::All]);
+        // carol has the scope but the function is private to alice.
+        assert!(matches!(
+            svc.submit(&other, request(f, ep)),
+            Err(FuncxError::Forbidden(_))
+        ));
+    }
+
+    #[test]
+    fn payload_limit_enforced() {
+        let clock = ManualClock::new();
+        let svc = FuncxService::new(
+            clock,
+            ServiceConfig { payload_limit: 64, ..ServiceConfig::default() },
+        );
+        let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
+        let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
+        let f = svc
+            .register_function(&token, "f", "def f(x):\n    return x\n", "f", None, Sharing::default())
+            .unwrap();
+        let big = SubmitRequest {
+            function_id: f,
+            endpoint_id: ep,
+            args: vec![Value::Str("z".repeat(1000))],
+            kwargs: vec![],
+            allow_memo: false,
+        };
+        assert!(matches!(
+            svc.submit(&token, big),
+            Err(FuncxError::PayloadTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let (svc, token, ep, f) = service();
+        assert!(svc.submit(&token, request(FunctionId::from_u128(404), ep)).is_err());
+        assert!(svc.submit(&token, request(f, EndpointId::from_u128(404))).is_err());
+        assert!(svc.status(&token, TaskId::from_u128(404)).is_err());
+    }
+
+    #[test]
+    fn memo_hit_completes_without_touching_queue() {
+        let (svc, token, ep, f) = service();
+        // Prime the cache by hand (end-to-end priming is integration-tested
+        // with a live endpoint).
+        let function = svc.functions.get(f).unwrap();
+        let doc = Value::Dict(vec![
+            ("args".into(), Value::List(vec![Value::Int(21)])),
+            ("kwargs".into(), Value::Dict(vec![])),
+        ]);
+        let (_, doc_body) = svc.serializer.serialize(&Payload::Document(doc)).unwrap();
+        let key = MemoCache::key(&function.source, &doc_body);
+        svc.memo.insert(key, vec![42]);
+
+        let mut req = request(f, ep);
+        req.allow_memo = true;
+        let task = svc.submit(&token, req).unwrap();
+        assert_eq!(svc.status(&token, task).unwrap(), TaskState::Success);
+        assert_eq!(
+            svc.get_result(&token, task).unwrap(),
+            Some(TaskOutcome::Success(vec![42]))
+        );
+        assert_eq!(svc.store.queue_len(ep, QueueKind::Task), 0, "no dispatch on a hit");
+    }
+
+    #[test]
+    fn memo_disabled_by_default() {
+        let (svc, token, ep, f) = service();
+        let function = svc.functions.get(f).unwrap();
+        let doc = Value::Dict(vec![
+            ("args".into(), Value::List(vec![Value::Int(21)])),
+            ("kwargs".into(), Value::Dict(vec![])),
+        ]);
+        let (_, doc_body) = svc.serializer.serialize(&Payload::Document(doc)).unwrap();
+        svc.memo.insert(MemoCache::key(&function.source, &doc_body), vec![42]);
+        let task = svc.submit(&token, request(f, ep)).unwrap();
+        assert_eq!(svc.status(&token, task).unwrap(), TaskState::WaitingForEndpoint);
+    }
+
+    #[test]
+    fn batch_submit_amortizes_auth() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+
+        let clock = ManualClock::new();
+        let svc = FuncxService::new(
+            Arc::clone(&clock) as SharedClock,
+            ServiceConfig {
+                auth_cost: std::time::Duration::from_millis(10),
+                ..ServiceConfig::default()
+            },
+        );
+
+        // Every authenticated call sleeps on the ManualClock, so a pumper
+        // thread advances virtual time continuously; virtual elapsed time
+        // is then the measurement.
+        let stop = Arc::new(AtomicBool::new(false));
+        let pumper = {
+            let clock = Arc::clone(&clock);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    clock.advance(std::time::Duration::from_millis(5));
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            })
+        };
+
+        let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
+        let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
+        let f = svc
+            .register_function(&token, "f", "def f():\n    return 0\n", "f", None, Sharing::default())
+            .unwrap();
+        let request = move || SubmitRequest {
+            function_id: f,
+            endpoint_id: ep,
+            args: vec![],
+            kwargs: vec![],
+            allow_memo: false,
+        };
+
+        // One batched request: a single auth charge for 50 tasks.
+        let t0 = clock.now();
+        let ids = svc.submit_batch(&token, (0..50).map(|_| request()).collect()).unwrap();
+        let batch_virtual = clock.now().saturating_duration_since(t0);
+        assert_eq!(ids.len(), 50);
+        assert_eq!(svc.store.queue_len(ep, QueueKind::Task), 50);
+
+        // 50 individual requests: 50 auth charges.
+        let t1 = clock.now();
+        for _ in 0..50 {
+            svc.submit(&token, request()).unwrap();
+        }
+        let single_virtual = clock.now().saturating_duration_since(t1);
+
+        stop.store(true, Ordering::Release);
+        pumper.join().unwrap();
+        assert!(
+            single_virtual > batch_virtual * 3,
+            "singles must burn far more virtual time: {single_virtual:?} vs {batch_virtual:?}"
+        );
+    }
+
+    #[test]
+    fn purge_reclaims_only_retrieved_terminal_tasks() {
+        let clock = ManualClock::new();
+        let svc = FuncxService::new(
+            Arc::clone(&clock) as SharedClock,
+            ServiceConfig {
+                retrieved_result_ttl: std::time::Duration::from_secs(60),
+                ..ServiceConfig::default()
+            },
+        );
+        let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
+        let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
+        let f = svc
+            .register_function(&token, "f", "def f():\n    return 0\n", "f", None, Sharing::default())
+            .unwrap();
+        let pending = svc.submit(&token, request(f, ep)).unwrap();
+        // Fabricate a completed task by driving the record directly.
+        let done = svc.submit(&token, request(f, ep)).unwrap();
+        {
+            let mut tasks = svc.tasks.write();
+            let r = tasks.get_mut(&done).unwrap();
+            r.transition(TaskState::DispatchedToEndpoint);
+            r.transition(TaskState::WaitingForLaunch);
+            r.transition(TaskState::Running);
+            r.transition(TaskState::Success);
+            r.outcome = Some(TaskOutcome::Success(vec![]));
+            r.timeline.result_stored = Some(clock.now());
+        }
+        clock.advance(std::time::Duration::from_secs(61));
+        assert_eq!(svc.purge_retrieved(), 1);
+        assert!(svc.task_record(pending).is_ok(), "pending tasks survive purge");
+        assert!(svc.task_record(done).is_err());
+    }
+}

@@ -1,0 +1,186 @@
+//! Commercial FaaS latency models — the Table 1 baselines.
+//!
+//! Amazon Lambda, Google Cloud Functions, and Azure Functions are closed
+//! services we cannot run, so their rows of Table 1 are modelled as
+//! truncated-normal round-trip distributions parameterized directly from
+//! the paper's measurements (mean total and standard deviation, warm and
+//! cold). funcX's own row is *measured* through the real pipeline — only
+//! the competitors are models.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One provider's warm/cold latency model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyModel {
+    /// Mean warm round trip (ms).
+    pub warm_mean_ms: f64,
+    /// Warm standard deviation (ms).
+    pub warm_std_ms: f64,
+    /// Mean cold round trip (ms).
+    pub cold_mean_ms: f64,
+    /// Cold standard deviation (ms).
+    pub cold_std_ms: f64,
+    /// Function execution time reported by the provider's logs (ms),
+    /// subtracted to compute "overhead" like the paper does.
+    pub function_ms: f64,
+}
+
+/// The three hosted platforms of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommercialProvider {
+    /// Amazon Lambda.
+    Amazon,
+    /// Google Cloud Functions.
+    Google,
+    /// Microsoft Azure Functions.
+    Azure,
+}
+
+impl CommercialProvider {
+    /// All three, in the table's row order.
+    pub const ALL: [CommercialProvider; 3] =
+        [CommercialProvider::Azure, CommercialProvider::Google, CommercialProvider::Amazon];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CommercialProvider::Amazon => "Amazon",
+            CommercialProvider::Google => "Google",
+            CommercialProvider::Azure => "Azure",
+        }
+    }
+
+    /// Table 1 parameters (total ms; std. dev. from the paper's table).
+    pub fn model(&self) -> LatencyModel {
+        match self {
+            CommercialProvider::Azure => LatencyModel {
+                warm_mean_ms: 130.0,
+                warm_std_ms: 14.4,
+                cold_mean_ms: 1359.7,
+                cold_std_ms: 1233.1,
+                function_ms: 12.0, // warm function time; cold uses 32.0
+            },
+            CommercialProvider::Google => LatencyModel {
+                warm_mean_ms: 85.6,
+                warm_std_ms: 12.3,
+                cold_mean_ms: 222.8,
+                cold_std_ms: 141.8,
+                function_ms: 5.0,
+            },
+            CommercialProvider::Amazon => LatencyModel {
+                warm_mean_ms: 100.3,
+                warm_std_ms: 6.9,
+                cold_mean_ms: 468.8,
+                cold_std_ms: 70.8,
+                function_ms: 0.3,
+            },
+        }
+    }
+
+    /// Sample one warm invocation's round trip (ms).
+    pub fn sample_warm<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let m = self.model();
+        truncated_normal(rng, m.warm_mean_ms, m.warm_std_ms)
+    }
+
+    /// Sample one cold invocation's round trip (ms).
+    pub fn sample_cold<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let m = self.model();
+        truncated_normal(rng, m.cold_mean_ms, m.cold_std_ms)
+    }
+}
+
+/// Normal via Box–Muller, truncated below at mean/10 (latencies are never
+/// near zero no matter how lucky the draw).
+fn truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mean + std * z).max(mean / 10.0)
+}
+
+/// Summary statistics over samples (the experiment harness prints these).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Sample mean (ms).
+    pub mean_ms: f64,
+    /// Sample standard deviation (ms).
+    pub std_ms: f64,
+}
+
+/// Compute mean/std over a sample set.
+pub fn summarize(samples: &[f64]) -> LatencySummary {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    LatencySummary { mean_ms: mean, std_ms: var.sqrt() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn warm_sample_means_match_table1() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for provider in CommercialProvider::ALL {
+            let samples: Vec<f64> = (0..10_000).map(|_| provider.sample_warm(&mut rng)).collect();
+            let summary = summarize(&samples);
+            let want = provider.model().warm_mean_ms;
+            assert!(
+                (summary.mean_ms - want).abs() / want < 0.05,
+                "{}: {} vs {}",
+                provider.name(),
+                summary.mean_ms,
+                want
+            );
+        }
+    }
+
+    #[test]
+    fn cold_is_slower_than_warm_for_everyone() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for provider in CommercialProvider::ALL {
+            let warm = summarize(
+                &(0..2000).map(|_| provider.sample_warm(&mut rng)).collect::<Vec<_>>(),
+            );
+            let cold = summarize(
+                &(0..2000).map(|_| provider.sample_cold(&mut rng)).collect::<Vec<_>>(),
+            );
+            assert!(cold.mean_ms > warm.mean_ms, "{}", provider.name());
+        }
+    }
+
+    #[test]
+    fn google_has_best_cold_azure_worst() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean_cold = |p: CommercialProvider, rng: &mut StdRng| {
+            summarize(&(0..4000).map(|_| p.sample_cold(rng)).collect::<Vec<_>>()).mean_ms
+        };
+        let google = mean_cold(CommercialProvider::Google, &mut rng);
+        let amazon = mean_cold(CommercialProvider::Amazon, &mut rng);
+        let azure = mean_cold(CommercialProvider::Azure, &mut rng);
+        assert!(google < amazon && amazon < azure, "{google} {amazon} {azure}");
+    }
+
+    #[test]
+    fn samples_never_nonpositive() {
+        // Azure cold has std ≈ mean; truncation must keep draws positive.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..20_000 {
+            assert!(CommercialProvider::Azure.sample_cold(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn summarize_handles_degenerate_input() {
+        let s = summarize(&[]);
+        assert_eq!(s.mean_ms, 0.0);
+        let s = summarize(&[5.0]);
+        assert_eq!(s.mean_ms, 5.0);
+        assert_eq!(s.std_ms, 0.0);
+    }
+}

@@ -1,0 +1,250 @@
+//! The Figure 6 elasticity experiment.
+//!
+//! "We deployed three sleep functions (running for 1s, 10s, and 20s), each
+//! in its own container. We limit each function to use between 0 to 10
+//! pods. Every 120 seconds, we submitted one 1s, five 10s, and twenty 20s
+//! functions to the endpoint." The number of active pods should track each
+//! function's load and fall back to zero when the work drains.
+//!
+//! This driver runs the *real* `funcx-provider` Kubernetes backend and
+//! scaling policy against a `ManualClock`, stepping virtual time one second
+//! at a time — no threads, fully deterministic.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_provider::{JobId, JobStatus, KubernetesProvider, Provider, ScalingDecision, ScalingPolicy};
+use funcx_types::time::{Clock, ManualClock};
+use serde::{Deserialize, Serialize};
+
+/// One per-second observation of one function's pool.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ElasticitySample {
+    /// Virtual seconds since experiment start.
+    pub t: u64,
+    /// Which function (index into the durations array).
+    pub function: usize,
+    /// Tasks pending or executing.
+    pub concurrent_tasks: usize,
+    /// Pods currently active for this function.
+    pub active_pods: usize,
+}
+
+/// Configuration of the Figure 6 run.
+#[derive(Debug, Clone)]
+pub struct ElasticityConfig {
+    /// Function durations in seconds (paper: 1, 10, 20).
+    pub durations: Vec<u64>,
+    /// Tasks submitted per wave per function (paper: 1, 5, 20).
+    pub wave_sizes: Vec<usize>,
+    /// Seconds between waves (paper: 120).
+    pub wave_period: u64,
+    /// Number of waves (paper plots three).
+    pub waves: usize,
+    /// Pod ceiling per function (paper: 10).
+    pub max_pods: usize,
+    /// Seconds of idleness before pods are released.
+    pub scale_in_after_idle: u64,
+    /// Seconds to keep observing after the last wave.
+    pub tail: u64,
+}
+
+impl Default for ElasticityConfig {
+    fn default() -> Self {
+        ElasticityConfig {
+            durations: vec![1, 10, 20],
+            wave_sizes: vec![1, 5, 20],
+            wave_period: 120,
+            waves: 3,
+            max_pods: 10,
+            scale_in_after_idle: 10,
+            tail: 120,
+        }
+    }
+}
+
+struct Pool {
+    provider: Arc<KubernetesProvider>,
+    policy: ScalingPolicy,
+    jobs: Vec<JobId>,
+    pending: VecDeque<u64>,
+    /// Finish times (absolute virtual seconds) of running tasks.
+    running: Vec<u64>,
+    /// Consecutive seconds the pool has had idle pods and no pending work.
+    idle_secs: u64,
+}
+
+/// Run the experiment; returns one sample per (second, function).
+pub fn run_elasticity(config: &ElasticityConfig, seed: u64) -> Vec<ElasticitySample> {
+    assert_eq!(config.durations.len(), config.wave_sizes.len());
+    let clock = ManualClock::new();
+    let mut pools: Vec<Pool> = config
+        .durations
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Pool {
+            provider: KubernetesProvider::new(clock.clone(), config.max_pods, seed + i as u64),
+            policy: ScalingPolicy {
+                min_nodes: 0,
+                max_nodes: config.max_pods,
+                slots_per_node: 1,
+                aggressiveness: 1.0,
+                scale_in_after_idle: Duration::from_secs(config.scale_in_after_idle),
+            },
+            jobs: Vec::new(),
+            pending: VecDeque::new(),
+            running: Vec::new(),
+            idle_secs: 0,
+        })
+        .collect();
+
+    let horizon = config.wave_period * config.waves as u64 + config.tail;
+    let mut samples = Vec::with_capacity(horizon as usize * pools.len());
+
+    for t in 0..horizon {
+        // 1. Wave arrivals.
+        if t % config.wave_period == 0 && (t / config.wave_period) < config.waves as u64 {
+            for (i, pool) in pools.iter_mut().enumerate() {
+                for _ in 0..config.wave_sizes[i] {
+                    pool.pending.push_back(config.durations[i]);
+                }
+            }
+        }
+
+        for (i, pool) in pools.iter_mut().enumerate() {
+            // 2. Complete finished tasks.
+            pool.running.retain(|&finish| finish > t);
+
+            // 3. Assign pending tasks to free pods.
+            let active = pool.provider.active_pods();
+            while !pool.pending.is_empty() && pool.running.len() < active {
+                let d = pool.pending.pop_front().expect("non-empty");
+                pool.running.push(t + d);
+            }
+
+            // 4. Idle accounting for scale-in.
+            let idle = active.saturating_sub(pool.running.len());
+            if idle > 0 && pool.pending.is_empty() {
+                pool.idle_secs += 1;
+            } else {
+                pool.idle_secs = 0;
+            }
+
+            // 5. Scaling decision through the real policy.
+            let pending_nodes: usize = pool
+                .jobs
+                .iter()
+                .filter(|j| pool.provider.status(**j) == JobStatus::Pending)
+                .map(|_| 1)
+                .sum::<usize>()
+                .max(0);
+            let inputs = funcx_provider::scaling::ScalingInputs {
+                pending_tasks: pool.pending.len(),
+                running_nodes: active,
+                pending_nodes,
+                idle_nodes: idle,
+                longest_idle: Duration::from_secs(pool.idle_secs),
+                now: clock.now(),
+            };
+            match pool.policy.decide(&inputs) {
+                ScalingDecision::ScaleOut(n) => {
+                    // One pod per job so scale-in can release them singly.
+                    for _ in 0..n {
+                        if let Ok(job) = pool.provider.submit(1) {
+                            pool.jobs.push(job);
+                        }
+                    }
+                }
+                ScalingDecision::ScaleIn(n) => {
+                    // Release the most recently created idle pods.
+                    let mut released = 0;
+                    while released < n {
+                        let Some(job) = pool.jobs.pop() else { break };
+                        if pool.provider.cancel(job).is_ok() {
+                            released += 1;
+                        }
+                    }
+                    pool.idle_secs = 0;
+                }
+                ScalingDecision::Hold => {}
+            }
+
+            // 6. Observe.
+            samples.push(ElasticitySample {
+                t,
+                function: i,
+                concurrent_tasks: pool.pending.len() + pool.running.len(),
+                active_pods: pool.provider.active_pods(),
+            });
+        }
+
+        clock.advance(Duration::from_secs(1));
+    }
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pods_at(samples: &[ElasticitySample], function: usize, t: u64) -> usize {
+        samples
+            .iter()
+            .find(|s| s.function == function && s.t == t)
+            .map(|s| s.active_pods)
+            .unwrap_or(0)
+    }
+
+    fn max_pods(samples: &[ElasticitySample], function: usize, lo: u64, hi: u64) -> usize {
+        samples
+            .iter()
+            .filter(|s| s.function == function && (lo..hi).contains(&s.t))
+            .map(|s| s.active_pods)
+            .max()
+            .unwrap_or(0)
+    }
+
+    #[test]
+    fn pods_track_load_per_function() {
+        let samples = run_elasticity(&ElasticityConfig::default(), 7);
+        // During the first wave (allowing pod-start lag): the 20s function
+        // saturates at 10 pods, the 10s function gets ~5, the 1s gets ~1.
+        assert_eq!(max_pods(&samples, 2, 0, 60), 10, "20s function hits the cap");
+        let ten_s = max_pods(&samples, 1, 0, 60);
+        assert!((4..=6).contains(&ten_s), "10s function ≈5 pods, got {ten_s}");
+        let one_s = max_pods(&samples, 0, 0, 60);
+        assert!((1..=2).contains(&one_s), "1s function ≈1 pod, got {one_s}");
+    }
+
+    #[test]
+    fn pods_release_between_waves() {
+        let samples = run_elasticity(&ElasticityConfig::default(), 7);
+        // By late in the first inter-wave gap, all pools should be drained
+        // (20 tasks × 20s on 10 pods ≈ 40s of work + idle threshold).
+        for f in 0..3 {
+            assert_eq!(pods_at(&samples, f, 110), 0, "function {f} drained before wave 2");
+        }
+        // And they come back for wave 2.
+        assert_eq!(max_pods(&samples, 2, 120, 180), 10);
+    }
+
+    #[test]
+    fn cap_is_never_exceeded() {
+        let samples = run_elasticity(&ElasticityConfig::default(), 7);
+        assert!(samples.iter().all(|s| s.active_pods <= 10));
+    }
+
+    #[test]
+    fn all_work_eventually_completes() {
+        let samples = run_elasticity(&ElasticityConfig::default(), 7);
+        let last_t = samples.iter().map(|s| s.t).max().unwrap();
+        for f in 0..3 {
+            let tail = samples
+                .iter()
+                .find(|s| s.function == f && s.t == last_t)
+                .unwrap();
+            assert_eq!(tail.concurrent_tasks, 0, "function {f} finished");
+        }
+    }
+}

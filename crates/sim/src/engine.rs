@@ -1,0 +1,148 @@
+//! Minimal deterministic discrete-event core.
+//!
+//! A binary heap of `(time, sequence, event)` entries; the sequence number
+//! makes ordering total and runs reproducible when events collide in time.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Simulated seconds.
+pub type SimTime = f64;
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An event queue with a current time.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    now: SimTime,
+    seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at t=0.
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), now: 0.0, seq: 0 }
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to now — events
+    /// cannot fire in the past).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let time = if at < self.now { self.now } else { at };
+        self.seq += 1;
+        self.heap.push(Entry { time, seq: self.seq, event });
+    }
+
+    /// Schedule `event` after `delay` seconds.
+    pub fn schedule_in(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Earliest scheduled time without popping.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pop the earliest event, advancing time to it.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Events still queued.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when drained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(2.0, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1.0, "first");
+        q.schedule_at(1.0, "second");
+        q.schedule_at(1.0, "third");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn time_advances_with_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(5.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        // Scheduling in the past clamps to now.
+        q.schedule_at(1.0, ());
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 5.0);
+    }
+
+    #[test]
+    fn relative_scheduling_compounds() {
+        let mut q = EventQueue::new();
+        q.schedule_in(1.0, 1);
+        q.pop();
+        q.schedule_in(1.0, 2);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 2.0);
+    }
+}

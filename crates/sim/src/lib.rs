@@ -1,0 +1,24 @@
+//! Large-scale simulation for funcX-rs.
+//!
+//! The paper's §5.2 scaling experiments run on up to 131 072 workers across
+//! two supercomputers — far beyond what one test machine can host as real
+//! threads. This crate reproduces those experiments with a discrete-event
+//! model of the dispatch fabric whose per-hop costs are calibrated against
+//! the real (threaded) pipeline and the paper's measured agent throughput
+//! (§5.2.3: 1 694 tasks/s on Theta, 1 466 on Cori).
+//!
+//! * [`engine`] — a minimal deterministic event-queue core;
+//! * [`fabric`] — the agent→manager→worker queueing model behind Figure 5
+//!   (strong/weak scaling) and the §5.2.3 throughput numbers;
+//! * [`commercial`] — warm/cold latency models of Amazon/Google/Azure
+//!   Functions parameterized from Table 1 (the baselines we cannot run);
+//! * [`elasticity`] — the Figure 6 Kubernetes elasticity experiment driven
+//!   against the real `funcx-provider` scaling policy in virtual time.
+
+pub mod commercial;
+pub mod elasticity;
+pub mod engine;
+pub mod fabric;
+
+pub use commercial::{CommercialProvider, LatencyModel};
+pub use fabric::{FabricParams, FabricReport};

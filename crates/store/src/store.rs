@@ -1,0 +1,111 @@
+//! The combined store handle the funcX service holds: one hash space plus
+//! named per-endpoint task/result queues (§4.1: "each registered endpoint
+//! is allocated a unique Redis task queue and result queue").
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use funcx_types::time::SharedClock;
+use funcx_types::EndpointId;
+use parking_lot::Mutex;
+
+use crate::kv::KvStore;
+use crate::queue::BlockingQueue;
+
+/// Which per-endpoint queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// Tasks awaiting dispatch to the endpoint.
+    Task,
+    /// Results awaiting retrieval by clients.
+    Result,
+}
+
+/// The service's Redis-shaped store.
+pub struct Store {
+    /// Hash space (task records, function bodies, memo cache).
+    pub kv: Arc<KvStore>,
+    queues: Mutex<HashMap<(EndpointId, QueueKind), Arc<BlockingQueue>>>,
+}
+
+impl Store {
+    /// New store on the given clock.
+    pub fn new(clock: SharedClock) -> Arc<Self> {
+        Arc::new(Store { kv: KvStore::new(clock), queues: Mutex::new(HashMap::new()) })
+    }
+
+    /// Get (creating on first use) an endpoint's queue. Queue allocation
+    /// happens at endpoint registration in the paper; lazy creation gives
+    /// the same observable behaviour.
+    pub fn queue(&self, endpoint: EndpointId, kind: QueueKind) -> Arc<BlockingQueue> {
+        self.queues
+            .lock()
+            .entry((endpoint, kind))
+            .or_insert_with(BlockingQueue::new)
+            .clone()
+    }
+
+    /// Depth of a queue without creating it.
+    pub fn queue_len(&self, endpoint: EndpointId, kind: QueueKind) -> usize {
+        self.queues.lock().get(&(endpoint, kind)).map(|q| q.len()).unwrap_or(0)
+    }
+
+    /// Close and drop an endpoint's queues (endpoint deregistration).
+    pub fn remove_endpoint_queues(&self, endpoint: EndpointId) {
+        let mut guard = self.queues.lock();
+        for kind in [QueueKind::Task, QueueKind::Result] {
+            if let Some(q) = guard.remove(&(endpoint, kind)) {
+                q.close();
+            }
+        }
+    }
+
+    /// Number of queues currently allocated (observability).
+    pub fn queue_count(&self) -> usize {
+        self.queues.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use funcx_types::time::ManualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn queues_are_per_endpoint_and_kind() {
+        let store = Store::new(ManualClock::new());
+        let ep1 = EndpointId::from_u128(1);
+        let ep2 = EndpointId::from_u128(2);
+        store.queue(ep1, QueueKind::Task).push_back(Bytes::from_static(b"t"));
+        assert_eq!(store.queue_len(ep1, QueueKind::Task), 1);
+        assert_eq!(store.queue_len(ep1, QueueKind::Result), 0);
+        assert_eq!(store.queue_len(ep2, QueueKind::Task), 0);
+        // Same handle on re-fetch.
+        assert_eq!(store.queue(ep1, QueueKind::Task).len(), 1);
+        assert_eq!(store.queue_count(), 1); // only ep1's task queue was materialized
+    }
+
+    #[test]
+    fn remove_endpoint_closes_queues() {
+        let store = Store::new(ManualClock::new());
+        let ep = EndpointId::from_u128(1);
+        let q = store.queue(ep, QueueKind::Task);
+        store.remove_endpoint_queues(ep);
+        assert!(q.is_closed());
+        assert!(!q.push_back(Bytes::from_static(b"x")));
+        // A fresh queue is allocated if the endpoint re-registers.
+        let q2 = store.queue(ep, QueueKind::Task);
+        assert!(q2.push_back(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn kv_and_queues_share_clock() {
+        let clock = ManualClock::new();
+        let store = Store::new(clock.clone());
+        store.kv.hset_with_ttl("r", "x", Bytes::new(), Some(Duration::from_secs(1)));
+        clock.advance(Duration::from_secs(2));
+        assert!(store.kv.hget("r", "x").is_none());
+    }
+}

@@ -1,0 +1,124 @@
+//! Model-based property tests: the KV store against a reference
+//! `HashMap` model under arbitrary operation sequences, and queue FIFO
+//! order under concurrency.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+use funcx_store::{BlockingQueue, KvStore};
+use funcx_types::time::ManualClock;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Set { field: u8, value: u8 },
+    SetTtl { field: u8, value: u8, ttl_s: u8 },
+    Get { field: u8 },
+    Del { field: u8 },
+    Advance { secs: u8 },
+    Sweep,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), any::<u8>()).prop_map(|(field, value)| Op::Set { field, value }),
+        (any::<u8>(), any::<u8>(), 1u8..60).prop_map(|(field, value, ttl_s)| Op::SetTtl {
+            field,
+            value,
+            ttl_s
+        }),
+        any::<u8>().prop_map(|field| Op::Get { field }),
+        any::<u8>().prop_map(|field| Op::Del { field }),
+        (0u8..30).prop_map(|secs| Op::Advance { secs }),
+        Just(Op::Sweep),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The store agrees with a reference model (value + expiry) across any
+    /// interleaving of sets, TTL sets, deletes, time advances, and sweeps.
+    #[test]
+    fn kv_matches_reference_model(ops in proptest::collection::vec(arb_op(), 0..64)) {
+        let clock = ManualClock::new();
+        let kv = KvStore::new(clock.clone());
+        // model: field -> (value, expiry_in_model_seconds)
+        let mut model: HashMap<u8, (u8, Option<u64>)> = HashMap::new();
+        let mut now_s: u64 = 0;
+
+        for op in ops {
+            match op {
+                Op::Set { field, value } => {
+                    kv.hset("h", &field.to_string(), Bytes::from(vec![value]));
+                    model.insert(field, (value, None));
+                }
+                Op::SetTtl { field, value, ttl_s } => {
+                    kv.hset_with_ttl(
+                        "h",
+                        &field.to_string(),
+                        Bytes::from(vec![value]),
+                        Some(Duration::from_secs(ttl_s as u64)),
+                    );
+                    model.insert(field, (value, Some(now_s + ttl_s as u64)));
+                }
+                Op::Get { field } => {
+                    let got = kv.hget("h", &field.to_string());
+                    let want = model.get(&field).and_then(|(v, exp)| {
+                        match exp {
+                            Some(e) if now_s >= *e => None,
+                            _ => Some(*v),
+                        }
+                    });
+                    prop_assert_eq!(got.map(|b| b[0]), want, "field {} at t={}", field, now_s);
+                }
+                Op::Del { field } => {
+                    let existed_live = model
+                        .remove(&field)
+                        .map(|(_, exp)| exp.map(|e| now_s < e).unwrap_or(true))
+                        .unwrap_or(false);
+                    prop_assert_eq!(kv.hdel("h", &field.to_string()), existed_live);
+                }
+                Op::Advance { secs } => {
+                    clock.advance(Duration::from_secs(secs as u64));
+                    now_s += secs as u64;
+                }
+                Op::Sweep => {
+                    kv.sweep();
+                    model.retain(|_, (_, exp)| exp.map(|e| now_s < e).unwrap_or(true));
+                }
+            }
+            // Global invariant: live count agrees.
+            let live_model = model
+                .values()
+                .filter(|(_, exp)| exp.map(|e| now_s < e).unwrap_or(true))
+                .count();
+            prop_assert_eq!(kv.hlen("h"), live_model, "live count at t={}", now_s);
+        }
+    }
+
+    /// Per-producer FIFO: with several concurrent producers, each
+    /// producer's items arrive in its own order.
+    #[test]
+    fn queue_preserves_per_producer_order(items_per in 1usize..80, producers in 1usize..5) {
+        let q = BlockingQueue::new();
+        std::thread::scope(|s| {
+            for p in 0..producers {
+                let q = q.clone();
+                s.spawn(move || {
+                    for i in 0..items_per {
+                        q.push_back(Bytes::from(vec![p as u8, i as u8]));
+                    }
+                });
+            }
+        });
+        let mut next_expected = vec![0usize; producers];
+        while let Some(item) = q.try_pop() {
+            let (p, i) = (item[0] as usize, item[1] as usize);
+            prop_assert_eq!(i, next_expected[p], "producer {}'s items in order", p);
+            next_expected[p] += 1;
+        }
+        prop_assert!(next_expected.iter().all(|n| *n == items_per));
+    }
+}

@@ -1,0 +1,32 @@
+//! Shared deployment-wide constants.
+//!
+//! Values every layer agrees on; component-specific tunables live in each
+//! crate's own config (`EndpointConfig`, `ServiceConfig`).
+
+/// Default service-side payload cap in bytes (§4.6: data through the
+/// service is limited "for performance and cost reasons").
+pub const DEFAULT_PAYLOAD_LIMIT: usize = 512 << 10;
+
+/// Default heartbeat period in virtual seconds.
+pub const DEFAULT_HEARTBEAT_PERIOD_S: u64 = 2;
+
+/// The paper's container-warming band (§4.7: "5-10 minutes"); the default
+/// warm TTL sits at its midpoint.
+pub const WARMING_BAND_S: (u64, u64) = (5 * 60, 10 * 60);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warming_band_matches_paper() {
+        assert_eq!(WARMING_BAND_S, (300, 600));
+        let mid = (WARMING_BAND_S.0 + WARMING_BAND_S.1) / 2;
+        assert_eq!(mid, 450);
+    }
+
+    #[test]
+    fn payload_limit_is_sub_megabyte() {
+        assert!(DEFAULT_PAYLOAD_LIMIT <= 1 << 20);
+    }
+}

@@ -1,0 +1,188 @@
+//! Error taxonomy for the funcX-rs workspace.
+//!
+//! One shared error type keeps cross-crate plumbing simple (the service,
+//! endpoint, and SDK all surface these through the REST layer as error
+//! payloads) while remaining precise enough for tests to assert on the exact
+//! failure class.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, FuncxError>;
+
+/// Every failure the platform can surface to a caller.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FuncxError {
+    /// A string failed to parse as a UUID-form identifier.
+    InvalidId(String),
+    /// Referenced function is not registered.
+    FunctionNotFound(String),
+    /// Referenced endpoint is not registered.
+    EndpointNotFound(String),
+    /// Referenced task does not exist (or its result was purged).
+    TaskNotFound(String),
+    /// Caller is not authenticated (missing/expired/unknown token).
+    Unauthenticated(String),
+    /// Caller is authenticated but lacks the required scope or share.
+    Forbidden(String),
+    /// Task payload exceeded the service's size cap (§4.6 limits data
+    /// through the service; larger data must use out-of-band transfer).
+    PayloadTooLarge { size: usize, limit: usize },
+    /// Function raised an error while executing on the worker.
+    ExecutionFailed(String),
+    /// Serialization facade exhausted every codec (§4.6).
+    SerializationFailed(String),
+    /// A wire message could not be decoded.
+    ProtocolViolation(String),
+    /// The transport to a peer is closed or the peer is unreachable.
+    Disconnected(String),
+    /// A blocking operation timed out.
+    Timeout(String),
+    /// The resource provider rejected or failed a provisioning request.
+    ProvisioningFailed(String),
+    /// Container runtime failed to instantiate an image.
+    ContainerFailed(String),
+    /// The component has been shut down.
+    ShuttingDown,
+    /// Malformed REST request (bad JSON, missing field, bad route).
+    BadRequest(String),
+    /// Registry constraint violation (duplicate registration, non-owner
+    /// update, etc.).
+    Registry(String),
+    /// Anything else.
+    Internal(String),
+}
+
+impl FuncxError {
+    /// HTTP status code used when this error crosses the REST boundary.
+    pub fn http_status(&self) -> u16 {
+        match self {
+            FuncxError::InvalidId(_) | FuncxError::BadRequest(_) => 400,
+            FuncxError::Unauthenticated(_) => 401,
+            FuncxError::Forbidden(_) => 403,
+            FuncxError::FunctionNotFound(_)
+            | FuncxError::EndpointNotFound(_)
+            | FuncxError::TaskNotFound(_) => 404,
+            FuncxError::PayloadTooLarge { .. } => 413,
+            FuncxError::Timeout(_) => 408,
+            FuncxError::Registry(_) => 409,
+            FuncxError::ShuttingDown => 503,
+            _ => 500,
+        }
+    }
+
+    /// Stable machine-readable code for REST error payloads.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FuncxError::InvalidId(_) => "invalid_id",
+            FuncxError::FunctionNotFound(_) => "function_not_found",
+            FuncxError::EndpointNotFound(_) => "endpoint_not_found",
+            FuncxError::TaskNotFound(_) => "task_not_found",
+            FuncxError::Unauthenticated(_) => "unauthenticated",
+            FuncxError::Forbidden(_) => "forbidden",
+            FuncxError::PayloadTooLarge { .. } => "payload_too_large",
+            FuncxError::ExecutionFailed(_) => "execution_failed",
+            FuncxError::SerializationFailed(_) => "serialization_failed",
+            FuncxError::ProtocolViolation(_) => "protocol_violation",
+            FuncxError::Disconnected(_) => "disconnected",
+            FuncxError::Timeout(_) => "timeout",
+            FuncxError::ProvisioningFailed(_) => "provisioning_failed",
+            FuncxError::ContainerFailed(_) => "container_failed",
+            FuncxError::ShuttingDown => "shutting_down",
+            FuncxError::BadRequest(_) => "bad_request",
+            FuncxError::Registry(_) => "registry_conflict",
+            FuncxError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for FuncxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FuncxError::InvalidId(s) => write!(f, "invalid identifier: {s}"),
+            FuncxError::FunctionNotFound(s) => write!(f, "function not found: {s}"),
+            FuncxError::EndpointNotFound(s) => write!(f, "endpoint not found: {s}"),
+            FuncxError::TaskNotFound(s) => write!(f, "task not found: {s}"),
+            FuncxError::Unauthenticated(s) => write!(f, "unauthenticated: {s}"),
+            FuncxError::Forbidden(s) => write!(f, "forbidden: {s}"),
+            FuncxError::PayloadTooLarge { size, limit } => {
+                write!(f, "payload of {size} bytes exceeds service limit of {limit} bytes")
+            }
+            FuncxError::ExecutionFailed(s) => write!(f, "function execution failed: {s}"),
+            FuncxError::SerializationFailed(s) => write!(f, "serialization failed: {s}"),
+            FuncxError::ProtocolViolation(s) => write!(f, "protocol violation: {s}"),
+            FuncxError::Disconnected(s) => write!(f, "disconnected: {s}"),
+            FuncxError::Timeout(s) => write!(f, "timed out: {s}"),
+            FuncxError::ProvisioningFailed(s) => write!(f, "provisioning failed: {s}"),
+            FuncxError::ContainerFailed(s) => write!(f, "container failed: {s}"),
+            FuncxError::ShuttingDown => write!(f, "component is shutting down"),
+            FuncxError::BadRequest(s) => write!(f, "bad request: {s}"),
+            FuncxError::Registry(s) => write!(f, "registry conflict: {s}"),
+            FuncxError::Internal(s) => write!(f, "internal error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for FuncxError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_codes_are_sensible() {
+        assert_eq!(FuncxError::Unauthenticated("x".into()).http_status(), 401);
+        assert_eq!(FuncxError::Forbidden("x".into()).http_status(), 403);
+        assert_eq!(FuncxError::TaskNotFound("x".into()).http_status(), 404);
+        assert_eq!(
+            FuncxError::PayloadTooLarge { size: 10, limit: 1 }.http_status(),
+            413
+        );
+        assert_eq!(FuncxError::Internal("x".into()).http_status(), 500);
+    }
+
+    #[test]
+    fn display_mentions_payload_numbers() {
+        let e = FuncxError::PayloadTooLarge { size: 2048, limit: 1024 };
+        let s = e.to_string();
+        assert!(s.contains("2048") && s.contains("1024"));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = FuncxError::ExecutionFailed("boom".into());
+        let json = serde_json::to_string(&e).unwrap();
+        let back: FuncxError = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let all = [
+            FuncxError::InvalidId(String::new()),
+            FuncxError::FunctionNotFound(String::new()),
+            FuncxError::EndpointNotFound(String::new()),
+            FuncxError::TaskNotFound(String::new()),
+            FuncxError::Unauthenticated(String::new()),
+            FuncxError::Forbidden(String::new()),
+            FuncxError::PayloadTooLarge { size: 0, limit: 0 },
+            FuncxError::ExecutionFailed(String::new()),
+            FuncxError::SerializationFailed(String::new()),
+            FuncxError::ProtocolViolation(String::new()),
+            FuncxError::Disconnected(String::new()),
+            FuncxError::Timeout(String::new()),
+            FuncxError::ProvisioningFailed(String::new()),
+            FuncxError::ContainerFailed(String::new()),
+            FuncxError::ShuttingDown,
+            FuncxError::BadRequest(String::new()),
+            FuncxError::Registry(String::new()),
+            FuncxError::Internal(String::new()),
+        ];
+        let mut codes: Vec<_> = all.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len());
+    }
+}

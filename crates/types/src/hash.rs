@@ -1,0 +1,119 @@
+//! Stable content hashing.
+//!
+//! Memoization (§4.7) "hash[es] the function body and input document and
+//! stor[es] a mapping from hash to computed results". That mapping must be
+//! stable across processes and runs, so we cannot use `std::hash`'s
+//! randomly-seeded SipHash. We implement FNV-1a (64-bit) — tiny, fast on the
+//! short buffers we hash, and deterministic.
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Start a fresh hash.
+    pub const fn new() -> Self {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Absorb bytes.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+        self
+    }
+
+    /// Absorb a length-prefixed frame. Prefixing defeats concatenation
+    /// ambiguity: `("ab","c")` and `("a","bc")` must hash differently when a
+    /// memo key is built from (function body, input document).
+    pub fn update_frame(&mut self, bytes: &[u8]) -> &mut Self {
+        self.update(&(bytes.len() as u64).to_le_bytes());
+        self.update(bytes)
+    }
+
+    /// Final hash value.
+    pub const fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot hash of a byte slice.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Memoization key over a function body and a serialized input document
+/// (§4.7 "Memoization").
+pub fn memo_key(function_body: &[u8], input_document: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update_frame(function_body);
+    h.update_frame(input_document);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = Fnv1a::new();
+        h.update(b"hello ").update(b"world");
+        assert_eq!(h.finish(), fnv1a(b"hello world"));
+    }
+
+    #[test]
+    fn frame_prefix_defeats_concatenation_ambiguity() {
+        assert_ne!(memo_key(b"ab", b"c"), memo_key(b"a", b"bc"));
+        assert_ne!(memo_key(b"", b"abc"), memo_key(b"abc", b""));
+    }
+
+    proptest! {
+        #[test]
+        fn deterministic(bytes: Vec<u8>) {
+            prop_assert_eq!(fnv1a(&bytes), fnv1a(&bytes));
+        }
+
+        #[test]
+        fn memo_key_splits_distinct(a: Vec<u8>, b: Vec<u8>) {
+            // The pair (a,b) and the pair (a ++ b, empty) must not collide
+            // via naive concatenation; with framing they only collide if FNV
+            // itself collides, which for random short inputs is vanishingly
+            // rare — assert on the structured property instead: key depends
+            // on the split point.
+            if !b.is_empty() {
+                let mut joined = a.clone();
+                joined.extend_from_slice(&b);
+                prop_assert_ne!(memo_key(&a, &b), memo_key(&joined, &[]));
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Universally unique identifiers for funcX entities.
+//!
+//! The paper assigns a UUID to every registered function, endpoint, and task
+//! (§3 "Function registration", "Endpoints", "Function execution"). We use a
+//! 128-bit random identifier rendered in the familiar 8-4-4-4-12 hex form so
+//! that IDs appearing in logs and the REST API look like the paper's
+//! (`'863d-...-d820d'`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+use crate::error::FuncxError;
+
+/// A 128-bit random identifier (UUIDv4-like, version/variant bits set).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Uuid(u128);
+
+impl Uuid {
+    /// Generate a fresh random identifier from the thread-local RNG.
+    pub fn random() -> Self {
+        let mut bytes = [0u8; 16];
+        rand::thread_rng().fill_bytes(&mut bytes);
+        Self::from_bytes_v4(bytes)
+    }
+
+    /// Generate a fresh identifier from a caller-supplied RNG (deterministic
+    /// workloads in tests and the simulator use seeded RNGs).
+    pub fn random_from<R: RngCore>(rng: &mut R) -> Self {
+        let mut bytes = [0u8; 16];
+        rng.fill_bytes(&mut bytes);
+        Self::from_bytes_v4(bytes)
+    }
+
+    fn from_bytes_v4(mut bytes: [u8; 16]) -> Self {
+        bytes[6] = (bytes[6] & 0x0f) | 0x40; // version 4
+        bytes[8] = (bytes[8] & 0x3f) | 0x80; // RFC 4122 variant
+        Uuid(u128::from_be_bytes(bytes))
+    }
+
+    /// Construct from a raw u128 (used by tests needing stable IDs).
+    pub const fn from_u128(v: u128) -> Self {
+        Uuid(v)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// The all-zero nil UUID.
+    pub const fn nil() -> Self {
+        Uuid(0)
+    }
+
+    /// True if this is the nil UUID.
+    pub const fn is_nil(&self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Display for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12],
+            b[13], b[14], b[15]
+        )
+    }
+}
+
+impl fmt::Debug for Uuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Uuid {
+    type Err = FuncxError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex: String = s.chars().filter(|c| *c != '-').collect();
+        if hex.len() != 32 {
+            return Err(FuncxError::InvalidId(s.to_string()));
+        }
+        let v = u128::from_str_radix(&hex, 16).map_err(|_| FuncxError::InvalidId(s.to_string()))?;
+        Ok(Uuid(v))
+    }
+}
+
+macro_rules! typed_id {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub Uuid);
+
+        impl $name {
+            /// Generate a fresh random identifier.
+            pub fn random() -> Self {
+                Self(Uuid::random())
+            }
+
+            /// Generate from a caller-supplied RNG (deterministic tests).
+            pub fn random_from<R: RngCore>(rng: &mut R) -> Self {
+                Self(Uuid::random_from(rng))
+            }
+
+            /// Construct from a raw u128 (stable IDs in tests).
+            pub const fn from_u128(v: u128) -> Self {
+                Self(Uuid::from_u128(v))
+            }
+
+            /// The underlying UUID.
+            pub const fn uuid(&self) -> Uuid {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl FromStr for $name {
+            type Err = FuncxError;
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                Ok(Self(s.parse()?))
+            }
+        }
+    };
+}
+
+typed_id!(
+    /// Identifies a registered function (assigned at registration, §3).
+    FunctionId
+);
+typed_id!(
+    /// Identifies a registered endpoint (§3 "Endpoints").
+    EndpointId
+);
+typed_id!(
+    /// Identifies one invocation of a function — a "task" (§3).
+    TaskId
+);
+typed_id!(
+    /// Identifies an authenticated user (Globus Auth identity, §4.8).
+    UserId
+);
+typed_id!(
+    /// Identifies a manager process on a compute node (§4.3).
+    ManagerId
+);
+typed_id!(
+    /// Identifies a worker executing inside a container (§4.3).
+    WorkerId
+);
+typed_id!(
+    /// Identifies a container image registered for function execution (§4.2).
+    ContainerImageId
+);
+typed_id!(
+    /// Identifies a user-driven `fmap` batch (§4.7).
+    BatchId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn display_has_canonical_shape() {
+        let id = Uuid::from_u128(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        assert_eq!(id.to_string(), "01234567-89ab-cdef-0123-456789abcdef");
+    }
+
+    #[test]
+    fn roundtrip_parse() {
+        let id = Uuid::random();
+        let s = id.to_string();
+        let back: Uuid = s.parse().unwrap();
+        assert_eq!(id, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("not-a-uuid".parse::<Uuid>().is_err());
+        assert!("".parse::<Uuid>().is_err());
+        assert!("01234567-89ab-cdef-0123-456789abcdeg".parse::<Uuid>().is_err());
+    }
+
+    #[test]
+    fn random_sets_version_and_variant_bits() {
+        for _ in 0..32 {
+            let b = Uuid::random().as_u128().to_be_bytes();
+            assert_eq!(b[6] >> 4, 0x4, "version nibble must be 4");
+            assert_eq!(b[8] >> 6, 0b10, "variant bits must be 10");
+        }
+    }
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(TaskId::random_from(&mut a), TaskId::random_from(&mut b));
+    }
+
+    #[test]
+    fn typed_ids_are_distinct_types_but_share_uuid() {
+        let f = FunctionId::random();
+        let s = f.to_string();
+        let as_task: TaskId = s.parse().unwrap();
+        assert_eq!(f.uuid(), as_task.uuid());
+    }
+
+    #[test]
+    fn nil_is_nil() {
+        assert!(Uuid::nil().is_nil());
+        assert!(!Uuid::random().is_nil());
+    }
+}

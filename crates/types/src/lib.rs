@@ -1,0 +1,27 @@
+//! Core types shared by every funcX-rs crate.
+//!
+//! This crate deliberately has no dependency on the rest of the workspace:
+//! it defines the identifiers, task lifecycle states, error taxonomy, stable
+//! hashing, and the virtual-time [`Clock`](time::Clock) abstraction that the
+//! service, endpoint fabric, and simulator all build upon.
+//!
+//! The paper (§3, Figure 3) describes tasks moving through a hierarchy of
+//! queues — service, forwarder, agent, manager, worker — with at-least-once
+//! delivery. The [`task`] module encodes those lifecycle states; the
+//! [`time`] module lets the same component code run against wall-clock time
+//! (optionally scaled, so second-scale paper workloads finish in CI) or be
+//! driven by the discrete-event simulator.
+
+pub mod config;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod task;
+pub mod time;
+
+pub use error::{FuncxError, Result};
+pub use ids::{
+    BatchId, ContainerImageId, EndpointId, FunctionId, ManagerId, TaskId, UserId, WorkerId,
+};
+pub use task::{TaskRecord, TaskSpec, TaskState};
+pub use time::{Clock, RealClock, VirtualDuration, VirtualInstant};

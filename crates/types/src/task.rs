@@ -1,0 +1,290 @@
+//! Task lifecycle types.
+//!
+//! A *task* is one invocation of a registered function (§3). Figure 3 of the
+//! paper shows the path: submitted to the service (1), stored in Redis (2),
+//! queued for the endpoint (3), dispatched via the forwarder (4), executed,
+//! result returned (5) and stored for retrieval (6). [`TaskState`] encodes
+//! those stations; [`TaskTimeline`] records the virtual timestamp at which a
+//! task reached each one, which is exactly the instrumentation behind the
+//! paper's Figure 4 latency breakdown (`ts`, `tf`, `te`, `tw`).
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ContainerImageId, EndpointId, FunctionId, TaskId, UserId};
+use crate::time::{VirtualDuration, VirtualInstant};
+
+/// Where a task currently is in the hierarchical queueing architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// Accepted by the REST API, stored in the task store.
+    Received,
+    /// Sitting in the endpoint's service-side task queue.
+    WaitingForEndpoint,
+    /// Handed to the forwarder, in flight to (or queued inside) the agent.
+    DispatchedToEndpoint,
+    /// Queued at a manager, waiting for a worker/container.
+    WaitingForLaunch,
+    /// Executing on a worker.
+    Running,
+    /// Completed; result stored and awaiting retrieval.
+    Success,
+    /// Failed; error stored and awaiting retrieval.
+    Failed,
+}
+
+impl TaskState {
+    /// True once the task can no longer change state.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self, TaskState::Success | TaskState::Failed)
+    }
+
+    /// Legal forward transitions (used to assert lifecycle invariants).
+    /// Backward "transitions" happen only via redelivery after failure,
+    /// which is modelled as `DispatchedToEndpoint → WaitingForEndpoint`.
+    pub fn can_transition_to(&self, next: TaskState) -> bool {
+        use TaskState::*;
+        matches!(
+            (self, next),
+            (Received, WaitingForEndpoint)
+                | (WaitingForEndpoint, DispatchedToEndpoint)
+                | (DispatchedToEndpoint, WaitingForLaunch)
+                | (DispatchedToEndpoint, WaitingForEndpoint) // requeue on agent loss
+                | (WaitingForLaunch, Running)
+                | (WaitingForLaunch, WaitingForEndpoint) // requeue on manager loss
+                | (Running, Success)
+                | (Running, Failed)
+                | (Running, WaitingForEndpoint) // re-execute lost task
+                | (DispatchedToEndpoint, Failed) // rejected by agent
+                | (WaitingForLaunch, Failed)
+        )
+    }
+}
+
+/// Immutable description of what to run and where — what the client submits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskSpec {
+    /// The invocation id assigned by the service.
+    pub task_id: TaskId,
+    /// Which registered function to execute.
+    pub function_id: FunctionId,
+    /// Which endpoint to execute on.
+    pub endpoint_id: EndpointId,
+    /// Submitting user.
+    pub user_id: UserId,
+    /// Serialized input document (the serialization facade's packed buffer).
+    pub payload: Vec<u8>,
+    /// Container image the function was registered with, if any; `None`
+    /// executes in the worker's plain environment (§4.2).
+    pub container: Option<ContainerImageId>,
+    /// Whether the service may serve a memoized result (§4.7 — memoization
+    /// is only used if explicitly set by the user).
+    pub allow_memo: bool,
+}
+
+/// Terminal outcome of a task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TaskOutcome {
+    /// Serialized output document.
+    Success(Vec<u8>),
+    /// Error string surfaced from the worker (the Python system ships a
+    /// serialized traceback; we ship the interpreter's error rendering).
+    Failure(String),
+}
+
+impl TaskOutcome {
+    /// True for the success arm.
+    pub fn is_success(&self) -> bool {
+        matches!(self, TaskOutcome::Success(_))
+    }
+}
+
+/// Virtual timestamps at each station of the task path (Figure 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskTimeline {
+    /// Accepted by the REST API.
+    pub received: Option<VirtualInstant>,
+    /// Appended to the endpoint's service-side queue.
+    pub queued_at_service: Option<VirtualInstant>,
+    /// Read off the queue by the forwarder.
+    pub forwarder_read: Option<VirtualInstant>,
+    /// Arrived at the agent.
+    pub endpoint_received: Option<VirtualInstant>,
+    /// Handed to a manager.
+    pub manager_received: Option<VirtualInstant>,
+    /// Function body began executing on a worker.
+    pub execution_start: Option<VirtualInstant>,
+    /// Function body finished.
+    pub execution_end: Option<VirtualInstant>,
+    /// Result written back into the service-side result store.
+    pub result_stored: Option<VirtualInstant>,
+}
+
+impl TaskTimeline {
+    /// `tw`: function execution time.
+    pub fn t_exec(&self) -> Option<VirtualDuration> {
+        Some(self.execution_end?.saturating_duration_since(self.execution_start?))
+    }
+
+    /// `ts`: web-service latency — authenticate, store, enqueue.
+    pub fn t_service(&self) -> Option<VirtualDuration> {
+        Some(self.queued_at_service?.saturating_duration_since(self.received?))
+    }
+
+    /// `tf`: forwarder latency — queue read plus result write, i.e. time on
+    /// the forwarder's side of the channel that is not endpoint time.
+    pub fn t_forwarder(&self) -> Option<VirtualDuration> {
+        let fwd_span = self.result_stored?.saturating_duration_since(self.forwarder_read?);
+        Some(fwd_span.saturating_sub(self.t_endpoint()?))
+    }
+
+    /// `te`: endpoint latency — agent/manager queuing and dispatch, i.e.
+    /// endpoint span minus pure execution time.
+    pub fn t_endpoint(&self) -> Option<VirtualDuration> {
+        let ep_span = self.execution_end?.saturating_duration_since(self.endpoint_received?);
+        Some(ep_span.saturating_sub(self.t_exec()?))
+    }
+
+    /// End-to-end makespan as observed by the service.
+    pub fn total(&self) -> Option<VirtualDuration> {
+        Some(self.result_stored?.saturating_duration_since(self.received?))
+    }
+}
+
+/// The service's mutable record of a task: spec, state, timeline, outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskRecord {
+    /// What was submitted.
+    pub spec: TaskSpec,
+    /// Current lifecycle station.
+    pub state: TaskState,
+    /// Station timestamps.
+    pub timeline: TaskTimeline,
+    /// Terminal outcome once `state.is_terminal()`.
+    pub outcome: Option<TaskOutcome>,
+    /// How many times this task was (re)delivered to an endpoint; >1 means
+    /// the at-least-once machinery redelivered it after a failure.
+    pub delivery_count: u32,
+}
+
+impl TaskRecord {
+    /// Fresh record for a just-submitted spec.
+    pub fn new(spec: TaskSpec, now: VirtualInstant) -> Self {
+        TaskRecord {
+            spec,
+            state: TaskState::Received,
+            timeline: TaskTimeline { received: Some(now), ..TaskTimeline::default() },
+            outcome: None,
+            delivery_count: 0,
+        }
+    }
+
+    /// Apply a lifecycle transition, panicking on an illegal one — illegal
+    /// transitions are always funcX bugs, never user errors.
+    pub fn transition(&mut self, next: TaskState) {
+        assert!(
+            self.state.can_transition_to(next),
+            "illegal task transition {:?} -> {:?} for {}",
+            self.state,
+            next,
+            self.spec.task_id
+        );
+        self.state = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spec() -> TaskSpec {
+        TaskSpec {
+            task_id: TaskId::from_u128(1),
+            function_id: FunctionId::from_u128(2),
+            endpoint_id: EndpointId::from_u128(3),
+            user_id: UserId::from_u128(4),
+            payload: vec![1, 2, 3],
+            container: None,
+            allow_memo: false,
+        }
+    }
+
+    #[test]
+    fn happy_path_transitions() {
+        let mut r = TaskRecord::new(spec(), VirtualInstant::ZERO);
+        for s in [
+            TaskState::WaitingForEndpoint,
+            TaskState::DispatchedToEndpoint,
+            TaskState::WaitingForLaunch,
+            TaskState::Running,
+            TaskState::Success,
+        ] {
+            r.transition(s);
+        }
+        assert!(r.state.is_terminal());
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal task transition")]
+    fn cannot_skip_stations() {
+        let mut r = TaskRecord::new(spec(), VirtualInstant::ZERO);
+        r.transition(TaskState::Running);
+    }
+
+    #[test]
+    fn requeue_paths_are_legal() {
+        assert!(TaskState::DispatchedToEndpoint.can_transition_to(TaskState::WaitingForEndpoint));
+        assert!(TaskState::WaitingForLaunch.can_transition_to(TaskState::WaitingForEndpoint));
+        assert!(TaskState::Running.can_transition_to(TaskState::WaitingForEndpoint));
+    }
+
+    #[test]
+    fn terminal_states_are_sinks() {
+        for terminal in [TaskState::Success, TaskState::Failed] {
+            for next in [
+                TaskState::Received,
+                TaskState::WaitingForEndpoint,
+                TaskState::Running,
+                TaskState::Success,
+                TaskState::Failed,
+            ] {
+                assert!(!terminal.can_transition_to(next));
+            }
+        }
+    }
+
+    #[test]
+    fn timeline_breakdown_matches_figure4_definitions() {
+        let t = |s: f64| Some(VirtualInstant::from_secs_f64(s));
+        let tl = TaskTimeline {
+            received: t(0.0),
+            queued_at_service: t(0.010),
+            forwarder_read: t(0.012),
+            endpoint_received: t(0.020),
+            manager_received: t(0.025),
+            execution_start: t(0.030),
+            execution_end: t(0.032),
+            result_stored: t(0.040),
+        };
+        assert_eq!(tl.t_service(), Some(Duration::from_millis(10)));
+        assert_eq!(tl.t_exec(), Some(Duration::from_millis(2)));
+        // endpoint span 0.020..0.032 = 12ms minus 2ms exec = 10ms
+        assert_eq!(tl.t_endpoint(), Some(Duration::from_millis(10)));
+        // forwarder span 0.012..0.040 = 28ms minus 10ms endpoint = 18ms
+        assert_eq!(tl.t_forwarder(), Some(Duration::from_millis(18)));
+        assert_eq!(tl.total(), Some(Duration::from_millis(40)));
+    }
+
+    #[test]
+    fn timeline_incomplete_yields_none() {
+        let tl = TaskTimeline::default();
+        assert_eq!(tl.t_exec(), None);
+        assert_eq!(tl.total(), None);
+    }
+
+    #[test]
+    fn outcome_success_flag() {
+        assert!(TaskOutcome::Success(vec![]).is_success());
+        assert!(!TaskOutcome::Failure("e".into()).is_success());
+    }
+}

@@ -1,0 +1,152 @@
+//! Samplable duration distributions.
+//!
+//! Implemented locally (uniform, shifted exponential, log-normal via
+//! Box–Muller) because the workspace's dependency policy does not include
+//! `rand_distr`; these three shapes cover every model the evaluation needs.
+
+use std::time::Duration;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A duration distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// Every sample is exactly this many seconds.
+    Fixed(f64),
+    /// Uniform over [lo, hi] seconds.
+    Uniform {
+        /// Lower bound (s).
+        lo: f64,
+        /// Upper bound (s).
+        hi: f64,
+    },
+    /// `min + Exp(scale)` seconds, truncated at `max`.
+    ShiftedExp {
+        /// Hard floor (s).
+        min: f64,
+        /// Mean excess over the floor (s).
+        scale: f64,
+        /// Truncation (s).
+        max: f64,
+    },
+    /// Log-normal with the given median and sigma (of the underlying
+    /// normal), truncated at `max` — the classic long-tailed shape of
+    /// function runtimes in Figure 1.
+    LogNormal {
+        /// Median (s) — `exp(mu)`.
+        median: f64,
+        /// Sigma of the underlying normal.
+        sigma: f64,
+        /// Truncation (s).
+        max: f64,
+    },
+}
+
+impl Distribution {
+    /// Draw one duration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Duration {
+        let secs = match *self {
+            Distribution::Fixed(s) => s,
+            Distribution::Uniform { lo, hi } => {
+                if hi > lo {
+                    rng.gen_range(lo..hi)
+                } else {
+                    lo
+                }
+            }
+            Distribution::ShiftedExp { min, scale, max } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (min + scale * (-u.ln())).min(max)
+            }
+            Distribution::LogNormal { median, sigma, max } => {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (median * (sigma * z).exp()).min(max)
+            }
+        };
+        Duration::from_secs_f64(secs.max(0.0))
+    }
+
+    /// Analytic mean where closed-form, else a Monte-Carlo estimate.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Distribution::Fixed(s) => s,
+            Distribution::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Distribution::ShiftedExp { min, scale, .. } => min + scale,
+            Distribution::LogNormal { median, sigma, .. } => {
+                median * (sigma * sigma / 2.0).exp()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(d: Distribution, n: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| d.sample(&mut rng).as_secs_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Distribution::Fixed(1.5);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), Duration::from_secs_f64(1.5));
+        }
+    }
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = Distribution::Uniform { lo: 0.5, hi: 2.0 };
+        for _ in 0..1000 {
+            let s = d.sample(&mut rng).as_secs_f64();
+            assert!((0.5..2.0).contains(&s));
+        }
+        assert!((sample_mean(d, 20_000) - 1.25).abs() < 0.05);
+    }
+
+    #[test]
+    fn shifted_exp_mean_matches() {
+        let d = Distribution::ShiftedExp { min: 1.0, scale: 2.0, max: 1e9 };
+        assert!((sample_mean(d, 50_000) - 3.0).abs() < 0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng).as_secs_f64() >= 1.0);
+        }
+    }
+
+    #[test]
+    fn lognormal_median_roughly_holds() {
+        let d = Distribution::LogNormal { median: 1.0, sigma: 0.5, max: 1e9 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut samples: Vec<f64> =
+            (0..10_001).map(|_| d.sample(&mut rng).as_secs_f64()).collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[5000];
+        assert!((median - 1.0).abs() < 0.1, "median {median}");
+        // Long tail exists but truncation caps it.
+        let d = Distribution::LogNormal { median: 1.0, sigma: 1.0, max: 5.0 };
+        for _ in 0..5000 {
+            assert!(d.sample(&mut rng).as_secs_f64() <= 5.0);
+        }
+    }
+
+    #[test]
+    fn analytic_means() {
+        assert_eq!(Distribution::Fixed(2.0).mean(), 2.0);
+        assert_eq!(Distribution::Uniform { lo: 1.0, hi: 3.0 }.mean(), 2.0);
+        assert_eq!(
+            Distribution::ShiftedExp { min: 1.0, scale: 0.5, max: 1e9 }.mean(),
+            1.5
+        );
+    }
+}

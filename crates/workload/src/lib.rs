@@ -1,0 +1,22 @@
+//! Workload models for the funcX-rs evaluation.
+//!
+//! §2 of the paper motivates funcX with six scientific case studies whose
+//! function-duration distributions appear in Figure 1 and whose batching
+//! behaviour appears in Figure 10. This crate provides:
+//!
+//! * [`dist`] — the small set of samplable distributions the models use
+//!   (uniform, shifted exponential, log-normal via Box–Muller);
+//! * [`cases`] — the six case studies with calibrated duration models and
+//!   *runnable FxScript kernels* that actually compute something shaped
+//!   like the real workload (word-topic counting for Xtract, dot-product
+//!   inference for DLHub, spot counting for SSX, correlation for XPCS,
+//!   histogram aggregation for HEP, image QC for neurocartography);
+//! * [`synthetic`] — the paper's benchmark primitives (no-op / sleep /
+//!   stress sources, §5.2) and input generators.
+
+pub mod cases;
+pub mod dist;
+pub mod synthetic;
+
+pub use cases::CaseStudy;
+pub use dist::Distribution;

@@ -1,0 +1,118 @@
+//! The paper's synthetic benchmark functions (§5.2).
+//!
+//! "To measure scalability we created functions of various durations: a
+//! 0-second 'no-op' function that exits immediately, a 1-second 'sleep'
+//! function, and a 1-minute CPU 'stress' function that keeps a CPU core at
+//! 100% utilization."
+
+use funcx_lang::Value;
+
+/// The no-op function source.
+pub const NOOP_SRC: &str = "\
+def noop_task():
+    return None
+";
+
+/// Entry of [`NOOP_SRC`].
+pub const NOOP_ENTRY: &str = "noop_task";
+
+/// Sleep-for-`seconds` function source (the paper's "sleep" at 1 s, and
+/// the 1 ms / 10 ms / 100 ms variants of the prefetch experiment).
+pub const SLEEP_SRC: &str = "\
+def sleep_task(seconds):
+    sleep(seconds)
+    return seconds
+";
+
+/// Entry of [`SLEEP_SRC`].
+pub const SLEEP_ENTRY: &str = "sleep_task";
+
+/// CPU stress source (the paper's 1-minute 100%-utilization function).
+pub const STRESS_SRC: &str = "\
+def stress_task(seconds):
+    stress(seconds)
+    return seconds
+";
+
+/// Entry of [`STRESS_SRC`].
+pub const STRESS_ENTRY: &str = "stress_task";
+
+/// The hello-world echo used for the Table 1 latency comparison: "the same
+/// payload when invoking each function: the string 'hello-world.' Each
+/// function simply returns the string."
+pub const ECHO_SRC: &str = "\
+def echo(payload):
+    return payload
+";
+
+/// Entry of [`ECHO_SRC`].
+pub const ECHO_ENTRY: &str = "echo";
+
+/// The memoization experiment's function: "sleeps for one second and
+/// returns the input multiplied by two" (§5.5.6).
+pub const MEMO_SRC: &str = "\
+def sleepy_double(x):
+    sleep(1)
+    return x * 2
+";
+
+/// Entry of [`MEMO_SRC`].
+pub const MEMO_ENTRY: &str = "sleepy_double";
+
+/// Args for one sleep/stress invocation.
+pub fn seconds_arg(seconds: f64) -> Vec<Value> {
+    vec![Value::Float(seconds)]
+}
+
+/// The Table 1 echo payload.
+pub fn echo_args() -> Vec<Value> {
+    vec![Value::from("hello-world")]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_lang::{run_function, validate_function, Limits, NoopHooks};
+
+    #[test]
+    fn all_sources_validate() {
+        for (src, entry) in [
+            (NOOP_SRC, NOOP_ENTRY),
+            (SLEEP_SRC, SLEEP_ENTRY),
+            (STRESS_SRC, STRESS_ENTRY),
+            (ECHO_SRC, ECHO_ENTRY),
+            (MEMO_SRC, MEMO_ENTRY),
+        ] {
+            validate_function(src, entry).unwrap();
+        }
+    }
+
+    #[test]
+    fn echo_echoes() {
+        let out =
+            run_function(ECHO_SRC, ECHO_ENTRY, &echo_args(), &[], &NoopHooks, &Limits::default())
+                .unwrap();
+        assert_eq!(out, Value::from("hello-world"));
+    }
+
+    #[test]
+    fn memo_function_doubles() {
+        let out = run_function(
+            MEMO_SRC,
+            MEMO_ENTRY,
+            &[Value::Int(21)],
+            &[],
+            &NoopHooks,
+            &Limits::default(),
+        )
+        .unwrap();
+        assert_eq!(out, Value::Int(42));
+    }
+
+    #[test]
+    fn noop_returns_none() {
+        let out =
+            run_function(NOOP_SRC, NOOP_ENTRY, &[], &[], &NoopHooks, &Limits::default()).unwrap();
+        assert_eq!(out, Value::None);
+    }
+}

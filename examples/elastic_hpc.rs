@@ -1,0 +1,122 @@
+//! Elastic HPC provisioning (§4.4): the endpoint starts with *zero*
+//! compute nodes; pilot jobs are submitted to a (simulated) Slurm backfill
+//! queue as demand arrives, managers launch when the scheduler grants
+//! nodes, and everything is released once the queue drains — "resources
+//! must be provisioned as needed to reduce costs due to idle resources."
+//!
+//! ```sh
+//! cargo run --example elastic_hpc
+//! ```
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+use funcx_endpoint::{ElasticFleet, Manager};
+use funcx_provider::{BatchScheduler, Provider, ProviderLimits, ScalingPolicy, SchedulerKind};
+use funcx_serial::Serializer;
+use funcx_workload::CaseStudy;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Endpoint with no static managers — capacity is entirely elastic.
+    let mut bed = TestBedBuilder::new()
+        .speedup(2000.0)
+        .managers(0)
+        .workers_per_manager(4)
+        .build();
+
+    // A Slurm backfill queue ("using backfill queues to quickly execute
+    // tasks", §6): grants arrive within seconds instead of minutes.
+    let provider: Arc<dyn Provider> = BatchScheduler::with_backfill(
+        bed.clock.clone(),
+        SchedulerKind::Slurm,
+        ProviderLimits { max_nodes_per_job: 4, max_total_nodes: 8 },
+        7,
+    );
+
+    let policy = ScalingPolicy {
+        min_nodes: 0,
+        max_nodes: 8,
+        slots_per_node: 4,
+        aggressiveness: 1.0,
+        scale_in_after_idle: Duration::from_secs(60),
+    };
+    let launch = {
+        let attach = bed.agent().attach_handle();
+        let clock = bed.clock.clone();
+        move || {
+            let (agent_side, mgr_side) = funcx_proto::channel::inproc_pair();
+            let manager = Manager::spawn(
+                funcx_endpoint::EndpointConfig {
+                    workers_per_manager: 4,
+                    dispatch_overhead: Duration::ZERO,
+                    heartbeat_period: Duration::from_secs(2),
+                    heartbeat_timeout: Duration::from_secs(600),
+                    ..funcx_endpoint::EndpointConfig::default()
+                },
+                clock.clone(),
+                Serializer::default(),
+                mgr_side,
+                None,
+                None,
+            );
+            attach.attach(agent_side);
+            manager
+        }
+    };
+    let mut fleet = ElasticFleet::spawn(
+        bed.clock.clone(),
+        bed.agent().stats_handle(),
+        Arc::clone(&provider),
+        policy,
+        4,
+        launch,
+        Duration::from_millis(2),
+    );
+    println!("endpoint up with 0 nodes; Slurm backfill queue attached");
+
+    // An SSX processing burst lands (24 stills × 1–2 s each).
+    let case = CaseStudy::Ssx;
+    let func = bed.client.register_function(case.source(), case.entry()).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    let tasks: Vec<TaskId> = (0..24)
+        .map(|_| bed.client.run(func, bed.endpoint_id, case.gen_args(&mut rng), vec![]).unwrap())
+        .collect();
+    println!("burst: 24 crystallography stills submitted");
+
+    let results = bed.client.get_results(&tasks, Duration::from_secs(120)).unwrap();
+    let spots: i64 = results.iter().filter_map(Value::as_i64).sum();
+    println!(
+        "processed {} stills ({} spots) on elastically provisioned nodes",
+        results.len(),
+        spots
+    );
+    println!(
+        "fleet: {} pilot jobs submitted, {} managers launched",
+        fleet.stats().jobs_submitted.load(Ordering::Relaxed),
+        fleet.stats().managers_launched.load(Ordering::Relaxed),
+    );
+    println!(
+        "allocation consumed: {:.0} node-seconds",
+        provider.node_seconds_consumed()
+    );
+
+    // Wait for the idle threshold to pass; the fleet releases the nodes.
+    let deadline = std::time::Instant::now() + Duration::from_secs(20);
+    while fleet.stats().managers_stopped.load(Ordering::Relaxed)
+        < fleet.stats().managers_launched.load(Ordering::Relaxed)
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    println!(
+        "drained: {} managers released back to the scheduler",
+        fleet.stats().managers_stopped.load(Ordering::Relaxed)
+    );
+    fleet.stop();
+    bed.shutdown();
+}

@@ -1,0 +1,91 @@
+//! Real-time HEP analysis (the paper's Coffea case study, §2/§6).
+//!
+//! "Subtasks representing partial histograms are dispatched as funcX
+//! requests. We completed a typical HEP analysis of 300 million events in
+//! nine minutes (1.9 µs/event)". Here: partition a synthetic collision
+//! dataset into chunks, fan the `hep_histogram` kernel out with `fmap`,
+//! and reduce the partial histograms client-side.
+//!
+//! ```sh
+//! cargo run --example hep_coffea
+//! ```
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+use funcx_workload::CaseStudy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const CHUNKS: usize = 64;
+const EVENTS_PER_CHUNK: usize = 200;
+const BINS: i64 = 25;
+
+fn main() {
+    let mut bed = TestBedBuilder::new()
+        .speedup(5000.0)
+        .managers(4)
+        .workers_per_manager(8)
+        .build();
+
+    let case = CaseStudy::Hep;
+    let func = bed.client.register_function(case.source(), case.entry()).unwrap();
+
+    // Synthetic "invariant mass" values per event, chunked columnar-style.
+    let mut rng = StdRng::seed_from_u64(13);
+    let chunks: Vec<Vec<Value>> = (0..CHUNKS)
+        .map(|_| {
+            let events: Vec<Value> = (0..EVENTS_PER_CHUNK)
+                .map(|_| {
+                    // A peak near 91 GeV over a falling background.
+                    if rng.gen_bool(0.3) {
+                        Value::Float(rng.gen_range(86.0..96.0))
+                    } else {
+                        Value::Float(rng.gen_range(0.0..250.0))
+                    }
+                })
+                .collect();
+            vec![
+                Value::List(events),
+                Value::Float(0.0),
+                Value::Float(250.0),
+                Value::Int(BINS),
+                Value::Float(0.05), // pad: each subtask "runs for seconds"
+            ]
+        })
+        .collect();
+
+    let t0 = bed.clock.now();
+    let tasks = bed
+        .client
+        .fmap(func, chunks, bed.endpoint_id, FmapSpec::by_count(8, CHUNKS).unwrap())
+        .expect("chunks dispatch");
+    let partials = bed.client.get_results(&tasks, Duration::from_secs(300)).unwrap();
+    let elapsed = bed.clock.now().saturating_duration_since(t0);
+
+    // Reduce: sum the partial histograms.
+    let mut hist = vec![0i64; BINS as usize];
+    for partial in &partials {
+        let Value::List(bins) = partial else { panic!("histogram expected") };
+        for (i, b) in bins.iter().enumerate() {
+            hist[i] += b.as_i64().unwrap_or(0);
+        }
+    }
+
+    let events = CHUNKS * EVENTS_PER_CHUNK;
+    println!(
+        "aggregated {events} events over {CHUNKS} subtasks in {:.2} virtual s ({:.2} µs/event)",
+        elapsed.as_secs_f64(),
+        elapsed.as_secs_f64() * 1e6 / events as f64
+    );
+    // Crude ASCII spectrum.
+    let max = *hist.iter().max().unwrap_or(&1) as f64;
+    for (i, count) in hist.iter().enumerate() {
+        let bar = "#".repeat(((*count as f64 / max) * 40.0) as usize);
+        println!("{:>5.0}-{:<5.0} {bar} {count}", i as f64 * 10.0, (i + 1) as f64 * 10.0);
+    }
+    let peak_bin = hist.iter().enumerate().max_by_key(|(_, c)| **c).map(|(i, _)| i).unwrap();
+    assert_eq!(peak_bin, 9, "Z-peak lands in the 90–100 GeV bin");
+    bed.shutdown();
+}

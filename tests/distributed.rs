@@ -1,0 +1,158 @@
+//! Integration: the distributed deployment path — the agent connects to
+//! its forwarder over **real TCP** (the role ZeroMQ plays in §4.1), and
+//! the client drives the service over real HTTP. Nothing in this test uses
+//! an in-process channel between service and endpoint.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx::prelude::*;
+use funcx_auth::{IdentityProvider, Scope};
+use funcx_endpoint::{Agent, EndpointConfig, Manager};
+use funcx_proto::channel::inproc_pair;
+use funcx_sdk::RestApi;
+use funcx_serial::Serializer;
+use funcx_service::rest::serve_rest;
+use funcx_service::{FuncxService, ServiceConfig};
+use funcx_types::time::{RealClock, SharedClock};
+
+fn endpoint_config() -> EndpointConfig {
+    EndpointConfig {
+        workers_per_manager: 2,
+        dispatch_overhead: Duration::ZERO,
+        heartbeat_period: Duration::from_secs(2),
+        heartbeat_timeout: Duration::from_secs(600),
+        ..EndpointConfig::default()
+    }
+}
+
+#[test]
+fn full_stack_over_tcp_and_http() {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(
+        Arc::clone(&clock),
+        ServiceConfig { heartbeat_timeout: Duration::from_secs(600), ..ServiceConfig::default() },
+    );
+    let (_, token) = service.auth.login("remote-user", IdentityProvider::Institution, &[Scope::All]);
+
+    // Service side: REST over HTTP, forwarder over TCP.
+    let http = serve_rest(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let endpoint_id = service.register_endpoint(&token, "remote-ep", "", false).unwrap();
+    let (mut forwarder, agent_addr) =
+        service.connect_endpoint_tcp(endpoint_id, "127.0.0.1:0").unwrap();
+
+    // Endpoint side: the agent dials the forwarder's socket, exactly as a
+    // remote deployment would after registration.
+    let agent_channel = funcx_proto::tcp::connect(agent_addr).unwrap();
+    let mut agent =
+        Agent::spawn(endpoint_id, endpoint_config(), Arc::clone(&clock), agent_channel);
+    let (agent_side, manager_side) = inproc_pair();
+    let mut manager = Manager::spawn(
+        endpoint_config(),
+        Arc::clone(&clock),
+        Serializer::default(),
+        manager_side,
+        None,
+        None,
+    );
+    agent.attach_manager(agent_side);
+
+    // Client side: pure HTTP.
+    let client = FuncXClient::new(Arc::new(RestApi::new(http.local_addr())), token);
+    let f = client
+        .register_function("def greet(name):\n    return 'hello ' + name\n", "greet")
+        .unwrap();
+    let task = client
+        .run(f, endpoint_id, vec![Value::from("theta")], vec![])
+        .unwrap();
+    let out = client.get_result(task, Duration::from_secs(30)).unwrap();
+    assert_eq!(out, Value::from("hello theta"));
+
+    // The endpoint registry saw the TCP registration.
+    assert_eq!(
+        service.endpoints.get(endpoint_id).unwrap().status,
+        funcx_registry::EndpointStatus::Online
+    );
+
+    manager.stop();
+    agent.stop();
+    forwarder.stop();
+}
+
+#[test]
+fn tcp_endpoint_survives_many_tasks() {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(
+        Arc::clone(&clock),
+        ServiceConfig { heartbeat_timeout: Duration::from_secs(600), ..ServiceConfig::default() },
+    );
+    let (_, token) = service.auth.login("u", IdentityProvider::Google, &[Scope::All]);
+    let endpoint_id = service.register_endpoint(&token, "ep", "", false).unwrap();
+    let (mut forwarder, agent_addr) =
+        service.connect_endpoint_tcp(endpoint_id, "127.0.0.1:0").unwrap();
+    let agent_channel = funcx_proto::tcp::connect(agent_addr).unwrap();
+    let config = EndpointConfig { workers_per_manager: 4, ..endpoint_config() };
+    let mut agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
+    let (agent_side, manager_side) = inproc_pair();
+    let mut manager = Manager::spawn(
+        config,
+        Arc::clone(&clock),
+        Serializer::default(),
+        manager_side,
+        None,
+        None,
+    );
+    agent.attach_manager(agent_side);
+
+    let f = service
+        .register_function(
+            &token,
+            "sq",
+            "def sq(x):\n    return x * x\n",
+            "sq",
+            None,
+            funcx_registry::Sharing::default(),
+        )
+        .unwrap();
+    let tasks: Vec<TaskId> = (0..100)
+        .map(|i| {
+            service
+                .submit(
+                    &token,
+                    funcx_service::SubmitRequest {
+                        function_id: f,
+                        endpoint_id,
+                        args: vec![Value::Int(i)],
+                        kwargs: vec![],
+                        allow_memo: false,
+                    },
+                )
+                .unwrap()
+        })
+        .collect();
+
+    // Poll the service until all 100 results land (batched over TCP).
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    for (i, task) in tasks.iter().enumerate() {
+        loop {
+            match service.get_result(&token, *task).unwrap() {
+                Some(funcx_types::task::TaskOutcome::Success(body)) => {
+                    let (_, payload) = service.serializer().deserialize_packed(&body).unwrap();
+                    assert_eq!(
+                        payload,
+                        funcx_serial::Payload::Document(Value::Int((i * i) as i64))
+                    );
+                    break;
+                }
+                Some(other) => panic!("task {i} failed: {other:?}"),
+                None => {
+                    assert!(std::time::Instant::now() < deadline, "timed out at task {i}");
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+    manager.stop();
+    agent.stop();
+    forwarder.stop();
+}

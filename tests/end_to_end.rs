@@ -1,0 +1,200 @@
+//! Integration: full task lifecycle through service → forwarder → agent →
+//! manager → worker and back (Figure 3).
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+use funcx_auth::{IdentityProvider, Scope};
+use funcx_sdk::InProcApi;
+use std::sync::Arc;
+
+#[test]
+fn mixed_workload_completes_in_submission_order() {
+    let mut bed = TestBedBuilder::new().managers(2).workers_per_manager(4).build();
+    let double = bed.client.register_function("def f(x):\n    return x * 2\n", "f").unwrap();
+    let concat = bed
+        .client
+        .register_function("def g(a, b):\n    return a + '-' + b\n", "g")
+        .unwrap();
+
+    let mut tasks = Vec::new();
+    for i in 0..10 {
+        tasks.push(bed.client.run(double, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap());
+    }
+    let t = bed
+        .client
+        .run(concat, bed.endpoint_id, vec![Value::from("hello"), Value::from("world")], vec![])
+        .unwrap();
+
+    let results = bed.client.get_results(&tasks, Duration::from_secs(30)).unwrap();
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r, Value::Int(i as i64 * 2));
+    }
+    assert_eq!(
+        bed.client.get_result(t, Duration::from_secs(30)).unwrap(),
+        Value::from("hello-world")
+    );
+    bed.shutdown();
+}
+
+#[test]
+fn kwargs_and_defaults_cross_the_wire() {
+    let mut bed = TestBedBuilder::new().build();
+    let f = bed
+        .client
+        .register_function(
+            "def span(start, end=10, step=1):\n    total = 0\n    for i in range(start, end, step):\n        total += i\n    return total\n",
+            "span",
+        )
+        .unwrap();
+    let task = bed
+        .client
+        .run(f, bed.endpoint_id, vec![Value::Int(0)], vec![("step".into(), Value::Int(2))])
+        .unwrap();
+    // 0+2+4+6+8 = 20
+    assert_eq!(bed.client.get_result(task, Duration::from_secs(30)).unwrap(), Value::Int(20));
+    bed.shutdown();
+}
+
+#[test]
+fn remote_errors_carry_tracebacks() {
+    let mut bed = TestBedBuilder::new().build();
+    let f = bed
+        .client
+        .register_function(
+            "def outer(x):\n    return inner(x)\n\ndef inner(x):\n    return x / 0\n",
+            "outer",
+        )
+        .unwrap();
+    let task = bed.client.run(f, bed.endpoint_id, vec![Value::Int(1)], vec![]).unwrap();
+    let err = bed.client.get_result(task, Duration::from_secs(30)).unwrap_err();
+    let FuncxError::ExecutionFailed(msg) = err else { panic!("{err:?}") };
+    assert!(msg.contains("division by zero"), "{msg}");
+    assert!(msg.contains("inner"), "stack frames survive the wire: {msg}");
+    bed.shutdown();
+}
+
+#[test]
+fn sharing_controls_enforced_end_to_end() {
+    let mut bed = TestBedBuilder::new().build();
+    // A second user with full scopes but no shares.
+    let (_, other_token) =
+        bed.service.auth.login("eve", IdentityProvider::Google, &[Scope::All]);
+    let other =
+        FuncXClient::new(Arc::new(InProcApi::new(Arc::clone(&bed.service))), other_token);
+
+    let private = bed.client.register_function("def f():\n    return 1\n", "f").unwrap();
+    // Eve cannot invoke Alice's private function.
+    let err = other.run(private, bed.endpoint_id, vec![], vec![]).unwrap_err();
+    assert!(matches!(err, FuncxError::Forbidden(_)));
+
+    // Nor can she see Alice's task results.
+    let task = bed.client.run(private, bed.endpoint_id, vec![], vec![]).unwrap();
+    bed.client.get_result(task, Duration::from_secs(30)).unwrap();
+    assert!(matches!(other.status(task), Err(FuncxError::Forbidden(_))));
+    bed.shutdown();
+}
+
+#[test]
+fn timeline_is_monotone_and_complete() {
+    let mut bed = TestBedBuilder::new().build();
+    let f = bed
+        .client
+        .register_function("def f():\n    sleep(100)\n    return 0\n", "f")
+        .unwrap();
+    let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
+    bed.client.get_result(task, Duration::from_secs(30)).unwrap();
+    let tl = bed.service.task_record(task).unwrap().timeline;
+    let points = [
+        tl.received.unwrap(),
+        tl.queued_at_service.unwrap(),
+        tl.forwarder_read.unwrap(),
+        tl.endpoint_received.unwrap(),
+        tl.execution_start.unwrap(),
+        tl.execution_end.unwrap(),
+        tl.result_stored.unwrap(),
+    ];
+    for w in points.windows(2) {
+        assert!(w[0] <= w[1], "timeline must be monotone: {points:?}");
+    }
+    // The 100-virtual-second sleep dominates the execution span.
+    assert!(tl.t_exec().unwrap() >= Duration::from_secs(99));
+    assert!(tl.total().unwrap() >= tl.t_exec().unwrap());
+    bed.shutdown();
+}
+
+#[test]
+fn two_endpoints_share_one_service() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let second = bed.add_endpoint("cluster-b", 1, 2, Duration::ZERO);
+    let f = bed
+        .client
+        .register_function("def whereami(tag):\n    return tag\n", "whereami")
+        .unwrap();
+    let t1 = bed.client.run(f, bed.endpoint_id, vec![Value::from("a")], vec![]).unwrap();
+    let t2 = bed.client.run(f, second, vec![Value::from("b")], vec![]).unwrap();
+    assert_eq!(bed.client.get_result(t1, Duration::from_secs(30)).unwrap(), Value::from("a"));
+    assert_eq!(bed.client.get_result(t2, Duration::from_secs(30)).unwrap(), Value::from("b"));
+    assert_eq!(bed.extra_endpoint_ids(), vec![second]);
+    bed.shutdown();
+}
+
+#[test]
+fn large_data_travels_out_of_band() {
+    use funcx_sdk::DataStage;
+
+    // A service with a tight payload cap (§4.6: "we limit the size of data
+    // that can be passed through the funcX service").
+    let mut bed = TestBedBuilder::new().payload_limit(4 << 10).build();
+    let stage = DataStage::new();
+
+    // Direct submission of a large argument is rejected.
+    let f = bed
+        .client
+        .register_function(
+            "def analyze(dataset_ref, n):\n    return {'ref': dataset_ref, 'frames': n}\n",
+            "analyze",
+        )
+        .unwrap();
+    let big = Value::Str("x".repeat(64 << 10));
+    let err = bed
+        .client
+        .run(f, bed.endpoint_id, vec![big, Value::Int(3)], vec![])
+        .unwrap_err();
+    assert!(matches!(err, FuncxError::PayloadTooLarge { .. }));
+
+    // Staged out-of-band, only the reference crosses the service.
+    let dataset = vec![0u8; 64 << 10];
+    let reference = stage.stage_arg("scan-042.h5", dataset.clone());
+    let task = bed
+        .client
+        .run(f, bed.endpoint_id, vec![reference.clone(), Value::Int(3)], vec![])
+        .unwrap();
+    let out = bed.client.get_result(task, Duration::from_secs(30)).unwrap();
+    assert_eq!(out.dict_get("ref"), Some(&reference));
+    assert_eq!(out.dict_get("frames"), Some(&Value::Int(3)));
+
+    // The client resolves the returned reference back to the bytes.
+    let resolved = stage.resolve(out.dict_get("ref").unwrap()).unwrap().unwrap();
+    assert_eq!(*resolved, dataset);
+    bed.shutdown();
+}
+
+#[test]
+fn results_purge_after_retrieval_ttl() {
+    let mut bed = TestBedBuilder::new().build();
+    let f = bed.client.register_function("def f():\n    return 7\n", "f").unwrap();
+    let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
+    bed.client.get_result(task, Duration::from_secs(30)).unwrap();
+    assert_eq!(bed.service.task_count(), 1);
+    // Let the retrieved-result TTL (600 virtual s) lapse; speedup 1000 →
+    // ~0.7 s wall.
+    std::thread::sleep(Duration::from_millis(700));
+    assert_eq!(bed.service.purge_retrieved(), 1);
+    assert!(matches!(
+        bed.client.status(task),
+        Err(FuncxError::TaskNotFound(_))
+    ));
+    bed.shutdown();
+}

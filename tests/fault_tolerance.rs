@@ -1,0 +1,122 @@
+//! Integration: the §5.4 fault-tolerance behaviours — manager failure
+//! (Figure 7) and endpoint failure (Figure 8) — via failure injection.
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+
+#[test]
+fn manager_failure_reexecutes_lost_tasks() {
+    // One manager × 1 worker, long tasks queue behind a running one.
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(1).build();
+    let f = bed
+        .client
+        .register_function("def f(x):\n    sleep(800)\n    return x\n", "f")
+        .unwrap();
+    let tasks: Vec<TaskId> = (0..3)
+        .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
+        .collect();
+    // Let the first task reach the worker (800 virtual s ≈ 0.8 s wall).
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Kill the node; the agent's watchdog requeues its outstanding tasks.
+    bed.kill_manager(0);
+    std::thread::sleep(Duration::from_millis(100));
+    bed.add_manager();
+
+    let results = bed.client.get_results(&tasks, Duration::from_secs(60)).unwrap();
+    assert_eq!(results, vec![Value::Int(0), Value::Int(1), Value::Int(2)]);
+    assert!(
+        bed.agent().stats().requeued.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+        "at least the in-flight task was re-executed"
+    );
+    bed.shutdown();
+}
+
+#[test]
+fn endpoint_failure_buffers_and_recovers() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let f = bed
+        .client
+        .register_function("def f(x):\n    sleep(1000)\n    return x\n", "f")
+        .unwrap();
+    let before: Vec<TaskId> = (0..2)
+        .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(300)); // tasks reach workers
+
+    // Figure 8: the endpoint goes offline mid-execution.
+    bed.disconnect_endpoint();
+    assert_eq!(
+        bed.service.endpoints.get(bed.endpoint_id).unwrap().status,
+        funcx_registry::EndpointStatus::Offline
+    );
+
+    // Tasks submitted during the outage queue at the service ("reliable
+    // fire-and-forget function execution", §4.1).
+    let during = bed.client.run(f, bed.endpoint_id, vec![Value::Int(99)], vec![]).unwrap();
+    std::thread::sleep(Duration::from_millis(200));
+    assert_ne!(bed.client.status(during).unwrap(), TaskState::Success);
+
+    // Recovery: everything drains.
+    bed.reconnect_endpoint();
+    let mut all = before.clone();
+    all.push(during);
+    let results = bed.client.get_results(&all, Duration::from_secs(60)).unwrap();
+    assert_eq!(results, vec![Value::Int(0), Value::Int(1), Value::Int(99)]);
+    assert_eq!(
+        bed.service.endpoints.get(bed.endpoint_id).unwrap().status,
+        funcx_registry::EndpointStatus::Online
+    );
+    bed.shutdown();
+}
+
+#[test]
+fn repeated_failures_do_not_lose_tasks() {
+    let mut bed = TestBedBuilder::new().managers(2).workers_per_manager(1).build();
+    let f = bed
+        .client
+        .register_function("def f(x):\n    sleep(300)\n    return x\n", "f")
+        .unwrap();
+    let tasks: Vec<TaskId> = (0..6)
+        .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
+        .collect();
+
+    // Two rounds of killing a manager mid-flight and replacing it.
+    for round in 0..2 {
+        std::thread::sleep(Duration::from_millis(150));
+        bed.kill_manager(round);
+        bed.add_manager();
+    }
+
+    let mut results = bed.client.get_results(&tasks, Duration::from_secs(90)).unwrap();
+    results.sort_by_key(|v| v.as_i64().unwrap());
+    assert_eq!(
+        results,
+        (0..6).map(Value::Int).collect::<Vec<_>>(),
+        "every task completed exactly once per the at-least-once contract"
+    );
+    bed.shutdown();
+}
+
+#[test]
+fn delivery_count_tracks_redelivery() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(1).build();
+    let f = bed
+        .client
+        .register_function("def f():\n    sleep(600)\n    return 'ok'\n", "f")
+        .unwrap();
+    let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
+    std::thread::sleep(Duration::from_millis(250));
+    bed.disconnect_endpoint();
+    bed.reconnect_endpoint();
+    bed.client.get_result(task, Duration::from_secs(60)).unwrap();
+    let record = bed.service.task_record(task).unwrap();
+    assert!(
+        record.delivery_count >= 2,
+        "redelivery after endpoint loss must be visible: {}",
+        record.delivery_count
+    );
+    bed.shutdown();
+}

@@ -1,0 +1,244 @@
+//! Integration: the §4.7 optimizations observable end to end —
+//! memoization, user-driven batching, and container warming.
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+use funcx_container::SystemProfile;
+
+#[test]
+fn memoization_reduces_completion_time_with_repeats() {
+    // The §5.5.6 design in miniature: a 1-virtual-second function; repeats
+    // served from cache cost nothing.
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(4).build();
+    let f = bed
+        .client
+        .register_function("def f(x):\n    sleep(1)\n    return x * 2\n", "f")
+        .unwrap();
+
+    // 0% repeats: 16 distinct inputs.
+    let t0 = bed.clock.now();
+    let distinct: Vec<TaskId> = (0..16)
+        .map(|i| {
+            bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap()
+        })
+        .collect();
+    bed.client.get_results(&distinct, Duration::from_secs(60)).unwrap();
+    let cold_time = bed.clock.now().saturating_duration_since(t0);
+
+    // 100% repeats of an already-cached input.
+    let t1 = bed.clock.now();
+    let repeats: Vec<TaskId> = (0..16)
+        .map(|_| {
+            bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![]).unwrap()
+        })
+        .collect();
+    let repeated: Vec<Value> =
+        bed.client.get_results(&repeats, Duration::from_secs(60)).unwrap();
+    let warm_time = bed.clock.now().saturating_duration_since(t1);
+
+    assert!(repeated.iter().all(|v| *v == Value::Int(0)));
+    assert!(
+        warm_time < cold_time / 2,
+        "memo hits skip execution: {warm_time:?} vs {cold_time:?}"
+    );
+    assert!(bed.service.memo.stats().hits >= 16);
+    bed.shutdown();
+}
+
+#[test]
+fn failed_executions_are_never_memoized() {
+    let mut bed = TestBedBuilder::new().build();
+    let f = bed
+        .client
+        .register_function("def f(x):\n    return 1 / x\n", "f")
+        .unwrap();
+    let t = bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![]).unwrap();
+    assert!(bed.client.get_result(t, Duration::from_secs(30)).is_err());
+    // Same input again: still executes (and still fails) rather than
+    // serving a cached failure.
+    let t2 = bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![]).unwrap();
+    assert_ne!(bed.client.status(t2).unwrap(), TaskState::Success);
+    assert!(bed.client.get_result(t2, Duration::from_secs(30)).is_err());
+    assert_eq!(bed.service.memo.len(), 0);
+    bed.shutdown();
+}
+
+#[test]
+fn fmap_batches_amortize_service_overhead() {
+    // With a 10-virtual-ms auth charge per request, 64 tasks in batches of
+    // 16 cost 4 charges instead of 64.
+    let mut bed = TestBedBuilder::new()
+        .managers(2)
+        .workers_per_manager(8)
+        .service_costs(Duration::from_millis(10), Duration::ZERO)
+        .build();
+    let f = bed.client.register_function("def f(x):\n    return x + 1\n", "f").unwrap();
+    let inputs: Vec<Vec<Value>> = (0..64).map(|i| vec![Value::Int(i)]).collect();
+
+    let t0 = bed.clock.now();
+    let batched = bed
+        .client
+        .fmap(f, inputs.clone(), bed.endpoint_id, FmapSpec::by_size(16).unwrap())
+        .unwrap();
+    let submit_batched = bed.clock.now().saturating_duration_since(t0);
+
+    let t1 = bed.clock.now();
+    let singles: Vec<TaskId> = inputs
+        .iter()
+        .map(|args| bed.client.run(f, bed.endpoint_id, args.clone(), vec![]).unwrap())
+        .collect();
+    let submit_singles = bed.clock.now().saturating_duration_since(t1);
+
+    assert_eq!(batched.len(), 64);
+    assert!(
+        submit_singles > submit_batched * 4,
+        "64 auth charges vs 5: {submit_singles:?} vs {submit_batched:?}"
+    );
+
+    // Results are correct and ordered for both.
+    let rb = bed.client.get_results(&batched, Duration::from_secs(60)).unwrap();
+    let rs = bed.client.get_results(&singles, Duration::from_secs(60)).unwrap();
+    for (i, (a, b)) in rb.iter().zip(&rs).enumerate() {
+        assert_eq!(*a, Value::Int(i as i64 + 1));
+        assert_eq!(a, b);
+    }
+    bed.shutdown();
+}
+
+#[test]
+fn warm_containers_skip_repeat_cold_starts() {
+    // Speedup must stay moderate here: virtual-time latency measurements
+    // degrade once a 1 ms wall poll tick is worth more virtual time than
+    // the thing being measured (a ~10 virtual-second cold start).
+    let mut bed = TestBedBuilder::new()
+        .speedup(1000.0)
+        .managers(1)
+        .workers_per_manager(1)
+        .containers(SystemProfile::ThetaKnl)
+        .build();
+    let img = bed
+        .service
+        .register_image(&bed.token, "dials:1", SystemProfile::ThetaKnl.native_tech(), vec![])
+        .unwrap();
+    let f = bed
+        .service
+        .register_function(
+            &bed.token,
+            "f",
+            "def f(x):\n    return x\n",
+            "f",
+            Some(img),
+            funcx_registry::Sharing::default(),
+        )
+        .unwrap();
+
+    // Task 1 pays the ~10-virtual-second Theta Singularity cold start.
+    let t0 = bed.clock.now();
+    let task = bed.client.run(f, bed.endpoint_id, vec![Value::Int(1)], vec![]).unwrap();
+    bed.client.get_result(task, Duration::from_secs(60)).unwrap();
+    let first = bed.clock.now().saturating_duration_since(t0);
+    assert!(first >= Duration::from_secs(9), "cold start charged: {first:?}");
+    assert_eq!(bed.runtime().unwrap().cold_start_count(), 1);
+
+    // Tasks 2..5 reuse the same (still-deployed) container.
+    let t1 = bed.clock.now();
+    for i in 2..6 {
+        let task = bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap();
+        bed.client.get_result(task, Duration::from_secs(60)).unwrap();
+    }
+    let warm = bed.clock.now().saturating_duration_since(t1);
+    assert_eq!(bed.runtime().unwrap().cold_start_count(), 1, "no further cold starts");
+    // Per-task comparison: a warm task must be much cheaper than the cold
+    // one (pipeline polling noise is a few virtual seconds per task at
+    // this speedup; the cold start is ~10.4 s on top of that).
+    let warm_per_task = warm / 4;
+    assert!(
+        warm_per_task < first - Duration::from_secs(5),
+        "warm per-task {warm_per_task:?} vs cold {first:?}"
+    );
+    bed.shutdown();
+}
+
+#[test]
+fn container_dependencies_validated_and_shipped() {
+    let mut bed = TestBedBuilder::new()
+        .speedup(10_000.0)
+        .managers(1)
+        .workers_per_manager(1)
+        .containers(SystemProfile::Ec2)
+        .build();
+    // The function imports a non-base module ("tomopy", as in Listing 1's
+    // Automo preview function).
+    let src = "import tomopy, math\ndef prep(x):\n    return sqrt(x) + 1.0\n";
+
+    // Registering against an image that lacks the module is rejected.
+    let bare_img = bed
+        .service
+        .register_image(&bed.token, "plain:1", SystemProfile::Ec2.native_tech(), vec![])
+        .unwrap();
+    let err = bed
+        .service
+        .register_function(&bed.token, "prep", src, "prep", Some(bare_img), Default::default())
+        .unwrap_err();
+    assert!(matches!(err, FuncxError::BadRequest(m) if m.contains("tomopy")));
+
+    // With the module baked in, registration and remote execution succeed —
+    // the worker learns the container's modules from the dispatch.
+    let tomo_img = bed
+        .service
+        .register_image(
+            &bed.token,
+            "automo:2",
+            SystemProfile::Ec2.native_tech(),
+            vec!["tomopy".to_string()],
+        )
+        .unwrap();
+    let f = bed
+        .service
+        .register_function(&bed.token, "prep", src, "prep", Some(tomo_img), Default::default())
+        .unwrap();
+    let task = bed.client.run(f, bed.endpoint_id, vec![Value::Int(9)], vec![]).unwrap();
+    let out = bed.client.get_result(task, Duration::from_secs(60)).unwrap();
+    assert_eq!(out, Value::Float(4.0));
+
+    // Without a container, the same source is rejected *at the worker*
+    // (module absent from the base environment) — a clean failure, not a
+    // hang.
+    let f_bare = bed
+        .service
+        .register_function(&bed.token, "prep2", src, "prep", None, Default::default())
+        .unwrap();
+    let task = bed.client.run(f_bare, bed.endpoint_id, vec![Value::Int(9)], vec![]).unwrap();
+    let err = bed.client.get_result(task, Duration::from_secs(60)).unwrap_err();
+    assert!(matches!(err, FuncxError::ExecutionFailed(m) if m.contains("tomopy")));
+    bed.shutdown();
+}
+
+#[test]
+fn prefetch_config_flows_through_the_stack() {
+    // Behavioural smoke check: prefetch>0 lets a manager buffer tasks
+    // beyond its worker count.
+    let mut bed = TestBedBuilder::new()
+        .managers(1)
+        .workers_per_manager(1)
+        .prefetch(4)
+        .build();
+    let f = bed
+        .client
+        .register_function("def f(x):\n    sleep(400)\n    return x\n", "f")
+        .unwrap();
+    let tasks: Vec<TaskId> = (0..5)
+        .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+    let outstanding =
+        bed.agent().stats().outstanding.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        outstanding == 5,
+        "1 running + 4 prefetched at the manager, got {outstanding}"
+    );
+    bed.client.get_results(&tasks, Duration::from_secs(60)).unwrap();
+    bed.shutdown();
+}
