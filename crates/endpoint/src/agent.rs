@@ -21,15 +21,16 @@
 //!   generation (Figure 8's path).
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use funcx_proto::channel::ChannelHandle;
 use funcx_proto::heartbeat::HeartbeatTracker;
 use funcx_proto::message::{Message, TaskDispatch, TaskResult};
-use funcx_types::time::{SharedClock, VirtualInstant};
-use funcx_types::{EndpointId, FuncxError, ManagerId};
+use funcx_telemetry::{Counter, Gauge, MetricsRegistry};
+use funcx_types::time::SharedClock;
+use funcx_types::{EndpointId, EndpointStatsReport, FuncxError, ManagerId};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,21 +38,56 @@ use rand::SeedableRng;
 use crate::config::EndpointConfig;
 use crate::scheduler::{ManagerView, RandomizedGreedy, RoutingPolicy};
 
-/// Counters exposed for tests, the elasticity controller, and experiments.
-#[derive(Debug, Default)]
+/// Live queue/capacity instruments, exposed for tests, the elasticity
+/// controller, experiments, and the heartbeat-cadence status report.
+///
+/// The handles are lock-free [`funcx_telemetry`] gauges/counters. By default
+/// they are standalone (registered nowhere); [`AgentStats::with_registry`]
+/// binds the same handles into a [`MetricsRegistry`] so an endpoint process
+/// can expose its own scrape surface.
+#[derive(Debug, Clone, Default)]
 pub struct AgentStats {
     /// Tasks waiting at the agent for a manager slot.
-    pub pending: AtomicUsize,
+    pub pending: Gauge,
     /// Tasks in flight at managers.
-    pub outstanding: AtomicUsize,
+    pub outstanding: Gauge,
     /// Live (heartbeating) managers.
-    pub managers: AtomicUsize,
+    pub managers: Gauge,
     /// Total idle worker slots across live managers (from last adverts).
-    pub idle_slots: AtomicUsize,
+    pub idle_slots: Gauge,
     /// Tasks re-queued after a manager was declared lost.
-    pub requeued: AtomicUsize,
+    pub requeued: Counter,
     /// Results delivered upstream.
-    pub results_sent: AtomicUsize,
+    pub results_sent: Counter,
+}
+
+impl AgentStats {
+    /// Stats handles registered in `registry`, labelled by endpoint, so the
+    /// agent's queues show up on a local Prometheus scrape surface.
+    pub fn with_registry(registry: &MetricsRegistry, endpoint_id: EndpointId) -> AgentStats {
+        let ep = endpoint_id.to_string();
+        let labels: &[(&'static str, &str)] = &[("endpoint", ep.as_str())];
+        AgentStats {
+            pending: registry.gauge("funcx_agent_pending_tasks", labels),
+            outstanding: registry.gauge("funcx_agent_outstanding_tasks", labels),
+            managers: registry.gauge("funcx_agent_managers", labels),
+            idle_slots: registry.gauge("funcx_agent_idle_slots", labels),
+            requeued: registry.counter("funcx_agent_requeued_total", labels),
+            results_sent: registry.counter("funcx_agent_results_sent_total", labels),
+        }
+    }
+
+    /// Point-in-time snapshot shipped upstream alongside heartbeats.
+    pub fn report(&self) -> EndpointStatsReport {
+        EndpointStatsReport {
+            pending: self.pending.get(),
+            outstanding: self.outstanding.get(),
+            managers: self.managers.get(),
+            idle_slots: self.idle_slots.get(),
+            requeued: self.requeued.get(),
+            results_sent: self.results_sent.get(),
+        }
+    }
 }
 
 struct ManagerConn {
@@ -306,10 +342,18 @@ fn run_agent_loop(
                                 });
                                 let _ = conn.channel.send(Message::RegisterAck);
                             }
-                            Message::Results(results) => {
+                            Message::Results(mut results) => {
                                 if let Some(state) = conn.registered.as_mut() {
-                                    for r in &results {
-                                        state.outstanding.remove(&r.task_id);
+                                    for r in &mut results {
+                                        // Stamp the agent-arrival instant over
+                                        // the worker's manager-side fallback —
+                                        // this is the "endpoint received"
+                                        // station of Figure 4's breakdown.
+                                        if let Some((_, received)) =
+                                            state.outstanding.remove(&r.task_id)
+                                        {
+                                            r.endpoint_received_nanos = received;
+                                        }
                                     }
                                 }
                                 result_buffer.extend(results);
@@ -358,7 +402,7 @@ fn run_agent_loop(
                 for (_, (task, received)) in state.outstanding {
                     pending.push_front((task, received));
                 }
-                shared.stats.requeued.fetch_add(lost, Ordering::Relaxed);
+                shared.stats.requeued.add(lost as u64);
             }
         }
 
@@ -405,7 +449,7 @@ fn run_agent_loop(
             let n = batch.len();
             match forwarder.send(Message::Results(batch)) {
                 Ok(()) => {
-                    shared.stats.results_sent.fetch_add(n, Ordering::Relaxed);
+                    shared.stats.results_sent.add(n as u64);
                 }
                 Err(_) => {
                     forwarder_up = false;
@@ -416,17 +460,8 @@ fn run_agent_loop(
             }
         }
 
-        // 6. Heartbeat upstream + stats refresh.
-        let now = clock.now();
-        if forwarder_up
-            && now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period
-        {
-            hb_seq += 1;
-            if forwarder.send(Message::Heartbeat { seq: hb_seq }).is_err() {
-                forwarder_up = false;
-            }
-            last_heartbeat = now;
-        }
+        // 6. Stats refresh, then heartbeat + status report upstream (the
+        //    report rides the heartbeat cadence, §4.3).
         let outstanding: usize = managers
             .iter()
             .filter_map(|c| c.registered.as_ref())
@@ -437,14 +472,27 @@ fn run_agent_loop(
             .filter_map(|c| c.registered.as_ref())
             .map(|s| s.idle)
             .sum();
-        shared.stats.pending.store(pending.len(), Ordering::Relaxed);
-        shared.stats.outstanding.store(outstanding, Ordering::Relaxed);
+        shared.stats.pending.set(pending.len() as u64);
+        shared.stats.outstanding.set(outstanding as u64);
         shared
             .stats
             .managers
-            .store(managers.iter().filter(|c| c.registered.is_some()).count(), Ordering::Relaxed);
-        shared.stats.idle_slots.store(idle, Ordering::Relaxed);
-        let _ = VirtualInstant::ZERO;
+            .set(managers.iter().filter(|c| c.registered.is_some()).count() as u64);
+        shared.stats.idle_slots.set(idle as u64);
+        let now = clock.now();
+        if forwarder_up
+            && now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period
+        {
+            hb_seq += 1;
+            let status =
+                Message::EndpointStatus { endpoint_id, report: shared.stats.report() };
+            if forwarder.send(Message::Heartbeat { seq: hb_seq }).is_err()
+                || forwarder.send(status).is_err()
+            {
+                forwarder_up = false;
+            }
+            last_heartbeat = now;
+        }
     }
 
     // Graceful drain: tell managers to shut down.
@@ -562,12 +610,12 @@ mod tests {
         // The counter increments after the send the pump just read — poll
         // briefly rather than racing the agent thread.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while agent.stats().results_sent.load(Ordering::Relaxed) < 6
+        while agent.stats().results_sent.get() < 6
             && std::time::Instant::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert_eq!(agent.stats().results_sent.load(Ordering::Relaxed), 6);
+        assert_eq!(agent.stats().results_sent.get(), 6);
         manager.stop();
         agent.stop();
     }
@@ -607,7 +655,7 @@ mod tests {
         // All 4 tasks eventually complete on the replacement.
         let results = pump_forwarder(&fwd, 4, Duration::from_secs(30));
         assert_eq!(results.len(), 4, "all tasks re-executed after manager loss");
-        assert!(agent.stats().requeued.load(Ordering::Relaxed) >= 1);
+        assert!(agent.stats().requeued.get() >= 1);
         manager2.stop();
         agent.stop();
     }
@@ -652,11 +700,11 @@ mod tests {
             .collect();
         fwd.send(Message::Tasks(tasks)).unwrap();
         std::thread::sleep(Duration::from_millis(400));
-        let pending = agent.stats().pending.load(Ordering::Relaxed);
-        let outstanding = agent.stats().outstanding.load(Ordering::Relaxed);
+        let pending = agent.stats().pending.get();
+        let outstanding = agent.stats().outstanding.get();
         assert!(outstanding >= 1, "one task at the single worker");
         assert!(pending >= 3, "rest waiting at the agent, got {pending}");
-        assert_eq!(agent.stats().managers.load(Ordering::Relaxed), 1);
+        assert_eq!(agent.stats().managers.get(), 1);
         // Don't drain: stopping mid-load must also be clean.
         manager.stop();
         agent.stop();
@@ -687,7 +735,7 @@ mod tests {
         fwd.send(Message::Tasks(tasks)).unwrap();
         std::thread::sleep(Duration::from_millis(300));
         assert!(
-            agent.stats().outstanding.load(Ordering::Relaxed) <= 1,
+            agent.stats().outstanding.get() <= 1,
             "window must be 1 without batching"
         );
         let _ = pump_forwarder(&fwd, 4, Duration::from_secs(30));

@@ -145,13 +145,13 @@ fn run_fleet_loop(
         fleet.retain(|n| n.manager.is_running());
 
         // 3. Observe load and decide.
-        let pending_tasks = agent_stats.pending.load(Ordering::Relaxed);
-        let outstanding = agent_stats.outstanding.load(Ordering::Relaxed);
+        let pending_tasks = agent_stats.pending.get() as usize;
+        let outstanding = agent_stats.outstanding.get() as usize;
         let running_nodes = fleet.len();
         let pending_nodes: usize =
             queued_jobs.iter().map(|j| provider.nodes(*j).len().max(1)).sum();
         // Aggregate idle slots → whole idle nodes (conservative).
-        let idle_slots = agent_stats.idle_slots.load(Ordering::Relaxed);
+        let idle_slots = agent_stats.idle_slots.get() as usize;
         let idle_nodes = if outstanding == 0 && pending_tasks == 0 {
             running_nodes
         } else {
@@ -285,7 +285,7 @@ mod tests {
 
         // No load: nothing provisioned.
         std::thread::sleep(Duration::from_millis(50));
-        assert_eq!(agent.stats().managers.load(Ordering::Relaxed), 0);
+        assert_eq!(agent.stats().managers.get(), 0);
 
         // Burst of 6 long tasks (5000 virtual s ≈ 5 s wall — they stay
         // running for the whole observation window).

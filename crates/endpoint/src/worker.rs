@@ -141,7 +141,12 @@ impl Worker {
 
     /// Execute one dispatched task to completion. Blocking; charges all
     /// container/execution time to the virtual clock.
-    pub fn execute(&mut self, task: &TaskDispatch, endpoint_received_nanos: u64) -> TaskResult {
+    ///
+    /// `manager_received_nanos` is the manager's arrival stamp for the task;
+    /// it doubles as the fallback `endpoint_received` stamp until the agent
+    /// overwrites that field with its own (earlier) arrival time on the way
+    /// upstream.
+    pub fn execute(&mut self, task: &TaskDispatch, manager_received_nanos: u64) -> TaskResult {
         let fail = |msg: String, start: u64, end: u64, serializer: &Serializer| {
             let tb = Payload::Traceback(funcx_lang::LangError::new(msg, 0));
             let body = serializer
@@ -151,7 +156,8 @@ impl Worker {
                 task_id: task.task_id,
                 success: false,
                 body,
-                endpoint_received_nanos,
+                endpoint_received_nanos: manager_received_nanos,
+                manager_received_nanos,
                 exec_start_nanos: start,
                 exec_end_nanos: end,
                 stdout: Vec::new(),
@@ -211,7 +217,8 @@ impl Worker {
                         task_id: task.task_id,
                         success: true,
                         body,
-                        endpoint_received_nanos,
+                        endpoint_received_nanos: manager_received_nanos,
+                        manager_received_nanos,
                         exec_start_nanos: exec_start,
                         exec_end_nanos: exec_end,
                         stdout,
@@ -234,7 +241,8 @@ impl Worker {
                     task_id: task.task_id,
                     success: false,
                     body,
-                    endpoint_received_nanos,
+                    endpoint_received_nanos: manager_received_nanos,
+                    manager_received_nanos,
                     exec_start_nanos: exec_start,
                     exec_end_nanos: exec_end,
                     stdout,
@@ -246,7 +254,7 @@ impl Worker {
 
 /// What the manager sends a worker thread.
 pub enum WorkerCommand {
-    /// Run this task (stamped with when the agent got it).
+    /// Run this task (stamped with when the manager got it).
     Run(Box<TaskDispatch>, u64),
     /// Exit the worker loop.
     Stop,
@@ -429,6 +437,9 @@ mod tests {
         let (slot, _, result) = res_rx.recv_timeout(Duration::from_secs(5)).unwrap();
         assert_eq!(slot, 3);
         assert!(result.success);
+        assert_eq!(result.manager_received_nanos, 42);
+        // until the agent overwrites it, endpoint_received falls back to
+        // the manager stamp
         assert_eq!(result.endpoint_received_nanos, 42);
         cmd_tx.send(WorkerCommand::Stop).unwrap();
         handle.join().unwrap();

@@ -7,7 +7,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use funcx_types::{ContainerImageId, EndpointId, FunctionId, ManagerId, TaskId};
+use funcx_types::{
+    ContainerImageId, EndpointId, EndpointStatsReport, FunctionId, ManagerId, TaskId,
+};
 
 /// One task travelling toward a worker.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,6 +45,10 @@ pub struct TaskResult {
     /// timestamps are directly comparable at the service — the
     /// instrumentation behind Figure 4's `te`/`tw` breakdown.
     pub endpoint_received_nanos: u64,
+    /// Virtual instant the task was queued at a manager (nanos). Zero (the
+    /// serde default, for frames from older agents) means "not recorded".
+    #[serde(default)]
+    pub manager_received_nanos: u64,
     /// Virtual instant the function body started executing (nanos).
     pub exec_start_nanos: u64,
     /// Virtual instant the function body finished (nanos).
@@ -118,6 +124,14 @@ pub enum Message {
         /// Monotonic sequence number from the sender.
         seq: u64,
     },
+    /// Agent → forwarder: queue/capacity snapshot riding the heartbeat
+    /// cadence, so the service can serve fleet-wide endpoint health.
+    EndpointStatus {
+        /// Reporting endpoint.
+        endpoint_id: EndpointId,
+        /// Point-in-time stats snapshot.
+        report: EndpointStatsReport,
+    },
     /// Echo of a heartbeat.
     HeartbeatAck {
         /// Sequence being acknowledged.
@@ -154,6 +168,7 @@ impl Message {
             Message::Results(_) => "results",
             Message::CapacityAdvert { .. } => "capacity_advert",
             Message::Heartbeat { .. } => "heartbeat",
+            Message::EndpointStatus { .. } => "endpoint_status",
             Message::HeartbeatAck { .. } => "heartbeat_ack",
             Message::Shutdown => "shutdown",
         }
@@ -192,6 +207,7 @@ mod tests {
                 success: false,
                 body: vec![9],
                 endpoint_received_nanos: 100,
+                manager_received_nanos: 110,
                 exec_start_nanos: 120,
                 exec_end_nanos: 243,
                 stdout: vec!["line".into()],
@@ -203,6 +219,17 @@ mod tests {
                 deployed_containers: vec![],
             },
             Message::Heartbeat { seq: 42 },
+            Message::EndpointStatus {
+                endpoint_id: EndpointId::from_u128(9),
+                report: EndpointStatsReport {
+                    pending: 1,
+                    outstanding: 2,
+                    managers: 1,
+                    idle_slots: 6,
+                    requeued: 0,
+                    results_sent: 17,
+                },
+            },
             Message::HeartbeatAck { seq: 42 },
             Message::Shutdown,
         ];
@@ -225,6 +252,7 @@ mod tests {
             success: true,
             body: vec![],
             endpoint_received_nanos: 0,
+            manager_received_nanos: 0,
             exec_start_nanos: 100,
             exec_end_nanos: 350,
             stdout: vec![],

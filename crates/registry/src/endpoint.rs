@@ -9,7 +9,7 @@ use std::collections::HashMap;
 
 use funcx_auth::GroupId;
 use funcx_types::time::VirtualInstant;
-use funcx_types::{EndpointId, FuncxError, Result, UserId};
+use funcx_types::{EndpointId, EndpointStatsReport, FuncxError, Result, UserId};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
@@ -45,6 +45,13 @@ pub struct EndpointRecord {
     pub generation: u64,
     /// Virtual registration time.
     pub registered_at: VirtualInstant,
+    /// Latest queue/capacity snapshot the agent shipped on its heartbeat
+    /// cadence (`None` until the first report arrives).
+    #[serde(default)]
+    pub last_report: Option<EndpointStatsReport>,
+    /// Virtual time the last heartbeat/status report was seen.
+    #[serde(default)]
+    pub last_heartbeat: Option<VirtualInstant>,
 }
 
 impl EndpointRecord {
@@ -89,6 +96,8 @@ impl EndpointRegistry {
             status: EndpointStatus::Offline,
             generation: 0,
             registered_at: now,
+            last_report: None,
+            last_heartbeat: None,
         };
         self.by_id.write().insert(endpoint_id, record);
         endpoint_id
@@ -112,6 +121,29 @@ impl EndpointRegistry {
         rec.status = EndpointStatus::Online;
         rec.generation += 1;
         Ok(rec.generation)
+    }
+
+    /// Record a heartbeat-cadence stats report from the agent.
+    pub fn record_heartbeat(
+        &self,
+        id: EndpointId,
+        report: EndpointStatsReport,
+        now: VirtualInstant,
+    ) -> Result<()> {
+        let mut guard = self.by_id.write();
+        let rec = guard.get_mut(&id).ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))?;
+        rec.last_report = Some(report);
+        rec.last_heartbeat = Some(now);
+        Ok(())
+    }
+
+    /// Endpoints currently marked online.
+    pub fn online_count(&self) -> usize {
+        self.by_id
+            .read()
+            .values()
+            .filter(|r| r.status == EndpointStatus::Online)
+            .count()
     }
 
     /// Agent lost: mark offline.
@@ -218,6 +250,26 @@ mod tests {
             reg.set_sharing(id, friend, vec![], vec![], true),
             Err(FuncxError::Forbidden(_))
         ));
+    }
+
+    #[test]
+    fn heartbeat_reports_and_online_count() {
+        let reg = EndpointRegistry::new();
+        let a = reg.register(UserId::from_u128(1), "a", "", false, T0);
+        let b = reg.register(UserId::from_u128(1), "b", "", false, T0);
+        assert_eq!(reg.online_count(), 0);
+        reg.mark_online(a).unwrap();
+        assert_eq!(reg.online_count(), 1);
+
+        assert!(reg.get(a).unwrap().last_report.is_none());
+        let report = EndpointStatsReport { pending: 3, outstanding: 2, ..Default::default() };
+        let now = VirtualInstant::from_nanos(5_000);
+        reg.record_heartbeat(a, report, now).unwrap();
+        let rec = reg.get(a).unwrap();
+        assert_eq!(rec.last_report, Some(report));
+        assert_eq!(rec.last_heartbeat, Some(now));
+        assert!(reg.get(b).unwrap().last_heartbeat.is_none());
+        assert!(reg.record_heartbeat(EndpointId::from_u128(404), report, now).is_err());
     }
 
     #[test]

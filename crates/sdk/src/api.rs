@@ -184,15 +184,12 @@ impl ServiceApi for RestApi {
 
     fn status(&self, bearer: &str, task: TaskId) -> Result<TaskState> {
         let out = self.call("GET", &format!("/v1/tasks/{task}/status"), bearer, serde_json::Value::Null)?;
+        // `TaskState::parse` accepts both the snake_case wire form and the
+        // legacy CamelCase one, so the SDK can talk to either service build.
         match out["status"].as_str() {
-            Some("Received") => Ok(TaskState::Received),
-            Some("WaitingForEndpoint") => Ok(TaskState::WaitingForEndpoint),
-            Some("DispatchedToEndpoint") => Ok(TaskState::DispatchedToEndpoint),
-            Some("WaitingForLaunch") => Ok(TaskState::WaitingForLaunch),
-            Some("Running") => Ok(TaskState::Running),
-            Some("Success") => Ok(TaskState::Success),
-            Some("Failed") => Ok(TaskState::Failed),
-            other => Err(FuncxError::ProtocolViolation(format!("bad status {other:?}"))),
+            Some(name) => TaskState::parse(name)
+                .ok_or_else(|| FuncxError::ProtocolViolation(format!("bad status {name:?}"))),
+            None => Err(FuncxError::ProtocolViolation("missing status field".into())),
         }
     }
 

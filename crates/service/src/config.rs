@@ -34,6 +34,9 @@ pub struct ServiceConfig {
     pub forwarder_batch: usize,
     /// Maximum entries in the memoization cache.
     pub memo_capacity: usize,
+    /// Capacity of the lifecycle trace ring (oldest events are dropped —
+    /// and counted — beyond this).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +51,7 @@ impl Default for ServiceConfig {
             poll_interval: Duration::from_millis(1),
             forwarder_batch: 1024,
             memo_capacity: 100_000,
+            trace_capacity: 4096,
         }
     }
 }

@@ -191,8 +191,16 @@ fn run_forwarder_loop(
                 outstanding.insert(task_id, ());
                 batch.push(dispatch);
             }
-            if !batch.is_empty() && channel.send(Message::Tasks(batch)).is_err() {
-                agent_lost = true;
+            if !batch.is_empty() {
+                let n = batch.len();
+                if channel.send(Message::Tasks(batch)).is_err() {
+                    agent_lost = true;
+                } else {
+                    service.instruments.tasks_dispatched.add(n as u64);
+                    service
+                        .trace
+                        .record("dispatch", format!("endpoint {endpoint_id} batch {n}"));
+                }
             }
         }
 
@@ -209,6 +217,15 @@ fn run_forwarder_loop(
                     }
                     Message::Heartbeat { seq } => {
                         let _ = channel.send(Message::HeartbeatAck { seq });
+                    }
+                    Message::EndpointStatus { endpoint_id: claimed, report } => {
+                        if claimed == endpoint_id {
+                            let _ = service.endpoints.record_heartbeat(
+                                endpoint_id,
+                                report,
+                                clock.now(),
+                            );
+                        }
                     }
                     Message::HeartbeatAck { .. } => {}
                     Message::RegisterEndpoint { .. } => {
@@ -243,8 +260,11 @@ fn run_forwarder_loop(
     // outstanding tasks back into the task queue", §4.1) and mark offline.
     if agent_lost {
         let requeued = requeue_outstanding(&service, outstanding);
-        let _ = requeued;
+        service.instruments.tasks_requeued.add(requeued as u64);
         let _ = service.endpoints.mark_offline(endpoint_id);
+        service
+            .trace
+            .record("endpoint_lost", format!("endpoint {endpoint_id} requeued {requeued}"));
     }
 }
 
@@ -307,9 +327,14 @@ fn store_results(
         if record.state.is_terminal() {
             continue; // duplicate delivery of a result
         }
-        // Remote-side timeline (shared virtual clock).
+        // Remote-side timeline (shared virtual clock). A zero manager stamp
+        // means an older agent that didn't record it.
         record.timeline.endpoint_received =
             Some(VirtualInstant::from_nanos(r.endpoint_received_nanos));
+        if r.manager_received_nanos != 0 {
+            record.timeline.manager_received =
+                Some(VirtualInstant::from_nanos(r.manager_received_nanos));
+        }
         record.timeline.execution_start = Some(VirtualInstant::from_nanos(r.exec_start_nanos));
         record.timeline.execution_end = Some(VirtualInstant::from_nanos(r.exec_end_nanos));
         record.timeline.result_stored = Some(now);
@@ -343,7 +368,19 @@ fn store_results(
                 })
                 .unwrap_or_else(|| "execution failed (unreadable traceback)".to_string());
             record.outcome = Some(TaskOutcome::Failure(message));
+            service.instruments.tasks_failed.inc();
         }
+        service.instruments.results_stored.inc();
+        if let Some(total) = record.timeline.total() {
+            service.instruments.task_latency.record(total);
+        }
+        if let Some(exec) = record.timeline.t_exec() {
+            service.instruments.task_exec.record(exec);
+        }
+        service.trace.record(
+            "result",
+            format!("task {} success {}", r.task_id, r.success),
+        );
         result_queue.push_back(FuncxService::task_id_to_queue_bytes(r.task_id));
     }
 }

@@ -45,14 +45,25 @@ impl Request {
 pub struct Response {
     /// Status code.
     pub status: u16,
-    /// Body bytes (JSON in this service).
+    /// Content-Type header value.
+    pub content_type: String,
+    /// Body bytes (JSON in this service; plain text for `/v1/metrics`).
     pub body: Vec<u8>,
 }
 
 impl Response {
-    /// 200 with a JSON body.
+    /// A response with a JSON body.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
-        Response { status, body: body.into() }
+        Response { status, content_type: "application/json".into(), body: body.into() }
+    }
+
+    /// A response in the Prometheus text exposition format.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4".into(),
+            body: body.into(),
+        }
     }
 
     fn reason(&self) -> &'static str {
@@ -193,9 +204,10 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::result::Result<Reques
 
 fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         resp.status,
         resp.reason(),
+        resp.content_type,
         resp.body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -234,6 +246,7 @@ pub fn http_request(
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| FuncxError::ProtocolViolation("bad http status line".into()))?;
     let mut content_length = 0usize;
+    let mut content_type = String::from("application/json");
     loop {
         let mut hline = String::new();
         reader
@@ -246,6 +259,8 @@ pub fn http_request(
         if let Some((k, v)) = trimmed.split_once(':') {
             if k.trim().eq_ignore_ascii_case("content-length") {
                 content_length = v.trim().parse().unwrap_or(0);
+            } else if k.trim().eq_ignore_ascii_case("content-type") {
+                content_type = v.trim().to_string();
             }
         }
     }
@@ -253,7 +268,7 @@ pub fn http_request(
     reader
         .read_exact(&mut body)
         .map_err(|e| FuncxError::Disconnected(format!("http recv body: {e}")))?;
-    Ok(Response { status, body })
+    Ok(Response { status, content_type, body })
 }
 
 #[cfg(test)]

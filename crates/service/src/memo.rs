@@ -6,6 +6,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use funcx_telemetry::{Counter, MetricsRegistry};
 use funcx_types::hash::memo_key;
 use parking_lot::Mutex;
 
@@ -24,25 +25,45 @@ struct Inner {
     map: HashMap<u64, Vec<u8>>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u64>,
-    stats: MemoStats,
 }
 
 /// FIFO-bounded result cache keyed on (function body, input document).
+///
+/// The hit/miss/eviction counters are lock-free telemetry handles, so the
+/// same numbers back [`MemoCache::stats`] (Table 3) and — when built with
+/// [`MemoCache::with_metrics`] — the `funcx_memo_*_total` series on the
+/// `/v1/metrics` scrape surface. One source of truth, two views.
 pub struct MemoCache {
     capacity: usize,
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
     inner: Mutex<Inner>,
 }
 
 impl MemoCache {
-    /// New cache holding at most `capacity` results.
+    /// New cache holding at most `capacity` results, with standalone
+    /// (unregistered) counters.
     pub fn new(capacity: usize) -> Self {
         MemoCache {
             capacity: capacity.max(1),
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-                stats: MemoStats::default(),
-            }),
+            hits: Counter::standalone(),
+            misses: Counter::standalone(),
+            evictions: Counter::standalone(),
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
+        }
+    }
+
+    /// New cache whose counters are registered in `registry` as
+    /// `funcx_memo_hits_total` / `funcx_memo_misses_total` /
+    /// `funcx_memo_evictions_total`.
+    pub fn with_metrics(capacity: usize, registry: &MetricsRegistry) -> Self {
+        MemoCache {
+            capacity: capacity.max(1),
+            hits: registry.counter("funcx_memo_hits_total", &[]),
+            misses: registry.counter("funcx_memo_misses_total", &[]),
+            evictions: registry.counter("funcx_memo_evictions_total", &[]),
+            inner: Mutex::new(Inner { map: HashMap::new(), order: VecDeque::new() }),
         }
     }
 
@@ -53,14 +74,14 @@ impl MemoCache {
 
     /// Look up a cached result body.
     pub fn get(&self, key: u64) -> Option<Vec<u8>> {
-        let mut inner = self.inner.lock();
+        let inner = self.inner.lock();
         match inner.map.get(&key).cloned() {
             Some(v) => {
-                inner.stats.hits += 1;
+                self.hits.inc();
                 Some(v)
             }
             None => {
-                inner.stats.misses += 1;
+                self.misses.inc();
                 None
             }
         }
@@ -75,7 +96,7 @@ impl MemoCache {
             while inner.order.len() > self.capacity {
                 if let Some(old) = inner.order.pop_front() {
                     inner.map.remove(&old);
-                    inner.stats.evictions += 1;
+                    self.evictions.inc();
                 }
             }
         }
@@ -91,9 +112,13 @@ impl MemoCache {
         self.len() == 0
     }
 
-    /// Counters snapshot.
+    /// Counters snapshot (same atomics the metrics registry renders).
     pub fn stats(&self) -> MemoStats {
-        self.inner.lock().stats
+        MemoStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+        }
     }
 }
 
@@ -133,6 +158,26 @@ mod tests {
         assert_eq!(cache.get(0), None);
         assert_eq!(cache.get(1), None);
         assert_eq!(cache.get(4), Some(vec![4]));
+    }
+
+    #[test]
+    fn registry_backed_counters_match_stats() {
+        use funcx_types::time::ManualClock;
+
+        let registry = MetricsRegistry::new(ManualClock::new());
+        let cache = MemoCache::with_metrics(2, &registry);
+        cache.insert(1, vec![1]);
+        let _ = cache.get(1); // hit
+        let _ = cache.get(9); // miss
+        cache.insert(2, vec![2]);
+        cache.insert(3, vec![3]); // evicts key 1
+
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 1));
+        // The registry renders the very same atomics (Table 3 consistency).
+        assert_eq!(registry.counter_value("funcx_memo_hits_total", &[]), Some(1));
+        assert_eq!(registry.counter_value("funcx_memo_misses_total", &[]), Some(1));
+        assert_eq!(registry.counter_value("funcx_memo_evictions_total", &[]), Some(1));
     }
 
     #[test]

@@ -11,10 +11,16 @@
 //! | POST | `/v1/endpoints` | [`RegisterEndpointBody`] | `{"endpoint_id"}` |
 //! | POST | `/v1/submit` | [`SubmitBody`] | `{"task_id"}` |
 //! | POST | `/v1/batch` | `{"tasks": [SubmitBody...]}` | `{"task_ids"}` |
-//! | GET  | `/v1/tasks/<id>/status` | — | `{"status"}` |
+//! | GET  | `/v1/tasks/<id>/status` | — | `{"status"}` (snake_case state) |
 //! | GET  | `/v1/tasks/<id>/result` | — | result / pending / error |
+//! | GET  | `/v1/tasks/<id>/timeline` | — | Figure-4 timeline breakdown |
+//! | GET  | `/v1/endpoints/<id>/status` | — | endpoint health + last report |
+//! | GET  | `/v1/endpoints/status` | — | fleet view (accessible endpoints) |
+//! | GET  | `/v1/metrics` | — | Prometheus text (no auth) |
 //!
-//! All routes require `Authorization: Bearer <token>`.
+//! All routes except `GET /v1/metrics` require `Authorization: Bearer
+//! <token>`; the scrape surface is unauthenticated and read-only so an
+//! operator's Prometheus needs no Globus identity.
 
 use std::sync::Arc;
 
@@ -145,10 +151,14 @@ pub fn serve_rest(service: Arc<FuncxService>, addr: &str) -> funcx_types::Result
 }
 
 fn route(service: &Arc<FuncxService>, req: Request) -> Response {
+    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    // The scrape surface is served before the bearer check.
+    if req.method == "GET" && segments.as_slice() == ["v1", "metrics"] {
+        return Response::text(200, service.render_metrics());
+    }
     let Some(bearer) = req.bearer().map(str::to_string) else {
         return err_json(&FuncxError::Unauthenticated("missing bearer token".into()));
     };
-    let segments: Vec<&str> = req.path.trim_matches('/').split('/').collect();
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["v1", "functions"]) => {
             let body: RegisterFunctionBody = match parse_body(&req) {
@@ -254,7 +264,35 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Err(_) => return bad_request("bad task id"),
             };
             match service.status(&bearer, task) {
-                Ok(state) => ok_json(&serde_json::json!({ "status": format!("{state:?}") })),
+                Ok(state) => ok_json(&serde_json::json!({ "status": state.as_str() })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "tasks", id, "timeline"]) => {
+            let task: TaskId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad task id"),
+            };
+            match service.timeline(&bearer, task) {
+                Ok(record) => ok_json(&timeline_json(&record)),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "endpoints", "status"]) => match service.fleet_status(&bearer) {
+            Ok(records) => {
+                let endpoints: Vec<serde_json::Value> =
+                    records.iter().map(endpoint_json).collect();
+                ok_json(&serde_json::json!({ "endpoints": endpoints }))
+            }
+            Err(e) => err_json(&e),
+        },
+        ("GET", ["v1", "endpoints", id, "status"]) => {
+            let endpoint: EndpointId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad endpoint id"),
+            };
+            match service.endpoint_status(&bearer, endpoint) {
+                Ok(record) => ok_json(&endpoint_json(&record)),
                 Err(e) => err_json(&e),
             }
         }
@@ -287,6 +325,57 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
             req.method, req.path
         ))),
     }
+}
+
+/// JSON body of `GET /v1/tasks/<id>/timeline`: every station as nanoseconds
+/// on the shared virtual clock, plus the derived Figure-4 components
+/// (`ts`/`tf`/`te`/`tw`) which tile the total exactly when complete.
+fn timeline_json(record: &funcx_types::task::TaskRecord) -> serde_json::Value {
+    let t = &record.timeline;
+    let at = |v: Option<funcx_types::time::VirtualInstant>| v.map(|i| i.as_nanos());
+    let dur =
+        |d: Option<funcx_types::time::VirtualDuration>| d.map(|d| d.as_nanos() as u64);
+    serde_json::json!({
+        "task_id": record.spec.task_id.to_string(),
+        "state": record.state.as_str(),
+        "delivery_count": record.delivery_count,
+        "received": at(t.received),
+        "queued_at_service": at(t.queued_at_service),
+        "forwarder_read": at(t.forwarder_read),
+        "endpoint_received": at(t.endpoint_received),
+        "manager_received": at(t.manager_received),
+        "execution_start": at(t.execution_start),
+        "execution_end": at(t.execution_end),
+        "result_stored": at(t.result_stored),
+        "ts_nanos": dur(t.t_service()),
+        "tf_nanos": dur(t.t_forwarder()),
+        "te_nanos": dur(t.t_endpoint()),
+        "tw_nanos": dur(t.t_exec()),
+        "total_nanos": dur(t.total()),
+        "monotone": t.is_monotone(),
+        "complete": t.is_complete(),
+    })
+}
+
+/// JSON body of the endpoint status routes: registry record plus the agent's
+/// latest heartbeat-cadence stats report (nulls until the first one lands).
+fn endpoint_json(record: &funcx_registry::EndpointRecord) -> serde_json::Value {
+    serde_json::json!({
+        "endpoint_id": record.endpoint_id.to_string(),
+        "name": record.name,
+        "status": match record.status {
+            funcx_registry::EndpointStatus::Online => "online",
+            funcx_registry::EndpointStatus::Offline => "offline",
+        },
+        "generation": record.generation,
+        "last_heartbeat_nanos": record.last_heartbeat.map(|i| i.as_nanos()),
+        "pending": record.last_report.map(|r| r.pending),
+        "outstanding": record.last_report.map(|r| r.outstanding),
+        "managers": record.last_report.map(|r| r.managers),
+        "idle_slots": record.last_report.map(|r| r.idle_slots),
+        "requeued": record.last_report.map(|r| r.requeued),
+        "results_sent": record.last_report.map(|r| r.results_sent),
+    })
 }
 
 #[cfg(test)]
@@ -388,7 +477,7 @@ mod tests {
         )
         .unwrap();
         let parsed: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
-        assert_eq!(parsed["status"], "WaitingForEndpoint");
+        assert_eq!(parsed["status"], "waiting_for_endpoint");
 
         let resp = http_request(
             server.local_addr(),

@@ -14,6 +14,7 @@ use funcx_lang::Value;
 use funcx_registry::{EndpointRegistry, FunctionRegistry, Sharing};
 use funcx_serial::{pack_buffer, Payload, Serializer};
 use funcx_store::{QueueKind, Store};
+use funcx_telemetry::{Counter, Histogram, MetricsRegistry, TraceRing};
 use funcx_types::ids::Uuid;
 use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState};
 use funcx_types::time::SharedClock;
@@ -38,6 +39,39 @@ pub struct SubmitRequest {
     pub allow_memo: bool,
 }
 
+/// Pre-resolved handles for the task hot path — one registry lookup at
+/// construction instead of one per task.
+pub(crate) struct Instruments {
+    /// Tasks accepted by submit/batch (memo hits included).
+    pub tasks_submitted: Counter,
+    /// Tasks shipped to an endpoint by a forwarder.
+    pub tasks_dispatched: Counter,
+    /// Results written into the store (success or failure).
+    pub results_stored: Counter,
+    /// Results that were failures.
+    pub tasks_failed: Counter,
+    /// Tasks returned to the queue after an agent was lost.
+    pub tasks_requeued: Counter,
+    /// End-to-end latency (`received` → `result_stored`), Figure 4's total.
+    pub task_latency: Histogram,
+    /// Pure execution time (`tw`).
+    pub task_exec: Histogram,
+}
+
+impl Instruments {
+    fn new(registry: &MetricsRegistry) -> Instruments {
+        Instruments {
+            tasks_submitted: registry.counter("funcx_tasks_submitted_total", &[]),
+            tasks_dispatched: registry.counter("funcx_tasks_dispatched_total", &[]),
+            results_stored: registry.counter("funcx_results_stored_total", &[]),
+            tasks_failed: registry.counter("funcx_tasks_failed_total", &[]),
+            tasks_requeued: registry.counter("funcx_tasks_requeued_total", &[]),
+            task_latency: registry.histogram("funcx_task_latency_seconds", &[]),
+            task_exec: registry.histogram("funcx_task_exec_seconds", &[]),
+        }
+    }
+}
+
 /// The cloud-hosted funcX service.
 pub struct FuncxService {
     pub(crate) clock: SharedClock,
@@ -55,6 +89,11 @@ pub struct FuncxService {
     pub images: funcx_container::ImageRegistry,
     /// Memoization cache.
     pub memo: MemoCache,
+    /// Metrics registry backing the `/v1/metrics` scrape surface.
+    pub metrics: Arc<MetricsRegistry>,
+    /// Bounded lifecycle event ring (dispatch/result/requeue/liveness).
+    pub trace: Arc<TraceRing>,
+    pub(crate) instruments: Instruments,
     pub(crate) serializer: Serializer,
     /// Task lifecycle records (the Redis task hashset of §4.1).
     pub(crate) tasks: RwLock<HashMap<TaskId, TaskRecord>>,
@@ -63,13 +102,19 @@ pub struct FuncxService {
 impl FuncxService {
     /// Stand up a service on the given clock.
     pub fn new(clock: SharedClock, config: ServiceConfig) -> Arc<Self> {
+        let metrics = MetricsRegistry::new(Arc::clone(&clock));
+        let trace = Arc::new(TraceRing::new(Arc::clone(&clock), config.trace_capacity));
+        let instruments = Instruments::new(&metrics);
         Arc::new(FuncxService {
             auth: AuthService::new(Arc::clone(&clock)),
             functions: FunctionRegistry::new(),
             endpoints: EndpointRegistry::new(),
             store: Store::new(Arc::clone(&clock)),
             images: funcx_container::ImageRegistry::new(),
-            memo: MemoCache::new(config.memo_capacity),
+            memo: MemoCache::with_metrics(config.memo_capacity, &metrics),
+            metrics,
+            trace,
+            instruments,
             serializer: Serializer::default(),
             tasks: RwLock::new(HashMap::new()),
             config,
@@ -288,6 +333,7 @@ impl FuncxService {
             allow_memo: request.allow_memo,
         };
         let mut record = TaskRecord::new(spec, received);
+        self.instruments.tasks_submitted.inc();
 
         // Memoization short-circuit (§4.7): a hit never leaves the service.
         if request.allow_memo {
@@ -303,7 +349,11 @@ impl FuncxService {
                 let now = self.clock.now();
                 record.timeline.queued_at_service = Some(now);
                 record.timeline.result_stored = Some(now);
+                if let Some(total) = record.timeline.total() {
+                    self.instruments.task_latency.record(total);
+                }
                 self.tasks.write().insert(task_id, record);
+                self.trace.record("memo_hit", format!("task {task_id}"));
                 return Ok(task_id);
             }
         }
@@ -315,6 +365,8 @@ impl FuncxService {
         self.store
             .queue(request.endpoint_id, QueueKind::Task)
             .push_back(Bytes::copy_from_slice(&task_id.uuid().as_u128().to_be_bytes()));
+        self.trace
+            .record("submit", format!("task {task_id} endpoint {}", request.endpoint_id));
         Ok(task_id)
     }
 
@@ -357,6 +409,72 @@ impl FuncxService {
             .get(&task_id)
             .cloned()
             .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))
+    }
+
+    /// Authorized timeline view of a task (owner only) — the record behind
+    /// `GET /v1/tasks/<id>/timeline`.
+    pub fn timeline(&self, bearer: &str, task_id: TaskId) -> Result<TaskRecord> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::ViewTask)?;
+        let tasks = self.tasks.read();
+        let record = tasks
+            .get(&task_id)
+            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?;
+        if record.spec.user_id != user {
+            return Err(FuncxError::Forbidden("not the submitting user".into()));
+        }
+        Ok(record.clone())
+    }
+
+    /// One endpoint's health: registry record plus the latest agent-side
+    /// stats report (callers must be allowed to target the endpoint).
+    pub fn endpoint_status(
+        &self,
+        bearer: &str,
+        endpoint_id: EndpointId,
+    ) -> Result<funcx_registry::EndpointRecord> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::ViewTask)?;
+        let record = self.endpoints.get(endpoint_id)?;
+        if !record.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
+            return Err(FuncxError::Forbidden(format!(
+                "endpoint {endpoint_id} is not shared with user {user}"
+            )));
+        }
+        Ok(record)
+    }
+
+    /// Health of every endpoint the caller may target, sorted by id — the
+    /// "single pane of glass" fleet view.
+    pub fn fleet_status(&self, bearer: &str) -> Result<Vec<funcx_registry::EndpointRecord>> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::ViewTask)?;
+        let mut records: Vec<_> = self
+            .endpoints
+            .ids()
+            .into_iter()
+            .filter_map(|id| self.endpoints.get(id).ok())
+            .filter(|r| r.may_use(user, |groups| self.auth.in_any_group(user, groups)))
+            .collect();
+        records.sort_by_key(|r| r.endpoint_id);
+        Ok(records)
+    }
+
+    /// Render the Prometheus text scrape. Point-in-time gauges (queue
+    /// depths, live tasks, online endpoints) are refreshed here, at scrape
+    /// time, so they can never go stale between events.
+    pub fn render_metrics(&self) -> String {
+        self.metrics.gauge("funcx_tasks_live", &[]).set(self.task_count() as u64);
+        self.metrics
+            .gauge("funcx_endpoints_online", &[])
+            .set(self.endpoints.online_count() as u64);
+        for (endpoint, kind, depth) in self.store.queue_depths() {
+            let ep = endpoint.to_string();
+            self.metrics
+                .gauge("funcx_queue_depth", &[("endpoint", ep.as_str()), ("kind", kind.label())])
+                .set(depth as u64);
+        }
+        self.metrics.render_prometheus()
     }
 
     /// Purge records whose results were retrieved more than the configured

@@ -1,0 +1,139 @@
+//! Integration: the instrumentation pipeline against a live in-process
+//! deployment — counters, histograms, scrape rendering, and the Figure 4
+//! timeline decomposition, without the HTTP layer in between.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_auth::{IdentityProvider, Scope};
+use funcx_endpoint::{Agent, EndpointConfig, Manager};
+use funcx_proto::channel::inproc_pair;
+use funcx_registry::Sharing;
+use funcx_serial::Serializer;
+use funcx_service::service::SubmitRequest;
+use funcx_service::{FuncxService, ServiceConfig};
+use funcx_types::task::TaskOutcome;
+use funcx_types::time::{RealClock, SharedClock};
+use funcx_types::{EndpointId, TaskId};
+
+struct Deployment {
+    service: Arc<FuncxService>,
+    token: String,
+    endpoint_id: EndpointId,
+    // Held so the forwarder thread stays alive for the deployment's lifetime.
+    _forwarder: funcx_service::forwarder::Forwarder,
+    agent: Agent,
+    managers: Vec<Manager>,
+}
+
+fn deploy() -> Deployment {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(
+        Arc::clone(&clock),
+        ServiceConfig { heartbeat_timeout: Duration::from_secs(600), ..ServiceConfig::default() },
+    );
+    let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    let endpoint_id = service.register_endpoint(&token, "laptop", "", false).unwrap();
+    let (forwarder, agent_channel) =
+        service.connect_endpoint(endpoint_id, Duration::ZERO).unwrap();
+    let config = EndpointConfig {
+        workers_per_manager: 4,
+        dispatch_overhead: Duration::ZERO,
+        heartbeat_period: Duration::from_secs(2),
+        heartbeat_timeout: Duration::from_secs(600),
+        ..EndpointConfig::default()
+    };
+    let agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
+    let (agent_side, mgr_side) = inproc_pair();
+    let manager =
+        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
+    agent.attach_manager(agent_side);
+    Deployment { service, token, endpoint_id, _forwarder: forwarder, agent, managers: vec![manager] }
+}
+
+fn run_task(d: &Deployment, source: &str, entry: &str) -> TaskId {
+    let f = d
+        .service
+        .register_function(&d.token, entry, source, entry, None, Sharing::default())
+        .unwrap();
+    let task = d
+        .service
+        .submit(
+            &d.token,
+            SubmitRequest {
+                function_id: f,
+                endpoint_id: d.endpoint_id,
+                args: vec![],
+                kwargs: vec![],
+                allow_memo: false,
+            },
+        )
+        .unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    while std::time::Instant::now() < deadline {
+        if let Ok(Some(outcome)) = d.service.get_result(&d.token, task) {
+            assert!(matches!(outcome, TaskOutcome::Success(_)));
+            return task;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("task did not complete");
+}
+
+fn shutdown(mut d: Deployment) {
+    for m in &mut d.managers {
+        m.stop();
+    }
+    d.agent.stop();
+}
+
+#[test]
+fn live_pipeline_populates_counters_histograms_and_timelines() {
+    let d = deploy();
+    let mut tasks = Vec::new();
+    for i in 0..3 {
+        tasks.push(run_task(&d, &format!("def f{i}():\n    return {i}\n"), &format!("f{i}")));
+    }
+
+    // Stage counters all saw every task.
+    for name in
+        ["funcx_tasks_submitted_total", "funcx_tasks_dispatched_total", "funcx_results_stored_total"]
+    {
+        let v = d.service.metrics.counter_value(name, &[]).unwrap_or(0);
+        assert_eq!(v, 3, "{name} = {v}");
+    }
+    // Both histograms carry one observation per task.
+    let latency = d.service.metrics.histogram_snapshot("funcx_task_latency_seconds", &[]).unwrap();
+    assert_eq!(latency.count, 3);
+    assert!(latency.sum > Duration::ZERO);
+    let exec = d.service.metrics.histogram_snapshot("funcx_task_exec_seconds", &[]).unwrap();
+    assert_eq!(exec.count, 3);
+
+    // The scrape surface renders those same values in the text format.
+    let scrape = d.service.render_metrics();
+    assert!(scrape.contains("funcx_tasks_submitted_total 3"), "{scrape}");
+    assert!(scrape.contains("# TYPE funcx_task_latency_seconds histogram"), "{scrape}");
+    assert!(scrape.contains("funcx_task_latency_seconds_count 3"), "{scrape}");
+    assert!(scrape.contains("funcx_endpoints_online 1"), "{scrape}");
+
+    // Every timeline is fully stamped, ordered, and tiles the Figure 4
+    // decomposition exactly: ts + tf + te + tw == end-to-end latency.
+    for task in tasks {
+        let record = d.service.timeline(&d.token, task).unwrap();
+        let tl = &record.timeline;
+        assert!(tl.is_complete(), "incomplete timeline: {tl:?}");
+        assert!(tl.is_monotone(), "non-monotone timeline: {tl:?}");
+        let total = tl.total().unwrap();
+        let sum = tl.t_service().unwrap()
+            + tl.t_forwarder().unwrap()
+            + tl.t_endpoint().unwrap()
+            + tl.t_exec().unwrap();
+        assert_eq!(sum, total, "components do not tile: {tl:?}");
+        assert!(total > Duration::ZERO);
+    }
+
+    // The trace ring saw the lifecycle.
+    assert_eq!(d.service.trace.of_kind("submit").len(), 3);
+    assert_eq!(d.service.trace.of_kind("result").len(), 3);
+    shutdown(d);
+}

@@ -21,6 +21,16 @@ pub enum QueueKind {
     Result,
 }
 
+impl QueueKind {
+    /// Stable lowercase label (metric label values).
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueueKind::Task => "task",
+            QueueKind::Result => "result",
+        }
+    }
+}
+
 /// The service's Redis-shaped store.
 pub struct Store {
     /// Hash space (task records, function bodies, memo cache).
@@ -64,6 +74,19 @@ impl Store {
     pub fn queue_count(&self) -> usize {
         self.queues.lock().len()
     }
+
+    /// Depth of every allocated queue — the scrape surface behind the
+    /// `funcx_queue_depth` gauges. Sorted for stable output.
+    pub fn queue_depths(&self) -> Vec<(EndpointId, QueueKind, usize)> {
+        let mut out: Vec<(EndpointId, QueueKind, usize)> = self
+            .queues
+            .lock()
+            .iter()
+            .map(|(&(ep, kind), q)| (ep, kind, q.len()))
+            .collect();
+        out.sort_by_key(|&(ep, kind, _)| (ep, kind as u8));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +121,22 @@ mod tests {
         // A fresh queue is allocated if the endpoint re-registers.
         let q2 = store.queue(ep, QueueKind::Task);
         assert!(q2.push_back(Bytes::from_static(b"x")));
+    }
+
+    #[test]
+    fn queue_depths_snapshot_is_sorted_and_complete() {
+        let store = Store::new(ManualClock::new());
+        let ep1 = EndpointId::from_u128(1);
+        let ep2 = EndpointId::from_u128(2);
+        store.queue(ep2, QueueKind::Result).push_back(Bytes::from_static(b"r"));
+        store.queue(ep1, QueueKind::Task).push_back(Bytes::from_static(b"a"));
+        store.queue(ep1, QueueKind::Task).push_back(Bytes::from_static(b"b"));
+        assert_eq!(
+            store.queue_depths(),
+            vec![(ep1, QueueKind::Task, 2), (ep2, QueueKind::Result, 1)]
+        );
+        assert_eq!(QueueKind::Task.label(), "task");
+        assert_eq!(QueueKind::Result.label(), "result");
     }
 
     #[test]

@@ -1,0 +1,25 @@
+//! Unified observability for funcX-rs.
+//!
+//! The paper's headline results are observability artifacts: Figure 4
+//! decomposes per-task latency into web-service/forwarder/endpoint/execution
+//! components, and operating a federated fleet (the follow-up journal paper
+//! runs 130+ endpoints) leans on heartbeat/status reporting. This crate is
+//! the instrumentation substrate behind both:
+//!
+//! * [`MetricsRegistry`] — named, label-tagged counters, gauges, and
+//!   log-bucketed latency histograms. Handles are `Arc`-backed atomics:
+//!   registration takes a lock once, the hot path is a single atomic op.
+//!   [`MetricsRegistry::render_prometheus`] renders the whole registry in
+//!   the Prometheus text exposition format with no external dependencies.
+//! * [`TraceRing`] — a bounded ring buffer of structured events stamped
+//!   with the shared virtual clock, so lifecycle traces line up with task
+//!   timelines under both `RealClock` and the test `ManualClock`.
+//!
+//! Everything is keyed by `&'static str` metric names plus owned label
+//! values, mirroring the Prometheus data model.
+
+pub mod registry;
+pub mod trace;
+
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use trace::{TraceEvent, TraceRing};

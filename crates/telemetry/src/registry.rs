@@ -1,0 +1,455 @@
+//! Lock-free metrics registry with hand-rolled Prometheus text exposition.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-backed
+//! atomics: components grab them once at startup (the only lock is the
+//! registration map) and update them from hot paths with single atomic
+//! operations. The registry renders everything it has handed out in the
+//! Prometheus text format — no client library, no new dependencies.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_types::time::SharedClock;
+use parking_lot::RwLock;
+
+/// Number of log2 latency buckets: bucket `i` holds observations with
+/// `nanos <= 2^i` (and above the previous bucket's bound). 64 buckets cover
+/// 1 ns through ~292 years — every latency this system can produce.
+const BUCKETS: usize = 64;
+
+/// Monotonically increasing event count.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A standalone counter (not attached to any registry) — lets library
+    /// types carry handles without forcing a registry on their callers.
+    pub fn standalone() -> Counter {
+        Counter::default()
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Instantaneous level (queue depth, live managers, idle slots).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A standalone gauge (see [`Counter::standalone`]).
+    pub fn standalone() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Set the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raise the level by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Lower the level by `n`, saturating at zero.
+    pub fn sub(&self, n: u64) {
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(n))
+        });
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    buckets: [AtomicU64; BUCKETS],
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Log-bucketed latency histogram. Recording is two atomic adds and one
+/// atomic increment; quantiles walk the 64 buckets on read.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram(Arc::new(HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_nanos: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }))
+    }
+}
+
+/// Read-side view of a histogram: count, sum, and extracted quantiles.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of all observations.
+    pub sum: Duration,
+    /// Median (upper bucket bound).
+    pub p50: Duration,
+    /// 95th percentile (upper bucket bound).
+    pub p95: Duration,
+    /// 99th percentile (upper bucket bound).
+    pub p99: Duration,
+}
+
+fn bucket_index(nanos: u64) -> usize {
+    if nanos <= 1 {
+        0
+    } else {
+        // Smallest i with nanos <= 2^i.
+        (64 - (nanos - 1).leading_zeros() as usize).min(BUCKETS - 1)
+    }
+}
+
+fn bucket_bound_nanos(idx: usize) -> u64 {
+    1u64 << idx.min(62)
+}
+
+impl Histogram {
+    /// A standalone histogram (see [`Counter::standalone`]).
+    pub fn standalone() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one latency observation.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        self.0.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Upper bucket bound containing the `q`-quantile (`0.0 < q <= 1.0`);
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.0.buckets.iter().enumerate() {
+            cumulative += bucket.load(Ordering::Relaxed);
+            if cumulative >= target {
+                return Some(Duration::from_nanos(bucket_bound_nanos(idx)));
+            }
+        }
+        Some(Duration::from_nanos(bucket_bound_nanos(BUCKETS - 1)))
+    }
+
+    /// Count/sum/p50/p95/p99 in one pass.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count(),
+            sum: Duration::from_nanos(self.0.sum_nanos.load(Ordering::Relaxed)),
+            p50: self.quantile(0.50).unwrap_or(Duration::ZERO),
+            p95: self.quantile(0.95).unwrap_or(Duration::ZERO),
+            p99: self.quantile(0.99).unwrap_or(Duration::ZERO),
+        }
+    }
+
+    fn render_into(&self, out: &mut String, name: &str, labels: &[(&'static str, String)]) {
+        use std::fmt::Write;
+        let mut cumulative = 0u64;
+        for (idx, bucket) in self.0.buckets.iter().enumerate() {
+            let n = bucket.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            let le = bucket_bound_nanos(idx) as f64 / 1e9;
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{{}le=\"{le}\"}} {cumulative}",
+                render_label_prefix(labels)
+            );
+        }
+        let count = self.0.count.load(Ordering::Relaxed);
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{{}le=\"+Inf\"}} {count}",
+            render_label_prefix(labels)
+        );
+        let sum = self.0.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        let _ = writeln!(out, "{name}_sum{} {sum}", render_labels(labels));
+        let _ = writeln!(out, "{name}_count{} {count}", render_labels(labels));
+    }
+}
+
+/// Registry key: metric name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+}
+
+fn metric_key(name: &'static str, labels: &[(&'static str, &str)]) -> MetricKey {
+    let mut labels: Vec<(&'static str, String)> =
+        labels.iter().map(|(k, v)| (*k, v.to_string())).collect();
+    labels.sort_unstable();
+    MetricKey { name, labels }
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// `{k="v",...}` or empty when no labels.
+fn render_labels(labels: &[(&'static str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> =
+        labels.iter().map(|(k, v)| format!("{k}=\"{}\"", escape_label(v))).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// `k="v",...,` (trailing comma) for composition with an `le` label.
+fn render_label_prefix(labels: &[(&'static str, String)]) -> String {
+    labels.iter().map(|(k, v)| format!("{k}=\"{}\",", escape_label(v))).collect()
+}
+
+/// The process-wide metric table. One per service/deployment; components
+/// register handles by `&'static str` name + labels.
+pub struct MetricsRegistry {
+    clock: SharedClock,
+    counters: RwLock<BTreeMap<MetricKey, Counter>>,
+    gauges: RwLock<BTreeMap<MetricKey, Gauge>>,
+    histograms: RwLock<BTreeMap<MetricKey, Histogram>>,
+}
+
+impl MetricsRegistry {
+    /// New registry on the deployment's shared clock.
+    pub fn new(clock: SharedClock) -> Arc<Self> {
+        Arc::new(MetricsRegistry {
+            clock,
+            counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
+            histograms: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// The clock metrics are stamped against.
+    pub fn clock(&self) -> SharedClock {
+        Arc::clone(&self.clock)
+    }
+
+    /// Get or create a counter. Same (name, labels) → same handle.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Counter {
+        self.counters.write().entry(metric_key(name, labels)).or_default().clone()
+    }
+
+    /// Get or create a gauge.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Gauge {
+        self.gauges.write().entry(metric_key(name, labels)).or_default().clone()
+    }
+
+    /// Get or create a histogram.
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
+        self.histograms.write().entry(metric_key(name, labels)).or_default().clone()
+    }
+
+    /// Current value of a counter, if registered (tests, dashboards).
+    pub fn counter_value(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Option<u64> {
+        self.counters.read().get(&metric_key(name, labels)).map(Counter::get)
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Option<u64> {
+        self.gauges.read().get(&metric_key(name, labels)).map(Gauge::get)
+    }
+
+    /// Snapshot of a histogram, if registered.
+    pub fn histogram_snapshot(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Option<HistogramSnapshot> {
+        self.histograms.read().get(&metric_key(name, labels)).map(|h| h.snapshot())
+    }
+
+    /// Render every registered metric in the Prometheus text exposition
+    /// format, plus `funcx_virtual_time_seconds` from the shared clock (so
+    /// scrapes line up with task timelines even under a `ManualClock`).
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::with_capacity(4096);
+        let _ = writeln!(out, "# TYPE funcx_virtual_time_seconds gauge");
+        let _ = writeln!(
+            out,
+            "funcx_virtual_time_seconds {}",
+            self.clock.now().as_secs_f64()
+        );
+
+        let mut last_name = "";
+        for (key, counter) in self.counters.read().iter() {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} counter", key.name);
+                last_name = key.name;
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), counter.get());
+        }
+        last_name = "";
+        for (key, gauge) in self.gauges.read().iter() {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                last_name = key.name;
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), gauge.get());
+        }
+        last_name = "";
+        for (key, hist) in self.histograms.read().iter() {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} histogram", key.name);
+                last_name = key.name;
+            }
+            hist.render_into(&mut out, key.name, &key.labels);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+
+    fn registry() -> Arc<MetricsRegistry> {
+        MetricsRegistry::new(ManualClock::new())
+    }
+
+    #[test]
+    fn counter_handles_share_state() {
+        let reg = registry();
+        let a = reg.counter("funcx_events_total", &[]);
+        let b = reg.counter("funcx_events_total", &[]);
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(reg.counter_value("funcx_events_total", &[]), Some(5));
+        assert_eq!(reg.counter_value("funcx_other_total", &[]), None);
+    }
+
+    #[test]
+    fn labels_distinguish_series_and_order_is_canonical() {
+        let reg = registry();
+        let ab = reg.counter("funcx_msgs_total", &[("dir", "in"), ("kind", "tasks")]);
+        let ba = reg.counter("funcx_msgs_total", &[("kind", "tasks"), ("dir", "in")]);
+        let other = reg.counter("funcx_msgs_total", &[("dir", "out"), ("kind", "tasks")]);
+        ab.inc();
+        ba.inc();
+        other.inc();
+        assert_eq!(ab.get(), 2, "label order must not split a series");
+        assert_eq!(other.get(), 1);
+    }
+
+    #[test]
+    fn gauge_set_add_sub_saturates() {
+        let g = Gauge::standalone();
+        g.set(10);
+        g.add(5);
+        g.sub(3);
+        assert_eq!(g.get(), 12);
+        g.sub(100);
+        assert_eq!(g.get(), 0, "saturating subtraction");
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::standalone();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 90 fast observations (~1 µs) and 10 slow (~1 s).
+        for _ in 0..90 {
+            h.record(Duration::from_micros(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_secs(1));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 100);
+        assert!(snap.p50 < Duration::from_millis(1), "median is fast: {:?}", snap.p50);
+        assert!(snap.p95 >= Duration::from_secs(1), "p95 lands in the slow tail");
+        assert!(snap.p99 >= snap.p95);
+        assert!(snap.sum >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let mut last = 0;
+        for shift in 0..70u32 {
+            let idx = bucket_index(1u64.checked_shl(shift).unwrap_or(u64::MAX));
+            assert!(idx >= last);
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_wellformed() {
+        let clock = ManualClock::new();
+        clock.advance(Duration::from_secs(5));
+        let reg = MetricsRegistry::new(clock);
+        reg.counter("funcx_tasks_submitted_total", &[]).add(3);
+        reg.gauge("funcx_queue_depth", &[("endpoint", "ep-1"), ("kind", "task")]).set(7);
+        let h = reg.histogram("funcx_task_latency_seconds", &[]);
+        h.record(Duration::from_millis(10));
+        h.record(Duration::from_millis(20));
+
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE funcx_virtual_time_seconds gauge"));
+        assert!(text.contains("funcx_virtual_time_seconds 5"), "{text}");
+        assert!(text.contains("# TYPE funcx_tasks_submitted_total counter"));
+        assert!(text.contains("funcx_tasks_submitted_total 3"));
+        assert!(text.contains("funcx_queue_depth{endpoint=\"ep-1\",kind=\"task\"} 7"));
+        assert!(text.contains("# TYPE funcx_task_latency_seconds histogram"));
+        assert!(text.contains("funcx_task_latency_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("funcx_task_latency_seconds_count 2"));
+        assert!(text.contains("funcx_task_latency_seconds_sum 0.03"), "{text}");
+        // Every non-comment line is `name value` or `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let reg = registry();
+        reg.counter("funcx_odd_total", &[("name", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains(r#"name="a\"b\\c\nd""#), "{text}");
+    }
+}

@@ -1,0 +1,113 @@
+//! Structured event tracing: a bounded ring buffer of lifecycle events
+//! stamped with the shared virtual clock. The service records dispatch,
+//! result, requeue, and endpoint-liveness transitions here so an operator
+//! (or a test) can reconstruct what the fabric did without scraping logs.
+
+use std::collections::VecDeque;
+
+use funcx_types::time::{SharedClock, VirtualInstant};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::registry::Counter;
+
+/// One recorded event.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual timestamp from the deployment clock.
+    pub at: VirtualInstant,
+    /// Event kind tag (e.g. `"dispatch"`, `"result"`, `"requeue"`).
+    pub kind: &'static str,
+    /// Free-form detail (task id, endpoint id, counts).
+    pub detail: String,
+}
+
+/// Fixed-capacity event ring. When full, the oldest event is dropped and
+/// counted — tracing must never grow without bound under heavy traffic.
+pub struct TraceRing {
+    clock: SharedClock,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: Counter,
+}
+
+impl TraceRing {
+    /// New ring holding at most `capacity` events.
+    pub fn new(clock: SharedClock, capacity: usize) -> TraceRing {
+        TraceRing {
+            clock,
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::new()),
+            dropped: Counter::standalone(),
+        }
+    }
+
+    /// Record an event at the current virtual time.
+    pub fn record(&self, kind: &'static str, detail: impl Into<String>) {
+        let event = TraceEvent { at: self.clock.now(), kind, detail: detail.into() };
+        let mut events = self.events.lock();
+        if events.len() >= self.capacity {
+            events.pop_front();
+            self.dropped.inc();
+        }
+        events.push_back(event);
+    }
+
+    /// Copy of the buffered events, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Buffered events matching `kind`, oldest first.
+    pub fn of_kind(&self, kind: &str) -> Vec<TraceEvent> {
+        self.events.lock().iter().filter(|e| e.kind == kind).cloned().collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events discarded because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+    use std::time::Duration;
+
+    #[test]
+    fn events_are_clock_stamped_in_order() {
+        let clock = ManualClock::new();
+        let ring = TraceRing::new(clock.clone(), 16);
+        ring.record("dispatch", "t1");
+        clock.advance(Duration::from_secs(3));
+        ring.record("result", "t1");
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].at, VirtualInstant::ZERO);
+        assert_eq!(events[1].at, VirtualInstant::from_secs_f64(3.0));
+        assert_eq!(ring.of_kind("result"), vec![events[1].clone()]);
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let ring = TraceRing::new(ManualClock::new(), 3);
+        for i in 0..5 {
+            ring.record("e", format!("{i}"));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let kept: Vec<String> = ring.snapshot().into_iter().map(|e| e.detail).collect();
+        assert_eq!(kept, vec!["2", "3", "4"]);
+    }
+}

@@ -16,6 +16,7 @@ pub mod config;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod stats;
 pub mod task;
 pub mod time;
 
@@ -23,5 +24,6 @@ pub use error::{FuncxError, Result};
 pub use ids::{
     BatchId, ContainerImageId, EndpointId, FunctionId, ManagerId, TaskId, UserId, WorkerId,
 };
+pub use stats::EndpointStatsReport;
 pub use task::{TaskRecord, TaskSpec, TaskState};
 pub use time::{Clock, RealClock, VirtualDuration, VirtualInstant};

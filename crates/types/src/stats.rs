@@ -1,0 +1,47 @@
+//! Endpoint-side statistics snapshots.
+//!
+//! Agents fold a [`EndpointStatsReport`] into their heartbeat cadence so the
+//! cloud service can serve fleet-wide endpoint health without querying the
+//! endpoints themselves (§4.3 — the service is the single pane of glass for
+//! a federated fleet).
+
+use serde::{Deserialize, Serialize};
+
+/// A point-in-time snapshot of one agent's queues and capacity, shipped
+/// from the endpoint to the service alongside heartbeats.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EndpointStatsReport {
+    /// Tasks buffered at the agent, not yet handed to a manager.
+    pub pending: u64,
+    /// Tasks handed to managers and awaiting results.
+    pub outstanding: u64,
+    /// Managers currently registered with the agent.
+    pub managers: u64,
+    /// Idle worker slots across all managers.
+    pub idle_slots: u64,
+    /// Tasks requeued upstream after a manager was declared lost (cumulative).
+    pub requeued: u64,
+    /// Results forwarded upstream to the service (cumulative).
+    pub results_sent: u64,
+}
+
+impl EndpointStatsReport {
+    /// Worker slots in use right now (best effort: outstanding tasks are
+    /// occupying slots; requeues can transiently skew this).
+    pub fn busy_slots(&self) -> u64 {
+        self.outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_zeroed() {
+        let r = EndpointStatsReport::default();
+        assert_eq!(r.pending, 0);
+        assert_eq!(r.results_sent, 0);
+        assert_eq!(r.busy_slots(), 0);
+    }
+}

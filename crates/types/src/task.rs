@@ -33,6 +33,49 @@ pub enum TaskState {
 }
 
 impl TaskState {
+    /// Every state, in lifecycle order. Used by exhaustive tests and by
+    /// per-state metric labels.
+    pub const ALL: [TaskState; 7] = [
+        TaskState::Received,
+        TaskState::WaitingForEndpoint,
+        TaskState::DispatchedToEndpoint,
+        TaskState::WaitingForLaunch,
+        TaskState::Running,
+        TaskState::Success,
+        TaskState::Failed,
+    ];
+
+    /// Stable snake_case wire name, used by the REST API and as a metric
+    /// label value. This is the serialization contract; `Debug` is not.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            TaskState::Received => "received",
+            TaskState::WaitingForEndpoint => "waiting_for_endpoint",
+            TaskState::DispatchedToEndpoint => "dispatched_to_endpoint",
+            TaskState::WaitingForLaunch => "waiting_for_launch",
+            TaskState::Running => "running",
+            TaskState::Success => "success",
+            TaskState::Failed => "failed",
+        }
+    }
+
+    /// Parse a wire name. Accepts the snake_case contract plus the legacy
+    /// CamelCase `Debug` renderings older services emitted.
+    pub fn parse(s: &str) -> Option<TaskState> {
+        match s {
+            "received" | "Received" => Some(TaskState::Received),
+            "waiting_for_endpoint" | "WaitingForEndpoint" => Some(TaskState::WaitingForEndpoint),
+            "dispatched_to_endpoint" | "DispatchedToEndpoint" => {
+                Some(TaskState::DispatchedToEndpoint)
+            }
+            "waiting_for_launch" | "WaitingForLaunch" => Some(TaskState::WaitingForLaunch),
+            "running" | "Running" => Some(TaskState::Running),
+            "success" | "Success" => Some(TaskState::Success),
+            "failed" | "Failed" => Some(TaskState::Failed),
+            _ => None,
+        }
+    }
+
     /// True once the task can no longer change state.
     pub fn is_terminal(&self) -> bool {
         matches!(self, TaskState::Success | TaskState::Failed)
@@ -130,23 +173,55 @@ impl TaskTimeline {
         Some(self.queued_at_service?.saturating_duration_since(self.received?))
     }
 
-    /// `tf`: forwarder latency — queue read plus result write, i.e. time on
-    /// the forwarder's side of the channel that is not endpoint time.
+    /// `tf`: forwarder latency — the outbound leg (queue append to agent
+    /// arrival, which includes the forwarder's queue read and dispatch) plus
+    /// the return leg (execution end to result stored, the result's trip
+    /// back through the forwarder into the store).
     pub fn t_forwarder(&self) -> Option<VirtualDuration> {
-        let fwd_span = self.result_stored?.saturating_duration_since(self.forwarder_read?);
-        Some(fwd_span.saturating_sub(self.t_endpoint()?))
+        let outbound = self.endpoint_received?.saturating_duration_since(self.queued_at_service?);
+        let inbound = self.result_stored?.saturating_duration_since(self.execution_end?);
+        Some(outbound + inbound)
     }
 
-    /// `te`: endpoint latency — agent/manager queuing and dispatch, i.e.
-    /// endpoint span minus pure execution time.
+    /// `te`: endpoint latency — agent and manager queuing between arrival at
+    /// the agent and the worker starting the function body.
     pub fn t_endpoint(&self) -> Option<VirtualDuration> {
-        let ep_span = self.execution_end?.saturating_duration_since(self.endpoint_received?);
-        Some(ep_span.saturating_sub(self.t_exec()?))
+        Some(self.execution_start?.saturating_duration_since(self.endpoint_received?))
     }
 
     /// End-to-end makespan as observed by the service.
     pub fn total(&self) -> Option<VirtualDuration> {
         Some(self.result_stored?.saturating_duration_since(self.received?))
+    }
+
+    /// The stations in path order, with names, skipping unpopulated ones.
+    pub fn stations(&self) -> Vec<(&'static str, VirtualInstant)> {
+        [
+            ("received", self.received),
+            ("queued_at_service", self.queued_at_service),
+            ("forwarder_read", self.forwarder_read),
+            ("endpoint_received", self.endpoint_received),
+            ("manager_received", self.manager_received),
+            ("execution_start", self.execution_start),
+            ("execution_end", self.execution_end),
+            ("result_stored", self.result_stored),
+        ]
+        .into_iter()
+        .filter_map(|(name, at)| at.map(|at| (name, at)))
+        .collect()
+    }
+
+    /// True when every populated station is at or after the previous
+    /// populated one. For a complete monotone timeline the four Figure 4
+    /// components tile the total exactly:
+    /// `ts + tf + te + tw == total`.
+    pub fn is_monotone(&self) -> bool {
+        self.stations().windows(2).all(|w| w[0].1 <= w[1].1)
+    }
+
+    /// True when all eight stations are populated.
+    pub fn is_complete(&self) -> bool {
+        self.stations().len() == 8
     }
 }
 
@@ -268,11 +343,96 @@ mod tests {
         };
         assert_eq!(tl.t_service(), Some(Duration::from_millis(10)));
         assert_eq!(tl.t_exec(), Some(Duration::from_millis(2)));
-        // endpoint span 0.020..0.032 = 12ms minus 2ms exec = 10ms
+        // agent arrival 0.020 .. execution start 0.030 = 10ms
         assert_eq!(tl.t_endpoint(), Some(Duration::from_millis(10)));
-        // forwarder span 0.012..0.040 = 28ms minus 10ms endpoint = 18ms
+        // outbound 0.010..0.020 = 10ms plus return 0.032..0.040 = 8ms
         assert_eq!(tl.t_forwarder(), Some(Duration::from_millis(18)));
         assert_eq!(tl.total(), Some(Duration::from_millis(40)));
+        // the four components tile the makespan with nothing unattributed
+        let sum = tl.t_service().unwrap()
+            + tl.t_forwarder().unwrap()
+            + tl.t_endpoint().unwrap()
+            + tl.t_exec().unwrap();
+        assert_eq!(Some(sum), tl.total());
+        assert!(tl.is_monotone());
+        assert!(tl.is_complete());
+    }
+
+    #[test]
+    fn non_monotone_timeline_is_detected() {
+        let t = |s: f64| Some(VirtualInstant::from_secs_f64(s));
+        let tl = TaskTimeline {
+            received: t(0.0),
+            queued_at_service: t(0.010),
+            // clock skew: forwarder claims to have read before the enqueue
+            forwarder_read: t(0.005),
+            ..TaskTimeline::default()
+        };
+        assert!(!tl.is_monotone());
+        assert!(!tl.is_complete());
+        // a partially-populated timeline is still monotone over what it has
+        let partial = TaskTimeline { received: t(0.0), result_stored: t(1.0), ..Default::default() };
+        assert!(partial.is_monotone());
+    }
+
+    #[test]
+    fn state_names_roundtrip_and_reject_junk() {
+        for s in TaskState::ALL {
+            assert_eq!(TaskState::parse(s.as_str()), Some(s));
+            // legacy CamelCase (old Debug-format wire strings) still parses
+            assert_eq!(TaskState::parse(&format!("{s:?}")), Some(s));
+        }
+        assert_eq!(TaskState::parse("WAITING"), None);
+        assert_eq!(TaskState::parse(""), None);
+    }
+
+    #[test]
+    fn transition_matrix_is_exactly_the_documented_edges() {
+        use TaskState::*;
+        let edges = [
+            (Received, WaitingForEndpoint),
+            (WaitingForEndpoint, DispatchedToEndpoint),
+            (DispatchedToEndpoint, WaitingForLaunch),
+            (DispatchedToEndpoint, WaitingForEndpoint),
+            (DispatchedToEndpoint, Failed),
+            (WaitingForLaunch, Running),
+            (WaitingForLaunch, WaitingForEndpoint),
+            (WaitingForLaunch, Failed),
+            (Running, Success),
+            (Running, Failed),
+            (Running, WaitingForEndpoint),
+        ];
+        for from in TaskState::ALL {
+            for to in TaskState::ALL {
+                let expected = edges.contains(&(from, to));
+                assert_eq!(
+                    from.can_transition_to(to),
+                    expected,
+                    "edge {from:?} -> {to:?} should be {expected}"
+                );
+            }
+        }
+        // terminal states have no successors at all
+        for terminal in TaskState::ALL.into_iter().filter(TaskState::is_terminal) {
+            assert!(TaskState::ALL.iter().all(|&next| !terminal.can_transition_to(next)));
+        }
+        // every state is reachable from Received over the legal edges
+        let mut reachable = vec![Received];
+        let mut frontier = vec![Received];
+        while let Some(from) = frontier.pop() {
+            for to in TaskState::ALL {
+                if from.can_transition_to(to) && !reachable.contains(&to) {
+                    reachable.push(to);
+                    frontier.push(to);
+                }
+            }
+        }
+        assert_eq!(reachable.len(), TaskState::ALL.len(), "unreachable states exist");
+        // requeue edges round-trip: a requeued task can be re-dispatched
+        for requeued_from in [DispatchedToEndpoint, WaitingForLaunch, Running] {
+            assert!(requeued_from.can_transition_to(WaitingForEndpoint));
+            assert!(WaitingForEndpoint.can_transition_to(DispatchedToEndpoint));
+        }
     }
 
     #[test]

@@ -233,8 +233,7 @@ fn prefetch_config_flows_through_the_stack() {
         .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
         .collect();
     std::thread::sleep(Duration::from_millis(200));
-    let outstanding =
-        bed.agent().stats().outstanding.load(std::sync::atomic::Ordering::Relaxed);
+    let outstanding = bed.agent().stats().outstanding.get();
     assert!(
         outstanding == 5,
         "1 running + 4 prefetched at the manager, got {outstanding}"

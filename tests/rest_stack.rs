@@ -88,6 +88,115 @@ fn rest_rejects_foreign_tokens_and_bad_ids() {
     bed.shutdown();
 }
 
+/// Pull a counter's value out of a Prometheus text exposition body.
+/// Matches only the bare (label-free) sample line for `name`.
+fn prom_value(body: &str, name: &str) -> Option<f64> {
+    body.lines().find_map(|line| {
+        let rest = line.strip_prefix(name)?;
+        let rest = rest.strip_prefix(' ')?;
+        rest.trim().parse().ok()
+    })
+}
+
+#[test]
+fn metrics_and_timeline_expose_the_figure4_breakdown() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
+    let rest = FuncXClient::new(
+        Arc::new(RestApi::new(server.local_addr())),
+        bed.token.clone(),
+    );
+
+    let f = rest
+        .register_function("def double(x):\n    return x * 2\n", "double")
+        .unwrap();
+    let mut tasks = Vec::new();
+    for i in 1..=3 {
+        let task = rest.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap();
+        assert_eq!(
+            rest.get_result(task, Duration::from_secs(30)).unwrap(),
+            Value::Int(i * 2)
+        );
+        tasks.push(task);
+    }
+
+    // (a) The Prometheus scrape surface: unauthenticated, text format, and
+    // every stage of the pipeline visible as a non-zero counter.
+    let scrape = funcx_service::http::http_request(
+        server.local_addr(),
+        "GET",
+        "/v1/metrics",
+        None,
+        b"",
+    )
+    .unwrap();
+    assert_eq!(scrape.status, 200);
+    assert!(
+        scrape.content_type.starts_with("text/plain"),
+        "metrics content type was {:?}",
+        scrape.content_type
+    );
+    let body = String::from_utf8(scrape.body).unwrap();
+    if let Ok(path) = std::env::var("FUNCX_METRICS_SNAPSHOT") {
+        std::fs::write(&path, &body).unwrap();
+    }
+    for counter in [
+        "funcx_tasks_submitted_total",
+        "funcx_tasks_dispatched_total",
+        "funcx_results_stored_total",
+    ] {
+        let v = prom_value(&body, counter)
+            .unwrap_or_else(|| panic!("{counter} missing from scrape:\n{body}"));
+        assert!(v >= 3.0, "{counter} = {v}, expected >= 3");
+    }
+    // The latency histogram must carry all three observations plus the
+    // standard bucket/sum/count triplet.
+    assert!(body.contains("# TYPE funcx_task_latency_seconds histogram"));
+    assert!(body.contains("funcx_task_latency_seconds_bucket"));
+    assert_eq!(prom_value(&body, "funcx_task_latency_seconds_count"), Some(3.0));
+    assert!(prom_value(&body, "funcx_task_latency_seconds_sum").unwrap() > 0.0);
+
+    // (b) Per-task timelines: every station stamped, monotone, and the
+    // Figure 4 components ts/tf/te/tw tile the observed total exactly.
+    for task in &tasks {
+        let resp = funcx_service::http::http_request(
+            server.local_addr(),
+            "GET",
+            &format!("/v1/tasks/{task}/timeline"),
+            Some(&bed.token),
+            b"",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200, "timeline for {task}");
+        let tl: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(tl["complete"], serde_json::Value::Bool(true), "timeline {tl}");
+        assert_eq!(tl["monotone"], serde_json::Value::Bool(true), "timeline {tl}");
+        for station in [
+            "received",
+            "queued_at_service",
+            "forwarder_read",
+            "endpoint_received",
+            "manager_received",
+            "execution_start",
+            "execution_end",
+            "result_stored",
+        ] {
+            assert!(tl[station].as_u64().is_some(), "station {station} missing: {tl}");
+        }
+        let comp = |k: &str| tl[k].as_u64().unwrap_or_else(|| panic!("{k} missing: {tl}"));
+        let (ts, tf, te, tw) = (
+            comp("ts_nanos"),
+            comp("tf_nanos"),
+            comp("te_nanos"),
+            comp("tw_nanos"),
+        );
+        let total = comp("total_nanos");
+        assert_eq!(ts + tf + te + tw, total, "components do not tile total: {tl}");
+        assert!(total > 0, "zero total latency: {tl}");
+    }
+    bed.shutdown();
+}
+
 #[test]
 fn rest_and_inproc_clients_interoperate() {
     let mut bed = TestBedBuilder::new().build();
