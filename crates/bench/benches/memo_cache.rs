@@ -1,6 +1,7 @@
 //! Memoization cache hot path (§4.7): key hashing, hit, miss, insert.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use funcx_serial::CodecTag;
 use funcx_service::MemoCache;
 
 const BODY: &str = "def sleepy_double(x):\n    sleep(1)\n    return x * 2\n";
@@ -13,7 +14,7 @@ fn bench_memo(c: &mut Criterion) {
 
     let cache = MemoCache::new(100_000);
     for i in 0..10_000u64 {
-        cache.insert(i, vec![0u8; 64]);
+        cache.insert(i, CodecTag::Native, vec![0u8; 64]);
     }
     g.bench_function("get_hit", |b| b.iter(|| cache.get(std::hint::black_box(5_000)).unwrap()));
     g.bench_function("get_miss", |b| b.iter(|| cache.get(std::hint::black_box(u64::MAX))));
@@ -21,7 +22,7 @@ fn bench_memo(c: &mut Criterion) {
         let mut i = 20_000u64;
         b.iter(|| {
             i += 1;
-            cache.insert(i, vec![0u8; 64]);
+            cache.insert(i, CodecTag::Native, vec![0u8; 64]);
         })
     });
     g.finish();

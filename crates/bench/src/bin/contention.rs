@@ -1,0 +1,374 @@
+//! `contention` — task-store lock contention under concurrent polling.
+//!
+//! ```sh
+//! cargo run --release -p funcx-bench --bin contention            # full
+//! cargo run --release -p funcx-bench --bin contention -- --quick # CI sizes
+//! ```
+//!
+//! M poller threads hammer status/get_result-shaped reads while a small
+//! fleet of forwarder-shaped writers (one per virtual endpoint) churns
+//! dispatch + result batches, against two stores measured in the same run:
+//!
+//! * **baseline** — a faithful replica of the pre-shard design: one
+//!   `RwLock<HashMap<TaskId, TaskRecord>>` with the old lock discipline
+//!   (function code serialized, input payloads unpacked + memo-hashed and
+//!   result payloads decoded inside batch-wide write sections);
+//! * **sharded** — the real [`funcx_service::TaskStore`] under the new
+//!   discipline (all encode/decode/hash work outside the locks, per-task
+//!   write sections).
+//!
+//! Both sides perform identical work on identical workloads; only where
+//! the locks sit differs. Payloads are kilobyte-scale (realistic science
+//! inputs), which is exactly what makes the old batch-wide sections
+//! expensive: memo keys are hashed over the full payload while every
+//! poller waits. Emits `BENCH_contention.json` with the poll throughput
+//! curve and the 8-poller speedup.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use funcx_lang::Value;
+use funcx_serial::{unpack_buffer, Payload, Serializer};
+use funcx_service::TaskStore;
+use funcx_types::hash::memo_key;
+use funcx_types::ids::Uuid;
+use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState};
+use funcx_types::time::VirtualInstant;
+use funcx_types::{EndpointId, FunctionId, TaskId, UserId};
+use parking_lot::RwLock;
+
+const BATCH: usize = 256;
+/// Forwarder threads churning concurrently — one per connected endpoint,
+/// the production shape (§4.3: the service runs a forwarder per endpoint).
+const WRITERS: usize = 4;
+/// Input document size — memo keys hash the whole payload (§4.7), so this
+/// is the work the old design performed under the global write lock.
+const PAYLOAD_BYTES: usize = 4096;
+
+/// Deterministic bit-mixer (splitmix64) so task ids spread over shards the
+/// way random uuids do, without RNG state.
+fn mixed_id(i: u64) -> TaskId {
+    let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    TaskId::from_u128((z ^ (z >> 31)) as u128)
+}
+
+/// A freshly generated "function" per dispatch round — a multi-tenant
+/// service keeps seeing code it has not cached yet, which is when
+/// `build_dispatch` pays the serialization cost.
+fn round_source(round: u64) -> String {
+    format!("def churn_{round}(doc):\n    return transform(doc, {round})\n")
+}
+
+fn record(id: TaskId, payload: Vec<u8>) -> TaskRecord {
+    let mut r = TaskRecord::new(
+        TaskSpec {
+            task_id: id,
+            function_id: FunctionId::from_u128(7),
+            endpoint_id: EndpointId::from_u128(9),
+            user_id: UserId::from_u128(11),
+            payload,
+            container: None,
+            allow_memo: true,
+        },
+        VirtualInstant::ZERO,
+    );
+    r.transition(TaskState::WaitingForEndpoint);
+    r
+}
+
+/// One store under test: poll-read and writer-churn, each side with its own
+/// lock discipline.
+trait Store: Sync {
+    /// A status + get_result poll: project state, clone the outcome.
+    fn poll(&self, id: TaskId) -> Option<(TaskState, Option<TaskOutcome>)>;
+    /// Dispatch `batch` (round `round`'s function), complete it with
+    /// `result_bytes`, then reclaim it — the churn a live forwarder
+    /// generates.
+    fn churn_round(&self, serializer: &Serializer, round: u64, batch: &[TaskId], result_bytes: &[u8]);
+    fn seed(&self, id: TaskId, record: TaskRecord);
+}
+
+/// Pre-PR-3 replica: one global lock, real work held inside it.
+struct Monolith {
+    table: RwLock<HashMap<TaskId, TaskRecord>>,
+}
+
+impl Store for Monolith {
+    fn poll(&self, id: TaskId) -> Option<(TaskState, Option<TaskOutcome>)> {
+        self.table.read().get(&id).map(|r| (r.state, r.outcome.clone()))
+    }
+
+    fn churn_round(&self, serializer: &Serializer, round: u64, batch: &[TaskId], result_bytes: &[u8]) {
+        let source = round_source(round);
+        // Dispatch: old build_dispatch filled the code cache via
+        // or_insert_with — serializing under the table's batch-wide write
+        // lock whenever the function was not cached yet.
+        {
+            let mut table = self.table.write();
+            let _code = serializer
+                .serialize_packed(
+                    Uuid::nil(),
+                    &Payload::Code { source: source.clone(), entry: "churn".into() },
+                )
+                .unwrap();
+            for &id in batch {
+                if let Some(r) = table.get_mut(&id) {
+                    r.transition(TaskState::DispatchedToEndpoint);
+                    r.delivery_count += 1;
+                }
+            }
+        }
+        // Results: old store_results unpacked each task's input payload and
+        // hashed its memo key, and decoded each result body, inside one
+        // batch-wide write section.
+        {
+            let mut table = self.table.write();
+            for &id in batch {
+                if let Some(r) = table.get_mut(&id) {
+                    let input = unpack_buffer(&r.spec.payload).unwrap();
+                    let _key = memo_key(source.as_bytes(), input.body);
+                    let view = unpack_buffer(result_bytes).unwrap();
+                    r.transition(TaskState::WaitingForLaunch);
+                    r.transition(TaskState::Running);
+                    r.transition(TaskState::Success);
+                    r.outcome = Some(TaskOutcome::Success(view.body.to_vec()));
+                }
+            }
+        }
+        // Purge: whole-table write section.
+        {
+            let mut table = self.table.write();
+            for &id in batch {
+                table.remove(&id);
+            }
+        }
+    }
+
+    fn seed(&self, id: TaskId, record: TaskRecord) {
+        self.table.write().insert(id, record);
+    }
+}
+
+/// The real sharded store under the new hygiene: encode/decode/hash outside
+/// the locks, per-task write sections.
+struct Sharded {
+    store: TaskStore,
+}
+
+impl Store for Sharded {
+    fn poll(&self, id: TaskId) -> Option<(TaskState, Option<TaskOutcome>)> {
+        self.store.read_record(id, |r| (r.state, r.outcome.clone()))
+    }
+
+    fn churn_round(&self, serializer: &Serializer, round: u64, batch: &[TaskId], result_bytes: &[u8]) {
+        let source = round_source(round);
+        let _code = serializer
+            .serialize_packed(
+                Uuid::nil(),
+                &Payload::Code { source: source.clone(), entry: "churn".into() },
+            )
+            .unwrap();
+        for &id in batch {
+            self.store.with_record_mut(id, |r| {
+                r.transition(TaskState::DispatchedToEndpoint);
+                r.delivery_count += 1;
+            });
+        }
+        for &id in batch {
+            let payload = self.store.read_record(id, |r| r.spec.payload.clone());
+            if let Some(payload) = payload {
+                let input = unpack_buffer(&payload).unwrap();
+                let _key = memo_key(source.as_bytes(), input.body);
+                let view = unpack_buffer(result_bytes).unwrap();
+                let outcome = TaskOutcome::Success(view.body.to_vec());
+                self.store.with_record_mut(id, |r| {
+                    r.transition(TaskState::WaitingForLaunch);
+                    r.transition(TaskState::Running);
+                    r.transition(TaskState::Success);
+                    r.outcome = Some(outcome);
+                });
+            }
+        }
+        for &id in batch {
+            self.store.remove(id);
+        }
+    }
+
+    fn seed(&self, id: TaskId, record: TaskRecord) {
+        self.store.insert(id, record);
+    }
+}
+
+fn make_payload(serializer: &Serializer, routing: Uuid, tag: i64) -> Vec<u8> {
+    let doc = Value::Dict(vec![
+        ("tag".into(), Value::Int(tag)),
+        ("data".into(), Value::Str("x".repeat(PAYLOAD_BYTES))),
+    ]);
+    serializer.serialize_packed(routing, &Payload::Document(doc)).unwrap()
+}
+
+/// Run `pollers` poll threads for `duration` against `store` while
+/// [`WRITERS`] forwarder threads churn; returns (polls/sec, writer rounds
+/// completed across all writers).
+fn measure(
+    store: &(dyn Store + Sync),
+    pollers: usize,
+    duration: Duration,
+    targets: &[TaskId],
+) -> (f64, u64) {
+    let serializer = Serializer::default();
+    let result_bytes = make_payload(&serializer, Uuid::from_u128(1), -1);
+    // One payload template cloned per seeded task: submission cost stays
+    // out of the measurement so the two sides differ only in where the
+    // dispatch/result work happens relative to the task locks.
+    let payload_template = make_payload(&serializer, Uuid::from_u128(2), -2);
+    let stop = AtomicBool::new(false);
+    let polls = AtomicU64::new(0);
+    let rounds = AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        // Writers: one forwarder per (virtual) endpoint, churning until the
+        // pollers finish.
+        for w in 0..WRITERS {
+            let serializer = &serializer;
+            let result_bytes = &result_bytes;
+            let payload_template = &payload_template;
+            let stop = &stop;
+            let rounds = &rounds;
+            s.spawn(move || {
+                let mut next = 1_000_000u64 + w as u64 * 1_000_000_000;
+                let mut round = (w as u64) << 32;
+                while !stop.load(Ordering::Relaxed) {
+                    let batch: Vec<TaskId> = (0..BATCH as u64)
+                        .map(|k| {
+                            let id = mixed_id(next + k);
+                            store.seed(id, record(id, payload_template.clone()));
+                            id
+                        })
+                        .collect();
+                    next += BATCH as u64;
+                    round += 1;
+                    store.churn_round(serializer, round, &batch, result_bytes);
+                    rounds.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+
+        let mut handles = Vec::new();
+        for p in 0..pollers {
+            let polls = &polls;
+            handles.push(s.spawn(move || {
+                let deadline = Instant::now() + duration;
+                let mut local = 0u64;
+                // Stagger starting offsets so pollers don't convoy on the
+                // same shard in lockstep.
+                let mut i = p * targets.len() / pollers.max(1);
+                loop {
+                    for _ in 0..32 {
+                        let id = targets[i % targets.len()];
+                        let got = store.poll(id);
+                        assert!(got.is_some(), "poll targets are never purged");
+                        local += 1;
+                        i += 1;
+                    }
+                    if Instant::now() >= deadline {
+                        break;
+                    }
+                }
+                polls.fetch_add(local, Ordering::Relaxed);
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    (polls.load(Ordering::Relaxed) as f64 / duration.as_secs_f64(), rounds.load(Ordering::Relaxed))
+}
+
+fn seed_targets(store: &dyn Store, count: usize) -> Vec<TaskId> {
+    let serializer = Serializer::default();
+    (0..count as u64)
+        .map(|i| {
+            let id = mixed_id(i);
+            let payload = make_payload(&serializer, id.uuid(), i as i64);
+            let mut r = record(id, payload);
+            r.transition(TaskState::DispatchedToEndpoint);
+            r.transition(TaskState::WaitingForLaunch);
+            r.transition(TaskState::Running);
+            r.transition(TaskState::Success);
+            r.outcome = Some(TaskOutcome::Success(vec![0u8; 64]));
+            store.seed(id, r);
+            id
+        })
+        .collect()
+}
+
+fn json_point(m: usize, base: f64, shard: f64, base_rounds: u64, shard_rounds: u64) -> String {
+    format!(
+        "{{\"pollers\": {m}, \"baseline_polls_per_sec\": {base:.0}, \
+         \"sharded_polls_per_sec\": {shard:.0}, \"speedup\": {:.3}, \
+         \"baseline_writer_rounds\": {base_rounds}, \"sharded_writer_rounds\": {shard_rounds}}}",
+        shard / base
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let duration = if quick { Duration::from_millis(500) } else { Duration::from_secs(3) };
+    let targets_n = if quick { 1024 } else { 4096 };
+    let poller_counts: &[usize] = if quick { &[8] } else { &[1, 2, 4, 8] };
+
+    let monolith = Monolith { table: RwLock::new(HashMap::new()) };
+    let sharded = Sharded { store: TaskStore::new(64) };
+    let mono_targets = seed_targets(&monolith, targets_n);
+    let shard_targets = seed_targets(&sharded, targets_n);
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "task-store contention: {}s per point, {} poll targets, {}B payloads, {} cores",
+        duration.as_secs_f64(),
+        targets_n,
+        PAYLOAD_BYTES,
+        cores
+    );
+    if cores < 2 {
+        println!(
+            "note: single-core host — blocked pollers donate their timeslice to the \
+             writers, so lock contention cannot cost wall-clock parallelism and the \
+             speedup reads ~1x; run on >=2 cores for a meaningful comparison"
+        );
+    }
+    println!("{:>8} {:>20} {:>20} {:>9}", "pollers", "baseline polls/s", "sharded polls/s", "speedup");
+
+    let mut points = Vec::new();
+    let mut at8 = (0.0f64, 0.0f64);
+    for &m in poller_counts {
+        let (base, base_rounds) = measure(&monolith, m, duration, &mono_targets);
+        let (shard, shard_rounds) = measure(&sharded, m, duration, &shard_targets);
+        let speedup = shard / base;
+        println!(
+            "{m:>8} {base:>20.0} {shard:>20.0} {speedup:>8.2}x   (writer rounds: {base_rounds} vs {shard_rounds})"
+        );
+        if m == 8 {
+            at8 = (base, shard);
+        }
+        points.push(json_point(m, base, shard, base_rounds, shard_rounds));
+    }
+
+    let json = format!
+        ("{{\n  \"bench\": \"task_store_contention\",\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"shards\": {},\n  \"duration_secs_per_point\": {},\n  \"poll_targets\": {targets_n},\n  \"writer_batch\": {BATCH},\n  \"writers\": {WRITERS},\n  \"payload_bytes\": {PAYLOAD_BYTES},\n  \"pollers\": 8,\n  \"baseline_polls_per_sec\": {:.0},\n  \"sharded_polls_per_sec\": {:.0},\n  \"speedup\": {:.3},\n  \"curve\": [\n    {}\n  ]\n}}\n",
+        sharded.store.shard_count(),
+        duration.as_secs_f64(),
+        at8.0,
+        at8.1,
+        at8.1 / at8.0,
+        points.join(",\n    "),
+    );
+    std::fs::write("BENCH_contention.json", json).expect("write BENCH_contention.json");
+    println!("\nwrote BENCH_contention.json (8-poller speedup: {:.2}x)", at8.1 / at8.0);
+}

@@ -1,0 +1,141 @@
+//! End-to-end smoke drive: full in-process deployment (service + forwarder +
+//! agent + manager) exercising the sharded task store, memo repacking,
+//! retrieved-at purge arming, and a REST `/v1/metrics` scrape over a real
+//! socket.
+//!
+//! ```sh
+//! cargo run -p funcx-service --example task_lifecycle
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_auth::{IdentityProvider, Scope};
+use funcx_endpoint::{Agent, EndpointConfig, Manager};
+use funcx_proto::channel::inproc_pair;
+use funcx_registry::Sharing;
+use funcx_serial::Serializer;
+use funcx_service::rest::serve_rest;
+use funcx_service::service::SubmitRequest;
+use funcx_service::{FuncxService, ServiceConfig};
+use funcx_types::task::TaskOutcome;
+use funcx_types::time::{RealClock, SharedClock};
+
+fn main() {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(
+        Arc::clone(&clock),
+        ServiceConfig {
+            heartbeat_timeout: Duration::from_secs(600),
+            retrieved_result_ttl: Duration::from_secs(60),
+            ..ServiceConfig::default()
+        },
+    );
+    let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    let endpoint_id = service.register_endpoint(&token, "laptop", "", false).unwrap();
+    let (_forwarder, agent_channel) =
+        service.connect_endpoint(endpoint_id, Duration::ZERO).unwrap();
+    let config = EndpointConfig {
+        workers_per_manager: 4,
+        dispatch_overhead: Duration::ZERO,
+        heartbeat_period: Duration::from_secs(2),
+        heartbeat_timeout: Duration::from_secs(600),
+        ..EndpointConfig::default()
+    };
+    let mut agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
+    let (agent_side, mgr_side) = inproc_pair();
+    let mut manager =
+        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
+    agent.attach_manager(agent_side);
+
+    let f = service
+        .register_function(
+            &token,
+            "dbl",
+            "def dbl(x):\n    return x * 2\n",
+            "dbl",
+            None,
+            Sharing::default(),
+        )
+        .unwrap();
+    let mut tasks = Vec::new();
+    for i in 0..10i64 {
+        tasks.push(
+            service
+                .submit(
+                    &token,
+                    SubmitRequest {
+                        function_id: f,
+                        endpoint_id,
+                        args: vec![funcx_lang::Value::Int(i)],
+                        kwargs: vec![],
+                        allow_memo: true,
+                    },
+                )
+                .unwrap(),
+        );
+    }
+    for (i, &t) in tasks.iter().enumerate() {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            if let Some(outcome) = service.get_result(&token, t).unwrap() {
+                let TaskOutcome::Success(bytes) = outcome else { panic!("task {i} failed") };
+                let (routing, payload) =
+                    Serializer::default().deserialize_packed(&bytes).unwrap();
+                assert_eq!(routing, t.uuid(), "routing header mismatch");
+                assert_eq!(payload.as_document(), Some(&funcx_lang::Value::Int(i as i64 * 2)));
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "task {i} stuck");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    println!("OK: 10 tasks executed, results routed + correct");
+
+    // Memo hit for a duplicate submission must carry the NEW task's routing.
+    let dup = service
+        .submit(
+            &token,
+            SubmitRequest {
+                function_id: f,
+                endpoint_id,
+                args: vec![funcx_lang::Value::Int(3)],
+                kwargs: vec![],
+                allow_memo: true,
+            },
+        )
+        .unwrap();
+    let outcome = service.get_result(&token, dup).unwrap().expect("memo hit is instant");
+    let TaskOutcome::Success(bytes) = outcome else { panic!("memo hit failed") };
+    let (routing, _) = Serializer::default().deserialize_packed(&bytes).unwrap();
+    assert_eq!(routing, dup.uuid(), "memo hit must be repacked for the hitting task");
+    assert!(service.memo.stats().hits >= 1, "memo was not hit");
+    println!("OK: memo hit repacked with hitting task's routing header");
+
+    // REST: scrape /v1/metrics over a real socket (the plain-text route).
+    let rest = serve_rest(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let addr = rest.local_addr();
+    let out = std::process::Command::new("curl")
+        .args(["-s", &format!("http://{addr}/v1/metrics")])
+        .output()
+        .unwrap();
+    let scrape = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(scrape.contains("funcx_tasks_live"), "scrape missing tasks_live:\n{scrape}");
+    assert!(scrape.contains("funcx_tasks_submitted_total 11"), "scrape:\n{scrape}");
+    println!("OK: REST /v1/metrics scrape over socket, shard-summed gauge present");
+
+    // Purge semantics: everything above was retrieved; let the 60 virtual-s
+    // TTL elapse (100 ms wall at 1000x) and reclaim.
+    let before = service.task_count();
+    std::thread::sleep(Duration::from_millis(150));
+    let purged = service.purge_retrieved();
+    println!(
+        "OK: purge reclaimed {purged}/{before} retrieved records, {} left",
+        service.task_count()
+    );
+    assert!(purged >= 10, "retrieved tasks should purge after TTL");
+
+    manager.stop();
+    agent.stop();
+    println!("TASK LIFECYCLE SMOKE: ALL OK");
+}

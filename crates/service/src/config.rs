@@ -34,6 +34,11 @@ pub struct ServiceConfig {
     pub forwarder_batch: usize,
     /// Maximum entries in the memoization cache.
     pub memo_capacity: usize,
+    /// Shard count of the task store (rounded up to a power of two).
+    /// 1 degenerates to the old single-global-lock table — useful only
+    /// for contention baselines; production wants many shards so status
+    /// polls and result writes touch disjoint locks.
+    pub task_shards: usize,
     /// Capacity of the lifecycle trace ring (oldest events are dropped —
     /// and counted — beyond this).
     pub trace_capacity: usize,
@@ -51,6 +56,7 @@ impl Default for ServiceConfig {
             poll_interval: Duration::from_millis(1),
             forwarder_batch: 1024,
             memo_capacity: 100_000,
+            task_shards: crate::tasks::DEFAULT_SHARDS,
             trace_capacity: 4096,
         }
     }
@@ -77,6 +83,7 @@ mod tests {
         let c = ServiceConfig::default();
         assert_eq!(c.auth_cost, Duration::ZERO);
         assert!(c.payload_limit >= 64 << 10);
+        assert!(c.task_shards > 1, "production default must actually shard");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! that agent. This architecture ensures that funcX agents receive tasks
 //! with at least once semantics."
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -18,8 +18,9 @@ use std::thread::JoinHandle;
 use funcx_proto::channel::{inproc_pair_with_latency, ChannelHandle};
 use funcx_proto::heartbeat::HeartbeatTracker;
 use funcx_proto::message::{Message, TaskDispatch, TaskResult};
-use funcx_serial::{pack_buffer, Payload};
+use funcx_serial::{pack_buffer, CodecTag, Payload};
 use funcx_store::QueueKind;
+use funcx_types::ids::Uuid;
 use funcx_types::task::{TaskOutcome, TaskState};
 use funcx_types::time::{VirtualDuration, VirtualInstant};
 use funcx_types::{EndpointId, FuncxError, FunctionId, TaskId};
@@ -167,7 +168,10 @@ fn run_forwarder_loop(
 
     // Phase 2: dispatch/collect until the agent is lost or we shut down.
     let heartbeat = HeartbeatTracker::new(clock.clone(), config.heartbeat_timeout);
-    let mut outstanding: HashMap<TaskId, ()> = HashMap::new();
+    // Outstanding tasks in dispatch order: on agent loss they are pushed
+    // back to the queue *front* in reverse, so redelivery preserves the
+    // §4.1 FIFO fairness instead of scrambling it hash-map style.
+    let mut outstanding: Vec<TaskId> = Vec::new();
     // Per-(function, version) packed-code cache: code buffers are immutable
     // per version, so each forwarder serializes a function body once.
     let mut code_cache: HashMap<(FunctionId, u32), Vec<u8>> = HashMap::new();
@@ -188,7 +192,7 @@ fn run_forwarder_loop(
                 else {
                     continue;
                 };
-                outstanding.insert(task_id, ());
+                outstanding.push(task_id);
                 batch.push(dispatch);
             }
             if !batch.is_empty() {
@@ -210,9 +214,8 @@ fn run_forwarder_loop(
                 heartbeat.record();
                 match msg {
                     Message::Results(results) => {
-                        for r in &results {
-                            outstanding.remove(&r.task_id);
-                        }
+                        let done: HashSet<TaskId> = results.iter().map(|r| r.task_id).collect();
+                        outstanding.retain(|id| !done.contains(id));
                         store_results(&service, endpoint_id, results, &result_queue);
                     }
                     Message::Heartbeat { seq } => {
@@ -269,18 +272,29 @@ fn run_forwarder_loop(
 }
 
 /// Build the wire dispatch for a queued task, updating its record.
+///
+/// Lock-hold hygiene: function code is serialized *before* any task lock
+/// is taken; the shard write section below only transitions the record and
+/// clones the pre-serialized payload.
 fn build_dispatch(
     service: &Arc<FuncxService>,
     task_id: TaskId,
     now: VirtualInstant,
     code_cache: &mut HashMap<(FunctionId, u32), Vec<u8>>,
 ) -> Option<TaskDispatch> {
-    let mut tasks = service.tasks.write();
-    let record = tasks.get_mut(&task_id)?;
-    if record.state != TaskState::WaitingForEndpoint {
+    // Cheap read-locked projection: what does this task need, and is it
+    // still waiting for us?
+    let (state, function_id, container) = service
+        .tasks
+        .read_record(task_id, |r| (r.state, r.spec.function_id, r.spec.container))?;
+    if state != TaskState::WaitingForEndpoint {
         return None; // raced with a duplicate delivery; skip
     }
-    let function = service.functions.get(record.spec.function_id).ok()?;
+    let function = service.functions.get(function_id).ok()?;
+    // Serialize (or reuse) the code buffer with no lock held. The buffer
+    // is shared across every task of this (function, version), so its
+    // routing tag is nil — the control-payload convention; the task id
+    // travels in the TaskDispatch itself.
     let code = code_cache
         .entry((function.function_id, function.version))
         .or_insert_with(|| {
@@ -290,30 +304,45 @@ fn build_dispatch(
                 .serializer()
                 .serialize(&payload)
                 .expect("code serialization cannot fail");
-            pack_buffer(task_id.uuid(), tag, &body)
+            pack_buffer(Uuid::nil(), tag, &body)
         })
         .clone();
-    record.transition(TaskState::DispatchedToEndpoint);
-    record.timeline.forwarder_read = Some(now);
-    record.delivery_count += 1;
-    let container_modules = record
-        .spec
-        .container
+    let container_modules = container
         .and_then(|img| service.images.get(img))
         .map(|img| img.modules)
         .unwrap_or_default();
-    Some(TaskDispatch {
-        task_id,
-        function_id: record.spec.function_id,
-        code,
-        payload: record.spec.payload.clone(),
-        container: record.spec.container,
-        container_modules,
-    })
+    // Per-task write section: re-check the state (another forwarder
+    // generation may have raced us between the read above and now), then
+    // transition and stamp. Nothing here serializes or hashes.
+    service
+        .tasks
+        .with_record_mut(task_id, |record| {
+            if record.state != TaskState::WaitingForEndpoint {
+                return None;
+            }
+            record.transition(TaskState::DispatchedToEndpoint);
+            record.timeline.forwarder_read = Some(now);
+            record.delivery_count += 1;
+            Some(TaskDispatch {
+                task_id,
+                function_id: record.spec.function_id,
+                code,
+                payload: record.spec.payload.clone(),
+                container: record.spec.container,
+                container_modules,
+            })
+        })
+        .flatten()
 }
 
 /// Write results into records, the memo cache, and the result queue
 /// (Fig. 3 steps 5–6).
+///
+/// Lock-hold hygiene: traceback deserialization, memo-key hashing, and
+/// result unpacking all happen with no task lock held; each record gets
+/// its own short per-task write section (never one batch-wide lock), so a
+/// burst of results from one endpoint cannot freeze status polls for the
+/// whole batch.
 fn store_results(
     service: &Arc<FuncxService>,
     _endpoint_id: EndpointId,
@@ -321,44 +350,29 @@ fn store_results(
     result_queue: &Arc<funcx_store::BlockingQueue>,
 ) {
     let now = service.clock().now();
-    let mut tasks = service.tasks.write();
     for r in results {
-        let Some(record) = tasks.get_mut(&r.task_id) else { continue };
-        if record.state.is_terminal() {
+        // Snapshot what the expensive pre-work needs under a brief read
+        // lock: memoization intent and the input payload (cloned only
+        // when a memo insert is actually coming).
+        let Some((terminal, function_id, memo_payload)) =
+            service.tasks.read_record(r.task_id, |record| {
+                let wants_memo = r.success && record.spec.allow_memo;
+                (
+                    record.state.is_terminal(),
+                    record.spec.function_id,
+                    wants_memo.then(|| record.spec.payload.clone()),
+                )
+            })
+        else {
+            continue;
+        };
+        if terminal {
             continue; // duplicate delivery of a result
         }
-        // Remote-side timeline (shared virtual clock). A zero manager stamp
-        // means an older agent that didn't record it.
-        record.timeline.endpoint_received =
-            Some(VirtualInstant::from_nanos(r.endpoint_received_nanos));
-        if r.manager_received_nanos != 0 {
-            record.timeline.manager_received =
-                Some(VirtualInstant::from_nanos(r.manager_received_nanos));
-        }
-        record.timeline.execution_start = Some(VirtualInstant::from_nanos(r.exec_start_nanos));
-        record.timeline.execution_end = Some(VirtualInstant::from_nanos(r.exec_end_nanos));
-        record.timeline.result_stored = Some(now);
-        if record.state == TaskState::DispatchedToEndpoint {
-            record.transition(TaskState::WaitingForLaunch);
-        }
-        if record.state == TaskState::WaitingForLaunch {
-            record.transition(TaskState::Running);
-        }
-        if r.success {
-            record.transition(TaskState::Success);
-            record.outcome = Some(TaskOutcome::Success(r.body.clone()));
-            // Memoize successful results when the submission allowed it.
-            if record.spec.allow_memo {
-                if let Ok(function) = service.functions.get(record.spec.function_id) {
-                    if let Ok(unpacked) = funcx_serial::unpack_buffer(&record.spec.payload) {
-                        let key = MemoCache::key(&function.source, unpacked.body);
-                        service.memo.insert(key, r.body.clone());
-                    }
-                }
-            }
-        } else {
-            record.transition(TaskState::Failed);
-            let message = service
+
+        // Expensive pre-work, outside any lock.
+        let failure_message = (!r.success).then(|| {
+            service
                 .serializer()
                 .deserialize_packed(&r.body)
                 .ok()
@@ -366,15 +380,72 @@ fn store_results(
                     Payload::Traceback(e) => Some(e.to_string()),
                     _ => None,
                 })
-                .unwrap_or_else(|| "execution failed (unreadable traceback)".to_string());
-            record.outcome = Some(TaskOutcome::Failure(message));
+                .unwrap_or_else(|| "execution failed (unreadable traceback)".to_string())
+        });
+        // Memoize successful results when the submission allowed it: hash
+        // the key and unpack the result body now, cache codec + body (the
+        // pack header is per-task and must not be cached — see
+        // `MemoCache::get_packed`).
+        let memo_insert: Option<(u64, CodecTag, Vec<u8>)> = memo_payload.and_then(|payload| {
+            let function = service.functions.get(function_id).ok()?;
+            let input = funcx_serial::unpack_buffer(&payload).ok()?;
+            let key = MemoCache::key(&function.source, input.body);
+            let result = funcx_serial::unpack_buffer(&r.body).ok()?;
+            Some((key, result.codec, result.body.to_vec()))
+        });
+
+        // Per-task write section: stamps, transitions, outcome — only.
+        let stored = service
+            .tasks
+            .with_record_mut(r.task_id, |record| {
+                if record.state.is_terminal() {
+                    return None; // raced with a duplicate in another batch
+                }
+                // Remote-side timeline (shared virtual clock). A zero
+                // manager stamp means an older agent that didn't record it.
+                record.timeline.endpoint_received =
+                    Some(VirtualInstant::from_nanos(r.endpoint_received_nanos));
+                if r.manager_received_nanos != 0 {
+                    record.timeline.manager_received =
+                        Some(VirtualInstant::from_nanos(r.manager_received_nanos));
+                }
+                record.timeline.execution_start =
+                    Some(VirtualInstant::from_nanos(r.exec_start_nanos));
+                record.timeline.execution_end = Some(VirtualInstant::from_nanos(r.exec_end_nanos));
+                record.timeline.result_stored = Some(now);
+                if record.state == TaskState::DispatchedToEndpoint {
+                    record.transition(TaskState::WaitingForLaunch);
+                }
+                if record.state == TaskState::WaitingForLaunch {
+                    record.transition(TaskState::Running);
+                }
+                if r.success {
+                    record.transition(TaskState::Success);
+                    record.outcome = Some(TaskOutcome::Success(r.body.clone()));
+                } else {
+                    record.transition(TaskState::Failed);
+                    record.outcome = Some(TaskOutcome::Failure(
+                        failure_message.clone().expect("set for failures"),
+                    ));
+                }
+                Some((record.timeline.total(), record.timeline.t_exec()))
+            })
+            .flatten();
+        let Some((total, exec)) = stored else { continue };
+
+        // Post-work: counters, memo insert, trace, result queue — all
+        // outside the task lock.
+        if let Some((key, codec, body)) = memo_insert {
+            service.memo.insert(key, codec, body);
+        }
+        if !r.success {
             service.instruments.tasks_failed.inc();
         }
         service.instruments.results_stored.inc();
-        if let Some(total) = record.timeline.total() {
+        if let Some(total) = total {
             service.instruments.task_latency.record(total);
         }
-        if let Some(exec) = record.timeline.t_exec() {
+        if let Some(exec) = exec {
             service.instruments.task_exec.record(exec);
         }
         service.trace.record(
@@ -386,23 +457,33 @@ fn store_results(
 }
 
 /// Return outstanding tasks to the front of the queue for redelivery.
-fn requeue_outstanding(
-    service: &Arc<FuncxService>,
-    outstanding: HashMap<TaskId, ()>,
-) -> usize {
+///
+/// `outstanding` is in dispatch order; iterating it in *reverse* while
+/// `push_front`-ing leaves the queue front in original dispatch order, so
+/// a reconnecting agent receives redelivered work in the same FIFO order
+/// it was first dispatched (§4.1), ahead of any newer submissions.
+fn requeue_outstanding(service: &Arc<FuncxService>, outstanding: Vec<TaskId>) -> usize {
     let mut n = 0;
-    let mut tasks = service.tasks.write();
-    for (task_id, ()) in outstanding {
-        let Some(record) = tasks.get_mut(&task_id) else { continue };
-        if record.state.is_terminal() {
+    for task_id in outstanding.into_iter().rev() {
+        // Per-task write section; the queue push happens outside it.
+        let Some(endpoint_id) = service
+            .tasks
+            .with_record_mut(task_id, |record| {
+                if record.state.is_terminal() {
+                    return None;
+                }
+                if record.state == TaskState::DispatchedToEndpoint {
+                    record.transition(TaskState::WaitingForEndpoint);
+                }
+                Some(record.spec.endpoint_id)
+            })
+            .flatten()
+        else {
             continue;
-        }
-        if record.state == TaskState::DispatchedToEndpoint {
-            record.transition(TaskState::WaitingForEndpoint);
-        }
+        };
         service
             .store
-            .queue(record.spec.endpoint_id, QueueKind::Task)
+            .queue(endpoint_id, QueueKind::Task)
             .push_front(FuncxService::task_id_to_queue_bytes(task_id));
         n += 1;
     }
@@ -593,11 +674,19 @@ mod tests {
     #[test]
     fn endpoint_failure_requeues_and_redelivers() {
         let mut d = deploy();
-        let f = register_fn(&d, "def f():\n    sleep(2000)\n    return 'done'\n", "f");
-        let task = submit(&d, f, vec![], false);
-        // Let the task reach the worker (2000 virtual s ≈ 2 s wall).
+        let f = register_fn(&d, "def f(x):\n    sleep(2000)\n    return x\n", "f");
+        // Several tasks, all long enough to still be outstanding when the
+        // agent is severed (workers_per_manager = 4 runs them concurrently).
+        let tasks: Vec<TaskId> =
+            (0..3).map(|i| submit(&d, f, vec![Value::Int(i)], false)).collect();
+        // Let the tasks reach the workers (2000 virtual s ≈ 2 s wall).
         std::thread::sleep(Duration::from_millis(300));
-        assert_eq!(d.service.status(&d.token, task).unwrap(), TaskState::DispatchedToEndpoint);
+        for &task in &tasks {
+            assert_eq!(
+                d.service.status(&d.token, task).unwrap(),
+                TaskState::DispatchedToEndpoint
+            );
+        }
 
         // Sever the agent (Figure 8 failure).
         d.agent.disconnect_forwarder();
@@ -607,24 +696,44 @@ mod tests {
             std::thread::sleep(Duration::from_millis(10));
         }
         assert!(!d.forwarder.is_running(), "old forwarder exits on loss");
-        assert_eq!(
-            d.service.status(&d.token, task).unwrap(),
-            TaskState::WaitingForEndpoint,
-            "outstanding task returned to the queue"
-        );
+        for &task in &tasks {
+            assert_eq!(
+                d.service.status(&d.token, task).unwrap(),
+                TaskState::WaitingForEndpoint,
+                "outstanding task returned to the queue"
+            );
+        }
         assert_eq!(
             d.service.endpoints.get(d.endpoint_id).unwrap().status,
             funcx_registry::EndpointStatus::Offline
         );
 
+        // Redelivery preserves FIFO fairness: the queue front holds the
+        // requeued tasks in their original dispatch order. Inspect by
+        // draining (no forwarder is attached) and restore.
+        let queue = d.service.store.queue(d.endpoint_id, QueueKind::Task);
+        let mut redelivery_order = Vec::new();
+        while let Some(bytes) = queue.try_pop() {
+            redelivery_order.push(FuncxService::queue_bytes_to_task_id(&bytes).unwrap());
+        }
+        assert_eq!(
+            redelivery_order, tasks,
+            "requeue must preserve dispatch order, not hash-map order"
+        );
+        for &task in &tasks {
+            queue.push_back(FuncxService::task_id_to_queue_bytes(task));
+        }
+
         // Recovery: agent reconnects through a fresh forwarder (§4.3).
         let (fwd2, agent_channel) =
             d.service.connect_endpoint(d.endpoint_id, Duration::ZERO).unwrap();
         d.agent.reconnect(agent_channel);
-        let outcome = await_result(&d, task, Duration::from_secs(30)).expect("redelivered");
-        assert!(matches!(outcome, TaskOutcome::Success(_)));
-        let record = d.service.task_record(task).unwrap();
-        assert!(record.delivery_count >= 2, "task was redelivered");
+        for &task in &tasks {
+            let outcome = await_result(&d, task, Duration::from_secs(30)).expect("redelivered");
+            assert!(matches!(outcome, TaskOutcome::Success(_)));
+            let record = d.service.task_record(task).unwrap();
+            assert!(record.delivery_count >= 2, "task was redelivered");
+        }
         drop(fwd2);
         for m in &mut d.managers {
             m.stop();

@@ -8,6 +8,9 @@
 //!
 //! * [`service`] — the service core: registries (RDS substitute), the Redis
 //!   substitute's task/result queues, task lifecycle records, memoization;
+//! * [`tasks`] — the sharded task store behind the lifecycle records (the
+//!   §4.1 Redis task hashset, split N ways so submit/poll/dispatch never
+//!   contend on one global lock);
 //! * [`forwarder`] — one forwarder per connected endpoint: pops the
 //!   endpoint's task queue, ships batches over the agent channel, writes
 //!   results back, and requeues outstanding tasks when heartbeats lapse
@@ -24,7 +27,9 @@ pub mod http;
 pub mod memo;
 pub mod rest;
 pub mod service;
+pub mod tasks;
 
 pub use config::ServiceConfig;
-pub use memo::MemoCache;
+pub use memo::{MemoCache, MemoEntry};
 pub use service::{FuncxService, SubmitRequest};
+pub use tasks::TaskStore;

@@ -6,8 +6,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use funcx_serial::{pack_buffer, CodecTag};
 use funcx_telemetry::{Counter, MetricsRegistry};
 use funcx_types::hash::memo_key;
+use funcx_types::TaskId;
 use parking_lot::Mutex;
 
 /// Hit/miss counters (Table 3's experiment reads these).
@@ -21,8 +23,21 @@ pub struct MemoStats {
     pub evictions: u64,
 }
 
+/// A cached result: the *unpacked* encoded body plus the codec that
+/// produced it. The pack header (which names the originating task) is
+/// deliberately not cached — a memo hit must be repacked with the hitting
+/// task's uuid, or the returned bytes would carry another task's routing
+/// tag ([`MemoCache::get_packed`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoEntry {
+    /// Which codec encoded `body`.
+    pub codec: CodecTag,
+    /// The encoded result document, without the pack header.
+    pub body: Vec<u8>,
+}
+
 struct Inner {
-    map: HashMap<u64, Vec<u8>>,
+    map: HashMap<u64, MemoEntry>,
     /// Insertion order for FIFO eviction.
     order: VecDeque<u64>,
 }
@@ -72,8 +87,8 @@ impl MemoCache {
         memo_key(function_body.as_bytes(), input_document)
     }
 
-    /// Look up a cached result body.
-    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+    /// Look up a cached entry (codec + unpacked body).
+    pub fn get(&self, key: u64) -> Option<MemoEntry> {
         let inner = self.inner.lock();
         match inner.map.get(&key).cloned() {
             Some(v) => {
@@ -87,11 +102,19 @@ impl MemoCache {
         }
     }
 
-    /// Insert a successful result body. Failed executions are never
-    /// memoized (a retry might succeed).
-    pub fn insert(&self, key: u64, result_body: Vec<u8>) {
+    /// Look up a cached result and repack it for the task that hit: the
+    /// returned buffer's routing header names `task_id`, never the task
+    /// whose execution populated the cache.
+    pub fn get_packed(&self, key: u64, task_id: TaskId) -> Option<Vec<u8>> {
+        self.get(key).map(|entry| pack_buffer(task_id.uuid(), entry.codec, &entry.body))
+    }
+
+    /// Insert a successful result (codec + *unpacked* body — strip the
+    /// pack header first). Failed executions are never memoized (a retry
+    /// might succeed).
+    pub fn insert(&self, key: u64, codec: CodecTag, body: Vec<u8>) {
         let mut inner = self.inner.lock();
-        if inner.map.insert(key, result_body).is_none() {
+        if inner.map.insert(key, MemoEntry { codec, body }).is_none() {
             inner.order.push_back(key);
             while inner.order.len() > self.capacity {
                 if let Some(old) = inner.order.pop_front() {
@@ -126,13 +149,17 @@ impl MemoCache {
 mod tests {
     use super::*;
 
+    fn entry(body: Vec<u8>) -> MemoEntry {
+        MemoEntry { codec: CodecTag::Native, body }
+    }
+
     #[test]
     fn get_after_insert_hits() {
         let cache = MemoCache::new(10);
         let k = MemoCache::key("def f():\n    return 1\n", b"{\"args\":[]}");
         assert_eq!(cache.get(k), None);
-        cache.insert(k, vec![1, 2, 3]);
-        assert_eq!(cache.get(k), Some(vec![1, 2, 3]));
+        cache.insert(k, CodecTag::Native, vec![1, 2, 3]);
+        assert_eq!(cache.get(k), Some(entry(vec![1, 2, 3])));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
     }
@@ -150,14 +177,14 @@ mod tests {
     fn fifo_eviction_under_capacity_pressure() {
         let cache = MemoCache::new(3);
         for i in 0..5u64 {
-            cache.insert(i, vec![i as u8]);
+            cache.insert(i, CodecTag::Native, vec![i as u8]);
         }
         assert_eq!(cache.len(), 3);
         assert_eq!(cache.stats().evictions, 2);
         // Oldest two evicted.
         assert_eq!(cache.get(0), None);
         assert_eq!(cache.get(1), None);
-        assert_eq!(cache.get(4), Some(vec![4]));
+        assert_eq!(cache.get(4), Some(entry(vec![4])));
     }
 
     #[test]
@@ -166,11 +193,11 @@ mod tests {
 
         let registry = MetricsRegistry::new(ManualClock::new());
         let cache = MemoCache::with_metrics(2, &registry);
-        cache.insert(1, vec![1]);
+        cache.insert(1, CodecTag::Native, vec![1]);
         let _ = cache.get(1); // hit
         let _ = cache.get(9); // miss
-        cache.insert(2, vec![2]);
-        cache.insert(3, vec![3]); // evicts key 1
+        cache.insert(2, CodecTag::Native, vec![2]);
+        cache.insert(3, CodecTag::Native, vec![3]); // evicts key 1
 
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.evictions), (1, 1, 1));
@@ -183,11 +210,30 @@ mod tests {
     #[test]
     fn reinsert_does_not_duplicate_order() {
         let cache = MemoCache::new(2);
-        cache.insert(1, vec![1]);
-        cache.insert(1, vec![2]); // overwrite
-        cache.insert(2, vec![3]);
+        cache.insert(1, CodecTag::Native, vec![1]);
+        cache.insert(1, CodecTag::Native, vec![2]); // overwrite
+        cache.insert(2, CodecTag::Native, vec![3]);
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.get(1), Some(vec![2]));
+        assert_eq!(cache.get(1), Some(entry(vec![2])));
         assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn get_packed_stamps_the_hitting_tasks_routing_header() {
+        let cache = MemoCache::new(4);
+        let originating = TaskId::from_u128(111);
+        let hitting = TaskId::from_u128(222);
+        // Populate the cache the way store_results does: unpack the
+        // originating task's result buffer and keep only codec + body.
+        let packed = pack_buffer(originating.uuid(), CodecTag::Json, b"42");
+        let unpacked = funcx_serial::unpack_buffer(&packed).unwrap();
+        cache.insert(7, unpacked.codec, unpacked.body.to_vec());
+
+        let hit = cache.get_packed(7, hitting).unwrap();
+        let view = funcx_serial::unpack_buffer(&hit).unwrap();
+        assert_eq!(view.routing, hitting.uuid(), "hit must be routed to the hitting task");
+        assert_ne!(view.routing, originating.uuid());
+        assert_eq!(view.codec, CodecTag::Json);
+        assert_eq!(view.body, b"42");
     }
 }

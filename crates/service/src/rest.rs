@@ -301,6 +301,8 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Ok(v) => v,
                 Err(_) => return bad_request("bad task id"),
             };
+            // A successful fetch stamps `retrieved_at`, arming the §4.1
+            // purge TTL — unfetched results are never purged.
             match service.get_result(&bearer, task) {
                 Ok(None) => ok_json(&serde_json::json!({ "pending": true })),
                 Ok(Some(TaskOutcome::Success(body))) => {

@@ -5,7 +5,6 @@
 //! records. The REST layer and the in-proc SDK both call these methods; the
 //! per-endpoint forwarders consume the queues.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -19,10 +18,10 @@ use funcx_types::ids::Uuid;
 use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState};
 use funcx_types::time::SharedClock;
 use funcx_types::{ContainerImageId, EndpointId, FuncxError, FunctionId, Result, TaskId, UserId};
-use parking_lot::RwLock;
 
 use crate::config::ServiceConfig;
 use crate::memo::MemoCache;
+use crate::tasks::TaskStore;
 
 /// One task submission (the unit of the batch API).
 #[derive(Debug, Clone)]
@@ -95,8 +94,10 @@ pub struct FuncxService {
     pub trace: Arc<TraceRing>,
     pub(crate) instruments: Instruments,
     pub(crate) serializer: Serializer,
-    /// Task lifecycle records (the Redis task hashset of §4.1).
-    pub(crate) tasks: RwLock<HashMap<TaskId, TaskRecord>>,
+    /// Task lifecycle records (the Redis task hashset of §4.1), sharded
+    /// so pollers, submitters, and forwarders contend per-shard, never on
+    /// one global lock.
+    pub(crate) tasks: TaskStore,
 }
 
 impl FuncxService {
@@ -116,7 +117,7 @@ impl FuncxService {
             trace,
             instruments,
             serializer: Serializer::default(),
-            tasks: RwLock::new(HashMap::new()),
+            tasks: TaskStore::new(config.task_shards),
             config,
             clock,
         })
@@ -336,9 +337,11 @@ impl FuncxService {
         self.instruments.tasks_submitted.inc();
 
         // Memoization short-circuit (§4.7): a hit never leaves the service.
+        // The cache stores unpacked bodies; `get_packed` repacks with THIS
+        // task's uuid, so the routing header never names the originating task.
         if request.allow_memo {
             let key = MemoCache::key(&function.source, &doc_body);
-            if let Some(cached) = self.memo.get(key) {
+            if let Some(cached) = self.memo.get_packed(key, task_id) {
                 self.charge_store();
                 record.transition(TaskState::WaitingForEndpoint);
                 record.transition(TaskState::DispatchedToEndpoint);
@@ -352,7 +355,7 @@ impl FuncxService {
                 if let Some(total) = record.timeline.total() {
                     self.instruments.task_latency.record(total);
                 }
-                self.tasks.write().insert(task_id, record);
+                self.tasks.insert(task_id, record);
                 self.trace.record("memo_hit", format!("task {task_id}"));
                 return Ok(task_id);
             }
@@ -361,7 +364,7 @@ impl FuncxService {
         self.charge_store();
         record.transition(TaskState::WaitingForEndpoint);
         record.timeline.queued_at_service = Some(self.clock.now());
-        self.tasks.write().insert(task_id, record);
+        self.tasks.insert(task_id, record);
         self.store
             .queue(request.endpoint_id, QueueKind::Task)
             .push_back(Bytes::copy_from_slice(&task_id.uuid().as_u128().to_be_bytes()));
@@ -376,38 +379,41 @@ impl FuncxService {
     pub fn status(&self, bearer: &str, task_id: TaskId) -> Result<TaskState> {
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::ViewTask)?;
-        let tasks = self.tasks.read();
-        let record = tasks
-            .get(&task_id)
+        let (owner, state) = self
+            .tasks
+            .read_record(task_id, |r| (r.spec.user_id, r.state))
             .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?;
-        if record.spec.user_id != user {
+        if owner != user {
             return Err(FuncxError::Forbidden("not the submitting user".into()));
         }
-        Ok(record.state)
+        Ok(state)
     }
 
     /// Fetch a task's outcome once terminal; `Ok(None)` while still in
-    /// flight. Figure 3 step 6. Retrieval arms the record's purge TTL.
+    /// flight. Figure 3 step 6. A successful retrieval (re-)arms the
+    /// record's purge TTL — un-retrieved results are never purged.
     pub fn get_result(&self, bearer: &str, task_id: TaskId) -> Result<Option<TaskOutcome>> {
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::ViewTask)?;
         self.charge_store();
-        let tasks = self.tasks.read();
-        let record = tasks
-            .get(&task_id)
-            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?;
-        if record.spec.user_id != user {
-            return Err(FuncxError::Forbidden("not the submitting user".into()));
-        }
-        Ok(record.outcome.clone())
+        let now = self.clock.now();
+        self.tasks
+            .with_record_mut(task_id, |record| {
+                if record.spec.user_id != user {
+                    return Err(FuncxError::Forbidden("not the submitting user".into()));
+                }
+                if record.outcome.is_some() {
+                    record.retrieved_at = Some(now);
+                }
+                Ok(record.outcome.clone())
+            })
+            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?
     }
 
     /// Full record (timeline instrumentation for the Figure 4 breakdown).
     pub fn task_record(&self, task_id: TaskId) -> Result<TaskRecord> {
         self.tasks
-            .read()
-            .get(&task_id)
-            .cloned()
+            .get_cloned(task_id)
             .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))
     }
 
@@ -416,14 +422,14 @@ impl FuncxService {
     pub fn timeline(&self, bearer: &str, task_id: TaskId) -> Result<TaskRecord> {
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::ViewTask)?;
-        let tasks = self.tasks.read();
-        let record = tasks
-            .get(&task_id)
+        let record = self
+            .tasks
+            .get_cloned(task_id)
             .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?;
         if record.spec.user_id != user {
             return Err(FuncxError::Forbidden("not the submitting user".into()));
         }
-        Ok(record.clone())
+        Ok(record)
     }
 
     /// One endpoint's health: registry record plus the latest agent-side
@@ -477,26 +483,26 @@ impl FuncxService {
         self.metrics.render_prometheus()
     }
 
-    /// Purge records whose results were retrieved more than the configured
-    /// TTL ago (§4.1's periodic purge). Returns reclaimed count.
+    /// Purge records whose results were *retrieved* more than the
+    /// configured TTL ago (§4.1 purges results "once they have been
+    /// retrieved"). A terminal record the user never fetched is kept —
+    /// purging it would silently destroy a result nobody has seen.
+    /// Proceeds shard-by-shard; the table is never frozen whole. Returns
+    /// reclaimed count.
     pub fn purge_retrieved(&self) -> usize {
         let now = self.clock.now();
         let ttl = self.config.retrieved_result_ttl;
-        let mut tasks = self.tasks.write();
-        let before = tasks.len();
-        tasks.retain(|_, r| {
+        self.tasks.retain(|_, r| {
             !(r.state.is_terminal()
-                && r.timeline
-                    .result_stored
+                && r.retrieved_at
                     .map(|t| now.saturating_duration_since(t) >= ttl)
                     .unwrap_or(false))
-        });
-        before - tasks.len()
+        })
     }
 
-    /// Number of live task records.
+    /// Number of live task records (summed shard-by-shard).
     pub fn task_count(&self) -> usize {
-        self.tasks.read().len()
+        self.tasks.len()
     }
 
     // ---- internal: used by the forwarder ------------------------------------
@@ -628,11 +634,12 @@ mod tests {
         assert!(svc.status(&token, TaskId::from_u128(404)).is_err());
     }
 
-    #[test]
-    fn memo_hit_completes_without_touching_queue() {
-        let (svc, token, ep, f) = service();
-        // Prime the cache by hand (end-to-end priming is integration-tested
-        // with a live endpoint).
+    /// Prime the memo cache for `f(21)` with the encoded document `42`,
+    /// returning the (codec, body) that was cached.
+    fn prime_memo(
+        svc: &FuncxService,
+        f: FunctionId,
+    ) -> (funcx_serial::CodecTag, Vec<u8>) {
         let function = svc.functions.get(f).unwrap();
         let doc = Value::Dict(vec![
             ("args".into(), Value::List(vec![Value::Int(21)])),
@@ -640,29 +647,60 @@ mod tests {
         ]);
         let (_, doc_body) = svc.serializer.serialize(&Payload::Document(doc)).unwrap();
         let key = MemoCache::key(&function.source, &doc_body);
-        svc.memo.insert(key, vec![42]);
+        let (codec, result_body) =
+            svc.serializer.serialize(&Payload::Document(Value::Int(42))).unwrap();
+        svc.memo.insert(key, codec, result_body.clone());
+        (codec, result_body)
+    }
+
+    #[test]
+    fn memo_hit_completes_without_touching_queue() {
+        let (svc, token, ep, f) = service();
+        // Prime the cache by hand (end-to-end priming is integration-tested
+        // with a live endpoint).
+        let (codec, result_body) = prime_memo(&svc, f);
 
         let mut req = request(f, ep);
         req.allow_memo = true;
         let task = svc.submit(&token, req).unwrap();
         assert_eq!(svc.status(&token, task).unwrap(), TaskState::Success);
-        assert_eq!(
-            svc.get_result(&token, task).unwrap(),
-            Some(TaskOutcome::Success(vec![42]))
-        );
+        let Some(TaskOutcome::Success(packed)) = svc.get_result(&token, task).unwrap() else {
+            panic!("expected a successful cached outcome");
+        };
+        let view = funcx_serial::unpack_buffer(&packed).unwrap();
+        assert_eq!(view.codec, codec);
+        assert_eq!(view.body, &result_body[..]);
         assert_eq!(svc.store.queue_len(ep, QueueKind::Task), 0, "no dispatch on a hit");
+    }
+
+    #[test]
+    fn memo_hit_result_carries_hitting_tasks_routing_header() {
+        let (svc, token, ep, f) = service();
+        let _ = prime_memo(&svc, f);
+
+        // Two distinct tasks hit the same cache entry; each must receive
+        // bytes whose pack header names *itself*, not whichever task
+        // populated the cache.
+        for _ in 0..2 {
+            let mut req = request(f, ep);
+            req.allow_memo = true;
+            let task = svc.submit(&token, req).unwrap();
+            let Some(TaskOutcome::Success(packed)) = svc.get_result(&token, task).unwrap() else {
+                panic!("expected a cached outcome");
+            };
+            let view = funcx_serial::unpack_buffer(&packed).unwrap();
+            assert_eq!(
+                view.routing,
+                task.uuid(),
+                "memo hit must be repacked with the hitting task's uuid"
+            );
+        }
     }
 
     #[test]
     fn memo_disabled_by_default() {
         let (svc, token, ep, f) = service();
-        let function = svc.functions.get(f).unwrap();
-        let doc = Value::Dict(vec![
-            ("args".into(), Value::List(vec![Value::Int(21)])),
-            ("kwargs".into(), Value::Dict(vec![])),
-        ]);
-        let (_, doc_body) = svc.serializer.serialize(&Payload::Document(doc)).unwrap();
-        svc.memo.insert(MemoCache::key(&function.source, &doc_body), vec![42]);
+        let _ = prime_memo(&svc, f);
         let task = svc.submit(&token, request(f, ep)).unwrap();
         assert_eq!(svc.status(&token, task).unwrap(), TaskState::WaitingForEndpoint);
     }
@@ -730,6 +768,20 @@ mod tests {
         );
     }
 
+    /// Drive a submitted task's record to Success directly (no endpoint).
+    fn fabricate_success(svc: &FuncxService, task: TaskId, now: funcx_types::time::VirtualInstant) {
+        svc.tasks
+            .with_record_mut(task, |r| {
+                r.transition(TaskState::DispatchedToEndpoint);
+                r.transition(TaskState::WaitingForLaunch);
+                r.transition(TaskState::Running);
+                r.transition(TaskState::Success);
+                r.outcome = Some(TaskOutcome::Success(vec![]));
+                r.timeline.result_stored = Some(now);
+            })
+            .expect("task exists");
+    }
+
     #[test]
     fn purge_reclaims_only_retrieved_terminal_tasks() {
         let clock = ManualClock::new();
@@ -746,21 +798,48 @@ mod tests {
             .register_function(&token, "f", "def f():\n    return 0\n", "f", None, Sharing::default())
             .unwrap();
         let pending = svc.submit(&token, request(f, ep)).unwrap();
-        // Fabricate a completed task by driving the record directly.
         let done = svc.submit(&token, request(f, ep)).unwrap();
-        {
-            let mut tasks = svc.tasks.write();
-            let r = tasks.get_mut(&done).unwrap();
-            r.transition(TaskState::DispatchedToEndpoint);
-            r.transition(TaskState::WaitingForLaunch);
-            r.transition(TaskState::Running);
-            r.transition(TaskState::Success);
-            r.outcome = Some(TaskOutcome::Success(vec![]));
-            r.timeline.result_stored = Some(clock.now());
-        }
+        fabricate_success(&svc, done, clock.now());
+        // The client fetches the result — this is what arms the purge TTL.
+        assert!(svc.get_result(&token, done).unwrap().is_some());
         clock.advance(std::time::Duration::from_secs(61));
         assert_eq!(svc.purge_retrieved(), 1);
         assert!(svc.task_record(pending).is_ok(), "pending tasks survive purge");
         assert!(svc.task_record(done).is_err());
+    }
+
+    #[test]
+    fn unretrieved_results_survive_purge_until_fetched() {
+        let clock = ManualClock::new();
+        let svc = FuncxService::new(
+            Arc::clone(&clock) as SharedClock,
+            ServiceConfig {
+                retrieved_result_ttl: std::time::Duration::from_secs(60),
+                ..ServiceConfig::default()
+            },
+        );
+        let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
+        let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
+        let f = svc
+            .register_function(&token, "f", "def f():\n    return 0\n", "f", None, Sharing::default())
+            .unwrap();
+        let fetched = svc.submit(&token, request(f, ep)).unwrap();
+        let unfetched = svc.submit(&token, request(f, ep)).unwrap();
+        fabricate_success(&svc, fetched, clock.now());
+        fabricate_success(&svc, unfetched, clock.now());
+        assert!(svc.get_result(&token, fetched).unwrap().is_some());
+        // Both are terminal with results stored; far more than the TTL
+        // elapses, but only the retrieved one may be purged.
+        clock.advance(std::time::Duration::from_secs(3600));
+        assert_eq!(svc.purge_retrieved(), 1);
+        assert!(svc.task_record(fetched).is_err(), "retrieved result purged");
+        let outcome = svc
+            .get_result(&token, unfetched)
+            .expect("never-retrieved result must not be destroyed");
+        assert!(outcome.is_some(), "result still available to its first reader");
+        // That first retrieval armed the TTL: now the purge may take it.
+        clock.advance(std::time::Duration::from_secs(61));
+        assert_eq!(svc.purge_retrieved(), 1);
+        assert!(svc.task_record(unfetched).is_err());
     }
 }

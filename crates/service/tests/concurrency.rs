@@ -1,0 +1,182 @@
+//! Integration: concurrent status polling against a live deployment.
+//!
+//! Guards the sharded task store (PR 3): 8 poller threads hammer
+//! `status`/`get_result` while an endpoint executes a task batch. Every
+//! task must complete, every poll must return a coherent lifecycle state,
+//! and no result may be lost — under the old single-global-lock table this
+//! workload serialized pollers behind the forwarder's batch write
+//! sections; under shards it must simply work. Virtual-clock-fast.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_auth::{IdentityProvider, Scope};
+use funcx_endpoint::{Agent, EndpointConfig, Manager};
+use funcx_proto::channel::inproc_pair;
+use funcx_registry::Sharing;
+use funcx_serial::Serializer;
+use funcx_service::service::SubmitRequest;
+use funcx_service::{FuncxService, ServiceConfig};
+use funcx_types::task::{TaskOutcome, TaskState};
+use funcx_types::time::{RealClock, SharedClock};
+use funcx_types::{EndpointId, TaskId};
+
+const POLLERS: usize = 8;
+const TASKS: usize = 48;
+
+struct Deployment {
+    service: Arc<FuncxService>,
+    token: String,
+    endpoint_id: EndpointId,
+    _forwarder: funcx_service::forwarder::Forwarder,
+    agent: Agent,
+    managers: Vec<Manager>,
+}
+
+fn deploy() -> Deployment {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(
+        Arc::clone(&clock),
+        ServiceConfig { heartbeat_timeout: Duration::from_secs(600), ..ServiceConfig::default() },
+    );
+    let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    let endpoint_id = service.register_endpoint(&token, "laptop", "", false).unwrap();
+    let (forwarder, agent_channel) =
+        service.connect_endpoint(endpoint_id, Duration::ZERO).unwrap();
+    let config = EndpointConfig {
+        workers_per_manager: 4,
+        dispatch_overhead: Duration::ZERO,
+        heartbeat_period: Duration::from_secs(2),
+        heartbeat_timeout: Duration::from_secs(600),
+        ..EndpointConfig::default()
+    };
+    let agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
+    let (agent_side, mgr_side) = inproc_pair();
+    let manager =
+        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
+    agent.attach_manager(agent_side);
+    Deployment { service, token, endpoint_id, _forwarder: forwarder, agent, managers: vec![manager] }
+}
+
+#[test]
+fn status_pollers_do_not_starve_or_observe_lost_results() {
+    let mut d = deploy();
+    let f = d
+        .service
+        .register_function(
+            &d.token,
+            "busy",
+            "def busy(x):\n    sleep(5)\n    return x * 2\n",
+            "busy",
+            None,
+            Sharing::default(),
+        )
+        .unwrap();
+
+    let tasks: Arc<Vec<TaskId>> = Arc::new(
+        (0..TASKS as i64)
+            .map(|i| {
+                d.service
+                    .submit(
+                        &d.token,
+                        SubmitRequest {
+                            function_id: f,
+                            endpoint_id: d.endpoint_id,
+                            args: vec![funcx_lang::Value::Int(i)],
+                            kwargs: vec![],
+                            allow_memo: false,
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect(),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let poll_count = Arc::new(AtomicU64::new(0));
+    let mut pollers = Vec::new();
+    for p in 0..POLLERS {
+        let service = Arc::clone(&d.service);
+        let token = d.token.clone();
+        let tasks = Arc::clone(&tasks);
+        let stop = Arc::clone(&stop);
+        let poll_count = Arc::clone(&poll_count);
+        pollers.push(std::thread::spawn(move || {
+            let mut i = p; // stagger start offsets
+            while !stop.load(Ordering::Relaxed) {
+                let task = tasks[i % tasks.len()];
+                // Status must always answer with a coherent lifecycle state,
+                // even mid-dispatch.
+                let state = service.status(&token, task).expect("status never errors");
+                // A terminal state implies the outcome is readable — results
+                // must never be observable-lost.
+                if state.is_terminal() {
+                    let outcome = service
+                        .get_result(&token, task)
+                        .expect("get_result never errors")
+                        .expect("terminal task must hold an outcome");
+                    assert!(
+                        matches!(outcome, TaskOutcome::Success(_)),
+                        "task failed under polling load: {outcome:?}"
+                    );
+                }
+                poll_count.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+            }
+        }));
+    }
+
+    // Await completion of the whole batch while the pollers hammer away
+    // (5 virtual s of work at 1000x ≈ 5 ms wall per wave).
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let done = tasks
+            .iter()
+            .filter(|&&t| d.service.status(&d.token, t).unwrap().is_terminal())
+            .count();
+        if done == tasks.len() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {done}/{} tasks terminal before deadline",
+            tasks.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for h in pollers {
+        h.join().expect("poller panicked");
+    }
+
+    // No lost results: every task is Success and every outcome is present
+    // and correct.
+    for (i, &task) in tasks.iter().enumerate() {
+        assert_eq!(d.service.status(&d.token, task).unwrap(), TaskState::Success);
+        let outcome = d.service.get_result(&d.token, task).unwrap().unwrap();
+        let TaskOutcome::Success(bytes) = outcome else {
+            panic!("task {task} failed");
+        };
+        let (routing, payload) =
+            Serializer::default().deserialize_packed(&bytes).expect("well-formed result");
+        assert_eq!(routing, task.uuid(), "result routed to the wrong task");
+        assert_eq!(
+            payload.as_document(),
+            Some(&funcx_lang::Value::Int(i as i64 * 2)),
+            "wrong result body for task {i}"
+        );
+    }
+    // The pollers actually exercised the store concurrently.
+    assert!(
+        poll_count.load(Ordering::Relaxed) > (TASKS * POLLERS) as u64,
+        "pollers barely ran: {}",
+        poll_count.load(Ordering::Relaxed)
+    );
+
+    for m in &mut d.managers {
+        m.stop();
+    }
+    d.agent.stop();
+}

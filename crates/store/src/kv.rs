@@ -103,13 +103,26 @@ impl KvStore {
     }
 
     /// Set a TTL on an existing field; false if the field is absent.
+    ///
+    /// A field whose TTL has already lapsed (but which no sweep has
+    /// physically removed yet) counts as absent: retargeting it here would
+    /// resurrect data every other operation already reports as gone.
     pub fn expire(&self, key: &str, field: &str, ttl: VirtualDuration) -> bool {
-        let at = self.now() + ttl;
+        let now = self.now();
         let mut guard = self.hashes.write();
-        match guard.get_mut(key).and_then(|h| h.get_mut(field)) {
-            Some(e) => {
-                e.expires_at = Some(at);
+        let Some(hash) = guard.get_mut(key) else { return false };
+        match hash.get_mut(field) {
+            Some(e) if e.expires_at.map(|at| now < at).unwrap_or(true) => {
+                e.expires_at = Some(now + ttl);
                 true
+            }
+            Some(_) => {
+                // Logically expired: reclaim it now instead of re-arming it.
+                hash.remove(field);
+                if hash.is_empty() {
+                    guard.remove(key);
+                }
+                false
             }
             None => false,
         }
@@ -200,6 +213,25 @@ mod tests {
         assert!(!kv.expire("r", "missing", Duration::from_secs(10)));
         clock.advance(Duration::from_secs(11));
         assert!(kv.hget("r", "t1").is_none());
+    }
+
+    #[test]
+    fn expire_does_not_resurrect_lazily_expired_fields() {
+        let (clock, kv) = store();
+        kv.hset_with_ttl("r", "t1", Bytes::from_static(b"x"), Some(Duration::from_secs(5)));
+        clock.advance(Duration::from_secs(6));
+        // The field is logically gone (no sweep has run yet); re-arming its
+        // TTL must not bring it back to life.
+        assert!(!kv.expire("r", "t1", Duration::from_secs(100)));
+        assert!(kv.hget("r", "t1").is_none());
+        assert_eq!(kv.hlen("r"), 0);
+        // And the entry was physically reclaimed, not left for sweep.
+        assert_eq!(kv.sweep(), 0);
+        // A live field still retargets normally.
+        kv.hset_with_ttl("r", "t2", Bytes::from_static(b"y"), Some(Duration::from_secs(5)));
+        assert!(kv.expire("r", "t2", Duration::from_secs(100)));
+        clock.advance(Duration::from_secs(50));
+        assert!(kv.hget("r", "t2").is_some());
     }
 
     #[test]

@@ -236,6 +236,12 @@ pub struct TaskRecord {
     pub timeline: TaskTimeline,
     /// Terminal outcome once `state.is_terminal()`.
     pub outcome: Option<TaskOutcome>,
+    /// When the owner last fetched the outcome. Retrieval — not result
+    /// storage — arms the purge TTL (§4.1 purges results "once they have
+    /// been retrieved"); a terminal record the user never fetched must
+    /// survive until they do.
+    #[serde(default)]
+    pub retrieved_at: Option<VirtualInstant>,
     /// How many times this task was (re)delivered to an endpoint; >1 means
     /// the at-least-once machinery redelivered it after a failure.
     pub delivery_count: u32,
@@ -249,6 +255,7 @@ impl TaskRecord {
             state: TaskState::Received,
             timeline: TaskTimeline { received: Some(now), ..TaskTimeline::default() },
             outcome: None,
+            retrieved_at: None,
             delivery_count: 0,
         }
     }
