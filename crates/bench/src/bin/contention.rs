@@ -68,6 +68,7 @@ fn record(id: TaskId, payload: Vec<u8>) -> TaskRecord {
             task_id: id,
             function_id: FunctionId::from_u128(7),
             endpoint_id: EndpointId::from_u128(9),
+            pool: None,
             user_id: UserId::from_u128(11),
             payload,
             container: None,

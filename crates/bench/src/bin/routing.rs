@@ -1,0 +1,325 @@
+//! `routing` — pool routing policies over heterogeneous endpoints.
+//!
+//! ```sh
+//! cargo run --release -p funcx-bench --bin routing            # full
+//! cargo run --release -p funcx-bench --bin routing -- --quick # CI sizes
+//! ```
+//!
+//! Deploys one pool over three deliberately mismatched endpoints —
+//! **fast** (8 workers), **slow** (1 worker), **flaky** (2 workers behind
+//! 300 ms of WAN) — and drives the same waved `sleep(…)` workload through
+//! each routing policy in its own fresh deployment. Round-robin ignores
+//! the mismatch and gives the slow member a third of every wave, so its
+//! backlog sets the makespan and the p99; least-outstanding reads the
+//! heartbeat `EndpointStatsReport` backlog and starves the slow member
+//! instead. A final failover scenario kills the flaky member mid-batch
+//! and counts lost tasks (must be zero — the router re-dispatches the
+//! victim's outstanding work to healthy members).
+//!
+//! Emits `BENCH_routing.json` with the per-policy latency/makespan series.
+
+use std::time::Duration;
+
+use funcx::deploy::{TestBed, TestBedBuilder};
+use funcx::prelude::*;
+use funcx_types::time::VirtualInstant;
+
+/// Virtual-clock speedup: 1 s of function sleep costs 5 ms of wall time.
+/// Kept moderate so wall-clock scheduling jitter (fractions of a ms) stays
+/// small against the virtual intervals being measured.
+const SPEEDUP: f64 = 200.0;
+/// Each task holds a worker for this long (virtual seconds). At 1 s the
+/// pool drains 11 tasks/s (8 fast + 1 slow + 2 flaky), so an 8-task wave
+/// per second keeps the pool loaded but not overloaded — round-robin's
+/// 2.67 tasks/s to the slow member then outruns its 1 task/s drain and
+/// its backlog sets the tail.
+const TASK_SLEEP_SECS: f64 = 1.0;
+/// Virtual gap between submission waves.
+const WAVE_GAP: Duration = Duration::from_secs(1);
+
+struct Scenario {
+    waves: usize,
+    wave_size: usize,
+}
+
+impl Scenario {
+    fn new(quick: bool) -> Self {
+        if quick {
+            Scenario { waves: 8, wave_size: 8 }
+        } else {
+            Scenario { waves: 20, wave_size: 8 }
+        }
+    }
+
+    fn tasks(&self) -> usize {
+        self.waves * self.wave_size
+    }
+}
+
+/// One heterogeneous deployment: the builder's default endpoint is the
+/// fast member; slow and flaky join via `add_endpoint`.
+struct Fabric {
+    bed: TestBed,
+    fast: EndpointId,
+    slow: EndpointId,
+    flaky: EndpointId,
+    pool: PoolId,
+    f: FunctionId,
+}
+
+fn deploy(policy: RoutingPolicy) -> Fabric {
+    let mut bed = TestBedBuilder::new()
+        .speedup(SPEEDUP)
+        .managers(1)
+        .workers_per_manager(8)
+        .build();
+    let fast = bed.endpoint_id;
+    let slow = bed.add_endpoint("slow", 1, 1, Duration::ZERO);
+    let flaky = bed.add_endpoint("flaky", 1, 2, Duration::from_millis(300));
+    let pool = bed
+        .client
+        .create_pool("hetero", vec![fast, slow, flaky], policy, false)
+        .expect("pool creates");
+    let f = bed
+        .client
+        .register_function(
+            &format!("def work(x):\n    sleep({TASK_SLEEP_SECS})\n    return x\n"),
+            "work",
+        )
+        .expect("function registers");
+    Fabric { bed, fast, slow, flaky, pool, f }
+}
+
+struct PolicyRun {
+    policy: RoutingPolicy,
+    makespan_secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Tasks placed on (fast, slow, flaky).
+    split: (usize, usize, usize),
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+/// Drive `scenario` through one policy on a fresh fabric; measure on the
+/// virtual clock via the task timelines (received → result_stored).
+fn run_policy(policy: RoutingPolicy, scenario: &Scenario) -> PolicyRun {
+    let mut fabric = deploy(policy);
+    let wall_gap = Duration::from_secs_f64(WAVE_GAP.as_secs_f64() / SPEEDUP);
+
+    let mut tasks: Vec<TaskId> = Vec::with_capacity(scenario.tasks());
+    for wave in 0..scenario.waves {
+        let inputs: Vec<Vec<Value>> = (0..scenario.wave_size)
+            .map(|i| vec![Value::Int((wave * scenario.wave_size + i) as i64)])
+            .collect();
+        let batch = fabric
+            .bed
+            .client
+            .fmap(
+                fabric.f,
+                inputs,
+                fabric.pool,
+                FmapSpec::by_size(scenario.wave_size).unwrap(),
+            )
+            .expect("wave submits");
+        tasks.extend(batch);
+        std::thread::sleep(wall_gap);
+    }
+
+    let results = fabric
+        .bed
+        .client
+        .get_results(&tasks, Duration::from_secs(120))
+        .expect("all tasks complete");
+    assert_eq!(results.len(), tasks.len());
+
+    let mut first_received = VirtualInstant(u64::MAX);
+    let mut last_stored = VirtualInstant(0);
+    let mut latencies_ms: Vec<f64> = Vec::with_capacity(tasks.len());
+    let mut split = (0usize, 0usize, 0usize);
+    for &task in &tasks {
+        let record = fabric.bed.service.timeline(&fabric.bed.token, task).expect("timeline");
+        let tl = &record.timeline;
+        let received = tl.received.expect("stamped");
+        let stored = tl.result_stored.expect("stamped");
+        if received.0 < first_received.0 {
+            first_received = received;
+        }
+        if stored.0 > last_stored.0 {
+            last_stored = stored;
+        }
+        latencies_ms.push(tl.total().expect("complete timeline").as_secs_f64() * 1e3);
+        match record.spec.endpoint_id {
+            e if e == fabric.fast => split.0 += 1,
+            e if e == fabric.slow => split.1 += 1,
+            e if e == fabric.flaky => split.2 += 1,
+            other => panic!("task landed outside the pool: {other}"),
+        }
+    }
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let routed = fabric
+        .bed
+        .service
+        .metrics
+        .counter_value("funcx_tasks_routed_total", &[("policy", policy.as_str())])
+        .unwrap_or(0);
+    assert_eq!(routed as usize, tasks.len(), "every task must be router-placed");
+
+    fabric.bed.shutdown();
+    PolicyRun {
+        policy,
+        makespan_secs: last_stored.saturating_duration_since(first_received).as_secs_f64(),
+        p50_ms: percentile(&latencies_ms, 0.50),
+        p99_ms: percentile(&latencies_ms, 0.99),
+        split,
+    }
+}
+
+struct FailoverRun {
+    tasks: usize,
+    lost: usize,
+    rerouted: u64,
+    circuits_opened: u64,
+}
+
+/// Kill the flaky member while a batch is in flight: the circuit must
+/// open and every task must still complete on the healthy members.
+fn run_failover(scenario: &Scenario) -> FailoverRun {
+    let mut fabric = deploy(RoutingPolicy::LeastOutstanding);
+    let n = scenario.tasks().min(60);
+    let inputs: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Int(i as i64)]).collect();
+    let tasks = fabric
+        .bed
+        .client
+        .fmap(fabric.f, inputs, fabric.pool, FmapSpec::by_size(n).unwrap())
+        .expect("batch submits");
+
+    let flaky = fabric.flaky;
+    fabric.bed.kill_endpoint(flaky);
+
+    let results = fabric
+        .bed
+        .client
+        .get_results(&tasks, Duration::from_secs(120))
+        .expect("every task survives the failover");
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r, Value::Int(i as i64));
+    }
+    let rerouted = fabric
+        .bed
+        .service
+        .metrics
+        .counter_value("funcx_tasks_rerouted_total", &[])
+        .unwrap_or(0);
+    let circuits_opened = fabric
+        .bed
+        .service
+        .metrics
+        .counter_value("funcx_circuits_opened_total", &[])
+        .unwrap_or(0);
+    fabric.bed.shutdown();
+    FailoverRun { tasks: n, lost: n - results.len(), rerouted, circuits_opened }
+}
+
+fn policy_json(r: &PolicyRun) -> String {
+    format!(
+        "{{\"policy\": \"{}\", \"makespan_virtual_secs\": {:.3}, \"p50_ms\": {:.1}, \
+         \"p99_ms\": {:.1}, \"tasks_fast\": {}, \"tasks_slow\": {}, \"tasks_flaky\": {}}}",
+        r.policy.as_str(),
+        r.makespan_secs,
+        r.p50_ms,
+        r.p99_ms,
+        r.split.0,
+        r.split.1,
+        r.split.2,
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let scenario = Scenario::new(quick);
+    println!(
+        "pool routing: {} tasks ({} waves x {}), sleep({TASK_SLEEP_SECS}) each, \
+         endpoints fast=8w slow=1w flaky=2w+300ms",
+        scenario.tasks(),
+        scenario.waves,
+        scenario.wave_size
+    );
+    println!(
+        "{:>18} {:>14} {:>10} {:>10} {:>18}",
+        "policy", "makespan (vs)", "p50 (ms)", "p99 (ms)", "fast/slow/flaky"
+    );
+
+    let policies = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastOutstanding,
+        RoutingPolicy::CapacityWeighted,
+    ];
+    let mut runs = Vec::new();
+    for policy in policies {
+        let r = run_policy(policy, &scenario);
+        println!(
+            "{:>18} {:>14.3} {:>10.1} {:>10.1} {:>18}",
+            r.policy.as_str(),
+            r.makespan_secs,
+            r.p50_ms,
+            r.p99_ms,
+            format!("{}/{}/{}", r.split.0, r.split.1, r.split.2)
+        );
+        runs.push(r);
+    }
+
+    let rr = runs.iter().find(|r| r.policy == RoutingPolicy::RoundRobin).unwrap();
+    let lo = runs.iter().find(|r| r.policy == RoutingPolicy::LeastOutstanding).unwrap();
+    let lo_beats_rr = lo.makespan_secs <= rr.makespan_secs && lo.p99_ms <= rr.p99_ms;
+    println!(
+        "least-outstanding vs round-robin: makespan {:.3}s vs {:.3}s, p99 {:.0}ms vs {:.0}ms{}",
+        lo.makespan_secs,
+        rr.makespan_secs,
+        lo.p99_ms,
+        rr.p99_ms,
+        if lo_beats_rr { "" } else { "  ** REGRESSION **" }
+    );
+
+    let failover = run_failover(&scenario);
+    println!(
+        "failover: {} tasks, {} lost, {} rerouted, {} circuit trips",
+        failover.tasks, failover.lost, failover.rerouted, failover.circuits_opened
+    );
+    assert_eq!(failover.lost, 0, "killing a pool member must lose zero tasks");
+
+    let policy_points: Vec<String> = runs.iter().map(policy_json).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"pool_routing\",\n  \"quick\": {quick},\n  \"tasks\": {},\n  \
+         \"waves\": {},\n  \"wave_size\": {},\n  \"task_sleep_secs\": {TASK_SLEEP_SECS},\n  \
+         \"speedup\": {SPEEDUP},\n  \"endpoints\": [\n    \
+         {{\"name\": \"fast\", \"workers\": 8, \"wan_ms\": 0}},\n    \
+         {{\"name\": \"slow\", \"workers\": 1, \"wan_ms\": 0}},\n    \
+         {{\"name\": \"flaky\", \"workers\": 2, \"wan_ms\": 300}}\n  ],\n  \
+         \"policies\": [\n    {}\n  ],\n  \
+         \"least_outstanding_vs_round_robin_makespan_ratio\": {:.3},\n  \
+         \"least_outstanding_beats_round_robin\": {lo_beats_rr},\n  \
+         \"failover\": {{\"tasks\": {}, \"lost\": {}, \"rerouted\": {}, \"circuits_opened\": {}}}\n}}\n",
+        scenario.tasks(),
+        scenario.waves,
+        scenario.wave_size,
+        policy_points.join(",\n    "),
+        lo.makespan_secs / rr.makespan_secs.max(1e-9),
+        failover.tasks,
+        failover.lost,
+        failover.rerouted,
+        failover.circuits_opened,
+    );
+    std::fs::write("BENCH_routing.json", json).expect("write BENCH_routing.json");
+    println!(
+        "\nwrote BENCH_routing.json (least-outstanding/round-robin makespan ratio: {:.3})",
+        lo.makespan_secs / rr.makespan_secs.max(1e-9)
+    );
+}

@@ -80,7 +80,7 @@ pub fn measure_submission(tasks: usize, batch: usize) -> f64 {
         let requests: Vec<SubmitRequest> = (0..n)
             .map(|_| SubmitRequest {
                 function_id: f,
-                endpoint_id: bed.endpoint_id,
+                target: bed.endpoint_id.into(),
                 args: vec![],
                 kwargs: vec![],
                 allow_memo: false,
@@ -149,7 +149,7 @@ mod tests {
         let f = bed.client.register_function("def f():\n    return None\n", "f").unwrap();
         let request = || SubmitRequest {
             function_id: f,
-            endpoint_id: bed.endpoint_id,
+            target: bed.endpoint_id.into(),
             args: vec![],
             kwargs: vec![],
             allow_memo: false,

@@ -276,6 +276,29 @@ impl TestBed {
         self.extra_endpoints.iter().map(|e| e.endpoint_id).collect()
     }
 
+    /// Abruptly kill an extra endpoint mid-run: its managers die first (so
+    /// in-flight work never completes), then the agent severs its link and
+    /// this call blocks until the service-side forwarder has noticed and
+    /// run its loss handling (requeue + pool re-dispatch). The fabric-level
+    /// failover scenario behind the pool routing tests.
+    pub fn kill_endpoint(&mut self, endpoint_id: EndpointId) {
+        let Some(pos) =
+            self.extra_endpoints.iter().position(|e| e.endpoint_id == endpoint_id)
+        else {
+            panic!("kill_endpoint: {endpoint_id} is not an extra endpoint");
+        };
+        let mut extra = self.extra_endpoints.remove(pos);
+        for m in &mut extra.managers {
+            m.kill();
+        }
+        extra.agent.disconnect_forwarder();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while extra._forwarder.is_running() && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        extra.agent.stop();
+    }
+
     /// The agent handle (stats, failure injection).
     pub fn agent(&self) -> &Agent {
         self.agent.as_ref().expect("agent lives until shutdown")

@@ -33,7 +33,7 @@ pub use funcx_lang::{LangError, Value};
 pub use funcx_sdk::{FmapSpec, FuncXClient, InProcApi, RestApi, ServiceApi};
 pub use funcx_service::{FuncxService, ServiceConfig, SubmitRequest};
 pub use funcx_types::{
-    EndpointId, FuncxError, FunctionId, Result, TaskId, UserId,
+    EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId, UserId,
 };
 
 /// Commonly used items in one import.
@@ -42,5 +42,7 @@ pub mod prelude {
     pub use funcx_lang::Value;
     pub use funcx_sdk::{FmapSpec, FuncXClient};
     pub use funcx_types::task::{TaskOutcome, TaskState};
-    pub use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+    pub use funcx_types::{
+        EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
+    };
 }

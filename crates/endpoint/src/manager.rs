@@ -32,6 +32,10 @@ use funcx_types::{ContainerImageId, FuncxError, ManagerId};
 use crate::config::EndpointConfig;
 use crate::worker::{spawn_worker_thread, Worker, WorkerCommand};
 
+/// What a worker thread reports back: its slot index, the container it
+/// holds after the task (for warm reuse), and the task's result.
+type SlotResult = (usize, Option<ContainerImageId>, TaskResult);
+
 /// Handle to a running manager (the node-level process).
 pub struct Manager {
     manager_id: ManagerId,
@@ -124,10 +128,7 @@ fn run_manager_loop(
     shutdown: Arc<AtomicBool>,
 ) {
     // Spawn the node's workers.
-    let (result_tx, result_rx): (
-        Sender<(usize, Option<ContainerImageId>, TaskResult)>,
-        Receiver<(usize, Option<ContainerImageId>, TaskResult)>,
-    ) = unbounded();
+    let (result_tx, result_rx): (Sender<SlotResult>, Receiver<SlotResult>) = unbounded();
     let mut slots: Vec<Slot> = (0..config.workers_per_manager)
         .map(|i| {
             let (cmd_tx, cmd_rx) = unbounded();

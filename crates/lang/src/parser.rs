@@ -9,6 +9,9 @@ use crate::ast::*;
 use crate::error::{LangError, LangResult};
 use crate::token::{Tok, Token};
 
+/// Positional and keyword arguments of a call expression.
+type CallArgs = (Vec<Expr>, Vec<(String, Expr)>);
+
 /// Parse a token stream (from [`crate::lexer::lex`]) into a [`Program`].
 pub fn parse_program(tokens: &[Token]) -> LangResult<Program> {
     let mut p = Parser { tokens, pos: 0, expr_depth: 0, block_depth: 0 };
@@ -473,7 +476,7 @@ impl<'a> Parser<'a> {
         Ok(expr)
     }
 
-    fn parse_call_args(&mut self) -> LangResult<(Vec<Expr>, Vec<(String, Expr)>)> {
+    fn parse_call_args(&mut self) -> LangResult<CallArgs> {
         let mut args = Vec::new();
         let mut kwargs: Vec<(String, Expr)> = Vec::new();
         while self.peek() != &Tok::RParen {

@@ -62,17 +62,15 @@ impl TcpChannel {
         std::thread::Builder::new()
             .name("funcx-tcp-reader".into())
             .spawn(move || {
-                loop {
-                    match read_frame(&mut reader) {
-                        Ok(body) => match Message::from_bytes(&body) {
-                            Ok(msg) => {
-                                if tx.send(msg).is_err() {
-                                    break;
-                                }
+                // Until EOF or a read error (peer gone):
+                while let Ok(body) = read_frame(&mut reader) {
+                    match Message::from_bytes(&body) {
+                        Ok(msg) => {
+                            if tx.send(msg).is_err() {
+                                break;
                             }
-                            Err(_) => break, // protocol violation: drop link
-                        },
-                        Err(_) => break, // EOF or error: peer gone
+                        }
+                        Err(_) => break, // protocol violation: drop link
                     }
                 }
                 closed_reader.store(true, Ordering::Release);

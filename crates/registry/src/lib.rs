@@ -8,6 +8,8 @@
 
 pub mod endpoint;
 pub mod function;
+pub mod pool;
 
 pub use endpoint::{EndpointRecord, EndpointRegistry, EndpointStatus};
 pub use function::{FunctionRecord, FunctionRegistry, Sharing};
+pub use pool::{PoolRecord, PoolRegistry};

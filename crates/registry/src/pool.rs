@@ -1,0 +1,305 @@
+//! Named endpoint pools.
+//!
+//! The HPDC paper pins every task to the endpoint the client named; the
+//! TPDS follow-up's fabric-directed routing lets the service choose among a
+//! group instead. A pool is that group: a named, registry-backed list of
+//! endpoint ids with a default routing policy and the same ownership /
+//! sharing model endpoints use — the router decides *which member* serves a
+//! task, this table decides *who may target the pool at all*.
+
+use std::collections::HashMap;
+
+use funcx_auth::GroupId;
+use funcx_types::time::VirtualInstant;
+use funcx_types::{EndpointId, FuncxError, PoolId, Result, RoutingPolicy, UserId};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+/// A registered endpoint pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolRecord {
+    /// Assigned at creation.
+    pub pool_id: PoolId,
+    /// Creating user; the only one who may change members/policy/sharing.
+    pub owner: UserId,
+    /// Display name (e.g. "theta-pool").
+    pub name: String,
+    /// Free-form description.
+    pub description: String,
+    /// Member endpoints, in registration order. Duplicates are rejected.
+    pub members: Vec<EndpointId>,
+    /// Routing policy the service applies to pool-targeted submissions.
+    pub policy: RoutingPolicy,
+    /// Users allowed to target this pool (empty + !public = owner only).
+    pub allowed_users: Vec<UserId>,
+    /// Groups allowed to target this pool.
+    pub allowed_groups: Vec<GroupId>,
+    /// Anyone may target this pool.
+    pub public: bool,
+    /// Virtual creation time.
+    pub created_at: VirtualInstant,
+}
+
+impl PoolRecord {
+    /// May `user` submit tasks to this pool?
+    pub fn may_use(&self, user: UserId, in_allowed_group: impl Fn(&[GroupId]) -> bool) -> bool {
+        self.owner == user
+            || self.public
+            || self.allowed_users.contains(&user)
+            || (!self.allowed_groups.is_empty() && in_allowed_group(&self.allowed_groups))
+    }
+}
+
+/// Thread-safe pool table.
+pub struct PoolRegistry {
+    by_id: RwLock<HashMap<PoolId, PoolRecord>>,
+}
+
+impl PoolRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        PoolRegistry { by_id: RwLock::new(HashMap::new()) }
+    }
+
+    /// Create a pool. Members must be non-empty and duplicate-free; the
+    /// caller (the service) is responsible for checking each member exists
+    /// and is usable by `owner` before calling.
+    #[allow(clippy::too_many_arguments)]
+    pub fn create(
+        &self,
+        owner: UserId,
+        name: &str,
+        description: &str,
+        members: Vec<EndpointId>,
+        policy: RoutingPolicy,
+        public: bool,
+        now: VirtualInstant,
+    ) -> Result<PoolId> {
+        validate_members(&members)?;
+        let pool_id = PoolId::random();
+        let record = PoolRecord {
+            pool_id,
+            owner,
+            name: name.to_string(),
+            description: description.to_string(),
+            members,
+            policy,
+            allowed_users: Vec::new(),
+            allowed_groups: Vec::new(),
+            public,
+            created_at: now,
+        };
+        self.by_id.write().insert(pool_id, record);
+        Ok(pool_id)
+    }
+
+    /// Fetch a pool.
+    pub fn get(&self, id: PoolId) -> Result<PoolRecord> {
+        self.by_id
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or_else(|| FuncxError::PoolNotFound(id.to_string()))
+    }
+
+    /// Replace the member list (owner only).
+    pub fn set_members(&self, id: PoolId, caller: UserId, members: Vec<EndpointId>) -> Result<()> {
+        validate_members(&members)?;
+        self.with_owned(id, caller, |rec| rec.members = members)
+    }
+
+    /// Change the routing policy (owner only).
+    pub fn set_policy(&self, id: PoolId, caller: UserId, policy: RoutingPolicy) -> Result<()> {
+        self.with_owned(id, caller, |rec| rec.policy = policy)
+    }
+
+    /// Update the sharing lists (owner only).
+    pub fn set_sharing(
+        &self,
+        id: PoolId,
+        caller: UserId,
+        allowed_users: Vec<UserId>,
+        allowed_groups: Vec<GroupId>,
+        public: bool,
+    ) -> Result<()> {
+        self.with_owned(id, caller, |rec| {
+            rec.allowed_users = allowed_users;
+            rec.allowed_groups = allowed_groups;
+            rec.public = public;
+        })
+    }
+
+    /// Delete a pool (owner only). In-flight tasks already routed through
+    /// it keep their endpoint assignment; only new submissions are refused.
+    pub fn delete(&self, id: PoolId, caller: UserId) -> Result<()> {
+        let mut guard = self.by_id.write();
+        let rec = guard.get_mut(&id).ok_or_else(|| FuncxError::PoolNotFound(id.to_string()))?;
+        if rec.owner != caller {
+            return Err(FuncxError::Forbidden(format!("user {caller} does not own pool {id}")));
+        }
+        guard.remove(&id);
+        Ok(())
+    }
+
+    /// Pools visible to `user` (owner, shared, or public).
+    pub fn visible_to(
+        &self,
+        user: UserId,
+        in_allowed_group: impl Fn(&[GroupId]) -> bool,
+    ) -> Vec<PoolRecord> {
+        let mut pools: Vec<PoolRecord> = self
+            .by_id
+            .read()
+            .values()
+            .filter(|r| r.may_use(user, &in_allowed_group))
+            .cloned()
+            .collect();
+        pools.sort_by_key(|r| r.pool_id);
+        pools
+    }
+
+    /// Pools containing `endpoint` as a member (failover scans these).
+    pub fn containing(&self, endpoint: EndpointId) -> Vec<PoolRecord> {
+        self.by_id
+            .read()
+            .values()
+            .filter(|r| r.members.contains(&endpoint))
+            .cloned()
+            .collect()
+    }
+
+    /// Total registered pools.
+    pub fn len(&self) -> usize {
+        self.by_id.read().len()
+    }
+
+    /// True if none are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn with_owned(
+        &self,
+        id: PoolId,
+        caller: UserId,
+        mutate: impl FnOnce(&mut PoolRecord),
+    ) -> Result<()> {
+        let mut guard = self.by_id.write();
+        let rec = guard.get_mut(&id).ok_or_else(|| FuncxError::PoolNotFound(id.to_string()))?;
+        if rec.owner != caller {
+            return Err(FuncxError::Forbidden(format!("user {caller} does not own pool {id}")));
+        }
+        mutate(rec);
+        Ok(())
+    }
+}
+
+fn validate_members(members: &[EndpointId]) -> Result<()> {
+    if members.is_empty() {
+        return Err(FuncxError::BadRequest("pool must have at least one member".into()));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for m in members {
+        if !seen.insert(*m) {
+            return Err(FuncxError::BadRequest(format!("duplicate pool member {m}")));
+        }
+    }
+    Ok(())
+}
+
+impl Default for PoolRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: VirtualInstant = VirtualInstant::ZERO;
+
+    fn eps(n: u128) -> Vec<EndpointId> {
+        (1..=n).map(EndpointId::from_u128).collect()
+    }
+
+    #[test]
+    fn create_get_delete_lifecycle() {
+        let reg = PoolRegistry::new();
+        let owner = UserId::from_u128(1);
+        let id = reg
+            .create(owner, "theta-pool", "", eps(3), RoutingPolicy::RoundRobin, false, T0)
+            .unwrap();
+        let rec = reg.get(id).unwrap();
+        assert_eq!(rec.members.len(), 3);
+        assert_eq!(rec.policy, RoutingPolicy::RoundRobin);
+        reg.delete(id, owner).unwrap();
+        assert!(matches!(reg.get(id), Err(FuncxError::PoolNotFound(_))));
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate_members() {
+        let reg = PoolRegistry::new();
+        let owner = UserId::from_u128(1);
+        assert!(matches!(
+            reg.create(owner, "p", "", vec![], RoutingPolicy::RoundRobin, false, T0),
+            Err(FuncxError::BadRequest(_))
+        ));
+        let dup = vec![EndpointId::from_u128(1), EndpointId::from_u128(1)];
+        assert!(matches!(
+            reg.create(owner, "p", "", dup, RoutingPolicy::RoundRobin, false, T0),
+            Err(FuncxError::BadRequest(_))
+        ));
+        let id = reg.create(owner, "p", "", eps(2), RoutingPolicy::RoundRobin, false, T0).unwrap();
+        assert!(reg.set_members(id, owner, vec![]).is_err());
+        assert_eq!(reg.get(id).unwrap().members, eps(2), "failed update left members intact");
+    }
+
+    #[test]
+    fn only_owner_mutates() {
+        let reg = PoolRegistry::new();
+        let owner = UserId::from_u128(1);
+        let other = UserId::from_u128(2);
+        let id = reg.create(owner, "p", "", eps(2), RoutingPolicy::RoundRobin, false, T0).unwrap();
+        assert!(matches!(
+            reg.set_members(id, other, eps(3)),
+            Err(FuncxError::Forbidden(_))
+        ));
+        assert!(matches!(
+            reg.set_policy(id, other, RoutingPolicy::LeastOutstanding),
+            Err(FuncxError::Forbidden(_))
+        ));
+        assert!(matches!(reg.delete(id, other), Err(FuncxError::Forbidden(_))));
+        reg.set_policy(id, owner, RoutingPolicy::LeastOutstanding).unwrap();
+        assert_eq!(reg.get(id).unwrap().policy, RoutingPolicy::LeastOutstanding);
+    }
+
+    #[test]
+    fn sharing_gates_use() {
+        let reg = PoolRegistry::new();
+        let owner = UserId::from_u128(1);
+        let friend = UserId::from_u128(2);
+        let stranger = UserId::from_u128(3);
+        let id = reg.create(owner, "p", "", eps(2), RoutingPolicy::RoundRobin, false, T0).unwrap();
+        assert!(reg.get(id).unwrap().may_use(owner, |_| false));
+        assert!(!reg.get(id).unwrap().may_use(friend, |_| false));
+        reg.set_sharing(id, owner, vec![friend], vec![], false).unwrap();
+        assert!(reg.get(id).unwrap().may_use(friend, |_| false));
+        assert!(!reg.get(id).unwrap().may_use(stranger, |_| false));
+        assert_eq!(reg.visible_to(friend, |_| false).len(), 1);
+        assert_eq!(reg.visible_to(stranger, |_| false).len(), 0);
+    }
+
+    #[test]
+    fn containing_finds_pools_for_failover() {
+        let reg = PoolRegistry::new();
+        let owner = UserId::from_u128(1);
+        let a = reg.create(owner, "a", "", eps(2), RoutingPolicy::RoundRobin, false, T0).unwrap();
+        let _b = reg
+            .create(owner, "b", "", vec![EndpointId::from_u128(9)], RoutingPolicy::RoundRobin, false, T0)
+            .unwrap();
+        let hits = reg.containing(EndpointId::from_u128(2));
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].pool_id, a);
+    }
+}

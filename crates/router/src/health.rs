@@ -1,0 +1,268 @@
+//! Liveness classification and the consecutive-failure circuit breaker.
+//!
+//! The paper treats the heartbeat stream — not the TCP session — as the
+//! liveness signal (§3.5): a forwarder declares an endpoint lost when
+//! heartbeats stop, and the service requeues its outstanding tasks. The
+//! router layers two more signals on top of that:
+//!
+//! * **report age** — an endpoint whose last `EndpointStatsReport` is older
+//!   than [`RouterConfig::max_report_age`] is treated as dead even while its
+//!   connection is nominally up (a wedged agent still holds a socket);
+//! * **circuit breaker** — [`RouterConfig::failure_threshold`] consecutive
+//!   failures open the endpoint's circuit for [`RouterConfig::cooldown`],
+//!   after which it is half-open: the next route may try it again, and a
+//!   success closes it.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use funcx_types::time::{VirtualDuration, VirtualInstant};
+use funcx_types::EndpointId;
+
+/// Tunables for health classification and circuit breaking.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// A stats report older than this marks the endpoint dead for routing
+    /// purposes, even while its forwarder connection is up.
+    pub max_report_age: VirtualDuration,
+    /// Consecutive recorded failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit stays open before the endpoint becomes
+    /// half-open (eligible to be tried again).
+    pub cooldown: VirtualDuration,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            max_report_age: VirtualDuration::from_secs(30),
+            failure_threshold: 3,
+            cooldown: VirtualDuration::from_secs(60),
+        }
+    }
+}
+
+/// Router-facing liveness tier of one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Connected, circuit closed, reports fresh (or none demanded yet).
+    /// Preferred tier: routing only leaves it when empty.
+    Healthy,
+    /// Registered but never connected. The service store-and-forwards (§3.3),
+    /// so these remain routable when no healthy member exists — tasks queue
+    /// until the endpoint first connects.
+    Unknown,
+    /// Circuit open, reports stale, or disconnected after having connected.
+    /// Never routed to while a Healthy or Unknown member exists.
+    Dead,
+}
+
+impl HealthState {
+    /// Stable lower-case name for REST payloads and metric labels.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            HealthState::Healthy => "healthy",
+            HealthState::Unknown => "unknown",
+            HealthState::Dead => "dead",
+        }
+    }
+}
+
+/// Circuit-breaker position for one endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CircuitState {
+    /// Failures below threshold; endpoint routable.
+    Closed,
+    /// Tripped; endpoint excluded from routing until `until` passes.
+    Open { until: VirtualInstant },
+}
+
+impl CircuitState {
+    /// True if the circuit blocks routing at `now`.
+    pub fn is_open(&self, now: VirtualInstant) -> bool {
+        matches!(self, CircuitState::Open { until } if *until > now)
+    }
+
+    /// Stable lower-case name for REST payloads.
+    pub fn as_str(&self, now: VirtualInstant) -> &'static str {
+        if self.is_open(now) {
+            "open"
+        } else {
+            "closed"
+        }
+    }
+}
+
+/// Point-in-time health view of one endpoint, for `/v1/pools/<id>/status`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSnapshot {
+    /// Failures since the last success.
+    pub consecutive_failures: u32,
+    /// Current breaker position.
+    pub circuit: CircuitState,
+}
+
+#[derive(Default)]
+struct EndpointHealth {
+    consecutive_failures: u32,
+    open_until: Option<VirtualInstant>,
+}
+
+/// Tracks per-endpoint failure streaks and circuit state.
+///
+/// Deliberately clock-free: every query takes `now` so the same tracker is
+/// deterministic under `ManualClock`-driven tests and proptests.
+pub struct HealthTracker {
+    failure_threshold: u32,
+    cooldown: VirtualDuration,
+    inner: Mutex<HashMap<EndpointId, EndpointHealth>>,
+}
+
+impl HealthTracker {
+    /// Build a tracker from the router tunables.
+    pub fn new(config: &RouterConfig) -> Self {
+        HealthTracker {
+            failure_threshold: config.failure_threshold.max(1),
+            cooldown: config.cooldown,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Record one failure against `endpoint`. Returns `true` if this failure
+    /// newly opened the circuit (callers use that edge to bump the
+    /// `circuits_opened` counter exactly once per trip).
+    pub fn record_failure(&self, endpoint: EndpointId, now: VirtualInstant) -> bool {
+        let mut map = self.inner.lock();
+        let h = map.entry(endpoint).or_default();
+        h.consecutive_failures = h.consecutive_failures.saturating_add(1);
+        let was_open = matches!(h.open_until, Some(until) if until > now);
+        if h.consecutive_failures >= self.failure_threshold {
+            h.open_until = Some(now + self.cooldown);
+            !was_open
+        } else {
+            false
+        }
+    }
+
+    /// Force the circuit open regardless of the failure count. Used when the
+    /// forwarder positively observes an agent loss — a definitive signal that
+    /// should not wait out the threshold. Returns `true` if newly opened.
+    pub fn trip(&self, endpoint: EndpointId, now: VirtualInstant) -> bool {
+        let mut map = self.inner.lock();
+        let h = map.entry(endpoint).or_default();
+        h.consecutive_failures = h.consecutive_failures.max(self.failure_threshold);
+        let was_open = matches!(h.open_until, Some(until) if until > now);
+        h.open_until = Some(now + self.cooldown);
+        !was_open
+    }
+
+    /// Record a success: resets the failure streak and closes the circuit
+    /// (a half-open endpoint that serves one task is trusted again).
+    pub fn record_success(&self, endpoint: EndpointId) {
+        let mut map = self.inner.lock();
+        if let Some(h) = map.get_mut(&endpoint) {
+            h.consecutive_failures = 0;
+            h.open_until = None;
+        }
+    }
+
+    /// True if `endpoint`'s circuit blocks routing at `now`.
+    pub fn is_open(&self, endpoint: EndpointId, now: VirtualInstant) -> bool {
+        self.circuit(endpoint, now).is_open(now)
+    }
+
+    /// Current breaker position for `endpoint`.
+    pub fn circuit(&self, endpoint: EndpointId, now: VirtualInstant) -> CircuitState {
+        let map = self.inner.lock();
+        match map.get(&endpoint).and_then(|h| h.open_until) {
+            Some(until) if until > now => CircuitState::Open { until },
+            _ => CircuitState::Closed,
+        }
+    }
+
+    /// Point-in-time health view for status reporting.
+    pub fn snapshot(&self, endpoint: EndpointId, now: VirtualInstant) -> HealthSnapshot {
+        let map = self.inner.lock();
+        let (failures, open_until) = map
+            .get(&endpoint)
+            .map(|h| (h.consecutive_failures, h.open_until))
+            .unwrap_or((0, None));
+        let circuit = match open_until {
+            Some(until) if until > now => CircuitState::Open { until },
+            _ => CircuitState::Closed,
+        };
+        HealthSnapshot { consecutive_failures: failures, circuit }
+    }
+
+    /// Drop all state for `endpoint` (deregistration).
+    pub fn forget(&self, endpoint: EndpointId) {
+        self.inner.lock().remove(&endpoint);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> VirtualInstant {
+        VirtualInstant::from_nanos(secs * 1_000_000_000)
+    }
+
+    fn tracker(threshold: u32, cooldown_secs: u64) -> HealthTracker {
+        HealthTracker::new(&RouterConfig {
+            failure_threshold: threshold,
+            cooldown: VirtualDuration::from_secs(cooldown_secs),
+            ..RouterConfig::default()
+        })
+    }
+
+    #[test]
+    fn circuit_opens_at_threshold_and_only_reports_new_once() {
+        let h = tracker(3, 60);
+        let ep = EndpointId::from_u128(1);
+        assert!(!h.record_failure(ep, t(0)));
+        assert!(!h.record_failure(ep, t(1)));
+        assert!(!h.is_open(ep, t(1)));
+        assert!(h.record_failure(ep, t(2)), "third failure trips");
+        assert!(h.is_open(ep, t(2)));
+        assert!(!h.record_failure(ep, t(3)), "already open: not a new trip");
+    }
+
+    #[test]
+    fn cooldown_half_opens_then_success_closes() {
+        let h = tracker(1, 10);
+        let ep = EndpointId::from_u128(2);
+        assert!(h.record_failure(ep, t(0)));
+        assert!(h.is_open(ep, t(5)));
+        assert!(!h.is_open(ep, t(10)), "cooldown elapsed: half-open");
+        assert_eq!(h.circuit(ep, t(10)), CircuitState::Closed);
+        // A failure while half-open re-trips immediately (streak persisted).
+        assert!(h.record_failure(ep, t(11)));
+        h.record_success(ep);
+        assert!(!h.is_open(ep, t(11)));
+        assert_eq!(h.snapshot(ep, t(11)).consecutive_failures, 0);
+    }
+
+    #[test]
+    fn trip_opens_immediately_and_success_recovers() {
+        let h = tracker(5, 30);
+        let ep = EndpointId::from_u128(3);
+        assert!(h.trip(ep, t(0)), "trip bypasses threshold");
+        assert!(h.is_open(ep, t(1)));
+        assert!(!h.trip(ep, t(2)), "re-trip while open is not new");
+        h.record_success(ep);
+        assert!(!h.is_open(ep, t(2)));
+    }
+
+    #[test]
+    fn unknown_endpoint_is_closed() {
+        let h = tracker(3, 60);
+        let ep = EndpointId::from_u128(4);
+        assert!(!h.is_open(ep, t(0)));
+        assert_eq!(h.snapshot(ep, t(0)).consecutive_failures, 0);
+        h.forget(ep);
+        assert!(!h.is_open(ep, t(0)));
+    }
+}

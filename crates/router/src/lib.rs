@@ -1,0 +1,28 @@
+//! `funcx-router` — health-aware routing across endpoint pools.
+//!
+//! The HPDC paper routes every task to the endpoint the *client* named; its
+//! §8 future work (and the TPDS follow-up's fabric-directed routing) ask
+//! the service to choose instead. This crate is that chooser, deliberately
+//! free of service plumbing so it can be driven from the live service, the
+//! benches, and property tests alike:
+//!
+//! * [`EndpointSnapshot`] — the router's read-only view of one candidate:
+//!   connection status, heartbeat-report age, and the load signals already
+//!   shipped on every heartbeat (`EndpointStatsReport`) plus the
+//!   service-side queue depth;
+//! * [`HealthTracker`] — consecutive-failure circuit breaker with cooldown
+//!   and heartbeat-age liveness classification ([`HealthState`]);
+//! * [`Router`] — per-pool policy state (round-robin cursors, smooth-WRR
+//!   credit, function-affinity stickiness) implementing the four
+//!   [`RoutingPolicy`](funcx_types::RoutingPolicy) strategies.
+//!
+//! The service resolves a pool-targeted submission by snapshotting the
+//! pool's members and calling [`Router::route`]; on endpoint loss it calls
+//! [`HealthTracker::record_failure`] and re-routes the dead endpoint's
+//! outstanding tasks through the same path (failover re-dispatch).
+
+pub mod health;
+pub mod policy;
+
+pub use health::{CircuitState, HealthSnapshot, HealthState, HealthTracker, RouterConfig};
+pub use policy::{EndpointSnapshot, Router};

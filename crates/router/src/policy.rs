@@ -1,0 +1,356 @@
+//! Routing policies over a pool of endpoint snapshots.
+//!
+//! [`Router::route`] picks one member of a pool for a task. Candidates are
+//! first partitioned by [`HealthState`]: routing never leaves the Healthy
+//! tier while it is non-empty, falls back to Unknown (never-connected,
+//! store-and-forward) members otherwise, and never selects a Dead one. The
+//! configured [`RoutingPolicy`] then chooses within the tier:
+//!
+//! | policy              | choice within the eligible tier                  |
+//! |---------------------|--------------------------------------------------|
+//! | `round_robin`       | per-pool cursor over members sorted by id        |
+//! | `least_outstanding` | minimum [`EndpointSnapshot::load`], id tie-break  |
+//! | `capacity_weighted` | smooth weighted RR, weight = `idle_slots + 1`    |
+//! | `function_affinity` | sticky (pool, function) → endpoint; falls back to |
+//! |                     | least-outstanding when the pinned member is gone  |
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use funcx_types::time::{VirtualDuration, VirtualInstant};
+use funcx_types::{EndpointId, FunctionId, PoolId, RoutingPolicy};
+
+use crate::health::{HealthState, HealthTracker, RouterConfig};
+
+/// The router's read-only view of one pool member at route time.
+///
+/// The service assembles these from the endpoint registry (connection
+/// status), the most recent heartbeat `EndpointStatsReport` (pending /
+/// outstanding / idle slots), and its own per-endpoint queue depth. The
+/// queue depth is the one signal that updates synchronously with every
+/// submit, so back-to-back routes inside a single batch already see the
+/// load they just created.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointSnapshot {
+    /// Which endpoint this describes.
+    pub endpoint_id: EndpointId,
+    /// Forwarder currently holds a live connection to the endpoint's agent.
+    pub online: bool,
+    /// The endpoint has connected at least once since registration.
+    pub ever_connected: bool,
+    /// Virtual age of the last stats report; `None` if none received yet.
+    pub report_age: Option<VirtualDuration>,
+    /// Tasks sitting in the service-side queue for this endpoint.
+    pub queued: usize,
+    /// Tasks pending on the endpoint per its last stats report.
+    pub pending: usize,
+    /// Tasks dispatched to the endpoint and not yet resulted.
+    pub outstanding: usize,
+    /// Idle worker slots per the last stats report.
+    pub idle_slots: usize,
+}
+
+impl EndpointSnapshot {
+    /// Total work attributed to this endpoint — the quantity
+    /// `least_outstanding` minimises.
+    pub fn load(&self) -> usize {
+        self.queued + self.pending + self.outstanding
+    }
+}
+
+#[derive(Default)]
+struct PoolState {
+    rr_cursor: usize,
+    wrr_credit: HashMap<EndpointId, i64>,
+    affinity: HashMap<FunctionId, EndpointId>,
+}
+
+/// Health-aware policy router. One instance serves every pool; all state is
+/// internally locked, so the service shares it behind an `Arc`.
+pub struct Router {
+    config: RouterConfig,
+    health: HealthTracker,
+    pools: Mutex<HashMap<PoolId, PoolState>>,
+}
+
+impl Router {
+    /// Build a router with the given tunables.
+    pub fn new(config: RouterConfig) -> Self {
+        let health = HealthTracker::new(&config);
+        Router { config, health, pools: Mutex::new(HashMap::new()) }
+    }
+
+    /// The tunables this router was built with.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// The shared circuit-breaker / failure-streak tracker.
+    pub fn health(&self) -> &HealthTracker {
+        &self.health
+    }
+
+    /// Classify one candidate into its routing tier at `now`.
+    pub fn classify(&self, snap: &EndpointSnapshot, now: VirtualInstant) -> HealthState {
+        if self.health.is_open(snap.endpoint_id, now) {
+            return HealthState::Dead;
+        }
+        if !snap.online {
+            return if snap.ever_connected { HealthState::Dead } else { HealthState::Unknown };
+        }
+        match snap.report_age {
+            Some(age) if age > self.config.max_report_age => HealthState::Dead,
+            _ => HealthState::Healthy,
+        }
+    }
+
+    /// Choose a pool member for one task, or `None` if every candidate is
+    /// Dead (caller surfaces `NoHealthyEndpoint`).
+    ///
+    /// The chosen snapshot's `outstanding` is bumped in place so callers
+    /// that route a whole batch against one snapshot slice (the bench, the
+    /// proptests) see load feedback without rebuilding snapshots; callers
+    /// that rebuild per submit simply discard the bump.
+    pub fn route(
+        &self,
+        pool: PoolId,
+        policy: RoutingPolicy,
+        function: FunctionId,
+        candidates: &mut [EndpointSnapshot],
+        now: VirtualInstant,
+    ) -> Option<EndpointId> {
+        let mut healthy: Vec<usize> = Vec::new();
+        let mut unknown: Vec<usize> = Vec::new();
+        for (i, snap) in candidates.iter().enumerate() {
+            match self.classify(snap, now) {
+                HealthState::Healthy => healthy.push(i),
+                HealthState::Unknown => unknown.push(i),
+                HealthState::Dead => {}
+            }
+        }
+        let mut tier = if healthy.is_empty() { unknown } else { healthy };
+        if tier.is_empty() {
+            return None;
+        }
+        // Deterministic member order regardless of how the caller listed the
+        // pool — round-robin fairness depends on a stable cycle.
+        tier.sort_by_key(|&i| candidates[i].endpoint_id);
+
+        let mut pools = self.pools.lock();
+        let state = pools.entry(pool).or_default();
+        let pick = match policy {
+            RoutingPolicy::RoundRobin => {
+                let i = tier[state.rr_cursor % tier.len()];
+                state.rr_cursor = state.rr_cursor.wrapping_add(1);
+                i
+            }
+            RoutingPolicy::LeastOutstanding => least_loaded(candidates, &tier),
+            RoutingPolicy::CapacityWeighted => {
+                // Smooth weighted round-robin: every candidate earns its
+                // weight in credit each round; the richest runs and pays the
+                // total back. Spreads picks proportionally to idle capacity
+                // without bursts toward one member.
+                let weight =
+                    |i: usize| -> i64 { candidates[i].idle_slots as i64 + 1 };
+                let total: i64 = tier.iter().map(|&i| weight(i)).sum();
+                for &i in &tier {
+                    *state.wrr_credit.entry(candidates[i].endpoint_id).or_insert(0) += weight(i);
+                }
+                let best = tier
+                    .iter()
+                    .copied()
+                    .max_by_key(|&i| {
+                        (state.wrr_credit[&candidates[i].endpoint_id], std::cmp::Reverse(candidates[i].endpoint_id))
+                    })
+                    .expect("tier is non-empty");
+                *state
+                    .wrr_credit
+                    .get_mut(&candidates[best].endpoint_id)
+                    .expect("credited above") -= total;
+                best
+            }
+            RoutingPolicy::FunctionAffinity => {
+                let pinned = state.affinity.get(&function).copied();
+                match pinned
+                    .and_then(|ep| tier.iter().copied().find(|&i| candidates[i].endpoint_id == ep))
+                {
+                    Some(i) => i,
+                    None => {
+                        // Pin (or re-pin after the pinned member died) to the
+                        // currently least-loaded eligible member.
+                        let i = least_loaded(candidates, &tier);
+                        state.affinity.insert(function, candidates[i].endpoint_id);
+                        i
+                    }
+                }
+            }
+        };
+        drop(pools);
+
+        candidates[pick].outstanding += 1;
+        Some(candidates[pick].endpoint_id)
+    }
+
+    /// Drop per-pool policy state (pool deletion).
+    pub fn forget_pool(&self, pool: PoolId) {
+        self.pools.lock().remove(&pool);
+    }
+}
+
+fn least_loaded(candidates: &[EndpointSnapshot], tier: &[usize]) -> usize {
+    tier.iter()
+        .copied()
+        .min_by_key(|&i| (candidates[i].load(), candidates[i].endpoint_id))
+        .expect("tier is non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> VirtualInstant {
+        VirtualInstant::from_nanos(secs * 1_000_000_000)
+    }
+
+    fn snap(id: u128) -> EndpointSnapshot {
+        EndpointSnapshot {
+            endpoint_id: EndpointId::from_u128(id),
+            online: true,
+            ever_connected: true,
+            report_age: Some(VirtualDuration::from_secs(1)),
+            queued: 0,
+            pending: 0,
+            outstanding: 0,
+            idle_slots: 4,
+        }
+    }
+
+    fn route_n(
+        router: &Router,
+        pool: PoolId,
+        policy: RoutingPolicy,
+        snaps: &mut [EndpointSnapshot],
+        n: usize,
+    ) -> Vec<EndpointId> {
+        let f = FunctionId::from_u128(0xf);
+        (0..n).filter_map(|_| router.route(pool, policy, f, snaps, t(2))).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_members_in_order() {
+        let router = Router::new(RouterConfig::default());
+        let pool = PoolId::from_u128(1);
+        let mut snaps = vec![snap(3), snap(1), snap(2)];
+        let picks = route_n(&router, pool, RoutingPolicy::RoundRobin, &mut snaps, 6);
+        let expect: Vec<EndpointId> =
+            [1u128, 2, 3, 1, 2, 3].iter().map(|&v| EndpointId::from_u128(v)).collect();
+        assert_eq!(picks, expect, "cycles sorted members regardless of caller order");
+    }
+
+    #[test]
+    fn least_outstanding_tracks_feedback() {
+        let router = Router::new(RouterConfig::default());
+        let pool = PoolId::from_u128(1);
+        let mut snaps = vec![snap(1), snap(2)];
+        snaps[0].outstanding = 5;
+        let picks = route_n(&router, pool, RoutingPolicy::LeastOutstanding, &mut snaps, 5);
+        // Endpoint 2 absorbs picks until it catches up with endpoint 1's
+        // five outstanding, then they alternate.
+        assert_eq!(
+            picks.iter().filter(|&&e| e == EndpointId::from_u128(2)).count(),
+            5,
+            "all early picks go to the idle member: {picks:?}"
+        );
+        assert_eq!(snaps[1].outstanding, 5, "feedback bump recorded");
+    }
+
+    #[test]
+    fn capacity_weighted_is_proportional() {
+        let router = Router::new(RouterConfig::default());
+        let pool = PoolId::from_u128(1);
+        let mut snaps = vec![snap(1), snap(2)];
+        snaps[0].idle_slots = 7; // weight 8
+        snaps[1].idle_slots = 1; // weight 2
+        let picks = route_n(&router, pool, RoutingPolicy::CapacityWeighted, &mut snaps, 10);
+        let big = picks.iter().filter(|&&e| e == EndpointId::from_u128(1)).count();
+        assert_eq!(big, 8, "weight-8 member gets 8 of 10 picks: {picks:?}");
+    }
+
+    #[test]
+    fn affinity_sticks_until_member_dies_then_repins() {
+        let router = Router::new(RouterConfig::default());
+        let pool = PoolId::from_u128(1);
+        let f = FunctionId::from_u128(0xf);
+        let mut snaps = vec![snap(1), snap(2)];
+        snaps[1].outstanding = 3; // first pin goes to the less-loaded 1
+        let first = router.route(pool, RoutingPolicy::FunctionAffinity, f, &mut snaps, t(2));
+        assert_eq!(first, Some(EndpointId::from_u128(1)));
+        for _ in 0..4 {
+            let again = router.route(pool, RoutingPolicy::FunctionAffinity, f, &mut snaps, t(2));
+            assert_eq!(again, first, "sticky while pinned member is eligible");
+        }
+        snaps[0].online = false; // pinned member dies (had connected)
+        let moved = router.route(pool, RoutingPolicy::FunctionAffinity, f, &mut snaps, t(2));
+        assert_eq!(moved, Some(EndpointId::from_u128(2)), "re-pins to survivor");
+        snaps[0].online = true;
+        let stays = router.route(pool, RoutingPolicy::FunctionAffinity, f, &mut snaps, t(2));
+        assert_eq!(stays, moved, "new pin persists even after old member returns");
+    }
+
+    #[test]
+    fn healthy_tier_shields_unknown_and_dead() {
+        let router = Router::new(RouterConfig::default());
+        let pool = PoolId::from_u128(1);
+        let mut snaps = vec![snap(1), snap(2), snap(3)];
+        snaps[1].online = false;
+        snaps[1].ever_connected = false; // Unknown
+        snaps[2].online = false; // Dead (had connected)
+        for _ in 0..6 {
+            let pick = router.route(pool, RoutingPolicy::RoundRobin, FunctionId::from_u128(9), &mut snaps, t(2));
+            assert_eq!(pick, Some(EndpointId::from_u128(1)), "only healthy member eligible");
+        }
+    }
+
+    #[test]
+    fn falls_back_to_unknown_then_none() {
+        let router = Router::new(RouterConfig::default());
+        let pool = PoolId::from_u128(1);
+        let f = FunctionId::from_u128(9);
+        let mut snaps = vec![snap(1), snap(2)];
+        snaps[0].online = false; // Dead
+        snaps[1].online = false;
+        snaps[1].ever_connected = false; // Unknown: store-and-forward target
+        let pick = router.route(pool, RoutingPolicy::LeastOutstanding, f, &mut snaps, t(2));
+        assert_eq!(pick, Some(EndpointId::from_u128(2)));
+        snaps[1].ever_connected = true; // now it too is Dead
+        assert_eq!(router.route(pool, RoutingPolicy::LeastOutstanding, f, &mut snaps, t(2)), None);
+    }
+
+    #[test]
+    fn stale_report_and_open_circuit_exclude_members() {
+        let config = RouterConfig {
+            max_report_age: VirtualDuration::from_secs(10),
+            failure_threshold: 1,
+            ..RouterConfig::default()
+        };
+        let router = Router::new(config);
+        let pool = PoolId::from_u128(1);
+        let f = FunctionId::from_u128(9);
+        let mut snaps = vec![snap(1), snap(2), snap(3)];
+        snaps[0].report_age = Some(VirtualDuration::from_secs(11)); // stale
+        router.health().record_failure(EndpointId::from_u128(2), t(0)); // circuit opens
+        for _ in 0..4 {
+            let pick = router.route(pool, RoutingPolicy::RoundRobin, f, &mut snaps, t(2));
+            assert_eq!(pick, Some(EndpointId::from_u128(3)));
+        }
+    }
+
+    #[test]
+    fn no_report_yet_counts_as_healthy_when_online() {
+        let router = Router::new(RouterConfig::default());
+        let mut s = snap(1);
+        s.report_age = None;
+        assert_eq!(router.classify(&s, t(2)), HealthState::Healthy);
+    }
+}

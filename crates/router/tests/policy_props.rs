@@ -1,0 +1,215 @@
+//! Property tests over the routing policies (ISSUE satellite): health
+//! gating, round-robin fairness, and least-outstanding greediness hold for
+//! arbitrary pool compositions and load shapes.
+
+use funcx_router::{EndpointSnapshot, Router, RouterConfig};
+use funcx_types::time::{VirtualDuration, VirtualInstant};
+use funcx_types::{EndpointId, FunctionId, PoolId, RoutingPolicy};
+use proptest::prelude::*;
+
+const MAX_REPORT_AGE_SECS: u64 = 30;
+
+fn now() -> VirtualInstant {
+    VirtualInstant::from_secs_f64(1000.0)
+}
+
+fn router() -> Router {
+    Router::new(RouterConfig {
+        max_report_age: VirtualDuration::from_secs(MAX_REPORT_AGE_SECS),
+        failure_threshold: 1,
+        cooldown: VirtualDuration::from_secs(3600),
+    })
+}
+
+/// How one generated pool member is degraded, if at all.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Degrade {
+    None,
+    StaleReport,
+    Offline,
+    OpenCircuit,
+}
+
+fn arb_degrade() -> impl Strategy<Value = Degrade> {
+    // Bias toward healthy members by repetition (the stubbed prop_oneof has
+    // no weight syntax): half the draws are `None`.
+    prop_oneof![
+        Just(Degrade::None),
+        Just(Degrade::None),
+        Just(Degrade::None),
+        Just(Degrade::StaleReport),
+        Just(Degrade::Offline),
+        Just(Degrade::OpenCircuit),
+    ]
+}
+
+#[derive(Debug, Clone)]
+struct Member {
+    degrade: Degrade,
+    queued: usize,
+    pending: usize,
+    outstanding: usize,
+    idle_slots: usize,
+}
+
+fn arb_member() -> impl Strategy<Value = Member> {
+    (arb_degrade(), (0usize..20, 0usize..20, 0usize..20, 0usize..16)).prop_map(
+        |(degrade, (queued, pending, outstanding, idle_slots))| Member {
+            degrade,
+            queued,
+            pending,
+            outstanding,
+            idle_slots,
+        },
+    )
+}
+
+fn arb_policy() -> impl Strategy<Value = RoutingPolicy> {
+    prop_oneof![
+        Just(RoutingPolicy::RoundRobin),
+        Just(RoutingPolicy::LeastOutstanding),
+        Just(RoutingPolicy::CapacityWeighted),
+        Just(RoutingPolicy::FunctionAffinity),
+    ]
+}
+
+/// Materialise generated members into snapshots, opening circuits on the
+/// router for members marked `OpenCircuit`.
+fn build(router: &Router, members: &[Member]) -> Vec<EndpointSnapshot> {
+    members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let endpoint_id = EndpointId::from_u128(i as u128 + 1);
+            if m.degrade == Degrade::OpenCircuit {
+                router.health().record_failure(endpoint_id, now());
+            }
+            EndpointSnapshot {
+                endpoint_id,
+                online: m.degrade != Degrade::Offline,
+                ever_connected: true,
+                report_age: Some(match m.degrade {
+                    Degrade::StaleReport => VirtualDuration::from_secs(MAX_REPORT_AGE_SECS + 1),
+                    _ => VirtualDuration::from_secs(1),
+                }),
+                queued: m.queued,
+                pending: m.pending,
+                outstanding: m.outstanding,
+                idle_slots: m.idle_slots,
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    /// While at least one healthy member exists, no policy ever routes to a
+    /// member with an open circuit, a stale stats report, or a dropped
+    /// connection.
+    #[test]
+    fn never_routes_to_degraded_member_while_healthy_exists(
+        members in proptest::collection::vec(arb_member(), 1..8),
+        policy in arb_policy(),
+        routes in 1usize..40,
+    ) {
+        let router = router();
+        let pool = PoolId::from_u128(0xb001);
+        let function = FunctionId::from_u128(0xf);
+        let mut snaps = build(&router, &members);
+        let healthy_exists = members.iter().any(|m| m.degrade == Degrade::None);
+        for _ in 0..routes {
+            let pick = router.route(pool, policy, function, &mut snaps, now());
+            if healthy_exists {
+                let picked = pick.expect("healthy member exists: route must succeed");
+                let idx = (picked.uuid().as_u128() - 1) as usize;
+                prop_assert_eq!(
+                    members[idx].degrade, Degrade::None,
+                    "policy {:?} routed to degraded member {:?}",
+                    policy, members[idx].degrade
+                );
+            } else {
+                // Every member degraded and ever-connected: nothing routable.
+                prop_assert_eq!(pick, None);
+            }
+        }
+    }
+
+    /// Round-robin is fair within ±1 over ANY contiguous window of picks,
+    /// not just in aggregate.
+    #[test]
+    fn round_robin_fair_within_one_over_any_window(
+        pool_size in 1usize..7,
+        routes in 1usize..60,
+        window in (0usize..60, 1usize..60),
+    ) {
+        let router = router();
+        let pool = PoolId::from_u128(7);
+        let function = FunctionId::from_u128(0xf);
+        let mut snaps = build(
+            &router,
+            &vec![
+                Member { degrade: Degrade::None, queued: 0, pending: 0, outstanding: 0, idle_slots: 1 };
+                pool_size
+            ],
+        );
+        let picks: Vec<EndpointId> = (0..routes)
+            .map(|_| {
+                router
+                    .route(pool, RoutingPolicy::RoundRobin, function, &mut snaps, now())
+                    .expect("all members healthy")
+            })
+            .collect();
+        let (start, len) = window;
+        let start = start % picks.len();
+        let end = (start + len).min(picks.len());
+        let mut counts = vec![0usize; pool_size];
+        for p in &picks[start..end] {
+            counts[(p.uuid().as_u128() - 1) as usize] += 1;
+        }
+        let max = counts.iter().max().copied().unwrap_or(0);
+        let min = counts.iter().min().copied().unwrap_or(0);
+        prop_assert!(
+            max - min <= 1,
+            "window [{start}, {end}) unfair: counts {counts:?}"
+        );
+    }
+
+    /// Least-outstanding never picks a member strictly more loaded than
+    /// another eligible member at the moment of the pick.
+    #[test]
+    fn least_outstanding_never_picks_strictly_more_loaded(
+        members in proptest::collection::vec(arb_member(), 1..8),
+        routes in 1usize..40,
+    ) {
+        let router = router();
+        let pool = PoolId::from_u128(9);
+        let function = FunctionId::from_u128(0xf);
+        let mut snaps = build(&router, &members);
+        if !members.iter().any(|m| m.degrade == Degrade::None) {
+            return Ok(()); // nothing routable; covered by the gating property
+        }
+        for _ in 0..routes {
+            let loads_before: Vec<(EndpointId, usize)> =
+                snaps.iter().map(|s| (s.endpoint_id, s.load())).collect();
+            let picked = router
+                .route(pool, RoutingPolicy::LeastOutstanding, function, &mut snaps, now())
+                .expect("healthy member exists");
+            let picked_load = loads_before
+                .iter()
+                .find(|(e, _)| *e == picked)
+                .map(|(_, l)| *l)
+                .unwrap();
+            let min_eligible = snaps
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| members[*i].degrade == Degrade::None)
+                .map(|(i, _)| loads_before[i].1)
+                .min()
+                .unwrap();
+            prop_assert_eq!(
+                picked_load, min_eligible,
+                "picked load {} but an eligible member had load {}",
+                picked_load, min_eligible
+            );
+        }
+    }
+}

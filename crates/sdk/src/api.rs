@@ -8,7 +8,9 @@ use funcx_registry::Sharing;
 use funcx_service::service::SubmitRequest;
 use funcx_service::FuncxService;
 use funcx_types::task::TaskState;
-use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+use funcx_types::{
+    EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
+};
 
 /// Terminal task value as the SDK sees it: the output document, or the
 /// remote error rendering.
@@ -20,6 +22,16 @@ pub trait ServiceApi: Send + Sync {
     fn register_function(&self, bearer: &str, source: &str, entry: &str) -> Result<FunctionId>;
     /// Register an endpoint.
     fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId>;
+    /// Create an endpoint pool; its id is submittable wherever an
+    /// endpoint id is.
+    fn create_pool(
+        &self,
+        bearer: &str,
+        name: &str,
+        members: Vec<EndpointId>,
+        policy: RoutingPolicy,
+        public: bool,
+    ) -> Result<PoolId>;
     /// Submit one task.
     fn submit(&self, bearer: &str, request: SubmitRequest) -> Result<TaskId>;
     /// Submit many tasks in one request.
@@ -52,6 +64,17 @@ impl ServiceApi for InProcApi {
 
     fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId> {
         self.service.register_endpoint(bearer, name, "", public)
+    }
+
+    fn create_pool(
+        &self,
+        bearer: &str,
+        name: &str,
+        members: Vec<EndpointId>,
+        policy: RoutingPolicy,
+        public: bool,
+    ) -> Result<PoolId> {
+        self.service.create_pool(bearer, name, "", members, policy, public)
     }
 
     fn submit(&self, bearer: &str, request: SubmitRequest) -> Result<TaskId> {
@@ -113,6 +136,8 @@ impl RestApi {
                 "forbidden" => FuncxError::Forbidden(msg),
                 "function_not_found" => FuncxError::FunctionNotFound(msg),
                 "endpoint_not_found" => FuncxError::EndpointNotFound(msg),
+                "pool_not_found" => FuncxError::PoolNotFound(msg),
+                "no_healthy_endpoint" => FuncxError::NoHealthyEndpoint(msg),
                 "task_not_found" => FuncxError::TaskNotFound(msg),
                 "bad_request" => FuncxError::BadRequest(msg),
                 _ => FuncxError::Internal(format!("{code}: {msg}")),
@@ -122,13 +147,22 @@ impl RestApi {
     }
 
     fn submit_body(request: &SubmitRequest) -> serde_json::Value {
-        serde_json::json!({
-            "function_id": request.function_id.to_string(),
-            "endpoint_id": request.endpoint_id.to_string(),
-            "args": request.args,
-            "kwargs": request.kwargs,
-            "allow_memo": request.allow_memo,
-        })
+        match request.target {
+            RouteTarget::Endpoint(ep) => serde_json::json!({
+                "function_id": request.function_id.to_string(),
+                "endpoint_id": ep.to_string(),
+                "args": request.args,
+                "kwargs": request.kwargs,
+                "allow_memo": request.allow_memo,
+            }),
+            RouteTarget::Pool(pool) => serde_json::json!({
+                "function_id": request.function_id.to_string(),
+                "pool": pool.to_string(),
+                "args": request.args,
+                "kwargs": request.kwargs,
+                "allow_memo": request.allow_memo,
+            }),
+        }
     }
 }
 
@@ -156,6 +190,31 @@ impl ServiceApi for RestApi {
         out["endpoint_id"]
             .as_str()
             .ok_or_else(|| FuncxError::ProtocolViolation("missing endpoint_id".into()))?
+            .parse()
+    }
+
+    fn create_pool(
+        &self,
+        bearer: &str,
+        name: &str,
+        members: Vec<EndpointId>,
+        policy: RoutingPolicy,
+        public: bool,
+    ) -> Result<PoolId> {
+        let out = self.call(
+            "POST",
+            "/v1/pools",
+            bearer,
+            serde_json::json!({
+                "name": name,
+                "members": members.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+                "policy": policy.as_str(),
+                "public": public,
+            }),
+        )?;
+        out["pool_id"]
+            .as_str()
+            .ok_or_else(|| FuncxError::ProtocolViolation("missing pool_id".into()))?
             .parse()
     }
 

@@ -6,7 +6,9 @@ use std::time::{Duration, Instant};
 use funcx_lang::Value;
 use funcx_service::service::SubmitRequest;
 use funcx_types::task::TaskState;
-use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+use funcx_types::{
+    EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
+};
 
 use crate::api::ServiceApi;
 use crate::fmap::FmapSpec;
@@ -46,18 +48,32 @@ impl FuncXClient {
         self.api.register_endpoint(&self.bearer, name, public)
     }
 
-    /// Invoke a function on an endpoint: Listing 1's
-    /// `fc.run(func_id, endpoint_id, fname='test.h5', ...)`.
+    /// Create an endpoint pool the service routes across; pool ids are
+    /// valid `run`/`fmap` targets wherever an endpoint id is.
+    pub fn create_pool(
+        &self,
+        name: &str,
+        members: Vec<EndpointId>,
+        policy: RoutingPolicy,
+        public: bool,
+    ) -> Result<PoolId> {
+        self.api.create_pool(&self.bearer, name, members, policy, public)
+    }
+
+    /// Invoke a function on an endpoint or pool: Listing 1's
+    /// `fc.run(func_id, endpoint_id, fname='test.h5', ...)`. The target
+    /// accepts an `EndpointId` (pinned, as in the paper) or a `PoolId`
+    /// (service-routed).
     pub fn run(
         &self,
         function_id: FunctionId,
-        endpoint_id: EndpointId,
+        target: impl Into<RouteTarget>,
         args: Vec<Value>,
         kwargs: Vec<(String, Value)>,
     ) -> Result<TaskId> {
         self.api.submit(
             &self.bearer,
-            SubmitRequest { function_id, endpoint_id, args, kwargs, allow_memo: false },
+            SubmitRequest { function_id, target: target.into(), args, kwargs, allow_memo: false },
         )
     }
 
@@ -66,13 +82,13 @@ impl FuncXClient {
     pub fn run_memoized(
         &self,
         function_id: FunctionId,
-        endpoint_id: EndpointId,
+        target: impl Into<RouteTarget>,
         args: Vec<Value>,
         kwargs: Vec<(String, Value)>,
     ) -> Result<TaskId> {
         self.api.submit(
             &self.bearer,
-            SubmitRequest { function_id, endpoint_id, args, kwargs, allow_memo: true },
+            SubmitRequest { function_id, target: target.into(), args, kwargs, allow_memo: true },
         )
     }
 
@@ -125,12 +141,13 @@ impl FuncXClient {
         &self,
         function_id: FunctionId,
         inputs: I,
-        endpoint_id: EndpointId,
+        target: impl Into<RouteTarget>,
         spec: FmapSpec,
     ) -> Result<Vec<TaskId>>
     where
         I: IntoIterator<Item = Vec<Value>>,
     {
+        let target = target.into();
         let mut all_ids = Vec::new();
         // Lazy, islice-style partitioning: at most one batch of requests is
         // ever materialized ("partitions the computation's iterator into
@@ -146,7 +163,7 @@ impl FuncXClient {
             for args in iter.by_ref().take(batch_size) {
                 requests.push(SubmitRequest {
                     function_id,
-                    endpoint_id,
+                    target,
                     args,
                     kwargs: vec![],
                     allow_memo: false,

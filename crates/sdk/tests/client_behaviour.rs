@@ -9,7 +9,7 @@ use funcx_sdk::api::{ServiceApi, TaskValue};
 use funcx_sdk::{FmapSpec, FuncXClient};
 use funcx_service::SubmitRequest;
 use funcx_types::task::TaskState;
-use funcx_types::{EndpointId, FuncxError, FunctionId, Result, TaskId};
+use funcx_types::{EndpointId, FuncxError, FunctionId, PoolId, Result, RoutingPolicy, TaskId};
 use parking_lot::Mutex;
 
 /// Records every call; scripts results.
@@ -34,6 +34,17 @@ impl ServiceApi for MockApi {
 
     fn register_endpoint(&self, _b: &str, _n: &str, _p: bool) -> Result<EndpointId> {
         Ok(EndpointId::from_u128(2))
+    }
+
+    fn create_pool(
+        &self,
+        _b: &str,
+        _n: &str,
+        _m: Vec<EndpointId>,
+        _p: RoutingPolicy,
+        _pub: bool,
+    ) -> Result<PoolId> {
+        Ok(PoolId::from_u128(3))
     }
 
     fn submit(&self, _b: &str, _r: SubmitRequest) -> Result<TaskId> {

@@ -261,8 +261,7 @@ mod tests {
         leaf.prop_recursive(4, 64, 8, |inner| {
             prop_oneof![
                 proptest::collection::vec(inner.clone(), 0..8).prop_map(Value::List),
-                proptest::collection::vec((".{0,8}", inner), 0..8)
-                    .prop_map(|pairs| Value::Dict(pairs)),
+                proptest::collection::vec((".{0,8}", inner), 0..8).prop_map(Value::Dict),
             ]
         })
     }

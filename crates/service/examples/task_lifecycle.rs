@@ -66,7 +66,7 @@ fn main() {
                     &token,
                     SubmitRequest {
                         function_id: f,
-                        endpoint_id,
+                        target: endpoint_id.into(),
                         args: vec![funcx_lang::Value::Int(i)],
                         kwargs: vec![],
                         allow_memo: true,
@@ -98,7 +98,7 @@ fn main() {
             &token,
             SubmitRequest {
                 function_id: f,
-                endpoint_id,
+                target: endpoint_id.into(),
                 args: vec![funcx_lang::Value::Int(3)],
                 kwargs: vec![],
                 allow_memo: true,

@@ -42,6 +42,15 @@ pub struct ServiceConfig {
     /// Capacity of the lifecycle trace ring (oldest events are dropped —
     /// and counted — beyond this).
     pub trace_capacity: usize,
+    /// Router liveness: a stats report older than this (virtual) marks the
+    /// endpoint dead for pool routing even while its connection is up.
+    pub router_max_report_age: VirtualDuration,
+    /// Router circuit breaker: consecutive failures that open an endpoint's
+    /// circuit.
+    pub router_failure_threshold: u32,
+    /// Router circuit breaker: how long an open circuit excludes the
+    /// endpoint from pool routing (virtual).
+    pub router_cooldown: VirtualDuration,
 }
 
 impl Default for ServiceConfig {
@@ -58,6 +67,20 @@ impl Default for ServiceConfig {
             memo_capacity: 100_000,
             task_shards: crate::tasks::DEFAULT_SHARDS,
             trace_capacity: 4096,
+            router_max_report_age: Duration::from_secs(30),
+            router_failure_threshold: 3,
+            router_cooldown: Duration::from_secs(60),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// The router tunables as a [`funcx_router::RouterConfig`].
+    pub fn router_config(&self) -> funcx_router::RouterConfig {
+        funcx_router::RouterConfig {
+            max_report_age: self.router_max_report_age,
+            failure_threshold: self.router_failure_threshold,
+            cooldown: self.router_cooldown,
         }
     }
 }

@@ -221,14 +221,14 @@ fn run_forwarder_loop(
                     Message::Heartbeat { seq } => {
                         let _ = channel.send(Message::HeartbeatAck { seq });
                     }
-                    Message::EndpointStatus { endpoint_id: claimed, report } => {
-                        if claimed == endpoint_id {
-                            let _ = service.endpoints.record_heartbeat(
-                                endpoint_id,
-                                report,
-                                clock.now(),
-                            );
-                        }
+                    Message::EndpointStatus { endpoint_id: claimed, report }
+                        if claimed == endpoint_id =>
+                    {
+                        let _ = service.endpoints.record_heartbeat(
+                            endpoint_id,
+                            report,
+                            clock.now(),
+                        );
                     }
                     Message::HeartbeatAck { .. } => {}
                     Message::RegisterEndpoint { .. } => {
@@ -259,15 +259,17 @@ fn run_forwarder_loop(
         }
     }
 
-    // Exit: return outstanding tasks to the queue for redelivery ("returns
-    // outstanding tasks back into the task queue", §4.1) and mark offline.
+    // Exit: hand the endpoint's work to the failover path — pool-routed
+    // tasks move to a healthy sibling, pinned tasks return to the queue for
+    // redelivery ("returns outstanding tasks back into the task queue",
+    // §4.1) — and mark the endpoint offline.
     if agent_lost {
-        let requeued = requeue_outstanding(&service, outstanding);
+        let (requeued, rerouted) = service.handle_endpoint_loss(endpoint_id, outstanding);
         service.instruments.tasks_requeued.add(requeued as u64);
-        let _ = service.endpoints.mark_offline(endpoint_id);
-        service
-            .trace
-            .record("endpoint_lost", format!("endpoint {endpoint_id} requeued {requeued}"));
+        service.trace.record(
+            "endpoint_lost",
+            format!("endpoint {endpoint_id} requeued {requeued} rerouted {rerouted}"),
+        );
     }
 }
 
@@ -456,40 +458,6 @@ fn store_results(
     }
 }
 
-/// Return outstanding tasks to the front of the queue for redelivery.
-///
-/// `outstanding` is in dispatch order; iterating it in *reverse* while
-/// `push_front`-ing leaves the queue front in original dispatch order, so
-/// a reconnecting agent receives redelivered work in the same FIFO order
-/// it was first dispatched (§4.1), ahead of any newer submissions.
-fn requeue_outstanding(service: &Arc<FuncxService>, outstanding: Vec<TaskId>) -> usize {
-    let mut n = 0;
-    for task_id in outstanding.into_iter().rev() {
-        // Per-task write section; the queue push happens outside it.
-        let Some(endpoint_id) = service
-            .tasks
-            .with_record_mut(task_id, |record| {
-                if record.state.is_terminal() {
-                    return None;
-                }
-                if record.state == TaskState::DispatchedToEndpoint {
-                    record.transition(TaskState::WaitingForEndpoint);
-                }
-                Some(record.spec.endpoint_id)
-            })
-            .flatten()
-        else {
-            continue;
-        };
-        service
-            .store
-            .queue(endpoint_id, QueueKind::Task)
-            .push_front(FuncxService::task_id_to_queue_bytes(task_id));
-        n += 1;
-    }
-    n
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -594,7 +562,7 @@ mod tests {
                 &d.token,
                 SubmitRequest {
                     function_id: f,
-                    endpoint_id: d.endpoint_id,
+                    target: d.endpoint_id.into(),
                     args,
                     kwargs: vec![],
                     allow_memo,
@@ -654,7 +622,7 @@ mod tests {
         let t1 = submit(&d, f, vec![Value::Int(7)], true);
         let o1 = await_result(&d, t1, Duration::from_secs(30)).expect("first run");
         assert!(matches!(o1, TaskOutcome::Success(_)));
-        assert!(d.service.memo.len() >= 1, "result memoized");
+        assert!(!d.service.memo.is_empty(), "result memoized");
 
         // Second identical call is served instantly from cache — no queue.
         let before = d.service.memo.stats().hits;

@@ -9,14 +9,25 @@
 //! | PUT  | `/v1/functions/<id>` | [`UpdateFunctionBody`] | `{"version"}` |
 //! | POST | `/v1/images` | [`RegisterImageBody`] | `{"image_id"}` |
 //! | POST | `/v1/endpoints` | [`RegisterEndpointBody`] | `{"endpoint_id"}` |
+//! | POST | `/v1/pools` | [`CreatePoolBody`] | `{"pool_id"}` |
+//! | GET  | `/v1/pools` | — | `{"pools"}` (visible pools) |
+//! | PUT  | `/v1/pools/<id>` | [`UpdatePoolBody`] | `{"ok"}` |
+//! | DELETE | `/v1/pools/<id>` | — | `{"ok"}` |
+//! | GET  | `/v1/pools/<id>/status` | — | pool record + member health |
 //! | POST | `/v1/submit` | [`SubmitBody`] | `{"task_id"}` |
-//! | POST | `/v1/batch` | `{"tasks": [SubmitBody...]}` | `{"task_ids"}` |
+//! | POST | `/v1/batch` | `{"tasks": [SubmitBody...]}` | `{"task_ids","results"}` |
 //! | GET  | `/v1/tasks/<id>/status` | — | `{"status"}` (snake_case state) |
 //! | GET  | `/v1/tasks/<id>/result` | — | result / pending / error |
 //! | GET  | `/v1/tasks/<id>/timeline` | — | Figure-4 timeline breakdown |
 //! | GET  | `/v1/endpoints/<id>/status` | — | endpoint health + last report |
 //! | GET  | `/v1/endpoints/status` | — | fleet view (accessible endpoints) |
 //! | GET  | `/v1/metrics` | — | Prometheus text (no auth) |
+//!
+//! A submission names exactly one of `endpoint_id` (pin, as in the HPDC
+//! paper) or `pool` (the service routes among pool members by the pool's
+//! policy). `/v1/batch` has partial-failure semantics: one bad element no
+//! longer poisons the batch — `results[i]` holds either the task id or the
+//! per-element error, and `task_ids` keeps only the successes.
 //!
 //! All routes except `GET /v1/metrics` require `Authorization: Bearer
 //! <token>`; the scrape surface is unauthenticated and read-only so an
@@ -27,7 +38,8 @@ use std::sync::Arc;
 use funcx_lang::Value;
 use funcx_serial::Payload;
 use funcx_types::task::TaskOutcome;
-use funcx_types::{EndpointId, FuncxError, FunctionId, TaskId};
+use funcx_types::time::VirtualDuration;
+use funcx_types::{EndpointId, FuncxError, FunctionId, PoolId, RouteTarget, RoutingPolicy, TaskId};
 use serde::{Deserialize, Serialize};
 
 use crate::http::{Handler, HttpServer, Request, Response};
@@ -91,8 +103,12 @@ pub struct RegisterEndpointBody {
 pub struct SubmitBody {
     /// Registered function.
     pub function_id: String,
-    /// Target endpoint.
-    pub endpoint_id: String,
+    /// Target endpoint. Exactly one of `endpoint_id` / `pool` is required.
+    #[serde(default)]
+    pub endpoint_id: Option<String>,
+    /// Target pool; the service picks a healthy member by the pool policy.
+    #[serde(default)]
+    pub pool: Option<String>,
     /// Positional args.
     #[serde(default)]
     pub args: Vec<Value>,
@@ -102,6 +118,36 @@ pub struct SubmitBody {
     /// Allow memoized results.
     #[serde(default)]
     pub allow_memo: bool,
+}
+
+/// POST /v1/pools
+#[derive(Debug, Serialize, Deserialize)]
+pub struct CreatePoolBody {
+    /// Display name.
+    pub name: String,
+    /// Description.
+    #[serde(default)]
+    pub description: String,
+    /// Member endpoint ids (non-empty, duplicate-free).
+    pub members: Vec<String>,
+    /// Routing policy name (`round_robin`, `least_outstanding`,
+    /// `capacity_weighted`, `function_affinity`); defaults to round-robin.
+    #[serde(default)]
+    pub policy: Option<String>,
+    /// Anyone may target the pool.
+    #[serde(default)]
+    pub public: bool,
+}
+
+/// PUT /v1/pools/<id> — both fields optional, absent means unchanged.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct UpdatePoolBody {
+    /// Replacement member list.
+    #[serde(default)]
+    pub members: Option<Vec<String>>,
+    /// Replacement routing policy name.
+    #[serde(default)]
+    pub policy: Option<String>,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -126,18 +172,36 @@ fn parse_body<T: for<'de> Deserialize<'de>>(req: &Request) -> Result<T, Response
     serde_json::from_slice(&req.body).map_err(|e| bad_request(&format!("invalid JSON body: {e}")))
 }
 
-fn submit_request_of(body: SubmitBody) -> Result<SubmitRequest, Response> {
+fn submit_request_of(body: SubmitBody) -> Result<SubmitRequest, FuncxError> {
+    let bad = |msg: &str| FuncxError::BadRequest(msg.to_string());
     let function_id: FunctionId =
-        body.function_id.parse().map_err(|_| bad_request("bad function_id"))?;
-    let endpoint_id: EndpointId =
-        body.endpoint_id.parse().map_err(|_| bad_request("bad endpoint_id"))?;
+        body.function_id.parse().map_err(|_| bad("bad function_id"))?;
+    let target = match (body.endpoint_id, body.pool) {
+        (Some(ep), None) => {
+            RouteTarget::Endpoint(ep.parse().map_err(|_| bad("bad endpoint_id"))?)
+        }
+        (None, Some(pool)) => RouteTarget::Pool(pool.parse().map_err(|_| bad("bad pool"))?),
+        (Some(_), Some(_)) => return Err(bad("give endpoint_id or pool, not both")),
+        (None, None) => return Err(bad("one of endpoint_id or pool is required")),
+    };
     Ok(SubmitRequest {
         function_id,
-        endpoint_id,
+        target,
         args: body.args,
         kwargs: body.kwargs,
         allow_memo: body.allow_memo,
     })
+}
+
+fn parse_policy(name: &str) -> Result<RoutingPolicy, Response> {
+    RoutingPolicy::parse(name)
+        .ok_or_else(|| bad_request(&format!("unknown routing policy '{name}'")))
+}
+
+fn parse_members(raw: &[String]) -> Result<Vec<EndpointId>, Response> {
+    raw.iter()
+        .map(|s| s.parse().map_err(|_| bad_request(&format!("bad member endpoint id '{s}'"))))
+        .collect()
 }
 
 /// Build the route handler over a service.
@@ -232,7 +296,7 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
             };
             let request = match submit_request_of(body) {
                 Ok(r) => r,
-                Err(resp) => return resp,
+                Err(e) => return err_json(&e),
             };
             match service.submit(&bearer, request) {
                 Ok(task) => ok_json(&serde_json::json!({ "task_id": task.to_string() })),
@@ -244,17 +308,112 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Ok(b) => b,
                 Err(resp) => return resp,
             };
-            let mut requests = Vec::with_capacity(body.tasks.len());
+            // Partial-failure semantics: a malformed or rejected element
+            // yields a per-index error entry instead of poisoning the whole
+            // batch. Only a batch-level failure (bad token) is a non-200.
+            let mut parse_errors: Vec<Option<FuncxError>> = Vec::with_capacity(body.tasks.len());
+            let mut valid = Vec::new();
             for t in body.tasks {
                 match submit_request_of(t) {
-                    Ok(r) => requests.push(r),
-                    Err(resp) => return resp,
+                    Ok(r) => {
+                        parse_errors.push(None);
+                        valid.push(r);
+                    }
+                    Err(e) => parse_errors.push(Some(e)),
                 }
             }
-            match service.submit_batch(&bearer, requests) {
-                Ok(ids) => ok_json(&serde_json::json!({
-                    "task_ids": ids.iter().map(|t| t.to_string()).collect::<Vec<_>>()
-                })),
+            let submitted = match service.submit_batch_partial(&bearer, valid) {
+                Ok(results) => results,
+                Err(e) => return err_json(&e),
+            };
+            let mut submitted = submitted.into_iter();
+            let mut results = Vec::with_capacity(parse_errors.len());
+            let mut task_ids = Vec::new();
+            for (index, parse_error) in parse_errors.into_iter().enumerate() {
+                let outcome = match parse_error {
+                    None => submitted.next().expect("one result per valid element"),
+                    Some(e) => Err(e),
+                };
+                match outcome {
+                    Ok(task) => {
+                        task_ids.push(task.to_string());
+                        results.push(serde_json::json!({ "task_id": task.to_string() }));
+                    }
+                    Err(e) => results.push(serde_json::json!({
+                        "index": index,
+                        "error": e.code(),
+                        "message": e.to_string(),
+                    })),
+                }
+            }
+            ok_json(&serde_json::json!({ "task_ids": task_ids, "results": results }))
+        }
+        ("POST", ["v1", "pools"]) => {
+            let body: CreatePoolBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let members = match parse_members(&body.members) {
+                Ok(m) => m,
+                Err(resp) => return resp,
+            };
+            let policy = match body.policy.as_deref().map(parse_policy).transpose() {
+                Ok(p) => p.unwrap_or(RoutingPolicy::RoundRobin),
+                Err(resp) => return resp,
+            };
+            match service.create_pool(
+                &bearer, &body.name, &body.description, members, policy, body.public,
+            ) {
+                Ok(id) => ok_json(&serde_json::json!({ "pool_id": id.to_string() })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "pools"]) => match service.list_pools(&bearer) {
+            Ok(pools) => {
+                let pools: Vec<serde_json::Value> = pools.iter().map(pool_json).collect();
+                ok_json(&serde_json::json!({ "pools": pools }))
+            }
+            Err(e) => err_json(&e),
+        },
+        ("PUT", ["v1", "pools", id]) => {
+            let pool_id: PoolId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad pool id"),
+            };
+            let body: UpdatePoolBody = match parse_body(&req) {
+                Ok(b) => b,
+                Err(resp) => return resp,
+            };
+            let members = match body.members.as_deref().map(parse_members).transpose() {
+                Ok(m) => m,
+                Err(resp) => return resp,
+            };
+            let policy = match body.policy.as_deref().map(parse_policy).transpose() {
+                Ok(p) => p,
+                Err(resp) => return resp,
+            };
+            match service.update_pool(&bearer, pool_id, members, policy) {
+                Ok(()) => ok_json(&serde_json::json!({ "ok": true })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("DELETE", ["v1", "pools", id]) => {
+            let pool_id: PoolId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad pool id"),
+            };
+            match service.delete_pool(&bearer, pool_id) {
+                Ok(()) => ok_json(&serde_json::json!({ "ok": true })),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "pools", id, "status"]) => {
+            let pool_id: PoolId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad pool id"),
+            };
+            match service.pool_status(&bearer, pool_id) {
+                Ok((record, members)) => ok_json(&pool_status_json(&record, &members)),
                 Err(e) => err_json(&e),
             }
         }
@@ -280,8 +439,10 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
         }
         ("GET", ["v1", "endpoints", "status"]) => match service.fleet_status(&bearer) {
             Ok(records) => {
-                let endpoints: Vec<serde_json::Value> =
-                    records.iter().map(endpoint_json).collect();
+                let endpoints: Vec<serde_json::Value> = records
+                    .iter()
+                    .map(|r| endpoint_json(r, service.report_age(r)))
+                    .collect();
                 ok_json(&serde_json::json!({ "endpoints": endpoints }))
             }
             Err(e) => err_json(&e),
@@ -292,7 +453,10 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Err(_) => return bad_request("bad endpoint id"),
             };
             match service.endpoint_status(&bearer, endpoint) {
-                Ok(record) => ok_json(&endpoint_json(&record)),
+                Ok(record) => {
+                    let age = service.report_age(&record);
+                    ok_json(&endpoint_json(&record, age))
+                }
                 Err(e) => err_json(&e),
             }
         }
@@ -361,7 +525,12 @@ fn timeline_json(record: &funcx_types::task::TaskRecord) -> serde_json::Value {
 
 /// JSON body of the endpoint status routes: registry record plus the agent's
 /// latest heartbeat-cadence stats report (nulls until the first one lands).
-fn endpoint_json(record: &funcx_registry::EndpointRecord) -> serde_json::Value {
+/// `report_age` is virtual time since that report — the router's staleness
+/// signal, surfaced so operators see the same liveness the fabric acts on.
+fn endpoint_json(
+    record: &funcx_registry::EndpointRecord,
+    report_age: Option<VirtualDuration>,
+) -> serde_json::Value {
     serde_json::json!({
         "endpoint_id": record.endpoint_id.to_string(),
         "name": record.name,
@@ -371,12 +540,66 @@ fn endpoint_json(record: &funcx_registry::EndpointRecord) -> serde_json::Value {
         },
         "generation": record.generation,
         "last_heartbeat_nanos": record.last_heartbeat.map(|i| i.as_nanos()),
+        "report_age_ms": report_age.map(|d| d.as_millis() as u64),
         "pending": record.last_report.map(|r| r.pending),
         "outstanding": record.last_report.map(|r| r.outstanding),
         "managers": record.last_report.map(|r| r.managers),
         "idle_slots": record.last_report.map(|r| r.idle_slots),
         "requeued": record.last_report.map(|r| r.requeued),
         "results_sent": record.last_report.map(|r| r.results_sent),
+    })
+}
+
+/// JSON body of one pool record (list + status routes).
+fn pool_json(record: &funcx_registry::PoolRecord) -> serde_json::Value {
+    serde_json::json!({
+        "pool_id": record.pool_id.to_string(),
+        "name": record.name,
+        "description": record.description,
+        "policy": record.policy.as_str(),
+        "public": record.public,
+        "members": record.members.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+    })
+}
+
+/// JSON body of `GET /v1/pools/<id>/status`: the record plus each member's
+/// live routing view — load, health tier, and circuit state.
+fn pool_status_json(
+    record: &funcx_registry::PoolRecord,
+    members: &[(
+        funcx_router::EndpointSnapshot,
+        funcx_router::HealthState,
+        funcx_router::HealthSnapshot,
+    )],
+) -> serde_json::Value {
+    let members: Vec<serde_json::Value> = members
+        .iter()
+        .map(|(snap, state, health)| {
+            serde_json::json!({
+                "endpoint_id": snap.endpoint_id.to_string(),
+                "online": snap.online,
+                "health": state.as_str(),
+                "circuit": match health.circuit {
+                    funcx_router::CircuitState::Closed => "closed",
+                    funcx_router::CircuitState::Open { .. } => "open",
+                },
+                "consecutive_failures": health.consecutive_failures,
+                "report_age_ms": snap.report_age.map(|d| d.as_millis() as u64),
+                "queued": snap.queued,
+                "pending": snap.pending,
+                "outstanding": snap.outstanding,
+                "idle_slots": snap.idle_slots,
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "pool_id": record.pool_id.to_string(),
+        "name": record.name,
+        "description": record.description,
+        "policy": record.policy.as_str(),
+        "public": record.public,
+        "members": record.members.iter().map(|m| m.to_string()).collect::<Vec<_>>(),
+        "members_status": members,
     })
 }
 
@@ -582,6 +805,148 @@ mod tests {
             }),
         );
         assert_eq!(status, 400);
+    }
+
+    #[test]
+    fn batch_partial_failure_reports_per_index_errors() {
+        if serde_json::to_vec(&serde_json::json!({})).is_err() {
+            eprintln!("skipping: serde_json stubbed");
+            return;
+        }
+        let (server, token) = rest_service();
+        let (_, f) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({ "name": "f", "source": "def f():\n    return 0\n", "entry": "f" }),
+        );
+        let (_, ep) = post(
+            &server,
+            "/v1/endpoints",
+            Some(&token),
+            serde_json::json!({ "name": "ep" }),
+        );
+        let good = serde_json::json!({
+            "function_id": f["function_id"],
+            "endpoint_id": ep["endpoint_id"]
+        });
+        // Element 1 names neither endpoint nor pool; element 2 names an
+        // endpoint that does not exist. Neither may poison element 0.
+        let no_target = serde_json::json!({ "function_id": f["function_id"] });
+        let ghost = serde_json::json!({
+            "function_id": f["function_id"],
+            "endpoint_id": EndpointId::from_u128(0xdead).to_string()
+        });
+        let (status, body) = post(
+            &server,
+            "/v1/batch",
+            Some(&token),
+            serde_json::json!({ "tasks": [good, no_target, ghost] }),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(body["task_ids"].as_array().unwrap().len(), 1, "{body}");
+        let results = body["results"].as_array().unwrap();
+        assert_eq!(results.len(), 3);
+        assert!(results[0]["task_id"].is_string());
+        assert_eq!(results[1]["error"], "bad_request");
+        assert_eq!(results[1]["index"], 1);
+        assert_eq!(results[2]["error"], "endpoint_not_found");
+        assert_eq!(results[2]["index"], 2);
+        // The successful element is a real task, queryable by id.
+        let task_id = body["task_ids"][0].as_str().unwrap();
+        let resp = http_request(
+            server.local_addr(),
+            "GET",
+            &format!("/v1/tasks/{task_id}/status"),
+            Some(&token),
+            b"",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn pool_crud_and_routing_over_http() {
+        if serde_json::to_vec(&serde_json::json!({})).is_err() {
+            eprintln!("skipping: serde_json stubbed");
+            return;
+        }
+        let (server, token) = rest_service();
+        let (_, f) = post(
+            &server,
+            "/v1/functions",
+            Some(&token),
+            serde_json::json!({ "name": "f", "source": "def f():\n    return 0\n", "entry": "f" }),
+        );
+        let mut eps = Vec::new();
+        for name in ["ep-a", "ep-b"] {
+            let (_, ep) = post(
+                &server,
+                "/v1/endpoints",
+                Some(&token),
+                serde_json::json!({ "name": name }),
+            );
+            eps.push(ep["endpoint_id"].as_str().unwrap().to_string());
+        }
+        let (status, body) = post(
+            &server,
+            "/v1/pools",
+            Some(&token),
+            serde_json::json!({
+                "name": "pair", "members": eps, "policy": "least_outstanding"
+            }),
+        );
+        assert_eq!(status, 200, "{body}");
+        let pool_id = body["pool_id"].as_str().unwrap().to_string();
+
+        // Pool-targeted submit routes to some member (both are still
+        // unconnected, so the router store-and-forwards to the Unknown tier).
+        let (status, body) = post(
+            &server,
+            "/v1/submit",
+            Some(&token),
+            serde_json::json!({ "function_id": f["function_id"], "pool": pool_id }),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body["task_id"].is_string());
+
+        // Status surfaces per-member health.
+        let resp = http_request(
+            server.local_addr(),
+            "GET",
+            &format!("/v1/pools/{pool_id}/status"),
+            Some(&token),
+            b"",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 200);
+        let parsed: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(parsed["policy"], "least_outstanding");
+        assert_eq!(parsed["members_status"].as_array().unwrap().len(), 2);
+
+        // Naming both targets, or a bogus pool, is a clean client error.
+        let (status, _) = post(
+            &server,
+            "/v1/submit",
+            Some(&token),
+            serde_json::json!({
+                "function_id": f["function_id"],
+                "pool": pool_id,
+                "endpoint_id": parsed["members_status"][0]["endpoint_id"]
+            }),
+        );
+        assert_eq!(status, 400);
+        let (status, body) = post(
+            &server,
+            "/v1/submit",
+            Some(&token),
+            serde_json::json!({
+                "function_id": f["function_id"],
+                "pool": PoolId::from_u128(0xfeed).to_string()
+            }),
+        );
+        assert_eq!(status, 404, "{body}");
+        assert_eq!(body["error"], "pool_not_found");
     }
 
     #[test]

@@ -10,14 +10,18 @@ use std::sync::Arc;
 use bytes::Bytes;
 use funcx_auth::{AuthService, Scope};
 use funcx_lang::Value;
-use funcx_registry::{EndpointRegistry, FunctionRegistry, Sharing};
+use funcx_registry::{EndpointRegistry, FunctionRegistry, PoolRecord, PoolRegistry, Sharing};
+use funcx_router::{EndpointSnapshot, HealthSnapshot, HealthState, Router};
 use funcx_serial::{pack_buffer, Payload, Serializer};
 use funcx_store::{QueueKind, Store};
 use funcx_telemetry::{Counter, Histogram, MetricsRegistry, TraceRing};
 use funcx_types::ids::Uuid;
 use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState};
-use funcx_types::time::SharedClock;
-use funcx_types::{ContainerImageId, EndpointId, FuncxError, FunctionId, Result, TaskId, UserId};
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use funcx_types::{
+    ContainerImageId, EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget,
+    RoutingPolicy, TaskId, UserId,
+};
 
 use crate::config::ServiceConfig;
 use crate::memo::MemoCache;
@@ -28,8 +32,9 @@ use crate::tasks::TaskStore;
 pub struct SubmitRequest {
     /// Function to run.
     pub function_id: FunctionId,
-    /// Endpoint to run it on.
-    pub endpoint_id: EndpointId,
+    /// Where to run it: a concrete endpoint (the paper's contract) or a
+    /// pool the service routes across.
+    pub target: RouteTarget,
     /// Positional arguments.
     pub args: Vec<Value>,
     /// Keyword arguments.
@@ -37,6 +42,11 @@ pub struct SubmitRequest {
     /// Allow a memoized result (§4.7: off unless the user asks).
     pub allow_memo: bool,
 }
+
+/// One pool member's live routing view, as returned by
+/// [`FuncxService::pool_status`]: registry load snapshot, health tier, and
+/// circuit/failure counters.
+pub type PoolMemberStatus = (EndpointSnapshot, HealthState, HealthSnapshot);
 
 /// Pre-resolved handles for the task hot path — one registry lookup at
 /// construction instead of one per task.
@@ -55,6 +65,13 @@ pub(crate) struct Instruments {
     pub task_latency: Histogram,
     /// Pure execution time (`tw`).
     pub task_exec: Histogram,
+    /// Pool-routed tasks, one counter per policy (`RoutingPolicy::ALL`
+    /// order; label `policy=<wire name>`).
+    pub tasks_routed: [Counter; 4],
+    /// Tasks moved to a healthy pool sibling after their endpoint died.
+    pub tasks_rerouted: Counter,
+    /// Circuit-breaker trips (counted once per open edge, not per failure).
+    pub circuits_opened: Counter,
 }
 
 impl Instruments {
@@ -67,6 +84,11 @@ impl Instruments {
             tasks_requeued: registry.counter("funcx_tasks_requeued_total", &[]),
             task_latency: registry.histogram("funcx_task_latency_seconds", &[]),
             task_exec: registry.histogram("funcx_task_exec_seconds", &[]),
+            tasks_routed: RoutingPolicy::ALL.map(|p| {
+                registry.counter("funcx_tasks_routed_total", &[("policy", p.as_str())])
+            }),
+            tasks_rerouted: registry.counter("funcx_tasks_rerouted_total", &[]),
+            circuits_opened: registry.counter("funcx_circuits_opened_total", &[]),
         }
     }
 }
@@ -81,6 +103,10 @@ pub struct FuncxService {
     pub functions: FunctionRegistry,
     /// Endpoint registry.
     pub endpoints: EndpointRegistry,
+    /// Endpoint pool registry (named groups the router picks members from).
+    pub pools: PoolRegistry,
+    /// Health-aware pool router (policies, liveness, circuit breakers).
+    pub router: Router,
     /// Redis substitute (task/result queues; also usable as a scratch KV).
     pub store: Arc<Store>,
     /// Container image registry (§4.2: functions may name a container
@@ -110,6 +136,8 @@ impl FuncxService {
             auth: AuthService::new(Arc::clone(&clock)),
             functions: FunctionRegistry::new(),
             endpoints: EndpointRegistry::new(),
+            pools: PoolRegistry::new(),
+            router: Router::new(config.router_config()),
             store: Store::new(Arc::clone(&clock)),
             images: funcx_container::ImageRegistry::new(),
             memo: MemoCache::with_metrics(config.memo_capacity, &metrics),
@@ -300,13 +328,31 @@ impl FuncxService {
                 request.function_id
             )));
         }
-        let endpoint = self.endpoints.get(request.endpoint_id)?;
-        if !endpoint.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
-            return Err(FuncxError::Forbidden(format!(
-                "endpoint {} is not shared with user {user}",
-                request.endpoint_id
-            )));
-        }
+        // Resolve the target to a concrete endpoint. A pinned endpoint is
+        // checked against its own sharing policy; a pool is checked against
+        // the *pool's* sharing (its owner vetted the members at creation),
+        // then the router picks a live member.
+        let (endpoint_id, pool) = match request.target {
+            RouteTarget::Endpoint(endpoint_id) => {
+                let endpoint = self.endpoints.get(endpoint_id)?;
+                if !endpoint.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
+                    return Err(FuncxError::Forbidden(format!(
+                        "endpoint {endpoint_id} is not shared with user {user}"
+                    )));
+                }
+                (endpoint_id, None)
+            }
+            RouteTarget::Pool(pool_id) => {
+                let pool = self.pools.get(pool_id)?;
+                if !pool.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
+                    return Err(FuncxError::Forbidden(format!(
+                        "pool {pool_id} is not shared with user {user}"
+                    )));
+                }
+                let endpoint_id = self.route_in_pool(&pool, request.function_id)?;
+                (endpoint_id, Some(pool_id))
+            }
+        };
 
         // Serialize the input document once; the same bytes feed the memo
         // key and (packed with the task's routing tag) the dispatch payload.
@@ -327,11 +373,12 @@ impl FuncxService {
         let spec = TaskSpec {
             task_id,
             function_id: request.function_id,
-            endpoint_id: request.endpoint_id,
+            endpoint_id,
             user_id: user,
             payload,
             container: function.container,
             allow_memo: request.allow_memo,
+            pool,
         };
         let mut record = TaskRecord::new(spec, received);
         self.instruments.tasks_submitted.inc();
@@ -366,11 +413,257 @@ impl FuncxService {
         record.timeline.queued_at_service = Some(self.clock.now());
         self.tasks.insert(task_id, record);
         self.store
-            .queue(request.endpoint_id, QueueKind::Task)
+            .queue(endpoint_id, QueueKind::Task)
             .push_back(Bytes::copy_from_slice(&task_id.uuid().as_u128().to_be_bytes()));
-        self.trace
-            .record("submit", format!("task {task_id} endpoint {}", request.endpoint_id));
+        self.trace.record("submit", format!("task {task_id} endpoint {endpoint_id}"));
         Ok(task_id)
+    }
+
+    /// Batch submission with per-element failure semantics: one bad element
+    /// (unknown function, unshared endpoint, oversized payload, dead pool)
+    /// yields an error entry at its index instead of rejecting the whole
+    /// batch. Only authentication failures reject outright — without an
+    /// identity nothing can be accepted.
+    pub fn submit_batch_partial(
+        &self,
+        bearer: &str,
+        requests: Vec<SubmitRequest>,
+    ) -> Result<Vec<Result<TaskId>>> {
+        let received = self.clock.now();
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RunFunction)?;
+        Ok(requests
+            .into_iter()
+            .map(|request| self.submit_one(user, request, received))
+            .collect())
+    }
+
+    // ---- pools & routing ---------------------------------------------------
+
+    /// Create an endpoint pool. Every member must exist and be usable by
+    /// the creator — the pool's sharing policy then speaks for its members.
+    pub fn create_pool(
+        &self,
+        bearer: &str,
+        name: &str,
+        description: &str,
+        members: Vec<EndpointId>,
+        policy: RoutingPolicy,
+        public: bool,
+    ) -> Result<PoolId> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
+        for &member in &members {
+            let endpoint = self.endpoints.get(member)?;
+            if !endpoint.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
+                return Err(FuncxError::Forbidden(format!(
+                    "endpoint {member} is not shared with user {user}"
+                )));
+            }
+        }
+        self.charge_store();
+        let pool_id =
+            self.pools.create(user, name, description, members, policy, public, self.clock.now())?;
+        self.trace.record("pool_create", format!("pool {pool_id} ({name})"));
+        Ok(pool_id)
+    }
+
+    /// Update a pool's members and/or policy (owner only). New members are
+    /// vetted exactly like at creation.
+    pub fn update_pool(
+        &self,
+        bearer: &str,
+        pool_id: PoolId,
+        members: Option<Vec<EndpointId>>,
+        policy: Option<RoutingPolicy>,
+    ) -> Result<()> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
+        self.charge_store();
+        if let Some(members) = members {
+            for &member in &members {
+                let endpoint = self.endpoints.get(member)?;
+                if !endpoint.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
+                    return Err(FuncxError::Forbidden(format!(
+                        "endpoint {member} is not shared with user {user}"
+                    )));
+                }
+            }
+            self.pools.set_members(pool_id, user, members)?;
+        }
+        if let Some(policy) = policy {
+            self.pools.set_policy(pool_id, user, policy)?;
+        }
+        Ok(())
+    }
+
+    /// Delete a pool (owner only). Tasks already routed keep their endpoint.
+    pub fn delete_pool(&self, bearer: &str, pool_id: PoolId) -> Result<()> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
+        self.charge_store();
+        self.pools.delete(pool_id, user)?;
+        self.router.forget_pool(pool_id);
+        self.trace.record("pool_delete", format!("pool {pool_id}"));
+        Ok(())
+    }
+
+    /// Pools the caller may target.
+    pub fn list_pools(&self, bearer: &str) -> Result<Vec<PoolRecord>> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::ViewTask)?;
+        Ok(self.pools.visible_to(user, |groups| self.auth.in_any_group(user, groups)))
+    }
+
+    /// A pool's record plus each member's live routing view: load snapshot,
+    /// health tier, and circuit state. Backs `GET /v1/pools/<id>/status`.
+    pub fn pool_status(
+        &self,
+        bearer: &str,
+        pool_id: PoolId,
+    ) -> Result<(PoolRecord, Vec<PoolMemberStatus>)> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::ViewTask)?;
+        let pool = self.pools.get(pool_id)?;
+        if !pool.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
+            return Err(FuncxError::Forbidden(format!(
+                "pool {pool_id} is not shared with user {user}"
+            )));
+        }
+        let now = self.clock.now();
+        let members = pool
+            .members
+            .iter()
+            .filter_map(|&ep| self.endpoint_snapshot(ep, now))
+            .map(|snap| {
+                let state = self.router.classify(&snap, now);
+                let health = self.router.health().snapshot(snap.endpoint_id, now);
+                (snap, state, health)
+            })
+            .collect();
+        Ok((pool, members))
+    }
+
+    /// Virtual age of an endpoint's last stats report (`None` before the
+    /// first). The router's staleness gate and the REST `report_age_ms`
+    /// field both read this.
+    pub fn report_age(&self, record: &funcx_registry::EndpointRecord) -> Option<VirtualDuration> {
+        record.last_heartbeat.map(|at| self.clock.now().saturating_duration_since(at))
+    }
+
+    /// The router's view of one endpoint right now: registry status, report
+    /// age, and load (heartbeat report plus the service-side queue depth,
+    /// which updates synchronously with every submit).
+    fn endpoint_snapshot(&self, endpoint_id: EndpointId, now: VirtualInstant) -> Option<EndpointSnapshot> {
+        let record = self.endpoints.get(endpoint_id).ok()?;
+        let report = record.last_report.unwrap_or_default();
+        Some(EndpointSnapshot {
+            endpoint_id,
+            online: record.status == funcx_registry::EndpointStatus::Online,
+            ever_connected: record.generation > 0,
+            report_age: record.last_heartbeat.map(|at| now.saturating_duration_since(at)),
+            queued: self.store.queue_len(endpoint_id, QueueKind::Task),
+            pending: report.pending as usize,
+            outstanding: report.outstanding as usize,
+            idle_slots: report.idle_slots as usize,
+        })
+    }
+
+    /// Pick a live member of `pool` for one task, bumping the per-policy
+    /// route counter.
+    fn route_in_pool(&self, pool: &PoolRecord, function_id: FunctionId) -> Result<EndpointId> {
+        let now = self.clock.now();
+        let mut snapshots: Vec<EndpointSnapshot> =
+            pool.members.iter().filter_map(|&ep| self.endpoint_snapshot(ep, now)).collect();
+        let chosen = self
+            .router
+            .route(pool.pool_id, pool.policy, function_id, &mut snapshots, now)
+            .ok_or_else(|| {
+                FuncxError::NoHealthyEndpoint(format!(
+                    "pool {} has no routable member",
+                    pool.pool_id
+                ))
+            })?;
+        self.instruments.tasks_routed[pool.policy.index()].inc();
+        Ok(chosen)
+    }
+
+    /// Failover on endpoint loss: mark the endpoint offline, trip its
+    /// circuit, then move its work — the forwarder's outstanding tasks plus
+    /// the queue backlog, in FIFO order — either to a healthy pool sibling
+    /// (pool-routed tasks) or back onto the dead endpoint's queue for
+    /// redelivery on reconnect (pinned tasks, §4.1). Returns
+    /// `(requeued, rerouted)`.
+    pub(crate) fn handle_endpoint_loss(
+        &self,
+        endpoint_id: EndpointId,
+        outstanding: Vec<TaskId>,
+    ) -> (usize, usize) {
+        let now = self.clock.now();
+        let _ = self.endpoints.mark_offline(endpoint_id);
+        if self.router.health().trip(endpoint_id, now) {
+            self.instruments.circuits_opened.inc();
+            self.trace.record("circuit_open", format!("endpoint {endpoint_id}"));
+        }
+
+        // Everything this endpoint still owed, in FIFO order: dispatched
+        // work first (it was sent earliest), then the undispatched backlog.
+        let queue = self.store.queue(endpoint_id, QueueKind::Task);
+        let mut tasks = outstanding;
+        for raw in queue.drain(usize::MAX) {
+            if let Some(task_id) = Self::queue_bytes_to_task_id(&raw) {
+                tasks.push(task_id);
+            }
+        }
+
+        let (mut requeued, mut rerouted) = (0, 0);
+        for task_id in tasks {
+            // Per-task write section: skip finished work, return the rest
+            // to WaitingForEndpoint, and learn its pool (if any).
+            let Some((original, function_id, pool_id)) = self
+                .tasks
+                .with_record_mut(task_id, |record| {
+                    if record.state.is_terminal() {
+                        return None;
+                    }
+                    if record.state == TaskState::DispatchedToEndpoint {
+                        record.transition(TaskState::WaitingForEndpoint);
+                    }
+                    Some((record.spec.endpoint_id, record.spec.function_id, record.spec.pool))
+                })
+                .flatten()
+            else {
+                continue;
+            };
+
+            // Pool-routed tasks try a healthy sibling; everything else (and
+            // pools with no live member) waits for the original endpoint.
+            let rehomed = pool_id
+                .and_then(|pid| self.pools.get(pid).ok())
+                .and_then(|pool| self.route_in_pool(&pool, function_id).ok())
+                .filter(|&new_ep| new_ep != original);
+            match rehomed {
+                Some(new_ep) => {
+                    self.tasks.with_record_mut(task_id, |record| {
+                        record.spec.endpoint_id = new_ep;
+                    });
+                    self.store
+                        .queue(new_ep, QueueKind::Task)
+                        .push_back(Self::task_id_to_queue_bytes(task_id));
+                    self.instruments.tasks_rerouted.inc();
+                    self.trace.record(
+                        "reroute",
+                        format!("task {task_id} {endpoint_id} -> {new_ep}"),
+                    );
+                    rerouted += 1;
+                }
+                None => {
+                    queue.push_back(Self::task_id_to_queue_bytes(task_id));
+                    requeued += 1;
+                }
+            }
+        }
+        (requeued, rerouted)
     }
 
     // ---- monitoring / results ----------------------------------------------
@@ -543,7 +836,7 @@ mod tests {
     fn request(f: FunctionId, ep: EndpointId) -> SubmitRequest {
         SubmitRequest {
             function_id: f,
-            endpoint_id: ep,
+            target: ep.into(),
             args: vec![Value::Int(21)],
             kwargs: vec![],
             allow_memo: false,
@@ -615,7 +908,7 @@ mod tests {
             .unwrap();
         let big = SubmitRequest {
             function_id: f,
-            endpoint_id: ep,
+            target: ep.into(),
             args: vec![Value::Str("z".repeat(1000))],
             kwargs: vec![],
             allow_memo: false,
@@ -740,7 +1033,7 @@ mod tests {
             .unwrap();
         let request = move || SubmitRequest {
             function_id: f,
-            endpoint_id: ep,
+            target: ep.into(),
             args: vec![],
             kwargs: vec![],
             allow_memo: false,

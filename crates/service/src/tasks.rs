@@ -140,6 +140,7 @@ mod tests {
                 task_id: id,
                 function_id: FunctionId::from_u128(1),
                 endpoint_id: EndpointId::from_u128(2),
+                pool: None,
                 user_id: UserId::from_u128(3),
                 payload: vec![],
                 container: None,

@@ -82,7 +82,7 @@ fn status_pollers_do_not_starve_or_observe_lost_results() {
                         &d.token,
                         SubmitRequest {
                             function_id: f,
-                            endpoint_id: d.endpoint_id,
+                            target: d.endpoint_id.into(),
                             args: vec![funcx_lang::Value::Int(i)],
                             kwargs: vec![],
                             allow_memo: false,

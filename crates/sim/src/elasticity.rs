@@ -136,9 +136,7 @@ pub fn run_elasticity(config: &ElasticityConfig, seed: u64) -> Vec<ElasticitySam
                 .jobs
                 .iter()
                 .filter(|j| pool.provider.status(**j) == JobStatus::Pending)
-                .map(|_| 1)
-                .sum::<usize>()
-                .max(0);
+                .count();
             let inputs = funcx_provider::scaling::ScalingInputs {
                 pending_tasks: pool.pending.len(),
                 running_nodes: active,

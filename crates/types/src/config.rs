@@ -27,6 +27,6 @@ mod tests {
 
     #[test]
     fn payload_limit_is_sub_megabyte() {
-        assert!(DEFAULT_PAYLOAD_LIMIT <= 1 << 20);
+        const { assert!(DEFAULT_PAYLOAD_LIMIT <= 1 << 20) }
     }
 }

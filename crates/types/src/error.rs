@@ -21,6 +21,10 @@ pub enum FuncxError {
     FunctionNotFound(String),
     /// Referenced endpoint is not registered.
     EndpointNotFound(String),
+    /// Referenced endpoint pool is not registered.
+    PoolNotFound(String),
+    /// A pool had no routable member (all dead, circuit-open, or stale).
+    NoHealthyEndpoint(String),
     /// Referenced task does not exist (or its result was purged).
     TaskNotFound(String),
     /// Caller is not authenticated (missing/expired/unknown token).
@@ -64,11 +68,12 @@ impl FuncxError {
             FuncxError::Forbidden(_) => 403,
             FuncxError::FunctionNotFound(_)
             | FuncxError::EndpointNotFound(_)
+            | FuncxError::PoolNotFound(_)
             | FuncxError::TaskNotFound(_) => 404,
             FuncxError::PayloadTooLarge { .. } => 413,
             FuncxError::Timeout(_) => 408,
             FuncxError::Registry(_) => 409,
-            FuncxError::ShuttingDown => 503,
+            FuncxError::ShuttingDown | FuncxError::NoHealthyEndpoint(_) => 503,
             _ => 500,
         }
     }
@@ -79,6 +84,8 @@ impl FuncxError {
             FuncxError::InvalidId(_) => "invalid_id",
             FuncxError::FunctionNotFound(_) => "function_not_found",
             FuncxError::EndpointNotFound(_) => "endpoint_not_found",
+            FuncxError::PoolNotFound(_) => "pool_not_found",
+            FuncxError::NoHealthyEndpoint(_) => "no_healthy_endpoint",
             FuncxError::TaskNotFound(_) => "task_not_found",
             FuncxError::Unauthenticated(_) => "unauthenticated",
             FuncxError::Forbidden(_) => "forbidden",
@@ -104,6 +111,8 @@ impl fmt::Display for FuncxError {
             FuncxError::InvalidId(s) => write!(f, "invalid identifier: {s}"),
             FuncxError::FunctionNotFound(s) => write!(f, "function not found: {s}"),
             FuncxError::EndpointNotFound(s) => write!(f, "endpoint not found: {s}"),
+            FuncxError::PoolNotFound(s) => write!(f, "pool not found: {s}"),
+            FuncxError::NoHealthyEndpoint(s) => write!(f, "no healthy endpoint: {s}"),
             FuncxError::TaskNotFound(s) => write!(f, "task not found: {s}"),
             FuncxError::Unauthenticated(s) => write!(f, "unauthenticated: {s}"),
             FuncxError::Forbidden(s) => write!(f, "forbidden: {s}"),
@@ -164,6 +173,8 @@ mod tests {
             FuncxError::InvalidId(String::new()),
             FuncxError::FunctionNotFound(String::new()),
             FuncxError::EndpointNotFound(String::new()),
+            FuncxError::PoolNotFound(String::new()),
+            FuncxError::NoHealthyEndpoint(String::new()),
             FuncxError::TaskNotFound(String::new()),
             FuncxError::Unauthenticated(String::new()),
             FuncxError::Forbidden(String::new()),

@@ -177,6 +177,12 @@ typed_id!(
     /// Identifies a user-driven `fmap` batch (§4.7).
     BatchId
 );
+typed_id!(
+    /// Identifies a named endpoint pool — a registry-backed group of
+    /// endpoints the service routes across (TPDS follow-up: fabric-directed
+    /// routing instead of client-pinned endpoints).
+    PoolId
+);
 
 #[cfg(test)]
 mod tests {

@@ -16,14 +16,16 @@ pub mod config;
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod route;
 pub mod stats;
 pub mod task;
 pub mod time;
 
 pub use error::{FuncxError, Result};
 pub use ids::{
-    BatchId, ContainerImageId, EndpointId, FunctionId, ManagerId, TaskId, UserId, WorkerId,
+    BatchId, ContainerImageId, EndpointId, FunctionId, ManagerId, PoolId, TaskId, UserId, WorkerId,
 };
+pub use route::{RouteTarget, RoutingPolicy};
 pub use stats::EndpointStatsReport;
 pub use task::{TaskRecord, TaskSpec, TaskState};
 pub use time::{Clock, RealClock, VirtualDuration, VirtualInstant};

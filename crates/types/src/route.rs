@@ -1,0 +1,123 @@
+//! Routing vocabulary shared by the registry, router, service, and SDK.
+//!
+//! The HPDC paper pins every submission to one `endpoint_id`; its §8 future
+//! work (and the TPDS follow-up) call for fabric-directed routing: the user
+//! names a *pool* and the service picks a live member. [`RouteTarget`] is
+//! the submission-side choice between the two; [`RoutingPolicy`] names the
+//! selection strategy a pool is configured with.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{EndpointId, PoolId};
+
+/// Where a submission asks to run: a concrete endpoint (the paper's
+/// original contract) or a named pool the service routes across.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteTarget {
+    /// Client-pinned endpoint — bypasses the router entirely.
+    Endpoint(EndpointId),
+    /// Service-routed pool — the router picks a healthy member per task.
+    Pool(PoolId),
+}
+
+impl From<EndpointId> for RouteTarget {
+    fn from(id: EndpointId) -> Self {
+        RouteTarget::Endpoint(id)
+    }
+}
+
+impl From<PoolId> for RouteTarget {
+    fn from(id: PoolId) -> Self {
+        RouteTarget::Pool(id)
+    }
+}
+
+impl std::fmt::Display for RouteTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteTarget::Endpoint(id) => write!(f, "endpoint {id}"),
+            RouteTarget::Pool(id) => write!(f, "pool {id}"),
+        }
+    }
+}
+
+/// How a pool picks among its healthy members.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingPolicy {
+    /// Cycle through healthy members in order; fair within ±1 per window.
+    #[default]
+    RoundRobin,
+    /// Pick the member with the fewest queued + in-flight tasks, using the
+    /// service-side queue depth plus the heartbeat `EndpointStatsReport`.
+    LeastOutstanding,
+    /// Smooth weighted round-robin, weighted by advertised idle worker
+    /// slots — bigger endpoints draw proportionally more tasks.
+    CapacityWeighted,
+    /// Sticky per-function member (warm containers / memo locality); falls
+    /// back to least-outstanding when the sticky member is unhealthy.
+    FunctionAffinity,
+}
+
+impl RoutingPolicy {
+    /// Every policy, in a stable order (metric labels, benches).
+    pub const ALL: [RoutingPolicy; 4] = [
+        RoutingPolicy::RoundRobin,
+        RoutingPolicy::LeastOutstanding,
+        RoutingPolicy::CapacityWeighted,
+        RoutingPolicy::FunctionAffinity,
+    ];
+
+    /// Stable snake_case wire name (REST bodies, metric label values).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            RoutingPolicy::RoundRobin => "round_robin",
+            RoutingPolicy::LeastOutstanding => "least_outstanding",
+            RoutingPolicy::CapacityWeighted => "capacity_weighted",
+            RoutingPolicy::FunctionAffinity => "function_affinity",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<RoutingPolicy> {
+        match s {
+            "round_robin" => Some(RoutingPolicy::RoundRobin),
+            "least_outstanding" => Some(RoutingPolicy::LeastOutstanding),
+            "capacity_weighted" => Some(RoutingPolicy::CapacityWeighted),
+            "function_affinity" => Some(RoutingPolicy::FunctionAffinity),
+            _ => None,
+        }
+    }
+
+    /// Index into [`RoutingPolicy::ALL`] (pre-resolved metric handles).
+    pub fn index(&self) -> usize {
+        match self {
+            RoutingPolicy::RoundRobin => 0,
+            RoutingPolicy::LeastOutstanding => 1,
+            RoutingPolicy::CapacityWeighted => 2,
+            RoutingPolicy::FunctionAffinity => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names_roundtrip() {
+        for p in RoutingPolicy::ALL {
+            assert_eq!(RoutingPolicy::parse(p.as_str()), Some(p));
+            assert_eq!(RoutingPolicy::ALL[p.index()], p);
+        }
+        assert_eq!(RoutingPolicy::parse("random"), None);
+    }
+
+    #[test]
+    fn target_from_ids() {
+        let ep = EndpointId::from_u128(1);
+        let pool = PoolId::from_u128(2);
+        assert_eq!(RouteTarget::from(ep), RouteTarget::Endpoint(ep));
+        assert_eq!(RouteTarget::from(pool), RouteTarget::Pool(pool));
+        assert!(RouteTarget::from(pool).to_string().starts_with("pool "));
+    }
+}

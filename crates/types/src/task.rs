@@ -122,6 +122,11 @@ pub struct TaskSpec {
     /// Whether the service may serve a memoized result (§4.7 — memoization
     /// is only used if explicitly set by the user).
     pub allow_memo: bool,
+    /// Pool this task was routed from, if the submission targeted a pool
+    /// rather than a concrete endpoint. Failover re-dispatch re-routes a
+    /// pool-routed task to a healthy sibling when its endpoint dies.
+    #[serde(default)]
+    pub pool: Option<crate::ids::PoolId>,
 }
 
 /// Terminal outcome of a task.
@@ -288,6 +293,7 @@ mod tests {
             payload: vec![1, 2, 3],
             container: None,
             allow_memo: false,
+            pool: None,
         }
     }
 

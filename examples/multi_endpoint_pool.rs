@@ -1,0 +1,111 @@
+//! Endpoint pools and failover — the funcx-router subsystem end to end.
+//!
+//! Registers three endpoints, groups them into a pool, batch-submits
+//! against the *pool* (the service routes each task to a healthy member),
+//! kills one endpoint mid-flight, and shows that every result still
+//! arrives while `/v1/pools/<id>/status` reports the victim's open
+//! circuit.
+//!
+//! ```sh
+//! cargo run --example multi_endpoint_pool
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+
+fn main() {
+    // Fabric with three endpoints: the builder's default one plus two more
+    // federated resources, all behind one cloud service.
+    let mut bed = TestBedBuilder::new()
+        .speedup(1000.0)
+        .managers(1)
+        .workers_per_manager(2)
+        .build();
+    let ep_a = bed.endpoint_id;
+    let ep_b = bed.add_endpoint("campus-cluster", 1, 2, Duration::ZERO);
+    let ep_c = bed.add_endpoint("cloud-vm", 1, 2, Duration::ZERO);
+    println!("endpoints: {ep_a}, {ep_b}, {ep_c}");
+
+    // A pool makes the three endpoints one target: the client submits to
+    // the pool id and the router picks a live member per task.
+    let pool = bed
+        .client
+        .create_pool(
+            "science-pool",
+            vec![ep_a, ep_b, ep_c],
+            RoutingPolicy::LeastOutstanding,
+            false,
+        )
+        .expect("pool creates");
+    println!("pool {pool} (least-outstanding) over 3 endpoints");
+
+    let f = bed
+        .client
+        .register_function("def cube(x):\n    return x * x * x\n", "cube")
+        .expect("function registers");
+
+    // Batch-submit 30 tasks against the pool, then kill one member while
+    // the batch is still in flight. Its dispatched-but-unfinished work is
+    // re-routed to the healthy members; nothing is lost.
+    let inputs: Vec<Vec<Value>> = (0..30).map(|i| vec![Value::Int(i)]).collect();
+    let tasks = bed
+        .client
+        .fmap(f, inputs, pool, FmapSpec::by_size(10).unwrap())
+        .expect("batch submits");
+    println!("submitted {} tasks to the pool", tasks.len());
+
+    bed.kill_endpoint(ep_b);
+    println!("killed {ep_b} mid-flight");
+
+    let results = bed
+        .client
+        .get_results(&tasks, Duration::from_secs(120))
+        .expect("every task completes despite the failure");
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r, Value::Int((i * i * i) as i64));
+    }
+    println!("all {} results arrived — zero task loss", results.len());
+
+    // The pool status route reflects the failure: the victim's circuit is
+    // open and it has left the healthy tier, the survivors are healthy.
+    // Driven through the REST handler directly (no sockets needed); with
+    // the offline stub harness serde_json cannot serialize, so fall back
+    // to the same view through the in-process API.
+    if serde_json::to_vec(&serde_json::json!({})).is_ok() {
+        let handler = funcx_service::rest::make_handler(Arc::clone(&bed.service));
+        let mut headers = std::collections::HashMap::new();
+        headers.insert("authorization".to_string(), format!("Bearer {}", bed.token));
+        let resp = handler(funcx_service::http::Request {
+            method: "GET".into(),
+            path: format!("/v1/pools/{pool}/status"),
+            headers,
+            body: Vec::new(),
+        });
+        assert_eq!(resp.status, 200);
+        let body: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        println!("GET /v1/pools/{pool}/status -> {body}");
+    } else {
+        let (_, members) = bed.service.pool_status(&bed.token, pool).unwrap();
+        for (snap, state, health) in &members {
+            println!(
+                "member {}: health={} failures={}",
+                snap.endpoint_id,
+                state.as_str(),
+                health.consecutive_failures
+            );
+        }
+    }
+    let (_, members) = bed.service.pool_status(&bed.token, pool).unwrap();
+    let victim = members.iter().find(|(s, _, _)| s.endpoint_id == ep_b).unwrap();
+    assert_eq!(victim.1.as_str(), "dead", "victim must leave the healthy tier");
+    println!(
+        "rerouted={} circuits_opened={}",
+        bed.service.metrics.counter_value("funcx_tasks_rerouted_total", &[]).unwrap_or(0),
+        bed.service.metrics.counter_value("funcx_circuits_opened_total", &[]).unwrap_or(0),
+    );
+    bed.shutdown();
+    println!("done");
+}

@@ -121,7 +121,7 @@ fn tcp_endpoint_survives_many_tasks() {
                     &token,
                     funcx_service::SubmitRequest {
                         function_id: f,
-                        endpoint_id,
+                        target: endpoint_id.into(),
                         args: vec![Value::Int(i)],
                         kwargs: vec![],
                         allow_memo: false,

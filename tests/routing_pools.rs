@@ -1,0 +1,142 @@
+//! Integration: endpoint pools end to end — a pool-targeted submission
+//! travels SDK → REST → service → router → forwarder to a live member, and
+//! killing a pool member mid-batch loses zero tasks (failover re-dispatch).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+use funcx_sdk::RestApi;
+use funcx_service::rest::serve_rest;
+
+/// The offline stub harness cannot serialize JSON or open loopback
+/// sockets; the real dependency set (CI) runs the guarded tests.
+fn rest_stack_available() -> bool {
+    serde_json::to_vec(&serde_json::json!({})).is_ok()
+}
+
+#[test]
+fn pool_submission_routes_over_real_rest() {
+    if !rest_stack_available() {
+        eprintln!("skipping: serde_json stubbed");
+        return;
+    }
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let ep_b = bed.add_endpoint("pool-b", 1, 2, Duration::ZERO);
+    let ep_c = bed.add_endpoint("pool-c", 1, 2, Duration::ZERO);
+    let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
+    let rest = FuncXClient::new(
+        Arc::new(RestApi::new(server.local_addr())),
+        bed.token.clone(),
+    );
+
+    // Pool CRUD over HTTP: three members, round-robin.
+    let pool = rest
+        .create_pool(
+            "trio",
+            vec![bed.endpoint_id, ep_b, ep_c],
+            RoutingPolicy::RoundRobin,
+            false,
+        )
+        .unwrap();
+
+    // Pool-targeted run + fmap: the client names the pool, never a member.
+    let f = rest
+        .register_function("def triple(x):\n    return x * 3\n", "triple")
+        .unwrap();
+    let one = rest.run(f, pool, vec![Value::Int(7)], vec![]).unwrap();
+    assert_eq!(
+        rest.get_result(one, Duration::from_secs(30)).unwrap(),
+        Value::Int(21)
+    );
+    let inputs: Vec<Vec<Value>> = (0..12).map(|i| vec![Value::Int(i)]).collect();
+    let tasks = rest.fmap(f, inputs, pool, FmapSpec::by_size(6).unwrap()).unwrap();
+    let results = rest.get_results(&tasks, Duration::from_secs(60)).unwrap();
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r, Value::Int(i as i64 * 3));
+    }
+
+    // Every pool submission went through the router under the pool policy.
+    let routed = bed
+        .service
+        .metrics
+        .counter_value("funcx_tasks_routed_total", &[("policy", "round_robin")])
+        .unwrap_or(0);
+    assert_eq!(routed, 13, "13 pool submissions must all be router-placed");
+
+    // Round-robin spread the batch across all three members.
+    let (record, members) = bed.service.pool_status(&bed.token, pool).unwrap();
+    assert_eq!(record.members.len(), 3);
+    assert_eq!(members.len(), 3);
+    for (snap, state, _) in &members {
+        assert_eq!(
+            state.as_str(),
+            "healthy",
+            "connected member {} must be healthy",
+            snap.endpoint_id
+        );
+    }
+    bed.shutdown();
+}
+
+#[test]
+fn killing_a_pool_member_mid_batch_loses_zero_tasks() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let ep_b = bed.add_endpoint("victim", 1, 2, Duration::ZERO);
+    let ep_c = bed.add_endpoint("survivor", 1, 2, Duration::ZERO);
+    let pool = bed
+        .client
+        .create_pool("failover-pair", vec![ep_b, ep_c], RoutingPolicy::RoundRobin, false)
+        .unwrap();
+
+    let f = bed
+        .client
+        .register_function("def sq(x):\n    return x * x\n", "sq")
+        .unwrap();
+    let tasks: Vec<TaskId> = (0..40)
+        .map(|i| bed.client.run(f, pool, vec![Value::Int(i)], vec![]).unwrap())
+        .collect();
+
+    // Kill one member while the batch is in flight: its managers die (so
+    // dispatched work never completes there) and its link drops. The
+    // forwarder's loss handling must re-route everything it owed to the
+    // surviving member.
+    bed.kill_endpoint(ep_b);
+
+    let results = bed.client.get_results(&tasks, Duration::from_secs(120)).unwrap();
+    assert_eq!(results.len(), 40, "zero task loss across the failover");
+    for (i, r) in results.iter().enumerate() {
+        assert_eq!(*r, Value::Int((i * i) as i64));
+    }
+
+    // The loss tripped the victim's circuit and re-dispatched its work.
+    let opened = bed
+        .service
+        .metrics
+        .counter_value("funcx_circuits_opened_total", &[])
+        .unwrap_or(0);
+    assert_eq!(opened, 1, "one circuit trip for the killed member");
+    let (_, members) = bed.service.pool_status(&bed.token, pool).unwrap();
+    let victim = members.iter().find(|(s, _, _)| s.endpoint_id == ep_b).unwrap();
+    assert_eq!(victim.1.as_str(), "dead", "killed member leaves the healthy tier");
+    let survivor = members.iter().find(|(s, _, _)| s.endpoint_id == ep_c).unwrap();
+    assert_eq!(survivor.1.as_str(), "healthy");
+
+    // New pool submissions keep flowing — to the survivor only.
+    let after = bed.client.run(f, pool, vec![Value::Int(9)], vec![]).unwrap();
+    assert_eq!(
+        bed.client.get_result(after, Duration::from_secs(30)).unwrap(),
+        Value::Int(81)
+    );
+    let rerouted = bed
+        .service
+        .metrics
+        .counter_value("funcx_tasks_rerouted_total", &[])
+        .unwrap_or(0);
+    assert!(
+        rerouted > 0,
+        "the victim owed tasks at kill time; they must be re-dispatched"
+    );
+    bed.shutdown();
+}
