@@ -6,6 +6,7 @@
 
 use std::collections::HashMap;
 
+use funcx_types::hash::Fnv1a;
 use funcx_types::UserId;
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
@@ -19,6 +20,27 @@ pub enum IdentityProvider {
     Google,
     /// ORCID researcher id.
     Orcid,
+}
+
+/// Derive the stable funcX user id for an identity.
+///
+/// Globus Auth issues a stable identity UUID per (username, provider) — it
+/// does not mint a fresh one each time the service restarts. We mirror that
+/// by deriving the id deterministically, which is what lets task records
+/// recovered from the write-ahead log remain owned by the user who submitted
+/// them: the same person logging back in after a crash resolves to the same
+/// [`UserId`].
+fn stable_user_id(username: &str, provider: IdentityProvider) -> UserId {
+    let tag: u8 = match provider {
+        IdentityProvider::Institution => 0,
+        IdentityProvider::Google => 1,
+        IdentityProvider::Orcid => 2,
+    };
+    let mut hi = Fnv1a::new();
+    hi.update(b"funcx-identity-hi").update(&[tag]).update_frame(username.as_bytes());
+    let mut lo = Fnv1a::new();
+    lo.update(b"funcx-identity-lo").update(&[tag]).update_frame(username.as_bytes());
+    UserId::from_u128(((hi.finish() as u128) << 64) | lo.finish() as u128)
 }
 
 /// A registered identity.
@@ -57,7 +79,7 @@ impl IdentityStore {
             return existing.user_id;
         }
         let identity = Identity {
-            user_id: UserId::random(),
+            user_id: stable_user_id(username, provider),
             username: username.to_string(),
             provider,
         };
@@ -101,6 +123,17 @@ mod tests {
         assert_eq!(a1, a2);
         assert_ne!(a1, a3, "same username at another provider is a new identity");
         assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn user_ids_are_stable_across_store_instances() {
+        // A crashed-and-recovered service builds a fresh IdentityStore; the
+        // same login must resolve to the same UserId or every recovered task
+        // record would be orphaned.
+        let before = IdentityStore::new().register("alice", IdentityProvider::Google);
+        let after = IdentityStore::new().register("alice", IdentityProvider::Google);
+        assert_eq!(before, after);
+        assert_ne!(before, IdentityStore::new().register("alicex", IdentityProvider::Google));
     }
 
     #[test]

@@ -1,0 +1,188 @@
+//! `wal` — write-ahead-log durability cost and recovery speed.
+//!
+//! ```sh
+//! cargo run --release -p funcx-bench --bin wal            # full
+//! cargo run --release -p funcx-bench --bin wal -- --quick # CI sizes
+//! ```
+//!
+//! Two questions an operator enabling `wal_dir` asks:
+//!
+//! 1. **What does durability cost per append?** The same event stream is
+//!    appended under the three fsync policies — `Always` (fsync per
+//!    record), `Batched` (group commit, the default), `Never` (OS page
+//!    cache only) — measuring throughput and p99 append latency. Group
+//!    commit is the default because it buys back almost all of the
+//!    no-fsync throughput while bounding loss to one flush interval.
+//! 2. **How long is restart?** Logs of growing sizes are recovered with
+//!    `Wal::open`, measuring wall time and replay rate.
+//!
+//! Emits `BENCH_wal.json`.
+
+use std::time::{Duration, Instant};
+
+use funcx_types::EndpointId;
+use funcx_wal::{DurableEvent, FsyncPolicy, Wal, WalConfig, WalInstruments};
+
+/// A representative journal record: a task-queue push (16-byte id) — the
+/// highest-rate event the service emits on the submit path.
+fn push_event(i: u64) -> DurableEvent {
+    DurableEvent::QueuePush {
+        endpoint_id: EndpointId::from_u128(1 + (i as u128 % 8)),
+        kind: funcx_wal::QueueKind::Task,
+        front: false,
+        item: (i as u128).to_be_bytes().to_vec(),
+    }
+}
+
+fn bench_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("funcx-bench-wal-{tag}-{}", std::process::id()))
+}
+
+struct AppendRun {
+    label: &'static str,
+    appends_per_sec: f64,
+    p99_micros: f64,
+    fsyncs: u64,
+}
+
+/// Append `n` events under `policy` into a fresh log; a final explicit
+/// sync is charged to the run so every policy ends fully durable.
+fn run_appends(label: &'static str, policy: FsyncPolicy, n: usize) -> AppendRun {
+    let dir = bench_dir(label);
+    let _ = std::fs::remove_dir_all(&dir);
+    let instruments = WalInstruments::standalone();
+    let config = WalConfig { fsync: policy, snapshot_every: 0, ..WalConfig::new(dir.clone()) };
+    let wal = Wal::open(config, instruments.clone()).expect("open wal");
+
+    let mut latencies = Vec::with_capacity(n);
+    let started = Instant::now();
+    for i in 0..n {
+        let t0 = Instant::now();
+        wal.append(&push_event(i as u64)).expect("append");
+        latencies.push(t0.elapsed());
+    }
+    wal.sync().expect("final sync");
+    let total = started.elapsed();
+
+    latencies.sort();
+    let p99 = latencies[(n * 99) / 100 - 1];
+    let run = AppendRun {
+        label,
+        appends_per_sec: n as f64 / total.as_secs_f64(),
+        p99_micros: p99.as_secs_f64() * 1e6,
+        fsyncs: instruments.fsyncs.get(),
+    };
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    run
+}
+
+struct RecoveryPoint {
+    events: usize,
+    log_bytes: u64,
+    recover_millis: f64,
+    replay_per_sec: f64,
+}
+
+/// Write an `n`-event log, close it, and time a cold `Wal::open`.
+fn run_recovery(n: usize) -> RecoveryPoint {
+    let dir = bench_dir("recovery");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = |d: &std::path::Path| WalConfig {
+        fsync: FsyncPolicy::Never, // build phase speed; sync once at the end
+        snapshot_every: 0,
+        ..WalConfig::new(d.to_path_buf())
+    };
+    let mut log_bytes = 0;
+    {
+        let wal = Wal::open(config(&dir), WalInstruments::standalone()).expect("open");
+        for i in 0..n {
+            wal.append(&push_event(i as u64)).expect("append");
+        }
+        wal.sync().expect("sync");
+        for f in wal.disk_files().expect("list files") {
+            log_bytes += std::fs::metadata(dir.join(f)).map(|m| m.len()).unwrap_or(0);
+        }
+    }
+
+    let t0 = Instant::now();
+    let wal = Wal::open(config(&dir), WalInstruments::standalone()).expect("recover");
+    let elapsed = t0.elapsed();
+    assert_eq!(wal.recovery_info().replayed, n as u64, "recovery replays the whole log");
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    RecoveryPoint {
+        events: n,
+        log_bytes,
+        recover_millis: elapsed.as_secs_f64() * 1e3,
+        replay_per_sec: n as f64 / elapsed.as_secs_f64().max(1e-9),
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let appends = if quick { 2_000 } else { 20_000 };
+    let recovery_sizes: &[usize] =
+        if quick { &[1_000, 10_000] } else { &[1_000, 10_000, 100_000, 500_000] };
+
+    println!("append cost ({appends} records each, ends fully synced):");
+    let group_commit =
+        FsyncPolicy::Batched { interval: Duration::from_millis(50), max_bytes: 1 << 20 };
+    let runs = [
+        run_appends("fsync_per_record", FsyncPolicy::Always, appends),
+        run_appends("group_commit", group_commit, appends),
+        run_appends("no_fsync", FsyncPolicy::Never, appends),
+    ];
+    for r in &runs {
+        println!(
+            "  {:>16}: {:>10.0} appends/s  p99 {:>8.1}µs  ({} fsyncs)",
+            r.label, r.appends_per_sec, r.p99_micros, r.fsyncs
+        );
+    }
+    let speedup_vs_always = runs[1].appends_per_sec / runs[0].appends_per_sec;
+    let fraction_of_never = runs[1].appends_per_sec / runs[2].appends_per_sec;
+    println!(
+        "  group commit: {speedup_vs_always:.1}x over fsync-per-record, \
+         {:.0}% of no-fsync throughput",
+        fraction_of_never * 100.0
+    );
+
+    println!("\nrecovery time vs log size:");
+    let points: Vec<RecoveryPoint> = recovery_sizes.iter().map(|&n| run_recovery(n)).collect();
+    for p in &points {
+        println!(
+            "  {:>8} events ({:>9} bytes): {:>8.1} ms  ({:.0} events/s)",
+            p.events, p.log_bytes, p.recover_millis, p.replay_per_sec
+        );
+    }
+
+    let policy_json: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"policy\": \"{}\", \"appends_per_sec\": {:.0}, \"p99_micros\": {:.1}, \"fsyncs\": {}}}",
+                r.label, r.appends_per_sec, r.p99_micros, r.fsyncs
+            )
+        })
+        .collect();
+    let recovery_json: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"events\": {}, \"log_bytes\": {}, \"recover_millis\": {:.2}, \"replay_per_sec\": {:.0}}}",
+                p.events, p.log_bytes, p.recover_millis, p.replay_per_sec
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"wal\",\n  \"quick\": {quick},\n  \"appends_per_policy\": {appends},\n  \"policies\": [\n    {}\n  ],\n  \"group_commit_speedup_vs_fsync_per_record\": {:.3},\n  \"group_commit_fraction_of_no_fsync\": {:.3},\n  \"recovery\": [\n    {}\n  ]\n}}\n",
+        policy_json.join(",\n    "),
+        speedup_vs_always,
+        fraction_of_never,
+        recovery_json.join(",\n    "),
+    );
+    std::fs::write("BENCH_wal.json", json).expect("write BENCH_wal.json");
+    println!(
+        "\nwrote BENCH_wal.json (group commit {speedup_vs_always:.1}x over fsync-per-record)"
+    );
+}

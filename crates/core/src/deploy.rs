@@ -116,6 +116,21 @@ impl TestBedBuilder {
         self
     }
 
+    /// Enable the durable write-ahead log under `dir`: every accepted
+    /// task, stored result, and queue mutation survives a service restart
+    /// (rebuild with the same directory to recover). Off by default.
+    pub fn wal_dir(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.service_config.wal_dir = Some(dir.into());
+        self
+    }
+
+    /// Fsync policy for the WAL (group commit by default); only meaningful
+    /// together with [`TestBedBuilder::wal_dir`].
+    pub fn wal_fsync(mut self, policy: funcx_service::FsyncPolicy) -> Self {
+        self.service_config.wal_fsync = policy;
+        self
+    }
+
     /// Attach a simulated container runtime (Table 2 cold-start model) and
     /// warm pool for the given system profile.
     pub fn containers(mut self, system: SystemProfile) -> Self {

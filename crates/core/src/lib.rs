@@ -31,7 +31,7 @@ pub mod deploy;
 
 pub use funcx_lang::{LangError, Value};
 pub use funcx_sdk::{FmapSpec, FuncXClient, InProcApi, RestApi, ServiceApi};
-pub use funcx_service::{FuncxService, ServiceConfig, SubmitRequest};
+pub use funcx_service::{FsyncPolicy, FuncxService, RecoveryReport, ServiceConfig, SubmitRequest};
 pub use funcx_types::{
     EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId, UserId,
 };

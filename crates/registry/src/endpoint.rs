@@ -103,6 +103,24 @@ impl EndpointRegistry {
         endpoint_id
     }
 
+    /// Re-insert a record exactly as previously registered — the WAL
+    /// recovery path. The restored endpoint always starts `Offline` (its
+    /// agent connection did not survive the crash; reconnection bumps the
+    /// generation as usual). Replaces any existing record for the id.
+    pub fn restore(&self, mut record: EndpointRecord) {
+        record.status = EndpointStatus::Offline;
+        self.by_id.write().insert(record.endpoint_id, record);
+    }
+
+    /// Remove an endpoint (deregistration). Returns the final record, or
+    /// `EndpointNotFound` if it was never registered.
+    pub fn deregister(&self, id: EndpointId) -> Result<EndpointRecord> {
+        self.by_id
+            .write()
+            .remove(&id)
+            .ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))
+    }
+
     /// Fetch an endpoint.
     pub fn get(&self, id: EndpointId) -> Result<EndpointRecord> {
         self.by_id
@@ -277,5 +295,34 @@ mod tests {
         let reg = EndpointRegistry::new();
         let id = reg.register(UserId::from_u128(1), "open", "", true, T0);
         assert!(reg.get(id).unwrap().may_use(UserId::from_u128(42), |_| false));
+    }
+
+    #[test]
+    fn restore_keeps_identity_but_starts_offline() {
+        let reg = EndpointRegistry::new();
+        let id = reg.register(UserId::from_u128(1), "ep", "", false, T0);
+        let gen = reg.mark_online(id).unwrap();
+        let mut record = reg.get(id).unwrap();
+        record.status = EndpointStatus::Online; // as snapshotted pre-crash
+        let restored = EndpointRegistry::new();
+        restored.restore(record);
+        let back = restored.get(id).unwrap();
+        assert_eq!(back.endpoint_id, id);
+        assert_eq!(back.generation, gen);
+        // The TCP session died with the host: restored endpoints are
+        // offline until the agent reconnects (which bumps the generation).
+        assert_eq!(back.status, EndpointStatus::Offline);
+        assert_eq!(restored.mark_online(id).unwrap(), gen + 1);
+    }
+
+    #[test]
+    fn deregister_removes_and_reports_missing() {
+        let reg = EndpointRegistry::new();
+        let id = reg.register(UserId::from_u128(1), "ep", "", false, T0);
+        let record = reg.deregister(id).unwrap();
+        assert_eq!(record.endpoint_id, id);
+        assert!(reg.get(id).is_err());
+        assert!(reg.deregister(id).is_err());
+        assert_eq!(reg.len(), 0);
     }
 }

@@ -99,6 +99,20 @@ impl FunctionRegistry {
         function_id
     }
 
+    /// Re-insert a record exactly as previously registered (version,
+    /// sharing and id included) — the WAL recovery path. Replaces any
+    /// existing record for the id.
+    pub fn restore(&self, record: FunctionRecord) {
+        let function_id = record.function_id;
+        let owner = record.owner;
+        self.by_id.write().insert(function_id, record);
+        let mut by_owner = self.by_owner.write();
+        let owned = by_owner.entry(owner).or_default();
+        if !owned.contains(&function_id) {
+            owned.push(function_id);
+        }
+    }
+
     /// Fetch a function.
     pub fn get(&self, id: FunctionId) -> Result<FunctionRecord> {
         self.by_id
@@ -250,5 +264,24 @@ mod tests {
         )
         .unwrap();
         assert!(reg.get(id).unwrap().may_invoke(friend, |_| false));
+    }
+
+    #[test]
+    fn restore_preserves_version_and_owner_index() {
+        let owner = UserId::from_u128(1);
+        let (reg, id) = registry_with_fn(owner, Sharing::default());
+        reg.update(id, owner, Some("new body"), None, None, None).unwrap();
+        let record = reg.get(id).unwrap();
+        assert_eq!(record.version, 2);
+
+        let restored = FunctionRegistry::new();
+        restored.restore(record.clone());
+        // Restoring twice (snapshot + replayed register event) must not
+        // duplicate the owner index entry.
+        restored.restore(record);
+        let back = restored.get(id).unwrap();
+        assert_eq!(back.version, 2);
+        assert_eq!(back.source, "new body");
+        assert_eq!(restored.list_by_owner(owner), vec![id]);
     }
 }

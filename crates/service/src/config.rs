@@ -1,8 +1,10 @@
 //! Service tunables.
 
+use std::path::PathBuf;
 use std::time::Duration;
 
 use funcx_types::time::VirtualDuration;
+use funcx_wal::FsyncPolicy;
 
 /// Configuration of the cloud service.
 #[derive(Debug, Clone)]
@@ -51,6 +53,16 @@ pub struct ServiceConfig {
     /// Router circuit breaker: how long an open circuit excludes the
     /// endpoint from pool routing (virtual).
     pub router_cooldown: VirtualDuration,
+    /// Directory for the durable write-ahead log. `None` (the default)
+    /// disables durability entirely: no file is ever created and the
+    /// service behaves exactly as before the WAL existed.
+    pub wal_dir: Option<PathBuf>,
+    /// When WAL appends are fsynced (group commit by default). Ignored
+    /// unless `wal_dir` is set.
+    pub wal_fsync: FsyncPolicy,
+    /// Snapshot + compact the WAL every N appends (`0` disables automatic
+    /// snapshots). Ignored unless `wal_dir` is set.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -70,6 +82,9 @@ impl Default for ServiceConfig {
             router_max_report_age: Duration::from_secs(30),
             router_failure_threshold: 3,
             router_cooldown: Duration::from_secs(60),
+            wal_dir: None,
+            wal_fsync: FsyncPolicy::default(),
+            snapshot_every: 4096,
         }
     }
 }
@@ -107,6 +122,11 @@ mod tests {
         assert_eq!(c.auth_cost, Duration::ZERO);
         assert!(c.payload_limit >= 64 << 10);
         assert!(c.task_shards > 1, "production default must actually shard");
+        assert!(c.wal_dir.is_none(), "durability is opt-in");
+        assert!(
+            matches!(c.wal_fsync, FsyncPolicy::Batched { .. }),
+            "group commit is the default when the WAL is enabled"
+        );
     }
 
     #[test]

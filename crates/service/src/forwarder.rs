@@ -25,6 +25,8 @@ use funcx_types::task::{TaskOutcome, TaskState};
 use funcx_types::time::{VirtualDuration, VirtualInstant};
 use funcx_types::{EndpointId, FuncxError, FunctionId, TaskId};
 
+use funcx_wal::DurableEvent;
+
 use crate::memo::MemoCache;
 use crate::service::FuncxService;
 
@@ -316,7 +318,7 @@ fn build_dispatch(
     // Per-task write section: re-check the state (another forwarder
     // generation may have raced us between the read above and now), then
     // transition and stamp. Nothing here serializes or hashes.
-    service
+    let dispatch = service
         .tasks
         .with_record_mut(task_id, |record| {
             if record.state != TaskState::WaitingForEndpoint {
@@ -334,7 +336,14 @@ fn build_dispatch(
                 container_modules,
             })
         })
-        .flatten()
+        .flatten();
+    if dispatch.is_some() {
+        // Logged after the pop (already journalled by the drain) and the
+        // transition: recovery treats a dispatched-but-unacked task as
+        // outstanding and redelivers it.
+        service.log_event(&DurableEvent::TaskDispatched { task_id });
+    }
+    dispatch
 }
 
 /// Write results into records, the memo cache, and the result queue
@@ -397,6 +406,9 @@ fn store_results(
         });
 
         // Per-task write section: stamps, transitions, outcome — only.
+        // The outcome+timeline clone for the WAL happens inside the lock
+        // (plain memcpy, no serialization) and only when a WAL is attached.
+        let wal_enabled = service.wal_enabled();
         let stored = service
             .tasks
             .with_record_mut(r.task_id, |record| {
@@ -430,14 +442,30 @@ fn store_results(
                         failure_message.clone().expect("set for failures"),
                     ));
                 }
-                Some((record.timeline.total(), record.timeline.t_exec()))
+                let logged = wal_enabled
+                    .then(|| (record.outcome.clone().expect("just set"), record.timeline));
+                Some((record.timeline.total(), record.timeline.t_exec(), logged))
             })
             .flatten();
-        let Some((total, exec)) = stored else { continue };
+        let Some((total, exec, logged)) = stored else { continue };
 
-        // Post-work: counters, memo insert, trace, result queue — all
-        // outside the task lock.
+        // Post-work: WAL append, counters, memo insert, trace, result
+        // queue — all outside the task lock.
+        if let Some((outcome, timeline)) = logged {
+            service.log_event(&DurableEvent::ResultStored {
+                task_id: r.task_id,
+                outcome,
+                timeline,
+            });
+        }
         if let Some((key, codec, body)) = memo_insert {
+            if wal_enabled {
+                service.log_event(&DurableEvent::MemoInsert {
+                    key,
+                    codec: codec.as_byte(),
+                    body: body.clone(),
+                });
+            }
             service.memo.insert(key, codec, body);
         }
         if !r.success {
@@ -454,7 +482,14 @@ fn store_results(
             "result",
             format!("task {} success {}", r.task_id, r.success),
         );
-        result_queue.push_back(FuncxService::task_id_to_queue_bytes(r.task_id));
+        if !result_queue.push_back(FuncxService::task_id_to_queue_bytes(r.task_id)) {
+            // The result itself is safe in the task record; only the
+            // queue notification was refused (endpoint deregistered).
+            service.instruments.result_pushes_refused.inc();
+            service
+                .trace
+                .record("result_push_refused", format!("task {}", r.task_id));
+        }
     }
 }
 

@@ -22,6 +22,7 @@
 //! * [`rest`] — the JSON routes bound onto [`service::FuncxService`].
 
 pub mod config;
+pub mod durability;
 pub mod forwarder;
 pub mod http;
 pub mod memo;
@@ -30,6 +31,8 @@ pub mod service;
 pub mod tasks;
 
 pub use config::ServiceConfig;
+pub use durability::RecoveryReport;
+pub use funcx_wal::FsyncPolicy;
 pub use memo::{MemoCache, MemoEntry};
 pub use service::{FuncxService, SubmitRequest};
 pub use tasks::TaskStore;

@@ -12,8 +12,8 @@ use funcx_auth::{AuthService, Scope};
 use funcx_lang::Value;
 use funcx_registry::{EndpointRegistry, FunctionRegistry, PoolRecord, PoolRegistry, Sharing};
 use funcx_router::{EndpointSnapshot, HealthSnapshot, HealthState, Router};
-use funcx_serial::{pack_buffer, Payload, Serializer};
-use funcx_store::{QueueKind, Store};
+use funcx_serial::{pack_buffer, CodecTag, Payload, Serializer};
+use funcx_store::{QueueDrainCounts, QueueKind, SharedJournal, Store};
 use funcx_telemetry::{Counter, Histogram, MetricsRegistry, TraceRing};
 use funcx_types::ids::Uuid;
 use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState};
@@ -22,8 +22,10 @@ use funcx_types::{
     ContainerImageId, EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget,
     RoutingPolicy, TaskId, UserId,
 };
+use funcx_wal::{DurableEvent, Wal, WalConfig, WalInstruments, WalState};
 
 use crate::config::ServiceConfig;
+use crate::durability::{store_queue_kind, RecoveryReport, WalJournal};
 use crate::memo::MemoCache;
 use crate::tasks::TaskStore;
 
@@ -72,6 +74,19 @@ pub(crate) struct Instruments {
     pub tasks_rerouted: Counter,
     /// Circuit-breaker trips (counted once per open edge, not per failure).
     pub circuits_opened: Counter,
+    /// Task-queue pushes refused by a closed queue (the task is failed in
+    /// place, never silently dropped).
+    pub enqueues_refused: Counter,
+    /// Result-queue pushes refused by a closed queue (the result itself is
+    /// safe in the task record; only the notification was dropped).
+    pub result_pushes_refused: Counter,
+    /// Items still buffered when a deregistered endpoint's queues were
+    /// torn down, by queue kind.
+    pub dereg_dropped_tasks: Counter,
+    pub dereg_dropped_results: Counter,
+    /// WAL appends that returned an I/O error (state kept serving from
+    /// memory).
+    pub wal_append_errors: Counter,
 }
 
 impl Instruments {
@@ -89,6 +104,15 @@ impl Instruments {
             }),
             tasks_rerouted: registry.counter("funcx_tasks_rerouted_total", &[]),
             circuits_opened: registry.counter("funcx_circuits_opened_total", &[]),
+            enqueues_refused: registry
+                .counter("funcx_queue_refusals_total", &[("kind", "task")]),
+            result_pushes_refused: registry
+                .counter("funcx_queue_refusals_total", &[("kind", "result")]),
+            dereg_dropped_tasks: registry
+                .counter("funcx_dereg_dropped_total", &[("kind", "task")]),
+            dereg_dropped_results: registry
+                .counter("funcx_dereg_dropped_total", &[("kind", "result")]),
+            wal_append_errors: registry.counter("funcx_wal_append_errors_total", &[]),
         }
     }
 }
@@ -120,6 +144,8 @@ pub struct FuncxService {
     pub trace: Arc<TraceRing>,
     pub(crate) instruments: Instruments,
     pub(crate) serializer: Serializer,
+    /// Durable write-ahead log, when `config.wal_dir` names one.
+    pub(crate) wal: Option<Arc<Wal>>,
     /// Task lifecycle records (the Redis task hashset of §4.1), sharded
     /// so pollers, submitters, and forwarders contend per-shard, never on
     /// one global lock.
@@ -127,12 +153,45 @@ pub struct FuncxService {
 }
 
 impl FuncxService {
-    /// Stand up a service on the given clock.
+    /// Stand up a service on the given clock, recovering durable state if
+    /// `config.wal_dir` names a log. Panics if the WAL cannot be opened —
+    /// use [`FuncxService::recover`] to handle that (and to inspect what
+    /// recovery found).
     pub fn new(clock: SharedClock, config: ServiceConfig) -> Arc<Self> {
+        Self::recover(clock, config)
+            .expect("failed to open the write-ahead log")
+            .0
+    }
+
+    /// Stand up a service, replaying any durable state found under
+    /// `config.wal_dir` (snapshot + surviving log suffix), then re-queueing
+    /// dispatched-but-unacked tasks for at-least-once redelivery. With
+    /// `wal_dir: None` this is `new` with an empty report.
+    pub fn recover(
+        clock: SharedClock,
+        config: ServiceConfig,
+    ) -> std::io::Result<(Arc<Self>, RecoveryReport)> {
+        let started = std::time::Instant::now();
         let metrics = MetricsRegistry::new(Arc::clone(&clock));
         let trace = Arc::new(TraceRing::new(Arc::clone(&clock), config.trace_capacity));
         let instruments = Instruments::new(&metrics);
-        Arc::new(FuncxService {
+        let wal = match &config.wal_dir {
+            Some(dir) => {
+                let wal_config = WalConfig {
+                    fsync: config.wal_fsync,
+                    snapshot_every: config.snapshot_every,
+                    ..WalConfig::new(dir.clone())
+                };
+                let wal_instruments = WalInstruments {
+                    appends: metrics.counter("funcx_wal_appends_total", &[]),
+                    fsyncs: metrics.counter("funcx_wal_fsyncs_total", &[]),
+                    bytes_written: metrics.counter("funcx_wal_bytes_written_total", &[]),
+                };
+                Some(Wal::open(wal_config, wal_instruments)?)
+            }
+            None => None,
+        };
+        let service = Arc::new(FuncxService {
             auth: AuthService::new(Arc::clone(&clock)),
             functions: FunctionRegistry::new(),
             endpoints: EndpointRegistry::new(),
@@ -145,10 +204,195 @@ impl FuncxService {
             trace,
             instruments,
             serializer: Serializer::default(),
+            wal: wal.clone(),
             tasks: TaskStore::new(config.task_shards),
             config,
             clock,
-        })
+        });
+
+        let mut report = RecoveryReport::default();
+        if let Some(wal) = wal {
+            let info = wal.recovery_info();
+            report.snapshot_loaded = info.snapshot_loaded;
+            report.events_replayed = info.replayed;
+            report.events_skipped = info.skipped;
+            report.truncated_bytes = info.truncated_bytes;
+
+            // 1. Pour the materialized log state into the live components.
+            //    The journal is NOT installed yet, so nothing restored here
+            //    is re-appended to the log.
+            let state = wal.state();
+            service.restore_state(&state, &mut report);
+
+            // 2. From now on every store mutation flows back into the log.
+            let journal: SharedJournal = Arc::new(WalJournal::new(
+                Arc::clone(&wal),
+                service.instruments.wal_append_errors.clone(),
+            ));
+            service.store.set_journal(journal);
+
+            // 3. Dispatched-but-unacked tasks go back to the *front* of
+            //    their queue. Pushing in reverse dispatch order restores
+            //    the original FIFO order at the head. The requeue event is
+            //    logged before the push: if we crash between the two, the
+            //    rescue scan of the next recovery re-enqueues the task
+            //    instead of a replay double-pushing it.
+            let unacked: Vec<TaskId> =
+                state.unacked_dispatches().iter().map(|r| r.spec.task_id).collect();
+            for &task_id in unacked.iter().rev() {
+                let Some(endpoint_id) = service
+                    .tasks
+                    .with_record_mut(task_id, |record| {
+                        if record.state == TaskState::DispatchedToEndpoint {
+                            record.transition(TaskState::WaitingForEndpoint);
+                            Some(record.spec.endpoint_id)
+                        } else {
+                            None
+                        }
+                    })
+                    .flatten()
+                else {
+                    continue;
+                };
+                service.log_event(&DurableEvent::TaskRequeued { task_id, endpoint_id });
+                service
+                    .store
+                    .queue(endpoint_id, QueueKind::Task)
+                    .push_front(Self::task_id_to_queue_bytes(task_id));
+                report.unacked_redelivered += 1;
+            }
+
+            // 4. Rescue scan: a crash can land between logging TaskCreated
+            //    and the queue push (or between a pop and the dispatch
+            //    record). Any WaitingForEndpoint task absent from its queue
+            //    would otherwise wait forever.
+            service.rescue_unqueued(&state, &mut report);
+
+            report.duration = started.elapsed();
+            service
+                .metrics
+                .counter("funcx_recovery_replayed_total", &[])
+                .add(report.events_replayed);
+            service
+                .metrics
+                .histogram("funcx_recovery_duration_seconds", &[])
+                .record(report.duration);
+            service.trace.record(
+                "recovery",
+                format!(
+                    "replayed {} tasks {} queued {} redelivered {} rescued {}",
+                    report.events_replayed,
+                    report.tasks_restored,
+                    report.queue_items_restored,
+                    report.unacked_redelivered,
+                    report.rescued
+                ),
+            );
+        }
+        Ok((service, report))
+    }
+
+    /// Pour a [`WalState`] into the live components. Called exactly once,
+    /// before the journal is installed.
+    fn restore_state(&self, state: &WalState, report: &mut RecoveryReport) {
+        for record in state.endpoints.values() {
+            self.endpoints.restore(record.clone());
+            report.endpoints_restored += 1;
+        }
+        for record in state.functions.values() {
+            self.functions.restore(record.clone());
+            report.functions_restored += 1;
+        }
+        for (&key, &(codec, ref body)) in &state.memo {
+            // Unknown codec bytes (format drift) drop the cache entry — a
+            // memo miss, never an error.
+            if let Ok(tag) = CodecTag::from_byte(codec) {
+                self.memo.insert(key, tag, body.clone());
+                report.memo_entries_restored += 1;
+            }
+        }
+        let now = self.clock.now();
+        for ((key, field), (value, expires_at_nanos)) in &state.kv {
+            let ttl = match expires_at_nanos {
+                Some(at) => {
+                    let at = VirtualInstant::from_nanos(*at);
+                    if now >= at {
+                        report.kv_entries_expired += 1;
+                        continue;
+                    }
+                    Some(at.saturating_duration_since(now))
+                }
+                None => None,
+            };
+            self.store.kv.hset_with_ttl(key, field, Bytes::copy_from_slice(value), ttl);
+            report.kv_entries_restored += 1;
+        }
+        // Deterministic insertion order (by submit time, then id) so a
+        // recovered service is reproducible under test.
+        let mut records: Vec<&TaskRecord> = state.tasks.values().collect();
+        records.sort_by_key(|r| (r.timeline.received, r.spec.task_id));
+        for record in records {
+            self.tasks.insert(record.spec.task_id, record.clone());
+            report.tasks_restored += 1;
+        }
+        for (&(endpoint_id, kind), items) in &state.queues {
+            let queue = self.store.queue(endpoint_id, store_queue_kind(kind));
+            for item in items {
+                queue.push_back(Bytes::copy_from_slice(item));
+                report.queue_items_restored += 1;
+            }
+        }
+    }
+
+    /// Re-enqueue `WaitingForEndpoint` tasks that are in no task queue —
+    /// the crash windows around a queue push. Runs after the journal is
+    /// installed, so the pushes are themselves logged.
+    fn rescue_unqueued(&self, state: &WalState, report: &mut RecoveryReport) {
+        use std::collections::HashSet;
+        let mut queued: HashSet<TaskId> = HashSet::new();
+        for (&(_, kind), items) in &state.queues {
+            if kind == funcx_wal::QueueKind::Task {
+                queued.extend(items.iter().filter_map(|b| Self::queue_bytes_to_task_id(b)));
+            }
+        }
+        let mut stranded: Vec<(Option<VirtualInstant>, TaskId, EndpointId)> = state
+            .tasks
+            .values()
+            .filter(|r| {
+                r.state == TaskState::WaitingForEndpoint
+                    && !queued.contains(&r.spec.task_id)
+                    && !state.removed_queues.contains(&r.spec.endpoint_id)
+            })
+            .map(|r| (r.timeline.received, r.spec.task_id, r.spec.endpoint_id))
+            .collect();
+        stranded.sort();
+        for (_, task_id, endpoint_id) in stranded {
+            // The requeue pass above may have pushed it meanwhile.
+            if self
+                .store
+                .queue(endpoint_id, QueueKind::Task)
+                .push_back(Self::task_id_to_queue_bytes(task_id))
+            {
+                report.rescued += 1;
+                self.trace.record("rescue", format!("task {task_id} endpoint {endpoint_id}"));
+            }
+        }
+    }
+
+    /// Append a lifecycle event to the WAL, if one is configured. Append
+    /// failures are counted, never propagated — see [`WalJournal`].
+    pub(crate) fn log_event(&self, event: &DurableEvent) {
+        if let Some(wal) = &self.wal {
+            if wal.append(event).is_err() {
+                self.instruments.wal_append_errors.inc();
+            }
+        }
+    }
+
+    /// True when a WAL is configured (used to skip clone-for-logging work
+    /// on the hot path when durability is off).
+    pub(crate) fn wal_enabled(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// The service clock (components of a deployment share it).
@@ -236,9 +480,15 @@ impl FuncxService {
             }
         }
         self.charge_store();
-        Ok(self
-            .functions
-            .register(user, name, source, entry, container, sharing, self.clock.now()))
+        let function_id =
+            self.functions
+                .register(user, name, source, entry, container, sharing, self.clock.now());
+        if self.wal_enabled() {
+            if let Ok(record) = self.functions.get(function_id) {
+                self.log_event(&DurableEvent::FunctionRegistered { record: Box::new(record) });
+            }
+        }
+        Ok(function_id)
     }
 
     /// Update a function the caller owns.
@@ -260,7 +510,14 @@ impl FuncxService {
                 .map_err(|e| FuncxError::BadRequest(format!("function body invalid: {e}")))?;
         }
         self.charge_store();
-        self.functions.update(function_id, user, source, entry, None, None)
+        let version = self.functions.update(function_id, user, source, entry, None, None)?;
+        if self.wal_enabled() {
+            if let Ok(record) = self.functions.get(function_id) {
+                // Re-logged wholesale: replay replaces the old registration.
+                self.log_event(&DurableEvent::FunctionRegistered { record: Box::new(record) });
+            }
+        }
+        Ok(version)
     }
 
     /// Register an endpoint (§3).
@@ -274,7 +531,64 @@ impl FuncxService {
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
         self.charge_store();
-        Ok(self.endpoints.register(user, name, description, public, self.clock.now()))
+        let endpoint_id = self.endpoints.register(user, name, description, public, self.clock.now());
+        if self.wal_enabled() {
+            if let Ok(record) = self.endpoints.get(endpoint_id) {
+                self.log_event(&DurableEvent::EndpointRegistered { record: Box::new(record) });
+            }
+        }
+        Ok(endpoint_id)
+    }
+
+    /// Deregister an endpoint the caller owns: fail whatever tasks were
+    /// still queued for it (they can never run there now), tear down and
+    /// close its queues, and remove the registry record. The WAL records a
+    /// terminal queue removal, so a recovered service does not resurrect
+    /// the queues. Returns what the teardown found still buffered.
+    pub fn deregister_endpoint(
+        &self,
+        bearer: &str,
+        endpoint_id: EndpointId,
+    ) -> Result<QueueDrainCounts> {
+        self.charge_auth();
+        let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
+        let record = self.endpoints.get(endpoint_id)?;
+        if record.owner != user {
+            return Err(FuncxError::Forbidden(format!(
+                "user {user} does not own endpoint {endpoint_id}"
+            )));
+        }
+        self.charge_store();
+        // Fail the queued backlog first so every stranded task carries a
+        // reason instead of waiting forever on a queue about to vanish.
+        let backlog: Vec<TaskId> = self
+            .store
+            .queue(endpoint_id, QueueKind::Task)
+            .drain(usize::MAX)
+            .iter()
+            .filter_map(|raw| Self::queue_bytes_to_task_id(raw))
+            .collect();
+        let failed = backlog.len();
+        for task_id in backlog {
+            self.fail_task(
+                task_id,
+                format!("endpoint {endpoint_id} was deregistered before the task was dispatched"),
+            );
+        }
+        let mut counts = self.store.remove_endpoint_queues(endpoint_id);
+        counts.tasks_dropped += failed;
+        self.instruments.dereg_dropped_tasks.add(counts.tasks_dropped as u64);
+        self.instruments.dereg_dropped_results.add(counts.results_dropped as u64);
+        self.endpoints.deregister(endpoint_id)?;
+        self.log_event(&DurableEvent::EndpointDeregistered { endpoint_id });
+        self.trace.record(
+            "endpoint_deregister",
+            format!(
+                "endpoint {endpoint_id} tasks_dropped {} results_dropped {}",
+                counts.tasks_dropped, counts.results_dropped
+            ),
+        );
+        Ok(counts)
     }
 
     // ---- submission -------------------------------------------------------
@@ -402,6 +716,12 @@ impl FuncxService {
                 if let Some(total) = record.timeline.total() {
                     self.instruments.task_latency.record(total);
                 }
+                if self.wal_enabled() {
+                    // Logged terminal: recovery serves the cached result.
+                    self.log_event(&DurableEvent::TaskCreated {
+                        record: Box::new(record.clone()),
+                    });
+                }
                 self.tasks.insert(task_id, record);
                 self.trace.record("memo_hit", format!("task {task_id}"));
                 return Ok(task_id);
@@ -411,12 +731,60 @@ impl FuncxService {
         self.charge_store();
         record.transition(TaskState::WaitingForEndpoint);
         record.timeline.queued_at_service = Some(self.clock.now());
+        // WAL ordering contract: the record is logged *before* its queue
+        // push. A crash in between leaves a WaitingForEndpoint task absent
+        // from its queue — exactly what recovery's rescue scan re-enqueues.
+        if self.wal_enabled() {
+            self.log_event(&DurableEvent::TaskCreated { record: Box::new(record.clone()) });
+        }
         self.tasks.insert(task_id, record);
-        self.store
+        let accepted = self
+            .store
             .queue(endpoint_id, QueueKind::Task)
             .push_back(Bytes::copy_from_slice(&task_id.uuid().as_u128().to_be_bytes()));
+        if !accepted {
+            // The queue closed under us (endpoint deregistration racing the
+            // submit). Failing the task keeps the outcome visible through
+            // get_result instead of leaving it waiting forever.
+            self.fail_refused_enqueue(task_id, endpoint_id);
+            return Ok(task_id);
+        }
         self.trace.record("submit", format!("task {task_id} endpoint {endpoint_id}"));
         Ok(task_id)
+    }
+
+    /// A task queue refused a push (closed by deregistration): fail the
+    /// task in place with a traceback-style error rather than dropping it.
+    pub(crate) fn fail_refused_enqueue(&self, task_id: TaskId, endpoint_id: EndpointId) {
+        self.instruments.enqueues_refused.inc();
+        self.trace.record("enqueue_refused", format!("task {task_id} endpoint {endpoint_id}"));
+        self.fail_task(
+            task_id,
+            format!(
+                "Traceback (most recent call last):\n  funcx.service: enqueue to endpoint \
+                 {endpoint_id} refused (queue closed)\nTaskRefused: task was never delivered"
+            ),
+        );
+    }
+
+    /// Drive a non-terminal task to `Failed` with `error`, logging the
+    /// terminal event. No-op if the task is already terminal or unknown.
+    pub(crate) fn fail_task(&self, task_id: TaskId, error: String) {
+        let applied = self
+            .tasks
+            .with_record_mut(task_id, |record| {
+                if !record.state.can_transition_to(TaskState::Failed) {
+                    return false; // terminal already, or never left Received
+                }
+                record.transition(TaskState::Failed);
+                record.outcome = Some(TaskOutcome::Failure(error.clone()));
+                true
+            })
+            .unwrap_or(false);
+        if applied {
+            self.log_event(&DurableEvent::TaskFailed { task_id, error });
+            self.instruments.tasks_failed.inc();
+        }
     }
 
     /// Batch submission with per-element failure semantics: one bad element
@@ -647,9 +1015,15 @@ impl FuncxService {
                     self.tasks.with_record_mut(task_id, |record| {
                         record.spec.endpoint_id = new_ep;
                     });
-                    self.store
+                    self.log_event(&DurableEvent::TaskRequeued { task_id, endpoint_id: new_ep });
+                    if !self
+                        .store
                         .queue(new_ep, QueueKind::Task)
-                        .push_back(Self::task_id_to_queue_bytes(task_id));
+                        .push_back(Self::task_id_to_queue_bytes(task_id))
+                    {
+                        self.fail_refused_enqueue(task_id, new_ep);
+                        continue;
+                    }
                     self.instruments.tasks_rerouted.inc();
                     self.trace.record(
                         "reroute",
@@ -658,7 +1032,14 @@ impl FuncxService {
                     rerouted += 1;
                 }
                 None => {
-                    queue.push_back(Self::task_id_to_queue_bytes(task_id));
+                    self.log_event(&DurableEvent::TaskRequeued {
+                        task_id,
+                        endpoint_id: original,
+                    });
+                    if !queue.push_back(Self::task_id_to_queue_bytes(task_id)) {
+                        self.fail_refused_enqueue(task_id, original);
+                        continue;
+                    }
                     requeued += 1;
                 }
             }
@@ -690,7 +1071,8 @@ impl FuncxService {
         let user = self.auth.authorize(bearer, Scope::ViewTask)?;
         self.charge_store();
         let now = self.clock.now();
-        self.tasks
+        let outcome = self
+            .tasks
             .with_record_mut(task_id, |record| {
                 if record.spec.user_id != user {
                     return Err(FuncxError::Forbidden("not the submitting user".into()));
@@ -700,7 +1082,12 @@ impl FuncxService {
                 }
                 Ok(record.outcome.clone())
             })
-            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?
+            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))?;
+        if matches!(outcome, Ok(Some(_))) {
+            // Durable retrieval stamp: arms the purge TTL across restarts.
+            self.log_event(&DurableEvent::ResultRetrieved { task_id, at_nanos: now.as_nanos() });
+        }
+        outcome
     }
 
     /// Full record (timeline instrumentation for the Figure 4 breakdown).
@@ -785,12 +1172,22 @@ impl FuncxService {
     pub fn purge_retrieved(&self) -> usize {
         let now = self.clock.now();
         let ttl = self.config.retrieved_result_ttl;
-        self.tasks.retain(|_, r| {
-            !(r.state.is_terminal()
+        let mut purged: Vec<TaskId> = Vec::new();
+        let count = self.tasks.retain(|id, r| {
+            let dead = r.state.is_terminal()
                 && r.retrieved_at
                     .map(|t| now.saturating_duration_since(t) >= ttl)
-                    .unwrap_or(false))
-        })
+                    .unwrap_or(false);
+            if dead {
+                purged.push(*id);
+            }
+            !dead
+        });
+        // Log outside the shard locks the retain pass held.
+        for task_id in purged {
+            self.log_event(&DurableEvent::TaskPurged { task_id });
+        }
+        count
     }
 
     /// Number of live task records (summed shard-by-shard).

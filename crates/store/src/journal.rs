@@ -1,0 +1,106 @@
+//! Journal sink: the store's hook for durable write-ahead logging.
+//!
+//! The store sits low in the crate graph (nothing above `funcx-types`), so
+//! it cannot depend on `funcx-wal`. Instead it exposes this narrow trait:
+//! every mutation of a journalled [`Store`](crate::Store) is reported as a
+//! [`JournalOp`] *while the mutated structure's lock is still held*, so the
+//! journal observes operations in exactly the order they took effect —
+//! replaying the journal reproduces the queue/hash contents byte for byte.
+//!
+//! The service layer adapts its WAL to this trait; a store with no journal
+//! installed (the default) pays one relaxed atomic load per operation.
+
+use funcx_types::EndpointId;
+use std::sync::Arc;
+
+use crate::store::QueueKind;
+
+/// One store mutation, borrowed from the caller's stack — implementations
+/// serialize it immediately and must not block on the store itself.
+#[derive(Debug)]
+pub enum JournalOp<'a> {
+    /// An item entered a queue (`front` = requeue at head).
+    QueuePush {
+        /// Queue owner.
+        endpoint: EndpointId,
+        /// Task or result queue.
+        kind: QueueKind,
+        /// True for `push_front`.
+        front: bool,
+        /// The raw item bytes.
+        item: &'a [u8],
+    },
+    /// `count` items left the front of a queue.
+    QueuePop {
+        /// Queue owner.
+        endpoint: EndpointId,
+        /// Task or result queue.
+        kind: QueueKind,
+        /// How many items were taken (≥ 1).
+        count: u32,
+    },
+    /// An endpoint's queues were closed and dropped (deregistration).
+    QueuesRemoved {
+        /// The deregistered endpoint.
+        endpoint: EndpointId,
+    },
+    /// `HSET` on the hash space.
+    KvSet {
+        /// Hash name.
+        key: &'a str,
+        /// Field within the hash.
+        field: &'a str,
+        /// Stored bytes.
+        value: &'a [u8],
+        /// Absolute virtual expiry in nanoseconds, if any.
+        expires_at_nanos: Option<u64>,
+    },
+    /// `HDEL` on the hash space.
+    KvDel {
+        /// Hash name.
+        key: &'a str,
+        /// Field within the hash.
+        field: &'a str,
+    },
+}
+
+/// A durable sink for store mutations. Implementations must be cheap and
+/// non-reentrant (never call back into the store — the reporting lock is
+/// still held).
+pub trait Journal: Send + Sync {
+    /// Record one mutation. Ordering across calls follows the order the
+    /// mutations took effect.
+    fn record(&self, op: JournalOp<'_>);
+}
+
+/// Shared journal handle installed into a [`Store`](crate::Store).
+pub type SharedJournal = Arc<dyn Journal>;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use parking_lot::Mutex;
+
+    /// Test journal that records a compact line per op.
+    #[derive(Default)]
+    pub struct RecordingJournal {
+        pub lines: Mutex<Vec<String>>,
+    }
+
+    impl Journal for RecordingJournal {
+        fn record(&self, op: JournalOp<'_>) {
+            let line = match op {
+                JournalOp::QueuePush { kind, front, item, .. } => {
+                    format!("push {} front={} {:?}", kind.label(), front, item)
+                }
+                JournalOp::QueuePop { kind, count, .. } => {
+                    format!("pop {} x{}", kind.label(), count)
+                }
+                JournalOp::QueuesRemoved { endpoint } => format!("removed {endpoint:?}"),
+                JournalOp::KvSet { key, field, .. } => format!("hset {key}.{field}"),
+                JournalOp::KvDel { key, field } => format!("hdel {key}.{field}"),
+            };
+            self.lines.lock().push(line);
+        }
+    }
+}

@@ -13,10 +13,12 @@
 //! queue pops for the forwarder's dispatch loop, and front-requeueing for
 //! at-least-once redelivery.
 
+pub mod journal;
 pub mod kv;
 pub mod queue;
 pub mod store;
 
+pub use journal::{Journal, JournalOp, SharedJournal};
 pub use kv::KvStore;
 pub use queue::BlockingQueue;
-pub use store::{QueueKind, Store};
+pub use store::{QueueDrainCounts, QueueKind, Store};

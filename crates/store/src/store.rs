@@ -9,8 +9,9 @@ use funcx_types::time::SharedClock;
 use funcx_types::EndpointId;
 use parking_lot::Mutex;
 
+use crate::journal::{JournalOp, SharedJournal};
 use crate::kv::KvStore;
-use crate::queue::BlockingQueue;
+use crate::queue::{BlockingQueue, QueueTag};
 
 /// Which per-endpoint queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,17 +32,52 @@ impl QueueKind {
     }
 }
 
+/// What `remove_endpoint_queues` found still buffered when it tore the
+/// queues down.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueDrainCounts {
+    /// Tasks that were queued but never dispatched.
+    pub tasks_dropped: usize,
+    /// Results that were stored but never retrieved through the queue.
+    pub results_dropped: usize,
+}
+
+impl QueueDrainCounts {
+    /// Total items dropped across both queues.
+    pub fn total(&self) -> usize {
+        self.tasks_dropped + self.results_dropped
+    }
+}
+
 /// The service's Redis-shaped store.
 pub struct Store {
     /// Hash space (task records, function bodies, memo cache).
     pub kv: Arc<KvStore>,
     queues: Mutex<HashMap<(EndpointId, QueueKind), Arc<BlockingQueue>>>,
+    journal: Mutex<Option<SharedJournal>>,
 }
 
 impl Store {
     /// New store on the given clock.
     pub fn new(clock: SharedClock) -> Arc<Self> {
-        Arc::new(Store { kv: KvStore::new(clock), queues: Mutex::new(HashMap::new()) })
+        Arc::new(Store {
+            kv: KvStore::new(clock),
+            queues: Mutex::new(HashMap::new()),
+            journal: Mutex::new(None),
+        })
+    }
+
+    /// Install a journal sink: every queue push/pop/removal and KV write
+    /// from now on is recorded through it, in effect order. Installed
+    /// *after* recovery replay so restored state is not re-journalled.
+    pub fn set_journal(&self, journal: SharedJournal) {
+        let queues = self.queues.lock();
+        for (&(endpoint, kind), q) in queues.iter() {
+            q.set_tag(QueueTag { journal: journal.clone(), endpoint, kind });
+        }
+        *self.journal.lock() = Some(journal.clone());
+        drop(queues);
+        self.kv.set_journal(journal);
     }
 
     /// Get (creating on first use) an endpoint's queue. Queue allocation
@@ -51,7 +87,13 @@ impl Store {
         self.queues
             .lock()
             .entry((endpoint, kind))
-            .or_insert_with(BlockingQueue::new)
+            .or_insert_with(|| {
+                let q = BlockingQueue::new();
+                if let Some(journal) = self.journal.lock().as_ref() {
+                    q.set_tag(QueueTag { journal: journal.clone(), endpoint, kind });
+                }
+                q
+            })
             .clone()
     }
 
@@ -61,13 +103,30 @@ impl Store {
     }
 
     /// Close and drop an endpoint's queues (endpoint deregistration).
-    pub fn remove_endpoint_queues(&self, endpoint: EndpointId) {
+    /// Returns how many items each queue still held — undelivered work the
+    /// caller must account for (fail the tasks, count the results).
+    ///
+    /// Journalled as a terminal [`JournalOp::QueuesRemoved`]: recovery must
+    /// not resurrect a deregistered endpoint's queues.
+    pub fn remove_endpoint_queues(&self, endpoint: EndpointId) -> QueueDrainCounts {
         let mut guard = self.queues.lock();
+        let mut counts = QueueDrainCounts::default();
         for kind in [QueueKind::Task, QueueKind::Result] {
             if let Some(q) = guard.remove(&(endpoint, kind)) {
+                let dropped = q.len();
+                match kind {
+                    QueueKind::Task => counts.tasks_dropped = dropped,
+                    QueueKind::Result => counts.results_dropped = dropped,
+                }
                 q.close();
             }
         }
+        // Record under the map lock so a concurrent `queue()` re-creation
+        // cannot journal a push that lands before the removal.
+        if let Some(journal) = self.journal.lock().as_ref() {
+            journal.record(JournalOp::QueuesRemoved { endpoint });
+        }
+        counts
     }
 
     /// Number of queues currently allocated (observability).
@@ -137,6 +196,61 @@ mod tests {
         );
         assert_eq!(QueueKind::Task.label(), "task");
         assert_eq!(QueueKind::Result.label(), "result");
+    }
+
+    #[test]
+    fn journal_observes_ops_in_effect_order() {
+        use crate::journal::test_support::RecordingJournal;
+        let store = Store::new(ManualClock::new());
+        let ep = EndpointId::from_u128(1);
+        // Queue created before the journal is installed must still be tagged.
+        let pre = store.queue(ep, QueueKind::Task);
+        let journal = Arc::new(RecordingJournal::default());
+        store.set_journal(journal.clone());
+        pre.push_back(Bytes::from_static(b"a"));
+        store.queue(ep, QueueKind::Result).push_front(Bytes::from_static(b"r"));
+        pre.try_pop();
+        store.kv.hset("h", "f", Bytes::from_static(b"v"));
+        store.kv.hdel("h", "f");
+        assert_eq!(
+            *journal.lines.lock(),
+            vec![
+                "push task front=false [97]".to_string(),
+                "push result front=true [114]".to_string(),
+                "pop task x1".to_string(),
+                "hset h.f".to_string(),
+                "hdel h.f".to_string(),
+            ]
+        );
+    }
+
+    #[test]
+    fn remove_endpoint_queues_counts_and_journals_removal() {
+        use crate::journal::test_support::RecordingJournal;
+        let store = Store::new(ManualClock::new());
+        let ep = EndpointId::from_u128(7);
+        store.queue(ep, QueueKind::Task).push_back(Bytes::from_static(b"t1"));
+        store.queue(ep, QueueKind::Task).push_back(Bytes::from_static(b"t2"));
+        store.queue(ep, QueueKind::Result).push_back(Bytes::from_static(b"r1"));
+        let journal = Arc::new(RecordingJournal::default());
+        store.set_journal(journal.clone());
+        let counts = store.remove_endpoint_queues(ep);
+        assert_eq!(counts, QueueDrainCounts { tasks_dropped: 2, results_dropped: 1 });
+        assert_eq!(counts.total(), 3);
+        assert_eq!(journal.lines.lock().last().unwrap(), &format!("removed {ep:?}"));
+        // Removing an endpoint with no queues reports zero.
+        assert_eq!(store.remove_endpoint_queues(EndpointId::from_u128(8)).total(), 0);
+    }
+
+    #[test]
+    fn unjournalled_store_records_nothing() {
+        let store = Store::new(ManualClock::new());
+        let ep = EndpointId::from_u128(1);
+        // Smoke: all paths run with no journal installed.
+        store.queue(ep, QueueKind::Task).push_back(Bytes::from_static(b"x"));
+        store.queue(ep, QueueKind::Task).try_pop();
+        store.kv.hset("h", "f", Bytes::new());
+        store.remove_endpoint_queues(ep);
     }
 
     #[test]

@@ -90,6 +90,7 @@ impl TaskState {
             (self, next),
             (Received, WaitingForEndpoint)
                 | (WaitingForEndpoint, DispatchedToEndpoint)
+                | (WaitingForEndpoint, Failed) // enqueue refused / endpoint deregistered
                 | (DispatchedToEndpoint, WaitingForLaunch)
                 | (DispatchedToEndpoint, WaitingForEndpoint) // requeue on agent loss
                 | (WaitingForLaunch, Running)
@@ -231,7 +232,7 @@ impl TaskTimeline {
 }
 
 /// The service's mutable record of a task: spec, state, timeline, outcome.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TaskRecord {
     /// What was submitted.
     pub spec: TaskSpec,
@@ -405,6 +406,7 @@ mod tests {
         let edges = [
             (Received, WaitingForEndpoint),
             (WaitingForEndpoint, DispatchedToEndpoint),
+            (WaitingForEndpoint, Failed),
             (DispatchedToEndpoint, WaitingForLaunch),
             (DispatchedToEndpoint, WaitingForEndpoint),
             (DispatchedToEndpoint, Failed),

@@ -1,0 +1,503 @@
+//! Hand-rolled binary codec for WAL payloads.
+//!
+//! Events and snapshots are hot-path, append-only and self-contained, so
+//! they use a fixed little-endian binary layout instead of a reflective
+//! format: no allocation-per-field on encode, no parser state machine on
+//! decode, and — crucially — no dependency on a serialization crate at
+//! runtime. Every composite encoder has a matching `read_*` that returns
+//! `None` on truncation or an unknown tag; recovery treats `None` as "skip
+//! this record", never as a panic.
+//!
+//! Layout conventions (all integers little-endian):
+//! * `bytes` / `str`: `u32` length prefix, then the raw bytes;
+//! * `Option<T>`: one tag byte (0 = `None`, 1 = `Some`) then `T`;
+//! * `Vec<T>`: `u32` count then each element;
+//! * enums: one tag byte, then the variant's fields.
+//!
+//! Length prefixes are bounded by the frame layer's 64 MiB payload cap, so
+//! a corrupt length cannot drive an allocation larger than the record that
+//! carries it (readers check remaining bytes before allocating).
+
+use funcx_registry::{EndpointRecord, EndpointStatus, FunctionRecord, Sharing};
+use funcx_types::stats::EndpointStatsReport;
+use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState, TaskTimeline};
+use funcx_types::time::VirtualInstant;
+use funcx_types::ids::Uuid;
+
+/// Cursor over an encoded payload. Every `take_*` advances on success and
+/// returns `None` past the end — decoders bubble that up rather than index
+/// out of bounds.
+pub struct Cur<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    /// Start reading `buf` from the beginning.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, pos: 0 }
+    }
+
+    /// True when every byte has been consumed (decoders require this so a
+    /// payload with trailing garbage is rejected, not silently accepted).
+    pub fn at_end(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Little-endian `u128`.
+    pub fn u128(&mut self) -> Option<u128> {
+        Some(u128::from_le_bytes(self.take(16)?.try_into().ok()?))
+    }
+
+    /// Length-prefixed byte string. The length is validated against the
+    /// remaining input before any allocation.
+    pub fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        if len > self.buf.len() - self.pos {
+            return None;
+        }
+        Some(self.take(len)?.to_vec())
+    }
+
+    /// Length-prefixed UTF-8 string; invalid UTF-8 is a decode error.
+    pub fn str(&mut self) -> Option<String> {
+        String::from_utf8(self.bytes()?).ok()
+    }
+
+    /// `bool` encoded as one byte; anything other than 0/1 is rejected.
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// `Option<T>` via a tag byte and a closure for the payload.
+    pub fn opt<T>(&mut self, f: impl FnOnce(&mut Self) -> Option<T>) -> Option<Option<T>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(f(self)?)),
+            _ => None,
+        }
+    }
+
+    /// Element count for a `Vec`, validated so a corrupt count cannot drive
+    /// a huge reserve: each element needs at least one byte of input.
+    pub fn count(&mut self) -> Option<usize> {
+        let n = self.u32()? as usize;
+        if n > self.buf.len() - self.pos {
+            return None;
+        }
+        Some(n)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writers. All append to a caller-owned Vec<u8>.
+// ---------------------------------------------------------------------------
+
+/// Append a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a little-endian `u128`.
+pub fn put_u128(out: &mut Vec<u8>, v: u128) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+/// Append a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, v: &str) {
+    put_bytes(out, v.as_bytes());
+}
+
+/// Append a `bool` as one byte.
+pub fn put_bool(out: &mut Vec<u8>, v: bool) {
+    out.push(v as u8);
+}
+
+/// Append an `Option<T>` via a tag byte and a closure for the payload.
+pub fn put_opt<T>(out: &mut Vec<u8>, v: Option<&T>, f: impl FnOnce(&mut Vec<u8>, &T)) {
+    match v {
+        None => out.push(0),
+        Some(inner) => {
+            out.push(1);
+            f(out, inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Domain types. Ids all wrap a Uuid (u128); VirtualInstant is u64 nanos.
+// ---------------------------------------------------------------------------
+
+/// Append any `Uuid`-wrapping id by its `u128` value.
+pub fn put_uuid(out: &mut Vec<u8>, v: Uuid) {
+    put_u128(out, v.as_u128());
+}
+
+/// Read a `Uuid`.
+pub fn read_uuid(cur: &mut Cur<'_>) -> Option<Uuid> {
+    Some(Uuid::from_u128(cur.u128()?))
+}
+
+/// Append a `VirtualInstant` as nanoseconds.
+pub fn put_instant(out: &mut Vec<u8>, v: VirtualInstant) {
+    put_u64(out, v.as_nanos());
+}
+
+/// Read a `VirtualInstant`.
+pub fn read_instant(cur: &mut Cur<'_>) -> Option<VirtualInstant> {
+    Some(VirtualInstant::from_nanos(cur.u64()?))
+}
+
+/// Append an `Option<VirtualInstant>`.
+pub fn put_opt_instant(out: &mut Vec<u8>, v: Option<VirtualInstant>) {
+    put_opt(out, v.as_ref(), |o, i| put_instant(o, *i));
+}
+
+/// Read an `Option<VirtualInstant>`.
+pub fn read_opt_instant(cur: &mut Cur<'_>) -> Option<Option<VirtualInstant>> {
+    cur.opt(read_instant)
+}
+
+/// Append a `TaskState` as its index in [`TaskState::ALL`].
+pub fn put_task_state(out: &mut Vec<u8>, v: TaskState) {
+    let tag = TaskState::ALL.iter().position(|s| *s == v).expect("state in ALL") as u8;
+    out.push(tag);
+}
+
+/// Read a `TaskState`.
+pub fn read_task_state(cur: &mut Cur<'_>) -> Option<TaskState> {
+    TaskState::ALL.get(cur.u8()? as usize).copied()
+}
+
+/// Append a `TaskOutcome`.
+pub fn put_outcome(out: &mut Vec<u8>, v: &TaskOutcome) {
+    match v {
+        TaskOutcome::Success(bytes) => {
+            out.push(0);
+            put_bytes(out, bytes);
+        }
+        TaskOutcome::Failure(msg) => {
+            out.push(1);
+            put_str(out, msg);
+        }
+    }
+}
+
+/// Read a `TaskOutcome`.
+pub fn read_outcome(cur: &mut Cur<'_>) -> Option<TaskOutcome> {
+    match cur.u8()? {
+        0 => Some(TaskOutcome::Success(cur.bytes()?)),
+        1 => Some(TaskOutcome::Failure(cur.str()?)),
+        _ => None,
+    }
+}
+
+/// Append a `TaskTimeline` (eight optional instants, field order fixed).
+pub fn put_timeline(out: &mut Vec<u8>, v: &TaskTimeline) {
+    put_opt_instant(out, v.received);
+    put_opt_instant(out, v.queued_at_service);
+    put_opt_instant(out, v.forwarder_read);
+    put_opt_instant(out, v.endpoint_received);
+    put_opt_instant(out, v.manager_received);
+    put_opt_instant(out, v.execution_start);
+    put_opt_instant(out, v.execution_end);
+    put_opt_instant(out, v.result_stored);
+}
+
+/// Read a `TaskTimeline`.
+pub fn read_timeline(cur: &mut Cur<'_>) -> Option<TaskTimeline> {
+    Some(TaskTimeline {
+        received: read_opt_instant(cur)?,
+        queued_at_service: read_opt_instant(cur)?,
+        forwarder_read: read_opt_instant(cur)?,
+        endpoint_received: read_opt_instant(cur)?,
+        manager_received: read_opt_instant(cur)?,
+        execution_start: read_opt_instant(cur)?,
+        execution_end: read_opt_instant(cur)?,
+        result_stored: read_opt_instant(cur)?,
+    })
+}
+
+/// Append a `TaskSpec`.
+pub fn put_spec(out: &mut Vec<u8>, v: &TaskSpec) {
+    put_uuid(out, v.task_id.uuid());
+    put_uuid(out, v.function_id.uuid());
+    put_uuid(out, v.endpoint_id.uuid());
+    put_uuid(out, v.user_id.uuid());
+    put_bytes(out, &v.payload);
+    put_opt(out, v.container.as_ref(), |o, c| put_uuid(o, c.uuid()));
+    put_bool(out, v.allow_memo);
+    put_opt(out, v.pool.as_ref(), |o, p| put_uuid(o, p.uuid()));
+}
+
+/// Read a `TaskSpec`.
+pub fn read_spec(cur: &mut Cur<'_>) -> Option<TaskSpec> {
+    Some(TaskSpec {
+        task_id: funcx_types::TaskId(read_uuid(cur)?),
+        function_id: funcx_types::FunctionId(read_uuid(cur)?),
+        endpoint_id: funcx_types::EndpointId(read_uuid(cur)?),
+        user_id: funcx_types::UserId(read_uuid(cur)?),
+        payload: cur.bytes()?,
+        container: cur.opt(|c| Some(funcx_types::ContainerImageId(read_uuid(c)?)))?,
+        allow_memo: cur.bool()?,
+        pool: cur.opt(|c| Some(funcx_types::PoolId(read_uuid(c)?)))?,
+    })
+}
+
+/// Append a full `TaskRecord`.
+pub fn put_task_record(out: &mut Vec<u8>, v: &TaskRecord) {
+    put_spec(out, &v.spec);
+    put_task_state(out, v.state);
+    put_timeline(out, &v.timeline);
+    put_opt(out, v.outcome.as_ref(), put_outcome);
+    put_opt_instant(out, v.retrieved_at);
+    put_u32(out, v.delivery_count);
+}
+
+/// Read a `TaskRecord`.
+pub fn read_task_record(cur: &mut Cur<'_>) -> Option<TaskRecord> {
+    let spec = read_spec(cur)?;
+    let state = read_task_state(cur)?;
+    let timeline = read_timeline(cur)?;
+    let outcome = cur.opt(read_outcome)?;
+    let retrieved_at = read_opt_instant(cur)?;
+    let delivery_count = cur.u32()?;
+    let mut record = TaskRecord::new(spec, VirtualInstant::from_nanos(0));
+    record.state = state;
+    record.timeline = timeline;
+    record.outcome = outcome;
+    record.retrieved_at = retrieved_at;
+    record.delivery_count = delivery_count;
+    Some(record)
+}
+
+/// Append an `EndpointStatsReport` (six plain `u64` fields).
+pub fn put_stats_report(out: &mut Vec<u8>, v: &EndpointStatsReport) {
+    put_u64(out, v.pending);
+    put_u64(out, v.outstanding);
+    put_u64(out, v.managers);
+    put_u64(out, v.idle_slots);
+    put_u64(out, v.requeued);
+    put_u64(out, v.results_sent);
+}
+
+/// Read an `EndpointStatsReport`.
+pub fn read_stats_report(cur: &mut Cur<'_>) -> Option<EndpointStatsReport> {
+    Some(EndpointStatsReport {
+        pending: cur.u64()?,
+        outstanding: cur.u64()?,
+        managers: cur.u64()?,
+        idle_slots: cur.u64()?,
+        requeued: cur.u64()?,
+        results_sent: cur.u64()?,
+    })
+}
+
+/// Append an `EndpointRecord`.
+pub fn put_endpoint_record(out: &mut Vec<u8>, v: &EndpointRecord) {
+    put_uuid(out, v.endpoint_id.uuid());
+    put_uuid(out, v.owner.uuid());
+    put_str(out, &v.name);
+    put_str(out, &v.description);
+    put_u32(out, v.allowed_users.len() as u32);
+    for u in &v.allowed_users {
+        put_uuid(out, u.uuid());
+    }
+    put_u32(out, v.allowed_groups.len() as u32);
+    for g in &v.allowed_groups {
+        put_uuid(out, g.0);
+    }
+    put_bool(out, v.public);
+    put_bool(out, matches!(v.status, EndpointStatus::Online));
+    put_u64(out, v.generation);
+    put_instant(out, v.registered_at);
+    put_opt(out, v.last_report.as_ref(), put_stats_report);
+    put_opt_instant(out, v.last_heartbeat);
+}
+
+/// Read an `EndpointRecord`.
+pub fn read_endpoint_record(cur: &mut Cur<'_>) -> Option<EndpointRecord> {
+    let endpoint_id = funcx_types::EndpointId(read_uuid(cur)?);
+    let owner = funcx_types::UserId(read_uuid(cur)?);
+    let name = cur.str()?;
+    let description = cur.str()?;
+    let n = cur.count()?;
+    let mut allowed_users = Vec::with_capacity(n);
+    for _ in 0..n {
+        allowed_users.push(funcx_types::UserId(read_uuid(cur)?));
+    }
+    let n = cur.count()?;
+    let mut allowed_groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        allowed_groups.push(funcx_auth::GroupId(read_uuid(cur)?));
+    }
+    Some(EndpointRecord {
+        endpoint_id,
+        owner,
+        name,
+        description,
+        allowed_users,
+        allowed_groups,
+        public: cur.bool()?,
+        status: if cur.bool()? { EndpointStatus::Online } else { EndpointStatus::Offline },
+        generation: cur.u64()?,
+        registered_at: read_instant(cur)?,
+        last_report: cur.opt(read_stats_report)?,
+        last_heartbeat: read_opt_instant(cur)?,
+    })
+}
+
+/// Append a `FunctionRecord`.
+pub fn put_function_record(out: &mut Vec<u8>, v: &FunctionRecord) {
+    put_uuid(out, v.function_id.uuid());
+    put_uuid(out, v.owner.uuid());
+    put_str(out, &v.name);
+    put_str(out, &v.source);
+    put_str(out, &v.entry);
+    put_opt(out, v.container.as_ref(), |o, c| put_uuid(o, c.uuid()));
+    put_bool(out, v.sharing.public);
+    put_u32(out, v.sharing.users.len() as u32);
+    for u in &v.sharing.users {
+        put_uuid(out, u.uuid());
+    }
+    put_u32(out, v.sharing.groups.len() as u32);
+    for g in &v.sharing.groups {
+        put_uuid(out, g.0);
+    }
+    put_u32(out, v.version);
+    put_instant(out, v.registered_at);
+}
+
+/// Read a `FunctionRecord`.
+pub fn read_function_record(cur: &mut Cur<'_>) -> Option<FunctionRecord> {
+    let function_id = funcx_types::FunctionId(read_uuid(cur)?);
+    let owner = funcx_types::UserId(read_uuid(cur)?);
+    let name = cur.str()?;
+    let source = cur.str()?;
+    let entry = cur.str()?;
+    let container = cur.opt(|c| Some(funcx_types::ContainerImageId(read_uuid(c)?)))?;
+    let public = cur.bool()?;
+    let n = cur.count()?;
+    let mut users = Vec::with_capacity(n);
+    for _ in 0..n {
+        users.push(funcx_types::UserId(read_uuid(cur)?));
+    }
+    let n = cur.count()?;
+    let mut groups = Vec::with_capacity(n);
+    for _ in 0..n {
+        groups.push(funcx_auth::GroupId(read_uuid(cur)?));
+    }
+    Some(FunctionRecord {
+        function_id,
+        owner,
+        name,
+        source,
+        entry,
+        container,
+        sharing: Sharing { public, users, groups },
+        version: cur.u32()?,
+        registered_at: read_instant(cur)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cursor_rejects_truncation_everywhere() {
+        let mut out = Vec::new();
+        put_str(&mut out, "hello");
+        put_u64(&mut out, 7);
+        for cut in 0..out.len() {
+            let mut cur = Cur::new(&out[..cut]);
+            let got = (|| {
+                let s = cur.str()?;
+                let n = cur.u64()?;
+                Some((s, n))
+            })();
+            assert!(got.is_none(), "cut at {cut} decoded {got:?}");
+        }
+        let mut cur = Cur::new(&out);
+        assert_eq!(cur.str().unwrap(), "hello");
+        assert_eq!(cur.u64().unwrap(), 7);
+        assert!(cur.at_end());
+    }
+
+    #[test]
+    fn corrupt_length_prefix_cannot_over_allocate() {
+        // A length prefix claiming 4 GiB with 2 bytes of input must fail
+        // before reserving anything.
+        let buf = [0xFF, 0xFF, 0xFF, 0xFF, 0x01, 0x02];
+        assert!(Cur::new(&buf).bytes().is_none());
+        assert!(Cur::new(&buf).count().is_none());
+    }
+
+    #[test]
+    fn bool_rejects_non_canonical_bytes() {
+        assert_eq!(Cur::new(&[0]).bool(), Some(false));
+        assert_eq!(Cur::new(&[1]).bool(), Some(true));
+        assert_eq!(Cur::new(&[2]).bool(), None);
+    }
+
+    #[test]
+    fn task_state_tags_cover_all_states() {
+        for state in TaskState::ALL {
+            let mut out = Vec::new();
+            put_task_state(&mut out, state);
+            assert_eq!(read_task_state(&mut Cur::new(&out)), Some(state));
+        }
+        assert_eq!(read_task_state(&mut Cur::new(&[7])), None);
+    }
+
+    #[test]
+    fn timeline_roundtrips_with_mixed_options() {
+        let tl = TaskTimeline {
+            received: Some(VirtualInstant::from_nanos(1)),
+            execution_start: Some(VirtualInstant::from_nanos(5)),
+            ..TaskTimeline::default()
+        };
+        let mut out = Vec::new();
+        put_timeline(&mut out, &tl);
+        let mut cur = Cur::new(&out);
+        assert_eq!(read_timeline(&mut cur), Some(tl));
+        assert!(cur.at_end());
+    }
+}

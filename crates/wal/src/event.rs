@@ -1,0 +1,516 @@
+//! The `Durable` event model: every state change that must survive a
+//! service-host crash, as an append-only sequence.
+//!
+//! The paper's service keeps this state in ElastiCache Redis and RDS, both
+//! of which outlive the service host (§4.1). Our in-process substitutes do
+//! not, so each mutation that the at-least-once contract depends on is
+//! journalled here before (or atomically with) taking effect:
+//!
+//! * task lifecycle — created, dispatched, requeued, result stored, result
+//!   retrieved, purged, failed-at-enqueue;
+//! * per-`(endpoint, queue kind)` queue pushes/pops and terminal removal;
+//! * memoization inserts (§4.7 — a warm cache is part of the service's
+//!   observable behaviour);
+//! * KV hash writes (the Redis scratch hash space);
+//! * endpoint/function registrations (the RDS registry substitute), so a
+//!   recovered service can re-dispatch without re-registration.
+//!
+//! Deliberately *not* journalled: auth sessions (Globus Auth tokens are
+//! re-minted by clients), pool/router state (health is re-learned from
+//! heartbeats), and in-flight channel buffers (redelivery covers them).
+
+use funcx_registry::{EndpointRecord, FunctionRecord};
+use funcx_types::task::{TaskOutcome, TaskRecord, TaskTimeline};
+use funcx_types::{EndpointId, TaskId};
+
+use crate::codec::{self, Cur};
+
+/// Which per-endpoint queue an event touches. Mirrors the store's queue
+/// kinds without depending on `funcx-store` (the store depends on nothing
+/// above `funcx-types`, and this crate sits beside it, not below it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// Tasks awaiting dispatch.
+    Task,
+    /// Results awaiting retrieval.
+    Result,
+}
+
+/// One durable state change. Serialized with the hand-rolled binary codec
+/// ([`crate::codec`]) inside a CRC-framed record: the framing catches
+/// torn/corrupt bytes, and an unknown variant tag fails one record, not
+/// the log (recovery skips it and keeps replaying).
+#[derive(Debug, Clone, PartialEq)]
+pub enum DurableEvent {
+    /// A task was accepted: the full record as stored at submit time
+    /// (memo hits are created terminal, so one event covers them too).
+    TaskCreated {
+        /// The record exactly as inserted into the task store.
+        record: Box<TaskRecord>,
+    },
+    /// A forwarder shipped the task to its endpoint.
+    TaskDispatched {
+        /// Which task.
+        task_id: TaskId,
+    },
+    /// A dispatched task went back to `WaitingForEndpoint` (agent loss or
+    /// failover re-route); `endpoint_id` is its home after the move.
+    TaskRequeued {
+        /// Which task.
+        task_id: TaskId,
+        /// The endpoint whose queue now holds it (differs from the spec's
+        /// original endpoint after a pool re-route).
+        endpoint_id: EndpointId,
+    },
+    /// A result (success or failure) was written into the task record.
+    ResultStored {
+        /// Which task.
+        task_id: TaskId,
+        /// The stored outcome.
+        outcome: TaskOutcome,
+        /// The completed timeline, so recovered records still answer
+        /// `/v1/tasks/<id>/timeline`.
+        timeline: TaskTimeline,
+    },
+    /// The owner fetched the outcome (arms the purge TTL).
+    ResultRetrieved {
+        /// Which task.
+        task_id: TaskId,
+        /// Virtual retrieval time (nanoseconds).
+        at_nanos: u64,
+    },
+    /// The record was purged after its retrieved-result TTL lapsed.
+    TaskPurged {
+        /// Which task.
+        task_id: TaskId,
+    },
+    /// The task was failed administratively (enqueue refused, endpoint
+    /// deregistered) rather than by a worker traceback.
+    TaskFailed {
+        /// Which task.
+        task_id: TaskId,
+        /// Human-readable reason, stored as the failure outcome.
+        error: String,
+    },
+    /// An item entered a queue.
+    QueuePush {
+        /// Queue owner.
+        endpoint_id: EndpointId,
+        /// Task or result queue.
+        kind: QueueKind,
+        /// True for front-requeue (`LPUSH`), false for append (`RPUSH`).
+        front: bool,
+        /// The raw queue item.
+        item: Vec<u8>,
+    },
+    /// `count` items left the front of a queue (pop or batch drain).
+    QueuePop {
+        /// Queue owner.
+        endpoint_id: EndpointId,
+        /// Task or result queue.
+        kind: QueueKind,
+        /// How many items were taken.
+        count: u32,
+    },
+    /// Terminal event for an endpoint's queues (deregistration): recovery
+    /// must not resurrect them.
+    QueuesRemoved {
+        /// The deregistered endpoint.
+        endpoint_id: EndpointId,
+    },
+    /// A memoized result entered the cache.
+    MemoInsert {
+        /// Memo key (function body + input hash).
+        key: u64,
+        /// Codec wire byte of the cached body.
+        codec: u8,
+        /// The unpacked result body.
+        body: Vec<u8>,
+    },
+    /// `HSET` on the KV hash space.
+    KvSet {
+        /// Hash name.
+        key: String,
+        /// Field within the hash.
+        field: String,
+        /// Stored bytes.
+        value: Vec<u8>,
+        /// Absolute virtual expiry in nanoseconds, if any.
+        expires_at_nanos: Option<u64>,
+    },
+    /// `HDEL` on the KV hash space.
+    KvDel {
+        /// Hash name.
+        key: String,
+        /// Field within the hash.
+        field: String,
+    },
+    /// An endpoint registered (RDS substitute). Re-registration of the same
+    /// id (generation bumps) replaces the record.
+    EndpointRegistered {
+        /// The registry record at registration time.
+        record: Box<EndpointRecord>,
+    },
+    /// An endpoint was deregistered and must not be recovered.
+    EndpointDeregistered {
+        /// Which endpoint.
+        endpoint_id: EndpointId,
+    },
+    /// A function registered or was updated (latest record wins on replay).
+    FunctionRegistered {
+        /// The registry record after the write.
+        record: Box<FunctionRecord>,
+    },
+}
+
+impl QueueKind {
+    fn tag(self) -> u8 {
+        match self {
+            QueueKind::Task => 0,
+            QueueKind::Result => 1,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<QueueKind> {
+        match tag {
+            0 => Some(QueueKind::Task),
+            1 => Some(QueueKind::Result),
+            _ => None,
+        }
+    }
+}
+
+impl DurableEvent {
+    /// Serialize to the on-disk payload (binary; the frame adds the CRC).
+    /// Layout: one variant tag byte, then the variant's fields in
+    /// declaration order using the [`crate::codec`] conventions.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            DurableEvent::TaskCreated { record } => {
+                out.push(0);
+                codec::put_task_record(&mut out, record);
+            }
+            DurableEvent::TaskDispatched { task_id } => {
+                out.push(1);
+                codec::put_uuid(&mut out, task_id.uuid());
+            }
+            DurableEvent::TaskRequeued { task_id, endpoint_id } => {
+                out.push(2);
+                codec::put_uuid(&mut out, task_id.uuid());
+                codec::put_uuid(&mut out, endpoint_id.uuid());
+            }
+            DurableEvent::ResultStored { task_id, outcome, timeline } => {
+                out.push(3);
+                codec::put_uuid(&mut out, task_id.uuid());
+                codec::put_outcome(&mut out, outcome);
+                codec::put_timeline(&mut out, timeline);
+            }
+            DurableEvent::ResultRetrieved { task_id, at_nanos } => {
+                out.push(4);
+                codec::put_uuid(&mut out, task_id.uuid());
+                codec::put_u64(&mut out, *at_nanos);
+            }
+            DurableEvent::TaskPurged { task_id } => {
+                out.push(5);
+                codec::put_uuid(&mut out, task_id.uuid());
+            }
+            DurableEvent::TaskFailed { task_id, error } => {
+                out.push(6);
+                codec::put_uuid(&mut out, task_id.uuid());
+                codec::put_str(&mut out, error);
+            }
+            DurableEvent::QueuePush { endpoint_id, kind, front, item } => {
+                out.push(7);
+                codec::put_uuid(&mut out, endpoint_id.uuid());
+                out.push(kind.tag());
+                codec::put_bool(&mut out, *front);
+                codec::put_bytes(&mut out, item);
+            }
+            DurableEvent::QueuePop { endpoint_id, kind, count } => {
+                out.push(8);
+                codec::put_uuid(&mut out, endpoint_id.uuid());
+                out.push(kind.tag());
+                codec::put_u32(&mut out, *count);
+            }
+            DurableEvent::QueuesRemoved { endpoint_id } => {
+                out.push(9);
+                codec::put_uuid(&mut out, endpoint_id.uuid());
+            }
+            DurableEvent::MemoInsert { key, codec: wire, body } => {
+                out.push(10);
+                codec::put_u64(&mut out, *key);
+                out.push(*wire);
+                codec::put_bytes(&mut out, body);
+            }
+            DurableEvent::KvSet { key, field, value, expires_at_nanos } => {
+                out.push(11);
+                codec::put_str(&mut out, key);
+                codec::put_str(&mut out, field);
+                codec::put_bytes(&mut out, value);
+                codec::put_opt(&mut out, expires_at_nanos.as_ref(), |o, n| codec::put_u64(o, *n));
+            }
+            DurableEvent::KvDel { key, field } => {
+                out.push(12);
+                codec::put_str(&mut out, key);
+                codec::put_str(&mut out, field);
+            }
+            DurableEvent::EndpointRegistered { record } => {
+                out.push(13);
+                codec::put_endpoint_record(&mut out, record);
+            }
+            DurableEvent::EndpointDeregistered { endpoint_id } => {
+                out.push(14);
+                codec::put_uuid(&mut out, endpoint_id.uuid());
+            }
+            DurableEvent::FunctionRegistered { record } => {
+                out.push(15);
+                codec::put_function_record(&mut out, record);
+            }
+        }
+        out
+    }
+
+    /// Parse an on-disk payload. `None` for unknown/incompatible records —
+    /// recovery skips them rather than aborting the whole log. Trailing
+    /// bytes after a decoded variant are rejected (they indicate either
+    /// corruption the CRC missed or a framing bug).
+    pub fn from_bytes(bytes: &[u8]) -> Option<DurableEvent> {
+        let mut cur = Cur::new(bytes);
+        let event = match cur.u8()? {
+            0 => DurableEvent::TaskCreated {
+                record: Box::new(codec::read_task_record(&mut cur)?),
+            },
+            1 => DurableEvent::TaskDispatched {
+                task_id: TaskId(codec::read_uuid(&mut cur)?),
+            },
+            2 => DurableEvent::TaskRequeued {
+                task_id: TaskId(codec::read_uuid(&mut cur)?),
+                endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
+            },
+            3 => DurableEvent::ResultStored {
+                task_id: TaskId(codec::read_uuid(&mut cur)?),
+                outcome: codec::read_outcome(&mut cur)?,
+                timeline: codec::read_timeline(&mut cur)?,
+            },
+            4 => DurableEvent::ResultRetrieved {
+                task_id: TaskId(codec::read_uuid(&mut cur)?),
+                at_nanos: cur.u64()?,
+            },
+            5 => DurableEvent::TaskPurged { task_id: TaskId(codec::read_uuid(&mut cur)?) },
+            6 => DurableEvent::TaskFailed {
+                task_id: TaskId(codec::read_uuid(&mut cur)?),
+                error: cur.str()?,
+            },
+            7 => DurableEvent::QueuePush {
+                endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
+                kind: QueueKind::from_tag(cur.u8()?)?,
+                front: cur.bool()?,
+                item: cur.bytes()?,
+            },
+            8 => DurableEvent::QueuePop {
+                endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
+                kind: QueueKind::from_tag(cur.u8()?)?,
+                count: cur.u32()?,
+            },
+            9 => DurableEvent::QueuesRemoved {
+                endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
+            },
+            10 => DurableEvent::MemoInsert {
+                key: cur.u64()?,
+                codec: cur.u8()?,
+                body: cur.bytes()?,
+            },
+            11 => DurableEvent::KvSet {
+                key: cur.str()?,
+                field: cur.str()?,
+                value: cur.bytes()?,
+                expires_at_nanos: cur.opt(|c| c.u64())?,
+            },
+            12 => DurableEvent::KvDel { key: cur.str()?, field: cur.str()? },
+            13 => DurableEvent::EndpointRegistered {
+                record: Box::new(codec::read_endpoint_record(&mut cur)?),
+            },
+            14 => DurableEvent::EndpointDeregistered {
+                endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
+            },
+            15 => DurableEvent::FunctionRegistered {
+                record: Box::new(codec::read_function_record(&mut cur)?),
+            },
+            _ => return None,
+        };
+        if !cur.at_end() {
+            return None;
+        }
+        Some(event)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::task::{TaskSpec, TaskState};
+    use funcx_types::time::VirtualInstant;
+    use funcx_types::{FunctionId, UserId};
+
+    fn sample_endpoint() -> EndpointRecord {
+        EndpointRecord {
+            endpoint_id: EndpointId::from_u128(3),
+            owner: UserId::from_u128(4),
+            name: "theta-knl".into(),
+            description: "test endpoint".into(),
+            allowed_users: vec![UserId::from_u128(8)],
+            allowed_groups: vec![funcx_auth::GroupId(funcx_types::ids::Uuid::from_u128(9))],
+            public: false,
+            status: funcx_registry::EndpointStatus::Online,
+            generation: 2,
+            registered_at: VirtualInstant::from_nanos(11),
+            last_report: Some(funcx_types::stats::EndpointStatsReport {
+                pending: 1,
+                outstanding: 2,
+                managers: 3,
+                idle_slots: 4,
+                requeued: 5,
+                results_sent: 6,
+            }),
+            last_heartbeat: Some(VirtualInstant::from_nanos(12)),
+        }
+    }
+
+    fn sample_function() -> FunctionRecord {
+        FunctionRecord {
+            function_id: FunctionId::from_u128(2),
+            owner: UserId::from_u128(4),
+            name: "double".into(),
+            source: "def double(x): return x * 2".into(),
+            entry: "double".into(),
+            container: None,
+            sharing: funcx_registry::Sharing {
+                public: true,
+                users: vec![],
+                groups: vec![funcx_auth::GroupId(funcx_types::ids::Uuid::from_u128(5))],
+            },
+            version: 3,
+            registered_at: VirtualInstant::from_nanos(13),
+        }
+    }
+
+    fn sample_record() -> TaskRecord {
+        TaskRecord::new(
+            TaskSpec {
+                task_id: TaskId::from_u128(1),
+                function_id: FunctionId::from_u128(2),
+                endpoint_id: EndpointId::from_u128(3),
+                user_id: UserId::from_u128(4),
+                payload: vec![9, 8, 7],
+                container: None,
+                allow_memo: true,
+                pool: None,
+            },
+            VirtualInstant::from_nanos(42),
+        )
+    }
+
+    #[test]
+    fn events_roundtrip_through_bytes() {
+        let events = vec![
+            DurableEvent::TaskCreated { record: Box::new(sample_record()) },
+            DurableEvent::TaskDispatched { task_id: TaskId::from_u128(1) },
+            DurableEvent::TaskRequeued {
+                task_id: TaskId::from_u128(1),
+                endpoint_id: EndpointId::from_u128(3),
+            },
+            DurableEvent::ResultStored {
+                task_id: TaskId::from_u128(1),
+                outcome: TaskOutcome::Success(vec![1, 2]),
+                timeline: TaskTimeline::default(),
+            },
+            DurableEvent::ResultRetrieved { task_id: TaskId::from_u128(1), at_nanos: 7 },
+            DurableEvent::TaskPurged { task_id: TaskId::from_u128(1) },
+            DurableEvent::TaskFailed { task_id: TaskId::from_u128(1), error: "gone".into() },
+            DurableEvent::QueuePush {
+                endpoint_id: EndpointId::from_u128(3),
+                kind: QueueKind::Task,
+                front: true,
+                item: vec![0xAB],
+            },
+            DurableEvent::QueuePop {
+                endpoint_id: EndpointId::from_u128(3),
+                kind: QueueKind::Result,
+                count: 4,
+            },
+            DurableEvent::QueuesRemoved { endpoint_id: EndpointId::from_u128(3) },
+            DurableEvent::MemoInsert { key: 0xDEAD, codec: b'N', body: vec![5] },
+            DurableEvent::KvSet {
+                key: "h".into(),
+                field: "f".into(),
+                value: vec![1],
+                expires_at_nanos: Some(99),
+            },
+            DurableEvent::KvDel { key: "h".into(), field: "f".into() },
+            DurableEvent::EndpointRegistered { record: Box::new(sample_endpoint()) },
+            DurableEvent::EndpointDeregistered { endpoint_id: EndpointId::from_u128(3) },
+            DurableEvent::FunctionRegistered { record: Box::new(sample_function()) },
+        ];
+        for event in events {
+            let bytes = event.to_bytes();
+            assert_eq!(DurableEvent::from_bytes(&bytes), Some(event));
+        }
+    }
+
+    #[test]
+    fn junk_bytes_parse_to_none() {
+        // 0xFF is not a variant tag; a bare tag with no fields is truncated;
+        // empty input has no tag at all.
+        assert_eq!(DurableEvent::from_bytes(&[0xFF, 1, 2, 3]), None);
+        assert_eq!(DurableEvent::from_bytes(&[0]), None);
+        assert_eq!(DurableEvent::from_bytes(b""), None);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = DurableEvent::TaskPurged { task_id: TaskId::from_u128(1) }.to_bytes();
+        assert!(DurableEvent::from_bytes(&bytes).is_some());
+        bytes.push(0x00);
+        assert_eq!(DurableEvent::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn every_truncation_of_every_event_parses_to_none() {
+        let events = vec![
+            DurableEvent::TaskCreated { record: Box::new(sample_record()) },
+            DurableEvent::ResultStored {
+                task_id: TaskId::from_u128(1),
+                outcome: TaskOutcome::Failure("boom".into()),
+                timeline: TaskTimeline::default(),
+            },
+            DurableEvent::QueuePush {
+                endpoint_id: EndpointId::from_u128(3),
+                kind: QueueKind::Result,
+                front: false,
+                item: vec![1, 2, 3, 4],
+            },
+            DurableEvent::EndpointRegistered { record: Box::new(sample_endpoint()) },
+            DurableEvent::FunctionRegistered { record: Box::new(sample_function()) },
+        ];
+        for event in events {
+            let bytes = event.to_bytes();
+            for cut in 0..bytes.len() {
+                assert_eq!(DurableEvent::from_bytes(&bytes[..cut]), None, "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn task_state_in_record_survives_roundtrip() {
+        let mut record = sample_record();
+        record.transition(TaskState::WaitingForEndpoint);
+        let event = DurableEvent::TaskCreated { record: Box::new(record) };
+        let DurableEvent::TaskCreated { record: back } =
+            DurableEvent::from_bytes(&event.to_bytes()).unwrap()
+        else {
+            panic!("variant changed");
+        };
+        assert_eq!(back.state, TaskState::WaitingForEndpoint);
+    }
+}

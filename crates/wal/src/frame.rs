@@ -1,0 +1,163 @@
+//! Record framing: `[len: u32 LE][crc32: u32 LE][payload]`.
+//!
+//! The CRC covers the payload bytes only; the length field is implicitly
+//! validated by the CRC (a corrupted length either exceeds the remaining
+//! bytes — an incomplete frame — or frames the wrong byte range, which the
+//! CRC rejects with probability 1 − 2⁻³²). Recovery reads frames until the
+//! first one that fails either check and truncates there: a torn tail
+//! (crash mid-`write`) costs exactly the records the OS never persisted,
+//! never a corrupted record.
+
+/// Frame header size: 4-byte length + 4-byte CRC.
+pub const HEADER_LEN: usize = 8;
+
+/// Upper bound on one record's payload (64 MiB). A length field above this
+/// is treated as corruption, not as an instruction to allocate gigabytes.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+/// generated at compile time so the crate needs no checksum dependency.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Frame a payload: header + payload, ready to append.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Why frame decoding stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Fewer bytes remain than a complete header + payload — the torn tail
+    /// of an interrupted append.
+    Incomplete,
+    /// The length field is beyond [`MAX_PAYLOAD`] (corrupt header).
+    BadLength,
+    /// The payload bytes do not hash to the recorded CRC.
+    BadCrc,
+}
+
+/// Decode the frame starting at `buf[offset..]`. On success returns the
+/// payload slice and the offset of the next frame.
+pub fn decode_frame(buf: &[u8], offset: usize) -> Result<(&[u8], usize), FrameError> {
+    let rest = &buf[offset.min(buf.len())..];
+    if rest.len() < HEADER_LEN {
+        return Err(FrameError::Incomplete);
+    }
+    let len = u32::from_le_bytes(rest[0..4].try_into().unwrap()) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::BadLength);
+    }
+    let crc = u32::from_le_bytes(rest[4..8].try_into().unwrap());
+    if rest.len() < HEADER_LEN + len {
+        return Err(FrameError::Incomplete);
+    }
+    let payload = &rest[HEADER_LEN..HEADER_LEN + len];
+    if crc32(payload) != crc {
+        return Err(FrameError::BadCrc);
+    }
+    Ok((payload, offset + HEADER_LEN + len))
+}
+
+/// Decode every valid frame from the start of `buf`, stopping at the first
+/// bad one. Returns the payload ranges and the byte offset of the valid
+/// prefix (callers truncate the file there).
+pub fn decode_all(buf: &[u8]) -> (Vec<&[u8]>, usize) {
+    let mut frames = Vec::new();
+    let mut offset = 0;
+    while let Ok((payload, next)) = decode_frame(buf, offset) {
+        frames.push(payload);
+        offset = next;
+    }
+    (frames, offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_reference_vectors() {
+        // Standard check value for the IEEE polynomial.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let framed = encode_frame(b"hello wal");
+        let (payload, next) = decode_frame(&framed, 0).unwrap();
+        assert_eq!(payload, b"hello wal");
+        assert_eq!(next, framed.len());
+    }
+
+    #[test]
+    fn roundtrip_many_frames() {
+        let mut buf = Vec::new();
+        for i in 0..100u32 {
+            buf.extend_from_slice(&encode_frame(format!("record-{i}").as_bytes()));
+        }
+        let (frames, valid) = decode_all(&buf);
+        assert_eq!(frames.len(), 100);
+        assert_eq!(valid, buf.len());
+        assert_eq!(frames[41], b"record-41");
+    }
+
+    #[test]
+    fn torn_tail_truncates_at_last_complete_frame() {
+        let mut buf = Vec::new();
+        let mut boundaries = vec![0usize];
+        for i in 0..10u32 {
+            buf.extend_from_slice(&encode_frame(&i.to_le_bytes()));
+            boundaries.push(buf.len());
+        }
+        // Cutting anywhere inside frame k keeps exactly frames 0..k.
+        for cut in 0..buf.len() {
+            let (frames, valid) = decode_all(&buf[..cut]);
+            let k = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(frames.len(), k, "cut at {cut}");
+            assert_eq!(valid, boundaries[k], "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn flipped_bit_is_rejected() {
+        let mut buf = encode_frame(b"payload-bytes");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x40;
+        assert_eq!(decode_frame(&buf, 0), Err(FrameError::BadCrc));
+    }
+
+    #[test]
+    fn absurd_length_is_rejected_not_allocated() {
+        let mut buf = vec![0xFFu8; 16];
+        buf[0..4].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(decode_frame(&buf, 0), Err(FrameError::BadLength));
+    }
+}

@@ -1,0 +1,30 @@
+//! funcx-wal: durable write-ahead log, snapshots, and crash recovery for
+//! the funcX service substrate.
+//!
+//! The paper's hosted service survives host restarts because its state
+//! lives in AWS ElastiCache (task store, queues) and RDS (registry) —
+//! §4.1. This crate supplies the equivalent durability for our in-process
+//! substitutes: every state change the at-least-once contract depends on
+//! is appended as a [`DurableEvent`] to a segmented, CRC-framed log
+//! ([`Wal`]), group-committed to disk, periodically folded into a
+//! [`WalState`] snapshot, and replayed on restart — including re-queueing
+//! tasks that were dispatched but never acknowledged.
+//!
+//! Module map:
+//! * [`frame`] — `[len][crc32][payload]` record framing + torn-tail scan.
+//! * [`codec`] — hand-rolled binary encode/decode for payloads.
+//! * [`event`] — the [`DurableEvent`] model of what must survive.
+//! * [`state`] — [`WalState`], the materialized view / replay target.
+//! * [`snapshot`] — whole-state snapshot encode/decode.
+//! * [`log`] — the [`Wal`]: segments, group commit, compaction, recovery.
+
+pub mod codec;
+pub mod event;
+pub mod frame;
+pub mod log;
+pub mod snapshot;
+pub mod state;
+
+pub use event::{DurableEvent, QueueKind};
+pub use log::{AppendInfo, FsyncPolicy, RecoveryInfo, Wal, WalConfig, WalInstruments};
+pub use state::WalState;

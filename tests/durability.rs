@@ -1,0 +1,399 @@
+//! Integration: durability and crash recovery (`funcx-wal`).
+//!
+//! The paper's service keeps task state in Redis/RDS and relies on the
+//! cloud provider for durability; the Rust build gets the same property
+//! from a write-ahead log. These tests kill the service with tasks in
+//! every lifecycle stage, restart from the log directory, and check the
+//! §4.1 contract across process death: no acknowledged result is lost,
+//! unacknowledged dispatches are redelivered in FIFO order, and nothing
+//! runs (or is stored) twice.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_auth::{IdentityProvider, Scope};
+use funcx_endpoint::{Agent, EndpointConfig, Manager};
+use funcx_lang::Value;
+use funcx_proto::channel::inproc_pair;
+use funcx_registry::Sharing;
+use funcx_serial::{Payload, Serializer};
+use funcx_service::forwarder::Forwarder;
+use funcx_service::{FsyncPolicy, FuncxService, ServiceConfig, SubmitRequest};
+use funcx_store::QueueKind;
+use funcx_types::task::{TaskOutcome, TaskState};
+use funcx_types::time::{RealClock, SharedClock};
+use funcx_types::{EndpointId, FunctionId, TaskId};
+
+/// Fresh, collision-free log directory under the system temp dir.
+fn unique_wal_dir(tag: &str) -> PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    std::env::temp_dir().join(format!("funcx-durability-{tag}-{}-{nanos}", std::process::id()))
+}
+
+/// Durable service profile: every append is synced before the call
+/// returns, so an abrupt kill can never lose an acknowledged write and
+/// the tests are deterministic about what survives.
+fn durable_config(dir: &Path) -> ServiceConfig {
+    ServiceConfig {
+        heartbeat_timeout: Duration::from_secs(600),
+        wal_dir: Some(dir.to_path_buf()),
+        wal_fsync: FsyncPolicy::Always,
+        ..ServiceConfig::default()
+    }
+}
+
+fn fast_endpoint_config() -> EndpointConfig {
+    EndpointConfig {
+        workers_per_manager: 4,
+        dispatch_overhead: Duration::ZERO,
+        heartbeat_period: Duration::from_secs(2),
+        heartbeat_timeout: Duration::from_secs(600),
+        ..EndpointConfig::default()
+    }
+}
+
+/// The endpoint side of one connection: forwarder + agent + managers.
+/// `managers == 0` builds an endpoint that accepts dispatches but never
+/// executes anything — the factory for dispatched-but-unacked tasks.
+struct Fabric {
+    forwarder: Forwarder,
+    agent: Agent,
+    managers: Vec<Manager>,
+}
+
+fn connect(service: &Arc<FuncxService>, endpoint_id: EndpointId, managers: usize) -> Fabric {
+    let (forwarder, channel) =
+        service.connect_endpoint(endpoint_id, Duration::ZERO).expect("endpoint registered");
+    let config = fast_endpoint_config();
+    let agent = Agent::spawn(endpoint_id, config.clone(), service.clock(), channel);
+    let mut mgrs = Vec::with_capacity(managers);
+    for _ in 0..managers {
+        let (agent_side, mgr_side) = inproc_pair();
+        mgrs.push(Manager::spawn(
+            config.clone(),
+            service.clock(),
+            Serializer::default(),
+            mgr_side,
+            None,
+            None,
+        ));
+        agent.attach_manager(agent_side);
+    }
+    Fabric { forwarder, agent, managers: mgrs }
+}
+
+impl Fabric {
+    /// Simulate abrupt process death. The forwarder's shutdown flag exits
+    /// its loop *without* the agent-loss requeue path, so tasks it had
+    /// dispatched stay `DispatchedToEndpoint` in the store — exactly the
+    /// state a real crash leaves behind for recovery to clean up.
+    fn crash(mut self) {
+        self.forwarder.stop();
+        for m in &mut self.managers {
+            m.kill();
+        }
+        self.agent.stop();
+    }
+}
+
+fn register_ident(service: &Arc<FuncxService>, token: &str) -> FunctionId {
+    service
+        .register_function(
+            token,
+            "ident",
+            "def ident(x):\n    return x\n",
+            "ident",
+            None,
+            Sharing::default(),
+        )
+        .expect("register function")
+}
+
+fn submit(
+    service: &Arc<FuncxService>,
+    token: &str,
+    f: FunctionId,
+    endpoint_id: EndpointId,
+    arg: i64,
+) -> TaskId {
+    service
+        .submit(
+            token,
+            SubmitRequest {
+                function_id: f,
+                target: endpoint_id.into(),
+                args: vec![Value::Int(arg)],
+                kwargs: vec![],
+                allow_memo: false,
+            },
+        )
+        .expect("submit")
+}
+
+/// Poll until every task reaches `want` (wall-clock deadline).
+fn wait_for_states(
+    service: &Arc<FuncxService>,
+    token: &str,
+    tasks: &[TaskId],
+    want: TaskState,
+    timeout: Duration,
+) {
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let done = tasks
+            .iter()
+            .filter(|&&t| service.status(token, t).map(|s| s == want).unwrap_or(false))
+            .count();
+        if done == tasks.len() {
+            return;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "only {done}/{} tasks reached {want:?} before the deadline",
+            tasks.len()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn await_result(
+    service: &Arc<FuncxService>,
+    token: &str,
+    task: TaskId,
+    timeout: Duration,
+) -> Option<TaskOutcome> {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if let Ok(Some(outcome)) = service.get_result(token, task) {
+            return Some(outcome);
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    None
+}
+
+fn assert_int_result(outcome: TaskOutcome, want: i64) {
+    let TaskOutcome::Success(body) = outcome else {
+        panic!("expected success, got {outcome:?}");
+    };
+    let (_, payload) = Serializer::default().deserialize_packed(&body).expect("packed result");
+    assert_eq!(payload, Payload::Document(Value::Int(want)));
+}
+
+fn queue_task_ids<B: AsRef<[u8]>>(items: &[B]) -> Vec<TaskId> {
+    items
+        .iter()
+        .map(|raw| {
+            let bytes: [u8; 16] = raw.as_ref().try_into().expect("task queue items are ids");
+            TaskId::from_u128(u128::from_be_bytes(bytes))
+        })
+        .collect()
+}
+
+/// The tentpole scenario: ≥40 tasks across two endpoints, killed with
+/// work in every stage, restarted from the log.
+///
+/// * endpoint `alpha` ran 24 tasks to completion — 4 results were
+///   retrieved, 20 are stored and unretrieved (acked, must survive);
+/// * endpoint `beta` had 20 tasks dispatched to an agent with no workers
+///   (in flight, unacked — must be redelivered FIFO, exactly once).
+#[test]
+fn kill_and_recover_preserves_acked_results_and_redelivers_unacked() {
+    let dir = unique_wal_dir("kill-recover");
+
+    // --- incarnation 1 ----------------------------------------------------
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(Arc::clone(&clock), durable_config(&dir));
+    let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    let ep_a = service.register_endpoint(&token, "alpha", "", false).unwrap();
+    let ep_b = service.register_endpoint(&token, "beta", "", false).unwrap();
+    let f = register_ident(&service, &token);
+
+    let fabric_a = connect(&service, ep_a, 1);
+    let acked: Vec<TaskId> = (0..24).map(|i| submit(&service, &token, f, ep_a, i)).collect();
+    wait_for_states(&service, &token, &acked, TaskState::Success, Duration::from_secs(30));
+    for &t in &acked[..4] {
+        let outcome = service.get_result(&token, t).unwrap().expect("stored result");
+        assert!(matches!(outcome, TaskOutcome::Success(_)));
+    }
+
+    let fabric_b = connect(&service, ep_b, 0);
+    let unacked: Vec<TaskId> =
+        (0..20).map(|i| submit(&service, &token, f, ep_b, 100 + i)).collect();
+    wait_for_states(
+        &service,
+        &token,
+        &unacked,
+        TaskState::DispatchedToEndpoint,
+        Duration::from_secs(30),
+    );
+
+    // --- crash ------------------------------------------------------------
+    fabric_a.crash();
+    fabric_b.crash();
+    drop(service);
+
+    // --- incarnation 2 ----------------------------------------------------
+    let clock2: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let (service2, report) =
+        FuncxService::recover(Arc::clone(&clock2), durable_config(&dir)).expect("recovery");
+    assert_eq!(report.tasks_restored, 44);
+    assert_eq!(report.endpoints_restored, 2);
+    assert_eq!(report.functions_restored, 1);
+    assert_eq!(report.unacked_redelivered, 20, "every in-flight task requeued");
+    assert!(report.events_replayed > 0);
+
+    // Zero acked-task loss: every alpha result survives the restart and is
+    // served to the same user on a fresh login (identities are stable
+    // across incarnations, like Globus Auth subjects).
+    let (_, token2) = service2.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    for (i, &t) in acked.iter().enumerate() {
+        assert_eq!(
+            service2.task_record(t).unwrap().state,
+            TaskState::Success,
+            "acked task {i} lost across restart"
+        );
+        let outcome =
+            service2.get_result(&token2, t).unwrap().expect("stored result must be served");
+        assert_int_result(outcome, i as i64);
+    }
+
+    // Unacked dispatches are waiting again, queued FIFO in the original
+    // submission order, each exactly once.
+    for &t in &unacked {
+        assert_eq!(service2.task_record(t).unwrap().state, TaskState::WaitingForEndpoint);
+    }
+    let queue = service2.store.queue(ep_b, QueueKind::Task);
+    assert_eq!(queue.len(), unacked.len());
+    let redelivery = queue_task_ids(&queue.drain(usize::MAX));
+    assert_eq!(redelivery, unacked, "redelivery preserves FIFO submission order");
+
+    // Terminal alpha tasks were not resurrected into any queue.
+    assert_eq!(service2.store.queue_len(ep_a, QueueKind::Task), 0);
+}
+
+/// Redelivered tasks actually run after the restart — and only once:
+/// one stored outcome and one result-queue entry per task.
+#[test]
+fn recovered_unacked_tasks_execute_exactly_once_after_restart() {
+    let dir = unique_wal_dir("redelivery");
+
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(Arc::clone(&clock), durable_config(&dir));
+    let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    let ep = service.register_endpoint(&token, "ep", "", false).unwrap();
+    let f = register_ident(&service, &token);
+
+    let fabric = connect(&service, ep, 0); // dispatches, never executes
+    let tasks: Vec<TaskId> = (0..8).map(|i| submit(&service, &token, f, ep, i)).collect();
+    wait_for_states(
+        &service,
+        &token,
+        &tasks,
+        TaskState::DispatchedToEndpoint,
+        Duration::from_secs(30),
+    );
+    fabric.crash();
+    drop(service);
+
+    let clock2: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let (service2, report) =
+        FuncxService::recover(Arc::clone(&clock2), durable_config(&dir)).expect("recovery");
+    assert_eq!(report.unacked_redelivered, 8);
+
+    // This time the endpoint has a real worker pool.
+    let fabric2 = connect(&service2, ep, 1);
+    let (_, token2) = service2.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    for (i, &t) in tasks.iter().enumerate() {
+        let outcome = await_result(&service2, &token2, t, Duration::from_secs(30))
+            .expect("redelivered task completed");
+        assert_int_result(outcome, i as i64);
+        let record = service2.task_record(t).unwrap();
+        assert!(
+            record.delivery_count >= 2,
+            "redelivery must be visible in delivery_count, got {}",
+            record.delivery_count
+        );
+        assert!(record.outcome.is_some());
+    }
+    // Exactly one result per task reached the result queue — no duplicates.
+    assert_eq!(service2.store.queue_len(ep, QueueKind::Result), tasks.len());
+    fabric2.crash();
+}
+
+/// Satellite: deregistering an endpoint is terminal — its queues do not
+/// come back on restart and its backlog tasks stay failed.
+#[test]
+fn deregistered_endpoint_queue_stays_gone_across_restart() {
+    let dir = unique_wal_dir("dereg");
+
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(Arc::clone(&clock), durable_config(&dir));
+    let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    let keep = service.register_endpoint(&token, "keep", "", false).unwrap();
+    let gone = service.register_endpoint(&token, "gone", "", false).unwrap();
+    let f = register_ident(&service, &token);
+
+    // Backlog on the doomed endpoint: never connected, tasks queue up.
+    let backlog: Vec<TaskId> = (0..3).map(|i| submit(&service, &token, f, gone, i)).collect();
+    assert_eq!(service.store.queue_len(gone, QueueKind::Task), 3);
+
+    let counts = service.deregister_endpoint(&token, gone).expect("owner may deregister");
+    assert_eq!(counts.tasks_dropped, 3, "drained backlog is reported");
+    for &t in &backlog {
+        assert_eq!(service.task_record(t).unwrap().state, TaskState::Failed);
+    }
+    drop(service);
+
+    let clock2: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let (service2, report) =
+        FuncxService::recover(Arc::clone(&clock2), durable_config(&dir)).expect("recovery");
+
+    // The surviving endpoint is back (offline until it reconnects); the
+    // deregistered one is gone for good, queue included.
+    assert!(service2.endpoints.get(keep).is_ok());
+    assert!(service2.endpoints.get(gone).is_err(), "deregistration survives restart");
+    assert_eq!(service2.store.queue_len(gone, QueueKind::Task), 0);
+    assert_eq!(report.rescued, 0, "failed backlog tasks must not be rescued");
+    for &t in &backlog {
+        let record = service2.task_record(t).unwrap();
+        assert_eq!(record.state, TaskState::Failed);
+        let Some(TaskOutcome::Failure(trace)) = record.outcome else {
+            panic!("failed task keeps its traceback");
+        };
+        assert!(trace.contains("deregistered"), "unhelpful traceback: {trace}");
+    }
+}
+
+/// Satellite regression: a submit that hits a closed task queue must fail
+/// the task with a traceback instead of silently dropping it (the old
+/// code discarded the `push_back` bool).
+#[test]
+fn submit_to_closed_queue_fails_the_task_with_a_traceback() {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(Arc::clone(&clock), ServiceConfig::default());
+    let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+    let ep = service.register_endpoint(&token, "ep", "", false).unwrap();
+    let f = register_ident(&service, &token);
+
+    service.store.queue(ep, QueueKind::Task).close();
+
+    // The submit itself succeeds (the record exists) but the task is
+    // terminally failed, with the refusal explained to the user.
+    let task = submit(&service, &token, f, ep, 7);
+    let record = service.task_record(task).unwrap();
+    assert_eq!(record.state, TaskState::Failed);
+    let Some(TaskOutcome::Failure(trace)) = record.outcome else {
+        panic!("refused task must carry a failure outcome");
+    };
+    assert!(trace.contains("Traceback"), "refusal reads like a traceback: {trace}");
+    assert!(trace.contains("refused"), "refusal names the cause: {trace}");
+    assert!(
+        service.render_metrics().contains("funcx_queue_refusals_total"),
+        "refusal counter is exported"
+    );
+}
