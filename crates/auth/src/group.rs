@@ -42,9 +42,7 @@ impl GroupStore {
     /// Create a group.
     pub fn create(&self, name: &str) -> GroupId {
         let id = GroupId(Uuid::random());
-        self.groups
-            .write()
-            .insert(id, Group { name: name.to_string(), members: HashSet::new() });
+        self.groups.write().insert(id, Group { name: name.to_string(), members: HashSet::new() });
         id
     }
 
@@ -61,11 +59,7 @@ impl GroupStore {
 
     /// Remove a member; true if they were a member.
     pub fn remove_member(&self, group: GroupId, user: UserId) -> bool {
-        self.groups
-            .write()
-            .get_mut(&group)
-            .map(|g| g.members.remove(&user))
-            .unwrap_or(false)
+        self.groups.write().get_mut(&group).map(|g| g.members.remove(&user)).unwrap_or(false)
     }
 
     /// Membership test.

@@ -103,8 +103,7 @@ mod tests {
     #[test]
     fn missing_scope_is_forbidden_not_unauthenticated() {
         let auth = AuthService::new(ManualClock::new());
-        let (_, token) =
-            auth.login("u", IdentityProvider::Google, &[Scope::ViewTask]);
+        let (_, token) = auth.login("u", IdentityProvider::Google, &[Scope::ViewTask]);
         let e = auth.authorize(&token, Scope::RegisterFunction).unwrap_err();
         assert!(matches!(e, FuncxError::Forbidden(_)));
     }

@@ -53,11 +53,8 @@ impl TokenStore {
         let mut raw = [0u8; 24];
         rand::thread_rng().fill_bytes(&mut raw);
         let bearer: String = raw.iter().map(|b| format!("{b:02x}")).collect();
-        let token = AccessToken {
-            user,
-            scopes: scopes.to_vec(),
-            expires_at: self.clock.now() + ttl,
-        };
+        let token =
+            AccessToken { user, scopes: scopes.to_vec(), expires_at: self.clock.now() + ttl };
         self.tokens.write().insert(bearer.clone(), token);
         bearer
     }

@@ -8,15 +8,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use funcx::deploy::TestBedBuilder;
 
 fn bench_dispatch(c: &mut Criterion) {
-    let bed = TestBedBuilder::new()
-        .speedup(1000.0)
-        .managers(1)
-        .workers_per_manager(4)
-        .build();
-    let f = bed
-        .client
-        .register_function("def f():\n    return None\n", "f")
-        .unwrap();
+    let bed = TestBedBuilder::new().speedup(1000.0).managers(1).workers_per_manager(4).build();
+    let f = bed.client.register_function("def f():\n    return None\n", "f").unwrap();
     // Warm everything.
     for _ in 0..5 {
         let t = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();

@@ -23,9 +23,7 @@ fn bench_execute(c: &mut Criterion) {
 
     let fib = "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n";
     g.bench_function("fib_12", |b| {
-        b.iter(|| {
-            run_function(fib, "fib", &[Value::Int(12)], &[], &NoopHooks, &limits).unwrap()
-        })
+        b.iter(|| run_function(fib, "fib", &[Value::Int(12)], &[], &NoopHooks, &limits).unwrap())
     });
 
     let loop_src = "def f(n):\n    t = 0\n    for i in range(n):\n        t += i\n    return t\n";
@@ -42,8 +40,7 @@ fn bench_execute(c: &mut Criterion) {
         let args = case.gen_args(&mut rng);
         g.bench_function(case.name(), |b| {
             b.iter(|| {
-                run_function(case.source(), case.entry(), &args, &[], &NoopHooks, &limits)
-                    .unwrap()
+                run_function(case.source(), case.entry(), &args, &[], &NoopHooks, &limits).unwrap()
             })
         });
     }

@@ -9,7 +9,9 @@ const BODY: &str = "def sleepy_double(x):\n    sleep(1)\n    return x * 2\n";
 fn bench_memo(c: &mut Criterion) {
     let mut g = c.benchmark_group("memo");
     g.bench_function("key_hash", |b| {
-        b.iter(|| MemoCache::key(std::hint::black_box(BODY), std::hint::black_box(b"{\"args\":[7]}")))
+        b.iter(|| {
+            MemoCache::key(std::hint::black_box(BODY), std::hint::black_box(b"{\"args\":[7]}"))
+        })
     });
 
     let cache = MemoCache::new(100_000);

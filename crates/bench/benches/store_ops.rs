@@ -22,9 +22,7 @@ fn bench_kv(c: &mut Criterion) {
     g.bench_function("hget_hit", |b| {
         b.iter(|| kv.hget("tasks", std::hint::black_box("t500")).unwrap())
     });
-    g.bench_function("hget_miss", |b| {
-        b.iter(|| kv.hget("tasks", std::hint::black_box("absent")))
-    });
+    g.bench_function("hget_miss", |b| b.iter(|| kv.hget("tasks", std::hint::black_box("absent"))));
     g.finish();
 }
 

@@ -73,6 +73,7 @@ fn record(id: TaskId, payload: Vec<u8>) -> TaskRecord {
             payload,
             container: None,
             allow_memo: true,
+            span: Default::default(),
         },
         VirtualInstant::ZERO,
     );
@@ -88,7 +89,13 @@ trait Store: Sync {
     /// Dispatch `batch` (round `round`'s function), complete it with
     /// `result_bytes`, then reclaim it — the churn a live forwarder
     /// generates.
-    fn churn_round(&self, serializer: &Serializer, round: u64, batch: &[TaskId], result_bytes: &[u8]);
+    fn churn_round(
+        &self,
+        serializer: &Serializer,
+        round: u64,
+        batch: &[TaskId],
+        result_bytes: &[u8],
+    );
     fn seed(&self, id: TaskId, record: TaskRecord);
 }
 
@@ -102,7 +109,13 @@ impl Store for Monolith {
         self.table.read().get(&id).map(|r| (r.state, r.outcome.clone()))
     }
 
-    fn churn_round(&self, serializer: &Serializer, round: u64, batch: &[TaskId], result_bytes: &[u8]) {
+    fn churn_round(
+        &self,
+        serializer: &Serializer,
+        round: u64,
+        batch: &[TaskId],
+        result_bytes: &[u8],
+    ) {
         let source = round_source(round);
         // Dispatch: old build_dispatch filled the code cache via
         // or_insert_with — serializing under the table's batch-wide write
@@ -164,7 +177,13 @@ impl Store for Sharded {
         self.store.read_record(id, |r| (r.state, r.outcome.clone()))
     }
 
-    fn churn_round(&self, serializer: &Serializer, round: u64, batch: &[TaskId], result_bytes: &[u8]) {
+    fn churn_round(
+        &self,
+        serializer: &Serializer,
+        round: u64,
+        batch: &[TaskId],
+        result_bytes: &[u8],
+    ) {
         let source = round_source(round);
         let _code = serializer
             .serialize_packed(
@@ -344,7 +363,10 @@ fn main() {
              speedup reads ~1x; run on >=2 cores for a meaningful comparison"
         );
     }
-    println!("{:>8} {:>20} {:>20} {:>9}", "pollers", "baseline polls/s", "sharded polls/s", "speedup");
+    println!(
+        "{:>8} {:>20} {:>20} {:>9}",
+        "pollers", "baseline polls/s", "sharded polls/s", "speedup"
+    );
 
     let mut points = Vec::new();
     let mut at8 = (0.0f64, 0.0f64);

@@ -11,11 +11,8 @@ use funcx_bench::experiments::{self, ALL_EXPERIMENTS};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let wanted: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
     let run_all = wanted.is_empty();
     let should = |id: &str| run_all || wanted.contains(&id);
 

@@ -68,11 +68,7 @@ struct Fabric {
 }
 
 fn deploy(policy: RoutingPolicy) -> Fabric {
-    let mut bed = TestBedBuilder::new()
-        .speedup(SPEEDUP)
-        .managers(1)
-        .workers_per_manager(8)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(SPEEDUP).managers(1).workers_per_manager(8).build();
     let fast = bed.endpoint_id;
     let slow = bed.add_endpoint("slow", 1, 1, Duration::ZERO);
     let flaky = bed.add_endpoint("flaky", 1, 2, Duration::from_millis(300));
@@ -121,12 +117,7 @@ fn run_policy(policy: RoutingPolicy, scenario: &Scenario) -> PolicyRun {
         let batch = fabric
             .bed
             .client
-            .fmap(
-                fabric.f,
-                inputs,
-                fabric.pool,
-                FmapSpec::by_size(scenario.wave_size).unwrap(),
-            )
+            .fmap(fabric.f, inputs, fabric.pool, FmapSpec::by_size(scenario.wave_size).unwrap())
             .expect("wave submits");
         tasks.extend(batch);
         std::thread::sleep(wall_gap);
@@ -212,18 +203,10 @@ fn run_failover(scenario: &Scenario) -> FailoverRun {
     for (i, r) in results.iter().enumerate() {
         assert_eq!(*r, Value::Int(i as i64));
     }
-    let rerouted = fabric
-        .bed
-        .service
-        .metrics
-        .counter_value("funcx_tasks_rerouted_total", &[])
-        .unwrap_or(0);
-    let circuits_opened = fabric
-        .bed
-        .service
-        .metrics
-        .counter_value("funcx_circuits_opened_total", &[])
-        .unwrap_or(0);
+    let rerouted =
+        fabric.bed.service.metrics.counter_value("funcx_tasks_rerouted_total", &[]).unwrap_or(0);
+    let circuits_opened =
+        fabric.bed.service.metrics.counter_value("funcx_circuits_opened_total", &[]).unwrap_or(0);
     fabric.bed.shutdown();
     FailoverRun { tasks: n, lost: n - results.len(), rerouted, circuits_opened }
 }

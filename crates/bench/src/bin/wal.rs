@@ -182,7 +182,5 @@ fn main() {
         recovery_json.join(",\n    "),
     );
     std::fs::write("BENCH_wal.json", json).expect("write BENCH_wal.json");
-    println!(
-        "\nwrote BENCH_wal.json (group commit {speedup_vs_always:.1}x over fsync-per-record)"
-    );
+    println!("\nwrote BENCH_wal.json (group commit {speedup_vs_always:.1}x over fsync-per-record)");
 }

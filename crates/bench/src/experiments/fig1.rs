@@ -35,9 +35,8 @@ pub fn run(n: usize, seed: u64) -> Vec<CaseLatencies> {
     CaseStudy::ALL
         .iter()
         .map(|case| {
-            let mut samples: Vec<f64> = (0..n)
-                .map(|_| case.duration_model().sample(&mut rng).as_secs_f64())
-                .collect();
+            let mut samples: Vec<f64> =
+                (0..n).map(|_| case.duration_model().sample(&mut rng).as_secs_f64()).collect();
             samples.sort_by(f64::total_cmp);
             CaseLatencies { case: *case, sorted_secs: samples }
         })

@@ -57,9 +57,8 @@ mod tests {
     #[test]
     fn completion_drops_then_diminishes_past_64() {
         for sweep in run(10_000) {
-            let at = |p: usize| {
-                sweep.points.iter().find(|(q, _)| *q == p).map(|(_, c)| *c).unwrap()
-            };
+            let at =
+                |p: usize| sweep.points.iter().find(|(q, _)| *q == p).map(|(_, c)| *c).unwrap();
             assert!(
                 at(0) > 1.4 * at(64),
                 "{}: prefetch helps dramatically ({:.1}s → {:.1}s)",

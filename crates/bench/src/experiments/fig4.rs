@@ -38,10 +38,7 @@ pub fn run(samples: usize) -> Breakdown {
         .service_costs(Duration::from_millis(35), Duration::from_millis(3))
         .wan_latency(Duration::from_millis(1))
         .build();
-    let f = bed
-        .client
-        .register_function(synthetic::ECHO_SRC, synthetic::ECHO_ENTRY)
-        .unwrap();
+    let f = bed.client.register_function(synthetic::ECHO_SRC, synthetic::ECHO_ENTRY).unwrap();
     // Warm the path first.
     for _ in 0..3 {
         let t = bed.client.run(f, bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
@@ -66,12 +63,7 @@ pub fn run(samples: usize) -> Breakdown {
     }
     bed.shutdown();
     let n = counted.max(1) as f64;
-    Breakdown {
-        ts_ms: ts / n * 1e3,
-        tf_ms: tf / n * 1e3,
-        te_ms: te / n * 1e3,
-        tw_ms: tw / n * 1e3,
-    }
+    Breakdown { ts_ms: ts / n * 1e3, tf_ms: tf / n * 1e3, te_ms: te / n * 1e3, tw_ms: tw / n * 1e3 }
 }
 
 /// Paper-shaped table.
@@ -80,8 +72,16 @@ pub fn table(b: &Breakdown) -> Table {
         "Figure 4: funcX warm-container latency breakdown (ms)",
         &["stage", "mean (ms)", "role"],
     );
-    t.row(vec!["ts".into(), format!("{:.1}", b.ts_ms), "web service (auth, store, enqueue)".into()]);
-    t.row(vec!["tf".into(), format!("{:.1}", b.tf_ms), "forwarder (read, dispatch, result)".into()]);
+    t.row(vec![
+        "ts".into(),
+        format!("{:.1}", b.ts_ms),
+        "web service (auth, store, enqueue)".into(),
+    ]);
+    t.row(vec![
+        "tf".into(),
+        format!("{:.1}", b.tf_ms),
+        "forwarder (read, dispatch, result)".into(),
+    ]);
     t.row(vec!["te".into(), format!("{:.1}", b.te_ms), "endpoint (agent/manager queuing)".into()]);
     t.row(vec!["tw".into(), format!("{:.1}", b.tw_ms), "function execution".into()]);
     t.row(vec!["total".into(), format!("{:.1}", b.total_ms()), String::new()]);

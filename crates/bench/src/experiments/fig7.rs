@@ -34,10 +34,7 @@ pub fn uniform_stream(
 ) -> Vec<LatencyPoint> {
     let f = bed
         .client
-        .register_function(
-            &format!("def f():\n    sleep({exec_s})\n    return 0\n"),
-            "f",
-        )
+        .register_function(&format!("def f():\n    sleep({exec_s})\n    return 0\n"), "f")
         .expect("sleep function registers");
     let t0 = bed.clock.now();
     let mut tasks = Vec::with_capacity(total);
@@ -53,9 +50,7 @@ pub fn uniform_stream(
         bed.clock.sleep_until(target);
     }
     let ids: Vec<TaskId> = tasks.iter().map(|(_, t)| *t).collect();
-    bed.client
-        .get_results(&ids, Duration::from_secs(120))
-        .expect("stream drains after recovery");
+    bed.client.get_results(&ids, Duration::from_secs(120)).expect("stream drains after recovery");
     tasks
         .iter()
         .map(|(submit_s, task)| {
@@ -83,11 +78,7 @@ pub fn uniform_stream(
 /// piles up a queue that drains after the replacement manager attaches.
 pub fn run() -> Vec<LatencyPoint> {
     let _guard = crate::pipeline_guard();
-    let mut bed = TestBedBuilder::new()
-        .speedup(20.0)
-        .managers(2)
-        .workers_per_manager(4)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(20.0).managers(2).workers_per_manager(4).build();
     let interval = Duration::from_micros(166_000); // 6 tasks/s
     let points = uniform_stream(&mut bed, 120, 1.0, interval, |i, bed| {
         if i == 12 {
@@ -110,10 +101,7 @@ pub fn bucketize(points: &[LatencyPoint], bucket_s: f64) -> Vec<(f64, f64)> {
         e.0 += p.latency_s;
         e.1 += 1;
     }
-    buckets
-        .into_iter()
-        .map(|(b, (sum, n))| (b as f64 * bucket_s, sum / n as f64))
-        .collect()
+    buckets.into_iter().map(|(b, (sum, n))| (b as f64 * bucket_s, sum / n as f64)).collect()
 }
 
 /// Paper-shaped timeline table.
@@ -135,11 +123,7 @@ mod tests {
         assert_eq!(points.len(), 120);
         let buckets = bucketize(&points, 2.0);
         let mean_at = |t: f64| {
-            buckets
-                .iter()
-                .find(|(b, _)| (*b - t).abs() < 0.01)
-                .map(|(_, l)| *l)
-                .unwrap_or(f64::NAN)
+            buckets.iter().find(|(b, _)| (*b - t).abs() < 0.01).map(|(_, l)| *l).unwrap_or(f64::NAN)
         };
         let healthy = mean_at(0.0);
         // The queue builds through the outage; it peaks just before the

@@ -21,11 +21,7 @@ pub fn run() -> Vec<LatencyPoint> {
     // against a sub-second healthy latency — robust even on a loaded
     // single-core host. Capacity (16 workers / 0.1 s ≫ 2/s arrivals)
     // drains the outage backlog within seconds of recovery.
-    let mut bed = TestBedBuilder::new()
-        .speedup(50.0)
-        .managers(2)
-        .workers_per_manager(8)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(50.0).managers(2).workers_per_manager(8).build();
     let interval = Duration::from_millis(500); // 2 tasks/s × 130 s
     let points = uniform_stream(&mut bed, 260, 0.1, interval, |i, bed| {
         if i == 86 {
@@ -59,11 +55,8 @@ mod tests {
         assert_eq!(points.len(), 260);
         let buckets = bucketize(&points, 5.0);
         let mean_in = |lo: f64, hi: f64| {
-            let xs: Vec<f64> = buckets
-                .iter()
-                .filter(|(t, _)| *t >= lo && *t < hi)
-                .map(|(_, l)| *l)
-                .collect();
+            let xs: Vec<f64> =
+                buckets.iter().filter(|(t, _)| *t >= lo && *t < hi).map(|(_, l)| *l).collect();
             xs.iter().sum::<f64>() / xs.len().max(1) as f64
         };
         let healthy = mean_in(0.0, 40.0);

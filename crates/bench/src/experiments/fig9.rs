@@ -68,10 +68,7 @@ pub fn run_model(tasks: usize) -> Vec<SweepPoint> {
 /// this is a genuine hot-path measurement, not virtual time).
 pub fn measure_submission(tasks: usize, batch: usize) -> f64 {
     let bed = TestBedBuilder::new().managers(1).workers_per_manager(1).build();
-    let f = bed
-        .client
-        .register_function("def f():\n    return None\n", "f")
-        .unwrap();
+    let f = bed.client.register_function("def f():\n    return None\n", "f").unwrap();
     let service = Arc::clone(&bed.service);
     let start = Instant::now();
     let mut submitted = 0usize;
@@ -101,11 +98,7 @@ pub fn table(points: &[SweepPoint]) -> Table {
         &["workers", "batch", "throughput (func/s)"],
     );
     for p in points {
-        t.row(vec![
-            p.workers.to_string(),
-            p.batch.to_string(),
-            format!("{:.0}", p.throughput),
-        ]);
+        t.row(vec![p.workers.to_string(), p.batch.to_string(), format!("{:.0}", p.throughput)]);
     }
     t
 }
@@ -157,9 +150,7 @@ mod tests {
 
         let t0 = bed.clock.now();
         for _ in 0..10 {
-            bed.service
-                .submit_batch(&bed.token, (0..100).map(|_| request()).collect())
-                .unwrap();
+            bed.service.submit_batch(&bed.token, (0..100).map(|_| request()).collect()).unwrap();
         }
         let batched = bed.clock.now().saturating_duration_since(t0);
         let per_batched = batched.as_secs_f64() / 1000.0;

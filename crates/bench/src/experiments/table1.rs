@@ -8,7 +8,6 @@
 //! part of every round trip. funcX cold start restarts the endpoint so the
 //! first function pays container instantiation.
 
-
 use std::time::Duration;
 
 use funcx::deploy::TestBedBuilder;
@@ -74,26 +73,19 @@ pub fn measure_funcx(warm_samples: usize, cold_runs: usize, seed: u64) -> Provid
         .expect("echo registers");
     // Prime the path (cold machinery, thread wake-ups).
     for _ in 0..3 {
-        let t = bed
-            .client
-            .run(f, bed.endpoint_id, synthetic::echo_args(), vec![])
-            .unwrap();
+        let t = bed.client.run(f, bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
         bed.client.get_result(t, Duration::from_secs(60)).unwrap();
     }
     let mut warm = Vec::with_capacity(warm_samples);
     let mut function_ms = Vec::with_capacity(warm_samples);
     for _ in 0..warm_samples {
         let t0 = bed.clock.now();
-        let t = bed
-            .client
-            .run(f, bed.endpoint_id, synthetic::echo_args(), vec![])
-            .unwrap();
+        let t = bed.client.run(f, bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
         bed.client.get_result(t, Duration::from_secs(60)).unwrap();
         let service_rtt = bed.clock.now().saturating_duration_since(t0).as_secs_f64() * 1e3;
         warm.push(service_rtt + 2.0 * CLIENT_WAN_MS);
         let record = bed.service.task_record(t).unwrap();
-        function_ms
-            .push(record.timeline.t_exec().unwrap_or(Duration::ZERO).as_secs_f64() * 1e3);
+        function_ms.push(record.timeline.t_exec().unwrap_or(Duration::ZERO).as_secs_f64() * 1e3);
     }
     bed.shutdown();
 
@@ -132,10 +124,8 @@ pub fn measure_funcx(warm_samples: usize, cold_runs: usize, seed: u64) -> Provid
             )
             .unwrap();
         let t0 = cold_bed.clock.now();
-        let t = cold_bed
-            .client
-            .run(f, cold_bed.endpoint_id, synthetic::echo_args(), vec![])
-            .unwrap();
+        let t =
+            cold_bed.client.run(f, cold_bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
         cold_bed.client.get_result(t, Duration::from_secs(120)).unwrap();
         let rtt = cold_bed.clock.now().saturating_duration_since(t0).as_secs_f64() * 1e3;
         cold.push(rtt + 2.0 * CLIENT_WAN_MS);

@@ -35,8 +35,7 @@ pub fn run(n: usize, seed: u64) -> Vec<InstantiationRow> {
         .iter()
         .map(|&(system, tech)| {
             let model = ColdStartModel::for_pair(system, tech);
-            let samples: Vec<f64> =
-                (0..n).map(|_| model.sample(&mut rng).as_secs_f64()).collect();
+            let samples: Vec<f64> = (0..n).map(|_| model.sample(&mut rng).as_secs_f64()).collect();
             InstantiationRow {
                 system,
                 tech,

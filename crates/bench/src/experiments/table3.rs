@@ -28,10 +28,7 @@ pub struct MemoPoint {
 pub fn run(tasks: usize, workers: usize) -> Vec<MemoPoint> {
     [0u32, 25, 50, 75, 100]
         .iter()
-        .map(|&pct| MemoPoint {
-            repeat_pct: pct,
-            completion_s: run_point(tasks, workers, pct),
-        })
+        .map(|&pct| MemoPoint { repeat_pct: pct, completion_s: run_point(tasks, workers, pct) })
         .collect()
 }
 
@@ -40,15 +37,9 @@ fn run_point(tasks: usize, workers: usize, repeat_pct: u32) -> f64 {
     // Speedup 100 keeps the wall-poll tick (≈0.1 virtual s) well below the
     // 1-virtual-second executions, so completion time is dominated by the
     // work memoization elides rather than by pipeline noise.
-    let mut bed = TestBedBuilder::new()
-        .speedup(100.0)
-        .managers(1)
-        .workers_per_manager(workers)
-        .build();
-    let f = bed
-        .client
-        .register_function(synthetic::MEMO_SRC, synthetic::MEMO_ENTRY)
-        .unwrap();
+    let mut bed =
+        TestBedBuilder::new().speedup(100.0).managers(1).workers_per_manager(workers).build();
+    let f = bed.client.register_function(synthetic::MEMO_SRC, synthetic::MEMO_ENTRY).unwrap();
 
     let distinct = tasks - tasks * repeat_pct as usize / 100;
     let repeats = tasks - distinct;
@@ -57,9 +48,7 @@ fn run_point(tasks: usize, workers: usize, repeat_pct: u32) -> f64 {
     // Distinct wave: unique inputs, all execute for 1 virtual second.
     let distinct_ids: Vec<TaskId> = (0..distinct)
         .map(|i| {
-            bed.client
-                .run_memoized(f, bed.endpoint_id, vec![Value::Int(i as i64)], vec![])
-                .unwrap()
+            bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(i as i64)], vec![]).unwrap()
         })
         .collect();
     if !distinct_ids.is_empty() {
@@ -68,10 +57,8 @@ fn run_point(tasks: usize, workers: usize, repeat_pct: u32) -> f64 {
             .expect("distinct wave completes");
     } else {
         // 100% repeats still needs one cached execution to repeat.
-        let seed = bed
-            .client
-            .run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![])
-            .unwrap();
+        let seed =
+            bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![]).unwrap();
         bed.client.get_result(seed, Duration::from_secs(600)).unwrap();
     }
 
@@ -80,9 +67,7 @@ fn run_point(tasks: usize, workers: usize, repeat_pct: u32) -> f64 {
     let repeat_ids: Vec<TaskId> = (0..repeats)
         .map(|i| {
             let key = (i % distinct.max(1)) as i64;
-            bed.client
-                .run_memoized(f, bed.endpoint_id, vec![Value::Int(key)], vec![])
-                .unwrap()
+            bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(key)], vec![]).unwrap()
         })
         .collect();
     if !repeat_ids.is_empty() {

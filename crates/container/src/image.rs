@@ -46,12 +46,16 @@ impl ImageRegistry {
     }
 
     /// Register an image.
-    pub fn register(&self, name: &str, tech: ContainerTech, modules: Vec<String>) -> ContainerImageId {
+    pub fn register(
+        &self,
+        name: &str,
+        tech: ContainerTech,
+        modules: Vec<String>,
+    ) -> ContainerImageId {
         let image_id = ContainerImageId::random();
-        self.by_id.write().insert(
-            image_id,
-            ContainerImage { image_id, name: name.to_string(), tech, modules },
-        );
+        self.by_id
+            .write()
+            .insert(image_id, ContainerImage { image_id, name: name.to_string(), tech, modules });
         image_id
     }
 

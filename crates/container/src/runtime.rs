@@ -53,9 +53,7 @@ impl ColdStartModel {
             (SystemProfile::Ec2, ContainerTech::Singularity) => {
                 ColdStartModel { min: s(1.19), max: s(1.26), mean: s(1.22) }
             }
-            (SystemProfile::Ec2, _) => {
-                ColdStartModel { min: s(1.74), max: s(1.88), mean: s(1.79) }
-            }
+            (SystemProfile::Ec2, _) => ColdStartModel { min: s(1.74), max: s(1.88), mean: s(1.79) },
             // K8s pod creation behaves like Docker on EC2 for our purposes.
             (SystemProfile::Kubernetes, _) => {
                 ColdStartModel { min: s(1.74), max: s(1.88), mean: s(1.79) }
@@ -218,7 +216,9 @@ mod tests {
         rt.set_failure_rate(1.0);
         let h = {
             let rt = Arc::clone(&rt);
-            std::thread::spawn(move || rt.start(ContainerImageId::from_u128(1), ContainerTech::Docker))
+            std::thread::spawn(move || {
+                rt.start(ContainerImageId::from_u128(1), ContainerTech::Docker)
+            })
         };
         // Drive the manual clock until the start() sleep completes.
         for _ in 0..100 {

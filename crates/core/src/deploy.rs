@@ -131,6 +131,27 @@ impl TestBedBuilder {
         self
     }
 
+    /// Head-sample rate for the distributed tracer in `[0, 1]` (fraction of
+    /// *healthy* traces retained at completion; flagged and slow-tail traces
+    /// always survive). Default keeps everything.
+    pub fn trace_head_sample(mut self, rate: f64) -> Self {
+        self.service_config.trace_head_sample = rate;
+        self
+    }
+
+    /// Slow-tail retention width for the tracer: the N slowest completed
+    /// traces are kept regardless of the head-sample draw.
+    pub fn trace_slowest_keep(mut self, n: usize) -> Self {
+        self.service_config.trace_slowest_keep = n;
+        self
+    }
+
+    /// Minimum level for `fx_log!` structured log lines (process-global).
+    pub fn log_level(mut self, level: funcx_telemetry::LogLevel) -> Self {
+        self.service_config.log_level = level;
+        self
+    }
+
     /// Attach a simulated container runtime (Table 2 cold-start model) and
     /// warm pool for the given system profile.
     pub fn containers(mut self, system: SystemProfile) -> Self {
@@ -297,8 +318,7 @@ impl TestBed {
     /// run its loss handling (requeue + pool re-dispatch). The fabric-level
     /// failover scenario behind the pool routing tests.
     pub fn kill_endpoint(&mut self, endpoint_id: EndpointId) {
-        let Some(pos) =
-            self.extra_endpoints.iter().position(|e| e.endpoint_id == endpoint_id)
+        let Some(pos) = self.extra_endpoints.iter().position(|e| e.endpoint_id == endpoint_id)
         else {
             panic!("kill_endpoint: {endpoint_id} is not an extra endpoint");
         };
@@ -415,10 +435,7 @@ mod tests {
     #[test]
     fn testbed_runs_a_function_end_to_end() {
         let mut bed = TestBedBuilder::new().managers(2).workers_per_manager(2).build();
-        let f = bed
-            .client
-            .register_function("def add(a, b):\n    return a + b\n", "add")
-            .unwrap();
+        let f = bed.client.register_function("def add(a, b):\n    return a + b\n", "add").unwrap();
         let task = bed
             .client
             .run(f, bed.endpoint_id, vec![Value::Int(2), Value::Int(40)], vec![])
@@ -431,10 +448,8 @@ mod tests {
 
     #[test]
     fn testbed_with_containers_charges_cold_start() {
-        let mut bed = TestBedBuilder::new()
-            .speedup(100_000.0)
-            .containers(SystemProfile::Ec2)
-            .build();
+        let mut bed =
+            TestBedBuilder::new().speedup(100_000.0).containers(SystemProfile::Ec2).build();
         // Register an image and a function bound to it.
         let img = bed
             .service
@@ -475,10 +490,7 @@ mod tests {
         // Still functional after replacement.
         let f = bed.client.register_function("def f():\n    return 1\n", "f").unwrap();
         let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
-        assert_eq!(
-            bed.client.get_result(task, Duration::from_secs(20)).unwrap(),
-            Value::Int(1)
-        );
+        assert_eq!(bed.client.get_result(task, Duration::from_secs(20)).unwrap(), Value::Int(1));
         bed.shutdown();
     }
 }

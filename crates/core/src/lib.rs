@@ -33,7 +33,7 @@ pub use funcx_lang::{LangError, Value};
 pub use funcx_sdk::{FmapSpec, FuncXClient, InProcApi, RestApi, ServiceApi};
 pub use funcx_service::{FsyncPolicy, FuncxService, RecoveryReport, ServiceConfig, SubmitRequest};
 pub use funcx_types::{
-    EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId, UserId,
+    EndpointId, FunctionId, FuncxError, PoolId, Result, RouteTarget, RoutingPolicy, TaskId, UserId,
 };
 
 /// Commonly used items in one import.
@@ -43,6 +43,6 @@ pub mod prelude {
     pub use funcx_sdk::{FmapSpec, FuncXClient};
     pub use funcx_types::task::{TaskOutcome, TaskState};
     pub use funcx_types::{
-        EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
+        EndpointId, FunctionId, FuncxError, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
     };
 }

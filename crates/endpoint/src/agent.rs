@@ -28,7 +28,7 @@ use std::thread::JoinHandle;
 use funcx_proto::channel::ChannelHandle;
 use funcx_proto::heartbeat::HeartbeatTracker;
 use funcx_proto::message::{Message, TaskDispatch, TaskResult};
-use funcx_telemetry::{Counter, Gauge, MetricsRegistry};
+use funcx_telemetry::{fx_log, Counter, Gauge, MetricsRegistry};
 use funcx_types::time::SharedClock;
 use funcx_types::{EndpointId, EndpointStatsReport, FuncxError, ManagerId};
 use parking_lot::Mutex;
@@ -59,6 +59,9 @@ pub struct AgentStats {
     pub requeued: Counter,
     /// Results delivered upstream.
     pub results_sent: Counter,
+    /// Dispatches whose trace was not head-sampled, so no spans were emitted
+    /// for them on the endpoint side.
+    pub spans_dropped: Counter,
 }
 
 impl AgentStats {
@@ -74,6 +77,7 @@ impl AgentStats {
             idle_slots: registry.gauge("funcx_agent_idle_slots", labels),
             requeued: registry.counter("funcx_agent_requeued_total", labels),
             results_sent: registry.counter("funcx_agent_results_sent_total", labels),
+            spans_dropped: registry.counter("funcx_agent_spans_dropped_total", labels),
         }
     }
 
@@ -86,6 +90,7 @@ impl AgentStats {
             idle_slots: self.idle_slots.get(),
             requeued: self.requeued.get(),
             results_sent: self.results_sent.get(),
+            spans_dropped: self.spans_dropped.get(),
         }
     }
 }
@@ -278,9 +283,8 @@ fn run_agent_loop(
         if let Some(fresh) = shared.new_forwarder.lock().take() {
             forwarder = fresh;
             generation += 1;
-            forwarder_up = forwarder
-                .send(Message::RegisterEndpoint { endpoint_id, generation })
-                .is_ok();
+            forwarder_up =
+                forwarder.send(Message::RegisterEndpoint { endpoint_id, generation }).is_ok();
         }
         {
             let mut incoming = shared.new_managers.lock();
@@ -295,6 +299,13 @@ fn run_agent_loop(
                 Ok(Message::Tasks(tasks)) => {
                     let now = clock.now().as_nanos();
                     for t in tasks {
+                        // The head-sampling decision rode the wire: count
+                        // what the sampler will discard so operators can see
+                        // trace coverage per endpoint (`spans_dropped` in
+                        // the status report).
+                        if t.span.is_active() && !t.span.sampled {
+                            shared.stats.spans_dropped.inc();
+                        }
                         pending.push_back((t, now));
                     }
                 }
@@ -306,6 +317,7 @@ fn run_agent_loop(
                 Ok(_) => {}
                 Err(FuncxError::Timeout(_)) => {}
                 Err(_) => {
+                    fx_log!(Warn, "agent", "forwarder connection lost; buffering results");
                     forwarder_up = false; // buffer results; wait for reconnect
                 }
             }
@@ -359,10 +371,7 @@ fn run_agent_loop(
                                 result_buffer.extend(results);
                             }
                             Message::CapacityAdvert {
-                                idle,
-                                prefetch,
-                                deployed_containers,
-                                ..
+                                idle, prefetch, deployed_containers, ..
                             } => {
                                 if let Some(state) = conn.registered.as_mut() {
                                     state.idle = idle;
@@ -399,6 +408,13 @@ fn run_agent_loop(
             let conn = managers.remove(idx);
             if let Some(state) = conn.registered {
                 let lost = state.outstanding.len();
+                fx_log!(
+                    Warn,
+                    "agent",
+                    "manager lost; requeueing outstanding tasks",
+                    manager_id = state.manager_id,
+                    requeued = lost
+                );
                 for (_, (task, received)) in state.outstanding {
                     pending.push_front((task, received));
                 }
@@ -425,7 +441,9 @@ fn run_agent_loop(
                 break;
             }
             let (task, received) = pending.front().expect("non-empty").clone();
-            let Some(target) = policy.route(&mut rng, &views, task.container) else { break };
+            let Some(target) = policy.route(&mut rng, &views, task.container) else {
+                break;
+            };
             pending.pop_front();
             // Per-task dispatch cost: the serialization + socket work that
             // bounds a single agent at ~1 700 tasks/s (§5.2.3).
@@ -467,11 +485,8 @@ fn run_agent_loop(
             .filter_map(|c| c.registered.as_ref())
             .map(|s| s.outstanding.len())
             .sum();
-        let idle: usize = managers
-            .iter()
-            .filter_map(|c| c.registered.as_ref())
-            .map(|s| s.idle)
-            .sum();
+        let idle: usize =
+            managers.iter().filter_map(|c| c.registered.as_ref()).map(|s| s.idle).sum();
         shared.stats.pending.set(pending.len() as u64);
         shared.stats.outstanding.set(outstanding as u64);
         shared
@@ -480,12 +495,10 @@ fn run_agent_loop(
             .set(managers.iter().filter(|c| c.registered.is_some()).count() as u64);
         shared.stats.idle_slots.set(idle as u64);
         let now = clock.now();
-        if forwarder_up
-            && now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period
+        if forwarder_up && now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period
         {
             hb_seq += 1;
-            let status =
-                Message::EndpointStatus { endpoint_id, report: shared.stats.report() };
+            let status = Message::EndpointStatus { endpoint_id, report: shared.stats.report() };
             if forwarder.send(Message::Heartbeat { seq: hb_seq }).is_err()
                 || forwarder.send(status).is_err()
             {
@@ -528,17 +541,20 @@ mod tests {
             ("args".into(), Value::List(vec![])),
             ("kwargs".into(), Value::Dict(vec![])),
         ]);
-        let payload =
-            serializer.serialize_packed(task_id.uuid(), &Payload::Document(doc)).unwrap();
-        TaskDispatch { task_id, function_id: FunctionId::random(), code, payload, container: None, container_modules: vec![] }
+        let payload = serializer.serialize_packed(task_id.uuid(), &Payload::Document(doc)).unwrap();
+        TaskDispatch {
+            task_id,
+            function_id: FunctionId::random(),
+            code,
+            payload,
+            container: None,
+            container_modules: vec![],
+            span: Default::default(),
+        }
     }
 
     /// A fake forwarder: collects results, acks heartbeats.
-    fn pump_forwarder(
-        ch: &ChannelHandle,
-        want: usize,
-        timeout: Duration,
-    ) -> Vec<TaskResult> {
+    fn pump_forwarder(ch: &ChannelHandle, want: usize, timeout: Duration) -> Vec<TaskResult> {
         let mut out = Vec::new();
         let deadline = std::time::Instant::now() + timeout;
         while out.len() < want && std::time::Instant::now() < deadline {
@@ -575,21 +591,10 @@ mod tests {
         let serializer = Serializer::default();
         let config = quick_config(workers);
         let (fwd_side, agent_side) = inproc_pair();
-        let agent = Agent::spawn(
-            EndpointId::random(),
-            config.clone(),
-            Arc::clone(&clock),
-            agent_side,
-        );
+        let agent =
+            Agent::spawn(EndpointId::random(), config.clone(), Arc::clone(&clock), agent_side);
         let (agent_mgr_side, mgr_side) = inproc_pair();
-        let manager = Manager::spawn(
-            config,
-            Arc::clone(&clock),
-            serializer,
-            mgr_side,
-            None,
-            None,
-        );
+        let manager = Manager::spawn(config, Arc::clone(&clock), serializer, mgr_side, None, None);
         agent.attach_manager(agent_mgr_side);
         // Consume the agent's registration message.
         let msg = fwd_side.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -610,9 +615,7 @@ mod tests {
         // The counter increments after the send the pump just read — poll
         // briefly rather than racing the agent thread.
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while agent.stats().results_sent.get() < 6
-            && std::time::Instant::now() < deadline
-        {
+        while agent.stats().results_sent.get() < 6 && std::time::Instant::now() < deadline {
             std::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(agent.stats().results_sent.get(), 6);
@@ -642,14 +645,8 @@ mod tests {
         // Attach a replacement manager ("lost tasks can be re-executed").
         let config = quick_config(1);
         let (agent_mgr_side, mgr_side) = inproc_pair();
-        let mut manager2 = Manager::spawn(
-            config,
-            Arc::clone(&clock),
-            serializer.clone(),
-            mgr_side,
-            None,
-            None,
-        );
+        let mut manager2 =
+            Manager::spawn(config, Arc::clone(&clock), serializer.clone(), mgr_side, None, None);
         agent.attach_manager(agent_mgr_side);
 
         // All 4 tasks eventually complete on the replacement.
@@ -716,10 +713,7 @@ mod tests {
         // per manager even with many idle workers.
         let clock = clock();
         let serializer = Serializer::default();
-        let config = EndpointConfig {
-            batching: false,
-            ..quick_config(8)
-        };
+        let config = EndpointConfig { batching: false, ..quick_config(8) };
         let (fwd, agent_side) = inproc_pair();
         let mut agent =
             Agent::spawn(EndpointId::random(), config.clone(), Arc::clone(&clock), agent_side);
@@ -734,10 +728,7 @@ mod tests {
             .collect();
         fwd.send(Message::Tasks(tasks)).unwrap();
         std::thread::sleep(Duration::from_millis(300));
-        assert!(
-            agent.stats().outstanding.get() <= 1,
-            "window must be 1 without batching"
-        );
+        assert!(agent.stats().outstanding.get() <= 1, "window must be 1 without batching");
         let _ = pump_forwarder(&fwd, 4, Duration::from_secs(30));
         manager.stop();
         agent.stop();

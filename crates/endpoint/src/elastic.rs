@@ -244,8 +244,11 @@ mod tests {
         ));
         let _ = fwd_side.recv_timeout(Duration::from_secs(5)).unwrap(); // registration
 
-        let provider: Arc<dyn Provider> =
-            KubernetesProvider::new(Arc::new(funcx_types::time::RealClock::with_speedup(1000.0)) as SharedClock, 10, 5);
+        let provider: Arc<dyn Provider> = KubernetesProvider::new(
+            Arc::new(funcx_types::time::RealClock::with_speedup(1000.0)) as SharedClock,
+            10,
+            5,
+        );
         // NB: provider runs on its own identically-sped clock; job start
         // delays are 1-3 virtual seconds either way.
         let policy = ScalingPolicy {
@@ -316,6 +319,7 @@ mod tests {
                     payload,
                     container: None,
                     container_modules: vec![],
+                    span: Default::default(),
                 }
             })
             .collect();

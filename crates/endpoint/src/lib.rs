@@ -18,14 +18,14 @@
 //! threads); [`config`] the tunables the evaluation sweeps.
 
 pub mod agent;
-pub mod elastic;
 pub mod config;
+pub mod elastic;
 pub mod manager;
 pub mod scheduler;
 pub mod worker;
 
 pub use agent::{Agent, AgentStats};
-pub use elastic::ElasticFleet;
 pub use config::EndpointConfig;
+pub use elastic::ElasticFleet;
 pub use manager::Manager;
 pub use worker::Worker;

@@ -284,9 +284,16 @@ mod tests {
             ("args".into(), Value::List(vec![])),
             ("kwargs".into(), Value::Dict(vec![])),
         ]);
-        let payload =
-            serializer.serialize_packed(task_id.uuid(), &Payload::Document(doc)).unwrap();
-        TaskDispatch { task_id, function_id: FunctionId::random(), code, payload, container: None, container_modules: vec![] }
+        let payload = serializer.serialize_packed(task_id.uuid(), &Payload::Document(doc)).unwrap();
+        TaskDispatch {
+            task_id,
+            function_id: FunctionId::random(),
+            code,
+            payload,
+            container: None,
+            container_modules: vec![],
+            span: Default::default(),
+        }
     }
 
     /// Drive an agent-side channel until `n` results arrive (acking

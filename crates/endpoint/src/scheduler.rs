@@ -56,10 +56,8 @@ impl RoutingPolicy for RandomizedGreedy {
         }
         // First choice: managers that already run the needed container.
         if let Some(img) = container {
-            let suitable: Vec<&ManagerView> = managers
-                .iter()
-                .filter(|m| m.deployed_containers.contains(&img))
-                .collect();
+            let suitable: Vec<&ManagerView> =
+                managers.iter().filter(|m| m.deployed_containers.contains(&img)).collect();
             if !suitable.is_empty() {
                 let pick = rng.gen_range(0..suitable.len());
                 return Some(suitable[pick].manager_id);
@@ -126,10 +124,7 @@ mod tests {
             .map(|(id, credit, imgs)| ManagerView {
                 manager_id: ManagerId::from_u128(*id),
                 credit: *credit,
-                deployed_containers: imgs
-                    .iter()
-                    .map(|i| ContainerImageId::from_u128(*i))
-                    .collect(),
+                deployed_containers: imgs.iter().map(|i| ContainerImageId::from_u128(*i)).collect(),
             })
             .collect()
     }

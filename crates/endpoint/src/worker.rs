@@ -121,16 +121,12 @@ impl Worker {
                 let Some(rt) = &self.runtime else {
                     return Err("task requires a container but worker has no runtime".into());
                 };
-                let warm = self
-                    .warm_pool
-                    .as_ref()
-                    .map(|p| p.acquire(img))
-                    .unwrap_or(Acquired::Cold);
+                let warm =
+                    self.warm_pool.as_ref().map(|p| p.acquire(img)).unwrap_or(Acquired::Cold);
                 match warm {
                     Acquired::Warm(_) => {}
                     Acquired::Cold => {
-                        rt.start(img, rt.system().native_tech())
-                            .map_err(|e| e.to_string())?;
+                        rt.start(img, rt.system().native_tech()).map_err(|e| e.to_string())?;
                     }
                 }
                 self.current_container = Some(img);
@@ -149,9 +145,7 @@ impl Worker {
     pub fn execute(&mut self, task: &TaskDispatch, manager_received_nanos: u64) -> TaskResult {
         let fail = |msg: String, start: u64, end: u64, serializer: &Serializer| {
             let tb = Payload::Traceback(funcx_lang::LangError::new(msg, 0));
-            let body = serializer
-                .serialize_packed(task.task_id.uuid(), &tb)
-                .unwrap_or_default();
+            let body = serializer.serialize_packed(task.task_id.uuid(), &tb).unwrap_or_default();
             TaskResult {
                 task_id: task.task_id,
                 success: false,
@@ -161,6 +155,7 @@ impl Worker {
                 exec_start_nanos: start,
                 exec_end_nanos: end,
                 stdout: Vec::new(),
+                span: task.span,
             }
         };
 
@@ -222,6 +217,7 @@ impl Worker {
                         exec_start_nanos: exec_start,
                         exec_end_nanos: exec_end,
                         stdout,
+                        span: task.span,
                     },
                     Err(e) => fail(
                         format!("result serialization failed: {e}"),
@@ -233,10 +229,8 @@ impl Worker {
             }
             Err(lang_err) => {
                 let tb = Payload::Traceback(lang_err);
-                let body = self
-                    .serializer
-                    .serialize_packed(task.task_id.uuid(), &tb)
-                    .unwrap_or_default();
+                let body =
+                    self.serializer.serialize_packed(task.task_id.uuid(), &tb).unwrap_or_default();
                 TaskResult {
                     task_id: task.task_id,
                     success: false,
@@ -246,6 +240,7 @@ impl Worker {
                     exec_start_nanos: exec_start,
                     exec_end_nanos: exec_end,
                     stdout,
+                    span: task.span,
                 }
             }
         }
@@ -323,6 +318,7 @@ mod tests {
             payload,
             container: None,
             container_modules: vec![],
+            span: Default::default(),
         }
     }
 
@@ -334,11 +330,8 @@ mod tests {
     fn executes_shipped_code() {
         let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
         let mut w = bare_worker(clock);
-        let task = make_dispatch(
-            "def double(x):\n    return x * 2\n",
-            "double",
-            vec![Value::Int(21)],
-        );
+        let task =
+            make_dispatch("def double(x):\n    return x * 2\n", "double", vec![Value::Int(21)]);
         let result = w.execute(&task, 0);
         assert!(result.success, "{result:?}");
         let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
@@ -352,11 +345,7 @@ mod tests {
         let task = make_dispatch("def f():\n    sleep(2)\n    return 'ok'\n", "f", vec![]);
         let result = w.execute(&task, 0);
         assert!(result.success);
-        assert!(
-            result.exec_nanos() >= 1_900_000_000,
-            "slept {} ns",
-            result.exec_nanos()
-        );
+        assert!(result.exec_nanos() >= 1_900_000_000, "slept {} ns", result.exec_nanos());
     }
 
     #[test]

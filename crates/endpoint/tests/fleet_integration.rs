@@ -31,16 +31,17 @@ fn dispatch(serializer: &Serializer, i: u128) -> TaskDispatch {
     let code = serializer
         .serialize_packed(
             task_id.uuid(),
-            &Payload::Code { source: "def f():\n    sleep(200)\n    return 0\n".into(), entry: "f".into() },
+            &Payload::Code {
+                source: "def f():\n    sleep(200)\n    return 0\n".into(),
+                entry: "f".into(),
+            },
         )
         .unwrap();
     let doc = funcx_lang::Value::Dict(vec![
         ("args".into(), funcx_lang::Value::List(vec![])),
         ("kwargs".into(), funcx_lang::Value::Dict(vec![])),
     ]);
-    let payload = serializer
-        .serialize_packed(task_id.uuid(), &Payload::Document(doc))
-        .unwrap();
+    let payload = serializer.serialize_packed(task_id.uuid(), &Payload::Document(doc)).unwrap();
     TaskDispatch {
         task_id,
         function_id: FunctionId::from_u128(1),
@@ -48,6 +49,7 @@ fn dispatch(serializer: &Serializer, i: u128) -> TaskDispatch {
         payload,
         container: None,
         container_modules: vec![],
+        span: Default::default(),
     }
 }
 
@@ -56,8 +58,12 @@ fn drive_provider(provider: Arc<dyn Provider>, tasks: usize) -> (usize, usize) {
     let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
     let config = config();
     let (fwd_side, agent_side) = inproc_pair();
-    let agent =
-        Arc::new(Agent::spawn(EndpointId::random(), config.clone(), Arc::clone(&clock), agent_side));
+    let agent = Arc::new(Agent::spawn(
+        EndpointId::random(),
+        config.clone(),
+        Arc::clone(&clock),
+        agent_side,
+    ));
     let _ = fwd_side.recv_timeout(Duration::from_secs(5)).unwrap(); // registration
 
     let policy = ScalingPolicy {

@@ -197,10 +197,7 @@ fn compare(op: BinOp, l: &Value, r: &Value, line: u32) -> LangResult<Value> {
         },
     };
     let ord = ord.ok_or_else(|| {
-        err(
-            format!("'{}' and '{}' are not orderable", l.type_name(), r.type_name()),
-            line,
-        )
+        err(format!("'{}' and '{}' are not orderable", l.type_name(), r.type_name()), line)
     })?;
     let out = match op {
         BinOp::Lt => ord.is_lt(),
@@ -269,10 +266,9 @@ pub fn index_set(container: &mut Value, index: &Value, value: Value, line: u32) 
             container.dict_set(index.key_repr(), value);
             Ok(())
         }
-        other => Err(err(
-            format!("'{}' does not support item assignment", other.type_name()),
-            line,
-        )),
+        other => {
+            Err(err(format!("'{}' does not support item assignment", other.type_name()), line))
+        }
     }
 }
 
@@ -369,10 +365,9 @@ pub fn call_mutating_method(
                 .ok_or_else(|| err(format!("key '{key}' not found"), line))?;
             Ok(pairs.remove(pos).1)
         }
-        (slot, _) => Err(err(
-            format!("'{}' object has no method '{method}'", slot.type_name()),
-            line,
-        )),
+        (slot, _) => {
+            Err(err(format!("'{}' object has no method '{method}'", slot.type_name()), line))
+        }
     }
 }
 
@@ -447,9 +442,9 @@ pub fn call_method(recv: &Value, method: &str, args: Vec<Value>, line: u32) -> L
                 .first()
                 .ok_or_else(|| err("get() takes a key and optional default", line))?
                 .key_repr();
-            Ok(d.dict_get(&key).cloned().unwrap_or_else(|| {
-                args.get(1).cloned().unwrap_or(Value::None)
-            }))
+            Ok(d.dict_get(&key)
+                .cloned()
+                .unwrap_or_else(|| args.get(1).cloned().unwrap_or(Value::None)))
         }
         (Value::List(items), "index") => {
             let needle =
@@ -465,10 +460,9 @@ pub fn call_method(recv: &Value, method: &str, args: Vec<Value>, line: u32) -> L
                 args.first().ok_or_else(|| err("count() takes exactly one argument", line))?;
             Ok(Value::Int(items.iter().filter(|v| values_eq(v, needle)).count() as i64))
         }
-        (recv, _) => Err(err(
-            format!("'{}' object has no method '{method}'", recv.type_name()),
-            line,
-        )),
+        (recv, _) => {
+            Err(err(format!("'{}' object has no method '{method}'", recv.type_name()), line))
+        }
     }
 }
 
@@ -550,10 +544,9 @@ pub fn call_builtin(
                     .parse::<f64>()
                     .map(Value::Float)
                     .map_err(|_| err(format!("invalid literal for float(): '{s}'"), line)),
-                other => other
-                    .as_f64()
-                    .map(Value::Float)
-                    .ok_or_else(|| err(format!("cannot convert {} to float", other.type_name()), line)),
+                other => other.as_f64().map(Value::Float).ok_or_else(|| {
+                    err(format!("cannot convert {} to float", other.type_name()), line)
+                }),
             }
         }
         "bool" => {
@@ -573,7 +566,10 @@ pub fn call_builtin(
                 Value::Dict(d) => d.len(),
                 Value::Bytes(b) => b.len(),
                 other => {
-                    return Err(err(format!("object of type '{}' has no len()", other.type_name()), line))
+                    return Err(err(
+                        format!("object of type '{}' has no len()", other.type_name()),
+                        line,
+                    ))
                 }
             };
             Ok(Value::Int(n as i64))
@@ -616,7 +612,9 @@ pub fn call_builtin(
                     }
                     Ok(acc)
                 }
-                other => Err(err(format!("sum() requires a list, got {}", other.type_name()), line)),
+                other => {
+                    Err(err(format!("sum() requires a list, got {}", other.type_name()), line))
+                }
             }
         }
         "min" | "max" => {
@@ -626,7 +624,8 @@ pub fn call_builtin(
                 many => many.to_vec(),
             };
             let mut iter = items.into_iter();
-            let mut best = iter.next().ok_or_else(|| err(format!("{name}() of empty list"), line))?;
+            let mut best =
+                iter.next().ok_or_else(|| err(format!("{name}() of empty list"), line))?;
             for v in iter {
                 let take = match binary_op(BinOp::Lt, v.clone(), best.clone(), line)? {
                     Value::Bool(less) => {
@@ -669,20 +668,18 @@ pub fn call_builtin(
                 Value::List(items) => {
                     let mut out = items.clone();
                     let mut fail = None;
-                    out.sort_by(|a, b| {
-                        match compare(BinOp::Lt, a, b, line) {
-                            Ok(Value::Bool(true)) => std::cmp::Ordering::Less,
-                            Ok(_) => {
-                                if values_eq(a, b) {
-                                    std::cmp::Ordering::Equal
-                                } else {
-                                    std::cmp::Ordering::Greater
-                                }
-                            }
-                            Err(e) => {
-                                fail.get_or_insert(e);
+                    out.sort_by(|a, b| match compare(BinOp::Lt, a, b, line) {
+                        Ok(Value::Bool(true)) => std::cmp::Ordering::Less,
+                        Ok(_) => {
+                            if values_eq(a, b) {
                                 std::cmp::Ordering::Equal
+                            } else {
+                                std::cmp::Ordering::Greater
                             }
+                        }
+                        Err(e) => {
+                            fail.get_or_insert(e);
+                            std::cmp::Ordering::Equal
                         }
                     });
                     match fail {
@@ -690,17 +687,20 @@ pub fn call_builtin(
                         None => Ok(Value::List(out)),
                     }
                 }
-                other => Err(err(format!("sorted() requires a list, got {}", other.type_name()), line)),
+                other => {
+                    Err(err(format!("sorted() requires a list, got {}", other.type_name()), line))
+                }
             }
         }
         "reversed" => {
             need(1)?;
             match &args[0] {
-                Value::List(items) => {
-                    Ok(Value::List(items.iter().rev().cloned().collect()))
-                }
+                Value::List(items) => Ok(Value::List(items.iter().rev().cloned().collect())),
                 Value::Str(s) => Ok(Value::Str(s.chars().rev().collect())),
-                other => Err(err(format!("reversed() requires a list or str, got {}", other.type_name()), line)),
+                other => Err(err(
+                    format!("reversed() requires a list or str, got {}", other.type_name()),
+                    line,
+                )),
             }
         }
         "enumerate" => {
@@ -713,7 +713,10 @@ pub fn call_builtin(
                         .map(|(i, v)| Value::List(vec![Value::Int(i as i64), v.clone()]))
                         .collect(),
                 )),
-                other => Err(err(format!("enumerate() requires a list, got {}", other.type_name()), line)),
+                other => Err(err(
+                    format!("enumerate() requires a list, got {}", other.type_name()),
+                    line,
+                )),
             }
         }
         "zip" => {
@@ -739,7 +742,8 @@ pub fn call_builtin(
                 return Err(err(format!("{name}() requires 'import math'"), line));
             }
             need(1)?;
-            let x = args[0].as_f64().ok_or_else(|| err(format!("{name}() takes a number"), line))?;
+            let x =
+                args[0].as_f64().ok_or_else(|| err(format!("{name}() takes a number"), line))?;
             let out = match name {
                 "sqrt" => {
                     if x < 0.0 {
@@ -829,16 +833,11 @@ def f():
     #[test]
     fn dict_methods() {
         assert_eq!(eval1("{'a': 1, 'b': 2}.keys()"), Value::from(vec!["a", "b"]));
-        assert_eq!(
-            eval1("{'a': 1}.get('missing', 42)"),
-            Value::Int(42)
-        );
+        assert_eq!(eval1("{'a': 1}.get('missing', 42)"), Value::Int(42));
         assert_eq!(eval1("{'a': 1}.get('a')"), Value::Int(1));
-        let src = "def f():\n    d = {'a': 1, 'b': 2}\n    v = d.pop('a')\n    return [v, len(d)]\n";
-        assert_eq!(
-            run(src, "f", &[]).unwrap(),
-            Value::List(vec![Value::Int(1), Value::Int(1)])
-        );
+        let src =
+            "def f():\n    d = {'a': 1, 'b': 2}\n    v = d.pop('a')\n    return [v, len(d)]\n";
+        assert_eq!(run(src, "f", &[]).unwrap(), Value::List(vec![Value::Int(1), Value::Int(1)]));
     }
 
     #[test]
@@ -857,10 +856,7 @@ def f():
             eval1("sorted([3, 1, 2])"),
             Value::List(vec![Value::Int(1), Value::Int(2), Value::Int(3)])
         );
-        assert_eq!(
-            eval1("reversed([1, 2])"),
-            Value::List(vec![Value::Int(2), Value::Int(1)])
-        );
+        assert_eq!(eval1("reversed([1, 2])"), Value::List(vec![Value::Int(2), Value::Int(1)]));
         assert_eq!(eval1("reversed('abc')"), Value::from("cba"));
         assert_eq!(
             eval1("enumerate(['a'])"),
@@ -921,10 +917,7 @@ def f():
     fn string_and_list_operators() {
         assert_eq!(eval1("'ab' + 'cd'"), Value::from("abcd"));
         assert_eq!(eval1("'ab' * 3"), Value::from("ababab"));
-        assert_eq!(
-            eval1("[1] + [2]"),
-            Value::List(vec![Value::Int(1), Value::Int(2)])
-        );
+        assert_eq!(eval1("[1] + [2]"), Value::List(vec![Value::Int(1), Value::Int(2)]));
         assert_eq!(
             eval1("[0] * 3"),
             Value::List(vec![Value::Int(0), Value::Int(0), Value::Int(0)])

@@ -172,8 +172,7 @@ impl<'h> Interpreter<'h> {
             .get(name)
             .cloned()
             .ok_or_else(|| LangError::new(format!("no such function '{name}'"), 0))?;
-        self.invoke(&def, args.to_vec(), kwargs.to_vec())
-            .map_err(|e| e.in_function(name))
+        self.invoke(&def, args.to_vec(), kwargs.to_vec()).map_err(|e| e.in_function(name))
     }
 
     fn charge(&mut self, line: u32) -> LangResult<()> {
@@ -323,7 +322,8 @@ impl<'h> Interpreter<'h> {
                                 let old = frame.vars.get(name).cloned().ok_or_else(|| {
                                     LangError::new(format!("name '{name}' is not defined"), *line)
                                 })?;
-                                let bop = if *op == AssignOp::Add { BinOp::Add } else { BinOp::Sub };
+                                let bop =
+                                    if *op == AssignOp::Add { BinOp::Add } else { BinOp::Sub };
                                 builtins::binary_op(bop, old, rhs, *line)?
                             }
                         };
@@ -350,7 +350,8 @@ impl<'h> Interpreter<'h> {
                                 let old = current.ok_or_else(|| {
                                     LangError::new("augmented assign to missing index", *line)
                                 })?;
-                                let bop = if *op == AssignOp::Add { BinOp::Add } else { BinOp::Sub };
+                                let bop =
+                                    if *op == AssignOp::Add { BinOp::Add } else { BinOp::Sub };
                                 builtins::binary_op(bop, old, rhs, *line)?
                             }
                         };
@@ -400,9 +401,7 @@ impl<'h> Interpreter<'h> {
                 let items: Vec<Value> = match iter_v {
                     Value::List(items) => items,
                     Value::Str(s) => s.chars().map(|c| Value::Str(c.to_string())).collect(),
-                    Value::Dict(pairs) => {
-                        pairs.into_iter().map(|(k, _)| Value::Str(k)).collect()
-                    }
+                    Value::Dict(pairs) => pairs.into_iter().map(|(k, _)| Value::Str(k)).collect(),
                     other => {
                         return Err(LangError::new(
                             format!("'{}' object is not iterable", other.type_name()),
@@ -433,9 +432,9 @@ impl<'h> Interpreter<'h> {
         let vals: Vec<i64> = args
             .iter()
             .map(|a| {
-                self.eval(a, frame)?.as_i64().ok_or_else(|| {
-                    LangError::new("range() arguments must be integers", line)
-                })
+                self.eval(a, frame)?
+                    .as_i64()
+                    .ok_or_else(|| LangError::new("range() arguments must be integers", line))
             })
             .collect::<LangResult<_>>()?;
         match vals.as_slice() {
@@ -622,10 +621,7 @@ mod tests {
     #[test]
     fn arithmetic_and_precedence() {
         assert_eq!(run("def f():\n    return 2 + 3 * 4\n", "f", &[]).unwrap(), Value::Int(14));
-        assert_eq!(
-            run("def f():\n    return (2 + 3) * 4\n", "f", &[]).unwrap(),
-            Value::Int(20)
-        );
+        assert_eq!(run("def f():\n    return (2 + 3) * 4\n", "f", &[]).unwrap(), Value::Int(20));
         assert_eq!(run("def f():\n    return 7 // 2\n", "f", &[]).unwrap(), Value::Int(3));
         assert_eq!(run("def f():\n    return 7 % 3\n", "f", &[]).unwrap(), Value::Int(1));
         assert_eq!(run("def f():\n    return 2 ** 10\n", "f", &[]).unwrap(), Value::Int(1024));
@@ -641,7 +637,8 @@ mod tests {
 
     #[test]
     fn recursion_fibonacci() {
-        let src = "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n";
+        let src =
+            "def fib(n):\n    if n < 2:\n        return n\n    return fib(n - 1) + fib(n - 2)\n";
         assert_eq!(run(src, "fib", &[Value::Int(15)]).unwrap(), Value::Int(610));
     }
 
@@ -723,7 +720,8 @@ def f(n):
     #[test]
     fn large_range_is_lazy() {
         // Would OOM if range materialized; also exercises the fuel budget.
-        let src = "def f():\n    t = 0\n    for i in range(1000000):\n        t += 1\n    return t\n";
+        let src =
+            "def f():\n    t = 0\n    for i in range(1000000):\n        t += 1\n    return t\n";
         assert_eq!(run(src, "f", &[]).unwrap(), Value::Int(1_000_000));
     }
 
@@ -829,8 +827,7 @@ def outer(x):
         }
         let hooks = Recorder { slept: Mutex::new(vec![]), printed: Mutex::new(vec![]) };
         let src = "def f():\n    print('starting')\n    sleep(0.25)\n    return 'ok'\n";
-        let out =
-            crate::run_function(src, "f", &[], &[], &hooks, &Limits::default()).unwrap();
+        let out = crate::run_function(src, "f", &[], &[], &hooks, &Limits::default()).unwrap();
         assert_eq!(out, Value::from("ok"));
         assert_eq!(*hooks.slept.lock().unwrap(), vec![Duration::from_millis(250)]);
         assert_eq!(*hooks.printed.lock().unwrap(), vec!["starting".to_string()]);

@@ -197,9 +197,7 @@ impl<'a> Lexer<'a> {
                 text.push(c);
                 self.bump();
             } else if (c == 'e' || c == 'E')
-                && self
-                    .peek2()
-                    .is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
+                && self.peek2().is_some_and(|d| d.is_ascii_digit() || d == '+' || d == '-')
             {
                 is_float = true;
                 text.push(c);
@@ -449,10 +447,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            kinds("s = \"a\\nb\"\n")[2],
-            Tok::Str("a\nb".into())
-        );
+        assert_eq!(kinds("s = \"a\\nb\"\n")[2], Tok::Str("a\nb".into()));
         assert_eq!(kinds("s = 'it\\'s'\n")[2], Tok::Str("it's".into()));
     }
 

@@ -92,10 +92,7 @@ impl<'a> Parser<'a> {
             self.bump();
             Ok(())
         } else {
-            Err(LangError::new(
-                format!("expected '{want}', found '{}'", self.peek()),
-                self.line(),
-            ))
+            Err(LangError::new(format!("expected '{want}', found '{}'", self.peek()), self.line()))
         }
     }
 
@@ -178,11 +175,8 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Tok::Return => {
                 self.bump();
-                let value = if self.peek() == &Tok::Newline {
-                    None
-                } else {
-                    Some(self.parse_expr()?)
-                };
+                let value =
+                    if self.peek() == &Tok::Newline { None } else { Some(self.parse_expr()?) };
                 self.expect(&Tok::Newline)?;
                 Ok(Stmt::Return { value, line })
             }
@@ -246,10 +240,9 @@ impl<'a> Parser<'a> {
                 Ok(Stmt::While { cond, body, line })
             }
             Tok::Def => Ok(Stmt::Def(self.parse_def()?)),
-            Tok::Import => Err(LangError::new(
-                "imports are only allowed at top level".to_string(),
-                line,
-            )),
+            Tok::Import => {
+                Err(LangError::new("imports are only allowed at top level".to_string(), line))
+            }
             _ => self.parse_assign_or_expr(line),
         }
     }
@@ -268,9 +261,7 @@ impl<'a> Parser<'a> {
             self.expect(&Tok::Newline)?;
             let target = match expr {
                 Expr::Name { name, .. } => AssignTarget::Name(name),
-                Expr::Index { container, index, .. } => {
-                    AssignTarget::Index { container, index }
-                }
+                Expr::Index { container, index, .. } => AssignTarget::Index { container, index },
                 _ => {
                     return Err(LangError::new("invalid assignment target", line));
                 }
@@ -445,11 +436,7 @@ impl<'a> Parser<'a> {
                     self.bump();
                     let index = self.parse_expr()?;
                     self.expect(&Tok::RBracket)?;
-                    expr = Expr::Index {
-                        container: Box::new(expr),
-                        index: Box::new(index),
-                        line,
-                    };
+                    expr = Expr::Index { container: Box::new(expr), index: Box::new(index), line };
                 }
                 Tok::Dot => {
                     let line = self.line();
@@ -463,12 +450,7 @@ impl<'a> Parser<'a> {
                             line,
                         ));
                     }
-                    expr = Expr::MethodCall {
-                        receiver: Box::new(expr),
-                        method,
-                        args,
-                        line,
-                    };
+                    expr = Expr::MethodCall { receiver: Box::new(expr), method, args, line };
                 }
                 _ => break,
             }
@@ -650,8 +632,7 @@ mod tests {
     #[test]
     fn call_with_kwargs() {
         let p = parse("def f():\n    return g(1, 2, start=0, end=10)\n").unwrap();
-        let Stmt::Return { value: Some(Expr::Call { args, kwargs, .. }), .. } =
-            &p.defs[0].body[0]
+        let Stmt::Return { value: Some(Expr::Call { args, kwargs, .. }), .. } = &p.defs[0].body[0]
         else {
             panic!()
         };

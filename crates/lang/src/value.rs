@@ -123,6 +123,40 @@ impl Value {
             }
         }
     }
+
+    /// Render to a `serde_json::Value` in the exact externally-tagged shape
+    /// the serde derive produces (`{"Int": 5}`, unit variant `None` as the
+    /// string `"None"`, dict entries as `[key, value]` pairs). REST bodies
+    /// built by hand from this helper are therefore byte-compatible with
+    /// bodies produced by serializing a [`Value`] directly.
+    pub fn to_json(&self) -> serde_json::Value {
+        use serde_json::Value as J;
+        fn tagged(tag: &str, inner: J) -> J {
+            let mut map = serde_json::Map::new();
+            map.insert(tag.to_string(), inner);
+            J::Object(map)
+        }
+        match self {
+            Value::None => J::String("None".to_string()),
+            Value::Bool(b) => tagged("Bool", J::Bool(*b)),
+            Value::Int(i) => tagged("Int", J::from(*i)),
+            Value::Float(v) => tagged("Float", J::from(*v)),
+            Value::Str(s) => tagged("Str", J::String(s.clone())),
+            Value::Bytes(b) => tagged("Bytes", J::Array(b.iter().map(|x| J::from(*x)).collect())),
+            Value::List(items) => {
+                tagged("List", J::Array(items.iter().map(Value::to_json).collect()))
+            }
+            Value::Dict(pairs) => tagged(
+                "Dict",
+                J::Array(
+                    pairs
+                        .iter()
+                        .map(|(k, v)| J::Array(vec![J::String(k.clone()), v.to_json()]))
+                        .collect(),
+                ),
+            ),
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -237,10 +271,7 @@ mod tests {
             Value::List(vec![Value::Int(1), Value::Str("a".into())]).to_string(),
             "[1, 'a']"
         );
-        assert_eq!(
-            Value::Dict(vec![("k".into(), Value::Int(1))]).to_string(),
-            "{'k': 1}"
-        );
+        assert_eq!(Value::Dict(vec![("k".into(), Value::Int(1))]).to_string(), "{'k': 1}");
     }
 
     #[test]
@@ -275,5 +306,31 @@ mod tests {
         let json = serde_json::to_string(&v).unwrap();
         let back: Value = serde_json::from_str(&json).unwrap();
         assert_eq!(v, back);
+    }
+
+    #[test]
+    fn to_json_matches_serde_derive() {
+        let v = Value::Dict(vec![
+            ("n".into(), Value::None),
+            ("i".into(), Value::Int(-7)),
+            ("f".into(), Value::Float(2.5)),
+            ("s".into(), Value::Str("hi".into())),
+            ("bytes".into(), Value::Bytes(vec![0, 255])),
+            ("xs".into(), Value::List(vec![Value::Bool(true), Value::Int(1)])),
+        ]);
+        let hand = v.to_json();
+        // The hand-built shape is externally tagged, exactly like the derive.
+        assert_eq!(hand["Dict"][0][0], "n");
+        assert_eq!(hand["Dict"][0][1], "None");
+        assert_eq!(hand["Dict"][1][1]["Int"], -7);
+        assert_eq!(hand["Dict"][2][1]["Float"], 2.5);
+        assert_eq!(hand["Dict"][3][1]["Str"], "hi");
+        assert_eq!(hand["Dict"][4][1]["Bytes"][1], 255);
+        assert_eq!(hand["Dict"][5][1]["List"][0]["Bool"], true);
+        // And byte-identical to serializing the Value itself (real serde
+        // only; the offline stub cannot derive).
+        if let Ok(derived) = serde_json::to_value(&v) {
+            assert_eq!(hand, derived);
+        }
     }
 }

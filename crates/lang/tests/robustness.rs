@@ -90,7 +90,7 @@ fn hostile_corpus_rejected_cleanly() {
         "def f():\n",
         "def f():\nreturn",
         "def f():\n\treturn 1\n  return 2\n", // inconsistent indent
-        "def f():\n    return 0x", // bad literal shape
+        "def f():\n    return 0x",            // bad literal shape
         "def f():\n    return 'unterminated",
         "def f():\n    return \\",
         "import",
@@ -122,8 +122,7 @@ def f(n):
     let limits = Limits { max_value_bytes: 10_000, ..Limits::default() };
     // Small n fits; large n is rejected with a size error.
     assert!(run_function(src, "f", &[Value::Int(10)], &[], &NoopHooks, &limits).is_ok());
-    let err =
-        run_function(src, "f", &[Value::Int(100_000)], &[], &NoopHooks, &limits).unwrap_err();
+    let err = run_function(src, "f", &[Value::Int(100_000)], &[], &NoopHooks, &limits).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("size limit") || msg.contains("fuel"), "{msg}");
 }

@@ -47,9 +47,7 @@ impl Channel for InprocSide {
         if self.closed.load(Ordering::Acquire) {
             return Err(FuncxError::Disconnected("channel closed".into()));
         }
-        self.tx
-            .send(msg)
-            .map_err(|_| FuncxError::Disconnected("peer receiver dropped".into()))
+        self.tx.send(msg).map_err(|_| FuncxError::Disconnected("peer receiver dropped".into()))
     }
 
     fn recv_timeout(&self, timeout: Duration) -> Result<Message> {
@@ -229,10 +227,7 @@ mod tests {
     #[test]
     fn timeout_when_empty() {
         let (a, _b) = inproc_pair();
-        assert!(matches!(
-            a.recv_timeout(Duration::from_millis(20)),
-            Err(FuncxError::Timeout(_))
-        ));
+        assert!(matches!(a.recv_timeout(Duration::from_millis(20)), Err(FuncxError::Timeout(_))));
     }
 
     #[test]
@@ -240,10 +235,7 @@ mod tests {
         let (a, b) = inproc_pair();
         a.close();
         assert!(a.is_closed() && b.is_closed());
-        assert!(matches!(
-            b.send(Message::Shutdown),
-            Err(FuncxError::Disconnected(_))
-        ));
+        assert!(matches!(b.send(Message::Shutdown), Err(FuncxError::Disconnected(_))));
         assert!(matches!(
             b.recv_timeout(Duration::from_millis(10)),
             Err(FuncxError::Disconnected(_))
@@ -313,8 +305,7 @@ mod tests {
             }
         });
         for expect in 0..1000 {
-            let Message::Heartbeat { seq } = b.recv_timeout(Duration::from_secs(5)).unwrap()
-            else {
+            let Message::Heartbeat { seq } = b.recv_timeout(Duration::from_secs(5)).unwrap() else {
                 panic!()
             };
             assert_eq!(seq, expect);

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use funcx_types::trace::SpanContext;
 use funcx_types::{
     ContainerImageId, EndpointId, EndpointStatsReport, FunctionId, ManagerId, TaskId,
 };
@@ -29,6 +30,11 @@ pub struct TaskDispatch {
     /// the worker's interpreter permits these imports.
     #[serde(default)]
     pub container_modules: Vec<String>,
+    /// Distributed-trace context minted at submit. Rides every hop so the
+    /// remote side of the fabric stays in the same trace tree; the default
+    /// (inactive context, for frames from older peers) disables tracing.
+    #[serde(default)]
+    pub span: SpanContext,
 }
 
 /// One result travelling back to the service.
@@ -55,6 +61,10 @@ pub struct TaskResult {
     pub exec_end_nanos: u64,
     /// Captured `print` output, if any.
     pub stdout: Vec<String>,
+    /// Trace context echoed back from the dispatch, so result ingestion can
+    /// attach remote-side spans to the originating trace.
+    #[serde(default)]
+    pub span: SpanContext,
 }
 
 impl TaskResult {
@@ -187,6 +197,7 @@ mod tests {
             payload: vec![4, 5],
             container: Some(ContainerImageId::from_u128(3)),
             container_modules: vec!["tomopy".into()],
+            span: SpanContext::root(funcx_types::trace::TraceId(1), true),
         }
     }
 
@@ -211,6 +222,7 @@ mod tests {
                 exec_start_nanos: 120,
                 exec_end_nanos: 243,
                 stdout: vec!["line".into()],
+                span: SpanContext::root(funcx_types::trace::TraceId(1), true),
             }]),
             Message::CapacityAdvert {
                 manager_id: ManagerId::from_u128(4),
@@ -228,6 +240,7 @@ mod tests {
                     idle_slots: 6,
                     requeued: 0,
                     results_sent: 17,
+                    spans_dropped: 0,
                 },
             },
             Message::HeartbeatAck { seq: 42 },
@@ -256,6 +269,7 @@ mod tests {
             exec_start_nanos: 100,
             exec_end_nanos: 350,
             stdout: vec![],
+            span: SpanContext::default(),
         };
         assert_eq!(r.exec_nanos(), 250);
         r.exec_end_nanos = 50;

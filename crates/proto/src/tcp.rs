@@ -158,10 +158,8 @@ impl TcpServer {
 
     /// Block until a peer connects; returns the channel to it.
     pub fn accept(&self) -> Result<ChannelHandle> {
-        let (stream, _) = self
-            .listener
-            .accept()
-            .map_err(|e| FuncxError::Internal(format!("tcp accept: {e}")))?;
+        let (stream, _) =
+            self.listener.accept().map_err(|e| FuncxError::Internal(format!("tcp accept: {e}")))?;
         Ok(TcpChannel::spawn(stream))
     }
 
@@ -241,6 +239,7 @@ mod tests {
                 payload: vec![b'y'; 100],
                 container: None,
                 container_modules: vec![],
+                span: Default::default(),
             })
             .collect();
         client.send(Message::Tasks(tasks.clone())).unwrap();

@@ -205,7 +205,8 @@ mod tests {
     fn backfill_starts_much_sooner() {
         let clock = ManualClock::new();
         let normal = BatchScheduler::new(clock.clone(), SchedulerKind::Cobalt, LIMITS, 42);
-        let backfill = BatchScheduler::with_backfill(clock.clone(), SchedulerKind::Cobalt, LIMITS, 42);
+        let backfill =
+            BatchScheduler::with_backfill(clock.clone(), SchedulerKind::Cobalt, LIMITS, 42);
         // Sample many jobs from each; compare time-to-start statistically.
         let mut normal_started = 0;
         let mut backfill_started = 0;

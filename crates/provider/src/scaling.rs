@@ -88,9 +88,8 @@ impl ScalingPolicy {
                 // Nodes already idle or already requested both count against
                 // the deficit — otherwise the policy re-requests the same
                 // capacity every tick while a pilot job sits in the queue.
-                let deficit = needed
-                    .saturating_sub(inputs.idle_nodes + inputs.pending_nodes)
-                    .min(headroom);
+                let deficit =
+                    needed.saturating_sub(inputs.idle_nodes + inputs.pending_nodes).min(headroom);
                 let step = ((deficit as f64) * self.aggressiveness).ceil() as usize;
                 if step > 0 {
                     return ScalingDecision::ScaleOut(step);
@@ -105,9 +104,7 @@ impl ScalingPolicy {
             && inputs.longest_idle >= self.scale_in_after_idle
             && inputs.running_nodes > self.min_nodes
         {
-            let releasable = inputs
-                .idle_nodes
-                .min(inputs.running_nodes - self.min_nodes);
+            let releasable = inputs.idle_nodes.min(inputs.running_nodes - self.min_nodes);
             if releasable > 0 {
                 return ScalingDecision::ScaleIn(releasable);
             }
@@ -246,23 +243,15 @@ mod tests {
     #[test]
     fn idle_slots_absorb_demand_without_growth() {
         let policy = ScalingPolicy { max_nodes: 10, slots_per_node: 8, ..ScalingPolicy::default() };
-        let i = ScalingInputs {
-            pending_tasks: 5,
-            running_nodes: 2,
-            idle_nodes: 1,
-            ..inputs()
-        };
+        let i = ScalingInputs { pending_tasks: 5, running_nodes: 2, idle_nodes: 1, ..inputs() };
         // 5 pending ≤ 8 idle slots: no growth.
         assert_eq!(policy.decide(&i), ScalingDecision::Hold);
     }
 
     #[test]
     fn aggressiveness_dampens_growth() {
-        let policy = ScalingPolicy {
-            max_nodes: 100,
-            aggressiveness: 0.5,
-            ..ScalingPolicy::default()
-        };
+        let policy =
+            ScalingPolicy { max_nodes: 100, aggressiveness: 0.5, ..ScalingPolicy::default() };
         let i = ScalingInputs { pending_tasks: 40, ..inputs() };
         assert_eq!(policy.decide(&i), ScalingDecision::ScaleOut(20));
     }

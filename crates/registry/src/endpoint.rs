@@ -115,10 +115,7 @@ impl EndpointRegistry {
     /// Remove an endpoint (deregistration). Returns the final record, or
     /// `EndpointNotFound` if it was never registered.
     pub fn deregister(&self, id: EndpointId) -> Result<EndpointRecord> {
-        self.by_id
-            .write()
-            .remove(&id)
-            .ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))
+        self.by_id.write().remove(&id).ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))
     }
 
     /// Fetch an endpoint.
@@ -157,11 +154,7 @@ impl EndpointRegistry {
 
     /// Endpoints currently marked online.
     pub fn online_count(&self) -> usize {
-        self.by_id
-            .read()
-            .values()
-            .filter(|r| r.status == EndpointStatus::Online)
-            .count()
+        self.by_id.read().values().filter(|r| r.status == EndpointStatus::Online).count()
     }
 
     /// Agent lost: mark offline.
@@ -184,9 +177,7 @@ impl EndpointRegistry {
         let mut guard = self.by_id.write();
         let rec = guard.get_mut(&id).ok_or_else(|| FuncxError::EndpointNotFound(id.to_string()))?;
         if rec.owner != caller {
-            return Err(FuncxError::Forbidden(format!(
-                "user {caller} does not own endpoint {id}"
-            )));
+            return Err(FuncxError::Forbidden(format!("user {caller} does not own endpoint {id}")));
         }
         rec.allowed_users = allowed_users;
         rec.allowed_groups = allowed_groups;

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use funcx_auth::GroupId;
 use funcx_types::time::VirtualInstant;
-use funcx_types::{ContainerImageId, FuncxError, FunctionId, Result, UserId};
+use funcx_types::{ContainerImageId, FunctionId, FuncxError, Result, UserId};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
@@ -67,7 +67,10 @@ pub struct FunctionRegistry {
 impl FunctionRegistry {
     /// Empty registry.
     pub fn new() -> Self {
-        FunctionRegistry { by_id: RwLock::new(HashMap::new()), by_owner: RwLock::new(HashMap::new()) }
+        FunctionRegistry {
+            by_id: RwLock::new(HashMap::new()),
+            by_owner: RwLock::new(HashMap::new()),
+        }
     }
 
     /// Register a new function, assigning its id.
@@ -134,13 +137,10 @@ impl FunctionRegistry {
         sharing: Option<Sharing>,
     ) -> Result<u32> {
         let mut guard = self.by_id.write();
-        let record = guard
-            .get_mut(&id)
-            .ok_or_else(|| FuncxError::FunctionNotFound(id.to_string()))?;
+        let record =
+            guard.get_mut(&id).ok_or_else(|| FuncxError::FunctionNotFound(id.to_string()))?;
         if record.owner != caller {
-            return Err(FuncxError::Forbidden(format!(
-                "user {caller} does not own function {id}"
-            )));
+            return Err(FuncxError::Forbidden(format!("user {caller} does not own function {id}")));
         }
         if let Some(s) = source {
             record.source = s.to_string();
@@ -210,9 +210,7 @@ mod tests {
         let (reg, id) = registry_with_fn(owner, Sharing::default());
         let e = reg.update(id, intruder, Some("def f():\n    return 2\n"), None, None, None);
         assert!(matches!(e, Err(FuncxError::Forbidden(_))));
-        let v = reg
-            .update(id, owner, Some("def f():\n    return 2\n"), None, None, None)
-            .unwrap();
+        let v = reg.update(id, owner, Some("def f():\n    return 2\n"), None, None, None).unwrap();
         assert_eq!(v, 2);
         assert!(reg.get(id).unwrap().source.contains("return 2"));
     }
@@ -229,9 +227,8 @@ mod tests {
         let (reg, id) = registry_with_fn(owner, sharing);
         let rec = reg.get(id).unwrap();
 
-        let member_check = |user: UserId| move |groups: &[GroupId]| {
-            user == group_member && groups.contains(&g)
-        };
+        let member_check =
+            |user: UserId| move |groups: &[GroupId]| user == group_member && groups.contains(&g);
         assert!(rec.may_invoke(owner, member_check(owner)));
         assert!(rec.may_invoke(friend, member_check(friend)));
         assert!(rec.may_invoke(group_member, member_check(group_member)));
@@ -240,10 +237,8 @@ mod tests {
 
     #[test]
     fn public_functions_open_to_all() {
-        let (reg, id) = registry_with_fn(
-            UserId::from_u128(1),
-            Sharing { public: true, ..Sharing::default() },
-        );
+        let (reg, id) =
+            registry_with_fn(UserId::from_u128(1), Sharing { public: true, ..Sharing::default() });
         let rec = reg.get(id).unwrap();
         assert!(rec.may_invoke(UserId::from_u128(99), |_| false));
     }

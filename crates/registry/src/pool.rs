@@ -95,11 +95,7 @@ impl PoolRegistry {
 
     /// Fetch a pool.
     pub fn get(&self, id: PoolId) -> Result<PoolRecord> {
-        self.by_id
-            .read()
-            .get(&id)
-            .cloned()
-            .ok_or_else(|| FuncxError::PoolNotFound(id.to_string()))
+        self.by_id.read().get(&id).cloned().ok_or_else(|| FuncxError::PoolNotFound(id.to_string()))
     }
 
     /// Replace the member list (owner only).
@@ -160,12 +156,7 @@ impl PoolRegistry {
 
     /// Pools containing `endpoint` as a member (failover scans these).
     pub fn containing(&self, endpoint: EndpointId) -> Vec<PoolRecord> {
-        self.by_id
-            .read()
-            .values()
-            .filter(|r| r.members.contains(&endpoint))
-            .cloned()
-            .collect()
+        self.by_id.read().values().filter(|r| r.members.contains(&endpoint)).cloned().collect()
     }
 
     /// Total registered pools.
@@ -261,10 +252,7 @@ mod tests {
         let owner = UserId::from_u128(1);
         let other = UserId::from_u128(2);
         let id = reg.create(owner, "p", "", eps(2), RoutingPolicy::RoundRobin, false, T0).unwrap();
-        assert!(matches!(
-            reg.set_members(id, other, eps(3)),
-            Err(FuncxError::Forbidden(_))
-        ));
+        assert!(matches!(reg.set_members(id, other, eps(3)), Err(FuncxError::Forbidden(_))));
         assert!(matches!(
             reg.set_policy(id, other, RoutingPolicy::LeastOutstanding),
             Err(FuncxError::Forbidden(_))
@@ -296,7 +284,15 @@ mod tests {
         let owner = UserId::from_u128(1);
         let a = reg.create(owner, "a", "", eps(2), RoutingPolicy::RoundRobin, false, T0).unwrap();
         let _b = reg
-            .create(owner, "b", "", vec![EndpointId::from_u128(9)], RoutingPolicy::RoundRobin, false, T0)
+            .create(
+                owner,
+                "b",
+                "",
+                vec![EndpointId::from_u128(9)],
+                RoutingPolicy::RoundRobin,
+                false,
+                T0,
+            )
             .unwrap();
         let hits = reg.containing(EndpointId::from_u128(2));
         assert_eq!(hits.len(), 1);

@@ -185,10 +185,8 @@ impl HealthTracker {
     /// Point-in-time health view for status reporting.
     pub fn snapshot(&self, endpoint: EndpointId, now: VirtualInstant) -> HealthSnapshot {
         let map = self.inner.lock();
-        let (failures, open_until) = map
-            .get(&endpoint)
-            .map(|h| (h.consecutive_failures, h.open_until))
-            .unwrap_or((0, None));
+        let (failures, open_until) =
+            map.get(&endpoint).map(|h| (h.consecutive_failures, h.open_until)).unwrap_or((0, None));
         let circuit = match open_until {
             Some(until) if until > now => CircuitState::Open { until },
             _ => CircuitState::Closed,

@@ -151,8 +151,7 @@ impl Router {
                 // weight in credit each round; the richest runs and pays the
                 // total back. Spreads picks proportionally to idle capacity
                 // without bursts toward one member.
-                let weight =
-                    |i: usize| -> i64 { candidates[i].idle_slots as i64 + 1 };
+                let weight = |i: usize| -> i64 { candidates[i].idle_slots as i64 + 1 };
                 let total: i64 = tier.iter().map(|&i| weight(i)).sum();
                 for &i in &tier {
                     *state.wrr_credit.entry(candidates[i].endpoint_id).or_insert(0) += weight(i);
@@ -161,7 +160,10 @@ impl Router {
                     .iter()
                     .copied()
                     .max_by_key(|&i| {
-                        (state.wrr_credit[&candidates[i].endpoint_id], std::cmp::Reverse(candidates[i].endpoint_id))
+                        (
+                            state.wrr_credit[&candidates[i].endpoint_id],
+                            std::cmp::Reverse(candidates[i].endpoint_id),
+                        )
                     })
                     .expect("tier is non-empty");
                 *state
@@ -307,7 +309,13 @@ mod tests {
         snaps[1].ever_connected = false; // Unknown
         snaps[2].online = false; // Dead (had connected)
         for _ in 0..6 {
-            let pick = router.route(pool, RoutingPolicy::RoundRobin, FunctionId::from_u128(9), &mut snaps, t(2));
+            let pick = router.route(
+                pool,
+                RoutingPolicy::RoundRobin,
+                FunctionId::from_u128(9),
+                &mut snaps,
+                t(2),
+            );
             assert_eq!(pick, Some(EndpointId::from_u128(1)), "only healthy member eligible");
         }
     }

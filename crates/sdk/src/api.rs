@@ -8,8 +8,9 @@ use funcx_registry::Sharing;
 use funcx_service::service::SubmitRequest;
 use funcx_service::FuncxService;
 use funcx_types::task::TaskState;
+use funcx_types::trace::TraceId;
 use funcx_types::{
-    EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
+    EndpointId, FunctionId, FuncxError, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
 };
 
 /// Terminal task value as the SDK sees it: the output document, or the
@@ -40,6 +41,14 @@ pub trait ServiceApi: Send + Sync {
     fn status(&self, bearer: &str, task: TaskId) -> Result<TaskState>;
     /// Task outcome once terminal (`None` while in flight).
     fn result(&self, bearer: &str, task: TaskId) -> Result<Option<TaskValue>>;
+    /// Span tree of a retained trace (`GET /v1/traces/<id>`). A task's
+    /// trace id is its uuid, so [`trace_of_task`] maps between the two.
+    fn trace(&self, bearer: &str, trace_id: TraceId) -> Result<serde_json::Value>;
+}
+
+/// The trace id the service mints for a task: its uuid bits verbatim.
+pub fn trace_of_task(task: TaskId) -> TraceId {
+    TraceId(task.uuid().as_u128())
 }
 
 // ---------------------------------------------------------------------------
@@ -58,8 +67,7 @@ impl InProcApi {
 
 impl ServiceApi for InProcApi {
     fn register_function(&self, bearer: &str, source: &str, entry: &str) -> Result<FunctionId> {
-        self.service
-            .register_function(bearer, entry, source, entry, None, Sharing::default())
+        self.service.register_function(bearer, entry, source, entry, None, Sharing::default())
     }
 
     fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId> {
@@ -101,6 +109,13 @@ impl ServiceApi for InProcApi {
             }
             Some(funcx_types::task::TaskOutcome::Failure(msg)) => Ok(Some(Err(msg))),
         }
+    }
+
+    fn trace(&self, _bearer: &str, trace_id: TraceId) -> Result<serde_json::Value> {
+        self.service
+            .tracer
+            .tree_json(trace_id)
+            .ok_or_else(|| FuncxError::TaskNotFound(format!("trace {trace_id}")))
     }
 }
 
@@ -147,19 +162,30 @@ impl RestApi {
     }
 
     fn submit_body(request: &SubmitRequest) -> serde_json::Value {
+        // Args and kwargs go over the wire in `Value::to_json`'s
+        // externally-tagged shape — the same encoding the service's serde
+        // derive expects on the parse side.
+        let args: Vec<serde_json::Value> = request.args.iter().map(Value::to_json).collect();
+        let kwargs: Vec<serde_json::Value> = request
+            .kwargs
+            .iter()
+            .map(|(k, v)| {
+                serde_json::Value::Array(vec![serde_json::Value::String(k.clone()), v.to_json()])
+            })
+            .collect();
         match request.target {
             RouteTarget::Endpoint(ep) => serde_json::json!({
                 "function_id": request.function_id.to_string(),
                 "endpoint_id": ep.to_string(),
-                "args": request.args,
-                "kwargs": request.kwargs,
+                "args": args,
+                "kwargs": kwargs,
                 "allow_memo": request.allow_memo,
             }),
             RouteTarget::Pool(pool) => serde_json::json!({
                 "function_id": request.function_id.to_string(),
                 "pool": pool.to_string(),
-                "args": request.args,
-                "kwargs": request.kwargs,
+                "args": args,
+                "kwargs": kwargs,
                 "allow_memo": request.allow_memo,
             }),
         }
@@ -242,7 +268,8 @@ impl ServiceApi for RestApi {
     }
 
     fn status(&self, bearer: &str, task: TaskId) -> Result<TaskState> {
-        let out = self.call("GET", &format!("/v1/tasks/{task}/status"), bearer, serde_json::Value::Null)?;
+        let out =
+            self.call("GET", &format!("/v1/tasks/{task}/status"), bearer, serde_json::Value::Null)?;
         // `TaskState::parse` accepts both the snake_case wire form and the
         // legacy CamelCase one, so the SDK can talk to either service build.
         match out["status"].as_str() {
@@ -253,7 +280,8 @@ impl ServiceApi for RestApi {
     }
 
     fn result(&self, bearer: &str, task: TaskId) -> Result<Option<TaskValue>> {
-        let out = self.call("GET", &format!("/v1/tasks/{task}/result"), bearer, serde_json::Value::Null)?;
+        let out =
+            self.call("GET", &format!("/v1/tasks/{task}/result"), bearer, serde_json::Value::Null)?;
         if out["pending"] == serde_json::Value::Bool(true) {
             return Ok(None);
         }
@@ -264,5 +292,9 @@ impl ServiceApi for RestApi {
         } else {
             Ok(Some(Err(out["error"].as_str().unwrap_or("unknown failure").to_string())))
         }
+    }
+
+    fn trace(&self, bearer: &str, trace_id: TraceId) -> Result<serde_json::Value> {
+        self.call("GET", &format!("/v1/traces/{trace_id}"), bearer, serde_json::Value::Null)
     }
 }

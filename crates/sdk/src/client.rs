@@ -7,7 +7,7 @@ use funcx_lang::Value;
 use funcx_service::service::SubmitRequest;
 use funcx_types::task::TaskState;
 use funcx_types::{
-    EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
+    EndpointId, FunctionId, FuncxError, PoolId, Result, RouteTarget, RoutingPolicy, TaskId,
 };
 
 use crate::api::ServiceApi;
@@ -95,6 +95,13 @@ impl FuncXClient {
     /// Task state right now.
     pub fn status(&self, task: TaskId) -> Result<TaskState> {
         self.api.status(&self.bearer, task)
+    }
+
+    /// Span tree of the task's distributed trace, once retained by the
+    /// service's tail sampler. Errors with `TaskNotFound` while the trace
+    /// is still active or if it was sampled out.
+    pub fn get_trace(&self, task: TaskId) -> Result<serde_json::Value> {
+        self.api.trace(&self.bearer, crate::api::trace_of_task(task))
     }
 
     /// One non-blocking result probe.

@@ -57,9 +57,9 @@ impl FmapSpec {
     ) -> Result<FmapSpec> {
         match (batch_count, batch_size, total_items) {
             (Some(count), _, Some(total)) => Self::by_count(count, total),
-            (Some(_), _, None) => Err(FuncxError::BadRequest(
-                "batch_count requires a sized iterator".into(),
-            )),
+            (Some(_), _, None) => {
+                Err(FuncxError::BadRequest("batch_count requires a sized iterator".into()))
+            }
             (None, Some(size), _) => Self::by_size(size),
             (None, None, _) => Self::by_size(1),
         }

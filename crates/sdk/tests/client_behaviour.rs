@@ -9,7 +9,7 @@ use funcx_sdk::api::{ServiceApi, TaskValue};
 use funcx_sdk::{FmapSpec, FuncXClient};
 use funcx_service::SubmitRequest;
 use funcx_types::task::TaskState;
-use funcx_types::{EndpointId, FuncxError, FunctionId, PoolId, Result, RoutingPolicy, TaskId};
+use funcx_types::{EndpointId, FunctionId, FuncxError, PoolId, Result, RoutingPolicy, TaskId};
 use parking_lot::Mutex;
 
 /// Records every call; scripts results.
@@ -55,9 +55,7 @@ impl ServiceApi for MockApi {
     fn submit_batch(&self, _b: &str, requests: Vec<SubmitRequest>) -> Result<Vec<TaskId>> {
         self.batch_sizes.lock().push(requests.len());
         if let Some(counter) = self.pull_counter.lock().as_ref() {
-            self.pulls_at_batch
-                .lock()
-                .push(counter.load(std::sync::atomic::Ordering::SeqCst));
+            self.pulls_at_batch.lock().push(counter.load(std::sync::atomic::Ordering::SeqCst));
         }
         Ok(requests.iter().map(|_| TaskId::random()).collect())
     }
@@ -73,6 +71,10 @@ impl ServiceApi for MockApi {
             return Ok(None);
         }
         Ok(self.outcome.lock().clone())
+    }
+
+    fn trace(&self, _b: &str, t: funcx_types::trace::TraceId) -> Result<serde_json::Value> {
+        Err(FuncxError::TaskNotFound(format!("trace {t}")))
     }
 }
 

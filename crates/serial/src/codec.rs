@@ -46,9 +46,9 @@ impl CodecTag {
             b'N' => Ok(CodecTag::Native),
             b'C' => Ok(CodecTag::Code),
             b'T' => Ok(CodecTag::Traceback),
-            other => Err(FuncxError::SerializationFailed(format!(
-                "unknown codec tag byte {other:#04x}"
-            ))),
+            other => {
+                Err(FuncxError::SerializationFailed(format!("unknown codec tag byte {other:#04x}")))
+            }
         }
     }
 }
@@ -87,7 +87,9 @@ impl Codec for JsonCodec {
     }
 
     fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
-        let Payload::Document(v) = payload else { return None };
+        let Payload::Document(v) = payload else {
+            return None;
+        };
         if !json_safe(v) {
             return None;
         }
@@ -112,7 +114,9 @@ impl Codec for NativeCodec {
     }
 
     fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
-        let Payload::Document(v) = payload else { return None };
+        let Payload::Document(v) = payload else {
+            return None;
+        };
         let mut out = Vec::with_capacity(64);
         native::encode_value(v, &mut out);
         Some(out)
@@ -141,7 +145,9 @@ impl Codec for CodeCodec {
     }
 
     fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
-        let Payload::Code { source, entry } = payload else { return None };
+        let Payload::Code { source, entry } = payload else {
+            return None;
+        };
         debug_assert!(!entry.contains('\n'), "entry names never contain newlines");
         let mut out = Vec::with_capacity(entry.len() + 1 + source.len());
         out.extend_from_slice(entry.as_bytes());
@@ -174,7 +180,9 @@ impl Codec for TracebackCodec {
     }
 
     fn try_encode(&self, payload: &Payload) -> Option<Vec<u8>> {
-        let Payload::Traceback(e) = payload else { return None };
+        let Payload::Traceback(e) = payload else {
+            return None;
+        };
         serde_json::to_vec(e).ok()
     }
 
@@ -207,9 +215,7 @@ mod tests {
             .is_none());
         assert!(c.try_encode(&Payload::Document(Value::Int(1))).is_some());
         // Declines non-documents entirely.
-        assert!(c
-            .try_encode(&Payload::Code { source: "s".into(), entry: "e".into() })
-            .is_none());
+        assert!(c.try_encode(&Payload::Code { source: "s".into(), entry: "e".into() }).is_none());
     }
 
     #[test]

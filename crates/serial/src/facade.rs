@@ -59,20 +59,14 @@ impl Serializer {
                 return Ok((codec.tag(), bytes));
             }
         }
-        Err(FuncxError::SerializationFailed(
-            "no registered codec accepted the payload".into(),
-        ))
+        Err(FuncxError::SerializationFailed("no registered codec accepted the payload".into()))
     }
 
     /// Deserialize bytes produced by the codec identified by `tag`.
     pub fn deserialize(&self, tag: CodecTag, bytes: &[u8]) -> Result<Payload> {
-        let codec = self
-            .codecs
-            .iter()
-            .find(|c| c.tag() == tag)
-            .ok_or_else(|| {
-                FuncxError::SerializationFailed(format!("no codec registered for tag {tag:?}"))
-            })?;
+        let codec = self.codecs.iter().find(|c| c.tag() == tag).ok_or_else(|| {
+            FuncxError::SerializationFailed(format!("no codec registered for tag {tag:?}"))
+        })?;
         codec.decode(bytes)
     }
 
@@ -105,8 +99,7 @@ mod tests {
     #[test]
     fn binary_documents_fall_through_to_native() {
         let s = Serializer::default();
-        let (tag, _) =
-            s.serialize(&Payload::Document(Value::Bytes(vec![0, 1]))).unwrap();
+        let (tag, _) = s.serialize(&Payload::Document(Value::Bytes(vec![0, 1]))).unwrap();
         assert_eq!(tag, CodecTag::Native);
     }
 

@@ -61,9 +61,7 @@ pub fn unpack_buffer(buffer: &[u8]) -> Result<PackedBuffer<'_>> {
         return Err(FuncxError::SerializationFailed("bad magic prefix".into()));
     }
     let codec = CodecTag::from_byte(buffer[2])?;
-    let routing = Uuid::from_u128(u128::from_be_bytes(
-        buffer[3..19].try_into().expect("16 bytes"),
-    ));
+    let routing = Uuid::from_u128(u128::from_be_bytes(buffer[3..19].try_into().expect("16 bytes")));
     let len = u32::from_le_bytes(buffer[19..23].try_into().expect("4 bytes")) as usize;
     let body = &buffer[HEADER_LEN..];
     if body.len() != len {
@@ -80,9 +78,7 @@ pub fn peek_routing(buffer: &[u8]) -> Result<Uuid> {
     if buffer.len() < HEADER_LEN || buffer[0..2] != MAGIC {
         return Err(FuncxError::SerializationFailed("not a packed buffer".into()));
     }
-    Ok(Uuid::from_u128(u128::from_be_bytes(
-        buffer[3..19].try_into().expect("16 bytes"),
-    )))
+    Ok(Uuid::from_u128(u128::from_be_bytes(buffer[3..19].try_into().expect("16 bytes"))))
 }
 
 #[cfg(test)]

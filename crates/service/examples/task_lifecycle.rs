@@ -80,8 +80,7 @@ fn main() {
         loop {
             if let Some(outcome) = service.get_result(&token, t).unwrap() {
                 let TaskOutcome::Success(bytes) = outcome else { panic!("task {i} failed") };
-                let (routing, payload) =
-                    Serializer::default().deserialize_packed(&bytes).unwrap();
+                let (routing, payload) = Serializer::default().deserialize_packed(&bytes).unwrap();
                 assert_eq!(routing, t.uuid(), "routing header mismatch");
                 assert_eq!(payload.as_document(), Some(&funcx_lang::Value::Int(i as i64 * 2)));
                 break;

@@ -63,6 +63,19 @@ pub struct ServiceConfig {
     /// Snapshot + compact the WAL every N appends (`0` disables automatic
     /// snapshots). Ignored unless `wal_dir` is set.
     pub snapshot_every: u64,
+    /// Head-sample rate for distributed traces in `[0, 1]`: the fraction of
+    /// *healthy* traces retained at completion. Error/failover/recovery
+    /// traces and the slowest tail are always kept (tail-based sampling).
+    pub trace_head_sample: f64,
+    /// Completed traces retained for `/v1/traces` queries (oldest evicted).
+    pub trace_store_capacity: usize,
+    /// Spans buffered per trace; beyond this, spans are dropped and counted.
+    pub trace_max_spans: usize,
+    /// The N slowest traces are retained even when their head-sample draw
+    /// failed — the p99 tail Figure 4's latency analysis cares about.
+    pub trace_slowest_keep: usize,
+    /// Minimum level emitted by the structured `fx_log!` macro.
+    pub log_level: funcx_telemetry::LogLevel,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +98,11 @@ impl Default for ServiceConfig {
             wal_dir: None,
             wal_fsync: FsyncPolicy::default(),
             snapshot_every: 4096,
+            trace_head_sample: 1.0,
+            trace_store_capacity: 512,
+            trace_max_spans: 256,
+            trace_slowest_keep: 16,
+            log_level: funcx_telemetry::LogLevel::Warn,
         }
     }
 }
@@ -96,6 +114,16 @@ impl ServiceConfig {
             max_report_age: self.router_max_report_age,
             failure_threshold: self.router_failure_threshold,
             cooldown: self.router_cooldown,
+        }
+    }
+
+    /// The tracing tunables as a [`funcx_tracing::TraceConfig`].
+    pub fn trace_config(&self) -> funcx_tracing::TraceConfig {
+        funcx_tracing::TraceConfig {
+            capacity: self.trace_store_capacity,
+            max_spans_per_trace: self.trace_max_spans,
+            slowest_keep: self.trace_slowest_keep,
+            head_sample: self.trace_head_sample,
         }
     }
 }
@@ -127,6 +155,19 @@ mod tests {
             matches!(c.wal_fsync, FsyncPolicy::Batched { .. }),
             "group commit is the default when the WAL is enabled"
         );
+        assert_eq!(c.trace_head_sample, 1.0, "keep every trace out of the box");
+        assert!(c.trace_store_capacity > 0);
+        assert!(c.trace_slowest_keep > 0, "the slow tail must survive sampling");
+    }
+
+    #[test]
+    fn trace_config_mirrors_tunables() {
+        let c = ServiceConfig { trace_head_sample: 0.01, ..ServiceConfig::default() };
+        let t = c.trace_config();
+        assert_eq!(t.head_sample, 0.01);
+        assert_eq!(t.capacity, c.trace_store_capacity);
+        assert_eq!(t.max_spans_per_trace, c.trace_max_spans);
+        assert_eq!(t.slowest_keep, c.trace_slowest_keep);
     }
 
     #[test]

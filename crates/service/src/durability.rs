@@ -58,11 +58,9 @@ impl Journal for WalJournal {
                 front,
                 item: item.to_vec(),
             },
-            JournalOp::QueuePop { endpoint, kind, count } => DurableEvent::QueuePop {
-                endpoint_id: endpoint,
-                kind: wal_queue_kind(kind),
-                count,
-            },
+            JournalOp::QueuePop { endpoint, kind, count } => {
+                DurableEvent::QueuePop { endpoint_id: endpoint, kind: wal_queue_kind(kind), count }
+            }
             JournalOp::QueuesRemoved { endpoint } => {
                 DurableEvent::QueuesRemoved { endpoint_id: endpoint }
             }

@@ -20,10 +20,11 @@ use funcx_proto::heartbeat::HeartbeatTracker;
 use funcx_proto::message::{Message, TaskDispatch, TaskResult};
 use funcx_serial::{pack_buffer, CodecTag, Payload};
 use funcx_store::QueueKind;
+use funcx_telemetry::fx_log;
 use funcx_types::ids::Uuid;
 use funcx_types::task::{TaskOutcome, TaskState};
 use funcx_types::time::{VirtualDuration, VirtualInstant};
-use funcx_types::{EndpointId, FuncxError, FunctionId, TaskId};
+use funcx_types::{EndpointId, FunctionId, FuncxError, TaskId};
 
 use funcx_wal::DurableEvent;
 
@@ -188,10 +189,10 @@ fn run_forwarder_loop(
             let mut batch: Vec<TaskDispatch> = Vec::with_capacity(drained.len());
             let now = clock.now();
             for raw in drained {
-                let Some(task_id) = FuncxService::queue_bytes_to_task_id(&raw) else { continue };
-                let Some(dispatch) =
-                    build_dispatch(&service, task_id, now, &mut code_cache)
-                else {
+                let Some(task_id) = FuncxService::queue_bytes_to_task_id(&raw) else {
+                    continue;
+                };
+                let Some(dispatch) = build_dispatch(&service, task_id, now, &mut code_cache) else {
                     continue;
                 };
                 outstanding.push(task_id);
@@ -203,9 +204,7 @@ fn run_forwarder_loop(
                     agent_lost = true;
                 } else {
                     service.instruments.tasks_dispatched.add(n as u64);
-                    service
-                        .trace
-                        .record("dispatch", format!("endpoint {endpoint_id} batch {n}"));
+                    service.trace.record("dispatch", format!("endpoint {endpoint_id} batch {n}"));
                 }
             }
         }
@@ -226,11 +225,8 @@ fn run_forwarder_loop(
                     Message::EndpointStatus { endpoint_id: claimed, report }
                         if claimed == endpoint_id =>
                     {
-                        let _ = service.endpoints.record_heartbeat(
-                            endpoint_id,
-                            report,
-                            clock.now(),
-                        );
+                        let _ =
+                            service.endpoints.record_heartbeat(endpoint_id, report, clock.now());
                     }
                     Message::HeartbeatAck { .. } => {}
                     Message::RegisterEndpoint { .. } => {
@@ -266,6 +262,7 @@ fn run_forwarder_loop(
     // redelivery ("returns outstanding tasks back into the task queue",
     // §4.1) — and mark the endpoint offline.
     if agent_lost {
+        fx_log!(Warn, "forwarder", "agent lost", endpoint_id = endpoint_id);
         let (requeued, rerouted) = service.handle_endpoint_loss(endpoint_id, outstanding);
         service.instruments.tasks_requeued.add(requeued as u64);
         service.trace.record(
@@ -288,9 +285,8 @@ fn build_dispatch(
 ) -> Option<TaskDispatch> {
     // Cheap read-locked projection: what does this task need, and is it
     // still waiting for us?
-    let (state, function_id, container) = service
-        .tasks
-        .read_record(task_id, |r| (r.state, r.spec.function_id, r.spec.container))?;
+    let (state, function_id, container) =
+        service.tasks.read_record(task_id, |r| (r.state, r.spec.function_id, r.spec.container))?;
     if state != TaskState::WaitingForEndpoint {
         return None; // raced with a duplicate delivery; skip
     }
@@ -304,10 +300,8 @@ fn build_dispatch(
         .or_insert_with(|| {
             let payload =
                 Payload::Code { source: function.source.clone(), entry: function.entry.clone() };
-            let (tag, body) = service
-                .serializer()
-                .serialize(&payload)
-                .expect("code serialization cannot fail");
+            let (tag, body) =
+                service.serializer().serialize(&payload).expect("code serialization cannot fail");
             pack_buffer(Uuid::nil(), tag, &body)
         })
         .clone();
@@ -334,6 +328,9 @@ fn build_dispatch(
                 payload: record.spec.payload.clone(),
                 container: record.spec.container,
                 container_modules,
+                // The trace context crosses the wire with the task; the
+                // agent echoes it back on the result frame.
+                span: record.spec.span,
             })
         })
         .flatten();
@@ -356,7 +353,7 @@ fn build_dispatch(
 /// whole batch.
 fn store_results(
     service: &Arc<FuncxService>,
-    _endpoint_id: EndpointId,
+    endpoint_id: EndpointId,
     results: Vec<TaskResult>,
     result_queue: &Arc<funcx_store::BlockingQueue>,
 ) {
@@ -365,13 +362,14 @@ fn store_results(
         // Snapshot what the expensive pre-work needs under a brief read
         // lock: memoization intent and the input payload (cloned only
         // when a memo insert is actually coming).
-        let Some((terminal, function_id, memo_payload)) =
+        let Some((terminal, function_id, memo_payload, span)) =
             service.tasks.read_record(r.task_id, |record| {
                 let wants_memo = r.success && record.spec.allow_memo;
                 (
                     record.state.is_terminal(),
                     record.spec.function_id,
                     wants_memo.then(|| record.spec.payload.clone()),
+                    record.spec.span,
                 )
             })
         else {
@@ -444,10 +442,13 @@ fn store_results(
                 }
                 let logged = wal_enabled
                     .then(|| (record.outcome.clone().expect("just set"), record.timeline));
-                Some((record.timeline.total(), record.timeline.t_exec(), logged))
+                Some((record.timeline, record.delivery_count, logged))
             })
             .flatten();
-        let Some((total, exec, logged)) = stored else { continue };
+        let Some((timeline, delivery_count, logged)) = stored else {
+            continue;
+        };
+        let (total, exec) = (timeline.total(), timeline.t_exec());
 
         // Post-work: WAL append, counters, memo insert, trace, result
         // queue — all outside the task lock.
@@ -478,17 +479,72 @@ fn store_results(
         if let Some(exec) = exec {
             service.instruments.task_exec.record(exec);
         }
-        service.trace.record(
-            "result",
-            format!("task {} success {}", r.task_id, r.success),
-        );
+        service.trace.record("result", format!("task {} success {}", r.task_id, r.success));
+        // Synthesize the remote-side spans from the timeline the result
+        // carried home (shared virtual clock, §4 instrumentation). The five
+        // children — service, forwarder_out, endpoint, exec, forwarder_in —
+        // tile the root exactly: Figure 4's decomposition as a span tree.
+        if span.is_active() {
+            let tracer = &service.tracer;
+            if let (Some(queued), Some(arrived)) =
+                (timeline.queued_at_service, timeline.endpoint_received)
+            {
+                tracer.record(
+                    &span.child(),
+                    "forwarder_out",
+                    queued,
+                    arrived,
+                    vec![
+                        ("endpoint_id", endpoint_id.to_string()),
+                        ("delivery_count", delivery_count.to_string()),
+                    ],
+                );
+            }
+            if let (Some(arrived), Some(exec_start)) =
+                (timeline.endpoint_received, timeline.execution_start)
+            {
+                let endpoint_ctx = span.child();
+                tracer.record(
+                    &endpoint_ctx,
+                    "endpoint",
+                    arrived,
+                    exec_start,
+                    vec![("endpoint_id", endpoint_id.to_string())],
+                );
+                if let Some(picked) = timeline.manager_received {
+                    tracer.record(
+                        &endpoint_ctx.child(),
+                        "manager_pickup",
+                        picked,
+                        exec_start,
+                        vec![],
+                    );
+                }
+            }
+            if let (Some(exec_start), Some(exec_end)) =
+                (timeline.execution_start, timeline.execution_end)
+            {
+                tracer.record(
+                    &span.child(),
+                    "exec",
+                    exec_start,
+                    exec_end,
+                    vec![("success", r.success.to_string())],
+                );
+            }
+            if let Some(exec_end) = timeline.execution_end {
+                tracer.record(&span.child(), "forwarder_in", exec_end, now, vec![]);
+            }
+            if !r.success {
+                tracer.flag(span.trace_id, "error");
+            }
+            tracer.complete(span.trace_id, now);
+        }
         if !result_queue.push_back(FuncxService::task_id_to_queue_bytes(r.task_id)) {
             // The result itself is safe in the task record; only the
             // queue notification was refused (endpoint deregistered).
             service.instruments.result_pushes_refused.inc();
-            service
-                .trace
-                .record("result_push_refused", format!("task {}", r.task_id));
+            service.trace.record("result_push_refused", format!("task {}", r.task_id));
         }
     }
 }
@@ -545,31 +601,13 @@ mod tests {
         let config = fast_endpoint_config();
         let agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
         let (agent_side, mgr_side) = inproc_pair();
-        let manager = Manager::spawn(
-            config,
-            Arc::clone(&clock),
-            Serializer::default(),
-            mgr_side,
-            None,
-            None,
-        );
+        let manager =
+            Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
         agent.attach_manager(agent_side);
-        Deployment {
-            service,
-            token,
-            endpoint_id,
-            forwarder,
-            agent,
-            managers: vec![manager],
-            clock,
-        }
+        Deployment { service, token, endpoint_id, forwarder, agent, managers: vec![manager], clock }
     }
 
-    fn await_result(
-        d: &Deployment,
-        task: TaskId,
-        timeout: Duration,
-    ) -> Option<TaskOutcome> {
+    fn await_result(d: &Deployment, task: TaskId, timeout: Duration) -> Option<TaskOutcome> {
         let deadline = std::time::Instant::now() + timeout;
         while std::time::Instant::now() < deadline {
             if let Ok(Some(outcome)) = d.service.get_result(&d.token, task) {
@@ -586,12 +624,7 @@ mod tests {
             .unwrap()
     }
 
-    fn submit(
-        d: &Deployment,
-        f: FunctionId,
-        args: Vec<Value>,
-        allow_memo: bool,
-    ) -> TaskId {
+    fn submit(d: &Deployment, f: FunctionId, args: Vec<Value>, allow_memo: bool) -> TaskId {
         d.service
             .submit(
                 &d.token,
@@ -648,11 +681,7 @@ mod tests {
     #[test]
     fn memoization_end_to_end() {
         let mut d = deploy();
-        let f = register_fn(
-            &d,
-            "def slow_id(x):\n    sleep(500)\n    return x\n",
-            "slow_id",
-        );
+        let f = register_fn(&d, "def slow_id(x):\n    sleep(500)\n    return x\n", "slow_id");
         // First call executes remotely (500 virtual s ≈ 0.5 s wall).
         let t1 = submit(&d, f, vec![Value::Int(7)], true);
         let o1 = await_result(&d, t1, Duration::from_secs(30)).expect("first run");
@@ -685,10 +714,7 @@ mod tests {
         // Let the tasks reach the workers (2000 virtual s ≈ 2 s wall).
         std::thread::sleep(Duration::from_millis(300));
         for &task in &tasks {
-            assert_eq!(
-                d.service.status(&d.token, task).unwrap(),
-                TaskState::DispatchedToEndpoint
-            );
+            assert_eq!(d.service.status(&d.token, task).unwrap(), TaskState::DispatchedToEndpoint);
         }
 
         // Sever the agent (Figure 8 failure).

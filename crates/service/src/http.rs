@@ -25,6 +25,8 @@ pub struct Request {
     pub method: String,
     /// Path with no query string, e.g. `/v1/tasks/abc/status`.
     pub path: String,
+    /// Raw query string (no leading `?`), empty when the URL had none.
+    pub query: String,
     /// Lower-cased header map.
     pub headers: HashMap<String, String>,
     /// Raw body bytes.
@@ -34,9 +36,18 @@ pub struct Request {
 impl Request {
     /// Bearer token from the Authorization header, if present.
     pub fn bearer(&self) -> Option<&str> {
-        self.headers
-            .get("authorization")
-            .and_then(|v| v.strip_prefix("Bearer "))
+        self.headers.get("authorization").and_then(|v| v.strip_prefix("Bearer "))
+    }
+
+    /// Value of query parameter `name` (`?name=value`), if present.
+    ///
+    /// No percent-decoding: the service's query parameters are all plain
+    /// identifiers or integers.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == name).then_some(v)
+        })
     }
 }
 
@@ -59,11 +70,7 @@ impl Response {
 
     /// A response in the Prometheus text exposition format.
     pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
-        Response {
-            status,
-            content_type: "text/plain; version=0.0.4".into(),
-            body: body.into(),
-        }
+        Response { status, content_type: "text/plain; version=0.0.4".into(), body: body.into() }
     }
 
     fn reason(&self) -> &'static str {
@@ -173,7 +180,10 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::result::Result<Reques
     let mut parts = line.split_whitespace();
     let method = parts.next().ok_or(400u16)?.to_string();
     let raw_path = parts.next().ok_or(400u16)?;
-    let path = raw_path.split('?').next().unwrap_or(raw_path).to_string();
+    let (path, query) = match raw_path.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (raw_path.to_string(), String::new()),
+    };
 
     let mut headers = HashMap::new();
     loop {
@@ -188,10 +198,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::result::Result<Reques
         }
     }
 
-    let len: usize = headers
-        .get("content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let len: usize = headers.get("content-length").and_then(|v| v.parse().ok()).unwrap_or(0);
     if len > MAX_BODY {
         return Err(413);
     }
@@ -199,7 +206,7 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::result::Result<Reques
     if len > 0 {
         reader.read_exact(&mut body).map_err(|_| 400u16)?;
     }
-    Ok(Request { method, path, headers, body })
+    Ok(Request { method, path, query, headers, body })
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
@@ -225,7 +232,8 @@ pub fn http_request(
 ) -> Result<Response> {
     let mut stream = TcpStream::connect(addr)
         .map_err(|e| FuncxError::Disconnected(format!("http connect {addr}: {e}")))?;
-    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: funcx\r\nContent-Length: {}\r\n", body.len());
+    let mut head =
+        format!("{method} {path} HTTP/1.1\r\nHost: funcx\r\nContent-Length: {}\r\n", body.len());
     if let Some(token) = bearer {
         head.push_str(&format!("Authorization: Bearer {token}\r\n"));
     }
@@ -295,14 +303,9 @@ mod tests {
     #[test]
     fn request_response_roundtrip() {
         let server = echo_server();
-        let resp = http_request(
-            server.local_addr(),
-            "POST",
-            "/v1/submit",
-            Some("tok123"),
-            b"{\"x\":1}",
-        )
-        .unwrap();
+        let resp =
+            http_request(server.local_addr(), "POST", "/v1/submit", Some("tok123"), b"{\"x\":1}")
+                .unwrap();
         assert_eq!(resp.status, 200);
         let text = String::from_utf8(resp.body).unwrap();
         assert!(text.contains("\"method\":\"POST\""));
@@ -321,14 +324,36 @@ mod tests {
     }
 
     #[test]
+    fn query_params_are_parsed() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/traces".into(),
+            query: "slowest=5&format=chrome".into(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(req.query_param("slowest"), Some("5"));
+        assert_eq!(req.query_param("format"), Some("chrome"));
+        assert_eq!(req.query_param("missing"), None);
+
+        let bare = Request {
+            method: "GET".into(),
+            path: "/v1/traces".into(),
+            query: String::new(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        assert_eq!(bare.query_param("slowest"), None);
+    }
+
+    #[test]
     fn concurrent_requests_are_served() {
         let server = echo_server();
         let addr = server.local_addr();
         let handles: Vec<_> = (0..16)
             .map(|i| {
                 std::thread::spawn(move || {
-                    let resp =
-                        http_request(addr, "GET", &format!("/r/{i}"), None, b"").unwrap();
+                    let resp = http_request(addr, "GET", &format!("/r/{i}"), None, b"").unwrap();
                     assert_eq!(resp.status, 200);
                 })
             })

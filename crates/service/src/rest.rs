@@ -21,6 +21,10 @@
 //! | GET  | `/v1/tasks/<id>/timeline` | — | Figure-4 timeline breakdown |
 //! | GET  | `/v1/endpoints/<id>/status` | — | endpoint health + last report |
 //! | GET  | `/v1/endpoints/status` | — | fleet view (accessible endpoints) |
+//! | GET  | `/v1/traces` | — | retained traces, slowest first (`?slowest=N`) |
+//! | GET  | `/v1/traces/<trace_id>` | — | span tree of one retained trace |
+//! | GET  | `/v1/traces/chrome` | — | Chrome trace-event dump (all retained) |
+//! | GET  | `/v1/traces/<trace_id>/chrome` | — | Chrome trace-event dump (one) |
 //! | GET  | `/v1/metrics` | — | Prometheus text (no auth) |
 //!
 //! A submission names exactly one of `endpoint_id` (pin, as in the HPDC
@@ -39,7 +43,8 @@ use funcx_lang::Value;
 use funcx_serial::Payload;
 use funcx_types::task::TaskOutcome;
 use funcx_types::time::VirtualDuration;
-use funcx_types::{EndpointId, FuncxError, FunctionId, PoolId, RouteTarget, RoutingPolicy, TaskId};
+use funcx_types::trace::TraceId;
+use funcx_types::{EndpointId, FunctionId, FuncxError, PoolId, RouteTarget, RoutingPolicy, TaskId};
 use serde::{Deserialize, Serialize};
 
 use crate::http::{Handler, HttpServer, Request, Response};
@@ -174,12 +179,9 @@ fn parse_body<T: for<'de> Deserialize<'de>>(req: &Request) -> Result<T, Response
 
 fn submit_request_of(body: SubmitBody) -> Result<SubmitRequest, FuncxError> {
     let bad = |msg: &str| FuncxError::BadRequest(msg.to_string());
-    let function_id: FunctionId =
-        body.function_id.parse().map_err(|_| bad("bad function_id"))?;
+    let function_id: FunctionId = body.function_id.parse().map_err(|_| bad("bad function_id"))?;
     let target = match (body.endpoint_id, body.pool) {
-        (Some(ep), None) => {
-            RouteTarget::Endpoint(ep.parse().map_err(|_| bad("bad endpoint_id"))?)
-        }
+        (Some(ep), None) => RouteTarget::Endpoint(ep.parse().map_err(|_| bad("bad endpoint_id"))?),
         (None, Some(pool)) => RouteTarget::Pool(pool.parse().map_err(|_| bad("bad pool"))?),
         (Some(_), Some(_)) => return Err(bad("give endpoint_id or pool, not both")),
         (None, None) => return Err(bad("one of endpoint_id or pool is required")),
@@ -238,7 +240,12 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 },
             };
             match service.register_function(
-                &bearer, &body.name, &body.source, &body.entry, container, sharing,
+                &bearer,
+                &body.name,
+                &body.source,
+                &body.entry,
+                container,
+                sharing,
             ) {
                 Ok(id) => ok_json(&serde_json::json!({ "function_id": id.to_string() })),
                 Err(e) => err_json(&e),
@@ -362,7 +369,12 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Err(resp) => return resp,
             };
             match service.create_pool(
-                &bearer, &body.name, &body.description, members, policy, body.public,
+                &bearer,
+                &body.name,
+                &body.description,
+                members,
+                policy,
+                body.public,
             ) {
                 Ok(id) => ok_json(&serde_json::json!({ "pool_id": id.to_string() })),
                 Err(e) => err_json(&e),
@@ -439,10 +451,8 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
         }
         ("GET", ["v1", "endpoints", "status"]) => match service.fleet_status(&bearer) {
             Ok(records) => {
-                let endpoints: Vec<serde_json::Value> = records
-                    .iter()
-                    .map(|r| endpoint_json(r, service.report_age(r)))
-                    .collect();
+                let endpoints: Vec<serde_json::Value> =
+                    records.iter().map(|r| endpoint_json(r, service.report_age(r))).collect();
                 ok_json(&serde_json::json!({ "endpoints": endpoints }))
             }
             Err(e) => err_json(&e),
@@ -471,9 +481,9 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Ok(None) => ok_json(&serde_json::json!({ "pending": true })),
                 Ok(Some(TaskOutcome::Success(body))) => {
                     match service.serializer().deserialize_packed(&body) {
-                        Ok((_, Payload::Document(v))) => {
-                            ok_json(&serde_json::json!({ "pending": false, "success": true, "result": v }))
-                        }
+                        Ok((_, Payload::Document(v))) => ok_json(
+                            &serde_json::json!({ "pending": false, "success": true, "result": v.to_json() }),
+                        ),
                         _ => ok_json(&serde_json::json!({
                             "pending": false, "success": true, "result": null,
                             "note": "result body not a document"
@@ -486,10 +496,34 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Err(e) => err_json(&e),
             }
         }
-        _ => err_json(&FuncxError::BadRequest(format!(
-            "no route {} {}",
-            req.method, req.path
-        ))),
+        ("GET", ["v1", "traces"]) => {
+            // Retained-trace summaries, slowest first (`?slowest=N`, default 10).
+            let n = match req.query_param("slowest").map(str::parse::<usize>).transpose() {
+                Ok(n) => n.unwrap_or(10),
+                Err(_) => return bad_request("bad slowest value"),
+            };
+            ok_json(&service.tracer.slowest_json(n))
+        }
+        // The "chrome" literal must win over the `<trace_id>` capture below.
+        ("GET", ["v1", "traces", "chrome"]) => ok_json(&service.tracer.chrome_json(None)),
+        ("GET", ["v1", "traces", id, "chrome"]) => {
+            let trace_id: TraceId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad trace id"),
+            };
+            ok_json(&service.tracer.chrome_json(Some(trace_id)))
+        }
+        ("GET", ["v1", "traces", id]) => {
+            let trace_id: TraceId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad trace id"),
+            };
+            match service.tracer.tree_json(trace_id) {
+                Some(tree) => ok_json(&tree),
+                None => err_json(&FuncxError::TaskNotFound(format!("trace {id}"))),
+            }
+        }
+        _ => err_json(&FuncxError::BadRequest(format!("no route {} {}", req.method, req.path))),
     }
 }
 
@@ -499,10 +533,10 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
 fn timeline_json(record: &funcx_types::task::TaskRecord) -> serde_json::Value {
     let t = &record.timeline;
     let at = |v: Option<funcx_types::time::VirtualInstant>| v.map(|i| i.as_nanos());
-    let dur =
-        |d: Option<funcx_types::time::VirtualDuration>| d.map(|d| d.as_nanos() as u64);
+    let dur = |d: Option<funcx_types::time::VirtualDuration>| d.map(|d| d.as_nanos() as u64);
     serde_json::json!({
         "task_id": record.spec.task_id.to_string(),
+        "trace_id": record.spec.span.trace_id.to_string(),
         "state": record.state.as_str(),
         "delivery_count": record.delivery_count,
         "received": at(t.received),
@@ -547,6 +581,7 @@ fn endpoint_json(
         "idle_slots": record.last_report.map(|r| r.idle_slots),
         "requeued": record.last_report.map(|r| r.requeued),
         "results_sent": record.last_report.map(|r| r.results_sent),
+        "spans_dropped": record.last_report.map(|r| r.spans_dropped),
     })
 }
 
@@ -674,12 +709,8 @@ mod tests {
                 "name": "f", "source": "def f(x):\n    return x\n", "entry": "f"
             }),
         );
-        let (_, ep) = post(
-            &server,
-            "/v1/endpoints",
-            Some(&token),
-            serde_json::json!({ "name": "ep" }),
-        );
+        let (_, ep) =
+            post(&server, "/v1/endpoints", Some(&token), serde_json::json!({ "name": "ep" }));
         let (status, body) = post(
             &server,
             "/v1/submit",
@@ -731,14 +762,9 @@ mod tests {
         );
         assert_eq!(status, 401);
         // Good token, bad body.
-        let resp = http_request(
-            server.local_addr(),
-            "POST",
-            "/v1/functions",
-            Some(&token),
-            b"not json",
-        )
-        .unwrap();
+        let resp =
+            http_request(server.local_addr(), "POST", "/v1/functions", Some(&token), b"not json")
+                .unwrap();
         assert_eq!(resp.status, 400);
         // Unknown route.
         let resp =
@@ -820,12 +846,8 @@ mod tests {
             Some(&token),
             serde_json::json!({ "name": "f", "source": "def f():\n    return 0\n", "entry": "f" }),
         );
-        let (_, ep) = post(
-            &server,
-            "/v1/endpoints",
-            Some(&token),
-            serde_json::json!({ "name": "ep" }),
-        );
+        let (_, ep) =
+            post(&server, "/v1/endpoints", Some(&token), serde_json::json!({ "name": "ep" }));
         let good = serde_json::json!({
             "function_id": f["function_id"],
             "endpoint_id": ep["endpoint_id"]
@@ -880,12 +902,8 @@ mod tests {
         );
         let mut eps = Vec::new();
         for name in ["ep-a", "ep-b"] {
-            let (_, ep) = post(
-                &server,
-                "/v1/endpoints",
-                Some(&token),
-                serde_json::json!({ "name": name }),
-            );
+            let (_, ep) =
+                post(&server, "/v1/endpoints", Some(&token), serde_json::json!({ "name": name }));
             eps.push(ep["endpoint_id"].as_str().unwrap().to_string());
         }
         let (status, body) = post(
@@ -958,12 +976,8 @@ mod tests {
             Some(&token),
             serde_json::json!({ "name": "f", "source": "def f():\n    return 0\n", "entry": "f" }),
         );
-        let (_, ep) = post(
-            &server,
-            "/v1/endpoints",
-            Some(&token),
-            serde_json::json!({ "name": "ep" }),
-        );
+        let (_, ep) =
+            post(&server, "/v1/endpoints", Some(&token), serde_json::json!({ "name": "ep" }));
         let task = serde_json::json!({
             "function_id": f["function_id"],
             "endpoint_id": ep["endpoint_id"]

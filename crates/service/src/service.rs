@@ -14,12 +14,14 @@ use funcx_registry::{EndpointRegistry, FunctionRegistry, PoolRecord, PoolRegistr
 use funcx_router::{EndpointSnapshot, HealthSnapshot, HealthState, Router};
 use funcx_serial::{pack_buffer, CodecTag, Payload, Serializer};
 use funcx_store::{QueueDrainCounts, QueueKind, SharedJournal, Store};
-use funcx_telemetry::{Counter, Histogram, MetricsRegistry, TraceRing};
+use funcx_telemetry::{fx_log, Counter, Histogram, MetricsRegistry, TraceRing};
+use funcx_tracing::TraceStore;
 use funcx_types::ids::Uuid;
 use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState};
 use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use funcx_types::trace::{SpanContext, TraceId};
 use funcx_types::{
-    ContainerImageId, EndpointId, FuncxError, FunctionId, PoolId, Result, RouteTarget,
+    ContainerImageId, EndpointId, FunctionId, FuncxError, PoolId, Result, RouteTarget,
     RoutingPolicy, TaskId, UserId,
 };
 use funcx_wal::{DurableEvent, Wal, WalConfig, WalInstruments, WalState};
@@ -99,17 +101,14 @@ impl Instruments {
             tasks_requeued: registry.counter("funcx_tasks_requeued_total", &[]),
             task_latency: registry.histogram("funcx_task_latency_seconds", &[]),
             task_exec: registry.histogram("funcx_task_exec_seconds", &[]),
-            tasks_routed: RoutingPolicy::ALL.map(|p| {
-                registry.counter("funcx_tasks_routed_total", &[("policy", p.as_str())])
-            }),
+            tasks_routed: RoutingPolicy::ALL
+                .map(|p| registry.counter("funcx_tasks_routed_total", &[("policy", p.as_str())])),
             tasks_rerouted: registry.counter("funcx_tasks_rerouted_total", &[]),
             circuits_opened: registry.counter("funcx_circuits_opened_total", &[]),
-            enqueues_refused: registry
-                .counter("funcx_queue_refusals_total", &[("kind", "task")]),
+            enqueues_refused: registry.counter("funcx_queue_refusals_total", &[("kind", "task")]),
             result_pushes_refused: registry
                 .counter("funcx_queue_refusals_total", &[("kind", "result")]),
-            dereg_dropped_tasks: registry
-                .counter("funcx_dereg_dropped_total", &[("kind", "task")]),
+            dereg_dropped_tasks: registry.counter("funcx_dereg_dropped_total", &[("kind", "task")]),
             dereg_dropped_results: registry
                 .counter("funcx_dereg_dropped_total", &[("kind", "result")]),
             wal_append_errors: registry.counter("funcx_wal_append_errors_total", &[]),
@@ -142,6 +141,8 @@ pub struct FuncxService {
     pub metrics: Arc<MetricsRegistry>,
     /// Bounded lifecycle event ring (dispatch/result/requeue/liveness).
     pub trace: Arc<TraceRing>,
+    /// Distributed-trace span store behind `/v1/traces` (tail-sampled).
+    pub tracer: Arc<TraceStore>,
     pub(crate) instruments: Instruments,
     pub(crate) serializer: Serializer,
     /// Durable write-ahead log, when `config.wal_dir` names one.
@@ -158,9 +159,7 @@ impl FuncxService {
     /// use [`FuncxService::recover`] to handle that (and to inspect what
     /// recovery found).
     pub fn new(clock: SharedClock, config: ServiceConfig) -> Arc<Self> {
-        Self::recover(clock, config)
-            .expect("failed to open the write-ahead log")
-            .0
+        Self::recover(clock, config).expect("failed to open the write-ahead log").0
     }
 
     /// Stand up a service, replaying any durable state found under
@@ -174,6 +173,8 @@ impl FuncxService {
         let started = std::time::Instant::now();
         let metrics = MetricsRegistry::new(Arc::clone(&clock));
         let trace = Arc::new(TraceRing::new(Arc::clone(&clock), config.trace_capacity));
+        let tracer = Arc::new(TraceStore::new(Arc::clone(&clock), config.trace_config()));
+        funcx_telemetry::log::set_level(config.log_level);
         let instruments = Instruments::new(&metrics);
         let wal = match &config.wal_dir {
             Some(dir) => {
@@ -202,6 +203,7 @@ impl FuncxService {
             memo: MemoCache::with_metrics(config.memo_capacity, &metrics),
             metrics,
             trace,
+            tracer,
             instruments,
             serializer: Serializer::default(),
             wal: wal.clone(),
@@ -240,12 +242,16 @@ impl FuncxService {
             let unacked: Vec<TaskId> =
                 state.unacked_dispatches().iter().map(|r| r.spec.task_id).collect();
             for &task_id in unacked.iter().rev() {
-                let Some(endpoint_id) = service
+                let Some((endpoint_id, span, task_received)) = service
                     .tasks
                     .with_record_mut(task_id, |record| {
                         if record.state == TaskState::DispatchedToEndpoint {
                             record.transition(TaskState::WaitingForEndpoint);
-                            Some(record.spec.endpoint_id)
+                            Some((
+                                record.spec.endpoint_id,
+                                record.spec.span,
+                                record.timeline.received,
+                            ))
                         } else {
                             None
                         }
@@ -259,6 +265,7 @@ impl FuncxService {
                     .store
                     .queue(endpoint_id, QueueKind::Task)
                     .push_front(Self::task_id_to_queue_bytes(task_id));
+                service.reopen_recovered_trace(task_id, span, task_received);
                 report.unacked_redelivered += 1;
             }
 
@@ -355,7 +362,7 @@ impl FuncxService {
                 queued.extend(items.iter().filter_map(|b| Self::queue_bytes_to_task_id(b)));
             }
         }
-        let mut stranded: Vec<(Option<VirtualInstant>, TaskId, EndpointId)> = state
+        let mut stranded: Vec<(Option<VirtualInstant>, TaskId, EndpointId, SpanContext)> = state
             .tasks
             .values()
             .filter(|r| {
@@ -363,10 +370,10 @@ impl FuncxService {
                     && !queued.contains(&r.spec.task_id)
                     && !state.removed_queues.contains(&r.spec.endpoint_id)
             })
-            .map(|r| (r.timeline.received, r.spec.task_id, r.spec.endpoint_id))
+            .map(|r| (r.timeline.received, r.spec.task_id, r.spec.endpoint_id, r.spec.span))
             .collect();
-        stranded.sort();
-        for (_, task_id, endpoint_id) in stranded {
+        stranded.sort_by_key(|(received, task_id, ..)| (*received, *task_id));
+        for (received, task_id, endpoint_id, span) in stranded {
             // The requeue pass above may have pushed it meanwhile.
             if self
                 .store
@@ -375,8 +382,34 @@ impl FuncxService {
             {
                 report.rescued += 1;
                 self.trace.record("rescue", format!("task {task_id} endpoint {endpoint_id}"));
+                self.reopen_recovered_trace(task_id, span, received);
             }
         }
+    }
+
+    /// Re-root the distributed trace of a task that survived a restart: the
+    /// span store is process-local, so the recovered trace gets its root
+    /// span back (from the original `received` stamp) plus a `recovery`
+    /// flag — flagged traces always survive tail sampling, keeping every
+    /// crash-recovery path observable.
+    fn reopen_recovered_trace(
+        &self,
+        task_id: TaskId,
+        span: SpanContext,
+        received: Option<VirtualInstant>,
+    ) {
+        if !span.is_active() {
+            return;
+        }
+        self.tracer.begin_at(
+            &span,
+            "task",
+            received.unwrap_or(VirtualInstant::ZERO),
+            vec![("task_id", task_id.to_string())],
+        );
+        self.tracer.flag(span.trace_id, "recovery");
+        let at = self.clock.now();
+        self.tracer.record(&span.child(), "recovery_replay", at, at, vec![]);
     }
 
     /// Append a lifecycle event to the WAL, if one is configured. Append
@@ -480,9 +513,15 @@ impl FuncxService {
             }
         }
         self.charge_store();
-        let function_id =
-            self.functions
-                .register(user, name, source, entry, container, sharing, self.clock.now());
+        let function_id = self.functions.register(
+            user,
+            name,
+            source,
+            entry,
+            container,
+            sharing,
+            self.clock.now(),
+        );
         if self.wal_enabled() {
             if let Ok(record) = self.functions.get(function_id) {
                 self.log_event(&DurableEvent::FunctionRegistered { record: Box::new(record) });
@@ -531,7 +570,8 @@ impl FuncxService {
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
         self.charge_store();
-        let endpoint_id = self.endpoints.register(user, name, description, public, self.clock.now());
+        let endpoint_id =
+            self.endpoints.register(user, name, description, public, self.clock.now());
         if self.wal_enabled() {
             if let Ok(record) = self.endpoints.get(endpoint_id) {
                 self.log_event(&DurableEvent::EndpointRegistered { record: Box::new(record) });
@@ -602,7 +642,8 @@ impl FuncxService {
         let received = self.clock.now();
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::RunFunction)?;
-        let mut ids = self.submit_authorized(user, vec![request], received)?;
+        let authed = self.clock.now();
+        let mut ids = self.submit_authorized(user, vec![request], received, authed)?;
         Ok(ids.pop().expect("one request, one id"))
     }
 
@@ -613,18 +654,20 @@ impl FuncxService {
         let received = self.clock.now();
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::RunFunction)?;
-        self.submit_authorized(user, requests, received)
+        let authed = self.clock.now();
+        self.submit_authorized(user, requests, received, authed)
     }
 
     fn submit_authorized(
         &self,
         user: UserId,
         requests: Vec<SubmitRequest>,
-        received: funcx_types::time::VirtualInstant,
+        received: VirtualInstant,
+        authed: VirtualInstant,
     ) -> Result<Vec<TaskId>> {
         let mut ids = Vec::with_capacity(requests.len());
         for request in requests {
-            ids.push(self.submit_one(user, request, received)?);
+            ids.push(self.submit_one(user, request, received, authed)?);
         }
         Ok(ids)
     }
@@ -633,7 +676,8 @@ impl FuncxService {
         &self,
         user: UserId,
         request: SubmitRequest,
-        received: funcx_types::time::VirtualInstant,
+        received: VirtualInstant,
+        authed: VirtualInstant,
     ) -> Result<TaskId> {
         let function = self.functions.get(request.function_id)?;
         if !function.may_invoke(user, |groups| self.auth.in_any_group(user, groups)) {
@@ -642,11 +686,64 @@ impl FuncxService {
                 request.function_id
             )));
         }
+        // Mint the trace before anything task-shaped happens: the trace id
+        // IS the task uuid, so the packed-buffer routing header carries
+        // trace identity across every hop of the fabric for free. All spans
+        // are buffered; the keep/drop decision is tail-based, at complete().
+        let task_id = TaskId::random();
+        let trace_id = TraceId(task_id.uuid().as_u128());
+        let root = SpanContext::root(trace_id, self.tracer.head_sampled(trace_id));
+        let service_ctx = root.child();
+        self.tracer.begin_at(
+            &root,
+            "task",
+            received,
+            vec![
+                ("task_id", task_id.to_string()),
+                ("function_id", request.function_id.to_string()),
+            ],
+        );
+        // The auth interval is shared by every element of a batch — the
+        // span tree makes the §4.7 batch amortization visible.
+        self.tracer.record(&service_ctx.child(), "auth", received, authed, vec![]);
+        match self.submit_resolved(user, request, &function, task_id, root, service_ctx, received) {
+            Ok(task_id) => Ok(task_id),
+            Err(e) => {
+                let now = self.clock.now();
+                self.tracer.record(
+                    &service_ctx,
+                    "service",
+                    received,
+                    now,
+                    vec![("error", e.to_string())],
+                );
+                self.tracer.flag(trace_id, "error");
+                self.tracer.complete(trace_id, now);
+                Err(e)
+            }
+        }
+    }
+
+    /// The post-mint half of one submission: route, serialize, memo-check,
+    /// persist, enqueue — each a child span under this task's `service`
+    /// span.
+    #[allow(clippy::too_many_arguments)]
+    fn submit_resolved(
+        &self,
+        user: UserId,
+        request: SubmitRequest,
+        function: &funcx_registry::FunctionRecord,
+        task_id: TaskId,
+        root: SpanContext,
+        service_ctx: SpanContext,
+        received: VirtualInstant,
+    ) -> Result<TaskId> {
         // Resolve the target to a concrete endpoint. A pinned endpoint is
         // checked against its own sharing policy; a pool is checked against
         // the *pool's* sharing (its owner vetted the members at creation),
         // then the router picks a live member.
-        let (endpoint_id, pool) = match request.target {
+        let route_start = self.clock.now();
+        let (endpoint_id, pool, policy) = match request.target {
             RouteTarget::Endpoint(endpoint_id) => {
                 let endpoint = self.endpoints.get(endpoint_id)?;
                 if !endpoint.may_use(user, |groups| self.auth.in_any_group(user, groups)) {
@@ -654,7 +751,7 @@ impl FuncxService {
                         "endpoint {endpoint_id} is not shared with user {user}"
                     )));
                 }
-                (endpoint_id, None)
+                (endpoint_id, None, "pinned")
             }
             RouteTarget::Pool(pool_id) => {
                 let pool = self.pools.get(pool_id)?;
@@ -664,12 +761,24 @@ impl FuncxService {
                     )));
                 }
                 let endpoint_id = self.route_in_pool(&pool, request.function_id)?;
-                (endpoint_id, Some(pool_id))
+                (endpoint_id, Some(pool_id), pool.policy.as_str())
             }
         };
+        self.tracer.record(
+            &service_ctx.child(),
+            "route",
+            route_start,
+            self.clock.now(),
+            vec![
+                ("endpoint_id", endpoint_id.to_string()),
+                ("pool", pool.map_or_else(|| "none".to_string(), |p| p.to_string())),
+                ("policy", policy.to_string()),
+            ],
+        );
 
         // Serialize the input document once; the same bytes feed the memo
         // key and (packed with the task's routing tag) the dispatch payload.
+        let serialize_start = self.clock.now();
         let doc = Value::Dict(vec![
             ("args".into(), Value::List(request.args)),
             ("kwargs".into(), Value::Dict(request.kwargs)),
@@ -681,8 +790,14 @@ impl FuncxService {
                 limit: self.config.payload_limit,
             });
         }
+        self.tracer.record(
+            &service_ctx.child(),
+            "serialize",
+            serialize_start,
+            self.clock.now(),
+            vec![("bytes", doc_body.len().to_string())],
+        );
 
-        let task_id = TaskId::random();
         let payload = pack_buffer(task_id.uuid(), codec, &doc_body);
         let spec = TaskSpec {
             task_id,
@@ -693,6 +808,7 @@ impl FuncxService {
             container: function.container,
             allow_memo: request.allow_memo,
             pool,
+            span: root,
         };
         let mut record = TaskRecord::new(spec, received);
         self.instruments.tasks_submitted.inc();
@@ -701,8 +817,17 @@ impl FuncxService {
         // The cache stores unpacked bodies; `get_packed` repacks with THIS
         // task's uuid, so the routing header never names the originating task.
         if request.allow_memo {
+            let memo_start = self.clock.now();
             let key = MemoCache::key(&function.source, &doc_body);
-            if let Some(cached) = self.memo.get_packed(key, task_id) {
+            let cached = self.memo.get_packed(key, task_id);
+            self.tracer.record(
+                &service_ctx.child(),
+                "memo",
+                memo_start,
+                self.clock.now(),
+                vec![("hit", cached.is_some().to_string())],
+            );
+            if let Some(cached) = cached {
                 self.charge_store();
                 record.transition(TaskState::WaitingForEndpoint);
                 record.transition(TaskState::DispatchedToEndpoint);
@@ -718,26 +843,40 @@ impl FuncxService {
                 }
                 if self.wal_enabled() {
                     // Logged terminal: recovery serves the cached result.
-                    self.log_event(&DurableEvent::TaskCreated {
-                        record: Box::new(record.clone()),
-                    });
+                    let wal_start = self.clock.now();
+                    self.log_event(&DurableEvent::TaskCreated { record: Box::new(record.clone()) });
+                    self.record_wal_span(&service_ctx, wal_start, "task_created");
                 }
                 self.tasks.insert(task_id, record);
                 self.trace.record("memo_hit", format!("task {task_id}"));
+                let done = self.clock.now();
+                self.tracer.record(
+                    &service_ctx,
+                    "service",
+                    received,
+                    done,
+                    vec![("memo", "hit".to_string())],
+                );
+                self.tracer.complete(root.trace_id, done);
                 return Ok(task_id);
             }
         }
 
         self.charge_store();
         record.transition(TaskState::WaitingForEndpoint);
-        record.timeline.queued_at_service = Some(self.clock.now());
+        let queued = self.clock.now();
+        record.timeline.queued_at_service = Some(queued);
         // WAL ordering contract: the record is logged *before* its queue
         // push. A crash in between leaves a WaitingForEndpoint task absent
         // from its queue — exactly what recovery's rescue scan re-enqueues.
         if self.wal_enabled() {
+            let wal_start = self.clock.now();
             self.log_event(&DurableEvent::TaskCreated { record: Box::new(record.clone()) });
+            self.record_wal_span(&service_ctx, wal_start, "task_created");
         }
         self.tasks.insert(task_id, record);
+        // `ts` proper: the service span ends when the task hits its queue.
+        self.tracer.record(&service_ctx, "service", received, queued, vec![]);
         let accepted = self
             .store
             .queue(endpoint_id, QueueKind::Task)
@@ -751,6 +890,21 @@ impl FuncxService {
         }
         self.trace.record("submit", format!("task {task_id} endpoint {endpoint_id}"));
         Ok(task_id)
+    }
+
+    /// Child span for one WAL append under `parent`, tagged with the fsync
+    /// class group commit analysis needs.
+    fn record_wal_span(&self, parent: &SpanContext, start: VirtualInstant, event: &'static str) {
+        self.tracer.record(
+            &parent.child(),
+            "wal_append",
+            start,
+            self.clock.now(),
+            vec![
+                ("event", event.to_string()),
+                ("fsync", self.config.wal_fsync.label().to_string()),
+            ],
+        );
     }
 
     /// A task queue refused a push (closed by deregistration): fail the
@@ -782,8 +936,13 @@ impl FuncxService {
             })
             .unwrap_or(false);
         if applied {
-            self.log_event(&DurableEvent::TaskFailed { task_id, error });
+            self.log_event(&DurableEvent::TaskFailed { task_id, error: error.clone() });
             self.instruments.tasks_failed.inc();
+            fx_log!(Warn, "service", "task failed", task_id = task_id, error = error);
+            // Error traces always survive tail sampling.
+            let trace_id = TraceId(task_id.uuid().as_u128());
+            self.tracer.flag(trace_id, "error");
+            self.tracer.complete(trace_id, self.clock.now());
         }
     }
 
@@ -800,9 +959,10 @@ impl FuncxService {
         let received = self.clock.now();
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::RunFunction)?;
+        let authed = self.clock.now();
         Ok(requests
             .into_iter()
-            .map(|request| self.submit_one(user, request, received))
+            .map(|request| self.submit_one(user, request, received, authed))
             .collect())
     }
 
@@ -830,8 +990,15 @@ impl FuncxService {
             }
         }
         self.charge_store();
-        let pool_id =
-            self.pools.create(user, name, description, members, policy, public, self.clock.now())?;
+        let pool_id = self.pools.create(
+            user,
+            name,
+            description,
+            members,
+            policy,
+            public,
+            self.clock.now(),
+        )?;
         self.trace.record("pool_create", format!("pool {pool_id} ({name})"));
         Ok(pool_id)
     }
@@ -922,7 +1089,11 @@ impl FuncxService {
     /// The router's view of one endpoint right now: registry status, report
     /// age, and load (heartbeat report plus the service-side queue depth,
     /// which updates synchronously with every submit).
-    fn endpoint_snapshot(&self, endpoint_id: EndpointId, now: VirtualInstant) -> Option<EndpointSnapshot> {
+    fn endpoint_snapshot(
+        &self,
+        endpoint_id: EndpointId,
+        now: VirtualInstant,
+    ) -> Option<EndpointSnapshot> {
         let record = self.endpoints.get(endpoint_id).ok()?;
         let report = record.last_report.unwrap_or_default();
         Some(EndpointSnapshot {
@@ -972,6 +1143,7 @@ impl FuncxService {
         if self.router.health().trip(endpoint_id, now) {
             self.instruments.circuits_opened.inc();
             self.trace.record("circuit_open", format!("endpoint {endpoint_id}"));
+            fx_log!(Warn, "service", "circuit opened", endpoint_id = endpoint_id);
         }
 
         // Everything this endpoint still owed, in FIFO order: dispatched
@@ -988,7 +1160,7 @@ impl FuncxService {
         for task_id in tasks {
             // Per-task write section: skip finished work, return the rest
             // to WaitingForEndpoint, and learn its pool (if any).
-            let Some((original, function_id, pool_id)) = self
+            let Some((original, function_id, pool_id, span)) = self
                 .tasks
                 .with_record_mut(task_id, |record| {
                     if record.state.is_terminal() {
@@ -997,12 +1169,21 @@ impl FuncxService {
                     if record.state == TaskState::DispatchedToEndpoint {
                         record.transition(TaskState::WaitingForEndpoint);
                     }
-                    Some((record.spec.endpoint_id, record.spec.function_id, record.spec.pool))
+                    Some((
+                        record.spec.endpoint_id,
+                        record.spec.function_id,
+                        record.spec.pool,
+                        record.spec.span,
+                    ))
                 })
                 .flatten()
             else {
                 continue;
             };
+            // A failover trace always survives tail sampling.
+            if span.is_active() {
+                self.tracer.flag(span.trace_id, "failover");
+            }
 
             // Pool-routed tasks try a healthy sibling; everything else (and
             // pools with no live member) waits for the original endpoint.
@@ -1025,20 +1206,43 @@ impl FuncxService {
                         continue;
                     }
                     self.instruments.tasks_rerouted.inc();
-                    self.trace.record(
-                        "reroute",
-                        format!("task {task_id} {endpoint_id} -> {new_ep}"),
+                    self.trace
+                        .record("reroute", format!("task {task_id} {endpoint_id} -> {new_ep}"));
+                    fx_log!(
+                        Warn,
+                        "service",
+                        "task rerouted after endpoint loss",
+                        task_id = task_id,
+                        from = endpoint_id,
+                        to = new_ep
                     );
+                    if span.is_active() {
+                        let at = self.clock.now();
+                        self.tracer.record(
+                            &span.child(),
+                            "reroute",
+                            at,
+                            at,
+                            vec![("from", endpoint_id.to_string()), ("to", new_ep.to_string())],
+                        );
+                    }
                     rerouted += 1;
                 }
                 None => {
-                    self.log_event(&DurableEvent::TaskRequeued {
-                        task_id,
-                        endpoint_id: original,
-                    });
+                    self.log_event(&DurableEvent::TaskRequeued { task_id, endpoint_id: original });
                     if !queue.push_back(Self::task_id_to_queue_bytes(task_id)) {
                         self.fail_refused_enqueue(task_id, original);
                         continue;
+                    }
+                    if span.is_active() {
+                        let at = self.clock.now();
+                        self.tracer.record(
+                            &span.child(),
+                            "requeue",
+                            at,
+                            at,
+                            vec![("endpoint_id", original.to_string())],
+                        );
                     }
                     requeued += 1;
                 }
@@ -1092,9 +1296,7 @@ impl FuncxService {
 
     /// Full record (timeline instrumentation for the Figure 4 breakdown).
     pub fn task_record(&self, task_id: TaskId) -> Result<TaskRecord> {
-        self.tasks
-            .get_cloned(task_id)
-            .ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))
+        self.tasks.get_cloned(task_id).ok_or_else(|| FuncxError::TaskNotFound(task_id.to_string()))
     }
 
     /// Authorized timeline view of a task (owner only) — the record behind
@@ -1151,15 +1353,18 @@ impl FuncxService {
     /// time, so they can never go stale between events.
     pub fn render_metrics(&self) -> String {
         self.metrics.gauge("funcx_tasks_live", &[]).set(self.task_count() as u64);
-        self.metrics
-            .gauge("funcx_endpoints_online", &[])
-            .set(self.endpoints.online_count() as u64);
+        self.metrics.gauge("funcx_endpoints_online", &[]).set(self.endpoints.online_count() as u64);
         for (endpoint, kind, depth) in self.store.queue_depths() {
             let ep = endpoint.to_string();
             self.metrics
                 .gauge("funcx_queue_depth", &[("endpoint", ep.as_str()), ("kind", kind.label())])
                 .set(depth as u64);
         }
+        self.metrics.gauge("funcx_traces_active", &[]).set(self.tracer.active_len() as u64);
+        self.metrics.gauge("funcx_traces_retained", &[]).set(self.tracer.retained_len() as u64);
+        self.metrics.gauge("funcx_trace_spans_recorded", &[]).set(self.tracer.spans_recorded());
+        self.metrics.gauge("funcx_trace_spans_dropped", &[]).set(self.tracer.spans_dropped());
+        self.metrics.gauge("funcx_traces_sampled_out", &[]).set(self.tracer.traces_sampled_out());
         self.metrics.render_prometheus()
     }
 
@@ -1175,9 +1380,7 @@ impl FuncxService {
         let mut purged: Vec<TaskId> = Vec::new();
         let count = self.tasks.retain(|id, r| {
             let dead = r.state.is_terminal()
-                && r.retrieved_at
-                    .map(|t| now.saturating_duration_since(t) >= ttl)
-                    .unwrap_or(false);
+                && r.retrieved_at.map(|t| now.saturating_duration_since(t) >= ttl).unwrap_or(false);
             if dead {
                 purged.push(*id);
             }
@@ -1279,16 +1482,10 @@ mod tests {
     fn submit_requires_run_scope_and_sharing() {
         let (svc, _token, ep, f) = service();
         let (_, weak) = svc.auth.login("bob", IdentityProvider::Google, &[Scope::ViewTask]);
-        assert!(matches!(
-            svc.submit(&weak, request(f, ep)),
-            Err(FuncxError::Forbidden(_))
-        ));
+        assert!(matches!(svc.submit(&weak, request(f, ep)), Err(FuncxError::Forbidden(_))));
         let (_, other) = svc.auth.login("carol", IdentityProvider::Google, &[Scope::All]);
         // carol has the scope but the function is private to alice.
-        assert!(matches!(
-            svc.submit(&other, request(f, ep)),
-            Err(FuncxError::Forbidden(_))
-        ));
+        assert!(matches!(svc.submit(&other, request(f, ep)), Err(FuncxError::Forbidden(_))));
     }
 
     #[test]
@@ -1301,7 +1498,14 @@ mod tests {
         let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
         let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
         let f = svc
-            .register_function(&token, "f", "def f(x):\n    return x\n", "f", None, Sharing::default())
+            .register_function(
+                &token,
+                "f",
+                "def f(x):\n    return x\n",
+                "f",
+                None,
+                Sharing::default(),
+            )
             .unwrap();
         let big = SubmitRequest {
             function_id: f,
@@ -1310,10 +1514,7 @@ mod tests {
             kwargs: vec![],
             allow_memo: false,
         };
-        assert!(matches!(
-            svc.submit(&token, big),
-            Err(FuncxError::PayloadTooLarge { .. })
-        ));
+        assert!(matches!(svc.submit(&token, big), Err(FuncxError::PayloadTooLarge { .. })));
     }
 
     #[test]
@@ -1326,10 +1527,7 @@ mod tests {
 
     /// Prime the memo cache for `f(21)` with the encoded document `42`,
     /// returning the (codec, body) that was cached.
-    fn prime_memo(
-        svc: &FuncxService,
-        f: FunctionId,
-    ) -> (funcx_serial::CodecTag, Vec<u8>) {
+    fn prime_memo(svc: &FuncxService, f: FunctionId) -> (funcx_serial::CodecTag, Vec<u8>) {
         let function = svc.functions.get(f).unwrap();
         let doc = Value::Dict(vec![
             ("args".into(), Value::List(vec![Value::Int(21)])),
@@ -1426,7 +1624,14 @@ mod tests {
         let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
         let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
         let f = svc
-            .register_function(&token, "f", "def f():\n    return 0\n", "f", None, Sharing::default())
+            .register_function(
+                &token,
+                "f",
+                "def f():\n    return 0\n",
+                "f",
+                None,
+                Sharing::default(),
+            )
             .unwrap();
         let request = move || SubmitRequest {
             function_id: f,
@@ -1485,7 +1690,14 @@ mod tests {
         let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
         let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
         let f = svc
-            .register_function(&token, "f", "def f():\n    return 0\n", "f", None, Sharing::default())
+            .register_function(
+                &token,
+                "f",
+                "def f():\n    return 0\n",
+                "f",
+                None,
+                Sharing::default(),
+            )
             .unwrap();
         let pending = svc.submit(&token, request(f, ep)).unwrap();
         let done = svc.submit(&token, request(f, ep)).unwrap();
@@ -1511,7 +1723,14 @@ mod tests {
         let (_, token) = svc.auth.login("a", IdentityProvider::Google, &[Scope::All]);
         let ep = svc.register_endpoint(&token, "ep", "", false).unwrap();
         let f = svc
-            .register_function(&token, "f", "def f():\n    return 0\n", "f", None, Sharing::default())
+            .register_function(
+                &token,
+                "f",
+                "def f():\n    return 0\n",
+                "f",
+                None,
+                Sharing::default(),
+            )
             .unwrap();
         let fetched = svc.submit(&token, request(f, ep)).unwrap();
         let unfetched = svc.submit(&token, request(f, ep)).unwrap();

@@ -43,10 +43,7 @@ impl TaskStore {
     /// minimum 1).
     pub fn new(shards: usize) -> Self {
         let n = shards.max(1).next_power_of_two();
-        TaskStore {
-            shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(),
-            mask: n - 1,
-        }
+        TaskStore { shards: (0..n).map(|_| RwLock::new(HashMap::new())).collect(), mask: n - 1 }
     }
 
     fn shard(&self, task_id: TaskId) -> &RwLock<HashMap<TaskId, TaskRecord>> {
@@ -145,6 +142,7 @@ mod tests {
                 payload: vec![],
                 container: None,
                 allow_memo: false,
+                span: Default::default(),
             },
             VirtualInstant::ZERO,
         )

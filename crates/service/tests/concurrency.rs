@@ -42,8 +42,7 @@ fn deploy() -> Deployment {
     );
     let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
     let endpoint_id = service.register_endpoint(&token, "laptop", "", false).unwrap();
-    let (forwarder, agent_channel) =
-        service.connect_endpoint(endpoint_id, Duration::ZERO).unwrap();
+    let (forwarder, agent_channel) = service.connect_endpoint(endpoint_id, Duration::ZERO).unwrap();
     let config = EndpointConfig {
         workers_per_manager: 4,
         dispatch_overhead: Duration::ZERO,
@@ -56,7 +55,14 @@ fn deploy() -> Deployment {
     let manager =
         Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
     agent.attach_manager(agent_side);
-    Deployment { service, token, endpoint_id, _forwarder: forwarder, agent, managers: vec![manager] }
+    Deployment {
+        service,
+        token,
+        endpoint_id,
+        _forwarder: forwarder,
+        agent,
+        managers: vec![manager],
+    }
 }
 
 #[test]
@@ -131,10 +137,8 @@ fn status_pollers_do_not_starve_or_observe_lost_results() {
     // (5 virtual s of work at 1000x ≈ 5 ms wall per wave).
     let deadline = std::time::Instant::now() + Duration::from_secs(60);
     loop {
-        let done = tasks
-            .iter()
-            .filter(|&&t| d.service.status(&d.token, t).unwrap().is_terminal())
-            .count();
+        let done =
+            tasks.iter().filter(|&&t| d.service.status(&d.token, t).unwrap().is_terminal()).count();
         if done == tasks.len() {
             break;
         }

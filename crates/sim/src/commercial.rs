@@ -144,12 +144,10 @@ mod tests {
     fn cold_is_slower_than_warm_for_everyone() {
         let mut rng = StdRng::seed_from_u64(2);
         for provider in CommercialProvider::ALL {
-            let warm = summarize(
-                &(0..2000).map(|_| provider.sample_warm(&mut rng)).collect::<Vec<_>>(),
-            );
-            let cold = summarize(
-                &(0..2000).map(|_| provider.sample_cold(&mut rng)).collect::<Vec<_>>(),
-            );
+            let warm =
+                summarize(&(0..2000).map(|_| provider.sample_warm(&mut rng)).collect::<Vec<_>>());
+            let cold =
+                summarize(&(0..2000).map(|_| provider.sample_cold(&mut rng)).collect::<Vec<_>>());
             assert!(cold.mean_ms > warm.mean_ms, "{}", provider.name());
         }
     }

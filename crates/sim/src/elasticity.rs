@@ -14,7 +14,9 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use funcx_provider::{JobId, JobStatus, KubernetesProvider, Provider, ScalingDecision, ScalingPolicy};
+use funcx_provider::{
+    JobId, JobStatus, KubernetesProvider, Provider, ScalingDecision, ScalingPolicy,
+};
 use funcx_types::time::{Clock, ManualClock};
 use serde::{Deserialize, Serialize};
 
@@ -238,10 +240,7 @@ mod tests {
         let samples = run_elasticity(&ElasticityConfig::default(), 7);
         let last_t = samples.iter().map(|s| s.t).max().unwrap();
         for f in 0..3 {
-            let tail = samples
-                .iter()
-                .find(|s| s.function == f && s.t == last_t)
-                .unwrap();
+            let tail = samples.iter().find(|s| s.function == f && s.t == last_t).unwrap();
             assert_eq!(tail.concurrent_tasks, 0, "function {f} finished");
         }
     }

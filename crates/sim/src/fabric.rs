@@ -365,10 +365,7 @@ mod tests {
         let stress = |_: usize| 60.0;
         let t1k = simulate_fabric(&p, 1024, 10_240, stress, 1).completion_time;
         let t16k = simulate_fabric(&p, 16_384, 163_840, stress, 1).completion_time;
-        assert!(
-            t16k < 1.5 * t1k,
-            "1-min tasks stay flat to 16k workers: {t1k:.0}s vs {t16k:.0}s"
-        );
+        assert!(t16k < 1.5 * t1k, "1-min tasks stay flat to 16k workers: {t1k:.0}s vs {t16k:.0}s");
     }
 
     #[test]

@@ -30,11 +30,7 @@ pub struct KvStore {
 impl KvStore {
     /// New store reading expiry times from `clock`.
     pub fn new(clock: SharedClock) -> Arc<Self> {
-        Arc::new(KvStore {
-            clock,
-            hashes: RwLock::new(HashMap::new()),
-            journal: Mutex::new(None),
-        })
+        Arc::new(KvStore { clock, hashes: RwLock::new(HashMap::new()), journal: Mutex::new(None) })
     }
 
     /// Install a journal sink for subsequent writes.
@@ -59,7 +55,13 @@ impl KvStore {
 
     /// `HSET` with optional TTL (funcX purges retrieved results; TTL is the
     /// mechanism).
-    pub fn hset_with_ttl(&self, key: &str, field: &str, value: Bytes, ttl: Option<VirtualDuration>) {
+    pub fn hset_with_ttl(
+        &self,
+        key: &str,
+        field: &str,
+        value: Bytes,
+        ttl: Option<VirtualDuration>,
+    ) {
         let expires_at = ttl.map(|d| self.now() + d);
         let mut guard = self.hashes.write();
         self.record(JournalOp::KvSet {
@@ -89,7 +91,9 @@ impl KvStore {
     /// `HDEL key field` — true if the field existed (and was unexpired).
     pub fn hdel(&self, key: &str, field: &str) -> bool {
         let mut guard = self.hashes.write();
-        let Some(hash) = guard.get_mut(key) else { return false };
+        let Some(hash) = guard.get_mut(key) else {
+            return false;
+        };
         let removed = hash.remove(field);
         if removed.is_some() {
             self.record(JournalOp::KvDel { key, field });
@@ -110,9 +114,7 @@ impl KvStore {
         self.hashes
             .read()
             .get(key)
-            .map(|h| {
-                h.values().filter(|e| e.expires_at.map(|at| now < at).unwrap_or(true)).count()
-            })
+            .map(|h| h.values().filter(|e| e.expires_at.map(|at| now < at).unwrap_or(true)).count())
             .unwrap_or(0)
     }
 
@@ -142,7 +144,9 @@ impl KvStore {
     pub fn expire(&self, key: &str, field: &str, ttl: VirtualDuration) -> bool {
         let now = self.now();
         let mut guard = self.hashes.write();
-        let Some(hash) = guard.get_mut(key) else { return false };
+        let Some(hash) = guard.get_mut(key) else {
+            return false;
+        };
         match hash.get_mut(field) {
             Some(e) if e.expires_at.map(|at| now < at).unwrap_or(true) => {
                 e.expires_at = Some(now + ttl);
@@ -195,9 +199,7 @@ impl KvStore {
         self.hashes
             .read()
             .values()
-            .map(|h| {
-                h.values().filter(|e| e.expires_at.map(|at| now < at).unwrap_or(true)).count()
-            })
+            .map(|h| h.values().filter(|e| e.expires_at.map(|at| now < at).unwrap_or(true)).count())
             .sum()
     }
 }

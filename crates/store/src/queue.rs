@@ -226,7 +226,10 @@ mod tests {
         let q = BlockingQueue::new();
         q.push_back(Bytes::from_static(b"left-over"));
         q.close();
-        assert_eq!(q.pop_timeout(Duration::from_millis(10)).unwrap(), Bytes::from_static(b"left-over"));
+        assert_eq!(
+            q.pop_timeout(Duration::from_millis(10)).unwrap(),
+            Bytes::from_static(b"left-over")
+        );
         assert_eq!(q.pop_timeout(Duration::from_millis(10)), None);
     }
 

@@ -137,12 +137,8 @@ impl Store {
     /// Depth of every allocated queue — the scrape surface behind the
     /// `funcx_queue_depth` gauges. Sorted for stable output.
     pub fn queue_depths(&self) -> Vec<(EndpointId, QueueKind, usize)> {
-        let mut out: Vec<(EndpointId, QueueKind, usize)> = self
-            .queues
-            .lock()
-            .iter()
-            .map(|(&(ep, kind), q)| (ep, kind, q.len()))
-            .collect();
+        let mut out: Vec<(EndpointId, QueueKind, usize)> =
+            self.queues.lock().iter().map(|(&(ep, kind), q)| (ep, kind, q.len())).collect();
         out.sort_by_key(|&(ep, kind, _)| (ep, kind as u8));
         out
     }

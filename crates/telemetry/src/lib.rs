@@ -14,12 +14,17 @@
 //! * [`TraceRing`] — a bounded ring buffer of structured events stamped
 //!   with the shared virtual clock, so lifecycle traces line up with task
 //!   timelines under both `RealClock` and the test `ManualClock`.
+//! * [`fx_log!`] — leveled, key=value structured log lines with a global
+//!   atomic level filter and automatic `trace_id`/`span_id` attachment
+//!   when the calling thread is inside a span scope ([`log::enter_span`]).
 //!
 //! Everything is keyed by `&'static str` metric names plus owned label
 //! values, mirroring the Prometheus data model.
 
+pub mod log;
 pub mod registry;
 pub mod trace;
 
+pub use log::{LogLevel, SpanScope};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use trace::{TraceEvent, TraceRing};

@@ -1,0 +1,227 @@
+//! Structured logging: the `fx_log!` macro.
+//!
+//! Replaces ad-hoc `eprintln!` scattered through the service and endpoint
+//! crates with one leveled, key=value-structured emitter:
+//!
+//! ```
+//! use funcx_telemetry::{fx_log, LogLevel};
+//! funcx_telemetry::log::set_level(LogLevel::Info);
+//! fx_log!(Info, "service", "task submitted", endpoint = "ep-1", retries = 0);
+//! ```
+//!
+//! Lines render as `level=info target=service msg="task submitted"
+//! endpoint=ep-1 retries=0`. When the calling thread is inside a span scope
+//! (see [`enter_span`]), `trace_id=…` and `span_id=…` are appended
+//! automatically, linking every log line to the distributed trace that
+//! produced it.
+//!
+//! The level filter is a process-global atomic checked before any formatting
+//! happens, so disabled levels cost one relaxed load. Tests can install a
+//! capture buffer with [`capture`] to assert on emitted lines.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use funcx_types::trace::SpanContext;
+use parking_lot::Mutex;
+
+/// Log severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Unrecoverable or data-affecting problems.
+    Error = 0,
+    /// Degraded but self-healing conditions (failover, requeue, circuit).
+    Warn = 1,
+    /// Lifecycle milestones.
+    Info = 2,
+    /// Per-task detail.
+    Debug = 3,
+    /// Everything, including hot-path internals.
+    Trace = 4,
+}
+
+impl LogLevel {
+    /// Lowercase wire/display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+            LogLevel::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name (case-insensitive).
+    pub fn parse(name: &str) -> Option<LogLevel> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "error" => LogLevel::Error,
+            "warn" | "warning" => LogLevel::Warn,
+            "info" => LogLevel::Info,
+            "debug" => LogLevel::Debug,
+            "trace" => LogLevel::Trace,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Process-global level filter. Defaults to `Warn`: quiet fabric, loud
+/// problems.
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Warn as u8);
+
+/// Set the global minimum level.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// True when `level` passes the global filter — the macro's fast gate.
+pub fn enabled(level: LogLevel) -> bool {
+    (level as u8) <= LEVEL.load(Ordering::Relaxed)
+}
+
+thread_local! {
+    static CURRENT_SPAN: RefCell<Vec<SpanContext>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Enter a span scope on this thread: until the returned guard drops,
+/// `fx_log!` lines carry this span's `trace_id`/`span_id`. Scopes nest;
+/// the innermost wins.
+pub fn enter_span(ctx: SpanContext) -> SpanScope {
+    CURRENT_SPAN.with(|s| s.borrow_mut().push(ctx));
+    SpanScope { _private: () }
+}
+
+/// The span context `fx_log!` would attach right now, if any.
+pub fn current_span() -> Option<SpanContext> {
+    CURRENT_SPAN.with(|s| s.borrow().last().copied())
+}
+
+/// RAII guard returned by [`enter_span`]; pops the scope on drop.
+pub struct SpanScope {
+    _private: (),
+}
+
+impl Drop for SpanScope {
+    fn drop(&mut self) {
+        CURRENT_SPAN.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Test capture buffer: when installed, emitted lines are pushed here
+/// instead of written to stderr.
+static CAPTURE: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+/// Capture emitted lines until the guard drops (tests). While active,
+/// nothing is written to stderr. Captures are process-global — tests that
+/// use one should not run concurrently with other logging assertions.
+pub fn capture() -> CaptureGuard {
+    *CAPTURE.lock() = Some(Vec::new());
+    CaptureGuard { _private: () }
+}
+
+/// Guard from [`capture`]; take the lines with [`CaptureGuard::lines`].
+pub struct CaptureGuard {
+    _private: (),
+}
+
+impl CaptureGuard {
+    /// Lines captured so far (oldest first), leaving the capture active.
+    pub fn lines(&self) -> Vec<String> {
+        CAPTURE.lock().clone().unwrap_or_default()
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        *CAPTURE.lock() = None;
+    }
+}
+
+/// Macro back-end: formats and emits one line. Not called directly — use
+/// [`fx_log!`](crate::fx_log).
+pub fn emit(level: LogLevel, target: &str, msg: &str, kv: &[(&str, String)]) {
+    let mut line = format!("level={level} target={target} msg=\"{msg}\"");
+    for (k, v) in kv {
+        // Values with spaces get quoted so the line stays parseable.
+        if v.contains(' ') {
+            line.push_str(&format!(" {k}=\"{v}\""));
+        } else {
+            line.push_str(&format!(" {k}={v}"));
+        }
+    }
+    if let Some(span) = current_span() {
+        if span.is_active() {
+            line.push_str(&format!(" trace_id={} span_id={}", span.trace_id, span.span_id));
+        }
+    }
+    let mut capture = CAPTURE.lock();
+    match capture.as_mut() {
+        Some(buffer) => buffer.push(line),
+        None => eprintln!("{line}"),
+    }
+}
+
+/// Leveled, structured log line: `fx_log!(Warn, "forwarder", "agent lost",
+/// endpoint = ep, outstanding = n)`. The level is a bare [`LogLevel`]
+/// variant name; keys are identifiers; values are anything `Display`.
+/// Nothing is formatted unless the level passes the global filter.
+#[macro_export]
+macro_rules! fx_log {
+    ($level:ident, $target:expr, $msg:expr $(, $key:ident = $value:expr)* $(,)?) => {{
+        let level = $crate::LogLevel::$level;
+        if $crate::log::enabled(level) {
+            $crate::log::emit(
+                level,
+                $target,
+                &$msg.to_string(),
+                &[$((stringify!($key), $value.to_string())),*],
+            );
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::trace::{SpanContext, TraceId};
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(LogLevel::Error < LogLevel::Trace);
+        assert_eq!(LogLevel::parse("WARN"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("warning"), Some(LogLevel::Warn));
+        assert_eq!(LogLevel::parse("nope"), None);
+        assert_eq!(LogLevel::Debug.as_str(), "debug");
+    }
+
+    #[test]
+    fn filter_and_span_attachment() {
+        let guard = capture();
+        set_level(LogLevel::Info);
+        fx_log!(Debug, "test", "too detailed");
+        assert!(guard.lines().is_empty(), "debug is below the info filter");
+        fx_log!(Info, "test", "plain line", count = 3);
+        {
+            let ctx = SpanContext::root(TraceId(0xabc), true);
+            let _scope = enter_span(ctx);
+            fx_log!(Warn, "test", "spanned line", detail = "two words");
+        }
+        fx_log!(Info, "test", "after scope");
+        let lines = guard.lines();
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        assert!(lines[0].contains("level=info target=test msg=\"plain line\" count=3"));
+        assert!(lines[1].contains("trace_id=00000000000000000000000000000abc"));
+        assert!(lines[1].contains("detail=\"two words\""));
+        assert!(!lines[2].contains("trace_id"), "scope must pop on drop");
+        set_level(LogLevel::Warn);
+    }
+}

@@ -68,9 +68,9 @@ impl Gauge {
 
     /// Lower the level by `n`, saturating at zero.
     pub fn sub(&self, n: u64) {
-        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
-            Some(v.saturating_sub(n))
-        });
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| Some(v.saturating_sub(n)));
     }
 
     /// Current level.
@@ -193,11 +193,8 @@ impl Histogram {
             );
         }
         let count = self.0.count.load(Ordering::Relaxed);
-        let _ = writeln!(
-            out,
-            "{name}_bucket{{{}le=\"+Inf\"}} {count}",
-            render_label_prefix(labels)
-        );
+        let _ =
+            writeln!(out, "{name}_bucket{{{}le=\"+Inf\"}} {count}", render_label_prefix(labels));
         let sum = self.0.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9;
         let _ = writeln!(out, "{name}_sum{} {sum}", render_labels(labels));
         let _ = writeln!(out, "{name}_count{} {count}", render_labels(labels));
@@ -278,7 +275,11 @@ impl MetricsRegistry {
     }
 
     /// Current value of a counter, if registered (tests, dashboards).
-    pub fn counter_value(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Option<u64> {
+    pub fn counter_value(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Option<u64> {
         self.counters.read().get(&metric_key(name, labels)).map(Counter::get)
     }
 
@@ -303,11 +304,7 @@ impl MetricsRegistry {
         use std::fmt::Write;
         let mut out = String::with_capacity(4096);
         let _ = writeln!(out, "# TYPE funcx_virtual_time_seconds gauge");
-        let _ = writeln!(
-            out,
-            "funcx_virtual_time_seconds {}",
-            self.clock.now().as_secs_f64()
-        );
+        let _ = writeln!(out, "funcx_virtual_time_seconds {}", self.clock.now().as_secs_f64());
 
         let mut last_name = "";
         for (key, counter) in self.counters.read().iter() {

@@ -58,7 +58,19 @@ impl TraceRing {
         self.events.lock().iter().cloned().collect()
     }
 
-    /// Buffered events matching `kind`, oldest first.
+    /// Remove and return every buffered event stamped at or after `at`,
+    /// oldest first. Events are appended in clock order, so this splits the
+    /// ring at one partition point instead of cloning the whole deque —
+    /// the incremental-consumer pattern (`drain_since(last_seen)`) leaves
+    /// older events in place for other readers.
+    pub fn drain_since(&self, at: VirtualInstant) -> Vec<TraceEvent> {
+        let mut events = self.events.lock();
+        let split = events.partition_point(|e| e.at < at);
+        events.split_off(split).into_iter().collect()
+    }
+
+    /// Buffered events matching `kind`, oldest first. Filters under the
+    /// lock so only matching events are cloned, never the full ring.
     pub fn of_kind(&self, kind: &str) -> Vec<TraceEvent> {
         self.events.lock().iter().filter(|e| e.kind == kind).cloned().collect()
     }
@@ -109,5 +121,45 @@ mod tests {
         assert_eq!(ring.dropped(), 2);
         let kept: Vec<String> = ring.snapshot().into_iter().map(|e| e.detail).collect();
         assert_eq!(kept, vec!["2", "3", "4"]);
+    }
+
+    #[test]
+    fn drain_since_splits_by_time_and_removes() {
+        let clock = ManualClock::new();
+        let ring = TraceRing::new(clock.clone(), 16);
+        ring.record("a", "0");
+        clock.advance(Duration::from_secs(1));
+        ring.record("b", "1");
+        clock.advance(Duration::from_secs(1));
+        ring.record("c", "2");
+        let recent = ring.drain_since(VirtualInstant::from_secs_f64(1.0));
+        assert_eq!(recent.len(), 2);
+        assert_eq!(recent[0].kind, "b");
+        assert_eq!(recent[1].kind, "c");
+        // Drained events are gone; the older one stays for other readers.
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.snapshot()[0].kind, "a");
+        assert!(ring.drain_since(VirtualInstant::from_secs_f64(1.0)).is_empty());
+    }
+
+    #[test]
+    fn eviction_and_kind_filter_interplay() {
+        let clock = ManualClock::new();
+        let ring = TraceRing::new(clock.clone(), 3);
+        // Overfill with alternating kinds: eviction must drop oldest-first
+        // regardless of kind, and of_kind must only see survivors.
+        for i in 0..6 {
+            clock.advance(Duration::from_secs(1));
+            ring.record(if i % 2 == 0 { "even" } else { "odd" }, format!("{i}"));
+        }
+        assert_eq!(ring.dropped(), 3);
+        let evens: Vec<String> = ring.of_kind("even").into_iter().map(|e| e.detail).collect();
+        assert_eq!(evens, vec!["4"], "evicted events must not match the filter");
+        let odds: Vec<String> = ring.of_kind("odd").into_iter().map(|e| e.detail).collect();
+        assert_eq!(odds, vec!["3", "5"]);
+        // drain_since after eviction only sees what is still buffered.
+        let drained = ring.drain_since(VirtualInstant::ZERO);
+        assert_eq!(drained.len(), 3);
+        assert_eq!(ring.len(), 0);
     }
 }

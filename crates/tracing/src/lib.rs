@@ -1,0 +1,708 @@
+//! End-to-end distributed tracing for the funcX fabric.
+//!
+//! The paper's Figure 4 decomposes task latency into the service (`ts`),
+//! forwarder (`tf`), endpoint (`te`), and execution (`tw`) stations; the
+//! `TaskTimeline` reproduces that as aggregate stamps. This crate adds the
+//! *causal* view: named spans with parent/child structure, stitched across
+//! process and TCP boundaries by the [`SpanContext`] the service mints at
+//! REST submit and threads through every `funcx-proto` frame.
+//!
+//! Everything is stamped on the deployment's shared virtual clock — the
+//! same clock `funcx-telemetry` uses — so spans recorded on the endpoint
+//! side of a TCP link are directly comparable with service-side spans.
+//!
+//! Sampling is **tail-based**: every active trace buffers its spans, and
+//! the keep/drop decision is made when the trace completes —
+//!
+//! * flagged traces (error, failover, recovery) are always kept;
+//! * the slowest tail (top-N by root duration) is always kept;
+//! * the rest are kept only if the trace's head-sample draw (deterministic
+//!   in the trace id bits, rate set by `ServiceConfig::trace_head_sample`)
+//!   came up.
+//!
+//! Export formats: a span-tree JSON document per trace (`/v1/traces/<id>`),
+//! a slowest-N summary (`/v1/traces?slowest=N`), and the Chrome trace-event
+//! format (`/v1/traces/chrome`) loadable in Perfetto / `chrome://tracing`.
+
+use std::collections::{HashMap, VecDeque};
+
+use funcx_telemetry::Counter;
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use parking_lot::Mutex;
+use serde::Serialize;
+use serde_json::{json, Value as Json};
+
+pub use funcx_types::trace::{SpanContext, SpanId, TraceId};
+
+/// One named span. Attributes are small key/value pairs (endpoint id, pool,
+/// policy, memo hit/miss, WAL fsync class, retry count, …).
+#[derive(Debug, Clone, Serialize)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace_id: TraceId,
+    /// This span's id.
+    pub span_id: SpanId,
+    /// Parent span id; `None` marks the trace root.
+    pub parent_id: Option<SpanId>,
+    /// Span name (the station: `"task"`, `"service"`, `"exec"`, …).
+    pub name: &'static str,
+    /// Start instant on the shared virtual clock.
+    pub start: VirtualInstant,
+    /// End instant; `None` while the span is still open.
+    pub end: Option<VirtualInstant>,
+    /// Attributes.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl Span {
+    /// Span duration, zero while still open.
+    pub fn duration(&self) -> VirtualDuration {
+        self.end.map(|e| e.saturating_duration_since(self.start)).unwrap_or(VirtualDuration::ZERO)
+    }
+}
+
+/// Tunables for the trace store and its sampler.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// Completed traces retained for querying (oldest evicted beyond this).
+    pub capacity: usize,
+    /// Spans buffered per trace; further spans are dropped and counted.
+    pub max_spans_per_trace: usize,
+    /// Slow-tail retention: the N slowest completed traces are kept even
+    /// when their head-sample draw failed (the p99 tail the paper's latency
+    /// work cares about).
+    pub slowest_keep: usize,
+    /// Head-sample rate in `[0, 1]`: the fraction of *healthy* traces kept
+    /// at completion. Flagged (error/failover/recovery) and slow-tail
+    /// traces are kept regardless.
+    pub head_sample: f64,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig { capacity: 512, max_spans_per_trace: 256, slowest_keep: 16, head_sample: 1.0 }
+    }
+}
+
+#[derive(Debug)]
+struct TraceEntry {
+    spans: Vec<Span>,
+    flags: Vec<&'static str>,
+    completed: bool,
+    duration: Option<VirtualDuration>,
+}
+
+impl TraceEntry {
+    fn new() -> TraceEntry {
+        TraceEntry { spans: Vec::new(), flags: Vec::new(), completed: false, duration: None }
+    }
+}
+
+struct Inner {
+    /// Traces still accumulating spans, keyed by trace id, with insertion
+    /// order for bounded eviction of abandoned traces.
+    active: HashMap<TraceId, TraceEntry>,
+    active_order: VecDeque<TraceId>,
+    /// Completed traces that survived sampling, in completion order.
+    retained: HashMap<TraceId, TraceEntry>,
+    retained_order: VecDeque<TraceId>,
+    /// The current slowest-tail set, ascending by duration. A trace kept
+    /// *only* by this rule is demoted (dropped from `retained`) when a
+    /// slower completion displaces it.
+    slowest: Vec<(VirtualDuration, TraceId)>,
+}
+
+/// Bounded per-trace span store with tail-based sampling.
+pub struct TraceStore {
+    clock: SharedClock,
+    config: TraceConfig,
+    inner: Mutex<Inner>,
+    spans_recorded: Counter,
+    spans_dropped: Counter,
+    traces_sampled_out: Counter,
+    traces_evicted: Counter,
+}
+
+impl TraceStore {
+    /// New store on the deployment clock.
+    pub fn new(clock: SharedClock, config: TraceConfig) -> TraceStore {
+        TraceStore {
+            clock,
+            config,
+            inner: Mutex::new(Inner {
+                active: HashMap::new(),
+                active_order: VecDeque::new(),
+                retained: HashMap::new(),
+                retained_order: VecDeque::new(),
+                slowest: Vec::new(),
+            }),
+            spans_recorded: Counter::standalone(),
+            spans_dropped: Counter::standalone(),
+            traces_sampled_out: Counter::standalone(),
+            traces_evicted: Counter::standalone(),
+        }
+    }
+
+    /// The deterministic head-sample draw for `trace_id` under the
+    /// configured rate. Deterministic in the id bits so the submit path,
+    /// the endpoint's drop counter, and the completion-time sampler all
+    /// agree without coordination.
+    pub fn head_sampled(&self, trace_id: TraceId) -> bool {
+        head_sampled(trace_id, self.config.head_sample)
+    }
+
+    /// Record an *open* span (end stamped later via [`TraceStore::end_span`]
+    /// or implicitly at [`TraceStore::complete`] for the root).
+    pub fn begin(&self, ctx: &SpanContext, name: &'static str, attrs: Vec<(&'static str, String)>) {
+        self.begin_at(ctx, name, self.clock.now(), attrs);
+    }
+
+    /// Record an *open* span with an explicit start — how recovery re-roots
+    /// a trace from the original `received` stamp after a restart.
+    pub fn begin_at(
+        &self,
+        ctx: &SpanContext,
+        name: &'static str,
+        start: VirtualInstant,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        self.push(Span {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            name,
+            start,
+            end: None,
+            attrs,
+        });
+    }
+
+    /// Record a completed span with explicit timestamps — how the service
+    /// synthesizes remote-side spans (agent arrival, manager pickup, worker
+    /// exec) from the stamps a `TaskResult` carries back over the wire.
+    pub fn record(
+        &self,
+        ctx: &SpanContext,
+        name: &'static str,
+        start: VirtualInstant,
+        end: VirtualInstant,
+        attrs: Vec<(&'static str, String)>,
+    ) {
+        self.push(Span {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            name,
+            start,
+            end: Some(end),
+            attrs,
+        });
+    }
+
+    /// Mint a child of `parent`, record it as a completed span, and return
+    /// its context (for building deeper remote-side structure).
+    pub fn child(
+        &self,
+        parent: &SpanContext,
+        name: &'static str,
+        start: VirtualInstant,
+        end: VirtualInstant,
+        attrs: Vec<(&'static str, String)>,
+    ) -> SpanContext {
+        let ctx = parent.child();
+        self.record(&ctx, name, start, end, attrs);
+        ctx
+    }
+
+    /// Close an open span at `at`.
+    pub fn end_span(&self, trace_id: TraceId, span_id: SpanId, at: VirtualInstant) {
+        let mut inner = self.inner.lock();
+        if let Some(entry) = inner.active.get_mut(&trace_id) {
+            if let Some(span) = entry.spans.iter_mut().find(|s| s.span_id == span_id) {
+                span.end = Some(at);
+            }
+        }
+    }
+
+    /// Flag the trace (`"error"`, `"failover"`, `"recovery"`): flagged
+    /// traces always survive sampling.
+    pub fn flag(&self, trace_id: TraceId, reason: &'static str) {
+        if !trace_id.is_active() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        // A flag may arrive after completion (e.g. failover noticed while
+        // the memo of the trace is already retained) — flag wherever it is.
+        let entry = if inner.active.contains_key(&trace_id) {
+            inner.active.get_mut(&trace_id)
+        } else {
+            inner.retained.get_mut(&trace_id)
+        };
+        if let Some(entry) = entry {
+            if !entry.flags.contains(&reason) {
+                entry.flags.push(reason);
+            }
+        } else {
+            // Trace unknown yet: create it so the flag is not lost; spans
+            // will attach when they arrive.
+            let mut entry = TraceEntry::new();
+            entry.flags.push(reason);
+            Self::insert_active(&mut inner, &self.config, trace_id, entry, &self.traces_evicted);
+        }
+    }
+
+    /// Complete the trace: close its root at `end` (if still open), then
+    /// apply the tail-sampling retention decision.
+    pub fn complete(&self, trace_id: TraceId, end: VirtualInstant) {
+        if !trace_id.is_active() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        let Some(mut entry) = inner.active.remove(&trace_id) else {
+            return;
+        };
+        inner.active_order.retain(|t| *t != trace_id);
+        let root_duration = {
+            let root = entry.spans.iter_mut().find(|s| s.parent_id.is_none());
+            match root {
+                Some(root) => {
+                    if root.end.is_none() {
+                        root.end = Some(end);
+                    }
+                    root.duration()
+                }
+                None => VirtualDuration::ZERO,
+            }
+        };
+        entry.completed = true;
+        entry.duration = Some(root_duration);
+
+        // Slow-tail bookkeeping: is this among the slowest_keep completed?
+        // Displacing a trace from the tail demotes it if the tail was the
+        // only reason it was retained.
+        let in_tail = if self.config.slowest_keep == 0 {
+            false
+        } else if inner.slowest.len() < self.config.slowest_keep {
+            let idx = inner.slowest.partition_point(|(d, _)| *d < root_duration);
+            inner.slowest.insert(idx, (root_duration, trace_id));
+            true
+        } else if inner.slowest.first().is_some_and(|(min, _)| root_duration > *min) {
+            let (_, displaced) = inner.slowest.remove(0);
+            let idx = inner.slowest.partition_point(|(d, _)| *d < root_duration);
+            inner.slowest.insert(idx, (root_duration, trace_id));
+            let tail_only = inner.retained.get(&displaced).is_some_and(|e| {
+                e.flags.is_empty() && !head_sampled(displaced, self.config.head_sample)
+            });
+            if tail_only {
+                inner.retained.remove(&displaced);
+                inner.retained_order.retain(|t| *t != displaced);
+                self.traces_sampled_out.inc();
+            }
+            true
+        } else {
+            false
+        };
+
+        let keep =
+            !entry.flags.is_empty() || in_tail || head_sampled(trace_id, self.config.head_sample);
+        if !keep {
+            self.traces_sampled_out.inc();
+            return;
+        }
+        if inner.retained.len() >= self.config.capacity.max(1) {
+            if let Some(oldest) = inner.retained_order.pop_front() {
+                inner.retained.remove(&oldest);
+                self.traces_evicted.inc();
+            }
+        }
+        inner.retained.insert(trace_id, entry);
+        inner.retained_order.push_back(trace_id);
+    }
+
+    fn insert_active(
+        inner: &mut Inner,
+        config: &TraceConfig,
+        trace_id: TraceId,
+        entry: TraceEntry,
+        evicted: &Counter,
+    ) {
+        if inner.active.len() >= config.capacity.max(1) * 4 {
+            if let Some(oldest) = inner.active_order.pop_front() {
+                inner.active.remove(&oldest);
+                evicted.inc();
+            }
+        }
+        inner.active.insert(trace_id, entry);
+        inner.active_order.push_back(trace_id);
+    }
+
+    fn push(&self, span: Span) {
+        if !span.trace_id.is_active() {
+            self.spans_dropped.inc();
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if !inner.active.contains_key(&span.trace_id) {
+            // Late spans for an already-retained trace still attach.
+            if let Some(entry) = inner.retained.get_mut(&span.trace_id) {
+                if entry.spans.len() >= self.config.max_spans_per_trace {
+                    self.spans_dropped.inc();
+                } else {
+                    entry.spans.push(span);
+                    self.spans_recorded.inc();
+                }
+                return;
+            }
+            Self::insert_active(
+                &mut inner,
+                &self.config,
+                span.trace_id,
+                TraceEntry::new(),
+                &self.traces_evicted,
+            );
+        }
+        let entry = inner.active.get_mut(&span.trace_id).expect("just inserted");
+        if entry.spans.len() >= self.config.max_spans_per_trace {
+            self.spans_dropped.inc();
+            return;
+        }
+        entry.spans.push(span);
+        self.spans_recorded.inc();
+    }
+
+    /// True when the trace is known (active or retained).
+    pub fn contains(&self, trace_id: TraceId) -> bool {
+        let inner = self.inner.lock();
+        inner.active.contains_key(&trace_id) || inner.retained.contains_key(&trace_id)
+    }
+
+    /// True when the trace survived sampling and is queryable.
+    pub fn retained(&self, trace_id: TraceId) -> bool {
+        self.inner.lock().retained.contains_key(&trace_id)
+    }
+
+    /// Retained completed traces.
+    pub fn retained_len(&self) -> usize {
+        self.inner.lock().retained.len()
+    }
+
+    /// Traces still accumulating spans.
+    pub fn active_len(&self) -> usize {
+        self.inner.lock().active.len()
+    }
+
+    /// Spans recorded into the store.
+    pub fn spans_recorded(&self) -> u64 {
+        self.spans_recorded.get()
+    }
+
+    /// Spans dropped (per-trace bound hit, or nil context).
+    pub fn spans_dropped(&self) -> u64 {
+        self.spans_dropped.get()
+    }
+
+    /// Healthy traces dropped by the sampler at completion.
+    pub fn traces_sampled_out(&self) -> u64 {
+        self.traces_sampled_out.get()
+    }
+
+    /// Traces evicted from the bounded stores.
+    pub fn traces_evicted(&self) -> u64 {
+        self.traces_evicted.get()
+    }
+
+    /// Span-tree JSON for one trace: a flat `spans` array plus the nested
+    /// `tree` (children sorted by start). `None` for unknown traces.
+    pub fn tree_json(&self, trace_id: TraceId) -> Option<Json> {
+        let inner = self.inner.lock();
+        let entry = inner.retained.get(&trace_id).or_else(|| inner.active.get(&trace_id))?;
+        let spans: Vec<Json> = entry.spans.iter().map(span_json).collect();
+        let roots: Vec<&Span> = entry.spans.iter().filter(|s| s.parent_id.is_none()).collect();
+        let tree: Vec<Json> = roots.iter().map(|r| subtree_json(r, &entry.spans)).collect();
+        Some(json!({
+            "trace_id": trace_id.to_string(),
+            "complete": entry.completed,
+            "flags": entry.flags,
+            "duration_nanos": entry.duration.map(|d| d.as_nanos() as u64),
+            "span_count": entry.spans.len(),
+            "root_count": roots.len(),
+            "spans": spans,
+            "tree": tree,
+        }))
+    }
+
+    /// The `n` slowest retained traces, slowest first.
+    pub fn slowest_json(&self, n: usize) -> Json {
+        let inner = self.inner.lock();
+        let mut summaries: Vec<(&TraceId, &TraceEntry)> = inner.retained.iter().collect();
+        summaries.sort_by(|a, b| b.1.duration.cmp(&a.1.duration));
+        let traces: Vec<Json> = summaries
+            .into_iter()
+            .take(n)
+            .map(|(id, entry)| {
+                let root = entry.spans.iter().find(|s| s.parent_id.is_none());
+                json!({
+                    "trace_id": id.to_string(),
+                    "name": root.map(|r| r.name),
+                    "duration_nanos": entry.duration.map(|d| d.as_nanos() as u64),
+                    "span_count": entry.spans.len(),
+                    "flags": entry.flags,
+                })
+            })
+            .collect();
+        json!({ "retained": inner.retained.len(), "traces": traces })
+    }
+
+    /// Chrome trace-event dump (Perfetto / `chrome://tracing` loadable) of
+    /// one trace, or of every retained trace when `trace_id` is `None`.
+    /// Complete spans become `"ph": "X"` events with microsecond stamps on
+    /// the virtual clock; each trace gets its own `tid` lane.
+    pub fn chrome_json(&self, trace_id: Option<TraceId>) -> Json {
+        let inner = self.inner.lock();
+        let mut events: Vec<Json> = Vec::new();
+        let mut emit = |tid: usize, id: &TraceId, entry: &TraceEntry| {
+            for span in &entry.spans {
+                let start_us = span.start.as_nanos() as f64 / 1_000.0;
+                let dur_us = span.duration().as_nanos() as f64 / 1_000.0;
+                let mut args = serde_json::Map::new();
+                args.insert("trace_id".into(), json!(id.to_string()));
+                args.insert("span_id".into(), json!(span.span_id.to_string()));
+                if let Some(parent) = span.parent_id {
+                    args.insert("parent_id".into(), json!(parent.to_string()));
+                }
+                for (k, v) in &span.attrs {
+                    args.insert((*k).into(), json!(v));
+                }
+                events.push(json!({
+                    "name": span.name,
+                    "cat": if entry.flags.is_empty() { "task" } else { "flagged" },
+                    "ph": "X",
+                    "ts": start_us,
+                    "dur": dur_us,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": Json::Object(args),
+                }));
+            }
+        };
+        match trace_id {
+            Some(id) => {
+                if let Some(entry) = inner.retained.get(&id).or_else(|| inner.active.get(&id)) {
+                    emit(0, &id, entry);
+                }
+            }
+            None => {
+                for (tid, id) in inner.retained_order.iter().enumerate() {
+                    if let Some(entry) = inner.retained.get(id) {
+                        emit(tid, id, entry);
+                    }
+                }
+            }
+        }
+        json!({ "traceEvents": events, "displayTimeUnit": "ms" })
+    }
+}
+
+/// The deterministic head-sample draw: mixes the trace-id bits and keeps
+/// the trace when the draw lands under `rate`.
+pub fn head_sampled(trace_id: TraceId, rate: f64) -> bool {
+    if rate >= 1.0 {
+        return true;
+    }
+    if rate <= 0.0 || !trace_id.is_active() {
+        return false;
+    }
+    // SplitMix64 finalizer over the folded id bits: uniform enough that the
+    // kept fraction tracks the rate over random task uuids.
+    let mut x = (trace_id.0 as u64) ^ ((trace_id.0 >> 64) as u64);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % 1_000_000) < (rate * 1_000_000.0) as u64
+}
+
+fn span_json(span: &Span) -> Json {
+    let attrs: serde_json::Map<String, Json> =
+        span.attrs.iter().map(|(k, v)| ((*k).to_string(), json!(v))).collect();
+    json!({
+        "span_id": span.span_id.to_string(),
+        "parent_id": span.parent_id.map(|p| p.to_string()),
+        "name": span.name,
+        "start_nanos": span.start.as_nanos(),
+        "end_nanos": span.end.map(|e| e.as_nanos()),
+        "duration_nanos": span.duration().as_nanos() as u64,
+        "attrs": Json::Object(attrs),
+    })
+}
+
+fn subtree_json(span: &Span, all: &[Span]) -> Json {
+    let mut children: Vec<&Span> =
+        all.iter().filter(|s| s.parent_id == Some(span.span_id)).collect();
+    children.sort_by_key(|s| s.start);
+    let mut node = span_json(span);
+    if let Some(map) = node.as_object_mut() {
+        map.insert(
+            "children".to_string(),
+            Json::Array(children.iter().map(|c| subtree_json(c, all)).collect()),
+        );
+    }
+    node
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+    use funcx_types::Clock;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn store(config: TraceConfig) -> (Arc<ManualClock>, TraceStore) {
+        let clock = ManualClock::new();
+        let store = TraceStore::new(clock.clone(), config);
+        (clock, store)
+    }
+
+    fn at(s: f64) -> VirtualInstant {
+        VirtualInstant::from_secs_f64(s)
+    }
+
+    #[test]
+    fn spans_build_a_connected_tree() {
+        let (clock, store) = store(TraceConfig::default());
+        let root = SpanContext::root(TraceId(7), true);
+        store.begin(&root, "task", vec![("endpoint", "ep1".into())]);
+        let service = store.child(&root, "service", at(0.0), at(0.010), vec![]);
+        store.child(&service, "memo", at(0.001), at(0.002), vec![("hit", "false".into())]);
+        store.child(&root, "exec", at(0.020), at(0.030), vec![]);
+        clock.set(at(0.040));
+        store.complete(TraceId(7), clock.now());
+
+        let tree = store.tree_json(TraceId(7)).unwrap();
+        assert_eq!(tree["span_count"], 4);
+        assert_eq!(tree["root_count"], 1);
+        assert_eq!(tree["complete"], true);
+        assert_eq!(tree["duration_nanos"], 40_000_000u64);
+        let root_node = &tree["tree"][0];
+        assert_eq!(root_node["name"], "task");
+        assert_eq!(root_node["children"].as_array().unwrap().len(), 2);
+        assert_eq!(root_node["children"][0]["name"], "service");
+        assert_eq!(root_node["children"][0]["children"][0]["name"], "memo");
+        assert_eq!(root_node["children"][0]["children"][0]["attrs"]["hit"], "false");
+    }
+
+    #[test]
+    fn flagged_traces_survive_zero_head_sample() {
+        let (clock, store) =
+            store(TraceConfig { head_sample: 0.0, slowest_keep: 0, ..TraceConfig::default() });
+        for i in 1..=20u128 {
+            let root = SpanContext::root(TraceId(i), false);
+            store.begin(&root, "task", vec![]);
+            if i % 5 == 0 {
+                store.flag(TraceId(i), "error");
+            }
+            store.complete(TraceId(i), clock.now());
+        }
+        assert_eq!(store.retained_len(), 4, "only the 4 flagged traces survive");
+        assert!(store.retained(TraceId(5)));
+        assert!(!store.retained(TraceId(1)));
+        assert_eq!(store.traces_sampled_out(), 16);
+    }
+
+    #[test]
+    fn slow_tail_survives_sampling() {
+        let (clock, store) =
+            store(TraceConfig { head_sample: 0.0, slowest_keep: 2, ..TraceConfig::default() });
+        // Durations 1s, 2s, ... 5s: only the two slowest stay.
+        for i in 1..=5u128 {
+            let root = SpanContext::root(TraceId(i), false);
+            store.begin(&root, "task", vec![]);
+            store.complete(TraceId(i), clock.now() + Duration::from_secs(i as u64));
+        }
+        assert!(store.retained(TraceId(4)));
+        assert!(store.retained(TraceId(5)));
+        assert!(!store.retained(TraceId(1)));
+        assert!(!store.retained(TraceId(2)));
+    }
+
+    #[test]
+    fn head_sample_rate_tracks_over_random_ids() {
+        let kept = (0..10_000)
+            .filter(|_| head_sampled(TraceId(funcx_types::ids::Uuid::random().as_u128()), 0.01))
+            .count();
+        assert!(kept < 400, "1% head sample kept {kept}/10000");
+        assert!(head_sampled(TraceId(1), 1.0));
+        assert!(!head_sampled(TraceId(1), 0.0));
+        // Deterministic: the same id always draws the same way.
+        let id = TraceId(funcx_types::ids::Uuid::random().as_u128());
+        assert_eq!(head_sampled(id, 0.5), head_sampled(id, 0.5));
+    }
+
+    #[test]
+    fn per_trace_span_bound_drops_and_counts() {
+        let (clock, store) =
+            store(TraceConfig { max_spans_per_trace: 3, ..TraceConfig::default() });
+        let root = SpanContext::root(TraceId(9), true);
+        store.begin(&root, "task", vec![]);
+        for _ in 0..5 {
+            store.child(&root, "extra", at(0.0), at(0.001), vec![]);
+        }
+        assert_eq!(store.spans_dropped(), 3);
+        store.complete(TraceId(9), clock.now());
+        assert_eq!(store.tree_json(TraceId(9)).unwrap()["span_count"], 3);
+    }
+
+    #[test]
+    fn retained_store_is_bounded_fifo() {
+        let (clock, store) =
+            store(TraceConfig { capacity: 2, slowest_keep: 0, ..TraceConfig::default() });
+        for i in 1..=4u128 {
+            let root = SpanContext::root(TraceId(i), true);
+            store.begin(&root, "task", vec![]);
+            store.complete(TraceId(i), clock.now());
+        }
+        assert_eq!(store.retained_len(), 2);
+        assert!(!store.retained(TraceId(1)));
+        assert!(store.retained(TraceId(4)));
+        assert_eq!(store.traces_evicted(), 2);
+    }
+
+    #[test]
+    fn chrome_dump_is_trace_event_shaped() {
+        let (clock, store) = store(TraceConfig::default());
+        let root = SpanContext::root(TraceId(3), true);
+        store.begin(&root, "task", vec![("endpoint", "ep".into())]);
+        store.child(&root, "exec", at(0.001), at(0.003), vec![]);
+        store.complete(TraceId(3), clock.now() + Duration::from_millis(5));
+
+        let dump = store.chrome_json(None);
+        let events = dump["traceEvents"].as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        for e in events {
+            assert_eq!(e["ph"], "X");
+            assert!(e["ts"].as_f64().is_some());
+            assert!(e["dur"].as_f64().is_some());
+            assert_eq!(e["args"]["trace_id"], TraceId(3).to_string());
+        }
+        let exec = events.iter().find(|e| e["name"] == "exec").unwrap();
+        assert_eq!(exec["dur"].as_f64().unwrap(), 2_000.0);
+        // Single-trace dump matches.
+        let one = store.chrome_json(Some(TraceId(3)));
+        assert_eq!(one["traceEvents"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn late_flags_and_spans_attach_to_retained_traces() {
+        let (clock, store) = store(TraceConfig::default());
+        let root = SpanContext::root(TraceId(11), true);
+        store.begin(&root, "task", vec![]);
+        store.complete(TraceId(11), clock.now());
+        assert!(store.retained(TraceId(11)));
+        // A result-path span lands after completion (e.g. retrieval).
+        store.child(&root, "retrieve", at(0.001), at(0.002), vec![]);
+        store.flag(TraceId(11), "failover");
+        let tree = store.tree_json(TraceId(11)).unwrap();
+        assert_eq!(tree["span_count"], 2);
+        assert_eq!(tree["flags"][0], "failover");
+    }
+}

@@ -145,10 +145,7 @@ mod tests {
         assert_eq!(FuncxError::Unauthenticated("x".into()).http_status(), 401);
         assert_eq!(FuncxError::Forbidden("x".into()).http_status(), 403);
         assert_eq!(FuncxError::TaskNotFound("x".into()).http_status(), 404);
-        assert_eq!(
-            FuncxError::PayloadTooLarge { size: 10, limit: 1 }.http_status(),
-            413
-        );
+        assert_eq!(FuncxError::PayloadTooLarge { size: 10, limit: 1 }.http_status(), 413);
         assert_eq!(FuncxError::Internal("x".into()).http_status(), 500);
     }
 

@@ -20,6 +20,7 @@ pub mod route;
 pub mod stats;
 pub mod task;
 pub mod time;
+pub mod trace;
 
 pub use error::{FuncxError, Result};
 pub use ids::{
@@ -29,3 +30,4 @@ pub use route::{RouteTarget, RoutingPolicy};
 pub use stats::EndpointStatsReport;
 pub use task::{TaskRecord, TaskSpec, TaskState};
 pub use time::{Clock, RealClock, VirtualDuration, VirtualInstant};
+pub use trace::{SpanContext, SpanId, TraceId};

@@ -23,6 +23,10 @@ pub struct EndpointStatsReport {
     pub requeued: u64,
     /// Results forwarded upstream to the service (cumulative).
     pub results_sent: u64,
+    /// Spans the endpoint declined to emit because the trace was not
+    /// head-sampled (cumulative) — makes sampling loss visible fleet-wide.
+    #[serde(default)]
+    pub spans_dropped: u64,
 }
 
 impl EndpointStatsReport {

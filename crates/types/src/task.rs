@@ -128,6 +128,11 @@ pub struct TaskSpec {
     /// pool-routed task to a healthy sibling when its endpoint dies.
     #[serde(default)]
     pub pool: Option<crate::ids::PoolId>,
+    /// Root span context minted when the REST API accepted the task; every
+    /// downstream hop records its spans under this trace. Nil (default) on
+    /// records written before tracing existed.
+    #[serde(default)]
+    pub span: crate::trace::SpanContext,
 }
 
 /// Terminal outcome of a task.
@@ -295,6 +300,7 @@ mod tests {
             container: None,
             allow_memo: false,
             pool: None,
+            span: crate::trace::SpanContext::default(),
         }
     }
 
@@ -385,7 +391,8 @@ mod tests {
         assert!(!tl.is_monotone());
         assert!(!tl.is_complete());
         // a partially-populated timeline is still monotone over what it has
-        let partial = TaskTimeline { received: t(0.0), result_stored: t(1.0), ..Default::default() };
+        let partial =
+            TaskTimeline { received: t(0.0), result_stored: t(1.0), ..Default::default() };
         assert!(partial.is_monotone());
     }
 

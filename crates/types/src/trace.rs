@@ -1,0 +1,166 @@
+//! Distributed-tracing span context.
+//!
+//! A [`SpanContext`] is the wire-portable identity of one span inside one
+//! trace: the trace it belongs to, its own span id, and its parent. The
+//! service mints a root context when a task is accepted at the REST API and
+//! the context rides every hop of the Figure 3 path — message frames, the
+//! packed-buffer routing header, the task record — so that spans recorded
+//! on either side of a TCP boundary stitch back into one tree.
+//!
+//! Only the *context* lives here (this crate is dependency-free by design);
+//! the span store, tail sampling, and exporters live in `funcx-tracing`.
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use serde::{Deserialize, Serialize};
+
+/// Identity of one trace: every span of one task (or one recovery replay)
+/// shares a trace id. For tasks the trace id *is* the task uuid, which is
+/// also the packed-buffer routing header — so the routing header carries
+/// the trace identity across the fabric for free.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct TraceId(pub u128);
+
+impl TraceId {
+    /// The nil trace id: tracing disabled / no trace in scope.
+    pub const NIL: TraceId = TraceId(0);
+
+    /// True for any non-nil id.
+    pub fn is_active(&self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for TraceId {
+    type Err = std::num::ParseIntError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        u128::from_str_radix(s, 16).map(TraceId)
+    }
+}
+
+/// Identity of one span within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// The nil span id.
+    pub const NIL: SpanId = SpanId(0);
+}
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Process-wide span id mint. Uniqueness only matters within the service
+/// process that records spans (remote-side spans are synthesized there from
+/// the timestamps results carry back), so a counter suffices — and unlike
+/// an RNG it keeps replays deterministic.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+fn mint_span_id() -> SpanId {
+    SpanId(NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed))
+}
+
+/// The propagated context: which trace, which span, under which parent.
+///
+/// `Default` is the nil context (no trace in scope) so the field can ride
+/// `#[serde(default)]` on wire messages and task records — frames from
+/// before tracing existed still decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SpanContext {
+    /// Trace this span belongs to; [`TraceId::NIL`] when no trace is in scope.
+    pub trace_id: TraceId,
+    /// This span's id.
+    pub span_id: SpanId,
+    /// Parent span, `None` for the root.
+    pub parent_id: Option<SpanId>,
+    /// Head-sampling decision, made once at the root and propagated so
+    /// remote hops can count spans they drop for unsampled traces.
+    pub sampled: bool,
+}
+
+impl SpanContext {
+    /// Mint a root context for `trace_id`.
+    pub fn root(trace_id: TraceId, sampled: bool) -> SpanContext {
+        SpanContext { trace_id, span_id: mint_span_id(), parent_id: None, sampled }
+    }
+
+    /// Mint a child context under this span (same trace, new span id).
+    pub fn child(&self) -> SpanContext {
+        SpanContext {
+            trace_id: self.trace_id,
+            span_id: mint_span_id(),
+            parent_id: Some(self.span_id),
+            sampled: self.sampled,
+        }
+    }
+
+    /// True when a trace is actually in scope.
+    pub fn is_active(&self) -> bool {
+        self.trace_id.is_active()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_nil_and_inactive() {
+        let ctx = SpanContext::default();
+        assert_eq!(ctx.trace_id, TraceId::NIL);
+        assert_eq!(ctx.span_id, SpanId::NIL);
+        assert_eq!(ctx.parent_id, None);
+        assert!(!ctx.is_active());
+        assert!(!ctx.sampled);
+    }
+
+    #[test]
+    fn child_links_to_parent_within_the_same_trace() {
+        let root = SpanContext::root(TraceId(42), true);
+        assert!(root.is_active());
+        assert_eq!(root.parent_id, None);
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_id, Some(root.span_id));
+        assert_ne!(child.span_id, root.span_id);
+        assert!(child.sampled);
+        let grandchild = child.child();
+        assert_eq!(grandchild.parent_id, Some(child.span_id));
+    }
+
+    #[test]
+    fn span_ids_are_unique_across_mints() {
+        let ids: Vec<SpanId> =
+            (0..100).map(|_| SpanContext::root(TraceId(1), true).span_id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+    }
+
+    #[test]
+    fn trace_id_displays_as_hex_and_parses_back() {
+        let id = TraceId(0xdead_beef_0000_0001);
+        let s = id.to_string();
+        assert_eq!(s.len(), 32);
+        assert_eq!(s.parse::<TraceId>().unwrap(), id);
+        assert_eq!("0".parse::<TraceId>().unwrap(), TraceId::NIL);
+        assert!("zz".parse::<TraceId>().is_err());
+    }
+}

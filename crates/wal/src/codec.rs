@@ -19,10 +19,11 @@
 //! carries it (readers check remaining bytes before allocating).
 
 use funcx_registry::{EndpointRecord, EndpointStatus, FunctionRecord, Sharing};
+use funcx_types::ids::Uuid;
 use funcx_types::stats::EndpointStatsReport;
 use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState, TaskTimeline};
 use funcx_types::time::VirtualInstant;
-use funcx_types::ids::Uuid;
+use funcx_types::trace::{SpanContext, SpanId, TraceId};
 
 /// Cursor over an encoded payload. Every `take_*` advances on success and
 /// returns `None` past the end — decoders bubble that up rather than index
@@ -255,6 +256,24 @@ pub fn read_timeline(cur: &mut Cur<'_>) -> Option<TaskTimeline> {
     })
 }
 
+/// Append a `SpanContext` (trace id, span id, optional parent, sampled bit).
+pub fn put_span_context(out: &mut Vec<u8>, v: &SpanContext) {
+    put_u128(out, v.trace_id.0);
+    put_u64(out, v.span_id.0);
+    put_opt(out, v.parent_id.as_ref(), |o, p| put_u64(o, p.0));
+    put_bool(out, v.sampled);
+}
+
+/// Read a `SpanContext`.
+pub fn read_span_context(cur: &mut Cur<'_>) -> Option<SpanContext> {
+    Some(SpanContext {
+        trace_id: TraceId(cur.u128()?),
+        span_id: SpanId(cur.u64()?),
+        parent_id: cur.opt(|c| Some(SpanId(c.u64()?)))?,
+        sampled: cur.bool()?,
+    })
+}
+
 /// Append a `TaskSpec`.
 pub fn put_spec(out: &mut Vec<u8>, v: &TaskSpec) {
     put_uuid(out, v.task_id.uuid());
@@ -265,6 +284,7 @@ pub fn put_spec(out: &mut Vec<u8>, v: &TaskSpec) {
     put_opt(out, v.container.as_ref(), |o, c| put_uuid(o, c.uuid()));
     put_bool(out, v.allow_memo);
     put_opt(out, v.pool.as_ref(), |o, p| put_uuid(o, p.uuid()));
+    put_span_context(out, &v.span);
 }
 
 /// Read a `TaskSpec`.
@@ -278,6 +298,7 @@ pub fn read_spec(cur: &mut Cur<'_>) -> Option<TaskSpec> {
         container: cur.opt(|c| Some(funcx_types::ContainerImageId(read_uuid(c)?)))?,
         allow_memo: cur.bool()?,
         pool: cur.opt(|c| Some(funcx_types::PoolId(read_uuid(c)?)))?,
+        span: read_span_context(cur)?,
     })
 }
 
@@ -308,7 +329,7 @@ pub fn read_task_record(cur: &mut Cur<'_>) -> Option<TaskRecord> {
     Some(record)
 }
 
-/// Append an `EndpointStatsReport` (six plain `u64` fields).
+/// Append an `EndpointStatsReport` (seven plain `u64` fields).
 pub fn put_stats_report(out: &mut Vec<u8>, v: &EndpointStatsReport) {
     put_u64(out, v.pending);
     put_u64(out, v.outstanding);
@@ -316,6 +337,7 @@ pub fn put_stats_report(out: &mut Vec<u8>, v: &EndpointStatsReport) {
     put_u64(out, v.idle_slots);
     put_u64(out, v.requeued);
     put_u64(out, v.results_sent);
+    put_u64(out, v.spans_dropped);
 }
 
 /// Read an `EndpointStatsReport`.
@@ -327,6 +349,7 @@ pub fn read_stats_report(cur: &mut Cur<'_>) -> Option<EndpointStatsReport> {
         idle_slots: cur.u64()?,
         requeued: cur.u64()?,
         results_sent: cur.u64()?,
+        spans_dropped: cur.u64()?,
     })
 }
 

@@ -278,12 +278,8 @@ impl DurableEvent {
     pub fn from_bytes(bytes: &[u8]) -> Option<DurableEvent> {
         let mut cur = Cur::new(bytes);
         let event = match cur.u8()? {
-            0 => DurableEvent::TaskCreated {
-                record: Box::new(codec::read_task_record(&mut cur)?),
-            },
-            1 => DurableEvent::TaskDispatched {
-                task_id: TaskId(codec::read_uuid(&mut cur)?),
-            },
+            0 => DurableEvent::TaskCreated { record: Box::new(codec::read_task_record(&mut cur)?) },
+            1 => DurableEvent::TaskDispatched { task_id: TaskId(codec::read_uuid(&mut cur)?) },
             2 => DurableEvent::TaskRequeued {
                 task_id: TaskId(codec::read_uuid(&mut cur)?),
                 endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
@@ -313,14 +309,12 @@ impl DurableEvent {
                 kind: QueueKind::from_tag(cur.u8()?)?,
                 count: cur.u32()?,
             },
-            9 => DurableEvent::QueuesRemoved {
-                endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
-            },
-            10 => DurableEvent::MemoInsert {
-                key: cur.u64()?,
-                codec: cur.u8()?,
-                body: cur.bytes()?,
-            },
+            9 => {
+                DurableEvent::QueuesRemoved { endpoint_id: EndpointId(codec::read_uuid(&mut cur)?) }
+            }
+            10 => {
+                DurableEvent::MemoInsert { key: cur.u64()?, codec: cur.u8()?, body: cur.bytes()? }
+            }
             11 => DurableEvent::KvSet {
                 key: cur.str()?,
                 field: cur.str()?,
@@ -372,6 +366,7 @@ mod tests {
                 idle_slots: 4,
                 requeued: 5,
                 results_sent: 6,
+                spans_dropped: 7,
             }),
             last_heartbeat: Some(VirtualInstant::from_nanos(12)),
         }
@@ -406,6 +401,7 @@ mod tests {
                 container: None,
                 allow_memo: true,
                 pool: None,
+                span: funcx_types::trace::SpanContext::root(funcx_types::trace::TraceId(1), true),
             },
             VirtualInstant::from_nanos(42),
         )

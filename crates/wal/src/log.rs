@@ -63,6 +63,18 @@ pub enum FsyncPolicy {
     Never,
 }
 
+impl FsyncPolicy {
+    /// Short class name for metrics/span attributes: `always`, `batched`
+    /// (group commit), or `never`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batched { .. } => "batched",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
 impl Default for FsyncPolicy {
     fn default() -> Self {
         FsyncPolicy::Batched { interval: Duration::from_millis(50), max_bytes: 1 << 20 }
@@ -187,8 +199,7 @@ fn list_numbered(dir: &Path, prefix: &str, ext: &str) -> io::Result<Vec<(u64, Pa
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
-        if let Some(num) = entry.file_name().to_str().and_then(|n| parse_numbered(n, prefix, ext))
-        {
+        if let Some(num) = entry.file_name().to_str().and_then(|n| parse_numbered(n, prefix, ext)) {
             out.push((num, entry.path()));
         }
     }

@@ -176,6 +176,7 @@ mod tests {
                 container: None,
                 allow_memo: true,
                 pool: None,
+                span: Default::default(),
             },
             VirtualInstant::from_nanos(10),
         );

@@ -149,8 +149,7 @@ impl WalState {
                 self.memo.insert(*key, (*codec, body.clone()));
             }
             DurableEvent::KvSet { key, field, value, expires_at_nanos } => {
-                self.kv
-                    .insert((key.clone(), field.clone()), (value.clone(), *expires_at_nanos));
+                self.kv.insert((key.clone(), field.clone()), (value.clone(), *expires_at_nanos));
             }
             DurableEvent::KvDel { key, field } => {
                 self.kv.remove(&(key.clone(), field.clone()));
@@ -203,6 +202,7 @@ mod tests {
                     container: None,
                     allow_memo: false,
                     pool: None,
+                    span: Default::default(),
                 },
                 VirtualInstant::ZERO,
             )),
@@ -273,10 +273,7 @@ mod tests {
             outcome: TaskOutcome::Failure("dup".into()),
             timeline: Default::default(),
         });
-        assert_eq!(
-            state.tasks[&TaskId::from_u128(1)].outcome,
-            Some(TaskOutcome::Success(vec![1]))
-        );
+        assert_eq!(state.tasks[&TaskId::from_u128(1)].outcome, Some(TaskOutcome::Success(vec![1])));
     }
 
     #[test]
@@ -307,7 +304,7 @@ mod tests {
     fn illegal_transition_is_dropped_not_panicked() {
         let mut state = WalState::new();
         state.apply(&created(1)); // still Received, not yet queued
-        // Received -> DispatchedToEndpoint is not a legal edge.
+                                  // Received -> DispatchedToEndpoint is not a legal edge.
         state.apply(&DurableEvent::TaskDispatched { task_id: TaskId::from_u128(1) });
         assert_eq!(state.tasks[&TaskId::from_u128(1)].state, TaskState::Received);
         assert!(state.dispatch_order.is_empty());
@@ -332,11 +329,7 @@ mod tests {
             front: true,
             item: vec![99],
         });
-        state.apply(&DurableEvent::QueuePop {
-            endpoint_id: ep,
-            kind: QueueKind::Task,
-            count: 2,
-        });
+        state.apply(&DurableEvent::QueuePop { endpoint_id: ep, kind: QueueKind::Task, count: 2 });
         assert_eq!(state.queues[&key], VecDeque::from(vec![vec![1], vec![2], vec![3]]));
 
         state.apply(&DurableEvent::QueuesRemoved { endpoint_id: ep });

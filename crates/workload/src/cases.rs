@@ -288,11 +288,8 @@ mod tests {
 
     #[test]
     fn xtract_counts_terms() {
-        let words = Value::List(vec![
-            Value::from("Beam"),
-            Value::from("beam"),
-            Value::from("scan"),
-        ]);
+        let words =
+            Value::List(vec![Value::from("Beam"), Value::from("beam"), Value::from("scan")]);
         let out = run_function(
             XTRACT_SRC,
             "extract_topics",

@@ -76,9 +76,7 @@ impl Distribution {
             Distribution::Fixed(s) => s,
             Distribution::Uniform { lo, hi } => (lo + hi) / 2.0,
             Distribution::ShiftedExp { min, scale, .. } => min + scale,
-            Distribution::LogNormal { median, sigma, .. } => {
-                median * (sigma * sigma / 2.0).exp()
-            }
+            Distribution::LogNormal { median, sigma, .. } => median * (sigma * sigma / 2.0).exp(),
         }
     }
 }
@@ -128,8 +126,7 @@ mod tests {
     fn lognormal_median_roughly_holds() {
         let d = Distribution::LogNormal { median: 1.0, sigma: 0.5, max: 1e9 };
         let mut rng = StdRng::seed_from_u64(3);
-        let mut samples: Vec<f64> =
-            (0..10_001).map(|_| d.sample(&mut rng).as_secs_f64()).collect();
+        let mut samples: Vec<f64> = (0..10_001).map(|_| d.sample(&mut rng).as_secs_f64()).collect();
         samples.sort_by(f64::total_cmp);
         let median = samples[5000];
         assert!((median - 1.0).abs() < 0.1, "median {median}");
@@ -144,9 +141,6 @@ mod tests {
     fn analytic_means() {
         assert_eq!(Distribution::Fixed(2.0).mean(), 2.0);
         assert_eq!(Distribution::Uniform { lo: 1.0, hi: 3.0 }.mean(), 2.0);
-        assert_eq!(
-            Distribution::ShiftedExp { min: 1.0, scale: 0.5, max: 1e9 }.mean(),
-            1.5
-        );
+        assert_eq!(Distribution::ShiftedExp { min: 1.0, scale: 0.5, max: 1e9 }.mean(), 1.5);
     }
 }

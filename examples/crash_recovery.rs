@@ -43,8 +43,9 @@ fn main() {
 
     // Six quick tasks run to completion; we retrieve half the results and
     // leave the other half stored on the service.
-    let quick: Vec<TaskId> =
-        (0..6).map(|i| bed.client.run(square, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap()).collect();
+    let quick: Vec<TaskId> = (0..6)
+        .map(|i| bed.client.run(square, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
+        .collect();
     for &t in &quick[..3] {
         let v = bed.client.get_result(t, Duration::from_secs(20)).expect("quick task done");
         println!("retrieved before crash: {v:?}");
@@ -66,7 +67,9 @@ fn main() {
     // either way recovery puts them back in the task queue.)
     bed.kill_manager(0);
     let slow: Vec<TaskId> = (0..4)
-        .map(|i| bed.client.run(square, bed.endpoint_id, vec![Value::Int(100 + i)], vec![]).unwrap())
+        .map(|i| {
+            bed.client.run(square, bed.endpoint_id, vec![Value::Int(100 + i)], vec![]).unwrap()
+        })
         .collect();
     std::thread::sleep(Duration::from_millis(200));
 

@@ -52,11 +52,7 @@ def extract(dataset_ref, sample_head, nbytes):
     let direct = bed.client.run(
         extractor,
         bed.endpoint_id,
-        vec![
-            Value::Bytes(dataset.clone()),
-            Value::from("HDF"),
-            Value::Int(dataset.len() as i64),
-        ],
+        vec![Value::Bytes(dataset.clone()), Value::from("HDF"), Value::Int(dataset.len() as i64)],
         vec![],
     );
     match direct {
@@ -70,10 +66,13 @@ def extract(dataset_ref, sample_head, nbytes):
     let head = String::from_utf8_lossy(&dataset[..3]).to_string();
     let nbytes = dataset.len() as i64;
     let reference = stage.stage_arg("tomo-scan-0042.h5", dataset);
-    println!("staged as {}", match &reference {
-        Value::Str(s) => s.as_str(),
-        _ => unreachable!(),
-    });
+    println!(
+        "staged as {}",
+        match &reference {
+            Value::Str(s) => s.as_str(),
+            _ => unreachable!(),
+        }
+    );
 
     let task = bed
         .client

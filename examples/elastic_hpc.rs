@@ -23,11 +23,7 @@ use rand::SeedableRng;
 
 fn main() {
     // Endpoint with no static managers — capacity is entirely elastic.
-    let mut bed = TestBedBuilder::new()
-        .speedup(2000.0)
-        .managers(0)
-        .workers_per_manager(4)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(2000.0).managers(0).workers_per_manager(4).build();
 
     // A Slurm backfill queue ("using backfill queues to quickly execute
     // tasks", §6): grants arrive within seconds instead of minutes.
@@ -100,10 +96,7 @@ fn main() {
         fleet.stats().jobs_submitted.load(Ordering::Relaxed),
         fleet.stats().managers_launched.load(Ordering::Relaxed),
     );
-    println!(
-        "allocation consumed: {:.0} node-seconds",
-        provider.node_seconds_consumed()
-    );
+    println!("allocation consumed: {:.0} node-seconds", provider.node_seconds_consumed());
 
     // Wait for the idle threshold to pass; the fleet releases the nodes.
     let deadline = std::time::Instant::now() + Duration::from_secs(20);

@@ -20,11 +20,7 @@ fn main() {
     // The default endpoint plays the beamline workstation (1 node × 2
     // workers); a second endpoint plays the HPC facility (4 nodes × 8),
     // further away (20 ms WAN).
-    let mut bed = TestBedBuilder::new()
-        .speedup(2000.0)
-        .managers(1)
-        .workers_per_manager(2)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(2000.0).managers(1).workers_per_manager(2).build();
     let beamline = bed.endpoint_id;
     let hpc = bed.add_endpoint("theta-knl", 4, 8, Duration::from_millis(20));
     println!("beamline endpoint {beamline}");
@@ -52,10 +48,8 @@ fn main() {
     let tasks = bed.client.fmap(func, dataset, hpc, spec).expect("fmap submits");
     println!("dispatched {} stills to HPC in batches of 16", tasks.len());
 
-    let results = bed
-        .client
-        .get_results(&tasks, Duration::from_secs(120))
-        .expect("dataset processes");
+    let results =
+        bed.client.get_results(&tasks, Duration::from_secs(120)).expect("dataset processes");
     let total_spots: i64 = results.iter().filter_map(Value::as_i64).sum();
     println!(
         "dataset processed: {} images, {} total spots, mean {:.1}/image",

@@ -23,11 +23,7 @@ const EVENTS_PER_CHUNK: usize = 200;
 const BINS: i64 = 25;
 
 fn main() {
-    let mut bed = TestBedBuilder::new()
-        .speedup(5000.0)
-        .managers(4)
-        .workers_per_manager(8)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(5000.0).managers(4).workers_per_manager(8).build();
 
     let case = CaseStudy::Hep;
     let func = bed.client.register_function(case.source(), case.entry()).unwrap();

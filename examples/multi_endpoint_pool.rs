@@ -19,11 +19,7 @@ use funcx::prelude::*;
 fn main() {
     // Fabric with three endpoints: the builder's default one plus two more
     // federated resources, all behind one cloud service.
-    let mut bed = TestBedBuilder::new()
-        .speedup(1000.0)
-        .managers(1)
-        .workers_per_manager(2)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(1000.0).managers(1).workers_per_manager(2).build();
     let ep_a = bed.endpoint_id;
     let ep_b = bed.add_endpoint("campus-cluster", 1, 2, Duration::ZERO);
     let ep_c = bed.add_endpoint("cloud-vm", 1, 2, Duration::ZERO);
@@ -33,12 +29,7 @@ fn main() {
     // the pool id and the router picks a live member per task.
     let pool = bed
         .client
-        .create_pool(
-            "science-pool",
-            vec![ep_a, ep_b, ep_c],
-            RoutingPolicy::LeastOutstanding,
-            false,
-        )
+        .create_pool("science-pool", vec![ep_a, ep_b, ep_c], RoutingPolicy::LeastOutstanding, false)
         .expect("pool creates");
     println!("pool {pool} (least-outstanding) over 3 endpoints");
 
@@ -51,10 +42,8 @@ fn main() {
     // the batch is still in flight. Its dispatched-but-unfinished work is
     // re-routed to the healthy members; nothing is lost.
     let inputs: Vec<Vec<Value>> = (0..30).map(|i| vec![Value::Int(i)]).collect();
-    let tasks = bed
-        .client
-        .fmap(f, inputs, pool, FmapSpec::by_size(10).unwrap())
-        .expect("batch submits");
+    let tasks =
+        bed.client.fmap(f, inputs, pool, FmapSpec::by_size(10).unwrap()).expect("batch submits");
     println!("submitted {} tasks to the pool", tasks.len());
 
     bed.kill_endpoint(ep_b);
@@ -81,6 +70,7 @@ fn main() {
         let resp = handler(funcx_service::http::Request {
             method: "GET".into(),
             path: format!("/v1/pools/{pool}/status"),
+            query: String::new(),
             headers,
             body: Vec::new(),
         });

@@ -9,17 +9,13 @@
 
 use std::time::Duration;
 
-use funcx::prelude::*;
 use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
 
 fn main() {
     // Stand up the whole fabric in-process: cloud service + forwarder +
     // one endpoint (2 nodes × 4 workers), on a 1000× virtual clock.
-    let mut bed = TestBedBuilder::new()
-        .speedup(1000.0)
-        .managers(2)
-        .workers_per_manager(4)
-        .build();
+    let mut bed = TestBedBuilder::new().speedup(1000.0).managers(2).workers_per_manager(4).build();
     println!("service up; endpoint {} registered", bed.endpoint_id);
 
     // Listing 1's function, in FxScript: build a "preview" for a span of
@@ -34,10 +30,8 @@ def automo_preview(fname, start, end, step):
     print('previewing ' + fname)
     return {'file': fname, 'frames': frames, 'checksum': total}
 ";
-    let func_id = bed
-        .client
-        .register_function(source, "automo_preview")
-        .expect("function registers");
+    let func_id =
+        bed.client.register_function(source, "automo_preview").expect("function registers");
     println!("registered function {func_id}");
 
     // fc.run(func_id, endpoint_id, fname='test.h5', start=0, end=10, step=1)
@@ -57,10 +51,7 @@ def automo_preview(fname, start, end, step):
     println!("submitted task {task_id}");
 
     // res = fc.get_result(task_id)
-    let result = bed
-        .client
-        .get_result(task_id, Duration::from_secs(30))
-        .expect("task completes");
+    let result = bed.client.get_result(task_id, Duration::from_secs(30)).expect("task completes");
     println!("result: {result}");
 
     assert_eq!(result.dict_get("checksum"), Some(&Value::Int(45)));

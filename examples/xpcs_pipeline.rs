@@ -30,11 +30,8 @@ fn acquire_series(batch: usize, frames: usize) -> Vec<Value> {
 fn main() {
     // One HPC endpoint; the corr function runs ~50 s per series, so the
     // pipeline "acquir[es] multiple nodes to serve functions".
-    let mut bed = TestBedBuilder::new()
-        .speedup(10_000.0)
-        .managers(4)
-        .workers_per_manager(4)
-        .build();
+    let mut bed =
+        TestBedBuilder::new().speedup(10_000.0).managers(4).workers_per_manager(4).build();
 
     let case = CaseStudy::Xpcs;
     let func = bed.client.register_function(case.source(), case.entry()).unwrap();
@@ -46,8 +43,8 @@ fn main() {
         let series = acquire_series(batch, 64);
         let args = vec![
             Value::List(series),
-            Value::Int(8),        // max tau
-            Value::Float(50.0),   // the ~50 s corr runtime
+            Value::Int(8),      // max tau
+            Value::Float(50.0), // the ~50 s corr runtime
         ];
         // Memoization on: identical re-submissions are served from cache.
         let task = bed
@@ -67,10 +64,8 @@ fn main() {
     );
     for (i, g2) in results.iter().enumerate() {
         let Value::List(taus) = g2 else { panic!("g2 vector expected") };
-        let rendered: Vec<String> = taus
-            .iter()
-            .map(|v| format!("{:.3}", v.as_f64().unwrap_or(0.0)))
-            .collect();
+        let rendered: Vec<String> =
+            taus.iter().map(|v| format!("{:.3}", v.as_f64().unwrap_or(0.0))).collect();
         println!("series {i}: g2 = [{}]", rendered.join(", "));
     }
 

@@ -33,7 +33,8 @@ fn full_stack_over_tcp_and_http() {
         Arc::clone(&clock),
         ServiceConfig { heartbeat_timeout: Duration::from_secs(600), ..ServiceConfig::default() },
     );
-    let (_, token) = service.auth.login("remote-user", IdentityProvider::Institution, &[Scope::All]);
+    let (_, token) =
+        service.auth.login("remote-user", IdentityProvider::Institution, &[Scope::All]);
 
     // Service side: REST over HTTP, forwarder over TCP.
     let http = serve_rest(Arc::clone(&service), "127.0.0.1:0").unwrap();
@@ -44,8 +45,7 @@ fn full_stack_over_tcp_and_http() {
     // Endpoint side: the agent dials the forwarder's socket, exactly as a
     // remote deployment would after registration.
     let agent_channel = funcx_proto::tcp::connect(agent_addr).unwrap();
-    let mut agent =
-        Agent::spawn(endpoint_id, endpoint_config(), Arc::clone(&clock), agent_channel);
+    let mut agent = Agent::spawn(endpoint_id, endpoint_config(), Arc::clone(&clock), agent_channel);
     let (agent_side, manager_side) = inproc_pair();
     let mut manager = Manager::spawn(
         endpoint_config(),
@@ -62,9 +62,7 @@ fn full_stack_over_tcp_and_http() {
     let f = client
         .register_function("def greet(name):\n    return 'hello ' + name\n", "greet")
         .unwrap();
-    let task = client
-        .run(f, endpoint_id, vec![Value::from("theta")], vec![])
-        .unwrap();
+    let task = client.run(f, endpoint_id, vec![Value::from("theta")], vec![]).unwrap();
     let out = client.get_result(task, Duration::from_secs(30)).unwrap();
     assert_eq!(out, Value::from("hello theta"));
 
@@ -73,6 +71,111 @@ fn full_stack_over_tcp_and_http() {
         service.endpoints.get(endpoint_id).unwrap().status,
         funcx_registry::EndpointStatus::Online
     );
+
+    manager.stop();
+    agent.stop();
+    forwarder.stop();
+}
+
+#[test]
+fn trace_tree_spans_the_tcp_fabric() {
+    // The ISSUE acceptance test: a task dispatched over real funcx-proto
+    // TCP yields ONE trace tree — root spanning the client-observed
+    // latency, remote-side leaves stitched in by the span context the
+    // frames carried, stations tiling the TaskTimeline exactly.
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let service = FuncxService::new(
+        Arc::clone(&clock),
+        ServiceConfig { heartbeat_timeout: Duration::from_secs(600), ..ServiceConfig::default() },
+    );
+    let (_, token) = service.auth.login("tracer", IdentityProvider::Institution, &[Scope::All]);
+    let http = serve_rest(Arc::clone(&service), "127.0.0.1:0").unwrap();
+    let endpoint_id = service.register_endpoint(&token, "traced-ep", "", false).unwrap();
+    let (mut forwarder, agent_addr) =
+        service.connect_endpoint_tcp(endpoint_id, "127.0.0.1:0").unwrap();
+    let agent_channel = funcx_proto::tcp::connect(agent_addr).unwrap();
+    let mut agent = Agent::spawn(endpoint_id, endpoint_config(), Arc::clone(&clock), agent_channel);
+    let (agent_side, manager_side) = inproc_pair();
+    let mut manager = Manager::spawn(
+        endpoint_config(),
+        Arc::clone(&clock),
+        Serializer::default(),
+        manager_side,
+        None,
+        None,
+    );
+    agent.attach_manager(agent_side);
+
+    let client = FuncXClient::new(Arc::new(RestApi::new(http.local_addr())), token.clone());
+    let f = client
+        .register_function("def work(x):\n    sleep(50)\n    return x + 1\n", "work")
+        .unwrap();
+    let before = clock.now();
+    let task = client.run(f, endpoint_id, vec![Value::Int(41)], vec![]).unwrap();
+    assert_eq!(client.get_result(task, Duration::from_secs(30)).unwrap(), Value::Int(42));
+    let after = clock.now();
+
+    // The keep decision runs in the forwarder's result loop; poll the
+    // trace API (over HTTP too) until the sampler retains the trace.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let tree = loop {
+        match client.get_trace(task) {
+            Ok(tree) => break tree,
+            Err(_) => {
+                assert!(std::time::Instant::now() < deadline, "trace never retained");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    };
+
+    // One connected tree: a single root, every parent resolving inside the
+    // trace even though half the spans were synthesized from timestamps
+    // that crossed the TCP link.
+    assert_eq!(tree["complete"], serde_json::Value::Bool(true), "{tree}");
+    assert_eq!(tree["root_count"], 1, "{tree}");
+    let spans = tree["spans"].as_array().unwrap();
+    let ids: std::collections::HashSet<&str> =
+        spans.iter().map(|s| s["span_id"].as_str().unwrap()).collect();
+    for s in spans {
+        if let Some(parent) = s["parent_id"].as_str() {
+            assert!(ids.contains(parent), "dangling parent in {s}");
+        }
+    }
+
+    // Leaves include the remote-side stations.
+    let parents: std::collections::HashSet<&str> =
+        spans.iter().filter_map(|s| s["parent_id"].as_str()).collect();
+    for leaf in ["manager_pickup", "exec"] {
+        let span = spans
+            .iter()
+            .find(|s| s["name"] == leaf)
+            .unwrap_or_else(|| panic!("missing {leaf} span: {tree}"));
+        assert!(
+            !parents.contains(span["span_id"].as_str().unwrap()),
+            "{leaf} should be a leaf: {tree}"
+        );
+    }
+
+    // The root spans the client-observed latency (bracketed on the same
+    // virtual clock), and the five stations tile it exactly — the Figure 4
+    // decomposition as a span tree.
+    let root = spans.iter().find(|s| s["parent_id"].as_str().is_none()).unwrap();
+    assert_eq!(root["name"], "task");
+    let dur = |name: &str| {
+        spans.iter().find(|s| s["name"] == name).unwrap()["duration_nanos"].as_u64().unwrap()
+    };
+    let root_dur = dur("task");
+    let observed = after.saturating_duration_since(before).as_nanos() as u64;
+    assert!(root_dur > 0, "{tree}");
+    assert!(
+        root_dur <= observed,
+        "root ({root_dur} ns) exceeds client-observed latency ({observed} ns)"
+    );
+    let stations =
+        dur("service") + dur("forwarder_out") + dur("endpoint") + dur("exec") + dur("forwarder_in");
+    assert_eq!(stations, root_dur, "station spans do not tile the root: {tree}");
+    let record = service.timeline(&token, task).unwrap();
+    assert_eq!(u128::from(root_dur), record.timeline.total().unwrap().as_nanos());
 
     manager.stop();
     agent.stop();
@@ -94,14 +197,8 @@ fn tcp_endpoint_survives_many_tasks() {
     let config = EndpointConfig { workers_per_manager: 4, ..endpoint_config() };
     let mut agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
     let (agent_side, manager_side) = inproc_pair();
-    let mut manager = Manager::spawn(
-        config,
-        Arc::clone(&clock),
-        Serializer::default(),
-        manager_side,
-        None,
-        None,
-    );
+    let mut manager =
+        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), manager_side, None, None);
     agent.attach_manager(agent_side);
 
     let f = service

@@ -13,10 +13,8 @@ use std::sync::Arc;
 fn mixed_workload_completes_in_submission_order() {
     let mut bed = TestBedBuilder::new().managers(2).workers_per_manager(4).build();
     let double = bed.client.register_function("def f(x):\n    return x * 2\n", "f").unwrap();
-    let concat = bed
-        .client
-        .register_function("def g(a, b):\n    return a + '-' + b\n", "g")
-        .unwrap();
+    let concat =
+        bed.client.register_function("def g(a, b):\n    return a + '-' + b\n", "g").unwrap();
 
     let mut tasks = Vec::new();
     for i in 0..10 {
@@ -79,10 +77,8 @@ fn remote_errors_carry_tracebacks() {
 fn sharing_controls_enforced_end_to_end() {
     let mut bed = TestBedBuilder::new().build();
     // A second user with full scopes but no shares.
-    let (_, other_token) =
-        bed.service.auth.login("eve", IdentityProvider::Google, &[Scope::All]);
-    let other =
-        FuncXClient::new(Arc::new(InProcApi::new(Arc::clone(&bed.service))), other_token);
+    let (_, other_token) = bed.service.auth.login("eve", IdentityProvider::Google, &[Scope::All]);
+    let other = FuncXClient::new(Arc::new(InProcApi::new(Arc::clone(&bed.service))), other_token);
 
     let private = bed.client.register_function("def f():\n    return 1\n", "f").unwrap();
     // Eve cannot invoke Alice's private function.
@@ -99,10 +95,7 @@ fn sharing_controls_enforced_end_to_end() {
 #[test]
 fn timeline_is_monotone_and_complete() {
     let mut bed = TestBedBuilder::new().build();
-    let f = bed
-        .client
-        .register_function("def f():\n    sleep(100)\n    return 0\n", "f")
-        .unwrap();
+    let f = bed.client.register_function("def f():\n    sleep(100)\n    return 0\n", "f").unwrap();
     let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
     bed.client.get_result(task, Duration::from_secs(30)).unwrap();
     let tl = bed.service.task_record(task).unwrap().timeline;
@@ -128,10 +121,8 @@ fn timeline_is_monotone_and_complete() {
 fn two_endpoints_share_one_service() {
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
     let second = bed.add_endpoint("cluster-b", 1, 2, Duration::ZERO);
-    let f = bed
-        .client
-        .register_function("def whereami(tag):\n    return tag\n", "whereami")
-        .unwrap();
+    let f =
+        bed.client.register_function("def whereami(tag):\n    return tag\n", "whereami").unwrap();
     let t1 = bed.client.run(f, bed.endpoint_id, vec![Value::from("a")], vec![]).unwrap();
     let t2 = bed.client.run(f, second, vec![Value::from("b")], vec![]).unwrap();
     assert_eq!(bed.client.get_result(t1, Duration::from_secs(30)).unwrap(), Value::from("a"));
@@ -158,19 +149,14 @@ fn large_data_travels_out_of_band() {
         )
         .unwrap();
     let big = Value::Str("x".repeat(64 << 10));
-    let err = bed
-        .client
-        .run(f, bed.endpoint_id, vec![big, Value::Int(3)], vec![])
-        .unwrap_err();
+    let err = bed.client.run(f, bed.endpoint_id, vec![big, Value::Int(3)], vec![]).unwrap_err();
     assert!(matches!(err, FuncxError::PayloadTooLarge { .. }));
 
     // Staged out-of-band, only the reference crosses the service.
     let dataset = vec![0u8; 64 << 10];
     let reference = stage.stage_arg("scan-042.h5", dataset.clone());
-    let task = bed
-        .client
-        .run(f, bed.endpoint_id, vec![reference.clone(), Value::Int(3)], vec![])
-        .unwrap();
+    let task =
+        bed.client.run(f, bed.endpoint_id, vec![reference.clone(), Value::Int(3)], vec![]).unwrap();
     let out = bed.client.get_result(task, Duration::from_secs(30)).unwrap();
     assert_eq!(out.dict_get("ref"), Some(&reference));
     assert_eq!(out.dict_get("frames"), Some(&Value::Int(3)));
@@ -192,9 +178,6 @@ fn results_purge_after_retrieval_ttl() {
     // ~0.7 s wall.
     std::thread::sleep(Duration::from_millis(700));
     assert_eq!(bed.service.purge_retrieved(), 1);
-    assert!(matches!(
-        bed.client.status(task),
-        Err(FuncxError::TaskNotFound(_))
-    ));
+    assert!(matches!(bed.client.status(task), Err(FuncxError::TaskNotFound(_))));
     bed.shutdown();
 }

@@ -10,10 +10,7 @@ use funcx::prelude::*;
 fn manager_failure_reexecutes_lost_tasks() {
     // One manager × 1 worker, long tasks queue behind a running one.
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(1).build();
-    let f = bed
-        .client
-        .register_function("def f(x):\n    sleep(800)\n    return x\n", "f")
-        .unwrap();
+    let f = bed.client.register_function("def f(x):\n    sleep(800)\n    return x\n", "f").unwrap();
     let tasks: Vec<TaskId> = (0..3)
         .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
         .collect();
@@ -27,20 +24,15 @@ fn manager_failure_reexecutes_lost_tasks() {
 
     let results = bed.client.get_results(&tasks, Duration::from_secs(60)).unwrap();
     assert_eq!(results, vec![Value::Int(0), Value::Int(1), Value::Int(2)]);
-    assert!(
-        bed.agent().stats().requeued.get() >= 1,
-        "at least the in-flight task was re-executed"
-    );
+    assert!(bed.agent().stats().requeued.get() >= 1, "at least the in-flight task was re-executed");
     bed.shutdown();
 }
 
 #[test]
 fn endpoint_failure_buffers_and_recovers() {
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
-    let f = bed
-        .client
-        .register_function("def f(x):\n    sleep(1000)\n    return x\n", "f")
-        .unwrap();
+    let f =
+        bed.client.register_function("def f(x):\n    sleep(1000)\n    return x\n", "f").unwrap();
     let before: Vec<TaskId> = (0..2)
         .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
         .collect();
@@ -75,10 +67,7 @@ fn endpoint_failure_buffers_and_recovers() {
 #[test]
 fn repeated_failures_do_not_lose_tasks() {
     let mut bed = TestBedBuilder::new().managers(2).workers_per_manager(1).build();
-    let f = bed
-        .client
-        .register_function("def f(x):\n    sleep(300)\n    return x\n", "f")
-        .unwrap();
+    let f = bed.client.register_function("def f(x):\n    sleep(300)\n    return x\n", "f").unwrap();
     let tasks: Vec<TaskId> = (0..6)
         .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
         .collect();
@@ -103,10 +92,8 @@ fn repeated_failures_do_not_lose_tasks() {
 #[test]
 fn delivery_count_tracks_redelivery() {
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(1).build();
-    let f = bed
-        .client
-        .register_function("def f():\n    sleep(600)\n    return 'ok'\n", "f")
-        .unwrap();
+    let f =
+        bed.client.register_function("def f():\n    sleep(600)\n    return 'ok'\n", "f").unwrap();
     let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
     std::thread::sleep(Duration::from_millis(250));
     bed.disconnect_endpoint();

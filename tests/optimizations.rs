@@ -12,17 +12,13 @@ fn memoization_reduces_completion_time_with_repeats() {
     // The §5.5.6 design in miniature: a 1-virtual-second function; repeats
     // served from cache cost nothing.
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(4).build();
-    let f = bed
-        .client
-        .register_function("def f(x):\n    sleep(1)\n    return x * 2\n", "f")
-        .unwrap();
+    let f =
+        bed.client.register_function("def f(x):\n    sleep(1)\n    return x * 2\n", "f").unwrap();
 
     // 0% repeats: 16 distinct inputs.
     let t0 = bed.clock.now();
     let distinct: Vec<TaskId> = (0..16)
-        .map(|i| {
-            bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap()
-        })
+        .map(|i| bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
         .collect();
     bed.client.get_results(&distinct, Duration::from_secs(60)).unwrap();
     let cold_time = bed.clock.now().saturating_duration_since(t0);
@@ -30,19 +26,13 @@ fn memoization_reduces_completion_time_with_repeats() {
     // 100% repeats of an already-cached input.
     let t1 = bed.clock.now();
     let repeats: Vec<TaskId> = (0..16)
-        .map(|_| {
-            bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![]).unwrap()
-        })
+        .map(|_| bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![]).unwrap())
         .collect();
-    let repeated: Vec<Value> =
-        bed.client.get_results(&repeats, Duration::from_secs(60)).unwrap();
+    let repeated: Vec<Value> = bed.client.get_results(&repeats, Duration::from_secs(60)).unwrap();
     let warm_time = bed.clock.now().saturating_duration_since(t1);
 
     assert!(repeated.iter().all(|v| *v == Value::Int(0)));
-    assert!(
-        warm_time < cold_time / 2,
-        "memo hits skip execution: {warm_time:?} vs {cold_time:?}"
-    );
+    assert!(warm_time < cold_time / 2, "memo hits skip execution: {warm_time:?} vs {cold_time:?}");
     assert!(bed.service.memo.stats().hits >= 16);
     bed.shutdown();
 }
@@ -50,10 +40,7 @@ fn memoization_reduces_completion_time_with_repeats() {
 #[test]
 fn failed_executions_are_never_memoized() {
     let mut bed = TestBedBuilder::new().build();
-    let f = bed
-        .client
-        .register_function("def f(x):\n    return 1 / x\n", "f")
-        .unwrap();
+    let f = bed.client.register_function("def f(x):\n    return 1 / x\n", "f").unwrap();
     let t = bed.client.run_memoized(f, bed.endpoint_id, vec![Value::Int(0)], vec![]).unwrap();
     assert!(bed.client.get_result(t, Duration::from_secs(30)).is_err());
     // Same input again: still executes (and still fails) rather than
@@ -220,24 +207,14 @@ fn container_dependencies_validated_and_shipped() {
 fn prefetch_config_flows_through_the_stack() {
     // Behavioural smoke check: prefetch>0 lets a manager buffer tasks
     // beyond its worker count.
-    let mut bed = TestBedBuilder::new()
-        .managers(1)
-        .workers_per_manager(1)
-        .prefetch(4)
-        .build();
-    let f = bed
-        .client
-        .register_function("def f(x):\n    sleep(400)\n    return x\n", "f")
-        .unwrap();
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(1).prefetch(4).build();
+    let f = bed.client.register_function("def f(x):\n    sleep(400)\n    return x\n", "f").unwrap();
     let tasks: Vec<TaskId> = (0..5)
         .map(|i| bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
         .collect();
     std::thread::sleep(Duration::from_millis(200));
     let outstanding = bed.agent().stats().outstanding.get();
-    assert!(
-        outstanding == 5,
-        "1 running + 4 prefetched at the manager, got {outstanding}"
-    );
+    assert!(outstanding == 5, "1 running + 4 prefetched at the manager, got {outstanding}");
     bed.client.get_results(&tasks, Duration::from_secs(60)).unwrap();
     bed.shutdown();
 }

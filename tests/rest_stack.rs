@@ -13,15 +13,10 @@ use funcx_service::rest::serve_rest;
 fn rest_client_runs_functions_on_a_live_endpoint() {
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
     let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
-    let rest = FuncXClient::new(
-        Arc::new(RestApi::new(server.local_addr())),
-        bed.token.clone(),
-    );
+    let rest = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
 
     // Register over HTTP, run over HTTP, fetch the result over HTTP.
-    let f = rest
-        .register_function("def shout(s):\n    return s.upper()\n", "shout")
-        .unwrap();
+    let f = rest.register_function("def shout(s):\n    return s.upper()\n", "shout").unwrap();
     let task = rest.run(f, bed.endpoint_id, vec![Value::from("quiet")], vec![]).unwrap();
     let out = rest.get_result(task, Duration::from_secs(30)).unwrap();
     assert_eq!(out, Value::from("QUIET"));
@@ -33,29 +28,18 @@ fn rest_client_runs_functions_on_a_live_endpoint() {
 fn rest_batch_submission_and_failure_reporting() {
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(4).build();
     let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
-    let rest = FuncXClient::new(
-        Arc::new(RestApi::new(server.local_addr())),
-        bed.token.clone(),
-    );
+    let rest = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
 
-    let f = rest
-        .register_function("def inv(x):\n    return 100 / x\n", "inv")
-        .unwrap();
+    let f = rest.register_function("def inv(x):\n    return 100 / x\n", "inv").unwrap();
     let inputs: Vec<Vec<Value>> =
         vec![vec![Value::Int(4)], vec![Value::Int(0)], vec![Value::Int(10)]];
     let tasks = rest.fmap(f, inputs, bed.endpoint_id, FmapSpec::by_size(3).unwrap()).unwrap();
     assert_eq!(tasks.len(), 3);
 
-    assert_eq!(
-        rest.get_result(tasks[0], Duration::from_secs(30)).unwrap(),
-        Value::Float(25.0)
-    );
+    assert_eq!(rest.get_result(tasks[0], Duration::from_secs(30)).unwrap(), Value::Float(25.0));
     let err = rest.get_result(tasks[1], Duration::from_secs(30)).unwrap_err();
     assert!(matches!(err, FuncxError::ExecutionFailed(m) if m.contains("division by zero")));
-    assert_eq!(
-        rest.get_result(tasks[2], Duration::from_secs(30)).unwrap(),
-        Value::Float(10.0)
-    );
+    assert_eq!(rest.get_result(tasks[2], Duration::from_secs(30)).unwrap(), Value::Float(10.0));
     bed.shutdown();
 }
 
@@ -63,28 +47,20 @@ fn rest_batch_submission_and_failure_reporting() {
 fn rest_rejects_foreign_tokens_and_bad_ids() {
     let mut bed = TestBedBuilder::new().build();
     let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
-    let bogus = FuncXClient::new(
-        Arc::new(RestApi::new(server.local_addr())),
-        "deadbeef".to_string(),
-    );
+    let bogus =
+        FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), "deadbeef".to_string());
     assert!(matches!(
         bogus.register_function("def f():\n    return 1\n", "f"),
         Err(FuncxError::Unauthenticated(_))
     ));
 
-    let good = FuncXClient::new(
-        Arc::new(RestApi::new(server.local_addr())),
-        bed.token.clone(),
-    );
+    let good = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
     let ghost_fn: FunctionId = FunctionId::from_u128(404);
     assert!(matches!(
         good.run(ghost_fn, bed.endpoint_id, vec![], vec![]),
         Err(FuncxError::FunctionNotFound(_))
     ));
-    assert!(matches!(
-        good.status(TaskId::from_u128(404)),
-        Err(FuncxError::TaskNotFound(_))
-    ));
+    assert!(matches!(good.status(TaskId::from_u128(404)), Err(FuncxError::TaskNotFound(_))));
     bed.shutdown();
 }
 
@@ -102,34 +78,21 @@ fn prom_value(body: &str, name: &str) -> Option<f64> {
 fn metrics_and_timeline_expose_the_figure4_breakdown() {
     let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
     let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
-    let rest = FuncXClient::new(
-        Arc::new(RestApi::new(server.local_addr())),
-        bed.token.clone(),
-    );
+    let rest = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
 
-    let f = rest
-        .register_function("def double(x):\n    return x * 2\n", "double")
-        .unwrap();
+    let f = rest.register_function("def double(x):\n    return x * 2\n", "double").unwrap();
     let mut tasks = Vec::new();
     for i in 1..=3 {
         let task = rest.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap();
-        assert_eq!(
-            rest.get_result(task, Duration::from_secs(30)).unwrap(),
-            Value::Int(i * 2)
-        );
+        assert_eq!(rest.get_result(task, Duration::from_secs(30)).unwrap(), Value::Int(i * 2));
         tasks.push(task);
     }
 
     // (a) The Prometheus scrape surface: unauthenticated, text format, and
     // every stage of the pipeline visible as a non-zero counter.
-    let scrape = funcx_service::http::http_request(
-        server.local_addr(),
-        "GET",
-        "/v1/metrics",
-        None,
-        b"",
-    )
-    .unwrap();
+    let scrape =
+        funcx_service::http::http_request(server.local_addr(), "GET", "/v1/metrics", None, b"")
+            .unwrap();
     assert_eq!(scrape.status, 200);
     assert!(
         scrape.content_type.starts_with("text/plain"),
@@ -184,12 +147,8 @@ fn metrics_and_timeline_expose_the_figure4_breakdown() {
             assert!(tl[station].as_u64().is_some(), "station {station} missing: {tl}");
         }
         let comp = |k: &str| tl[k].as_u64().unwrap_or_else(|| panic!("{k} missing: {tl}"));
-        let (ts, tf, te, tw) = (
-            comp("ts_nanos"),
-            comp("tf_nanos"),
-            comp("te_nanos"),
-            comp("tw_nanos"),
-        );
+        let (ts, tf, te, tw) =
+            (comp("ts_nanos"), comp("tf_nanos"), comp("te_nanos"), comp("tw_nanos"));
         let total = comp("total_nanos");
         assert_eq!(ts + tf + te + tw, total, "components do not tile total: {tl}");
         assert!(total > 0, "zero total latency: {tl}");
@@ -197,14 +156,145 @@ fn metrics_and_timeline_expose_the_figure4_breakdown() {
     bed.shutdown();
 }
 
+/// Assert a `/v1/traces/<id>` body is one connected span tree (a single
+/// root, every parent id resolving inside the trace); returns the span
+/// names present.
+fn assert_single_connected_tree(tree: &serde_json::Value) -> Vec<String> {
+    assert_eq!(tree["root_count"], 1, "{tree}");
+    let spans = tree["spans"].as_array().unwrap();
+    let ids: std::collections::HashSet<&str> =
+        spans.iter().map(|s| s["span_id"].as_str().unwrap()).collect();
+    for s in spans {
+        if let Some(parent) = s["parent_id"].as_str() {
+            assert!(ids.contains(parent), "dangling parent in {s}");
+        }
+    }
+    spans.iter().map(|s| s["name"].as_str().unwrap().to_string()).collect()
+}
+
+/// Poll the trace API until the sampler retains the task's trace (the
+/// keep/drop decision runs after the result write the client observed).
+fn await_trace(rest: &FuncXClient, task: TaskId) -> serde_json::Value {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match rest.get_trace(task) {
+            Ok(tree) => return tree,
+            Err(_) => {
+                assert!(std::time::Instant::now() < deadline, "trace of {task} never retained");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+#[test]
+fn memo_hit_trace_is_a_connected_tree_and_dump_endpoints_serve_it() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
+    let rest = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
+
+    let f = rest.register_function("def half(x):\n    return x / 2\n", "half").unwrap();
+    let warm = rest.run_memoized(f, bed.endpoint_id, vec![Value::Int(8)], vec![]).unwrap();
+    assert_eq!(rest.get_result(warm, Duration::from_secs(30)).unwrap(), Value::Float(4.0));
+    let hit = rest.run_memoized(f, bed.endpoint_id, vec![Value::Int(8)], vec![]).unwrap();
+    assert_eq!(rest.get_result(hit, Duration::from_secs(30)).unwrap(), Value::Float(4.0));
+
+    // The memo hit never left the service, but its trace is still one
+    // connected tree: root + service span + the submit-side stations.
+    let tree = await_trace(&rest, hit);
+    assert_eq!(tree["complete"], serde_json::Value::Bool(true), "{tree}");
+    let names = assert_single_connected_tree(&tree);
+    for required in ["task", "service", "auth", "route", "serialize", "memo"] {
+        assert!(names.iter().any(|n| n == required), "missing {required}: {names:?}");
+    }
+    assert!(!names.iter().any(|n| n == "exec"), "memo hit must not reach a worker: {names:?}");
+    let spans = tree["spans"].as_array().unwrap();
+    let memo = spans.iter().find(|s| s["name"] == "memo").unwrap();
+    assert_eq!(memo["attrs"]["hit"], "true", "{memo}");
+
+    // The slowest-N summary serves retained traces over plain HTTP...
+    let resp = funcx_service::http::http_request(
+        server.local_addr(),
+        "GET",
+        "/v1/traces?slowest=5",
+        Some(&bed.token),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    let slowest: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert!(slowest["retained"].as_u64().unwrap() >= 1, "{slowest}");
+    assert!(!slowest["traces"].as_array().unwrap().is_empty(), "{slowest}");
+    if let Ok(path) = std::env::var("FUNCX_TRACE_SNAPSHOT") {
+        std::fs::write(&path, serde_json::to_string_pretty(&slowest).unwrap()).unwrap();
+    }
+
+    // ...and the Chrome trace-event dump is Perfetto-loadable as-is.
+    let resp = funcx_service::http::http_request(
+        server.local_addr(),
+        "GET",
+        "/v1/traces/chrome",
+        Some(&bed.token),
+        b"",
+    )
+    .unwrap();
+    assert_eq!(resp.status, 200);
+    let chrome: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+    assert!(!chrome["traceEvents"].as_array().unwrap().is_empty(), "{chrome}");
+    assert_eq!(chrome["displayTimeUnit"], "ms");
+    if let Ok(path) = std::env::var("FUNCX_CHROME_TRACE_SNAPSHOT") {
+        std::fs::write(&path, serde_json::to_string_pretty(&chrome).unwrap()).unwrap();
+    }
+    bed.shutdown();
+}
+
+#[test]
+fn failover_rerouted_task_keeps_a_flagged_connected_trace() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let ep_b = bed.add_endpoint("victim", 1, 2, Duration::ZERO);
+    let ep_c = bed.add_endpoint("survivor", 1, 2, Duration::ZERO);
+    let pool = bed
+        .client
+        .create_pool("failover-pair", vec![ep_b, ep_c], RoutingPolicy::RoundRobin, false)
+        .unwrap();
+    let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
+    let rest = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
+
+    // Long tasks (600 virtual s ≈ 0.6 s wall) round-robin over the pair;
+    // kill one member while its share is in flight.
+    let f = rest.register_function("def f(x):\n    sleep(600)\n    return x\n", "f").unwrap();
+    let tasks: Vec<TaskId> =
+        (0..8).map(|i| rest.run(f, pool, vec![Value::Int(i)], vec![]).unwrap()).collect();
+    std::thread::sleep(Duration::from_millis(250));
+    bed.kill_endpoint(ep_b);
+    let results = rest.get_results(&tasks, Duration::from_secs(120)).unwrap();
+    assert_eq!(results.len(), 8, "zero task loss across the failover");
+
+    // Every task's trace survives (default sampling keeps everything); the
+    // re-dispatched ones carry the failover flag and the reroute span, and
+    // each is still a single connected tree spanning both endpoints.
+    let mut flagged = 0;
+    for &task in &tasks {
+        let tree = await_trace(&rest, task);
+        let names = assert_single_connected_tree(&tree);
+        let flags = tree["flags"].as_array().unwrap();
+        if flags.iter().any(|f| f == "failover") {
+            flagged += 1;
+            assert!(
+                names.iter().any(|n| n == "reroute" || n == "requeue"),
+                "failover trace without reroute/requeue span: {names:?}"
+            );
+        }
+    }
+    assert!(flagged >= 1, "no trace carries the failover flag");
+    bed.shutdown();
+}
+
 #[test]
 fn rest_and_inproc_clients_interoperate() {
     let mut bed = TestBedBuilder::new().build();
     let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
-    let rest = FuncXClient::new(
-        Arc::new(RestApi::new(server.local_addr())),
-        bed.token.clone(),
-    );
+    let rest = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
     // Register through REST, invoke through the in-proc client, then fetch
     // the result back through REST — one service, two transports.
     let f = rest.register_function("def f():\n    return [1, 2]\n", "f").unwrap();

@@ -26,30 +26,17 @@ fn pool_submission_routes_over_real_rest() {
     let ep_b = bed.add_endpoint("pool-b", 1, 2, Duration::ZERO);
     let ep_c = bed.add_endpoint("pool-c", 1, 2, Duration::ZERO);
     let server = serve_rest(Arc::clone(&bed.service), "127.0.0.1:0").unwrap();
-    let rest = FuncXClient::new(
-        Arc::new(RestApi::new(server.local_addr())),
-        bed.token.clone(),
-    );
+    let rest = FuncXClient::new(Arc::new(RestApi::new(server.local_addr())), bed.token.clone());
 
     // Pool CRUD over HTTP: three members, round-robin.
     let pool = rest
-        .create_pool(
-            "trio",
-            vec![bed.endpoint_id, ep_b, ep_c],
-            RoutingPolicy::RoundRobin,
-            false,
-        )
+        .create_pool("trio", vec![bed.endpoint_id, ep_b, ep_c], RoutingPolicy::RoundRobin, false)
         .unwrap();
 
     // Pool-targeted run + fmap: the client names the pool, never a member.
-    let f = rest
-        .register_function("def triple(x):\n    return x * 3\n", "triple")
-        .unwrap();
+    let f = rest.register_function("def triple(x):\n    return x * 3\n", "triple").unwrap();
     let one = rest.run(f, pool, vec![Value::Int(7)], vec![]).unwrap();
-    assert_eq!(
-        rest.get_result(one, Duration::from_secs(30)).unwrap(),
-        Value::Int(21)
-    );
+    assert_eq!(rest.get_result(one, Duration::from_secs(30)).unwrap(), Value::Int(21));
     let inputs: Vec<Vec<Value>> = (0..12).map(|i| vec![Value::Int(i)]).collect();
     let tasks = rest.fmap(f, inputs, pool, FmapSpec::by_size(6).unwrap()).unwrap();
     let results = rest.get_results(&tasks, Duration::from_secs(60)).unwrap();
@@ -90,13 +77,9 @@ fn killing_a_pool_member_mid_batch_loses_zero_tasks() {
         .create_pool("failover-pair", vec![ep_b, ep_c], RoutingPolicy::RoundRobin, false)
         .unwrap();
 
-    let f = bed
-        .client
-        .register_function("def sq(x):\n    return x * x\n", "sq")
-        .unwrap();
-    let tasks: Vec<TaskId> = (0..40)
-        .map(|i| bed.client.run(f, pool, vec![Value::Int(i)], vec![]).unwrap())
-        .collect();
+    let f = bed.client.register_function("def sq(x):\n    return x * x\n", "sq").unwrap();
+    let tasks: Vec<TaskId> =
+        (0..40).map(|i| bed.client.run(f, pool, vec![Value::Int(i)], vec![]).unwrap()).collect();
 
     // Kill one member while the batch is in flight: its managers die (so
     // dispatched work never completes there) and its link drops. The
@@ -111,11 +94,7 @@ fn killing_a_pool_member_mid_batch_loses_zero_tasks() {
     }
 
     // The loss tripped the victim's circuit and re-dispatched its work.
-    let opened = bed
-        .service
-        .metrics
-        .counter_value("funcx_circuits_opened_total", &[])
-        .unwrap_or(0);
+    let opened = bed.service.metrics.counter_value("funcx_circuits_opened_total", &[]).unwrap_or(0);
     assert_eq!(opened, 1, "one circuit trip for the killed member");
     let (_, members) = bed.service.pool_status(&bed.token, pool).unwrap();
     let victim = members.iter().find(|(s, _, _)| s.endpoint_id == ep_b).unwrap();
@@ -125,18 +104,9 @@ fn killing_a_pool_member_mid_batch_loses_zero_tasks() {
 
     // New pool submissions keep flowing — to the survivor only.
     let after = bed.client.run(f, pool, vec![Value::Int(9)], vec![]).unwrap();
-    assert_eq!(
-        bed.client.get_result(after, Duration::from_secs(30)).unwrap(),
-        Value::Int(81)
-    );
-    let rerouted = bed
-        .service
-        .metrics
-        .counter_value("funcx_tasks_rerouted_total", &[])
-        .unwrap_or(0);
-    assert!(
-        rerouted > 0,
-        "the victim owed tasks at kill time; they must be re-dispatched"
-    );
+    assert_eq!(bed.client.get_result(after, Duration::from_secs(30)).unwrap(), Value::Int(81));
+    let rerouted =
+        bed.service.metrics.counter_value("funcx_tasks_rerouted_total", &[]).unwrap_or(0);
+    assert!(rerouted > 0, "the victim owed tasks at kill time; they must be re-dispatched");
     bed.shutdown();
 }
