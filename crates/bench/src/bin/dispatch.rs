@@ -1,0 +1,140 @@
+//! `dispatch` — service-side dispatch overhead against declared budgets.
+//!
+//! ```sh
+//! cargo run --release -p funcx-bench --bin dispatch            # full
+//! cargo run --release -p funcx-bench --bin dispatch -- --quick # CI sizes
+//! ```
+//!
+//! Runs warm echo tasks through a real in-process deployment at wall-clock
+//! speed (no virtual-time speedup, zero modeled auth/store cost) and
+//! decomposes each completion's [`TaskTimeline`] into the Figure 4 stations:
+//! `ts` (service), `tf` (forwarder), `te` (endpoint), `tw` (execution), and
+//! the end-to-end total. What is left is the fabric's own overhead — queue
+//! hops, poll granularity, serialization — which is exactly what a code
+//! change regresses.
+//!
+//! Each station's p50/p99 is compared against a declared latency budget.
+//! Budget verdicts are WARN-only: CI uploads `BENCH_dispatch.json` and
+//! prints the table so a regression is visible in the artifact trail before
+//! it is worth failing the build over.
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx_bench::Table;
+use funcx_workload::synthetic;
+
+/// One station's measured distribution and its declared budget.
+struct Station {
+    name: &'static str,
+    /// p99 must stay under this many milliseconds to pass.
+    budget_ms: f64,
+    samples_ms: Vec<f64>,
+}
+
+impl Station {
+    fn new(name: &'static str, budget_ms: f64) -> Station {
+        Station { name, budget_ms, samples_ms: Vec::new() }
+    }
+
+    fn quantile(&self, q: f64) -> f64 {
+        if self.samples_ms.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples_ms.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    fn pass(&self) -> bool {
+        self.quantile(0.99) <= self.budget_ms
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let samples = if quick { 60 } else { 400 };
+    let warmup = if quick { 5 } else { 20 };
+
+    // Wall-clock speed, zero modeled costs: every measured nanosecond is
+    // fabric overhead, not calibration.
+    let _guard = funcx_bench::pipeline_guard();
+    let mut bed = TestBedBuilder::new()
+        .speedup(1.0)
+        .managers(1)
+        .workers_per_manager(4)
+        .service_costs(Duration::ZERO, Duration::ZERO)
+        .build();
+    let f = bed.client.register_function(synthetic::ECHO_SRC, synthetic::ECHO_ENTRY).unwrap();
+    for _ in 0..warmup {
+        let t = bed.client.run(f, bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
+        bed.client.get_result(t, Duration::from_secs(60)).unwrap();
+    }
+
+    // Budgets: the related blueprint repo's sub-150 ms end-to-end target,
+    // split across stations with the service's own share tightest.
+    let mut stations = [
+        Station::new("ts_service", 50.0),
+        Station::new("tf_forwarder", 100.0),
+        Station::new("te_endpoint", 100.0),
+        Station::new("tw_exec", 50.0),
+        Station::new("total", 150.0),
+    ];
+    let mut counted = 0usize;
+    for _ in 0..samples {
+        let t = bed.client.run(f, bed.endpoint_id, synthetic::echo_args(), vec![]).unwrap();
+        bed.client.get_result(t, Duration::from_secs(60)).unwrap();
+        let tl = bed.service.task_record(t).unwrap().timeline;
+        let (Some(ts), Some(tf), Some(te), Some(tw), Some(total)) =
+            (tl.t_service(), tl.t_forwarder(), tl.t_endpoint(), tl.t_exec(), tl.total())
+        else {
+            continue;
+        };
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        for (station, d) in stations.iter_mut().zip([ts, tf, te, tw, total]) {
+            station.samples_ms.push(ms(d));
+        }
+        counted += 1;
+    }
+    bed.shutdown();
+
+    let mut table = Table::new(
+        "dispatch overhead per station (wall-clock ms)",
+        &["station", "p50", "p99", "budget(p99)", "verdict"],
+    );
+    let mut passes = 0usize;
+    for s in &stations {
+        let pass = s.pass();
+        passes += pass as usize;
+        table.row(vec![
+            s.name.into(),
+            format!("{:.2}", s.quantile(0.50)),
+            format!("{:.2}", s.quantile(0.99)),
+            format!("{:.0}", s.budget_ms),
+            if pass { "pass".into() } else { "WARN".into() },
+        ]);
+    }
+    println!("{table}");
+    println!("{counted} tasks measured ({passes}/{} stations within budget)", stations.len());
+
+    let station_json: Vec<String> = stations
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"station\": \"{}\", \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"budget_p99_ms\": {:.1}, \"pass\": {}}}",
+                s.name,
+                s.quantile(0.50),
+                s.quantile(0.99),
+                s.budget_ms,
+                s.pass()
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"dispatch\",\n  \"quick\": {quick},\n  \"tasks\": {counted},\n  \"stations_within_budget\": {passes},\n  \"stations\": [\n    {}\n  ]\n}}\n",
+        station_json.join(",\n    "),
+    );
+    std::fs::write("BENCH_dispatch.json", json).expect("write BENCH_dispatch.json");
+    println!("wrote BENCH_dispatch.json");
+}

@@ -152,6 +152,13 @@ impl TestBedBuilder {
         self
     }
 
+    /// Replace the default service-level objectives evaluated by
+    /// `GET /v1/slo` and exported as burn-rate gauges.
+    pub fn slos(mut self, specs: Vec<funcx_service::slo::SloSpec>) -> Self {
+        self.service_config.slos = specs;
+        self
+    }
+
     /// Attach a simulated container runtime (Table 2 cold-start model) and
     /// warm pool for the given system profile.
     pub fn containers(mut self, system: SystemProfile) -> Self {

@@ -44,6 +44,10 @@ pub trait ServiceApi: Send + Sync {
     /// Span tree of a retained trace (`GET /v1/traces/<id>`). A task's
     /// trace id is its uuid, so [`trace_of_task`] maps between the two.
     fn trace(&self, bearer: &str, trace_id: TraceId) -> Result<serde_json::Value>;
+    /// Every declared objective's burn rate and budget (`GET /v1/slo`).
+    fn slo(&self, bearer: &str) -> Result<serde_json::Value>;
+    /// Windowed per-function aggregates (`GET /v1/stats/functions`).
+    fn function_stats(&self, bearer: &str) -> Result<serde_json::Value>;
 }
 
 /// The trace id the service mints for a task: its uuid bits verbatim.
@@ -116,6 +120,14 @@ impl ServiceApi for InProcApi {
             .tracer
             .tree_json(trace_id)
             .ok_or_else(|| FuncxError::TaskNotFound(format!("trace {trace_id}")))
+    }
+
+    fn slo(&self, bearer: &str) -> Result<serde_json::Value> {
+        self.service.slo_json(bearer)
+    }
+
+    fn function_stats(&self, bearer: &str) -> Result<serde_json::Value> {
+        self.service.stats_functions_json(bearer)
     }
 }
 
@@ -296,5 +308,13 @@ impl ServiceApi for RestApi {
 
     fn trace(&self, bearer: &str, trace_id: TraceId) -> Result<serde_json::Value> {
         self.call("GET", &format!("/v1/traces/{trace_id}"), bearer, serde_json::Value::Null)
+    }
+
+    fn slo(&self, bearer: &str) -> Result<serde_json::Value> {
+        self.call("GET", "/v1/slo", bearer, serde_json::Value::Null)
+    }
+
+    fn function_stats(&self, bearer: &str) -> Result<serde_json::Value> {
+        self.call("GET", "/v1/stats/functions", bearer, serde_json::Value::Null)
     }
 }

@@ -104,6 +104,18 @@ impl FuncXClient {
         self.api.trace(&self.bearer, crate::api::trace_of_task(task))
     }
 
+    /// Every declared service-level objective evaluated now: burn rates,
+    /// remaining error budget, and burning/ok status (`GET /v1/slo`).
+    pub fn get_slo(&self) -> Result<serde_json::Value> {
+        self.api.slo(&self.bearer)
+    }
+
+    /// Windowed per-function aggregates — submit/error rates and
+    /// per-station latency quantiles (`GET /v1/stats/functions`).
+    pub fn get_function_stats(&self) -> Result<serde_json::Value> {
+        self.api.function_stats(&self.bearer)
+    }
+
     /// One non-blocking result probe.
     pub fn try_result(&self, task: TaskId) -> Result<Option<std::result::Result<Value, String>>> {
         self.api.result(&self.bearer, task)

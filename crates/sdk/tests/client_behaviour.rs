@@ -76,6 +76,14 @@ impl ServiceApi for MockApi {
     fn trace(&self, _b: &str, t: funcx_types::trace::TraceId) -> Result<serde_json::Value> {
         Err(FuncxError::TaskNotFound(format!("trace {t}")))
     }
+
+    fn slo(&self, _b: &str) -> Result<serde_json::Value> {
+        Ok(serde_json::json!({ "objectives": [], "burning": 0, "ok": 0 }))
+    }
+
+    fn function_stats(&self, _b: &str) -> Result<serde_json::Value> {
+        Ok(serde_json::json!({ "functions": [] }))
+    }
 }
 
 fn client(api: Arc<MockApi>) -> FuncXClient {

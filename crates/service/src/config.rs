@@ -76,6 +76,19 @@ pub struct ServiceConfig {
     pub trace_slowest_keep: usize,
     /// Minimum level emitted by the structured `fx_log!` macro.
     pub log_level: funcx_telemetry::LogLevel,
+    /// Frame duration of the windowed stats rings (per-function /
+    /// per-endpoint / per-user tables). Windows are quantized to this.
+    pub stats_frame: VirtualDuration,
+    /// Frames per ring; `stats_frame × stats_frames` is the longest
+    /// trailing window the stats tables can answer (must cover the SLO
+    /// engine's slow window).
+    pub stats_frames: usize,
+    /// Maximum entries per stats table (functions, endpoints, users each).
+    /// Beyond this, new keys fold into the service-wide aggregate only.
+    pub stats_max_keys: usize,
+    /// Declared service-level objectives, evaluated by `GET /v1/slo` and
+    /// exported as `funcx_slo_*` gauges.
+    pub slos: Vec<crate::slo::SloSpec>,
 }
 
 impl Default for ServiceConfig {
@@ -103,6 +116,10 @@ impl Default for ServiceConfig {
             trace_max_spans: 256,
             trace_slowest_keep: 16,
             log_level: funcx_telemetry::LogLevel::Warn,
+            stats_frame: Duration::from_secs(30),
+            stats_frames: 128,
+            stats_max_keys: 4096,
+            slos: crate::slo::default_slos(),
         }
     }
 }
@@ -168,6 +185,17 @@ mod tests {
         assert_eq!(t.capacity, c.trace_store_capacity);
         assert_eq!(t.max_spans_per_trace, c.trace_max_spans);
         assert_eq!(t.slowest_keep, c.trace_slowest_keep);
+    }
+
+    #[test]
+    fn stats_ring_covers_the_slow_slo_window() {
+        let c = ServiceConfig::default();
+        let coverage = c.stats_frame * c.stats_frames as u32;
+        assert!(!c.slos.is_empty(), "objectives ship by default");
+        for slo in &c.slos {
+            assert!(coverage >= slo.slow_window, "ring too short for '{}'", slo.name);
+        }
+        assert!(c.stats_max_keys >= 1024, "tables must hold a realistic tenant count");
     }
 
     #[test]

@@ -362,12 +362,13 @@ fn store_results(
         // Snapshot what the expensive pre-work needs under a brief read
         // lock: memoization intent and the input payload (cloned only
         // when a memo insert is actually coming).
-        let Some((terminal, function_id, memo_payload, span)) =
+        let Some((terminal, function_id, user_id, memo_payload, span)) =
             service.tasks.read_record(r.task_id, |record| {
                 let wants_memo = r.success && record.spec.allow_memo;
                 (
                     record.state.is_terminal(),
                     record.spec.function_id,
+                    record.spec.user_id,
                     wants_memo.then(|| record.spec.payload.clone()),
                     record.spec.span,
                 )
@@ -479,6 +480,7 @@ fn store_results(
         if let Some(exec) = exec {
             service.instruments.task_exec.record(exec);
         }
+        service.stats.on_result(function_id, endpoint_id, user_id, &timeline, r.success);
         service.trace.record("result", format!("task {} success {}", r.task_id, r.success));
         // Synthesize the remote-side spans from the timeline the result
         // carried home (shared virtual clock, §4 instrumentation). The five

@@ -41,14 +41,46 @@ impl Request {
 
     /// Value of query parameter `name` (`?name=value`), if present.
     ///
-    /// No percent-decoding: the service's query parameters are all plain
-    /// identifiers or integers.
-    pub fn query_param(&self, name: &str) -> Option<&str> {
+    /// Percent-decoded (`%2F` → `/`, `+` → space). A bare key (`?name`) or
+    /// an empty value (`?name=`) both yield `Some("")` — present but empty;
+    /// callers that want a default should treat empty as absent. When a key
+    /// repeats, the first occurrence wins.
+    pub fn query_param(&self, name: &str) -> Option<String> {
         self.query.split('&').find_map(|pair| {
-            let (k, v) = pair.split_once('=')?;
-            (k == name).then_some(v)
+            let (k, v) = match pair.split_once('=') {
+                Some((k, v)) => (k, v),
+                None => (pair, ""),
+            };
+            (percent_decode(k) == name).then(|| percent_decode(v))
         })
     }
+}
+
+/// Decode `%XX` escapes and `+`-as-space. Malformed escapes (`%`, `%2`,
+/// `%zz`) pass through literally rather than erroring — a query string must
+/// never be able to take a route down.
+fn percent_decode(raw: &str) -> String {
+    let bytes = raw.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16).map(|d| d as u8);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push(hi << 4 | lo);
+                        i += 2;
+                    }
+                    _ => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
 }
 
 /// An HTTP response.
@@ -332,8 +364,8 @@ mod tests {
             headers: HashMap::new(),
             body: Vec::new(),
         };
-        assert_eq!(req.query_param("slowest"), Some("5"));
-        assert_eq!(req.query_param("format"), Some("chrome"));
+        assert_eq!(req.query_param("slowest").as_deref(), Some("5"));
+        assert_eq!(req.query_param("format").as_deref(), Some("chrome"));
         assert_eq!(req.query_param("missing"), None);
 
         let bare = Request {
@@ -344,6 +376,28 @@ mod tests {
             body: Vec::new(),
         };
         assert_eq!(bare.query_param("slowest"), None);
+    }
+
+    #[test]
+    fn query_params_decode_and_degrade_gracefully() {
+        let req = |query: &str| Request {
+            method: "GET".into(),
+            path: "/v1/traces".into(),
+            query: query.into(),
+            headers: HashMap::new(),
+            body: Vec::new(),
+        };
+        // Percent-encoding and plus-as-space decode.
+        assert_eq!(req("name=a%2Fb+c").query_param("name").as_deref(), Some("a/b c"));
+        assert_eq!(req("a%3D=x").query_param("a=").as_deref(), Some("x"));
+        // Bare key and empty value are both present-but-empty.
+        assert_eq!(req("flag").query_param("flag").as_deref(), Some(""));
+        assert_eq!(req("flag=").query_param("flag").as_deref(), Some(""));
+        // First occurrence wins when a key repeats.
+        assert_eq!(req("n=1&n=2").query_param("n").as_deref(), Some("1"));
+        // Malformed escapes pass through instead of erroring.
+        assert_eq!(req("n=%zz%2").query_param("n").as_deref(), Some("%zz%2"));
+        assert_eq!(req("n=100%").query_param("n").as_deref(), Some("100%"));
     }
 
     #[test]

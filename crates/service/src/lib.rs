@@ -17,6 +17,10 @@
 //!   ("at least once semantics", §4.1);
 //! * [`memo`] — the §4.7 memoization cache (function body + input hash →
 //!   cached result);
+//! * [`stats`] — windowed per-function / per-endpoint / per-user
+//!   aggregation tables (submit rates, error rates, per-station latency);
+//! * [`slo`] — declarative service-level objectives evaluated with
+//!   multi-window burn rates over those tables;
 //! * [`http`] — a minimal HTTP/1.1 server/client so the REST API really
 //!   crosses a socket;
 //! * [`rest`] — the JSON routes bound onto [`service::FuncxService`].
@@ -28,6 +32,8 @@ pub mod http;
 pub mod memo;
 pub mod rest;
 pub mod service;
+pub mod slo;
+pub mod stats;
 pub mod tasks;
 
 pub use config::ServiceConfig;
@@ -35,4 +41,6 @@ pub use durability::RecoveryReport;
 pub use funcx_wal::FsyncPolicy;
 pub use memo::{MemoCache, MemoEntry};
 pub use service::{FuncxService, SubmitRequest};
+pub use slo::{ObjectiveStatus, SloEngine, SloKind, SloSpec, SloStation};
+pub use stats::{KeyStats, StatsHub};
 pub use tasks::TaskStore;

@@ -25,6 +25,10 @@
 //! | GET  | `/v1/traces/<trace_id>` | — | span tree of one retained trace |
 //! | GET  | `/v1/traces/chrome` | — | Chrome trace-event dump (all retained) |
 //! | GET  | `/v1/traces/<trace_id>/chrome` | — | Chrome trace-event dump (one) |
+//! | GET  | `/v1/stats/functions` | — | windowed per-function aggregates |
+//! | GET  | `/v1/stats/functions/<id>` | — | one function's windowed aggregates |
+//! | GET  | `/v1/stats/users/<id>` | — | the caller's own windowed aggregates |
+//! | GET  | `/v1/slo` | — | every objective's burn rate and budget |
 //! | GET  | `/v1/metrics` | — | Prometheus text (no auth) |
 //!
 //! A submission names exactly one of `endpoint_id` (pin, as in the HPDC
@@ -41,10 +45,13 @@ use std::sync::Arc;
 
 use funcx_lang::Value;
 use funcx_serial::Payload;
+use funcx_telemetry::fx_log;
 use funcx_types::task::TaskOutcome;
 use funcx_types::time::VirtualDuration;
 use funcx_types::trace::TraceId;
-use funcx_types::{EndpointId, FunctionId, FuncxError, PoolId, RouteTarget, RoutingPolicy, TaskId};
+use funcx_types::{
+    EndpointId, FunctionId, FuncxError, PoolId, RouteTarget, RoutingPolicy, TaskId, UserId,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::http::{Handler, HttpServer, Request, Response};
@@ -206,9 +213,26 @@ fn parse_members(raw: &[String]) -> Result<Vec<EndpointId>, Response> {
         .collect()
 }
 
-/// Build the route handler over a service.
+/// Build the route handler over a service. Every request is access-logged
+/// through `fx_log!` (target `rest`, level `Info` — silent at the default
+/// `Warn` filter) with method, path, status, and service-side latency.
 pub fn make_handler(service: Arc<FuncxService>) -> Handler {
-    Arc::new(move |req: Request| route(&service, req))
+    Arc::new(move |req: Request| {
+        let start = service.clock().now();
+        let (method, path) = (req.method.clone(), req.path.clone());
+        let resp = route(&service, req);
+        let latency = service.clock().now().saturating_duration_since(start);
+        fx_log!(
+            Info,
+            "rest",
+            "request",
+            method = method,
+            path = path,
+            status = resp.status,
+            latency_us = latency.as_micros() as u64
+        );
+        resp
+    })
 }
 
 /// Serve the REST API on `addr` (port 0 = ephemeral).
@@ -451,8 +475,16 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
         }
         ("GET", ["v1", "endpoints", "status"]) => match service.fleet_status(&bearer) {
             Ok(records) => {
-                let endpoints: Vec<serde_json::Value> =
-                    records.iter().map(|r| endpoint_json(r, service.report_age(r))).collect();
+                let endpoints: Vec<serde_json::Value> = records
+                    .iter()
+                    .map(|r| {
+                        endpoint_json(
+                            r,
+                            service.report_age(r),
+                            endpoint_stats(service, r.endpoint_id),
+                        )
+                    })
+                    .collect();
                 ok_json(&serde_json::json!({ "endpoints": endpoints }))
             }
             Err(e) => err_json(&e),
@@ -465,7 +497,8 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
             match service.endpoint_status(&bearer, endpoint) {
                 Ok(record) => {
                     let age = service.report_age(&record);
-                    ok_json(&endpoint_json(&record, age))
+                    let stats = endpoint_stats(service, record.endpoint_id);
+                    ok_json(&endpoint_json(&record, age, stats))
                 }
                 Err(e) => err_json(&e),
             }
@@ -497,8 +530,14 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
             }
         }
         ("GET", ["v1", "traces"]) => {
-            // Retained-trace summaries, slowest first (`?slowest=N`, default 10).
-            let n = match req.query_param("slowest").map(str::parse::<usize>).transpose() {
+            // Retained-trace summaries, slowest first (`?slowest=N`, default
+            // 10; an empty value means the default, unknown keys are ignored).
+            let n = match req
+                .query_param("slowest")
+                .filter(|s| !s.is_empty())
+                .map(|s| s.parse::<usize>())
+                .transpose()
+            {
                 Ok(n) => n.unwrap_or(10),
                 Err(_) => return bad_request("bad slowest value"),
             };
@@ -523,6 +562,34 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 None => err_json(&FuncxError::TaskNotFound(format!("trace {id}"))),
             }
         }
+        ("GET", ["v1", "stats", "functions"]) => match service.stats_functions_json(&bearer) {
+            Ok(v) => ok_json(&v),
+            Err(e) => err_json(&e),
+        },
+        ("GET", ["v1", "stats", "functions", id]) => {
+            let function_id: FunctionId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad function id"),
+            };
+            match service.stats_function_json(&bearer, function_id) {
+                Ok(v) => ok_json(&v),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "stats", "users", id]) => {
+            let user_id: UserId = match id.parse() {
+                Ok(v) => v,
+                Err(_) => return bad_request("bad user id"),
+            };
+            match service.stats_user_json(&bearer, user_id) {
+                Ok(v) => ok_json(&v),
+                Err(e) => err_json(&e),
+            }
+        }
+        ("GET", ["v1", "slo"]) => match service.slo_json(&bearer) {
+            Ok(v) => ok_json(&v),
+            Err(e) => err_json(&e),
+        },
         _ => err_json(&FuncxError::BadRequest(format!("no route {} {}", req.method, req.path))),
     }
 }
@@ -564,6 +631,7 @@ fn timeline_json(record: &funcx_types::task::TaskRecord) -> serde_json::Value {
 fn endpoint_json(
     record: &funcx_registry::EndpointRecord,
     report_age: Option<VirtualDuration>,
+    stats: Option<serde_json::Value>,
 ) -> serde_json::Value {
     serde_json::json!({
         "endpoint_id": record.endpoint_id.to_string(),
@@ -582,7 +650,16 @@ fn endpoint_json(
         "requeued": record.last_report.map(|r| r.requeued),
         "results_sent": record.last_report.map(|r| r.results_sent),
         "spans_dropped": record.last_report.map(|r| r.spans_dropped),
+        // Windowed aggregates from the stats tables (null until this
+        // endpoint has seen traffic): submit/error rates and per-station
+        // latency quantiles over the 1m/5m/1h trailing windows.
+        "stats": stats,
     })
+}
+
+/// The endpoint's windowed aggregates, if it has seen any traffic.
+fn endpoint_stats(service: &FuncxService, id: EndpointId) -> Option<serde_json::Value> {
+    service.stats.endpoint_existing(id).map(|s| crate::stats::key_stats_json(&s))
 }
 
 /// JSON body of one pool record (list + status routes).

@@ -29,6 +29,8 @@ use funcx_wal::{DurableEvent, Wal, WalConfig, WalInstruments, WalState};
 use crate::config::ServiceConfig;
 use crate::durability::{store_queue_kind, RecoveryReport, WalJournal};
 use crate::memo::MemoCache;
+use crate::slo::SloEngine;
+use crate::stats::StatsHub;
 use crate::tasks::TaskStore;
 
 /// One task submission (the unit of the batch API).
@@ -143,6 +145,12 @@ pub struct FuncxService {
     pub trace: Arc<TraceRing>,
     /// Distributed-trace span store behind `/v1/traces` (tail-sampled).
     pub tracer: Arc<TraceStore>,
+    /// Windowed per-function / per-endpoint / per-user stats tables.
+    pub stats: Arc<StatsHub>,
+    /// The configured SLO objectives (evaluated against `stats` on demand).
+    pub slo: SloEngine,
+    /// Virtual instant the service came up (drives `funcx_uptime_seconds`).
+    pub(crate) started_at: VirtualInstant,
     pub(crate) instruments: Instruments,
     pub(crate) serializer: Serializer,
     /// Durable write-ahead log, when `config.wal_dir` names one.
@@ -192,6 +200,11 @@ impl FuncxService {
             }
             None => None,
         };
+        let stats = StatsHub::new(
+            Arc::clone(&clock),
+            &config,
+            metrics.counter("funcx_stats_keys_dropped_total", &[]),
+        );
         let service = Arc::new(FuncxService {
             auth: AuthService::new(Arc::clone(&clock)),
             functions: FunctionRegistry::new(),
@@ -204,6 +217,9 @@ impl FuncxService {
             metrics,
             trace,
             tracer,
+            stats,
+            slo: SloEngine::new(config.slos.clone()),
+            started_at: clock.now(),
             instruments,
             serializer: Serializer::default(),
             wal: wal.clone(),
@@ -438,7 +454,7 @@ impl FuncxService {
         &self.serializer
     }
 
-    fn charge_auth(&self) {
+    pub(crate) fn charge_auth(&self) {
         self.clock.sleep(self.config.auth_cost);
     }
 
@@ -812,6 +828,7 @@ impl FuncxService {
         };
         let mut record = TaskRecord::new(spec, received);
         self.instruments.tasks_submitted.inc();
+        self.stats.on_submit(record.spec.function_id, endpoint_id, user);
 
         // Memoization short-circuit (§4.7): a hit never leaves the service.
         // The cache stores unpacked bodies; `get_packed` repacks with THIS
@@ -841,6 +858,12 @@ impl FuncxService {
                 if let Some(total) = record.timeline.total() {
                     self.instruments.task_latency.record(total);
                 }
+                self.stats.on_memo_hit(
+                    record.spec.function_id,
+                    endpoint_id,
+                    user,
+                    &record.timeline,
+                );
                 if self.wal_enabled() {
                     // Logged terminal: recovery serves the cached result.
                     let wal_start = self.clock.now();
@@ -928,14 +951,20 @@ impl FuncxService {
             .tasks
             .with_record_mut(task_id, |record| {
                 if !record.state.can_transition_to(TaskState::Failed) {
-                    return false; // terminal already, or never left Received
+                    return None; // terminal already, or never left Received
                 }
                 record.transition(TaskState::Failed);
                 record.outcome = Some(TaskOutcome::Failure(error.clone()));
-                true
+                Some((
+                    record.spec.function_id,
+                    record.spec.endpoint_id,
+                    record.spec.user_id,
+                    record.timeline,
+                ))
             })
-            .unwrap_or(false);
-        if applied {
+            .flatten();
+        if let Some((function_id, endpoint_id, user_id, timeline)) = applied {
+            self.stats.on_result(function_id, endpoint_id, user_id, &timeline, false);
             self.log_event(&DurableEvent::TaskFailed { task_id, error: error.clone() });
             self.instruments.tasks_failed.inc();
             fx_log!(Warn, "service", "task failed", task_id = task_id, error = error);
@@ -1365,6 +1394,19 @@ impl FuncxService {
         self.metrics.gauge("funcx_trace_spans_recorded", &[]).set(self.tracer.spans_recorded());
         self.metrics.gauge("funcx_trace_spans_dropped", &[]).set(self.tracer.spans_dropped());
         self.metrics.gauge("funcx_traces_sampled_out", &[]).set(self.tracer.traces_sampled_out());
+        self.metrics.gauge("funcx_build_info", &[("version", env!("CARGO_PKG_VERSION"))]).set(1);
+        self.metrics
+            .float_gauge("funcx_uptime_seconds", &[])
+            .set(self.clock.now().saturating_duration_since(self.started_at).as_secs_f64());
+        for objective in self.slo.report(&self.stats) {
+            let function =
+                objective.function.map(|f| f.to_string()).unwrap_or_else(|| "all".to_string());
+            let labels = [("slo", objective.name.as_str()), ("function", function.as_str())];
+            self.metrics.float_gauge("funcx_slo_burn_rate", &labels).set(objective.burn_fast);
+            self.metrics
+                .float_gauge("funcx_slo_budget_remaining", &labels)
+                .set(objective.budget_remaining);
+        }
         self.metrics.render_prometheus()
     }
 

@@ -1,0 +1,436 @@
+//! Declarative SLOs with multi-window burn-rate evaluation.
+//!
+//! An [`SloSpec`] states an objective over the windowed stats tables
+//! ([`crate::stats`]): "99% of tasks finish their Figure-4 `service`
+//! station within 50 ms", or "99.5% of tasks succeed". Evaluation follows
+//! the SRE multi-window burn-rate recipe:
+//!
+//! * the **bad fraction** of a window is the share of events violating the
+//!   objective (latency above target, or failures);
+//! * the **burn rate** is `bad_fraction / (1 - goal)` — 1.0 means the error
+//!   budget is being consumed exactly as provisioned, N means N× too fast;
+//! * an objective is **burning** when BOTH the fast window (default 5 m —
+//!   reacts quickly) and the slow window (default 1 h — rides out blips)
+//!   exceed the spec's burn threshold;
+//! * **budget remaining** is `1 - burn_slow`, clamped to `[0, 1]` — the
+//!   slow window's unconsumed error budget.
+//!
+//! `per_function` specs additionally evaluate one objective per active
+//! function, which is what lets `/v1/slo` point at *the* regressed function
+//! rather than reporting fabric-wide malaise.
+
+use std::time::Duration;
+
+use funcx_types::FunctionId;
+
+use crate::stats::{KeyStats, StatsHub};
+
+/// Which latency the objective constrains: Figure 4's stations or the
+/// end-to-end total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloStation {
+    /// `received` → `result_stored`.
+    Total,
+    /// `ts`: web-service latency.
+    Service,
+    /// `tf`: forwarder latency.
+    Forwarder,
+    /// `te`: endpoint queuing latency.
+    Endpoint,
+    /// `tw`: execution time.
+    Exec,
+}
+
+impl SloStation {
+    /// Wire/display name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SloStation::Total => "total",
+            SloStation::Service => "service",
+            SloStation::Forwarder => "forwarder",
+            SloStation::Endpoint => "endpoint",
+            SloStation::Exec => "exec",
+        }
+    }
+
+    /// The station's windowed histogram within a stats entry.
+    pub fn histogram(self, stats: &KeyStats) -> &funcx_telemetry::WindowedHistogram {
+        match self {
+            SloStation::Total => &stats.latency,
+            SloStation::Service => &stats.t_service,
+            SloStation::Forwarder => &stats.t_forwarder,
+            SloStation::Endpoint => &stats.t_endpoint,
+            SloStation::Exec => &stats.t_exec,
+        }
+    }
+}
+
+/// What counts as a bad event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SloKind {
+    /// A completion whose `station` latency exceeded `target`.
+    Latency {
+        /// Which Figure-4 station is constrained.
+        station: SloStation,
+        /// Latency at or under this is a good event.
+        target: Duration,
+    },
+    /// A completion that failed.
+    ErrorRate,
+}
+
+/// One declared objective.
+#[derive(Debug, Clone)]
+pub struct SloSpec {
+    /// Objective name (the `slo` label on the exported gauges).
+    pub name: String,
+    /// What counts as a bad event.
+    pub kind: SloKind,
+    /// Target good-event fraction in `[0, 1)` — e.g. `0.99`.
+    pub goal: f64,
+    /// Fast evaluation window (reacts to fresh regressions).
+    pub fast_window: Duration,
+    /// Slow evaluation window (rides out blips).
+    pub slow_window: Duration,
+    /// Both windows must burn faster than this to report `burning`.
+    pub burn_threshold: f64,
+    /// Also evaluate one objective per active function.
+    pub per_function: bool,
+}
+
+impl SloSpec {
+    /// A latency objective with SRE-default windows (5 m fast / 1 h slow)
+    /// and threshold 1.0 (any over-budget consumption sustained across both
+    /// windows reports burning).
+    pub fn latency(name: &str, station: SloStation, target: Duration, goal: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloKind::Latency { station, target },
+            goal,
+            fast_window: Duration::from_secs(300),
+            slow_window: Duration::from_secs(3600),
+            burn_threshold: 1.0,
+            per_function: false,
+        }
+    }
+
+    /// An error-rate objective with the same defaults.
+    pub fn error_rate(name: &str, goal: f64) -> SloSpec {
+        SloSpec {
+            name: name.to_string(),
+            kind: SloKind::ErrorRate,
+            goal,
+            fast_window: Duration::from_secs(300),
+            slow_window: Duration::from_secs(3600),
+            burn_threshold: 1.0,
+            per_function: false,
+        }
+    }
+
+    /// Evaluate per-function objectives in addition to the service-wide one.
+    pub fn per_function(mut self) -> SloSpec {
+        self.per_function = true;
+        self
+    }
+
+    /// `(bad_fraction, events)` of one window over one stats entry.
+    fn bad_fraction(&self, stats: &KeyStats, window: Duration) -> (f64, u64) {
+        match self.kind {
+            SloKind::Latency { station, target } => {
+                let (good, events) = station.histogram(stats).fraction_within(window, target);
+                (1.0 - good, events)
+            }
+            SloKind::ErrorRate => {
+                let events = stats.completions.count(window);
+                (stats.error_rate(window), events)
+            }
+        }
+    }
+
+    /// Evaluate this spec against one stats entry.
+    fn evaluate(&self, stats: &KeyStats, function: Option<FunctionId>) -> ObjectiveStatus {
+        // A goal of 1.0 would make the budget zero and every burn rate
+        // infinite; cap so the arithmetic stays finite.
+        let budget = (1.0 - self.goal).max(1e-6);
+        let (bad_fast, events_fast) = self.bad_fraction(stats, self.fast_window);
+        let (bad_slow, events_slow) = self.bad_fraction(stats, self.slow_window);
+        let burn_fast = bad_fast / budget;
+        let burn_slow = bad_slow / budget;
+        ObjectiveStatus {
+            name: self.name.clone(),
+            kind: self.kind,
+            function,
+            goal: self.goal,
+            burn_fast,
+            burn_slow,
+            events_fast,
+            events_slow,
+            budget_remaining: (1.0 - burn_slow).clamp(0.0, 1.0),
+            burning: events_fast > 0
+                && burn_fast >= self.burn_threshold
+                && burn_slow >= self.burn_threshold,
+        }
+    }
+}
+
+/// One evaluated objective, as reported by `GET /v1/slo`.
+#[derive(Debug, Clone)]
+pub struct ObjectiveStatus {
+    /// The spec's name.
+    pub name: String,
+    /// The spec's bad-event definition.
+    pub kind: SloKind,
+    /// `Some` for a per-function sub-objective.
+    pub function: Option<FunctionId>,
+    /// Target good-event fraction.
+    pub goal: f64,
+    /// Budget consumption rate over the fast window.
+    pub burn_fast: f64,
+    /// Budget consumption rate over the slow window.
+    pub burn_slow: f64,
+    /// Events observed in the fast window.
+    pub events_fast: u64,
+    /// Events observed in the slow window.
+    pub events_slow: u64,
+    /// Unconsumed fraction of the slow window's error budget.
+    pub budget_remaining: f64,
+    /// Both windows are over the burn threshold.
+    pub burning: bool,
+}
+
+/// The configured objectives, evaluated on demand against a [`StatsHub`].
+#[derive(Debug, Clone, Default)]
+pub struct SloEngine {
+    /// The declared objectives.
+    pub specs: Vec<SloSpec>,
+}
+
+impl SloEngine {
+    /// An engine over the given specs.
+    pub fn new(specs: Vec<SloSpec>) -> SloEngine {
+        SloEngine { specs }
+    }
+
+    /// Evaluate every objective now: each spec against the service-wide
+    /// aggregate, plus — for `per_function` specs — against every active
+    /// function's entry.
+    pub fn report(&self, hub: &StatsHub) -> Vec<ObjectiveStatus> {
+        let mut out = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            out.push(spec.evaluate(&hub.service, None));
+            if spec.per_function {
+                for id in hub.function_ids() {
+                    if let Some(stats) = hub.function_existing(id) {
+                        out.push(spec.evaluate(&stats, Some(id)));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The out-of-the-box objectives: the related blueprint repo's latency
+/// budgets (sub-150 ms execution path end-to-end, sub-50 ms service
+/// overhead) plus an error-rate floor. The total-latency objective is
+/// per-function so a single regressed function is isolated by default.
+pub fn default_slos() -> Vec<SloSpec> {
+    vec![
+        SloSpec::latency("total_latency", SloStation::Total, Duration::from_millis(150), 0.95)
+            .per_function(),
+        SloSpec::latency("service_latency", SloStation::Service, Duration::from_millis(50), 0.99),
+        SloSpec::error_rate("task_success", 0.99),
+    ]
+}
+
+/// One evaluated objective as the `GET /v1/slo` wire shape.
+fn objective_json(o: &ObjectiveStatus) -> serde_json::Value {
+    let kind = match o.kind {
+        SloKind::Latency { station, target } => serde_json::json!({
+            "kind": "latency",
+            "station": station.as_str(),
+            "target_ms": target.as_secs_f64() * 1e3,
+        }),
+        SloKind::ErrorRate => serde_json::json!({ "kind": "error_rate" }),
+    };
+    serde_json::json!({
+        "name": o.name,
+        "objective": kind,
+        "function_id": o.function.map(|f| f.to_string()),
+        "goal": o.goal,
+        "burn_fast": o.burn_fast,
+        "burn_slow": o.burn_slow,
+        "events_fast": o.events_fast,
+        "events_slow": o.events_slow,
+        "budget_remaining": o.budget_remaining,
+        "status": if o.burning { "burning" } else { "ok" },
+    })
+}
+
+impl crate::service::FuncxService {
+    /// `GET /v1/slo` — every declared objective evaluated now: service-wide
+    /// first, then the per-function sub-objectives.
+    pub fn slo_json(&self, bearer: &str) -> funcx_types::Result<serde_json::Value> {
+        self.charge_auth();
+        self.auth.authorize(bearer, funcx_auth::Scope::ViewTask)?;
+        let report = self.slo.report(&self.stats);
+        let burning = report.iter().filter(|o| o.burning).count();
+        Ok(serde_json::json!({
+            "objectives": report.iter().map(objective_json).collect::<Vec<_>>(),
+            "burning": burning,
+            "ok": report.len() - burning,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+    use crate::stats::StatsHub;
+    use funcx_telemetry::Counter;
+    use funcx_types::task::TaskTimeline;
+    use funcx_types::time::{Clock, ManualClock, SharedClock, VirtualInstant};
+    use funcx_types::{EndpointId, UserId};
+    use std::sync::Arc;
+
+    fn hub_with_clock() -> (Arc<ManualClock>, Arc<StatsHub>) {
+        let clock = ManualClock::new();
+        let config = ServiceConfig {
+            stats_frame: Duration::from_secs(10),
+            stats_frames: 720,
+            ..ServiceConfig::default()
+        };
+        let hub = StatsHub::new(Arc::clone(&clock) as SharedClock, &config, Counter::standalone());
+        (clock, hub)
+    }
+
+    fn complete(hub: &StatsHub, f: FunctionId, at: VirtualInstant, total: Duration, success: bool) {
+        let timeline = TaskTimeline {
+            received: Some(at),
+            result_stored: Some(at + total),
+            ..TaskTimeline::default()
+        };
+        hub.on_result(f, EndpointId::from_u128(1), UserId::from_u128(1), &timeline, success);
+    }
+
+    #[test]
+    fn healthy_traffic_reports_ok_with_full_budget() {
+        let (clock, hub) = hub_with_clock();
+        let engine = SloEngine::new(vec![SloSpec::latency(
+            "total",
+            SloStation::Total,
+            Duration::from_millis(150),
+            0.95,
+        )]);
+        for _ in 0..100 {
+            complete(&hub, FunctionId::from_u128(1), clock.now(), Duration::from_millis(5), true);
+        }
+        let report = engine.report(&hub);
+        assert_eq!(report.len(), 1);
+        let o = &report[0];
+        assert!(!o.burning, "{o:?}");
+        assert_eq!(o.budget_remaining, 1.0);
+        assert_eq!(o.events_fast, 100);
+    }
+
+    #[test]
+    fn sustained_slowness_burns_within_one_fast_window() {
+        let (clock, hub) = hub_with_clock();
+        let engine = SloEngine::new(vec![SloSpec::latency(
+            "total",
+            SloStation::Total,
+            Duration::from_millis(150),
+            0.95,
+        )]);
+        // Every task blows the target: bad fraction 1.0 → burn 20× in both
+        // windows as soon as events exist.
+        for _ in 0..50 {
+            complete(&hub, FunctionId::from_u128(1), clock.now(), Duration::from_secs(2), true);
+            clock.advance(Duration::from_secs(1));
+        }
+        let o = &engine.report(&hub)[0];
+        assert!(o.burning, "{o:?}");
+        assert!(o.burn_fast > 10.0);
+        assert!(o.budget_remaining < 0.1);
+    }
+
+    #[test]
+    fn per_function_specs_isolate_the_offender() {
+        let (clock, hub) = hub_with_clock();
+        let engine = SloEngine::new(vec![SloSpec::latency(
+            "total",
+            SloStation::Total,
+            Duration::from_millis(150),
+            0.95,
+        )
+        .per_function()]);
+        let good = FunctionId::from_u128(1);
+        let bad = FunctionId::from_u128(2);
+        for _ in 0..50 {
+            complete(&hub, good, clock.now(), Duration::from_millis(5), true);
+            complete(&hub, bad, clock.now(), Duration::from_secs(2), true);
+        }
+        let report = engine.report(&hub);
+        assert_eq!(report.len(), 3, "service-wide + one per function");
+        let of = |f: Option<FunctionId>| report.iter().find(|o| o.function == f).unwrap();
+        assert!(!of(Some(good)).burning, "healthy function stays ok");
+        assert!(of(Some(bad)).burning, "regressed function isolated");
+        assert!(of(None).burning, "half the fleet traffic is over target");
+    }
+
+    #[test]
+    fn error_rate_objective_counts_failures() {
+        let (clock, hub) = hub_with_clock();
+        let engine = SloEngine::new(vec![SloSpec::error_rate("success", 0.99)]);
+        for i in 0..100 {
+            complete(
+                &hub,
+                FunctionId::from_u128(1),
+                clock.now(),
+                Duration::from_millis(5),
+                i % 10 != 0,
+            );
+        }
+        let o = &engine.report(&hub)[0];
+        // 10% failures against a 1% budget: 10× burn.
+        assert!(o.burning, "{o:?}");
+        assert!((o.burn_fast - 10.0).abs() < 0.5, "{}", o.burn_fast);
+        assert_eq!(o.budget_remaining, 0.0);
+    }
+
+    #[test]
+    fn burning_requires_both_windows() {
+        let (clock, hub) = hub_with_clock();
+        let spec = SloSpec {
+            fast_window: Duration::from_secs(60),
+            slow_window: Duration::from_secs(3600),
+            ..SloSpec::latency("total", SloStation::Total, Duration::from_millis(150), 0.95)
+        };
+        let engine = SloEngine::new(vec![spec]);
+        // An old burst of slowness that has left the fast window but not the
+        // slow one: not burning (the fast window is clean).
+        for _ in 0..20 {
+            complete(&hub, FunctionId::from_u128(1), clock.now(), Duration::from_secs(2), true);
+        }
+        clock.advance(Duration::from_secs(600));
+        for _ in 0..20 {
+            complete(&hub, FunctionId::from_u128(1), clock.now(), Duration::from_millis(5), true);
+        }
+        let o = &engine.report(&hub)[0];
+        assert!(!o.burning, "fast window recovered: {o:?}");
+        assert!(o.burn_slow > 1.0, "slow window still remembers the burst");
+    }
+
+    #[test]
+    fn default_slos_are_sane() {
+        let specs = default_slos();
+        assert!(!specs.is_empty());
+        assert!(specs.iter().any(|s| s.per_function));
+        assert!(specs.iter().any(|s| matches!(s.kind, SloKind::ErrorRate)));
+        for s in &specs {
+            assert!(s.goal > 0.5 && s.goal < 1.0, "{}", s.name);
+            assert!(s.fast_window < s.slow_window, "{}", s.name);
+        }
+    }
+}

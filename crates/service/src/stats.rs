@@ -1,0 +1,479 @@
+//! Per-function / per-endpoint / per-user windowed aggregation tables.
+//!
+//! Figure 4 decomposes one task's latency into stations; these tables do the
+//! same for *populations* of tasks over trailing time windows, so "the
+//! service is slow" can be narrowed to "this one function regressed five
+//! minutes ago". Every task event (submit, memo hit, result, failure) is
+//! recorded three ways — under its function, its endpoint, and its
+//! submitting user — plus once into a service-wide aggregate.
+//!
+//! Each [`KeyStats`] entry holds windowed counters (submits, completions,
+//! errors, memo hits) and windowed per-station latency histograms fed from
+//! the task's [`TaskTimeline`](funcx_types::task::TaskTimeline). Reads merge
+//! the 1 m / 5 m / 1 h trailing windows; the SLO engine
+//! ([`crate::slo`]) evaluates its objectives over the same entries.
+//!
+//! Tables are bounded ([`ServiceConfig::stats_max_keys`]): past the cap, new
+//! keys fold into the service-wide aggregate only (counted by
+//! `funcx_stats_keys_dropped_total`), so a tenant minting unbounded
+//! functions cannot balloon service memory.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_telemetry::{Counter, WindowedCounter, WindowedHistogram};
+use funcx_types::task::TaskTimeline;
+use funcx_types::time::SharedClock;
+use funcx_types::{EndpointId, FunctionId, UserId};
+use parking_lot::RwLock;
+
+use crate::config::ServiceConfig;
+
+/// The named trailing windows every stats read reports.
+pub const WINDOWS: [(&str, Duration); 3] = [
+    ("1m", Duration::from_secs(60)),
+    ("5m", Duration::from_secs(300)),
+    ("1h", Duration::from_secs(3600)),
+];
+
+/// Windowed aggregates for one key (a function, endpoint, user, or the
+/// service itself).
+pub struct KeyStats {
+    /// Tasks accepted (memo hits included).
+    pub submits: WindowedCounter,
+    /// Tasks that reached a terminal state.
+    pub completions: WindowedCounter,
+    /// Terminal failures.
+    pub errors: WindowedCounter,
+    /// Submissions served from the memo cache.
+    pub memo_hits: WindowedCounter,
+    /// End-to-end latency (Figure 4's total).
+    pub latency: WindowedHistogram,
+    /// Station latencies: `ts` (service), `tf` (forwarder), `te`
+    /// (endpoint), `tw` (execution).
+    pub t_service: WindowedHistogram,
+    pub t_forwarder: WindowedHistogram,
+    pub t_endpoint: WindowedHistogram,
+    pub t_exec: WindowedHistogram,
+}
+
+impl KeyStats {
+    fn new(clock: &SharedClock, frame: Duration, frames: usize) -> Arc<KeyStats> {
+        let counter = || WindowedCounter::new(Arc::clone(clock), frame, frames);
+        let histogram = || WindowedHistogram::new(Arc::clone(clock), frame, frames);
+        Arc::new(KeyStats {
+            submits: counter(),
+            completions: counter(),
+            errors: counter(),
+            memo_hits: counter(),
+            latency: histogram(),
+            t_service: histogram(),
+            t_forwarder: histogram(),
+            t_endpoint: histogram(),
+            t_exec: histogram(),
+        })
+    }
+
+    /// Record a terminal result with its timeline stations. Failures count
+    /// toward `errors`; a failed task usually has a partial timeline, and
+    /// only the stations it actually reached are recorded.
+    pub fn on_result(&self, timeline: &TaskTimeline, success: bool) {
+        self.completions.inc();
+        if !success {
+            self.errors.inc();
+        }
+        if let Some(d) = timeline.total() {
+            self.latency.record(d);
+        }
+        if let Some(d) = timeline.t_service() {
+            self.t_service.record(d);
+        }
+        if let Some(d) = timeline.t_forwarder() {
+            self.t_forwarder.record(d);
+        }
+        if let Some(d) = timeline.t_endpoint() {
+            self.t_endpoint.record(d);
+        }
+        if let Some(d) = timeline.t_exec() {
+            self.t_exec.record(d);
+        }
+    }
+
+    /// Error fraction of completions in `window` (`0.0` when idle).
+    pub fn error_rate(&self, window: Duration) -> f64 {
+        let completions = self.completions.count(window);
+        if completions == 0 {
+            return 0.0;
+        }
+        self.errors.count(window) as f64 / completions as f64
+    }
+
+    /// Memo-hit fraction of submissions in `window` (`0.0` when idle).
+    pub fn memo_hit_rate(&self, window: Duration) -> f64 {
+        let submits = self.submits.count(window);
+        if submits == 0 {
+            return 0.0;
+        }
+        self.memo_hits.count(window) as f64 / submits as f64
+    }
+}
+
+/// The aggregation tables: one [`KeyStats`] per active function, endpoint,
+/// and user, plus a service-wide aggregate. Entry creation takes the table's
+/// write lock once per new key; recording is lock-free after a read-locked
+/// handle lookup.
+pub struct StatsHub {
+    clock: SharedClock,
+    frame: Duration,
+    frames: usize,
+    max_keys: usize,
+    /// Service-wide aggregate — also the fallback sink once a table is full.
+    pub service: Arc<KeyStats>,
+    functions: RwLock<HashMap<FunctionId, Arc<KeyStats>>>,
+    endpoints: RwLock<HashMap<EndpointId, Arc<KeyStats>>>,
+    users: RwLock<HashMap<UserId, Arc<KeyStats>>>,
+    /// Recordings whose key was dropped because its table hit `max_keys`.
+    pub keys_dropped: Counter,
+}
+
+impl StatsHub {
+    /// A hub sized from the service config, on the deployment clock.
+    pub fn new(clock: SharedClock, config: &ServiceConfig, keys_dropped: Counter) -> Arc<StatsHub> {
+        let frame = config.stats_frame;
+        let frames = config.stats_frames;
+        Arc::new(StatsHub {
+            service: KeyStats::new(&clock, frame, frames),
+            functions: RwLock::new(HashMap::new()),
+            endpoints: RwLock::new(HashMap::new()),
+            users: RwLock::new(HashMap::new()),
+            max_keys: config.stats_max_keys,
+            clock,
+            frame,
+            frames,
+            keys_dropped,
+        })
+    }
+
+    fn entry<K: std::hash::Hash + Eq + Copy>(
+        &self,
+        table: &RwLock<HashMap<K, Arc<KeyStats>>>,
+        key: K,
+    ) -> Option<Arc<KeyStats>> {
+        if let Some(stats) = table.read().get(&key) {
+            return Some(Arc::clone(stats));
+        }
+        let mut table = table.write();
+        if let Some(stats) = table.get(&key) {
+            return Some(Arc::clone(stats));
+        }
+        if table.len() >= self.max_keys {
+            self.keys_dropped.inc();
+            return None;
+        }
+        let stats = KeyStats::new(&self.clock, self.frame, self.frames);
+        table.insert(key, Arc::clone(&stats));
+        Some(stats)
+    }
+
+    /// The function's entry, created on first use (`None` once the table is
+    /// at capacity).
+    pub fn function(&self, id: FunctionId) -> Option<Arc<KeyStats>> {
+        self.entry(&self.functions, id)
+    }
+
+    /// The endpoint's entry, created on first use.
+    pub fn endpoint(&self, id: EndpointId) -> Option<Arc<KeyStats>> {
+        self.entry(&self.endpoints, id)
+    }
+
+    /// The user's entry, created on first use.
+    pub fn user(&self, id: UserId) -> Option<Arc<KeyStats>> {
+        self.entry(&self.users, id)
+    }
+
+    /// The function's entry only if it already exists (reads must not mint
+    /// table entries for unknown ids).
+    pub fn function_existing(&self, id: FunctionId) -> Option<Arc<KeyStats>> {
+        self.functions.read().get(&id).cloned()
+    }
+
+    /// See [`StatsHub::function_existing`].
+    pub fn endpoint_existing(&self, id: EndpointId) -> Option<Arc<KeyStats>> {
+        self.endpoints.read().get(&id).cloned()
+    }
+
+    /// See [`StatsHub::function_existing`].
+    pub fn user_existing(&self, id: UserId) -> Option<Arc<KeyStats>> {
+        self.users.read().get(&id).cloned()
+    }
+
+    /// Function ids with an entry, sorted for deterministic listings.
+    pub fn function_ids(&self) -> Vec<FunctionId> {
+        let mut ids: Vec<FunctionId> = self.functions.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Apply `f` to every table entry the task touches, plus the
+    /// service-wide aggregate.
+    fn fan_out(
+        &self,
+        function: FunctionId,
+        endpoint: EndpointId,
+        user: UserId,
+        f: impl Fn(&KeyStats),
+    ) {
+        f(&self.service);
+        if let Some(stats) = self.function(function) {
+            f(&stats);
+        }
+        if let Some(stats) = self.endpoint(endpoint) {
+            f(&stats);
+        }
+        if let Some(stats) = self.user(user) {
+            f(&stats);
+        }
+    }
+
+    /// A task was accepted (Figure 3 steps 1–3).
+    pub fn on_submit(&self, function: FunctionId, endpoint: EndpointId, user: UserId) {
+        self.fan_out(function, endpoint, user, |stats| stats.submits.inc());
+    }
+
+    /// A submission completed from the memo cache (§4.7): a completion with
+    /// the service-side timeline only.
+    pub fn on_memo_hit(
+        &self,
+        function: FunctionId,
+        endpoint: EndpointId,
+        user: UserId,
+        timeline: &TaskTimeline,
+    ) {
+        self.fan_out(function, endpoint, user, |stats| {
+            stats.memo_hits.inc();
+            stats.on_result(timeline, true);
+        });
+    }
+
+    /// A task reached a terminal state with its timeline stamped.
+    pub fn on_result(
+        &self,
+        function: FunctionId,
+        endpoint: EndpointId,
+        user: UserId,
+        timeline: &TaskTimeline,
+        success: bool,
+    ) {
+        self.fan_out(function, endpoint, user, |stats| stats.on_result(timeline, success));
+    }
+}
+
+// ---- JSON surfaces (`GET /v1/stats/...`) --------------------------------
+
+/// One windowed histogram as JSON: count, rate, and interpolated quantiles
+/// in float milliseconds (the units Figure 4 reports).
+fn histogram_json(hist: &WindowedHistogram, window: Duration) -> serde_json::Value {
+    let snap = hist.window(window);
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    serde_json::json!({
+        "count": snap.count,
+        "rate_per_sec": snap.rate_per_sec,
+        "mean_ms": ms(snap.mean),
+        "p50_ms": ms(snap.p50),
+        "p95_ms": ms(snap.p95),
+        "p99_ms": ms(snap.p99),
+    })
+}
+
+/// One key's aggregates over one trailing window.
+fn window_json(stats: &KeyStats, window: Duration) -> serde_json::Value {
+    serde_json::json!({
+        "submits": stats.submits.count(window),
+        "submit_rate_per_sec": stats.submits.rate_per_sec(window),
+        "completions": stats.completions.count(window),
+        "errors": stats.errors.count(window),
+        "error_rate": stats.error_rate(window),
+        "memo_hits": stats.memo_hits.count(window),
+        "memo_hit_rate": stats.memo_hit_rate(window),
+        "latency": histogram_json(&stats.latency, window),
+        "t_service": histogram_json(&stats.t_service, window),
+        "t_forwarder": histogram_json(&stats.t_forwarder, window),
+        "t_endpoint": histogram_json(&stats.t_endpoint, window),
+        "t_exec": histogram_json(&stats.t_exec, window),
+    })
+}
+
+/// One key's aggregates over every named window ([`WINDOWS`]) plus lifetime
+/// totals (cumulative, never decaying).
+pub fn key_stats_json(stats: &KeyStats) -> serde_json::Value {
+    let windows: serde_json::Map<String, serde_json::Value> = WINDOWS
+        .iter()
+        .map(|&(name, window)| (name.to_string(), window_json(stats, window)))
+        .collect();
+    serde_json::json!({
+        "windows": windows,
+        "lifetime": {
+            "submits": stats.submits.total(),
+            "completions": stats.completions.total(),
+            "errors": stats.errors.total(),
+            "memo_hits": stats.memo_hits.total(),
+        },
+    })
+}
+
+impl crate::service::FuncxService {
+    /// `GET /v1/stats/functions` — every active function's windowed
+    /// aggregates plus the service-wide aggregate, sorted by function id.
+    pub fn stats_functions_json(&self, bearer: &str) -> funcx_types::Result<serde_json::Value> {
+        self.charge_auth();
+        self.auth.authorize(bearer, funcx_auth::Scope::ViewTask)?;
+        let functions: Vec<serde_json::Value> = self
+            .stats
+            .function_ids()
+            .into_iter()
+            .filter_map(|id| {
+                self.stats.function_existing(id).map(|stats| {
+                    serde_json::json!({
+                        "function_id": id.to_string(),
+                        "stats": key_stats_json(&stats),
+                    })
+                })
+            })
+            .collect();
+        Ok(serde_json::json!({
+            "service": key_stats_json(&self.stats.service),
+            "functions": functions,
+        }))
+    }
+
+    /// `GET /v1/stats/functions/<id>` — one function's windowed aggregates.
+    pub fn stats_function_json(
+        &self,
+        bearer: &str,
+        id: FunctionId,
+    ) -> funcx_types::Result<serde_json::Value> {
+        self.charge_auth();
+        self.auth.authorize(bearer, funcx_auth::Scope::ViewTask)?;
+        let stats = self.stats.function_existing(id).ok_or_else(|| {
+            funcx_types::FuncxError::FunctionNotFound(format!("no stats for function {id}"))
+        })?;
+        Ok(serde_json::json!({
+            "function_id": id.to_string(),
+            "stats": key_stats_json(&stats),
+        }))
+    }
+
+    /// `GET /v1/stats/users/<id>` — one user's windowed aggregates. Callers
+    /// may read their own stats only; there is no cross-tenant view.
+    pub fn stats_user_json(
+        &self,
+        bearer: &str,
+        id: UserId,
+    ) -> funcx_types::Result<serde_json::Value> {
+        self.charge_auth();
+        let caller = self.auth.authorize(bearer, funcx_auth::Scope::ViewTask)?;
+        if caller != id {
+            return Err(funcx_types::FuncxError::Forbidden(
+                "stats are visible to the owning user only".into(),
+            ));
+        }
+        let stats = self
+            .stats
+            .user_existing(id)
+            .map(|stats| key_stats_json(&stats))
+            // No traffic yet: an all-zero report, not a 404 — the user exists.
+            .unwrap_or_else(|| {
+                key_stats_json(&KeyStats::new(&self.stats.clock, Duration::from_secs(1), 2))
+            });
+        Ok(serde_json::json!({
+            "user_id": id.to_string(),
+            "stats": stats,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::{Clock, ManualClock, VirtualInstant};
+
+    fn hub() -> (Arc<ManualClock>, Arc<StatsHub>) {
+        let clock = ManualClock::new();
+        let config = ServiceConfig {
+            stats_frame: Duration::from_secs(10),
+            stats_frames: 512,
+            ..ServiceConfig::default()
+        };
+        let hub = StatsHub::new(Arc::clone(&clock) as SharedClock, &config, Counter::standalone());
+        (clock, hub)
+    }
+
+    fn timeline_with_total(start: VirtualInstant, total: Duration) -> TaskTimeline {
+        TaskTimeline {
+            received: Some(start),
+            result_stored: Some(start + total),
+            ..TaskTimeline::default()
+        }
+    }
+
+    #[test]
+    fn events_fan_out_to_every_table_and_the_aggregate() {
+        let (clock, hub) = hub();
+        let (f, ep, u) = (FunctionId::from_u128(1), EndpointId::from_u128(2), UserId::from_u128(3));
+        hub.on_submit(f, ep, u);
+        let timeline = timeline_with_total(clock.now(), Duration::from_millis(20));
+        hub.on_result(f, ep, u, &timeline, true);
+
+        let minute = Duration::from_secs(60);
+        for stats in [
+            hub.service.clone(),
+            hub.function_existing(f).unwrap(),
+            hub.endpoint_existing(ep).unwrap(),
+            hub.user_existing(u).unwrap(),
+        ] {
+            assert_eq!(stats.submits.count(minute), 1);
+            assert_eq!(stats.completions.count(minute), 1);
+            assert_eq!(stats.errors.count(minute), 0);
+            assert_eq!(stats.latency.window(minute).count, 1);
+        }
+        assert_eq!(hub.function_ids(), vec![f]);
+        assert!(hub.function_existing(FunctionId::from_u128(9)).is_none());
+    }
+
+    #[test]
+    fn error_and_memo_rates() {
+        let (clock, hub) = hub();
+        let (f, ep, u) = (FunctionId::from_u128(1), EndpointId::from_u128(2), UserId::from_u128(3));
+        let minute = Duration::from_secs(60);
+        for _ in 0..4 {
+            hub.on_submit(f, ep, u);
+        }
+        let ok = timeline_with_total(clock.now(), Duration::from_millis(5));
+        hub.on_memo_hit(f, ep, u, &ok);
+        hub.on_result(f, ep, u, &ok, true);
+        hub.on_result(f, ep, u, &ok, false);
+        let stats = hub.function_existing(f).unwrap();
+        assert_eq!(stats.memo_hit_rate(minute), 0.25);
+        assert!((stats.error_rate(minute) - 1.0 / 3.0).abs() < 1e-9);
+        // Windows decay: an hour later the rates are clean again.
+        clock.advance(Duration::from_secs(3600));
+        assert_eq!(stats.error_rate(minute), 0.0);
+        assert_eq!(stats.submits.total(), 4, "cumulative view persists");
+    }
+
+    #[test]
+    fn tables_are_bounded_and_overflow_counts() {
+        let clock = ManualClock::new();
+        let config = ServiceConfig { stats_max_keys: 2, ..ServiceConfig::default() };
+        let dropped = Counter::standalone();
+        let hub = StatsHub::new(Arc::clone(&clock) as SharedClock, &config, dropped.clone());
+        for i in 0..5u128 {
+            hub.on_submit(FunctionId::from_u128(i), EndpointId::from_u128(7), UserId::from_u128(8));
+        }
+        assert_eq!(hub.function_ids().len(), 2, "table capped");
+        assert_eq!(dropped.get(), 3, "overflow keys counted");
+        let minute = Duration::from_secs(60);
+        assert_eq!(hub.service.submits.count(minute), 5, "aggregate still sees everything");
+    }
+}

@@ -11,6 +11,10 @@
 //!   registration takes a lock once, the hot path is a single atomic op.
 //!   [`MetricsRegistry::render_prometheus`] renders the whole registry in
 //!   the Prometheus text exposition format with no external dependencies.
+//! * [`WindowedHistogram`] / [`WindowedCounter`] — the same lock-free
+//!   recording discipline over a ring of time-bucketed frames, mergeable
+//!   across arbitrary trailing windows (1 m / 5 m / 1 h), so "what does
+//!   latency look like *now*" is answerable without restarting counters.
 //! * [`TraceRing`] — a bounded ring buffer of structured events stamped
 //!   with the shared virtual clock, so lifecycle traces line up with task
 //!   timelines under both `RealClock` and the test `ManualClock`.
@@ -24,7 +28,9 @@
 pub mod log;
 pub mod registry;
 pub mod trace;
+pub mod window;
 
 pub use log::{LogLevel, SpanScope};
-pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
+pub use registry::{Counter, FloatGauge, Gauge, Histogram, HistogramSnapshot, MetricsRegistry};
 pub use trace::{TraceEvent, TraceRing};
+pub use window::{WindowSnapshot, WindowedCounter, WindowedHistogram};

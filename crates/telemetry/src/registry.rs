@@ -17,7 +17,7 @@ use parking_lot::RwLock;
 /// Number of log2 latency buckets: bucket `i` holds observations with
 /// `nanos <= 2^i` (and above the previous bucket's bound). 64 buckets cover
 /// 1 ns through ~292 years — every latency this system can produce.
-const BUCKETS: usize = 64;
+pub(crate) const BUCKETS: usize = 64;
 
 /// Monotonically increasing event count.
 #[derive(Clone, Debug, Default)]
@@ -79,6 +79,31 @@ impl Gauge {
     }
 }
 
+/// Gauge for fractional levels (SLO burn rates, budget fractions, uptime
+/// seconds). Stored as `f64` bits in an `AtomicU64`; same lock-free handle
+/// discipline as [`Gauge`].
+#[derive(Clone, Debug, Default)]
+pub struct FloatGauge(Arc<AtomicU64>);
+
+impl FloatGauge {
+    /// A standalone float gauge (see [`Counter::standalone`]).
+    pub fn standalone() -> FloatGauge {
+        FloatGauge::default()
+    }
+
+    /// Set the level. Non-finite values are stored as 0 so the Prometheus
+    /// exposition never emits `NaN`/`inf` sample lines.
+    pub fn set(&self, v: f64) {
+        let v = if v.is_finite() { v } else { 0.0 };
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
 struct HistogramInner {
     buckets: [AtomicU64; BUCKETS],
     sum_nanos: AtomicU64,
@@ -107,15 +132,15 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observations.
     pub sum: Duration,
-    /// Median (upper bucket bound).
+    /// Median (sub-bucket linear interpolation).
     pub p50: Duration,
-    /// 95th percentile (upper bucket bound).
+    /// 95th percentile (sub-bucket linear interpolation).
     pub p95: Duration,
-    /// 99th percentile (upper bucket bound).
+    /// 99th percentile (sub-bucket linear interpolation).
     pub p99: Duration,
 }
 
-fn bucket_index(nanos: u64) -> usize {
+pub(crate) fn bucket_index(nanos: u64) -> usize {
     if nanos <= 1 {
         0
     } else {
@@ -124,8 +149,68 @@ fn bucket_index(nanos: u64) -> usize {
     }
 }
 
-fn bucket_bound_nanos(idx: usize) -> u64 {
+pub(crate) fn bucket_bound_nanos(idx: usize) -> u64 {
     1u64 << idx.min(62)
+}
+
+/// Lower edge of bucket `idx` (exclusive): 0 for bucket 0, else the previous
+/// bucket's upper bound.
+pub(crate) fn bucket_lower_nanos(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        bucket_bound_nanos(idx - 1)
+    }
+}
+
+/// `q`-quantile over a loaded bucket array with sub-bucket linear
+/// interpolation. Log2 buckets are coarse at the top (the bucket containing
+/// 1 s spans 537 ms–1.07 s); returning the upper bound — as this registry
+/// did originally — overstates tail quantiles by up to 2×. Instead the
+/// target rank is located within its bucket and the value interpolated
+/// linearly between the bucket's edges, assuming observations spread
+/// uniformly inside the bucket. Shared by [`Histogram`] and the windowed
+/// merges in [`crate::window`].
+pub(crate) fn quantile_over(buckets: &[u64], count: u64, q: f64) -> Option<Duration> {
+    if count == 0 {
+        return None;
+    }
+    let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+    let mut cumulative = 0u64;
+    for (idx, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        let before = cumulative;
+        cumulative += n;
+        if cumulative >= target {
+            let lower = bucket_lower_nanos(idx) as f64;
+            let upper = bucket_bound_nanos(idx) as f64;
+            let frac = (target - before) as f64 / n as f64;
+            return Some(Duration::from_nanos((lower + frac * (upper - lower)).round() as u64));
+        }
+    }
+    Some(Duration::from_nanos(bucket_bound_nanos(BUCKETS - 1)))
+}
+
+/// Fraction of observations at or below `threshold`, with the threshold's
+/// own bucket apportioned linearly. Returns `(fraction, count)`; an empty
+/// array reports `(1.0, 0)` — no events means no violations. Backs the SLO
+/// engine's "share of tasks within target" math.
+pub(crate) fn fraction_within_over(buckets: &[u64], count: u64, threshold: Duration) -> (f64, u64) {
+    if count == 0 {
+        return (1.0, 0);
+    }
+    let t = threshold.as_nanos().min(u64::MAX as u128) as u64;
+    let t_idx = bucket_index(t);
+    let below: u64 = buckets.iter().take(t_idx).sum();
+    let in_bucket = buckets.get(t_idx).copied().unwrap_or(0);
+    let lower = bucket_lower_nanos(t_idx) as f64;
+    let upper = bucket_bound_nanos(t_idx) as f64;
+    let frac =
+        if upper > lower { ((t as f64 - lower) / (upper - lower)).clamp(0.0, 1.0) } else { 1.0 };
+    let good = below as f64 + frac * in_bucket as f64;
+    ((good / count as f64).clamp(0.0, 1.0), count)
 }
 
 impl Histogram {
@@ -147,22 +232,11 @@ impl Histogram {
         self.0.count.load(Ordering::Relaxed)
     }
 
-    /// Upper bucket bound containing the `q`-quantile (`0.0 < q <= 1.0`);
-    /// `None` when empty.
+    /// The `q`-quantile (`0.0 < q <= 1.0`) with sub-bucket linear
+    /// interpolation (see [`quantile_over`]); `None` when empty.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let count = self.count();
-        if count == 0 {
-            return None;
-        }
-        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
-        let mut cumulative = 0u64;
-        for (idx, bucket) in self.0.buckets.iter().enumerate() {
-            cumulative += bucket.load(Ordering::Relaxed);
-            if cumulative >= target {
-                return Some(Duration::from_nanos(bucket_bound_nanos(idx)));
-            }
-        }
-        Some(Duration::from_nanos(bucket_bound_nanos(BUCKETS - 1)))
+        let buckets: Vec<u64> = self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        quantile_over(&buckets, self.count(), q)
     }
 
     /// Count/sum/p50/p95/p99 in one pass.
@@ -240,6 +314,7 @@ pub struct MetricsRegistry {
     clock: SharedClock,
     counters: RwLock<BTreeMap<MetricKey, Counter>>,
     gauges: RwLock<BTreeMap<MetricKey, Gauge>>,
+    float_gauges: RwLock<BTreeMap<MetricKey, FloatGauge>>,
     histograms: RwLock<BTreeMap<MetricKey, Histogram>>,
 }
 
@@ -250,6 +325,7 @@ impl MetricsRegistry {
             clock,
             counters: RwLock::new(BTreeMap::new()),
             gauges: RwLock::new(BTreeMap::new()),
+            float_gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
         })
     }
@@ -269,6 +345,12 @@ impl MetricsRegistry {
         self.gauges.write().entry(metric_key(name, labels)).or_default().clone()
     }
 
+    /// Get or create a float gauge (fractional levels: burn rates, budget
+    /// fractions, uptime).
+    pub fn float_gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> FloatGauge {
+        self.float_gauges.write().entry(metric_key(name, labels)).or_default().clone()
+    }
+
     /// Get or create a histogram.
     pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Histogram {
         self.histograms.write().entry(metric_key(name, labels)).or_default().clone()
@@ -286,6 +368,15 @@ impl MetricsRegistry {
     /// Current value of a gauge, if registered.
     pub fn gauge_value(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Option<u64> {
         self.gauges.read().get(&metric_key(name, labels)).map(Gauge::get)
+    }
+
+    /// Current value of a float gauge, if registered.
+    pub fn float_gauge_value(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+    ) -> Option<f64> {
+        self.float_gauges.read().get(&metric_key(name, labels)).map(FloatGauge::get)
     }
 
     /// Snapshot of a histogram, if registered.
@@ -316,6 +407,14 @@ impl MetricsRegistry {
         }
         last_name = "";
         for (key, gauge) in self.gauges.read().iter() {
+            if key.name != last_name {
+                let _ = writeln!(out, "# TYPE {} gauge", key.name);
+                last_name = key.name;
+            }
+            let _ = writeln!(out, "{}{} {}", key.name, render_labels(&key.labels), gauge.get());
+        }
+        last_name = "";
+        for (key, gauge) in self.float_gauges.read().iter() {
             if key.name != last_name {
                 let _ = writeln!(out, "# TYPE {} gauge", key.name);
                 last_name = key.name;
@@ -393,9 +492,60 @@ mod tests {
         let snap = h.snapshot();
         assert_eq!(snap.count, 100);
         assert!(snap.p50 < Duration::from_millis(1), "median is fast: {:?}", snap.p50);
-        assert!(snap.p95 >= Duration::from_secs(1), "p95 lands in the slow tail");
+        // p95 lands in the slow tail's bucket (537 ms..1.07 s); interpolation
+        // places it inside the bucket rather than at the upper bound.
+        assert!(snap.p95 > Duration::from_millis(500), "p95 in the slow tail: {:?}", snap.p95);
         assert!(snap.p99 >= snap.p95);
         assert!(snap.sum >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // All 100 observations land in the (512, 1024] ns bucket, so every
+        // quantile is a pure interpolation over that bucket: rank r of 100
+        // maps to 512 + (r/100) * 512 ns. Pin exact values.
+        let h = Histogram::standalone();
+        for _ in 0..100 {
+            h.record(Duration::from_nanos(600));
+        }
+        assert_eq!(h.quantile(0.25), Some(Duration::from_nanos(640)));
+        assert_eq!(h.quantile(0.50), Some(Duration::from_nanos(768)));
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(1024)));
+
+        // A lone tail observation: p99 stays in the dense bucket, p100
+        // interpolates through the whole tail bucket to its upper bound.
+        h.record(Duration::from_secs(1));
+        assert_eq!(h.quantile(0.99), Some(Duration::from_nanos(1024)), "99/101 rank is dense");
+        assert_eq!(h.quantile(1.0), Some(Duration::from_nanos(1 << 30)));
+    }
+
+    #[test]
+    fn fraction_within_apportions_threshold_bucket() {
+        let mut buckets = vec![0u64; BUCKETS];
+        buckets[bucket_index(600)] = 100; // (512, 1024] ns
+                                          // Threshold at 768 ns sits halfway through the bucket: half good.
+        let (frac, n) = fraction_within_over(&buckets, 100, Duration::from_nanos(768));
+        assert_eq!(n, 100);
+        assert!((frac - 0.5).abs() < 1e-9, "{frac}");
+        // Threshold above the bucket: everything is good.
+        let (frac, _) = fraction_within_over(&buckets, 100, Duration::from_micros(10));
+        assert!((frac - 1.0).abs() < 1e-9, "{frac}");
+        // Empty histogram: no events, no violations.
+        assert_eq!(fraction_within_over(&[0; BUCKETS], 0, Duration::from_secs(1)), (1.0, 0));
+    }
+
+    #[test]
+    fn float_gauge_stores_fractions() {
+        let reg = registry();
+        let g = reg.float_gauge("funcx_slo_burn_rate", &[("slo", "total")]);
+        g.set(1.75);
+        assert_eq!(reg.float_gauge_value("funcx_slo_burn_rate", &[("slo", "total")]), Some(1.75));
+        g.set(f64::NAN);
+        assert_eq!(g.get(), 0.0, "non-finite values are sanitized");
+        g.set(0.25);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE funcx_slo_burn_rate gauge"), "{text}");
+        assert!(text.contains("funcx_slo_burn_rate{slo=\"total\"} 0.25"), "{text}");
     }
 
     #[test]

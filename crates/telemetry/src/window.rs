@@ -1,0 +1,390 @@
+//! Time-windowed metrics: ring-buffered histogram and counter frames.
+//!
+//! The cumulative [`Histogram`](crate::Histogram) answers "what has latency
+//! looked like since boot" — which hides a regression five minutes old under
+//! an hour of healthy traffic. [`WindowedHistogram`] and [`WindowedCounter`]
+//! answer "what does it look like *now*": observations land in a ring of
+//! fixed-duration frames stamped with the shared virtual clock, and reads
+//! merge the frames overlapping any trailing window (1 m / 5 m / 1 h or
+//! anything else up to the ring's coverage).
+//!
+//! # Write path
+//!
+//! Recording stays lock-free, matching the registry's discipline: the writer
+//! derives the current frame *epoch* (`now / frame`), indexes the ring at
+//! `epoch % frames`, and CAS-claims the slot if it still holds an older
+//! epoch — the CAS winner zeroes the slot, everyone else proceeds with plain
+//! relaxed atomic adds. Samples racing a frame rotation can land in the
+//! frame being recycled and be lost; that is at most a handful of events per
+//! frame boundary, which windowed statistics tolerate by construction.
+//!
+//! # Read path
+//!
+//! A read scans the ring once and merges every frame whose epoch overlaps
+//! `(now - window, now]`. Windows are therefore quantized to frame
+//! granularity: a 60 s window over 30 s frames merges two to three frames
+//! (the oldest only partially overlaps). Quantiles over the merged buckets
+//! use the same sub-bucket linear interpolation as the cumulative histogram.
+//!
+//! Coverage is `frame × frames`; asking for a longer window merges whatever
+//! is still resident (frames past coverage have been recycled).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_types::time::SharedClock;
+
+use crate::registry::{bucket_index, fraction_within_over, quantile_over, BUCKETS};
+
+/// One time slice of a windowed histogram: the epoch it currently holds plus
+/// the same log2 bucket layout as the cumulative histogram.
+struct HistFrame {
+    /// Frame sequence number (`record_time / frame_duration`) this slot's
+    /// data belongs to. Slot `epoch % frames` holds it until recycled.
+    epoch: AtomicU64,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    buckets: Box<[AtomicU64]>,
+}
+
+impl HistFrame {
+    fn new() -> HistFrame {
+        HistFrame {
+            epoch: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_nanos.store(0, Ordering::Relaxed);
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+struct WindowedHistogramInner {
+    clock: SharedClock,
+    frame_nanos: u64,
+    frames: Vec<HistFrame>,
+}
+
+/// Merged view of a trailing window: count, sum, interpolated quantiles,
+/// and the completion rate over the window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSnapshot {
+    /// The trailing window that was merged.
+    pub window: Duration,
+    /// Observations within the window.
+    pub count: u64,
+    /// Sum of observations within the window.
+    pub sum: Duration,
+    /// Mean observation (zero when empty).
+    pub mean: Duration,
+    /// Median (sub-bucket linear interpolation).
+    pub p50: Duration,
+    /// 95th percentile.
+    pub p95: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Observations per second of window.
+    pub rate_per_sec: f64,
+}
+
+/// Log-bucketed latency histogram over trailing time windows. Cloning
+/// shares state, like every registry handle.
+#[derive(Clone)]
+pub struct WindowedHistogram(Arc<WindowedHistogramInner>);
+
+impl WindowedHistogram {
+    /// A windowed histogram with `frames` slices of `frame` each; coverage
+    /// is their product. `frame` must be non-zero and `frames >= 2`.
+    pub fn new(clock: SharedClock, frame: Duration, frames: usize) -> WindowedHistogram {
+        assert!(!frame.is_zero(), "frame duration must be non-zero");
+        assert!(frames >= 2, "need at least two frames");
+        WindowedHistogram(Arc::new(WindowedHistogramInner {
+            clock,
+            frame_nanos: frame.as_nanos().min(u64::MAX as u128) as u64,
+            frames: (0..frames).map(|_| HistFrame::new()).collect(),
+        }))
+    }
+
+    /// Total coverage of the ring.
+    pub fn coverage(&self) -> Duration {
+        Duration::from_nanos(self.0.frame_nanos.saturating_mul(self.0.frames.len() as u64))
+    }
+
+    /// Claim the frame slot for the current epoch, recycling it if it still
+    /// holds an older epoch's data.
+    fn current_frame(&self) -> &HistFrame {
+        let epoch = self.0.clock.now().as_nanos() / self.0.frame_nanos;
+        let frame = &self.0.frames[(epoch % self.0.frames.len() as u64) as usize];
+        let held = frame.epoch.load(Ordering::Acquire);
+        if held != epoch
+            && frame
+                .epoch
+                .compare_exchange(held, epoch, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            frame.reset();
+        }
+        frame
+    }
+
+    /// Record one observation into the current frame.
+    pub fn record(&self, d: Duration) {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        let frame = self.current_frame();
+        frame.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        frame.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        frame.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Merge the frames overlapping the trailing `window` into one bucket
+    /// array. Returns `(buckets, count, sum_nanos)`.
+    fn merge(&self, window: Duration) -> (Vec<u64>, u64, u64) {
+        let now = self.0.clock.now().as_nanos();
+        let now_epoch = now / self.0.frame_nanos;
+        let window_nanos = window.as_nanos().min(u64::MAX as u128) as u64;
+        let min_epoch = now.saturating_sub(window_nanos) / self.0.frame_nanos;
+        let mut buckets = vec![0u64; BUCKETS];
+        let mut count = 0u64;
+        let mut sum = 0u64;
+        for frame in &self.0.frames {
+            let epoch = frame.epoch.load(Ordering::Acquire);
+            if epoch < min_epoch || epoch > now_epoch {
+                continue;
+            }
+            count += frame.count.load(Ordering::Relaxed);
+            sum += frame.sum_nanos.load(Ordering::Relaxed);
+            for (acc, b) in buckets.iter_mut().zip(frame.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+        }
+        (buckets, count, sum)
+    }
+
+    /// Snapshot of the trailing `window`.
+    pub fn window(&self, window: Duration) -> WindowSnapshot {
+        let (buckets, count, sum) = self.merge(window);
+        let q = |q| quantile_over(&buckets, count, q).unwrap_or(Duration::ZERO);
+        WindowSnapshot {
+            window,
+            count,
+            sum: Duration::from_nanos(sum),
+            mean: Duration::from_nanos(sum.checked_div(count).unwrap_or(0)),
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            rate_per_sec: count as f64 / window.as_secs_f64().max(f64::EPSILON),
+        }
+    }
+
+    /// `(fraction of observations ≤ threshold, observations)` over the
+    /// trailing `window`; `(1.0, 0)` when the window is empty. The SLO
+    /// engine's good-event ratio.
+    pub fn fraction_within(&self, window: Duration, threshold: Duration) -> (f64, u64) {
+        let (buckets, count, _) = self.merge(window);
+        fraction_within_over(&buckets, count, threshold)
+    }
+}
+
+/// One time slice of a windowed counter.
+struct CountFrame {
+    epoch: AtomicU64,
+    count: AtomicU64,
+}
+
+struct WindowedCounterInner {
+    clock: SharedClock,
+    frame_nanos: u64,
+    frames: Vec<CountFrame>,
+    /// Cumulative total since creation — windowing never loses the
+    /// since-boot view.
+    total: AtomicU64,
+}
+
+/// Event counter with per-window rates. Same frame ring as
+/// [`WindowedHistogram`], plus a cumulative total.
+#[derive(Clone)]
+pub struct WindowedCounter(Arc<WindowedCounterInner>);
+
+impl WindowedCounter {
+    /// A windowed counter with `frames` slices of `frame` each.
+    pub fn new(clock: SharedClock, frame: Duration, frames: usize) -> WindowedCounter {
+        assert!(!frame.is_zero(), "frame duration must be non-zero");
+        assert!(frames >= 2, "need at least two frames");
+        WindowedCounter(Arc::new(WindowedCounterInner {
+            clock,
+            frame_nanos: frame.as_nanos().min(u64::MAX as u128) as u64,
+            frames: (0..frames)
+                .map(|_| CountFrame { epoch: AtomicU64::new(0), count: AtomicU64::new(0) })
+                .collect(),
+            total: AtomicU64::new(0),
+        }))
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n` to the current frame and the cumulative total.
+    pub fn add(&self, n: u64) {
+        let epoch = self.0.clock.now().as_nanos() / self.0.frame_nanos;
+        let frame = &self.0.frames[(epoch % self.0.frames.len() as u64) as usize];
+        let held = frame.epoch.load(Ordering::Acquire);
+        if held != epoch
+            && frame
+                .epoch
+                .compare_exchange(held, epoch, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            frame.count.store(0, Ordering::Relaxed);
+        }
+        frame.count.fetch_add(n, Ordering::Relaxed);
+        self.0.total.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Cumulative count since creation.
+    pub fn total(&self) -> u64 {
+        self.0.total.load(Ordering::Relaxed)
+    }
+
+    /// Events within the trailing `window`.
+    pub fn count(&self, window: Duration) -> u64 {
+        let now = self.0.clock.now().as_nanos();
+        let now_epoch = now / self.0.frame_nanos;
+        let window_nanos = window.as_nanos().min(u64::MAX as u128) as u64;
+        let min_epoch = now.saturating_sub(window_nanos) / self.0.frame_nanos;
+        self.0
+            .frames
+            .iter()
+            .filter(|f| {
+                let e = f.epoch.load(Ordering::Acquire);
+                e >= min_epoch && e <= now_epoch
+            })
+            .map(|f| f.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Events per second over the trailing `window` (rate of change).
+    pub fn rate_per_sec(&self, window: Duration) -> f64 {
+        self.count(window) as f64 / window.as_secs_f64().max(f64::EPSILON)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+
+    const MIN: Duration = Duration::from_secs(60);
+
+    #[test]
+    fn counter_rates_decay_but_total_persists() {
+        let clock = ManualClock::new();
+        let c = WindowedCounter::new(clock.clone(), Duration::from_secs(10), 30);
+        for _ in 0..60 {
+            c.inc();
+            clock.advance(Duration::from_secs(1));
+        }
+        // 60 events over the last 60 s → 1/s; total matches.
+        assert_eq!(c.count(MIN), 60);
+        assert!((c.rate_per_sec(MIN) - 1.0).abs() < 1e-9);
+        assert_eq!(c.total(), 60);
+
+        clock.advance(Duration::from_secs(120));
+        assert_eq!(c.count(MIN), 0, "window has moved past all events");
+        assert_eq!(c.rate_per_sec(MIN), 0.0);
+        assert_eq!(c.total(), 60, "cumulative total never decays");
+    }
+
+    #[test]
+    fn histogram_windows_separate_old_from_new() {
+        let clock = ManualClock::new();
+        let h = WindowedHistogram::new(clock.clone(), Duration::from_secs(30), 128);
+        assert_eq!(h.coverage(), Duration::from_secs(30 * 128));
+
+        // Healthy baseline: 10 ms observations, 10 minutes ago.
+        for _ in 0..100 {
+            h.record(Duration::from_millis(10));
+        }
+        clock.advance(Duration::from_secs(600));
+        // Regression: 2 s observations just now.
+        for _ in 0..50 {
+            h.record(Duration::from_secs(2));
+        }
+
+        let recent = h.window(Duration::from_secs(300));
+        assert_eq!(recent.count, 50, "5m window sees only the regression");
+        assert!(recent.p50 > Duration::from_secs(1), "{:?}", recent.p50);
+
+        let hour = h.window(Duration::from_secs(3600));
+        assert_eq!(hour.count, 150, "1h window still holds the baseline");
+        assert!(hour.p50 < Duration::from_millis(20), "{:?}", hour.p50);
+        assert!(hour.p99 > Duration::from_secs(1), "{:?}", hour.p99);
+        assert_eq!(hour.sum, Duration::from_millis(100 * 10 + 50 * 2000));
+        assert_eq!(hour.mean, Duration::from_nanos(hour.sum.as_nanos() as u64 / 150));
+    }
+
+    #[test]
+    fn merged_quantiles_interpolate() {
+        let clock = ManualClock::new();
+        let h = WindowedHistogram::new(clock.clone(), Duration::from_secs(10), 12);
+        // Spread across two frames; merged result must still pin the
+        // interpolated value (all observations share one bucket).
+        for _ in 0..50 {
+            h.record(Duration::from_nanos(600));
+        }
+        clock.advance(Duration::from_secs(10));
+        for _ in 0..50 {
+            h.record(Duration::from_nanos(600));
+        }
+        let snap = h.window(MIN);
+        assert_eq!(snap.count, 100);
+        assert_eq!(snap.p50, Duration::from_nanos(768), "rank 50 of 100 in (512,1024]");
+    }
+
+    #[test]
+    fn ring_recycles_slots_for_new_epochs() {
+        let clock = ManualClock::new();
+        let h = WindowedHistogram::new(clock.clone(), Duration::from_secs(1), 4);
+        h.record(Duration::from_millis(1)); // epoch 0, slot 0
+        clock.advance(Duration::from_secs(4)); // epoch 4 → same slot 0
+        h.record(Duration::from_millis(5));
+        let snap = h.window(Duration::from_secs(1));
+        assert_eq!(snap.count, 1, "recycled slot must not leak epoch-0 data");
+        assert_eq!(h.window(Duration::from_secs(3600)).count, 1, "old frame was overwritten");
+    }
+
+    #[test]
+    fn fraction_within_windows() {
+        let clock = ManualClock::new();
+        let h = WindowedHistogram::new(clock.clone(), Duration::from_secs(10), 12);
+        assert_eq!(h.fraction_within(MIN, Duration::from_millis(100)), (1.0, 0), "empty = clean");
+        for _ in 0..90 {
+            h.record(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_secs(10));
+        }
+        let (frac, n) = h.fraction_within(MIN, Duration::from_millis(100));
+        assert_eq!(n, 100);
+        assert!((frac - 0.9).abs() < 0.05, "≈90% within 100ms: {frac}");
+    }
+
+    #[test]
+    fn empty_window_snapshot_is_zeroed() {
+        let clock = ManualClock::new();
+        let h = WindowedHistogram::new(clock, Duration::from_secs(10), 12);
+        let snap = h.window(MIN);
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p99, Duration::ZERO);
+        assert_eq!(snap.rate_per_sec, 0.0);
+    }
+}

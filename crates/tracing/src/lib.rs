@@ -435,7 +435,7 @@ impl TraceStore {
     pub fn slowest_json(&self, n: usize) -> Json {
         let inner = self.inner.lock();
         let mut summaries: Vec<(&TraceId, &TraceEntry)> = inner.retained.iter().collect();
-        summaries.sort_by(|a, b| b.1.duration.cmp(&a.1.duration));
+        summaries.sort_by_key(|(_, entry)| std::cmp::Reverse(entry.duration));
         let traces: Vec<Json> = summaries
             .into_iter()
             .take(n)

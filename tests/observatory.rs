@@ -1,0 +1,168 @@
+//! Integration: the performance observatory end to end.
+//!
+//! The acceptance scenario: inject a per-function latency regression and
+//! watch the observatory isolate it — the regressed function's `/v1/slo`
+//! objective flips to burning within one fast window while the healthy
+//! function's stays ok, and `/v1/stats/functions` pins the latency to the
+//! offender. All assertions drive the service's own JSON surfaces (what
+//! the REST routes serve), so the wire shapes are what is being pinned.
+
+use std::time::Duration;
+
+use funcx::deploy::TestBedBuilder;
+use funcx::prelude::*;
+use funcx_service::slo::{SloSpec, SloStation};
+
+/// The per-function objective under test: 90% of completions must finish
+/// end-to-end within 60 virtual seconds. Windows are wide enough that the
+/// whole test's virtual elapsed time (~4–5 virtual minutes at the default
+/// 1000× speedup) fits inside ONE fast window — so the regression must be
+/// visible without any slow-window history.
+fn objective() -> SloSpec {
+    SloSpec {
+        fast_window: Duration::from_secs(600),
+        slow_window: Duration::from_secs(2400),
+        ..SloSpec::latency("fn_total_latency", SloStation::Total, Duration::from_secs(60), 0.9)
+    }
+    .per_function()
+}
+
+/// Find the per-function sub-objective for `function` in a `/v1/slo` body.
+fn objective_for<'a>(slo: &'a serde_json::Value, function: &str) -> Option<&'a serde_json::Value> {
+    slo["objectives"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .find(|o| o["name"] == "fn_total_latency" && o["function_id"].as_str() == Some(function))
+}
+
+#[test]
+fn latency_regression_burns_its_slo_and_stats_isolate_the_offender() {
+    let mut bed =
+        TestBedBuilder::new().managers(1).workers_per_manager(4).slos(vec![objective()]).build();
+
+    let quick = bed.client.register_function("def quick(x):\n    return x + 1\n", "quick").unwrap();
+    // The injected regression: every invocation sleeps 120 virtual seconds,
+    // double the 60 s objective target — a 100% bad-event rate.
+    let slow = bed
+        .client
+        .register_function("def slow(x):\n    sleep(120)\n    return x\n", "slow")
+        .unwrap();
+
+    // Healthy traffic first, then the regressed function's.
+    for i in 0..6 {
+        let t = bed.client.run(quick, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap();
+        assert_eq!(bed.client.get_result(t, Duration::from_secs(60)).unwrap(), Value::Int(i + 1));
+    }
+    let slow_tasks: Vec<_> = (0..8)
+        .map(|i| bed.client.run(slow, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap())
+        .collect();
+    bed.client.get_results(&slow_tasks, Duration::from_secs(120)).unwrap();
+
+    // (a) /v1/slo: the regressed function's objective is burning; the
+    // healthy one's is not; the report totals agree.
+    let slo = bed.service.slo_json(&bed.token).unwrap();
+    let slow_obj = objective_for(&slo, &slow.to_string())
+        .unwrap_or_else(|| panic!("no objective for the slow function: {slo:?}"));
+    assert_eq!(slow_obj["status"].as_str(), Some("burning"), "{slow_obj:?}");
+    assert!(slow_obj["burn_fast"].as_f64().unwrap() >= 1.0, "{slow_obj:?}");
+    assert!(slow_obj["events_fast"].as_u64().unwrap() >= 8, "{slow_obj:?}");
+    assert!(slow_obj["budget_remaining"].as_f64().unwrap() < 1.0, "{slow_obj:?}");
+    let quick_obj = objective_for(&slo, &quick.to_string())
+        .unwrap_or_else(|| panic!("no objective for the quick function: {slo:?}"));
+    assert_eq!(quick_obj["status"].as_str(), Some("ok"), "{quick_obj:?}");
+    assert_eq!(quick_obj["burn_fast"].as_f64(), Some(0.0), "{quick_obj:?}");
+    assert!(slo["burning"].as_u64().unwrap() >= 1, "{slo:?}");
+    // The service-wide parent objective exists too (function_id null).
+    assert!(
+        slo["objectives"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|o| o["name"] == "fn_total_latency" && o["function_id"].is_null()),
+        "{slo:?}"
+    );
+
+    // (b) /v1/stats/functions: the windowed tables isolate the latency to
+    // the slow function — its p50 sits beyond the sleep, the quick one's
+    // far under the target.
+    let stats = bed.service.stats_functions_json(&bed.token).unwrap();
+    let entry = |f: &str| {
+        stats["functions"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e["function_id"].as_str() == Some(f))
+            .unwrap_or_else(|| panic!("no stats entry for {f}: {stats:?}"))
+            .clone()
+    };
+    let slow_1h = entry(&slow.to_string())["stats"]["windows"]["1h"].clone();
+    let quick_1h = entry(&quick.to_string())["stats"]["windows"]["1h"].clone();
+    assert_eq!(slow_1h["submits"].as_u64(), Some(8), "{slow_1h:?}");
+    assert_eq!(slow_1h["completions"].as_u64(), Some(8), "{slow_1h:?}");
+    assert_eq!(quick_1h["completions"].as_u64(), Some(6), "{quick_1h:?}");
+    // Quantiles come from exponential-bucket sketches, so compare against
+    // the 60 s objective target with headroom rather than the exact sleep.
+    let slow_p50 = slow_1h["latency"]["p50_ms"].as_f64().unwrap();
+    let quick_p50 = quick_1h["latency"]["p50_ms"].as_f64().unwrap();
+    assert!(slow_p50 > 90_000.0, "slow p50 {slow_p50} ms not clearly over the 60 s target");
+    assert!(quick_p50 < 60_000.0, "quick p50 {quick_p50} ms violates the target itself");
+    assert!(
+        slow_p50 > 10.0 * quick_p50,
+        "stats fail to isolate the offender: slow {slow_p50} vs quick {quick_p50}"
+    );
+    // The exec station pins the regression to execution, not the fabric.
+    let slow_exec = slow_1h["t_exec"]["p50_ms"].as_f64().unwrap();
+    assert!(slow_exec > 90_000.0, "t_exec p50 {slow_exec} ms misses the sleep");
+
+    // (c) The Prometheus scrape carries the burn-rate gauges with the
+    // function label, plus the build/uptime satellites.
+    let scrape = bed.service.render_metrics();
+    let slow_label = format!("function=\"{slow}\"");
+    let burn_line = scrape
+        .lines()
+        .find(|l| {
+            l.starts_with("funcx_slo_burn_rate")
+                && l.contains("slo=\"fn_total_latency\"")
+                && l.contains(&slow_label)
+        })
+        .unwrap_or_else(|| panic!("no burn-rate gauge for the slow function:\n{scrape}"));
+    let burn: f64 = burn_line.rsplit(' ').next().unwrap().parse().unwrap();
+    assert!(burn >= 1.0, "exported burn rate {burn} disagrees with /v1/slo");
+    assert!(scrape.contains("funcx_slo_budget_remaining"), "{scrape}");
+    assert!(scrape.contains("funcx_build_info"), "{scrape}");
+    assert!(scrape.contains("funcx_uptime_seconds"), "{scrape}");
+
+    bed.shutdown();
+}
+
+#[test]
+fn per_user_stats_are_private_and_endpoint_status_carries_windows() {
+    let mut bed = TestBedBuilder::new().managers(1).workers_per_manager(2).build();
+    let f = bed.client.register_function("def f(x):\n    return x\n", "f").unwrap();
+    for i in 0..3 {
+        let t = bed.client.run(f, bed.endpoint_id, vec![Value::Int(i)], vec![]).unwrap();
+        bed.client.get_result(t, Duration::from_secs(60)).unwrap();
+    }
+
+    // The owner sees their own windowed aggregates...
+    let me = bed.service.auth.authorize(&bed.token, funcx_auth::Scope::ViewTask).unwrap();
+    let mine = bed.service.stats_user_json(&bed.token, me).unwrap();
+    assert_eq!(mine["stats"]["windows"]["1h"]["completions"].as_u64(), Some(3), "{mine:?}");
+    // ...but nobody else's.
+    let err =
+        bed.service.stats_user_json(&bed.token, funcx_types::UserId::from_u128(999)).unwrap_err();
+    assert!(matches!(err, FuncxError::Forbidden(_)), "{err:?}");
+
+    // The per-endpoint table (what endpoint status embeds as `"stats"`)
+    // carries the same windowed shape for the endpoint's own traffic.
+    let ep_stats = bed
+        .service
+        .stats
+        .endpoint_existing(bed.endpoint_id)
+        .expect("endpoint stats entry exists after traffic");
+    let ep = funcx_service::stats::key_stats_json(&ep_stats);
+    assert_eq!(ep["windows"]["1h"]["completions"].as_u64(), Some(3), "{ep:?}");
+    assert_eq!(ep["lifetime"]["submits"].as_u64(), Some(3), "{ep:?}");
+    bed.shutdown();
+}
