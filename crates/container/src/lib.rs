@@ -12,14 +12,17 @@
 //! calibrated to Table 2's min/mean/max, charged against the virtual
 //! clock — which preserves precisely the behaviour funcX's warming
 //! optimization exists to avoid. [`warming`] implements the warm pool with
-//! its 5–10-minute TTL; [`image`] is the image registry; [`tech`] the
-//! technology/system taxonomy.
+//! its 5–10-minute TTL; [`engine`] layers a snapshot cache, COW clones,
+//! and a predictive pre-warmer on top of it; [`image`] is the image
+//! registry; [`tech`] the technology/system taxonomy.
 
+pub mod engine;
 pub mod image;
 pub mod runtime;
 pub mod tech;
 pub mod warming;
 
+pub use engine::{AcquireTier, Lease, WarmStartConfig, WarmStartEngine, WarmStartStats};
 pub use image::{ContainerImage, ImageRegistry};
 pub use runtime::{ColdStartModel, ContainerInstance, ContainerRuntime};
 pub use tech::{ContainerTech, SystemProfile};

@@ -89,6 +89,7 @@ pub struct ContainerRuntime {
     rng: Mutex<StdRng>,
     next_instance: AtomicU64,
     cold_starts: AtomicU64,
+    clone_starts: AtomicU64,
     /// When true, instantiation occasionally fails (§2 notes HPC centers
     /// "may place limitations on the number of concurrent requests").
     failure_rate: Mutex<f64>,
@@ -103,6 +104,7 @@ impl ContainerRuntime {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             next_instance: AtomicU64::new(0),
             cold_starts: AtomicU64::new(0),
+            clone_starts: AtomicU64::new(0),
             failure_rate: Mutex::new(0.0),
         })
     }
@@ -120,6 +122,21 @@ impl ContainerRuntime {
     /// Cold-start a container: samples the Table 2 model, sleeps that much
     /// virtual time, and returns the instance.
     pub fn start(&self, image: ContainerImageId, tech: ContainerTech) -> Result<ContainerInstance> {
+        let (result, delay) = self.start_uncharged(image, tech);
+        self.clock.sleep(delay);
+        result
+    }
+
+    /// Sample a cold start *without* sleeping: returns the outcome and the
+    /// virtual duration the start costs. The warm-start engine uses this to
+    /// account cost deterministically (a DES bench on the manual clock
+    /// cannot sleep, and charging background pre-warm work to the caller's
+    /// clock would be wrong); [`start`](Self::start) is the charged form.
+    pub fn start_uncharged(
+        &self,
+        image: ContainerImageId,
+        tech: ContainerTech,
+    ) -> (Result<ContainerInstance>, Duration) {
         let (delay, fail) = {
             let mut rng = self.rng.lock();
             let model = ColdStartModel::for_pair(self.system, tech);
@@ -127,26 +144,59 @@ impl ContainerRuntime {
             let fail = rng.gen_bool(*self.failure_rate.lock());
             (delay, fail)
         };
-        self.clock.sleep(delay);
         if fail {
-            return Err(FuncxError::ContainerFailed(format!(
-                "{} instantiation rejected by {}",
-                tech.name(),
-                self.system.name()
-            )));
+            return (
+                Err(FuncxError::ContainerFailed(format!(
+                    "{} instantiation rejected by {}",
+                    tech.name(),
+                    self.system.name()
+                ))),
+                delay,
+            );
         }
         self.cold_starts.fetch_add(1, Ordering::Relaxed);
-        Ok(ContainerInstance {
+        let instance = ContainerInstance {
             instance: self.next_instance.fetch_add(1, Ordering::Relaxed),
             image,
             tech,
-        })
+        };
+        (Ok(instance), delay)
+    }
+
+    /// Mint a copy-on-write clone from an initialized snapshot: a fresh
+    /// instance at `fraction` of a sampled cold-start cost. Cloning is
+    /// exempt from failure injection — it touches neither the shared
+    /// filesystem nor the batch scheduler, which is where Table 2's cost
+    /// (and §2's concurrency limits) live.
+    pub fn clone_uncharged(
+        &self,
+        image: ContainerImageId,
+        tech: ContainerTech,
+        fraction: f64,
+    ) -> (ContainerInstance, Duration) {
+        let delay = {
+            let mut rng = self.rng.lock();
+            let model = ColdStartModel::for_pair(self.system, tech);
+            model.sample(&mut *rng).mul_f64(fraction.clamp(0.0, 1.0))
+        };
+        self.clone_starts.fetch_add(1, Ordering::Relaxed);
+        let instance = ContainerInstance {
+            instance: self.next_instance.fetch_add(1, Ordering::Relaxed),
+            image,
+            tech,
+        };
+        (instance, delay)
     }
 
     /// Total successful cold starts (observability; the warming ablation
     /// reads this).
     pub fn cold_start_count(&self) -> u64 {
         self.cold_starts.load(Ordering::Relaxed)
+    }
+
+    /// Total COW clones minted from snapshots.
+    pub fn clone_count(&self) -> u64 {
+        self.clone_starts.load(Ordering::Relaxed)
     }
 }
 

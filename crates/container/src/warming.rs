@@ -13,10 +13,12 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use funcx_telemetry::Counter;
 use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
 use funcx_types::ContainerImageId;
 use parking_lot::Mutex;
 
+use crate::engine::WarmStartConfig;
 use crate::runtime::ContainerInstance;
 
 /// Default warm TTL: the middle of the paper's "5-10 minutes".
@@ -40,6 +42,9 @@ pub struct WarmPoolStats {
     pub cold_misses: u64,
     /// Instances reaped after their TTL lapsed.
     pub reaped: u64,
+    /// Instances evicted because a release overflowed the per-image
+    /// capacity (the stalest entry goes first).
+    pub evicted: u64,
 }
 
 impl WarmPoolStats {
@@ -63,8 +68,15 @@ struct IdleInstance {
 pub struct WarmPool {
     clock: SharedClock,
     ttl: VirtualDuration,
+    /// Idle instances a single image may hold; a release past this bound
+    /// evicts the stalest entry (unbounded growth under fan-out was a real
+    /// leak: N workers releasing with no subsequent acquires).
+    per_image_capacity: usize,
     idle: Mutex<HashMap<ContainerImageId, Vec<IdleInstance>>>,
     stats: Mutex<WarmPoolStats>,
+    /// `funcx_warm_pool_evictions_total` — standalone by default, shared
+    /// into a registry by whoever embeds the pool in a scrape surface.
+    evictions: Counter,
 }
 
 impl WarmPool {
@@ -73,13 +85,26 @@ impl WarmPool {
         Self::with_ttl(clock, DEFAULT_WARM_TTL)
     }
 
-    /// New pool with an explicit TTL (the warming ablation sweeps this).
+    /// New pool with an explicit TTL (the warming ablation sweeps this) and
+    /// the warm-start engine's default per-image capacity.
     pub fn with_ttl(clock: SharedClock, ttl: VirtualDuration) -> Arc<Self> {
+        Self::with_options(clock, ttl, WarmStartConfig::default().per_image_capacity)
+    }
+
+    /// New pool with explicit TTL and per-image idle capacity (zero means
+    /// "hold nothing warm": every release evicts immediately).
+    pub fn with_options(
+        clock: SharedClock,
+        ttl: VirtualDuration,
+        per_image_capacity: usize,
+    ) -> Arc<Self> {
         Arc::new(WarmPool {
             clock,
             ttl,
+            per_image_capacity,
             idle: Mutex::new(HashMap::new()),
             stats: Mutex::new(WarmPoolStats::default()),
+            evictions: Counter::default(),
         })
     }
 
@@ -104,13 +129,23 @@ impl WarmPool {
     }
 
     /// Return an instance after task completion; it stays warm for the TTL.
+    /// A release that overflows the per-image capacity evicts the stalest
+    /// idle entry for that image (entries are time-ordered, so index 0).
     pub fn release(&self, instance: ContainerInstance) {
         let now = self.clock.now();
-        self.idle
-            .lock()
-            .entry(instance.image)
-            .or_default()
-            .push(IdleInstance { instance, idle_since: now });
+        let mut idle = self.idle.lock();
+        let list = idle.entry(instance.image).or_default();
+        list.push(IdleInstance { instance, idle_since: now });
+        let mut evicted = 0u64;
+        while list.len() > self.per_image_capacity {
+            list.remove(0);
+            evicted += 1;
+        }
+        drop(idle);
+        if evicted > 0 {
+            self.evictions.add(evicted);
+            self.stats.lock().evicted += evicted;
+        }
     }
 
     /// Reap every expired instance (periodic maintenance); returns the
@@ -129,9 +164,21 @@ impl WarmPool {
         reaped
     }
 
-    /// Idle instances currently warm for `image`.
+    /// Idle instances currently warm for `image`. Entries whose TTL has
+    /// lapsed but which the reaper has not visited yet are *not* counted —
+    /// they can never be handed out, so counting them would over-report
+    /// warm capacity to endpoint status and the pre-warmer.
     pub fn warm_count(&self, image: ContainerImageId) -> usize {
-        self.idle.lock().get(&image).map(Vec::len).unwrap_or(0)
+        let now = self.clock.now();
+        self.idle
+            .lock()
+            .get(&image)
+            .map(|list| {
+                list.iter()
+                    .filter(|e| now.saturating_duration_since(e.idle_since) < self.ttl)
+                    .count()
+            })
+            .unwrap_or(0)
     }
 
     /// Counters snapshot.
@@ -139,9 +186,19 @@ impl WarmPool {
         *self.stats.lock()
     }
 
+    /// The capacity-eviction counter handle (clone to export it).
+    pub fn evictions_counter(&self) -> Counter {
+        self.evictions.clone()
+    }
+
     /// The configured TTL.
     pub fn ttl(&self) -> VirtualDuration {
         self.ttl
+    }
+
+    /// The configured per-image idle capacity.
+    pub fn per_image_capacity(&self) -> usize {
+        self.per_image_capacity
     }
 }
 
@@ -216,6 +273,46 @@ mod tests {
         clock.advance(Duration::from_secs(40)); // first two now 70s idle, third 40s
         assert_eq!(pool.reap(), 2);
         assert_eq!(pool.warm_count(img), 1);
+    }
+
+    #[test]
+    fn warm_count_excludes_expired_instances() {
+        // Regression: warm_count used to report raw list length, counting
+        // TTL-expired instances the reaper had not visited yet — endpoint
+        // status and the pre-warmer then over-reported warm capacity.
+        let clock = ManualClock::new();
+        let pool = WarmPool::with_ttl(clock.clone(), Duration::from_secs(300));
+        let img = ContainerImageId::from_u128(1);
+        pool.release(instance(img, 0));
+        clock.advance(Duration::from_secs(200));
+        pool.release(instance(img, 1));
+        assert_eq!(pool.warm_count(img), 2, "both within TTL");
+        clock.advance(Duration::from_secs(150)); // first now 350s idle, second 150s
+        assert_eq!(pool.warm_count(img), 1, "expired instance must not be counted");
+        clock.advance(Duration::from_secs(200)); // both expired
+        assert_eq!(pool.warm_count(img), 0);
+        // No reap ran: the entries are still resident, just not countable.
+        assert_eq!(pool.stats().reaped, 0);
+    }
+
+    #[test]
+    fn release_overflow_evicts_stalest() {
+        let clock = ManualClock::new();
+        let pool = WarmPool::with_options(clock.clone(), Duration::from_secs(600), 2);
+        let img = ContainerImageId::from_u128(1);
+        pool.release(instance(img, 0));
+        clock.advance(Duration::from_secs(1));
+        pool.release(instance(img, 1));
+        clock.advance(Duration::from_secs(1));
+        pool.release(instance(img, 2)); // overflows: instance 0 (stalest) evicted
+        assert_eq!(pool.warm_count(img), 2);
+        assert_eq!(pool.stats().evicted, 1);
+        assert_eq!(pool.evictions_counter().get(), 1);
+        // LIFO: hottest first, and the evicted instance is never handed out.
+        let Acquired::Warm(a) = pool.acquire(img) else { panic!() };
+        let Acquired::Warm(b) = pool.acquire(img) else { panic!() };
+        assert_eq!((a.instance, b.instance), (2, 1));
+        assert_eq!(pool.acquire(img), Acquired::Cold);
     }
 
     #[test]

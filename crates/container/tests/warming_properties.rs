@@ -38,6 +38,7 @@ proptest! {
         let clock = ManualClock::new();
         let ttl = Duration::from_secs(300);
         let pool = WarmPool::with_ttl(clock.clone(), ttl);
+        let capacity = pool.per_image_capacity();
         let mut next_instance = 0u64;
         // Instances currently held by "workers", per image.
         let mut held: Vec<Vec<u64>> = vec![vec![], vec![], vec![]];
@@ -83,6 +84,11 @@ proptest! {
                             tech: ContainerTech::Docker,
                         });
                         warm[img_idx as usize].push((id, now_s));
+                        // Mirror the capacity bound: overflow evicts the
+                        // stalest entry (front; pushes are time-ordered).
+                        while warm[img_idx as usize].len() > capacity {
+                            warm[img_idx as usize].remove(0);
+                        }
                     }
                 }
                 PoolOp::Advance(secs) => {
@@ -96,14 +102,17 @@ proptest! {
                     }
                 }
             }
-            // Invariant: pool warm counts never exceed the model's live set
-            // (the pool may hold expired entries it has not visited yet,
-            // but never *more live* than the model).
+            // Invariant: warm_count reports exactly the model's *live* set —
+            // expired-but-unreaped entries are filtered at read time, and
+            // capacity eviction mirrors the model's.
             for (i, w) in warm.iter().enumerate() {
                 let image = ContainerImageId::from_u128(i as u128 + 1);
-                prop_assert!(
-                    pool.warm_count(image) >= w.len(),
-                    "pool lost a live warm instance for image {i}"
+                let live = w.iter().filter(|(_, since)| now_s - since < 300).count();
+                prop_assert_eq!(
+                    pool.warm_count(image),
+                    live,
+                    "warm_count must equal the model's live warm set for image {}",
+                    i
                 );
             }
         }

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use funcx_auth::{IdentityProvider, Scope};
-use funcx_container::{ContainerRuntime, SystemProfile, WarmPool};
+use funcx_container::{ContainerRuntime, SystemProfile, WarmStartConfig, WarmStartEngine};
 use funcx_endpoint::{Agent, EndpointConfig, Manager};
 use funcx_proto::channel::inproc_pair;
 use funcx_sdk::{FuncXClient, InProcApi};
@@ -30,6 +30,7 @@ pub struct TestBedBuilder {
     managers: usize,
     wan_latency: VirtualDuration,
     container_system: Option<SystemProfile>,
+    warm_start: WarmStartConfig,
     seed: u64,
 }
 
@@ -53,6 +54,7 @@ impl TestBedBuilder {
             managers: 1,
             wan_latency: Duration::ZERO,
             container_system: None,
+            warm_start: WarmStartConfig::default(),
             seed: 42,
         }
     }
@@ -160,9 +162,16 @@ impl TestBedBuilder {
     }
 
     /// Attach a simulated container runtime (Table 2 cold-start model) and
-    /// warm pool for the given system profile.
+    /// warm-start engine for the given system profile.
     pub fn containers(mut self, system: SystemProfile) -> Self {
         self.container_system = Some(system);
+        self
+    }
+
+    /// Tune the warm-start engine (TTL, clone cost, capacities, pre-warm
+    /// gate); only meaningful with [`TestBedBuilder::containers`].
+    pub fn warm_start(mut self, config: WarmStartConfig) -> Self {
+        self.warm_start = config;
         self
     }
 
@@ -187,7 +196,9 @@ impl TestBedBuilder {
         let runtime = self
             .container_system
             .map(|system| ContainerRuntime::new(Arc::clone(&clock), system, self.seed));
-        let warm_pool = runtime.as_ref().map(|_| WarmPool::new(Arc::clone(&clock)));
+        let warm_engine = runtime
+            .as_ref()
+            .map(|rt| WarmStartEngine::new(Arc::clone(&clock), Arc::clone(rt), self.warm_start));
 
         let (forwarder, agent_channel) = service
             .connect_endpoint(endpoint_id, self.wan_latency)
@@ -198,6 +209,9 @@ impl TestBedBuilder {
             Arc::clone(&clock),
             agent_channel,
         );
+        if let Some(engine) = &warm_engine {
+            agent.attach_warm_engine(Arc::clone(engine));
+        }
         let mut managers = Vec::with_capacity(self.managers);
         for _ in 0..self.managers {
             let (agent_side, manager_side) = inproc_pair();
@@ -206,8 +220,7 @@ impl TestBedBuilder {
                 Arc::clone(&clock),
                 Serializer::default(),
                 manager_side,
-                runtime.clone(),
-                warm_pool.clone(),
+                warm_engine.clone(),
             );
             agent.attach_manager(agent_side);
             managers.push(manager);
@@ -224,7 +237,7 @@ impl TestBedBuilder {
             managers,
             endpoint_config: self.endpoint_config,
             runtime,
-            warm_pool,
+            warm_engine,
             wan_latency: self.wan_latency,
             extra_endpoints: Vec::new(),
         }
@@ -254,7 +267,7 @@ pub struct TestBed {
     managers: Vec<Manager>,
     endpoint_config: EndpointConfig,
     runtime: Option<Arc<ContainerRuntime>>,
-    warm_pool: Option<Arc<WarmPool>>,
+    warm_engine: Option<Arc<WarmStartEngine>>,
     wan_latency: VirtualDuration,
     /// Additional endpoints created with [`TestBed::add_endpoint`]
     /// (federated deployments: Xtract/SSX target several endpoints).
@@ -300,8 +313,7 @@ impl TestBed {
                 Arc::clone(&self.clock),
                 Serializer::default(),
                 manager_side,
-                self.runtime.clone(),
-                self.warm_pool.clone(),
+                self.warm_engine.clone(),
             );
             agent.attach_manager(agent_side);
             mgrs.push(manager);
@@ -351,9 +363,9 @@ impl TestBed {
         self.runtime.as_ref()
     }
 
-    /// The warm pool, when containers are enabled.
-    pub fn warm_pool(&self) -> Option<&Arc<WarmPool>> {
-        self.warm_pool.as_ref()
+    /// The warm-start engine, when containers are enabled.
+    pub fn warm_engine(&self) -> Option<&Arc<WarmStartEngine>> {
+        self.warm_engine.as_ref()
     }
 
     /// Number of live managers.
@@ -376,8 +388,7 @@ impl TestBed {
             Arc::clone(&self.clock),
             Serializer::default(),
             manager_side,
-            self.runtime.clone(),
-            self.warm_pool.clone(),
+            self.warm_engine.clone(),
         );
         self.agent().attach_manager(agent_side);
         self.managers.push(manager);
@@ -483,6 +494,94 @@ mod tests {
             "EC2 Docker cold start (≥1.1s) charged, got {elapsed:?}"
         );
         assert_eq!(bed.runtime().unwrap().cold_start_count(), 1);
+        bed.shutdown();
+    }
+
+    /// The warm-start tier counters ride the heartbeat into the registry
+    /// and out the `/v1/metrics` scrape. A single worker alternating
+    /// between two images must release image A when it switches to B, so
+    /// coming back to A is a warm-tier hit the service side can see.
+    #[test]
+    fn warm_tiers_flow_heartbeat_to_registry_and_scrape() {
+        let mut bed = TestBedBuilder::new()
+            .speedup(100_000.0)
+            .workers_per_manager(1)
+            .containers(SystemProfile::Ec2)
+            // Huge TTL so the sped-up clock cannot expire pooled
+            // instances between tasks; prewarming off for exact counts.
+            .warm_start(WarmStartConfig {
+                ttl: Duration::from_secs(1_000_000),
+                prewarm: false,
+                ..WarmStartConfig::default()
+            })
+            .build();
+        let mut fns = Vec::new();
+        for name in ["a", "b"] {
+            let img = bed
+                .service
+                .register_image(
+                    &bed.token,
+                    &format!("test/{name}:1"),
+                    SystemProfile::Ec2.native_tech(),
+                    vec![],
+                )
+                .unwrap();
+            let f = bed
+                .service
+                .register_function(
+                    &bed.token,
+                    name,
+                    &format!("def {name}():\n    return '{name}'\n"),
+                    name,
+                    Some(img),
+                    funcx_registry::Sharing::default(),
+                )
+                .unwrap();
+            fns.push(f);
+        }
+        // a (cold), b (cold, releases a), a again (warm hit).
+        for f in [fns[0], fns[1], fns[0]] {
+            let task = bed.client.run(f, bed.endpoint_id, vec![], vec![]).unwrap();
+            bed.client.get_result(task, Duration::from_secs(30)).unwrap();
+        }
+        let engine = bed.warm_engine().expect("containers imply a warm engine");
+        let stats = engine.stats();
+        assert_eq!(stats.cold_misses, 2, "each image cold-starts once: {stats:?}");
+        assert!(stats.warm_hits >= 1, "returning to image a reuses it: {stats:?}");
+
+        // The next heartbeat carries those counters to the registry.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        let report = loop {
+            let record = bed.service.endpoints.get(bed.endpoint_id).unwrap();
+            match record.last_report {
+                Some(r) if r.warm_acquires() >= 3 => break r,
+                _ => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "warm tiers never reached the registry: {:?}",
+                        record.last_report
+                    );
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        };
+        assert_eq!(report.cold_misses, 2);
+        assert!(report.warm_hits >= 1);
+
+        // And the scrape surface renders them with tier labels.
+        let scrape = bed.service.render_metrics();
+        let ep = bed.endpoint_id.to_string();
+        assert!(
+            scrape.contains(&format!(
+                "funcx_warm_acquires_total{{endpoint=\"{ep}\",tier=\"cold\"}} 2"
+            )),
+            "{scrape}"
+        );
+        assert!(
+            scrape
+                .contains(&format!("funcx_warm_acquires_total{{endpoint=\"{ep}\",tier=\"warm\"}}")),
+            "{scrape}"
+        );
         bed.shutdown();
     }
 

@@ -25,6 +25,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
+use funcx_container::WarmStartEngine;
 use funcx_proto::channel::ChannelHandle;
 use funcx_proto::heartbeat::HeartbeatTracker;
 use funcx_proto::message::{Message, TaskDispatch, TaskResult};
@@ -91,6 +92,9 @@ impl AgentStats {
             requeued: self.requeued.get(),
             results_sent: self.results_sent.get(),
             spans_dropped: self.spans_dropped.get(),
+            // Warm-start tiers are zero here; the agent loop overlays them
+            // from the attached engine at heartbeat time.
+            ..EndpointStatsReport::default()
         }
     }
 }
@@ -127,6 +131,9 @@ struct Shared {
     /// Replacement forwarder channel after a reconnect.
     new_forwarder: Mutex<Option<ChannelHandle>>,
     stats: Arc<AgentStats>,
+    /// The node-side warm-start engine, when containers are in play; its
+    /// hit-tier counters ride the heartbeat status report.
+    warm_engine: Mutex<Option<Arc<WarmStartEngine>>>,
     shutdown: AtomicBool,
     /// Cut the forwarder link abruptly (endpoint-failure injection).
     drop_forwarder: AtomicBool,
@@ -179,6 +186,7 @@ impl Agent {
             new_managers: Mutex::new(Vec::new()),
             new_forwarder: Mutex::new(None),
             stats: Arc::new(AgentStats::default()),
+            warm_engine: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             drop_forwarder: AtomicBool::new(false),
         });
@@ -203,6 +211,13 @@ impl Agent {
     /// was spawned with). The agent acks registration when it arrives.
     pub fn attach_manager(&self, channel: ChannelHandle) {
         self.shared.new_managers.lock().push(channel);
+    }
+
+    /// Attach the node's warm-start engine so its hit-tier counters ride
+    /// the heartbeat status report upstream (and reach `/v1/endpoints/<id>/
+    /// status` and `/v1/metrics` on the service).
+    pub fn attach_warm_engine(&self, engine: Arc<WarmStartEngine>) {
+        *self.shared.warm_engine.lock() = Some(engine);
     }
 
     /// Live stats.
@@ -498,7 +513,18 @@ fn run_agent_loop(
         if forwarder_up && now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period
         {
             hb_seq += 1;
-            let status = Message::EndpointStatus { endpoint_id, report: shared.stats.report() };
+            let mut report = shared.stats.report();
+            if let Some(engine) = shared.warm_engine.lock().as_ref() {
+                let warm = engine.stats();
+                report.warm_hits = warm.warm_hits;
+                report.predicted_hits = warm.predicted_hits;
+                report.clone_hits = warm.clone_hits;
+                report.cold_misses = warm.cold_misses;
+                report.prewarm_minted = warm.prewarm_minted;
+                report.warm_evictions = warm.evictions;
+                report.warm_snapshots = warm.snapshots;
+            }
+            let status = Message::EndpointStatus { endpoint_id, report };
             if forwarder.send(Message::Heartbeat { seq: hb_seq }).is_err()
                 || forwarder.send(status).is_err()
             {
@@ -594,7 +620,7 @@ mod tests {
         let agent =
             Agent::spawn(EndpointId::random(), config.clone(), Arc::clone(&clock), agent_side);
         let (agent_mgr_side, mgr_side) = inproc_pair();
-        let manager = Manager::spawn(config, Arc::clone(&clock), serializer, mgr_side, None, None);
+        let manager = Manager::spawn(config, Arc::clone(&clock), serializer, mgr_side, None);
         agent.attach_manager(agent_mgr_side);
         // Consume the agent's registration message.
         let msg = fwd_side.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -646,7 +672,7 @@ mod tests {
         let config = quick_config(1);
         let (agent_mgr_side, mgr_side) = inproc_pair();
         let mut manager2 =
-            Manager::spawn(config, Arc::clone(&clock), serializer.clone(), mgr_side, None, None);
+            Manager::spawn(config, Arc::clone(&clock), serializer.clone(), mgr_side, None);
         agent.attach_manager(agent_mgr_side);
 
         // All 4 tasks eventually complete on the replacement.
@@ -719,7 +745,7 @@ mod tests {
             Agent::spawn(EndpointId::random(), config.clone(), Arc::clone(&clock), agent_side);
         let (agent_mgr_side, mgr_side) = inproc_pair();
         let mut manager =
-            Manager::spawn(config, Arc::clone(&clock), serializer.clone(), mgr_side, None, None);
+            Manager::spawn(config, Arc::clone(&clock), serializer.clone(), mgr_side, None);
         agent.attach_manager(agent_mgr_side);
         let _ = fwd.recv_timeout(Duration::from_secs(5)).unwrap();
 

@@ -270,7 +270,6 @@ mod tests {
                     Serializer::default(),
                     mgr_side,
                     None,
-                    None,
                 );
                 agent.attach_manager(agent_mgr);
                 manager

@@ -22,7 +22,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use funcx_container::{ContainerRuntime, WarmPool};
+use funcx_container::WarmStartEngine;
 use funcx_proto::channel::ChannelHandle;
 use funcx_proto::message::{Message, TaskDispatch, TaskResult};
 use funcx_serial::Serializer;
@@ -52,8 +52,7 @@ impl Manager {
         clock: SharedClock,
         serializer: Serializer,
         agent_channel: ChannelHandle,
-        runtime: Option<Arc<ContainerRuntime>>,
-        warm_pool: Option<Arc<WarmPool>>,
+        warm_engine: Option<Arc<WarmStartEngine>>,
     ) -> Manager {
         let manager_id = ManagerId::random();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -64,7 +63,12 @@ impl Manager {
                 .name(format!("funcx-manager-{manager_id}"))
                 .spawn(move || {
                     run_manager_loop(
-                        manager_id, config, clock, serializer, channel, runtime, warm_pool,
+                        manager_id,
+                        config,
+                        clock,
+                        serializer,
+                        channel,
+                        warm_engine,
                         shutdown,
                     )
                 })
@@ -123,8 +127,7 @@ fn run_manager_loop(
     clock: SharedClock,
     serializer: Serializer,
     agent: ChannelHandle,
-    runtime: Option<Arc<ContainerRuntime>>,
-    warm_pool: Option<Arc<WarmPool>>,
+    warm_engine: Option<Arc<WarmStartEngine>>,
     shutdown: Arc<AtomicBool>,
 ) {
     // Spawn the node's workers.
@@ -136,8 +139,7 @@ fn run_manager_loop(
                 Arc::clone(&clock),
                 serializer.clone(),
                 config.limits.clone(),
-                runtime.clone(),
-                warm_pool.clone(),
+                warm_engine.clone(),
             );
             let handle = spawn_worker_thread(
                 i,
@@ -170,6 +172,12 @@ fn run_manager_loop(
             Ok(Message::Tasks(tasks)) => {
                 let now = clock.now().as_nanos();
                 for t in tasks {
+                    // Feed the pre-warmer's arrival-rate estimate at
+                    // *receipt* (not dispatch): queueing delay must not
+                    // starve or double-count the prediction signal.
+                    if let (Some(engine), Some(img)) = (&warm_engine, t.container) {
+                        engine.note_arrival(img);
+                    }
                     queue.push_back((t, now));
                 }
             }
@@ -238,7 +246,14 @@ fn run_manager_loop(
             last_advert = Some(snapshot);
         }
 
-        // 6. Heartbeat on virtual period.
+        // 6. Warm-start maintenance: reap expired idle clones and pre-mint
+        //    toward the predicted demand (background work, never charged to
+        //    a worker's task).
+        if let Some(engine) = &warm_engine {
+            engine.maintain();
+        }
+
+        // 7. Heartbeat on virtual period.
         let now = clock.now();
         if now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period {
             hb_seq += 1;
@@ -326,7 +341,6 @@ mod tests {
             serializer.clone(),
             manager_side,
             None,
-            None,
         );
 
         // First message is registration.
@@ -361,7 +375,6 @@ mod tests {
             Arc::clone(&clock),
             serializer.clone(),
             manager_side,
-            None,
             None,
         );
         let _ = agent_side.recv_timeout(Duration::from_secs(5)).unwrap(); // register
@@ -399,7 +412,6 @@ mod tests {
             serializer,
             manager_side,
             None,
-            None,
         );
         let _ = agent_side.recv_timeout(Duration::from_secs(5)).unwrap(); // register
         let mut beats = 0;
@@ -425,7 +437,6 @@ mod tests {
             clock,
             serializer,
             manager_side,
-            None,
             None,
         );
         let _ = agent_side.recv_timeout(Duration::from_secs(5)).unwrap();
@@ -457,7 +468,6 @@ mod tests {
             serializer,
             manager_side,
             None,
-            None,
         );
         let _ = agent_side.recv_timeout(Duration::from_secs(5)).unwrap();
         agent_side.send(Message::Shutdown).unwrap();
@@ -478,7 +488,6 @@ mod tests {
             clock,
             serializer.clone(),
             manager_side,
-            None,
             None,
         );
         let _ = agent_side.recv_timeout(Duration::from_secs(5)).unwrap();

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{Receiver, Sender};
-use funcx_container::{Acquired, ContainerRuntime, WarmPool};
+use funcx_container::{ContainerInstance, WarmStartEngine};
 use funcx_lang::{ExecHooks, Limits, Value};
 use funcx_proto::message::{TaskDispatch, TaskResult};
 use funcx_serial::{Payload, Serializer};
@@ -63,73 +63,54 @@ pub struct Worker {
     clock: SharedClock,
     serializer: Serializer,
     limits: Limits,
-    runtime: Option<Arc<ContainerRuntime>>,
-    warm_pool: Option<Arc<WarmPool>>,
-    /// Image the worker's container currently provides.
-    current_container: Option<ContainerImageId>,
+    engine: Option<Arc<WarmStartEngine>>,
+    /// The container instance the worker currently occupies.
+    current: Option<ContainerInstance>,
 }
 
 impl Worker {
-    /// New bare-environment worker (no container runtime attached; tasks
-    /// requiring containers are redeployed through `runtime` when given).
+    /// New bare-environment worker (no warm-start engine attached; tasks
+    /// requiring containers are acquired through `engine` when given).
     pub fn new(
         clock: SharedClock,
         serializer: Serializer,
         limits: Limits,
-        runtime: Option<Arc<ContainerRuntime>>,
-        warm_pool: Option<Arc<WarmPool>>,
+        engine: Option<Arc<WarmStartEngine>>,
     ) -> Self {
-        Worker {
-            worker_id: WorkerId::random(),
-            clock,
-            serializer,
-            limits,
-            runtime,
-            warm_pool,
-            current_container: None,
-        }
+        Worker { worker_id: WorkerId::random(), clock, serializer, limits, engine, current: None }
     }
 
     /// The image this worker's container currently provides.
     pub fn current_container(&self) -> Option<ContainerImageId> {
-        self.current_container
+        self.current.as_ref().map(|c| c.image)
     }
 
-    /// Ensure the worker is inside a container providing `image`, cold
-    /// starting (and charging virtual time) on a warm-pool miss. `None`
-    /// keeps / reverts to the bare environment (free).
+    /// Ensure the worker is inside a container providing `image`, acquiring
+    /// through the warm-start engine (warm hit → snapshot clone → cold
+    /// start, charging virtual time) on a mismatch. `None` keeps / reverts
+    /// to the bare environment (free).
     fn ensure_container(&mut self, image: Option<ContainerImageId>) -> Result<(), String> {
-        if self.current_container == image {
+        if self.current_container() == image {
             return Ok(());
         }
-        // Release the old container back to the warm pool.
-        if let (Some(old), Some(pool), Some(rt)) =
-            (self.current_container, &self.warm_pool, &self.runtime)
-        {
-            pool.release(funcx_container::ContainerInstance {
-                instance: self.worker_id.uuid().as_u128() as u64,
-                image: old,
-                tech: rt.system().native_tech(),
-            });
+        // Release the old container back to the engine's pool, clearing
+        // `current` *before* the fallible acquire below: leaving it set on
+        // failure would release the same instance again on the next call
+        // (double-release — the pool would hand one instance to two
+        // workers).
+        if let Some(old) = self.current.take() {
+            if let Some(engine) = &self.engine {
+                engine.release(old);
+            }
         }
         match image {
-            None => {
-                self.current_container = None;
-                Ok(())
-            }
+            None => Ok(()),
             Some(img) => {
-                let Some(rt) = &self.runtime else {
+                let Some(engine) = &self.engine else {
                     return Err("task requires a container but worker has no runtime".into());
                 };
-                let warm =
-                    self.warm_pool.as_ref().map(|p| p.acquire(img)).unwrap_or(Acquired::Cold);
-                match warm {
-                    Acquired::Warm(_) => {}
-                    Acquired::Cold => {
-                        rt.start(img, rt.system().native_tech()).map_err(|e| e.to_string())?;
-                    }
-                }
-                self.current_container = Some(img);
+                let lease = engine.acquire(img).map_err(|e| e.to_string())?;
+                self.current = Some(lease.instance);
                 Ok(())
             }
         }
@@ -323,7 +304,7 @@ mod tests {
     }
 
     fn bare_worker(clock: SharedClock) -> Worker {
-        Worker::new(clock, serializer(), Limits::default(), None, None)
+        Worker::new(clock, serializer(), Limits::default(), None)
     }
 
     #[test]
@@ -373,19 +354,30 @@ mod tests {
         assert_eq!(result.stdout, vec!["hello 1".to_string(), "world".to_string()]);
     }
 
+    fn test_engine(
+        clock: &SharedClock,
+    ) -> (Arc<funcx_container::ContainerRuntime>, Arc<WarmStartEngine>) {
+        use funcx_container::{ContainerRuntime, SystemProfile, WarmStartConfig};
+        let rt = ContainerRuntime::new(Arc::clone(clock), SystemProfile::Ec2, 1);
+        // Huge TTL: the sped-up real clock must not expire pooled instances
+        // between assertions.
+        let engine = WarmStartEngine::new(
+            Arc::clone(clock),
+            Arc::clone(&rt),
+            WarmStartConfig {
+                prewarm: false,
+                ttl: Duration::from_secs(1_000_000),
+                ..WarmStartConfig::default()
+            },
+        );
+        (rt, engine)
+    }
+
     #[test]
     fn container_task_cold_starts_then_reuses() {
-        use funcx_container::SystemProfile;
         let clock: SharedClock = Arc::new(RealClock::with_speedup(1_000_000.0));
-        let rt = ContainerRuntime::new(Arc::clone(&clock), SystemProfile::Ec2, 1);
-        let pool = WarmPool::new(Arc::clone(&clock));
-        let mut w = Worker::new(
-            Arc::clone(&clock),
-            serializer(),
-            Limits::default(),
-            Some(Arc::clone(&rt)),
-            Some(pool),
-        );
+        let (rt, engine) = test_engine(&clock);
+        let mut w = Worker::new(Arc::clone(&clock), serializer(), Limits::default(), Some(engine));
         let img = ContainerImageId::from_u128(5);
         let mut task = make_dispatch("def f():\n    return 1\n", "f", vec![]);
         task.container = Some(img);
@@ -402,6 +394,46 @@ mod tests {
         let r2 = w.execute(&task, 0);
         assert!(r2.success);
         assert_eq!(rt.cold_start_count(), 1);
+    }
+
+    #[test]
+    fn failed_cold_start_does_not_double_release_previous_container() {
+        // Regression: `ensure_container` released the old instance to the
+        // pool before the fallible cold start but kept `current` pointing at
+        // it on failure — the next mismatched task then released the *same*
+        // instance again, and the pool would hand it to two workers.
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1_000_000.0));
+        let (rt, engine) = test_engine(&clock);
+        let mut w =
+            Worker::new(Arc::clone(&clock), serializer(), Limits::default(), Some(engine.clone()));
+        let img_a = ContainerImageId::from_u128(1);
+        let img_b = ContainerImageId::from_u128(2);
+
+        let mut task_a = make_dispatch("def f():\n    return 1\n", "f", vec![]);
+        task_a.container = Some(img_a);
+        assert!(w.execute(&task_a, 0).success);
+        assert_eq!(w.current_container(), Some(img_a));
+
+        // Every subsequent start fails: acquiring img_b releases img_a's
+        // instance and then errors (img_b has no snapshot to clone from).
+        rt.set_failure_rate(1.0);
+        let mut task_b = make_dispatch("def f():\n    return 1\n", "f", vec![]);
+        task_b.container = Some(img_b);
+        assert!(!w.execute(&task_b, 0).success);
+        assert_eq!(w.current_container(), None, "failed start must clear the current instance");
+        assert_eq!(engine.warm_count(img_a), 1, "img_a instance released exactly once");
+
+        // The buggy path released img_a's instance a second time here.
+        assert!(!w.execute(&task_b, 0).success);
+        assert_eq!(engine.warm_count(img_a), 1, "no double-release after a failed start");
+
+        // And the single pooled instance is handed out exactly once: the
+        // second img_a acquire must mint a clone, not a duplicate warm hit.
+        rt.set_failure_rate(0.0);
+        let first = engine.acquire(img_a).unwrap();
+        let second = engine.acquire(img_a).unwrap();
+        assert_eq!(first.tier, funcx_container::AcquireTier::Warm);
+        assert_ne!(second.instance.instance, first.instance.instance);
     }
 
     #[test]

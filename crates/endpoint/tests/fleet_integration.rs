@@ -85,7 +85,6 @@ fn drive_provider(provider: Arc<dyn Provider>, tasks: usize) -> (usize, usize) {
                 Serializer::default(),
                 mgr_side,
                 None,
-                None,
             );
             agent.attach_manager(agent_mgr);
             manager

@@ -241,6 +241,13 @@ mod tests {
                     requeued: 0,
                     results_sent: 17,
                     spans_dropped: 0,
+                    warm_hits: 3,
+                    predicted_hits: 4,
+                    clone_hits: 5,
+                    cold_misses: 6,
+                    prewarm_minted: 7,
+                    warm_evictions: 8,
+                    warm_snapshots: 9,
                 },
             },
             Message::HeartbeatAck { seq: 42 },

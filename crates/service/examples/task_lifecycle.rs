@@ -45,7 +45,7 @@ fn main() {
     let mut agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
     let (agent_side, mgr_side) = inproc_pair();
     let mut manager =
-        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
+        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None);
     agent.attach_manager(agent_side);
 
     let f = service

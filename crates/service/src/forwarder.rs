@@ -604,7 +604,7 @@ mod tests {
         let agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
         let (agent_side, mgr_side) = inproc_pair();
         let manager =
-            Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
+            Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None);
         agent.attach_manager(agent_side);
         Deployment { service, token, endpoint_id, forwarder, agent, managers: vec![manager], clock }
     }

@@ -1,3 +1,6 @@
+// The endpoint-status json! literal expands past the default macro
+// recursion limit now that it nests the warm-start tier object.
+#![recursion_limit = "256"]
 //! The cloud-hosted funcX service (§4.1 of the paper).
 //!
 //! "Users interact with funcX via a cloud-hosted service which exposes a

@@ -650,6 +650,19 @@ fn endpoint_json(
         "requeued": record.last_report.map(|r| r.requeued),
         "results_sent": record.last_report.map(|r| r.results_sent),
         "spans_dropped": record.last_report.map(|r| r.spans_dropped),
+        // Warm-start engine hit tiers from the last heartbeat report:
+        // acquires resolved against a pooled instance ("warm"), a
+        // pre-minted clone ("predicted"), a fresh snapshot clone
+        // ("clone"), or a full cold start ("cold").
+        "warm_start": record.last_report.map(|r| serde_json::json!({
+            "warm": r.warm_hits,
+            "predicted": r.predicted_hits,
+            "clone": r.clone_hits,
+            "cold": r.cold_misses,
+            "prewarm_minted": r.prewarm_minted,
+            "evictions": r.warm_evictions,
+            "snapshots": r.warm_snapshots,
+        })),
         // Windowed aggregates from the stats tables (null until this
         // endpoint has seen traffic): submit/error rates and per-station
         // latency quantiles over the 1m/5m/1h trailing windows.

@@ -1395,6 +1395,32 @@ impl FuncxService {
         self.metrics.gauge("funcx_trace_spans_dropped", &[]).set(self.tracer.spans_dropped());
         self.metrics.gauge("funcx_traces_sampled_out", &[]).set(self.tracer.traces_sampled_out());
         self.metrics.gauge("funcx_build_info", &[("version", env!("CARGO_PKG_VERSION"))]).set(1);
+        // Warm-start tier counters from the latest heartbeat report of
+        // each endpoint (absent until the first report lands).
+        for id in self.endpoints.ids() {
+            let Ok(record) = self.endpoints.get(id) else { continue };
+            let Some(report) = record.last_report else { continue };
+            let ep = id.to_string();
+            for (tier, value) in [
+                ("warm", report.warm_hits),
+                ("predicted", report.predicted_hits),
+                ("clone", report.clone_hits),
+                ("cold", report.cold_misses),
+            ] {
+                self.metrics
+                    .gauge(
+                        "funcx_warm_acquires_total",
+                        &[("endpoint", ep.as_str()), ("tier", tier)],
+                    )
+                    .set(value);
+            }
+            self.metrics
+                .gauge("funcx_warm_pool_evictions_total", &[("endpoint", ep.as_str())])
+                .set(report.warm_evictions);
+            self.metrics
+                .gauge("funcx_prewarm_minted_total", &[("endpoint", ep.as_str())])
+                .set(report.prewarm_minted);
+        }
         self.metrics
             .float_gauge("funcx_uptime_seconds", &[])
             .set(self.clock.now().saturating_duration_since(self.started_at).as_secs_f64());

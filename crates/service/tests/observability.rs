@@ -49,8 +49,7 @@ fn deploy_with(service_config: ServiceConfig) -> Deployment {
     };
     let agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
     let (agent_side, mgr_side) = inproc_pair();
-    let manager =
-        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
+    let manager = Manager::spawn(config, Arc::clone(&clock), Serializer::default(), mgr_side, None);
     agent.attach_manager(agent_side);
     Deployment {
         service,

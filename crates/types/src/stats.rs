@@ -27,6 +27,28 @@ pub struct EndpointStatsReport {
     /// head-sampled (cumulative) — makes sampling loss visible fleet-wide.
     #[serde(default)]
     pub spans_dropped: u64,
+    /// Container acquires served by a worker-released warm instance
+    /// (cumulative; warm-start engine hit tier `warm`).
+    #[serde(default)]
+    pub warm_hits: u64,
+    /// Acquires served by a pre-minted clone (hit tier `predicted`).
+    #[serde(default)]
+    pub predicted_hits: u64,
+    /// Acquires served by a fresh snapshot clone (hit tier `clone`).
+    #[serde(default)]
+    pub clone_hits: u64,
+    /// Acquires that paid a full cold start (hit tier `cold`).
+    #[serde(default)]
+    pub cold_misses: u64,
+    /// Clones the predictive pre-warmer minted ahead of demand (cumulative).
+    #[serde(default)]
+    pub prewarm_minted: u64,
+    /// Idle instances evicted by warm-pool capacity bounds (cumulative).
+    #[serde(default)]
+    pub warm_evictions: u64,
+    /// Container images with a captured warm-start snapshot.
+    #[serde(default)]
+    pub warm_snapshots: u64,
 }
 
 impl EndpointStatsReport {
@@ -34,6 +56,11 @@ impl EndpointStatsReport {
     /// occupying slots; requeues can transiently skew this).
     pub fn busy_slots(&self) -> u64 {
         self.outstanding
+    }
+
+    /// Total container acquires across all four warm-start hit tiers.
+    pub fn warm_acquires(&self) -> u64 {
+        self.warm_hits + self.predicted_hits + self.clone_hits + self.cold_misses
     }
 }
 

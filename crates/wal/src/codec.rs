@@ -329,7 +329,7 @@ pub fn read_task_record(cur: &mut Cur<'_>) -> Option<TaskRecord> {
     Some(record)
 }
 
-/// Append an `EndpointStatsReport` (seven plain `u64` fields).
+/// Append an `EndpointStatsReport` (fourteen plain `u64` fields).
 pub fn put_stats_report(out: &mut Vec<u8>, v: &EndpointStatsReport) {
     put_u64(out, v.pending);
     put_u64(out, v.outstanding);
@@ -338,6 +338,13 @@ pub fn put_stats_report(out: &mut Vec<u8>, v: &EndpointStatsReport) {
     put_u64(out, v.requeued);
     put_u64(out, v.results_sent);
     put_u64(out, v.spans_dropped);
+    put_u64(out, v.warm_hits);
+    put_u64(out, v.predicted_hits);
+    put_u64(out, v.clone_hits);
+    put_u64(out, v.cold_misses);
+    put_u64(out, v.prewarm_minted);
+    put_u64(out, v.warm_evictions);
+    put_u64(out, v.warm_snapshots);
 }
 
 /// Read an `EndpointStatsReport`.
@@ -350,6 +357,13 @@ pub fn read_stats_report(cur: &mut Cur<'_>) -> Option<EndpointStatsReport> {
         requeued: cur.u64()?,
         results_sent: cur.u64()?,
         spans_dropped: cur.u64()?,
+        warm_hits: cur.u64()?,
+        predicted_hits: cur.u64()?,
+        clone_hits: cur.u64()?,
+        cold_misses: cur.u64()?,
+        prewarm_minted: cur.u64()?,
+        warm_evictions: cur.u64()?,
+        warm_snapshots: cur.u64()?,
     })
 }
 

@@ -367,6 +367,13 @@ mod tests {
                 requeued: 5,
                 results_sent: 6,
                 spans_dropped: 7,
+                warm_hits: 8,
+                predicted_hits: 9,
+                clone_hits: 10,
+                cold_misses: 11,
+                prewarm_minted: 12,
+                warm_evictions: 13,
+                warm_snapshots: 14,
             }),
             last_heartbeat: Some(VirtualInstant::from_nanos(12)),
         }

@@ -121,7 +121,7 @@ fn main() {
     let mut agent = Agent::spawn(endpoint_id, ep_config.clone(), Arc::clone(&clock), channel);
     let (agent_side, mgr_side) = inproc_pair();
     let mut manager =
-        Manager::spawn(ep_config, Arc::clone(&clock), Serializer::default(), mgr_side, None, None);
+        Manager::spawn(ep_config, Arc::clone(&clock), Serializer::default(), mgr_side, None);
     agent.attach_manager(agent_side);
 
     for (i, &t) in slow.iter().enumerate() {

@@ -58,7 +58,6 @@ fn main() {
                 Serializer::default(),
                 mgr_side,
                 None,
-                None,
             );
             attach.attach(agent_side);
             manager

@@ -53,7 +53,6 @@ fn full_stack_over_tcp_and_http() {
         Serializer::default(),
         manager_side,
         None,
-        None,
     );
     agent.attach_manager(agent_side);
 
@@ -101,7 +100,6 @@ fn trace_tree_spans_the_tcp_fabric() {
         Arc::clone(&clock),
         Serializer::default(),
         manager_side,
-        None,
         None,
     );
     agent.attach_manager(agent_side);
@@ -198,7 +196,7 @@ fn tcp_endpoint_survives_many_tasks() {
     let mut agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&clock), agent_channel);
     let (agent_side, manager_side) = inproc_pair();
     let mut manager =
-        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), manager_side, None, None);
+        Manager::spawn(config, Arc::clone(&clock), Serializer::default(), manager_side, None);
     agent.attach_manager(agent_side);
 
     let f = service

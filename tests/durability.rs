@@ -79,7 +79,6 @@ fn connect(service: &Arc<FuncxService>, endpoint_id: EndpointId, managers: usize
             Serializer::default(),
             mgr_side,
             None,
-            None,
         ));
         agent.attach_manager(agent_side);
     }
