@@ -74,6 +74,7 @@ fn record(id: TaskId, payload: Vec<u8>) -> TaskRecord {
             container: None,
             allow_memo: true,
             span: Default::default(),
+            runtime: Default::default(),
         },
         VirtualInstant::ZERO,
     );

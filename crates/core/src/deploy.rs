@@ -14,6 +14,7 @@ use std::time::Duration;
 use funcx_auth::{IdentityProvider, Scope};
 use funcx_container::{ContainerRuntime, SystemProfile, WarmStartConfig, WarmStartEngine};
 use funcx_endpoint::{Agent, EndpointConfig, Manager};
+use funcx_sandbox::SandboxHost;
 use funcx_proto::channel::inproc_pair;
 use funcx_sdk::{FuncXClient, InProcApi};
 use funcx_serial::Serializer;
@@ -31,6 +32,7 @@ pub struct TestBedBuilder {
     wan_latency: VirtualDuration,
     container_system: Option<SystemProfile>,
     warm_start: WarmStartConfig,
+    sandbox: bool,
     seed: u64,
 }
 
@@ -55,6 +57,7 @@ impl TestBedBuilder {
             wan_latency: Duration::ZERO,
             container_system: None,
             warm_start: WarmStartConfig::default(),
+            sandbox: true,
             seed: 42,
         }
     }
@@ -175,6 +178,14 @@ impl TestBedBuilder {
         self
     }
 
+    /// Enable/disable the sandbox runtime on the testbed endpoint
+    /// (default on). Disabled, the endpoint advertises FxScript only and
+    /// the service refuses sandbox functions at submit time.
+    pub fn sandbox(mut self, on: bool) -> Self {
+        self.sandbox = on;
+        self
+    }
+
     /// RNG seed for the container-runtime model.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -189,8 +200,16 @@ impl TestBedBuilder {
             service.auth.login("testbed-user", IdentityProvider::Institution, &[Scope::All]);
         let client =
             FuncXClient::new(Arc::new(InProcApi::new(Arc::clone(&service))), token.clone());
+        // Advertise what this deployment can actually execute: both
+        // runtimes when the sandbox host is up, FxScript only otherwise
+        // (the service then refuses sandbox functions at submit).
+        let runtimes = if self.sandbox {
+            Vec::new() // empty = advertise everything
+        } else {
+            vec![funcx_types::Runtime::FxScript]
+        };
         let endpoint_id = service
-            .register_endpoint(&token, "testbed-endpoint", "in-process fabric", false)
+            .register_endpoint_with(&token, "testbed-endpoint", "in-process fabric", false, runtimes)
             .expect("registration on a fresh service cannot fail");
 
         let runtime = self
@@ -199,6 +218,7 @@ impl TestBedBuilder {
         let warm_engine = runtime
             .as_ref()
             .map(|rt| WarmStartEngine::new(Arc::clone(&clock), Arc::clone(rt), self.warm_start));
+        let sandbox = self.sandbox.then(|| SandboxHost::with_defaults(Arc::clone(&clock)));
 
         let (forwarder, agent_channel) = service
             .connect_endpoint(endpoint_id, self.wan_latency)
@@ -212,15 +232,19 @@ impl TestBedBuilder {
         if let Some(engine) = &warm_engine {
             agent.attach_warm_engine(Arc::clone(engine));
         }
+        if let Some(host) = &sandbox {
+            agent.attach_sandbox(Arc::clone(host));
+        }
         let mut managers = Vec::with_capacity(self.managers);
         for _ in 0..self.managers {
             let (agent_side, manager_side) = inproc_pair();
-            let manager = Manager::spawn(
+            let manager = Manager::spawn_with_sandbox(
                 self.endpoint_config.clone(),
                 Arc::clone(&clock),
                 Serializer::default(),
                 manager_side,
                 warm_engine.clone(),
+                sandbox.clone(),
             );
             agent.attach_manager(agent_side);
             managers.push(manager);
@@ -238,6 +262,7 @@ impl TestBedBuilder {
             endpoint_config: self.endpoint_config,
             runtime,
             warm_engine,
+            sandbox,
             wan_latency: self.wan_latency,
             extra_endpoints: Vec::new(),
         }
@@ -268,6 +293,7 @@ pub struct TestBed {
     endpoint_config: EndpointConfig,
     runtime: Option<Arc<ContainerRuntime>>,
     warm_engine: Option<Arc<WarmStartEngine>>,
+    sandbox: Option<Arc<SandboxHost>>,
     wan_latency: VirtualDuration,
     /// Additional endpoints created with [`TestBed::add_endpoint`]
     /// (federated deployments: Xtract/SSX target several endpoints).
@@ -305,15 +331,23 @@ impl TestBed {
             .connect_endpoint(endpoint_id, wan_latency)
             .expect("endpoint just registered");
         let agent = Agent::spawn(endpoint_id, config.clone(), Arc::clone(&self.clock), channel);
+        // Each extra endpoint gets its own sandbox host (per-node session
+        // pools; sessions do not migrate between endpoints) when the
+        // testbed runs with the sandbox enabled.
+        let sandbox = self.sandbox.as_ref().map(|_| SandboxHost::with_defaults(Arc::clone(&self.clock)));
+        if let Some(host) = &sandbox {
+            agent.attach_sandbox(Arc::clone(host));
+        }
         let mut mgrs = Vec::with_capacity(managers.max(1));
         for _ in 0..managers.max(1) {
             let (agent_side, manager_side) = inproc_pair();
-            let manager = Manager::spawn(
+            let manager = Manager::spawn_with_sandbox(
                 config.clone(),
                 Arc::clone(&self.clock),
                 Serializer::default(),
                 manager_side,
                 self.warm_engine.clone(),
+                sandbox.clone(),
             );
             agent.attach_manager(agent_side);
             mgrs.push(manager);
@@ -368,6 +402,12 @@ impl TestBed {
         self.warm_engine.as_ref()
     }
 
+    /// The primary endpoint's sandbox host, when the sandbox runtime is
+    /// enabled (session inspection, pool stats).
+    pub fn sandbox_host(&self) -> Option<&Arc<SandboxHost>> {
+        self.sandbox.as_ref()
+    }
+
     /// Number of live managers.
     pub fn manager_count(&self) -> usize {
         self.managers.iter().filter(|m| m.is_running()).count()
@@ -383,12 +423,13 @@ impl TestBed {
     /// Attach one more manager (Figure 7 recovery, elasticity growth).
     pub fn add_manager(&mut self) {
         let (agent_side, manager_side) = inproc_pair();
-        let manager = Manager::spawn(
+        let manager = Manager::spawn_with_sandbox(
             self.endpoint_config.clone(),
             Arc::clone(&self.clock),
             Serializer::default(),
             manager_side,
             self.warm_engine.clone(),
+            self.sandbox.clone(),
         );
         self.agent().attach_manager(agent_side);
         self.managers.push(manager);

@@ -134,6 +134,9 @@ struct Shared {
     /// The node-side warm-start engine, when containers are in play; its
     /// hit-tier counters ride the heartbeat status report.
     warm_engine: Mutex<Option<Arc<WarmStartEngine>>>,
+    /// The node-shared sandbox host, when the sandbox runtime is enabled;
+    /// its session-tier and cap-kill counters ride the heartbeat too.
+    sandbox: Mutex<Option<Arc<funcx_sandbox::SandboxHost>>>,
     shutdown: AtomicBool,
     /// Cut the forwarder link abruptly (endpoint-failure injection).
     drop_forwarder: AtomicBool,
@@ -187,6 +190,7 @@ impl Agent {
             new_forwarder: Mutex::new(None),
             stats: Arc::new(AgentStats::default()),
             warm_engine: Mutex::new(None),
+            sandbox: Mutex::new(None),
             shutdown: AtomicBool::new(false),
             drop_forwarder: AtomicBool::new(false),
         });
@@ -218,6 +222,13 @@ impl Agent {
     /// status` and `/v1/metrics` on the service).
     pub fn attach_warm_engine(&self, engine: Arc<WarmStartEngine>) {
         *self.shared.warm_engine.lock() = Some(engine);
+    }
+
+    /// Attach the node-shared sandbox host so its session-tier hits,
+    /// live-session count, and cap-kill totals ride the heartbeat status
+    /// report upstream (the `sandbox_*` fields of the status API).
+    pub fn attach_sandbox(&self, host: Arc<funcx_sandbox::SandboxHost>) {
+        *self.shared.sandbox.lock() = Some(host);
     }
 
     /// Live stats.
@@ -524,6 +535,16 @@ fn run_agent_loop(
                 report.warm_evictions = warm.evictions;
                 report.warm_snapshots = warm.snapshots;
             }
+            if let Some(host) = shared.sandbox.lock().as_ref() {
+                let sb = host.stats();
+                report.sandbox_warm_hits = sb.warm_hits;
+                report.sandbox_predicted_hits = sb.predicted_hits;
+                report.sandbox_clone_hits = sb.clone_hits;
+                report.sandbox_cold_misses = sb.cold_misses;
+                report.sandbox_sessions = host.session_count() as u64;
+                report.sandbox_cap_kills =
+                    sb.fuel_kills + sb.memory_kills + sb.time_kills + sb.output_kills;
+            }
             let status = Message::EndpointStatus { endpoint_id, report };
             if forwarder.send(Message::Heartbeat { seq: hb_seq }).is_err()
                 || forwarder.send(status).is_err()
@@ -576,6 +597,10 @@ mod tests {
             container: None,
             container_modules: vec![],
             span: Default::default(),
+            runtime: Default::default(),
+            limits: Default::default(),
+            capabilities: vec![],
+            session: None,
         }
     }
 

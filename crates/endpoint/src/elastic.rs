@@ -319,6 +319,10 @@ mod tests {
                     container: None,
                     container_modules: vec![],
                     span: Default::default(),
+                    runtime: Default::default(),
+                    limits: Default::default(),
+                    capabilities: vec![],
+                    session: None,
                 }
             })
             .collect();

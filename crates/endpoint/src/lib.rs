@@ -21,6 +21,7 @@ pub mod agent;
 pub mod config;
 pub mod elastic;
 pub mod manager;
+pub mod runtime;
 pub mod scheduler;
 pub mod worker;
 
@@ -28,4 +29,7 @@ pub use agent::{Agent, AgentStats};
 pub use config::EndpointConfig;
 pub use elastic::ElasticFleet;
 pub use manager::Manager;
+pub use runtime::{
+    FunctionRuntime, FxScriptRuntime, RuntimeJob, RuntimeRegistry, RuntimeVerdict, SandboxRuntime,
+};
 pub use worker::Worker;

@@ -29,7 +29,10 @@ use funcx_serial::Serializer;
 use funcx_types::time::SharedClock;
 use funcx_types::{ContainerImageId, FuncxError, ManagerId};
 
+use funcx_sandbox::SandboxHost;
+
 use crate::config::EndpointConfig;
+use crate::runtime::RuntimeRegistry;
 use crate::worker::{spawn_worker_thread, Worker, WorkerCommand};
 
 /// What a worker thread reports back: its slot index, the container it
@@ -46,13 +49,29 @@ pub struct Manager {
 
 impl Manager {
     /// Spawn a manager with its workers, connected to the agent over
-    /// `agent_channel`.
+    /// `agent_channel`. Workers execute FxScript only; use
+    /// [`Manager::spawn_with_sandbox`] to also host the sandbox runtime.
     pub fn spawn(
         config: EndpointConfig,
         clock: SharedClock,
         serializer: Serializer,
         agent_channel: ChannelHandle,
         warm_engine: Option<Arc<WarmStartEngine>>,
+    ) -> Manager {
+        Self::spawn_with_sandbox(config, clock, serializer, agent_channel, warm_engine, None)
+    }
+
+    /// Spawn a manager whose workers additionally route sandbox-runtime
+    /// tasks through `sandbox` (one node-shared host: all the node's
+    /// workers draw from its pre-warmed env pool and session store, and the
+    /// manager loop drives its pre-warming/TTL maintenance).
+    pub fn spawn_with_sandbox(
+        config: EndpointConfig,
+        clock: SharedClock,
+        serializer: Serializer,
+        agent_channel: ChannelHandle,
+        warm_engine: Option<Arc<WarmStartEngine>>,
+        sandbox: Option<Arc<SandboxHost>>,
     ) -> Manager {
         let manager_id = ManagerId::random();
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -69,6 +88,7 @@ impl Manager {
                         serializer,
                         channel,
                         warm_engine,
+                        sandbox,
                         shutdown,
                     )
                 })
@@ -128,17 +148,25 @@ fn run_manager_loop(
     serializer: Serializer,
     agent: ChannelHandle,
     warm_engine: Option<Arc<WarmStartEngine>>,
+    sandbox: Option<Arc<SandboxHost>>,
     shutdown: Arc<AtomicBool>,
 ) {
+    // One runtime table for the whole node: every worker shares the same
+    // sandbox host (env pool + session store).
+    let runtimes = Arc::new(match sandbox {
+        Some(host) => RuntimeRegistry::with_sandbox(config.limits.clone(), host),
+        None => RuntimeRegistry::new(config.limits.clone()),
+    });
+
     // Spawn the node's workers.
     let (result_tx, result_rx): (Sender<SlotResult>, Receiver<SlotResult>) = unbounded();
     let mut slots: Vec<Slot> = (0..config.workers_per_manager)
         .map(|i| {
             let (cmd_tx, cmd_rx) = unbounded();
-            let worker = Worker::new(
+            let worker = Worker::with_runtimes(
                 Arc::clone(&clock),
                 serializer.clone(),
-                config.limits.clone(),
+                Arc::clone(&runtimes),
                 warm_engine.clone(),
             );
             let handle = spawn_worker_thread(
@@ -248,10 +276,12 @@ fn run_manager_loop(
 
         // 6. Warm-start maintenance: reap expired idle clones and pre-mint
         //    toward the predicted demand (background work, never charged to
-        //    a worker's task).
+        //    a worker's task). The runtime table's upkeep covers the
+        //    sandbox host's env pre-warming and session TTL reaping.
         if let Some(engine) = &warm_engine {
             engine.maintain();
         }
+        runtimes.maintain();
 
         // 7. Heartbeat on virtual period.
         let now = clock.now();
@@ -308,6 +338,10 @@ mod tests {
             container: None,
             container_modules: vec![],
             span: Default::default(),
+            runtime: Default::default(),
+            limits: Default::default(),
+            capabilities: vec![],
+            session: None,
         }
     }
 

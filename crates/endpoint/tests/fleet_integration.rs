@@ -50,6 +50,10 @@ fn dispatch(serializer: &Serializer, i: u128) -> TaskDispatch {
         container: None,
         container_modules: vec![],
         span: Default::default(),
+        runtime: Default::default(),
+        limits: Default::default(),
+        capabilities: vec![],
+        session: None,
     }
 }
 

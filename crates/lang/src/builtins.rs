@@ -10,8 +10,19 @@ use std::time::Duration;
 
 use crate::ast::BinOp;
 use crate::error::{LangError, LangResult};
-use crate::interp::Interpreter;
+use crate::interp::ExecHooks;
 use crate::value::Value;
+
+/// What builtin dispatch needs from its execution engine. The tree-walking
+/// [`Interpreter`](crate::interp::Interpreter) implements this, and so can
+/// any other engine (e.g. the `funcx-sandbox` VM) that wants to reuse the
+/// builtin surface without inheriting the interpreter itself.
+pub trait BuiltinCtx {
+    /// Side-effect hooks (`sleep`/`stress`/`print`).
+    fn hooks(&self) -> &dyn ExecHooks;
+    /// Has the program imported `module`? Gates the `math` builtins.
+    fn imported(&self, module: &str) -> bool;
+}
 
 fn err(msg: impl Into<String>, line: u32) -> LangError {
     LangError::new(msg, line)
@@ -471,7 +482,7 @@ pub fn call_method(recv: &Value, method: &str, args: Vec<Value>, line: u32) -> L
 
 /// Dispatch a builtin function by name.
 pub fn call_builtin(
-    interp: &mut Interpreter<'_>,
+    ctx: &dyn BuiltinCtx,
     name: &str,
     args: Vec<Value>,
     line: u32,
@@ -496,7 +507,7 @@ pub fn call_builtin(
                 .as_f64()
                 .filter(|s| *s >= 0.0 && s.is_finite())
                 .ok_or_else(|| err("sleep() takes a non-negative number of seconds", line))?;
-            interp.hooks().sleep(Duration::from_secs_f64(secs));
+            ctx.hooks().sleep(Duration::from_secs_f64(secs));
             Ok(Value::None)
         }
         "stress" => {
@@ -505,12 +516,12 @@ pub fn call_builtin(
                 .as_f64()
                 .filter(|s| *s >= 0.0 && s.is_finite())
                 .ok_or_else(|| err("stress() takes a non-negative number of seconds", line))?;
-            interp.hooks().stress(Duration::from_secs_f64(secs));
+            ctx.hooks().stress(Duration::from_secs_f64(secs));
             Ok(Value::None)
         }
         "print" => {
             let rendered: Vec<String> = args.iter().map(Value::to_string).collect();
-            interp.hooks().print(&rendered.join(" "));
+            ctx.hooks().print(&rendered.join(" "));
             Ok(Value::None)
         }
         // --- conversions ---------------------------------------------------
@@ -738,7 +749,7 @@ pub fn call_builtin(
         }
         // --- math module (requires `import math`) ---------------------------
         "sqrt" | "floor" | "ceil" | "sin" | "cos" | "tan" | "exp" | "log" | "log2" | "log10" => {
-            if !interp.imported("math") {
+            if !ctx.imported("math") {
                 return Err(err(format!("{name}() requires 'import math'"), line));
             }
             need(1)?;
@@ -770,7 +781,7 @@ pub fn call_builtin(
             Ok(Value::Float(out))
         }
         "pi" => {
-            if !interp.imported("math") {
+            if !ctx.imported("math") {
                 return Err(err("pi() requires 'import math'", line));
             }
             need(0)?;

@@ -160,6 +160,10 @@ impl<'h> Interpreter<'h> {
         self.fuel
     }
 
+    fn builtin_ctx(&self) -> &dyn builtins::BuiltinCtx {
+        self
+    }
+
     /// Invoke a loaded top-level function.
     pub fn call_function(
         &mut self,
@@ -602,9 +606,19 @@ impl<'h> Interpreter<'h> {
                         *line,
                     ));
                 }
-                builtins::call_builtin(self, callee, arg_vals, *line)
+                builtins::call_builtin(self.builtin_ctx(), callee, arg_vals, *line)
             }
         }
+    }
+}
+
+impl builtins::BuiltinCtx for Interpreter<'_> {
+    fn hooks(&self) -> &dyn ExecHooks {
+        Interpreter::hooks(self)
+    }
+
+    fn imported(&self, module: &str) -> bool {
+        Interpreter::imported(self, module)
     }
 }
 

@@ -41,6 +41,7 @@ pub mod parser;
 pub mod token;
 pub mod value;
 
+pub use builtins::BuiltinCtx;
 pub use error::{LangError, LangResult};
 pub use interp::{ExecHooks, Interpreter, Limits, NoopHooks};
 pub use value::Value;

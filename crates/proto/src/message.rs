@@ -9,7 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use funcx_types::trace::SpanContext;
 use funcx_types::{
-    ContainerImageId, EndpointId, EndpointStatsReport, FunctionId, ManagerId, TaskId,
+    Capability, ContainerImageId, EndpointId, EndpointStatsReport, FunctionId, ManagerId, Runtime,
+    TaskId, TaskLimits,
 };
 
 /// One task travelling toward a worker.
@@ -35,6 +36,21 @@ pub struct TaskDispatch {
     /// (inactive context, for frames from older peers) disables tracing.
     #[serde(default)]
     pub span: SpanContext,
+    /// Execution runtime negotiated at registration. Frames from older
+    /// services decode to FxScript — the classic interpreter path.
+    #[serde(default)]
+    pub runtime: Runtime,
+    /// Per-function resource-cap overlay (unset entries fall back to the
+    /// executing runtime's defaults).
+    #[serde(default)]
+    pub limits: TaskLimits,
+    /// Capability grants for the sandbox runtime (deny-by-default).
+    #[serde(default)]
+    pub capabilities: Vec<Capability>,
+    /// Persistent sandbox session key (`"{owner}:{name}"`), if the function
+    /// was registered with a named session.
+    #[serde(default)]
+    pub session: Option<String>,
 }
 
 /// One result travelling back to the service.
@@ -65,6 +81,15 @@ pub struct TaskResult {
     /// attach remote-side spans to the originating trace.
     #[serde(default)]
     pub span: SpanContext,
+    /// Runtime that actually executed the task (echoed from the dispatch);
+    /// frames from older agents decode to FxScript.
+    #[serde(default)]
+    pub runtime: Runtime,
+    /// Resource-cap label (`fuel`/`memory`/`time`/`output`/`capability`)
+    /// when a sandbox cap killed the task, `None` otherwise. Drives the
+    /// service's cap-kill counters.
+    #[serde(default)]
+    pub cap_kill: Option<String>,
 }
 
 impl TaskResult {
@@ -198,6 +223,10 @@ mod tests {
             container: Some(ContainerImageId::from_u128(3)),
             container_modules: vec!["tomopy".into()],
             span: SpanContext::root(funcx_types::trace::TraceId(1), true),
+            runtime: Runtime::Sandbox,
+            limits: TaskLimits { max_fuel: Some(1_000), ..TaskLimits::default() },
+            capabilities: vec![Capability::Clock],
+            session: Some("1:counter".into()),
         }
     }
 
@@ -223,6 +252,8 @@ mod tests {
                 exec_end_nanos: 243,
                 stdout: vec!["line".into()],
                 span: SpanContext::root(funcx_types::trace::TraceId(1), true),
+                runtime: Runtime::Sandbox,
+                cap_kill: Some("fuel".into()),
             }]),
             Message::CapacityAdvert {
                 manager_id: ManagerId::from_u128(4),
@@ -248,6 +279,12 @@ mod tests {
                     prewarm_minted: 7,
                     warm_evictions: 8,
                     warm_snapshots: 9,
+                    sandbox_warm_hits: 10,
+                    sandbox_predicted_hits: 11,
+                    sandbox_clone_hits: 12,
+                    sandbox_cold_misses: 13,
+                    sandbox_sessions: 2,
+                    sandbox_cap_kills: 1,
                 },
             },
             Message::HeartbeatAck { seq: 42 },
@@ -257,6 +294,52 @@ mod tests {
             let bytes = m.to_bytes();
             assert_eq!(Message::from_bytes(&bytes).unwrap(), m, "kind {}", m.kind());
         }
+    }
+
+    /// Frames from services/agents that predate runtime negotiation carry
+    /// none of the runtime fields; they must decode to the FxScript
+    /// defaults, never error. (Skipped under the offline stub harness,
+    /// where `serde_json` is unavailable.)
+    #[test]
+    fn v1_frames_without_runtime_decode_to_fxscript() {
+        if serde_json::to_vec(&serde_json::json!({})).is_err() {
+            return;
+        }
+        let dispatch_v1 = serde_json::json!({
+            "Tasks": [{
+                "task_id": 1,
+                "function_id": 2,
+                "code": [1, 2],
+                "payload": [3],
+                "container": null,
+            }]
+        });
+        let bytes = serde_json::to_vec(&dispatch_v1).unwrap();
+        let Message::Tasks(tasks) = Message::from_bytes(&bytes).unwrap() else {
+            panic!("expected Tasks")
+        };
+        assert_eq!(tasks[0].runtime, Runtime::FxScript);
+        assert!(tasks[0].limits.is_unset());
+        assert!(tasks[0].capabilities.is_empty());
+        assert_eq!(tasks[0].session, None);
+
+        let result_v1 = serde_json::json!({
+            "Results": [{
+                "task_id": 1,
+                "success": true,
+                "body": [7],
+                "endpoint_received_nanos": 5,
+                "exec_start_nanos": 6,
+                "exec_end_nanos": 9,
+                "stdout": [],
+            }]
+        });
+        let bytes = serde_json::to_vec(&result_v1).unwrap();
+        let Message::Results(results) = Message::from_bytes(&bytes).unwrap() else {
+            panic!("expected Results")
+        };
+        assert_eq!(results[0].runtime, Runtime::FxScript);
+        assert_eq!(results[0].cap_kill, None);
     }
 
     #[test]
@@ -277,6 +360,8 @@ mod tests {
             exec_end_nanos: 350,
             stdout: vec![],
             span: SpanContext::default(),
+            runtime: Runtime::FxScript,
+            cap_kill: None,
         };
         assert_eq!(r.exec_nanos(), 250);
         r.exec_end_nanos = 50;

@@ -9,9 +9,16 @@ use std::collections::HashMap;
 
 use funcx_auth::GroupId;
 use funcx_types::time::VirtualInstant;
-use funcx_types::{EndpointId, EndpointStatsReport, FuncxError, Result, UserId};
+use funcx_types::{EndpointId, EndpointStatsReport, FuncxError, Result, Runtime, UserId};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
+
+/// Serde default for [`EndpointRecord::runtimes`]: endpoints registered
+/// before runtime negotiation existed advertise every runtime, preserving
+/// old-record decode behaviour.
+fn all_runtimes() -> Vec<Runtime> {
+    Runtime::ALL.to_vec()
+}
 
 /// Connection status tracked by the service (drives forwarder lifecycle).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,9 +59,19 @@ pub struct EndpointRecord {
     /// Virtual time the last heartbeat/status report was seen.
     #[serde(default)]
     pub last_heartbeat: Option<VirtualInstant>,
+    /// Execution runtimes this endpoint's agent can host. The service
+    /// refuses to route a function to an endpoint whose advertised set
+    /// does not include the function's negotiated runtime.
+    #[serde(default = "all_runtimes")]
+    pub runtimes: Vec<Runtime>,
 }
 
 impl EndpointRecord {
+    /// Can this endpoint's agent execute functions under `runtime`?
+    pub fn supports(&self, runtime: Runtime) -> bool {
+        self.runtimes.contains(&runtime)
+    }
+
     /// May `user` run tasks on this endpoint?
     pub fn may_use(&self, user: UserId, in_allowed_group: impl Fn(&[GroupId]) -> bool) -> bool {
         self.owner == user
@@ -75,7 +92,7 @@ impl EndpointRegistry {
         EndpointRegistry { by_id: RwLock::new(HashMap::new()) }
     }
 
-    /// Register a new endpoint.
+    /// Register a new endpoint advertising every runtime.
     pub fn register(
         &self,
         owner: UserId,
@@ -84,7 +101,23 @@ impl EndpointRegistry {
         public: bool,
         now: VirtualInstant,
     ) -> EndpointId {
+        self.register_with(owner, name, description, public, all_runtimes(), now)
+    }
+
+    /// Register a new endpoint advertising an explicit runtime set. An
+    /// empty set is normalised to FxScript-only (every agent embeds the
+    /// classic interpreter).
+    pub fn register_with(
+        &self,
+        owner: UserId,
+        name: &str,
+        description: &str,
+        public: bool,
+        runtimes: Vec<Runtime>,
+        now: VirtualInstant,
+    ) -> EndpointId {
         let endpoint_id = EndpointId::random();
+        let runtimes = if runtimes.is_empty() { vec![Runtime::FxScript] } else { runtimes };
         let record = EndpointRecord {
             endpoint_id,
             owner,
@@ -98,6 +131,7 @@ impl EndpointRegistry {
             registered_at: now,
             last_report: None,
             last_heartbeat: None,
+            runtimes,
         };
         self.by_id.write().insert(endpoint_id, record);
         endpoint_id
@@ -304,6 +338,25 @@ mod tests {
         // offline until the agent reconnects (which bumps the generation).
         assert_eq!(back.status, EndpointStatus::Offline);
         assert_eq!(restored.mark_online(id).unwrap(), gen + 1);
+    }
+
+    #[test]
+    fn runtime_advertisement_defaults_and_restriction() {
+        let reg = EndpointRegistry::new();
+        let owner = UserId::from_u128(1);
+        // Plain registration advertises everything.
+        let open = reg.register(owner, "ep", "", false, T0);
+        let rec = reg.get(open).unwrap();
+        assert!(rec.supports(Runtime::FxScript));
+        assert!(rec.supports(Runtime::Sandbox));
+        // Restricted registration only advertises what was given.
+        let classic = reg.register_with(owner, "old", "", false, vec![Runtime::FxScript], T0);
+        let rec = reg.get(classic).unwrap();
+        assert!(rec.supports(Runtime::FxScript));
+        assert!(!rec.supports(Runtime::Sandbox));
+        // Empty set normalises to FxScript-only rather than "nothing runs".
+        let none = reg.register_with(owner, "none", "", false, vec![], T0);
+        assert_eq!(reg.get(none).unwrap().runtimes, vec![Runtime::FxScript]);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::collections::HashMap;
 
 use funcx_auth::GroupId;
 use funcx_types::time::VirtualInstant;
-use funcx_types::{ContainerImageId, FunctionId, FuncxError, Result, UserId};
+use funcx_types::{ContainerImageId, FunctionId, FunctionOptions, FuncxError, Result, UserId};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +46,11 @@ pub struct FunctionRecord {
     pub version: u32,
     /// Virtual registration time.
     pub registered_at: VirtualInstant,
+    /// Runtime negotiation bundle: which engine executes the function, its
+    /// cap overlay, capability grants, and optional persistent session.
+    /// Defaults keep pre-runtime records decoding to classic behaviour.
+    #[serde(default)]
+    pub options: FunctionOptions,
 }
 
 impl FunctionRecord {
@@ -73,7 +78,8 @@ impl FunctionRegistry {
         }
     }
 
-    /// Register a new function, assigning its id.
+    /// Register a new function with default runtime options (FxScript, no
+    /// caps pinned), assigning its id.
     #[allow(clippy::too_many_arguments)]
     pub fn register(
         &self,
@@ -83,6 +89,32 @@ impl FunctionRegistry {
         entry: &str,
         container: Option<ContainerImageId>,
         sharing: Sharing,
+        now: VirtualInstant,
+    ) -> FunctionId {
+        self.register_with(
+            owner,
+            name,
+            source,
+            entry,
+            container,
+            sharing,
+            FunctionOptions::default(),
+            now,
+        )
+    }
+
+    /// Register a new function with explicit runtime options, assigning
+    /// its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_with(
+        &self,
+        owner: UserId,
+        name: &str,
+        source: &str,
+        entry: &str,
+        container: Option<ContainerImageId>,
+        sharing: Sharing,
+        options: FunctionOptions,
         now: VirtualInstant,
     ) -> FunctionId {
         let function_id = FunctionId::random();
@@ -96,6 +128,7 @@ impl FunctionRegistry {
             sharing,
             version: 1,
             registered_at: now,
+            options,
         };
         self.by_id.write().insert(function_id, record);
         self.by_owner.write().entry(owner).or_default().push(function_id);

@@ -1,0 +1,199 @@
+//! Persistent named sessions.
+//!
+//! A function registered with `session: "name"` shares one mutable value
+//! store across every invocation that lands on the same endpoint — the
+//! sandbox analogue of a warm container that keeps model weights loaded
+//! between tasks. Sessions are scoped to the function owner (the service
+//! builds the wire key as `"{owner}:{name}"`), reaped after a TTL of
+//! inactivity, and torn down explicitly on request.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use funcx_lang::Value;
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use parking_lot::Mutex;
+
+/// Default idle TTL for a named session (mirrors the paper's 5-10 minute
+/// warm-container window, §4.7).
+pub const DEFAULT_SESSION_TTL: VirtualDuration = VirtualDuration::from_secs(600);
+
+/// The mutable state behind one named session: an insertion-ordered
+/// string-keyed map of FxScript values.
+#[derive(Debug, Default)]
+pub struct SessionState {
+    pairs: Vec<(String, Value)>,
+    execs: u64,
+}
+
+impl SessionState {
+    /// Read a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Write a key (insert or replace), returning the approximate size of
+    /// the displaced value (0 for a fresh key).
+    pub fn set(&mut self, key: String, value: Value) -> usize {
+        if let Some(slot) = self.pairs.iter_mut().find(|(k, _)| *k == key) {
+            let old = slot.1.approx_size();
+            slot.1 = value;
+            old
+        } else {
+            self.pairs.push((key, value));
+            0
+        }
+    }
+
+    /// Drop every key, returning the bytes released.
+    pub fn clear(&mut self) -> usize {
+        let released = self.approx_size();
+        self.pairs.clear();
+        released
+    }
+
+    /// Number of stored keys.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Approximate heap footprint of the stored values.
+    pub fn approx_size(&self) -> usize {
+        self.pairs.iter().map(|(k, v)| 24 + k.len() + v.approx_size()).sum()
+    }
+
+    /// Executions that have run against this session.
+    pub fn execs(&self) -> u64 {
+        self.execs
+    }
+
+    /// Record one execution.
+    pub fn note_exec(&mut self) {
+        self.execs += 1;
+    }
+}
+
+struct SessionEntry {
+    state: Arc<Mutex<SessionState>>,
+    touched: VirtualInstant,
+}
+
+/// TTL-reaped store of named sessions. Concurrent executions against the
+/// same session serialize on its per-session lock; the store lock is only
+/// held for lookup.
+pub struct SessionStore {
+    clock: SharedClock,
+    ttl: VirtualDuration,
+    sessions: Mutex<HashMap<String, SessionEntry>>,
+}
+
+impl SessionStore {
+    /// New store with the given idle TTL.
+    pub fn new(clock: SharedClock, ttl: VirtualDuration) -> Self {
+        SessionStore { clock, ttl, sessions: Mutex::new(HashMap::new()) }
+    }
+
+    /// Fetch (creating if absent) the session behind `key`, stamping its
+    /// last-touched time.
+    pub fn checkout(&self, key: &str) -> Arc<Mutex<SessionState>> {
+        let now = self.clock.now();
+        let mut sessions = self.sessions.lock();
+        let entry = sessions.entry(key.to_string()).or_insert_with(|| SessionEntry {
+            state: Arc::new(Mutex::new(SessionState::default())),
+            touched: now,
+        });
+        entry.touched = now;
+        Arc::clone(&entry.state)
+    }
+
+    /// True if `key` currently has live state.
+    pub fn contains(&self, key: &str) -> bool {
+        self.sessions.lock().contains_key(key)
+    }
+
+    /// Explicit teardown; returns true if the session existed.
+    pub fn teardown(&self, key: &str) -> bool {
+        self.sessions.lock().remove(key).is_some()
+    }
+
+    /// Drop sessions idle past the TTL; returns how many were reaped.
+    pub fn reap(&self) -> usize {
+        let now = self.clock.now();
+        let mut sessions = self.sessions.lock();
+        let before = sessions.len();
+        let ttl = self.ttl;
+        sessions.retain(|_, e| now.saturating_duration_since(e.touched) < ttl);
+        before - sessions.len()
+    }
+
+    /// Live session count.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// True when no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+
+    #[test]
+    fn state_set_get_replace_and_size() {
+        let mut s = SessionState::default();
+        assert_eq!(s.set("a".into(), Value::Int(1)), 0);
+        assert_eq!(s.get("a"), Some(&Value::Int(1)));
+        let displaced = s.set("a".into(), Value::Str("xx".into()));
+        assert_eq!(displaced, 8, "old Int(1) footprint returned");
+        assert!(s.approx_size() > 0);
+        assert_eq!(s.clear(), 24 + 1 + 24 + 2, "pair overhead + key + str footprint");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn checkout_persists_state_across_calls() {
+        let clock = ManualClock::new();
+        let store = SessionStore::new(clock.clone(), DEFAULT_SESSION_TTL);
+        store.checkout("alice:model").lock().set("n".into(), Value::Int(41));
+        let again = store.checkout("alice:model");
+        let mut st = again.lock();
+        let n = st.get("n").and_then(Value::as_i64).unwrap();
+        st.set("n".into(), Value::Int(n + 1));
+        assert_eq!(st.get("n"), Some(&Value::Int(42)));
+    }
+
+    #[test]
+    fn ttl_reaps_idle_but_touch_refreshes() {
+        let clock = ManualClock::new();
+        let store = SessionStore::new(clock.clone(), VirtualDuration::from_secs(100));
+        store.checkout("a:s1");
+        clock.advance(VirtualDuration::from_secs(60));
+        store.checkout("a:s2");
+        store.checkout("a:s1"); // refresh
+        clock.advance(VirtualDuration::from_secs(60));
+        // s2 is 60s idle, s1 was refreshed at t=60 so also 60s idle: none reaped.
+        assert_eq!(store.reap(), 0);
+        clock.advance(VirtualDuration::from_secs(50));
+        assert_eq!(store.reap(), 2, "both now past the 100s TTL");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn teardown_is_explicit_and_idempotent() {
+        let clock = ManualClock::new();
+        let store = SessionStore::new(clock, DEFAULT_SESSION_TTL);
+        store.checkout("a:s");
+        assert!(store.teardown("a:s"));
+        assert!(!store.teardown("a:s"));
+        assert!(!store.contains("a:s"));
+    }
+}

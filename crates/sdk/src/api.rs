@@ -21,6 +21,24 @@ pub type TaskValue = std::result::Result<Value, String>;
 pub trait ServiceApi: Send + Sync {
     /// Register a function.
     fn register_function(&self, bearer: &str, source: &str, entry: &str) -> Result<FunctionId>;
+    /// Register a function with explicit execution options (runtime,
+    /// caps, capability grants, persistent session). Defaults to the
+    /// plain registration when the options are all defaults, and errors
+    /// on transports that predate runtime negotiation.
+    fn register_function_with(
+        &self,
+        bearer: &str,
+        source: &str,
+        entry: &str,
+        options: funcx_types::FunctionOptions,
+    ) -> Result<FunctionId> {
+        if options == funcx_types::FunctionOptions::default() {
+            return self.register_function(bearer, source, entry);
+        }
+        Err(FuncxError::BadRequest(
+            "this transport does not support function execution options".into(),
+        ))
+    }
     /// Register an endpoint.
     fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId>;
     /// Create an endpoint pool; its id is submittable wherever an
@@ -72,6 +90,24 @@ impl InProcApi {
 impl ServiceApi for InProcApi {
     fn register_function(&self, bearer: &str, source: &str, entry: &str) -> Result<FunctionId> {
         self.service.register_function(bearer, entry, source, entry, None, Sharing::default())
+    }
+
+    fn register_function_with(
+        &self,
+        bearer: &str,
+        source: &str,
+        entry: &str,
+        options: funcx_types::FunctionOptions,
+    ) -> Result<FunctionId> {
+        self.service.register_function_with(
+            bearer,
+            entry,
+            source,
+            entry,
+            None,
+            Sharing::default(),
+            options,
+        )
     }
 
     fn register_endpoint(&self, bearer: &str, name: &str, public: bool) -> Result<EndpointId> {
@@ -211,6 +247,41 @@ impl ServiceApi for RestApi {
             "/v1/functions",
             bearer,
             serde_json::json!({ "name": entry, "source": source, "entry": entry }),
+        )?;
+        out["function_id"]
+            .as_str()
+            .ok_or_else(|| FuncxError::ProtocolViolation("missing function_id".into()))?
+            .parse()
+    }
+
+    fn register_function_with(
+        &self,
+        bearer: &str,
+        source: &str,
+        entry: &str,
+        options: funcx_types::FunctionOptions,
+    ) -> Result<FunctionId> {
+        let capabilities: Vec<&str> = options.capabilities.iter().map(|c| c.as_str()).collect();
+        let out = self.call(
+            "POST",
+            "/v1/functions",
+            bearer,
+            serde_json::json!({
+                "name": entry,
+                "source": source,
+                "entry": entry,
+                "runtime": options.runtime.as_str(),
+                "limits": {
+                    "max_fuel": options.limits.max_fuel,
+                    "max_depth": options.limits.max_depth,
+                    "max_value_bytes": options.limits.max_value_bytes,
+                    "max_memory_bytes": options.limits.max_memory_bytes,
+                    "max_millis": options.limits.max_millis,
+                    "max_output_bytes": options.limits.max_output_bytes,
+                },
+                "capabilities": capabilities,
+                "session": options.session,
+            }),
         )?;
         out["function_id"]
             .as_str()

@@ -43,6 +43,18 @@ impl FuncXClient {
         self.api.register_function(&self.bearer, source, entry)
     }
 
+    /// Register a function with explicit execution options: which runtime
+    /// executes it ("fxscript" or "sandbox"), per-function resource caps,
+    /// capability grants, and an optional persistent session name.
+    pub fn register_function_with(
+        &self,
+        source: &str,
+        entry: &str,
+        options: funcx_types::FunctionOptions,
+    ) -> Result<FunctionId> {
+        self.api.register_function_with(&self.bearer, source, entry, options)
+    }
+
     /// Register an endpoint record (the agent deployment references it).
     pub fn register_endpoint(&self, name: &str, public: bool) -> Result<EndpointId> {
         self.api.register_endpoint(&self.bearer, name, public)

@@ -309,6 +309,12 @@ fn build_dispatch(
         .and_then(|img| service.images.get(img))
         .map(|img| img.modules)
         .unwrap_or_default();
+    // Runtime negotiation: the dispatch frame carries which engine runs the
+    // function plus its registered caps / grants. Session names are scoped
+    // by the owning user so two users' `counter` sessions never collide on
+    // a shared endpoint.
+    let options = &function.options;
+    let session_key = options.session.as_ref().map(|s| format!("{}:{}", function.owner, s));
     // Per-task write section: re-check the state (another forwarder
     // generation may have raced us between the read above and now), then
     // transition and stamp. Nothing here serializes or hashes.
@@ -331,6 +337,10 @@ fn build_dispatch(
                 // The trace context crosses the wire with the task; the
                 // agent echoes it back on the result frame.
                 span: record.spec.span,
+                runtime: record.spec.runtime,
+                limits: options.limits,
+                capabilities: options.capabilities.clone(),
+                session: session_key.clone(),
             })
         })
         .flatten();
@@ -474,6 +484,16 @@ fn store_results(
             service.instruments.tasks_failed.inc();
         }
         service.instruments.results_stored.inc();
+        // Runtime-negotiation counters: which engine ran the task, and —
+        // when a sandbox cap killed it — which cap.
+        if let Some(idx) = funcx_types::Runtime::ALL.iter().position(|rt| *rt == r.runtime) {
+            service.instruments.runtime_execs[idx][if r.success { 0 } else { 1 }].inc();
+        }
+        if let Some(cap) = &r.cap_kill {
+            if let Some(ci) = crate::service::CAP_LABELS.iter().position(|c| c == cap) {
+                service.instruments.cap_kills[ci].inc();
+            }
+        }
         if let Some(total) = total {
             service.instruments.task_latency.record(total);
         }

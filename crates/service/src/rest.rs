@@ -72,6 +72,20 @@ pub struct RegisterFunctionBody {
     /// Container image to execute in (from POST /v1/images), if any.
     #[serde(default)]
     pub container_id: Option<String>,
+    /// Execution runtime: "fxscript" (default) or "sandbox".
+    #[serde(default)]
+    pub runtime: Option<String>,
+    /// Per-function resource caps overlaying the endpoint defaults.
+    #[serde(default)]
+    pub limits: funcx_types::TaskLimits,
+    /// Capability grants ("clock", "session"); sandbox runtime only.
+    #[serde(default)]
+    pub capabilities: Vec<String>,
+    /// Persistent named session (sandbox runtime only): invocations of
+    /// this function share one environment under this name until its TTL
+    /// or an explicit teardown.
+    #[serde(default)]
+    pub session: Option<String>,
 }
 
 /// PUT /v1/functions/<id>
@@ -108,6 +122,10 @@ pub struct RegisterEndpointBody {
     /// Public targeting flag.
     #[serde(default)]
     pub public: bool,
+    /// Runtimes this endpoint advertises ("fxscript", "sandbox"). Empty
+    /// means all — the classic default.
+    #[serde(default)]
+    pub runtimes: Vec<String>,
 }
 
 /// POST /v1/submit (and the element type of /v1/batch)
@@ -263,13 +281,34 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                     Err(_) => return bad_request("bad container_id"),
                 },
             };
-            match service.register_function(
+            let runtime = match body.runtime.as_deref() {
+                None => funcx_types::Runtime::default(),
+                Some(raw) => match funcx_types::Runtime::parse(raw) {
+                    Some(r) => r,
+                    None => return bad_request(&format!("unknown runtime '{raw}'")),
+                },
+            };
+            let mut capabilities = Vec::with_capacity(body.capabilities.len());
+            for raw in &body.capabilities {
+                match funcx_types::Capability::parse(raw) {
+                    Some(c) => capabilities.push(c),
+                    None => return bad_request(&format!("unknown capability '{raw}'")),
+                }
+            }
+            let options = funcx_types::FunctionOptions {
+                runtime,
+                limits: body.limits,
+                capabilities,
+                session: body.session.clone(),
+            };
+            match service.register_function_with(
                 &bearer,
                 &body.name,
                 &body.source,
                 &body.entry,
                 container,
                 sharing,
+                options,
             ) {
                 Ok(id) => ok_json(&serde_json::json!({ "function_id": id.to_string() })),
                 Err(e) => err_json(&e),
@@ -315,7 +354,20 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
                 Ok(b) => b,
                 Err(resp) => return resp,
             };
-            match service.register_endpoint(&bearer, &body.name, &body.description, body.public) {
+            let mut runtimes = Vec::with_capacity(body.runtimes.len());
+            for raw in &body.runtimes {
+                match funcx_types::Runtime::parse(raw) {
+                    Some(r) => runtimes.push(r),
+                    None => return bad_request(&format!("unknown runtime '{raw}'")),
+                }
+            }
+            match service.register_endpoint_with(
+                &bearer,
+                &body.name,
+                &body.description,
+                body.public,
+                runtimes,
+            ) {
                 Ok(id) => ok_json(&serde_json::json!({ "endpoint_id": id.to_string() })),
                 Err(e) => err_json(&e),
             }
@@ -662,6 +714,19 @@ fn endpoint_json(
             "prewarm_minted": r.prewarm_minted,
             "evictions": r.warm_evictions,
             "snapshots": r.warm_snapshots,
+        })),
+        // Runtimes this endpoint advertises (runtime negotiation).
+        "runtimes": record.runtimes.iter().map(|r| r.as_str()).collect::<Vec<_>>(),
+        // Sandbox session-pool tiers from the last heartbeat report: how
+        // each sandbox acquisition was served, plus live named sessions
+        // and cumulative resource-cap kills.
+        "sandbox": record.last_report.map(|r| serde_json::json!({
+            "warm": r.sandbox_warm_hits,
+            "predicted": r.sandbox_predicted_hits,
+            "clone": r.sandbox_clone_hits,
+            "cold": r.sandbox_cold_misses,
+            "sessions": r.sandbox_sessions,
+            "cap_kills": r.sandbox_cap_kills,
         })),
         // Windowed aggregates from the stats tables (null until this
         // endpoint has seen traffic): submit/error rates and per-station

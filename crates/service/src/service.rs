@@ -91,7 +91,18 @@ pub(crate) struct Instruments {
     /// WAL appends that returned an I/O error (state kept serving from
     /// memory).
     pub wal_append_errors: Counter,
+    /// Executions by negotiated runtime and outcome, counted from result
+    /// frames (`funcx_sandbox_execs_total{runtime,outcome}`; outer index
+    /// follows `Runtime::ALL`, inner is success/failure).
+    pub runtime_execs: [[Counter; 2]; 2],
+    /// Sandbox cap kills by cap label, counted from the `cap_kill` field
+    /// of result frames (`funcx_sandbox_cap_kills_total{cap}`; index
+    /// follows [`CAP_LABELS`]).
+    pub cap_kills: [Counter; 5],
 }
+
+/// Cap labels a result frame may carry in `cap_kill`, in counter order.
+pub(crate) const CAP_LABELS: [&str; 5] = ["fuel", "memory", "time", "output", "capability"];
 
 impl Instruments {
     fn new(registry: &MetricsRegistry) -> Instruments {
@@ -114,6 +125,16 @@ impl Instruments {
             dereg_dropped_results: registry
                 .counter("funcx_dereg_dropped_total", &[("kind", "result")]),
             wal_append_errors: registry.counter("funcx_wal_append_errors_total", &[]),
+            runtime_execs: funcx_types::Runtime::ALL.map(|r| {
+                ["success", "failure"].map(|outcome| {
+                    registry.counter(
+                        "funcx_sandbox_execs_total",
+                        &[("runtime", r.as_str()), ("outcome", outcome)],
+                    )
+                })
+            }),
+            cap_kills: CAP_LABELS
+                .map(|cap| registry.counter("funcx_sandbox_cap_kills_total", &[("cap", cap)])),
         }
     }
 }
@@ -494,8 +515,44 @@ impl FuncxService {
         container: Option<ContainerImageId>,
         sharing: Sharing,
     ) -> Result<FunctionId> {
+        self.register_function_with(
+            bearer,
+            name,
+            source,
+            entry,
+            container,
+            sharing,
+            funcx_types::FunctionOptions::default(),
+        )
+    }
+
+    /// Register a function with explicit execution options: the negotiated
+    /// runtime, per-function resource caps, capability grants, and an
+    /// optional persistent session name (sandbox runtime).
+    #[allow(clippy::too_many_arguments)]
+    pub fn register_function_with(
+        &self,
+        bearer: &str,
+        name: &str,
+        source: &str,
+        entry: &str,
+        container: Option<ContainerImageId>,
+        sharing: Sharing,
+        options: funcx_types::FunctionOptions,
+    ) -> Result<FunctionId> {
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::RegisterFunction)?;
+        // Sessions and capability grants are sandbox concepts; registering
+        // them against the classic interpreter would silently do nothing,
+        // so fail closed at registration instead.
+        if options.runtime != funcx_types::Runtime::Sandbox
+            && (options.session.is_some() || !options.capabilities.is_empty())
+        {
+            return Err(FuncxError::BadRequest(format!(
+                "sessions and capabilities require the sandbox runtime, not '{}'",
+                options.runtime
+            )));
+        }
         let program = funcx_lang::parse(source)
             .map_err(|e| FuncxError::BadRequest(format!("function body invalid: {e}")))?;
         if program.find_def(entry).is_none() {
@@ -529,13 +586,14 @@ impl FuncxService {
             }
         }
         self.charge_store();
-        let function_id = self.functions.register(
+        let function_id = self.functions.register_with(
             user,
             name,
             source,
             entry,
             container,
             sharing,
+            options,
             self.clock.now(),
         );
         if self.wal_enabled() {
@@ -575,7 +633,7 @@ impl FuncxService {
         Ok(version)
     }
 
-    /// Register an endpoint (§3).
+    /// Register an endpoint (§3) advertising every runtime.
     pub fn register_endpoint(
         &self,
         bearer: &str,
@@ -583,11 +641,29 @@ impl FuncxService {
         description: &str,
         public: bool,
     ) -> Result<EndpointId> {
+        self.register_endpoint_with(bearer, name, description, public, Vec::new())
+    }
+
+    /// Register an endpoint advertising an explicit runtime set; an empty
+    /// set means "advertise everything" (the classic default). The service
+    /// refuses at submit time to route a function to an endpoint that does
+    /// not advertise its runtime.
+    pub fn register_endpoint_with(
+        &self,
+        bearer: &str,
+        name: &str,
+        description: &str,
+        public: bool,
+        runtimes: Vec<funcx_types::Runtime>,
+    ) -> Result<EndpointId> {
         self.charge_auth();
         let user = self.auth.authorize(bearer, Scope::RegisterEndpoint)?;
         self.charge_store();
-        let endpoint_id =
-            self.endpoints.register(user, name, description, public, self.clock.now());
+        let endpoint_id = if runtimes.is_empty() {
+            self.endpoints.register(user, name, description, public, self.clock.now())
+        } else {
+            self.endpoints.register_with(user, name, description, public, runtimes, self.clock.now())
+        };
         if self.wal_enabled() {
             if let Ok(record) = self.endpoints.get(endpoint_id) {
                 self.log_event(&DurableEvent::EndpointRegistered { record: Box::new(record) });
@@ -767,6 +843,21 @@ impl FuncxService {
                         "endpoint {endpoint_id} is not shared with user {user}"
                     )));
                 }
+                // Runtime negotiation: refuse here, at submit, rather than
+                // dispatching a task the endpoint can never execute.
+                if !endpoint.supports(function.options.runtime) {
+                    return Err(FuncxError::BadRequest(format!(
+                        "endpoint {endpoint_id} does not support runtime '{}' \
+                         (advertises: {})",
+                        function.options.runtime,
+                        endpoint
+                            .runtimes
+                            .iter()
+                            .map(|r| r.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )));
+                }
                 (endpoint_id, None, "pinned")
             }
             RouteTarget::Pool(pool_id) => {
@@ -825,6 +916,7 @@ impl FuncxService {
             allow_memo: request.allow_memo,
             pool,
             span: root,
+            runtime: function.options.runtime,
         };
         let mut record = TaskRecord::new(spec, received);
         self.instruments.tasks_submitted.inc();
@@ -1141,14 +1233,26 @@ impl FuncxService {
     /// route counter.
     fn route_in_pool(&self, pool: &PoolRecord, function_id: FunctionId) -> Result<EndpointId> {
         let now = self.clock.now();
-        let mut snapshots: Vec<EndpointSnapshot> =
-            pool.members.iter().filter_map(|&ep| self.endpoint_snapshot(ep, now)).collect();
+        // Runtime negotiation: only members advertising the function's
+        // runtime are candidates, so a mixed pool routes sandbox functions
+        // around interpreter-only endpoints instead of stranding them.
+        let runtime = self
+            .functions
+            .get(function_id)
+            .map(|f| f.options.runtime)
+            .unwrap_or(funcx_types::Runtime::FxScript);
+        let mut snapshots: Vec<EndpointSnapshot> = pool
+            .members
+            .iter()
+            .filter(|&&ep| self.endpoints.get(ep).map(|r| r.supports(runtime)).unwrap_or(false))
+            .filter_map(|&ep| self.endpoint_snapshot(ep, now))
+            .collect();
         let chosen = self
             .router
             .route(pool.pool_id, pool.policy, function_id, &mut snapshots, now)
             .ok_or_else(|| {
                 FuncxError::NoHealthyEndpoint(format!(
-                    "pool {} has no routable member",
+                    "pool {} has no routable member supporting runtime '{runtime}'",
                     pool.pool_id
                 ))
             })?;
@@ -1420,6 +1524,27 @@ impl FuncxService {
             self.metrics
                 .gauge("funcx_prewarm_minted_total", &[("endpoint", ep.as_str())])
                 .set(report.prewarm_minted);
+            // Sandbox session-pool tiers, live sessions, and cap kills from
+            // the same heartbeat report.
+            for (tier, value) in [
+                ("warm", report.sandbox_warm_hits),
+                ("predicted", report.sandbox_predicted_hits),
+                ("clone", report.sandbox_clone_hits),
+                ("cold", report.sandbox_cold_misses),
+            ] {
+                self.metrics
+                    .gauge(
+                        "funcx_sandbox_acquires_total",
+                        &[("endpoint", ep.as_str()), ("tier", tier)],
+                    )
+                    .set(value);
+            }
+            self.metrics
+                .gauge("funcx_sandbox_sessions", &[("endpoint", ep.as_str())])
+                .set(report.sandbox_sessions);
+            self.metrics
+                .gauge("funcx_sandbox_endpoint_cap_kills_total", &[("endpoint", ep.as_str())])
+                .set(report.sandbox_cap_kills);
         }
         self.metrics
             .float_gauge("funcx_uptime_seconds", &[])
@@ -1818,5 +1943,179 @@ mod tests {
         clock.advance(std::time::Duration::from_secs(61));
         assert_eq!(svc.purge_retrieved(), 1);
         assert!(svc.task_record(unfetched).is_err());
+    }
+
+    /// Register a sandbox-runtime function under `token`.
+    fn register_sandbox_fn(svc: &FuncxService, token: &str) -> FunctionId {
+        svc.register_function_with(
+            token,
+            "sb",
+            "def sb(x):\n    return x + 1\n",
+            "sb",
+            None,
+            Sharing::default(),
+            funcx_types::FunctionOptions {
+                runtime: funcx_types::Runtime::Sandbox,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sandbox_submit_to_interpreter_only_endpoint_is_a_clean_bad_request() {
+        let (svc, token, _, _) = service();
+        let fx_only = svc
+            .register_endpoint_with(
+                &token,
+                "fx-only",
+                "",
+                false,
+                vec![funcx_types::Runtime::FxScript],
+            )
+            .unwrap();
+        let f = register_sandbox_fn(&svc, &token);
+        match svc.submit(&token, request(f, fx_only)) {
+            Err(FuncxError::BadRequest(msg)) => {
+                assert!(msg.contains("does not support runtime 'sandbox'"), "{msg}");
+                assert!(msg.contains("fxscript"), "advertised set named in error: {msg}");
+            }
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // Nothing was queued for the refusing endpoint.
+        assert_eq!(svc.store.queue_len(fx_only, QueueKind::Task), 0);
+        // The same function submits fine to an endpoint advertising sandbox.
+        let full = svc.register_endpoint(&token, "full", "", false).unwrap();
+        assert!(svc.submit(&token, request(f, full)).is_ok());
+    }
+
+    #[test]
+    fn pool_routes_sandbox_functions_around_interpreter_only_members() {
+        let (svc, token, _, _) = service();
+        let fx_only = svc
+            .register_endpoint_with(
+                &token,
+                "fx-only",
+                "",
+                false,
+                vec![funcx_types::Runtime::FxScript],
+            )
+            .unwrap();
+        let full = svc.register_endpoint(&token, "full", "", false).unwrap();
+        svc.endpoints.mark_online(fx_only).unwrap();
+        svc.endpoints.mark_online(full).unwrap();
+        let pool = svc
+            .create_pool(
+                &token,
+                "mixed",
+                "",
+                vec![fx_only, full],
+                RoutingPolicy::RoundRobin,
+                false,
+            )
+            .unwrap();
+        let f = register_sandbox_fn(&svc, &token);
+        let record = svc.pools.get(pool).unwrap();
+        // Round-robin over the pool would alternate members; the runtime
+        // filter must pin every sandbox route to the supporting one.
+        for _ in 0..6 {
+            assert_eq!(svc.route_in_pool(&record, f).unwrap(), full);
+        }
+        // An fxscript function still sees both members.
+        let classic = svc
+            .register_function(
+                &token,
+                "c",
+                "def c():\n    return 0\n",
+                "c",
+                None,
+                Sharing::default(),
+            )
+            .unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..6 {
+            seen.insert(svc.route_in_pool(&record, classic).unwrap());
+        }
+        assert_eq!(seen.len(), 2, "fxscript routing uses the whole pool");
+    }
+
+    #[test]
+    fn pool_with_no_sandbox_member_fails_with_no_healthy_endpoint() {
+        let (svc, token, _, _) = service();
+        let fx_only = svc
+            .register_endpoint_with(
+                &token,
+                "fx-only",
+                "",
+                false,
+                vec![funcx_types::Runtime::FxScript],
+            )
+            .unwrap();
+        svc.endpoints.mark_online(fx_only).unwrap();
+        let pool = svc
+            .create_pool(&token, "fx-pool", "", vec![fx_only], RoutingPolicy::RoundRobin, false)
+            .unwrap();
+        let f = register_sandbox_fn(&svc, &token);
+        let record = svc.pools.get(pool).unwrap();
+        match svc.route_in_pool(&record, f) {
+            Err(FuncxError::NoHealthyEndpoint(msg)) => {
+                assert!(msg.contains("runtime 'sandbox'"), "{msg}");
+            }
+            other => panic!("expected NoHealthyEndpoint, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sessions_and_capabilities_require_the_sandbox_runtime() {
+        let (svc, token, _, _) = service();
+        let bad_session = svc.register_function_with(
+            &token,
+            "s",
+            "def s():\n    return 1\n",
+            "s",
+            None,
+            Sharing::default(),
+            funcx_types::FunctionOptions {
+                session: Some("state".into()),
+                ..Default::default()
+            },
+        );
+        assert!(matches!(bad_session, Err(FuncxError::BadRequest(_))));
+        let bad_caps = svc.register_function_with(
+            &token,
+            "s",
+            "def s():\n    return 1\n",
+            "s",
+            None,
+            Sharing::default(),
+            funcx_types::FunctionOptions {
+                capabilities: vec![funcx_types::Capability::Clock],
+                ..Default::default()
+            },
+        );
+        assert!(matches!(bad_caps, Err(FuncxError::BadRequest(_))));
+        // The same options are accepted under the sandbox runtime.
+        let ok = svc.register_function_with(
+            &token,
+            "s",
+            "def s():\n    return 1\n",
+            "s",
+            None,
+            Sharing::default(),
+            funcx_types::FunctionOptions {
+                runtime: funcx_types::Runtime::Sandbox,
+                capabilities: vec![funcx_types::Capability::Session],
+                session: Some("state".into()),
+                ..Default::default()
+            },
+        );
+        assert!(ok.is_ok());
+        // Endpoint registrations normalize an empty runtime set to the
+        // classic default rather than advertising nothing.
+        let ep = svc.register_endpoint_with(&token, "norm", "", false, Vec::new()).unwrap();
+        let record = svc.endpoints.get(ep).unwrap();
+        for rt in funcx_types::Runtime::ALL {
+            assert!(record.supports(rt), "empty set advertises everything ({rt})");
+        }
     }
 }

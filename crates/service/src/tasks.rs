@@ -143,6 +143,7 @@ mod tests {
                 container: None,
                 allow_memo: false,
                 span: Default::default(),
+                runtime: Default::default(),
             },
             VirtualInstant::ZERO,
         )

@@ -38,6 +38,7 @@ fn spec_with(span: SpanContext, task: u128) -> TaskSpec {
         allow_memo: false,
         pool: None,
         span,
+        runtime: Default::default(),
     }
 }
 

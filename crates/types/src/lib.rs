@@ -17,6 +17,7 @@ pub mod error;
 pub mod hash;
 pub mod ids;
 pub mod route;
+pub mod runtime;
 pub mod stats;
 pub mod task;
 pub mod time;
@@ -27,6 +28,7 @@ pub use ids::{
     BatchId, ContainerImageId, EndpointId, FunctionId, ManagerId, PoolId, TaskId, UserId, WorkerId,
 };
 pub use route::{RouteTarget, RoutingPolicy};
+pub use runtime::{Capability, FunctionOptions, Runtime, TaskLimits};
 pub use stats::EndpointStatsReport;
 pub use task::{TaskRecord, TaskSpec, TaskState};
 pub use time::{Clock, RealClock, VirtualDuration, VirtualInstant};

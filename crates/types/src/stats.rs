@@ -49,6 +49,24 @@ pub struct EndpointStatsReport {
     /// Container images with a captured warm-start snapshot.
     #[serde(default)]
     pub warm_snapshots: u64,
+    /// Sandbox-runtime env acquires served warm (released idle env).
+    #[serde(default)]
+    pub sandbox_warm_hits: u64,
+    /// Sandbox acquires served by a pre-minted env (tier `predicted`).
+    #[serde(default)]
+    pub sandbox_predicted_hits: u64,
+    /// Sandbox acquires served from the compiled-program cache (`clone`).
+    #[serde(default)]
+    pub sandbox_clone_hits: u64,
+    /// Sandbox acquires that paid a full parse-and-build cold start.
+    #[serde(default)]
+    pub sandbox_cold_misses: u64,
+    /// Live persistent sandbox sessions on this endpoint.
+    #[serde(default)]
+    pub sandbox_sessions: u64,
+    /// Sandbox executions killed by a resource cap (cumulative, all caps).
+    #[serde(default)]
+    pub sandbox_cap_kills: u64,
 }
 
 impl EndpointStatsReport {

@@ -133,6 +133,11 @@ pub struct TaskSpec {
     /// records written before tracing existed.
     #[serde(default)]
     pub span: crate::trace::SpanContext,
+    /// Which execution engine the function was registered for. Defaults to
+    /// FxScript, so records written before runtime negotiation existed
+    /// decode to the behaviour they had.
+    #[serde(default)]
+    pub runtime: crate::runtime::Runtime,
 }
 
 /// Terminal outcome of a task.
@@ -301,6 +306,7 @@ mod tests {
             allow_memo: false,
             pool: None,
             span: crate::trace::SpanContext::default(),
+            runtime: crate::runtime::Runtime::default(),
         }
     }
 

@@ -24,6 +24,7 @@ use funcx_types::stats::EndpointStatsReport;
 use funcx_types::task::{TaskOutcome, TaskRecord, TaskSpec, TaskState, TaskTimeline};
 use funcx_types::time::VirtualInstant;
 use funcx_types::trace::{SpanContext, SpanId, TraceId};
+use funcx_types::{Capability, FunctionOptions, Runtime, TaskLimits};
 
 /// Cursor over an encoded payload. Every `take_*` advances on success and
 /// returns `None` past the end — decoders bubble that up rather than index
@@ -274,8 +275,84 @@ pub fn read_span_context(cur: &mut Cur<'_>) -> Option<SpanContext> {
     })
 }
 
-/// Append a `TaskSpec`.
+/// Append a `Runtime` as its index in [`Runtime::ALL`].
+pub fn put_runtime(out: &mut Vec<u8>, v: Runtime) {
+    let tag = Runtime::ALL.iter().position(|r| *r == v).expect("runtime in ALL") as u8;
+    out.push(tag);
+}
+
+/// Read a `Runtime`.
+pub fn read_runtime(cur: &mut Cur<'_>) -> Option<Runtime> {
+    Runtime::ALL.get(cur.u8()? as usize).copied()
+}
+
+/// Append a `TaskLimits` (six optional knobs, field order fixed).
+pub fn put_limits(out: &mut Vec<u8>, v: &TaskLimits) {
+    put_opt(out, v.max_fuel.as_ref(), |o, n| put_u64(o, *n));
+    put_opt(out, v.max_depth.as_ref(), |o, n| put_u32(o, *n));
+    put_opt(out, v.max_value_bytes.as_ref(), |o, n| put_u64(o, *n));
+    put_opt(out, v.max_memory_bytes.as_ref(), |o, n| put_u64(o, *n));
+    put_opt(out, v.max_millis.as_ref(), |o, n| put_u64(o, *n));
+    put_opt(out, v.max_output_bytes.as_ref(), |o, n| put_u64(o, *n));
+}
+
+/// Read a `TaskLimits`.
+pub fn read_limits(cur: &mut Cur<'_>) -> Option<TaskLimits> {
+    Some(TaskLimits {
+        max_fuel: cur.opt(|c| c.u64())?,
+        max_depth: cur.opt(|c| c.u32())?,
+        max_value_bytes: cur.opt(|c| c.u64())?,
+        max_memory_bytes: cur.opt(|c| c.u64())?,
+        max_millis: cur.opt(|c| c.u64())?,
+        max_output_bytes: cur.opt(|c| c.u64())?,
+    })
+}
+
+/// Append a capability list (count, then one tag byte per grant indexed
+/// into [`Capability::ALL`]).
+pub fn put_capabilities(out: &mut Vec<u8>, v: &[Capability]) {
+    put_u32(out, v.len() as u32);
+    for c in v {
+        let tag = Capability::ALL.iter().position(|x| x == c).expect("capability in ALL") as u8;
+        out.push(tag);
+    }
+}
+
+/// Read a capability list.
+pub fn read_capabilities(cur: &mut Cur<'_>) -> Option<Vec<Capability>> {
+    let n = cur.count()?;
+    let mut caps = Vec::with_capacity(n);
+    for _ in 0..n {
+        caps.push(Capability::ALL.get(cur.u8()? as usize).copied()?);
+    }
+    Some(caps)
+}
+
+/// Append a `FunctionOptions` bundle.
+pub fn put_options(out: &mut Vec<u8>, v: &FunctionOptions) {
+    put_runtime(out, v.runtime);
+    put_limits(out, &v.limits);
+    put_capabilities(out, &v.capabilities);
+    put_opt(out, v.session.as_ref(), |o, s| put_str(o, s));
+}
+
+/// Read a `FunctionOptions` bundle.
+pub fn read_options(cur: &mut Cur<'_>) -> Option<FunctionOptions> {
+    Some(FunctionOptions {
+        runtime: read_runtime(cur)?,
+        limits: read_limits(cur)?,
+        capabilities: read_capabilities(cur)?,
+        session: cur.opt(|c| c.str())?,
+    })
+}
+
+/// Append a `TaskSpec` (current layout: v1 fields, then the runtime tag).
 pub fn put_spec(out: &mut Vec<u8>, v: &TaskSpec) {
+    put_spec_v1_fields(out, v);
+    put_runtime(out, v.runtime);
+}
+
+fn put_spec_v1_fields(out: &mut Vec<u8>, v: &TaskSpec) {
     put_uuid(out, v.task_id.uuid());
     put_uuid(out, v.function_id.uuid());
     put_uuid(out, v.endpoint_id.uuid());
@@ -287,8 +364,22 @@ pub fn put_spec(out: &mut Vec<u8>, v: &TaskSpec) {
     put_span_context(out, &v.span);
 }
 
-/// Read a `TaskSpec`.
+/// Read a `TaskSpec` in the pre-runtime (v1) layout: no runtime tag on the
+/// wire, so the spec decodes to FxScript — the behaviour it had.
+pub fn read_spec_v1(cur: &mut Cur<'_>) -> Option<TaskSpec> {
+    let mut spec = read_spec_common(cur)?;
+    spec.runtime = Runtime::FxScript;
+    Some(spec)
+}
+
+/// Read a `TaskSpec` (current layout).
 pub fn read_spec(cur: &mut Cur<'_>) -> Option<TaskSpec> {
+    let mut spec = read_spec_common(cur)?;
+    spec.runtime = read_runtime(cur)?;
+    Some(spec)
+}
+
+fn read_spec_common(cur: &mut Cur<'_>) -> Option<TaskSpec> {
     Some(TaskSpec {
         task_id: funcx_types::TaskId(read_uuid(cur)?),
         function_id: funcx_types::FunctionId(read_uuid(cur)?),
@@ -299,10 +390,11 @@ pub fn read_spec(cur: &mut Cur<'_>) -> Option<TaskSpec> {
         allow_memo: cur.bool()?,
         pool: cur.opt(|c| Some(funcx_types::PoolId(read_uuid(c)?)))?,
         span: read_span_context(cur)?,
+        runtime: Runtime::FxScript,
     })
 }
 
-/// Append a full `TaskRecord`.
+/// Append a full `TaskRecord` (current spec layout).
 pub fn put_task_record(out: &mut Vec<u8>, v: &TaskRecord) {
     put_spec(out, &v.spec);
     put_task_state(out, v.state);
@@ -312,9 +404,19 @@ pub fn put_task_record(out: &mut Vec<u8>, v: &TaskRecord) {
     put_u32(out, v.delivery_count);
 }
 
-/// Read a `TaskRecord`.
+/// Read a `TaskRecord` (current layout).
 pub fn read_task_record(cur: &mut Cur<'_>) -> Option<TaskRecord> {
     let spec = read_spec(cur)?;
+    read_task_record_after_spec(cur, spec)
+}
+
+/// Read a `TaskRecord` whose spec is in the pre-runtime (v1) layout.
+pub fn read_task_record_v1(cur: &mut Cur<'_>) -> Option<TaskRecord> {
+    let spec = read_spec_v1(cur)?;
+    read_task_record_after_spec(cur, spec)
+}
+
+fn read_task_record_after_spec(cur: &mut Cur<'_>, spec: TaskSpec) -> Option<TaskRecord> {
     let state = read_task_state(cur)?;
     let timeline = read_timeline(cur)?;
     let outcome = cur.opt(read_outcome)?;
@@ -329,7 +431,8 @@ pub fn read_task_record(cur: &mut Cur<'_>) -> Option<TaskRecord> {
     Some(record)
 }
 
-/// Append an `EndpointStatsReport` (fourteen plain `u64` fields).
+/// Append an `EndpointStatsReport` (twenty plain `u64` fields: the
+/// fourteen v1 fields, then the six sandbox-runtime counters).
 pub fn put_stats_report(out: &mut Vec<u8>, v: &EndpointStatsReport) {
     put_u64(out, v.pending);
     put_u64(out, v.outstanding);
@@ -345,10 +448,29 @@ pub fn put_stats_report(out: &mut Vec<u8>, v: &EndpointStatsReport) {
     put_u64(out, v.prewarm_minted);
     put_u64(out, v.warm_evictions);
     put_u64(out, v.warm_snapshots);
+    put_u64(out, v.sandbox_warm_hits);
+    put_u64(out, v.sandbox_predicted_hits);
+    put_u64(out, v.sandbox_clone_hits);
+    put_u64(out, v.sandbox_cold_misses);
+    put_u64(out, v.sandbox_sessions);
+    put_u64(out, v.sandbox_cap_kills);
 }
 
-/// Read an `EndpointStatsReport`.
+/// Read an `EndpointStatsReport` (current layout).
 pub fn read_stats_report(cur: &mut Cur<'_>) -> Option<EndpointStatsReport> {
+    let mut report = read_stats_report_v1(cur)?;
+    report.sandbox_warm_hits = cur.u64()?;
+    report.sandbox_predicted_hits = cur.u64()?;
+    report.sandbox_clone_hits = cur.u64()?;
+    report.sandbox_cold_misses = cur.u64()?;
+    report.sandbox_sessions = cur.u64()?;
+    report.sandbox_cap_kills = cur.u64()?;
+    Some(report)
+}
+
+/// Read an `EndpointStatsReport` in the pre-sandbox (v1) layout: the
+/// sandbox counters stay zero.
+pub fn read_stats_report_v1(cur: &mut Cur<'_>) -> Option<EndpointStatsReport> {
     Some(EndpointStatsReport {
         pending: cur.u64()?,
         outstanding: cur.u64()?,
@@ -364,10 +486,12 @@ pub fn read_stats_report(cur: &mut Cur<'_>) -> Option<EndpointStatsReport> {
         prewarm_minted: cur.u64()?,
         warm_evictions: cur.u64()?,
         warm_snapshots: cur.u64()?,
+        ..EndpointStatsReport::default()
     })
 }
 
-/// Append an `EndpointRecord`.
+/// Append an `EndpointRecord` (current layout: v1 fields with the extended
+/// stats report, then the advertised runtime set).
 pub fn put_endpoint_record(out: &mut Vec<u8>, v: &EndpointRecord) {
     put_uuid(out, v.endpoint_id.uuid());
     put_uuid(out, v.owner.uuid());
@@ -387,10 +511,35 @@ pub fn put_endpoint_record(out: &mut Vec<u8>, v: &EndpointRecord) {
     put_instant(out, v.registered_at);
     put_opt(out, v.last_report.as_ref(), put_stats_report);
     put_opt_instant(out, v.last_heartbeat);
+    put_u32(out, v.runtimes.len() as u32);
+    for r in &v.runtimes {
+        put_runtime(out, *r);
+    }
 }
 
-/// Read an `EndpointRecord`.
+/// Read an `EndpointRecord` (current layout).
 pub fn read_endpoint_record(cur: &mut Cur<'_>) -> Option<EndpointRecord> {
+    let mut record = read_endpoint_record_common(cur, read_stats_report)?;
+    let n = cur.count()?;
+    let mut runtimes = Vec::with_capacity(n);
+    for _ in 0..n {
+        runtimes.push(read_runtime(cur)?);
+    }
+    record.runtimes = runtimes;
+    Some(record)
+}
+
+/// Read an `EndpointRecord` in the pre-runtime (v1) layout: no runtime set
+/// on the wire, so the endpoint advertises every runtime — the permissive
+/// behaviour such endpoints had.
+pub fn read_endpoint_record_v1(cur: &mut Cur<'_>) -> Option<EndpointRecord> {
+    read_endpoint_record_common(cur, read_stats_report_v1)
+}
+
+fn read_endpoint_record_common(
+    cur: &mut Cur<'_>,
+    read_report: fn(&mut Cur<'_>) -> Option<EndpointStatsReport>,
+) -> Option<EndpointRecord> {
     let endpoint_id = funcx_types::EndpointId(read_uuid(cur)?);
     let owner = funcx_types::UserId(read_uuid(cur)?);
     let name = cur.str()?;
@@ -416,12 +565,14 @@ pub fn read_endpoint_record(cur: &mut Cur<'_>) -> Option<EndpointRecord> {
         status: if cur.bool()? { EndpointStatus::Online } else { EndpointStatus::Offline },
         generation: cur.u64()?,
         registered_at: read_instant(cur)?,
-        last_report: cur.opt(read_stats_report)?,
+        last_report: cur.opt(read_report)?,
         last_heartbeat: read_opt_instant(cur)?,
+        runtimes: Runtime::ALL.to_vec(),
     })
 }
 
-/// Append a `FunctionRecord`.
+/// Append a `FunctionRecord` (current layout: v1 fields, then the runtime
+/// options bundle).
 pub fn put_function_record(out: &mut Vec<u8>, v: &FunctionRecord) {
     put_uuid(out, v.function_id.uuid());
     put_uuid(out, v.owner.uuid());
@@ -440,10 +591,19 @@ pub fn put_function_record(out: &mut Vec<u8>, v: &FunctionRecord) {
     }
     put_u32(out, v.version);
     put_instant(out, v.registered_at);
+    put_options(out, &v.options);
 }
 
-/// Read a `FunctionRecord`.
+/// Read a `FunctionRecord` (current layout).
 pub fn read_function_record(cur: &mut Cur<'_>) -> Option<FunctionRecord> {
+    let mut record = read_function_record_v1(cur)?;
+    record.options = read_options(cur)?;
+    Some(record)
+}
+
+/// Read a `FunctionRecord` in the pre-runtime (v1) layout: no options on
+/// the wire, so the record decodes to classic FxScript behaviour.
+pub fn read_function_record_v1(cur: &mut Cur<'_>) -> Option<FunctionRecord> {
     let function_id = funcx_types::FunctionId(read_uuid(cur)?);
     let owner = funcx_types::UserId(read_uuid(cur)?);
     let name = cur.str()?;
@@ -471,6 +631,7 @@ pub fn read_function_record(cur: &mut Cur<'_>) -> Option<FunctionRecord> {
         sharing: Sharing { public, users, groups },
         version: cur.u32()?,
         registered_at: read_instant(cur)?,
+        options: FunctionOptions::default(),
     })
 }
 

@@ -184,11 +184,16 @@ impl DurableEvent {
     /// Serialize to the on-disk payload (binary; the frame adds the CRC).
     /// Layout: one variant tag byte, then the variant's fields in
     /// declaration order using the [`crate::codec`] conventions.
+    ///
+    /// Record-bearing variants are versioned by tag: tags 0/13/15 are the
+    /// pre-runtime (v1) record layouts — still *read* so an old log replays
+    /// — while new writes emit tags 16/17/18 with the runtime-aware
+    /// layouts. The codec carries both readers side by side.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         match self {
             DurableEvent::TaskCreated { record } => {
-                out.push(0);
+                out.push(16);
                 codec::put_task_record(&mut out, record);
             }
             DurableEvent::TaskDispatched { task_id } => {
@@ -256,7 +261,7 @@ impl DurableEvent {
                 codec::put_str(&mut out, field);
             }
             DurableEvent::EndpointRegistered { record } => {
-                out.push(13);
+                out.push(17);
                 codec::put_endpoint_record(&mut out, record);
             }
             DurableEvent::EndpointDeregistered { endpoint_id } => {
@@ -264,7 +269,7 @@ impl DurableEvent {
                 codec::put_uuid(&mut out, endpoint_id.uuid());
             }
             DurableEvent::FunctionRegistered { record } => {
-                out.push(15);
+                out.push(18);
                 codec::put_function_record(&mut out, record);
             }
         }
@@ -278,7 +283,11 @@ impl DurableEvent {
     pub fn from_bytes(bytes: &[u8]) -> Option<DurableEvent> {
         let mut cur = Cur::new(bytes);
         let event = match cur.u8()? {
-            0 => DurableEvent::TaskCreated { record: Box::new(codec::read_task_record(&mut cur)?) },
+            // Tag 0 is the pre-runtime task-record layout (logs written
+            // before runtime negotiation); tag 16 is the current one.
+            0 => DurableEvent::TaskCreated {
+                record: Box::new(codec::read_task_record_v1(&mut cur)?),
+            },
             1 => DurableEvent::TaskDispatched { task_id: TaskId(codec::read_uuid(&mut cur)?) },
             2 => DurableEvent::TaskRequeued {
                 task_id: TaskId(codec::read_uuid(&mut cur)?),
@@ -323,12 +332,21 @@ impl DurableEvent {
             },
             12 => DurableEvent::KvDel { key: cur.str()?, field: cur.str()? },
             13 => DurableEvent::EndpointRegistered {
-                record: Box::new(codec::read_endpoint_record(&mut cur)?),
+                record: Box::new(codec::read_endpoint_record_v1(&mut cur)?),
             },
             14 => DurableEvent::EndpointDeregistered {
                 endpoint_id: EndpointId(codec::read_uuid(&mut cur)?),
             },
             15 => DurableEvent::FunctionRegistered {
+                record: Box::new(codec::read_function_record_v1(&mut cur)?),
+            },
+            16 => {
+                DurableEvent::TaskCreated { record: Box::new(codec::read_task_record(&mut cur)?) }
+            }
+            17 => DurableEvent::EndpointRegistered {
+                record: Box::new(codec::read_endpoint_record(&mut cur)?),
+            },
+            18 => DurableEvent::FunctionRegistered {
                 record: Box::new(codec::read_function_record(&mut cur)?),
             },
             _ => return None,
@@ -374,8 +392,15 @@ mod tests {
                 prewarm_minted: 12,
                 warm_evictions: 13,
                 warm_snapshots: 14,
+                sandbox_warm_hits: 15,
+                sandbox_predicted_hits: 16,
+                sandbox_clone_hits: 17,
+                sandbox_cold_misses: 18,
+                sandbox_sessions: 19,
+                sandbox_cap_kills: 20,
             }),
             last_heartbeat: Some(VirtualInstant::from_nanos(12)),
+            runtimes: vec![funcx_types::Runtime::FxScript, funcx_types::Runtime::Sandbox],
         }
     }
 
@@ -394,6 +419,16 @@ mod tests {
             },
             version: 3,
             registered_at: VirtualInstant::from_nanos(13),
+            options: funcx_types::FunctionOptions {
+                runtime: funcx_types::Runtime::Sandbox,
+                limits: funcx_types::TaskLimits {
+                    max_fuel: Some(10_000),
+                    max_memory_bytes: Some(1 << 20),
+                    ..funcx_types::TaskLimits::default()
+                },
+                capabilities: vec![funcx_types::Capability::Session],
+                session: Some("acc".into()),
+            },
         }
     }
 
@@ -409,6 +444,7 @@ mod tests {
                 allow_memo: true,
                 pool: None,
                 span: funcx_types::trace::SpanContext::root(funcx_types::trace::TraceId(1), true),
+                runtime: funcx_types::Runtime::Sandbox,
             },
             VirtualInstant::from_nanos(42),
         )
@@ -502,6 +538,76 @@ mod tests {
                 assert_eq!(DurableEvent::from_bytes(&bytes[..cut]), None, "cut at {cut}");
             }
         }
+    }
+
+    #[test]
+    fn v1_tags_decode_with_runtime_defaults() {
+        // Hand-build the pre-runtime layouts under the old tags and check
+        // they still replay, with the new fields at their defaults.
+        use crate::codec;
+
+        // Tag 0: TaskCreated with a v1 spec (no runtime byte).
+        let record = {
+            let mut r = sample_record();
+            r.spec.runtime = funcx_types::Runtime::FxScript;
+            r
+        };
+        let mut bytes = vec![0u8];
+        // v1 spec = current spec minus the trailing runtime tag byte.
+        let mut spec_now = Vec::new();
+        codec::put_spec(&mut spec_now, &record.spec);
+        bytes.extend_from_slice(&spec_now[..spec_now.len() - 1]);
+        let mut rest = Vec::new();
+        codec::put_task_record(&mut rest, &record);
+        bytes.extend_from_slice(&rest[spec_now.len()..]);
+        let DurableEvent::TaskCreated { record: back } =
+            DurableEvent::from_bytes(&bytes).expect("v1 TaskCreated decodes")
+        else {
+            panic!("variant changed");
+        };
+        assert_eq!(back.spec.runtime, funcx_types::Runtime::FxScript);
+        assert_eq!(back.spec.task_id, record.spec.task_id);
+
+        // Tag 15: FunctionRegistered with no options bundle → defaults.
+        let function = {
+            let mut f = sample_function();
+            f.options = funcx_types::FunctionOptions::default();
+            f
+        };
+        let mut full = Vec::new();
+        codec::put_function_record(&mut full, &function);
+        let mut opts = Vec::new();
+        codec::put_options(&mut opts, &function.options);
+        let mut bytes = vec![15u8];
+        bytes.extend_from_slice(&full[..full.len() - opts.len()]);
+        let DurableEvent::FunctionRegistered { record: back } =
+            DurableEvent::from_bytes(&bytes).expect("v1 FunctionRegistered decodes")
+        else {
+            panic!("variant changed");
+        };
+        assert_eq!(back.options, funcx_types::FunctionOptions::default());
+        assert_eq!(back.source, function.source);
+
+        // Tag 13: EndpointRegistered with the 14-field report and no
+        // runtime set → advertises every runtime.
+        let endpoint = {
+            let mut e = sample_endpoint();
+            e.last_report = None; // keep the hand-built layout simple
+            e
+        };
+        let mut full = Vec::new();
+        codec::put_endpoint_record(&mut full, &endpoint);
+        // Strip the trailing runtimes vec (u32 count + one byte per entry).
+        let tail = 4 + endpoint.runtimes.len();
+        let mut bytes = vec![13u8];
+        bytes.extend_from_slice(&full[..full.len() - tail]);
+        let DurableEvent::EndpointRegistered { record: back } =
+            DurableEvent::from_bytes(&bytes).expect("v1 EndpointRegistered decodes")
+        else {
+            panic!("variant changed");
+        };
+        assert_eq!(back.runtimes, funcx_types::Runtime::ALL.to_vec());
+        assert_eq!(back.endpoint_id, endpoint.endpoint_id);
     }
 
     #[test]

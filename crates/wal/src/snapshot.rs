@@ -21,7 +21,13 @@ use crate::state::WalState;
 
 /// Bumped when the snapshot layout changes; a mismatched version decodes to
 /// `None` and recovery falls back to replaying the full log.
-const SNAPSHOT_VERSION: u8 = 1;
+///
+/// Version history: 1 = pre-runtime record layouts; 2 = runtime-aware
+/// records (task specs carry a runtime tag, endpoint records an advertised
+/// runtime set, function records an options bundle, stats reports the
+/// sandbox counters). A v1 snapshot is discarded and the log — whose old
+/// tags remain readable — replays in full.
+const SNAPSHOT_VERSION: u8 = 2;
 
 /// Serialize `state` (covering events `< next_seq`) to framed bytes ready
 /// to write to a `.snap` file.
@@ -177,6 +183,7 @@ mod tests {
                 allow_memo: true,
                 pool: None,
                 span: Default::default(),
+                runtime: Default::default(),
             },
             VirtualInstant::from_nanos(10),
         );

@@ -203,6 +203,7 @@ mod tests {
                     allow_memo: false,
                     pool: None,
                     span: Default::default(),
+                    runtime: Default::default(),
                 },
                 VirtualInstant::ZERO,
             )),
