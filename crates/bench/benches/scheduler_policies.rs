@@ -28,15 +28,15 @@ fn bench_policies(c: &mut Criterion) {
     for &n in &[4usize, 64, 1024] {
         let views = make_views(n, true);
         let img = Some(ContainerImageId::from_u128(7));
-        g.bench_function(format!("randomized_greedy_{n}"), |b| {
+        g.bench_function(&format!("randomized_greedy_{n}"), |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| RandomizedGreedy.route(&mut rng, std::hint::black_box(&views), img))
         });
-        g.bench_function(format!("first_fit_{n}"), |b| {
+        g.bench_function(&format!("first_fit_{n}"), |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| FirstFit.route(&mut rng, std::hint::black_box(&views), img))
         });
-        g.bench_function(format!("least_loaded_{n}"), |b| {
+        g.bench_function(&format!("least_loaded_{n}"), |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| LeastLoaded.route(&mut rng, std::hint::black_box(&views), img))
         });

@@ -87,8 +87,7 @@ fn main() {
     // ---- 1. cold vs pre-warmed session acquisition ----------------------
     // Cold: every execution presents a never-seen program.
     let cold_host = SandboxHost::with_defaults(Arc::clone(&clock));
-    let cold_us: Vec<f64> =
-        (0..n).map(|i| exec_us(&cold_host, &padded_source(i, pad))).collect();
+    let cold_us: Vec<f64> = (0..n).map(|i| exec_us(&cold_host, &padded_source(i, pad))).collect();
     let cold_stats = cold_host.stats();
     assert_eq!(cold_stats.cold_misses, n as u64, "every acquisition was cold");
 

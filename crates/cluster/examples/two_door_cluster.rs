@@ -1,0 +1,145 @@
+//! Two clustered instances, one logical service.
+//!
+//! Spins up two `FuncxService` instances sharing an auth plane, joins
+//! them into a cluster over in-process gossip channels (no sockets
+//! needed for the control plane itself), fronts each with a routing
+//! FrontDoor on a real TCP port, and then shows the partition machinery
+//! working: the ring splits the partitions, a request for a user owned
+//! by the *other* instance answers `307` with the owner's address, and
+//! `/v1/cluster/status` + `/v1/metrics` are served from either door.
+//!
+//! Run with: `cargo run -p funcx-cluster --example two_door_cluster`
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_auth::{AuthService, IdentityProvider, Scope};
+use funcx_cluster::{serve_front, ClusterConfig, ClusterNode, RouteMode, DEFAULT_PARTITIONS};
+use funcx_proto::channel::inproc_pair;
+use funcx_proto::MemberInfo;
+use funcx_service::http::http_request;
+use funcx_service::{FsyncPolicy, FuncxService, ServiceConfig};
+use funcx_types::time::{RealClock, SharedClock};
+
+fn unique_dir(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after epoch")
+        .as_nanos();
+    std::env::temp_dir().join(format!("funcx-two-door-{tag}-{}-{nanos}", std::process::id()))
+}
+
+fn main() {
+    let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+    let auth = AuthService::new(Arc::clone(&clock));
+
+    // Two instances, each with its own synchronous WAL.
+    let mut nodes = Vec::new();
+    let mut doors = Vec::new();
+    for i in 1..=2u64 {
+        let config = ServiceConfig {
+            wal_dir: Some(unique_dir(&format!("wal-{i}"))),
+            wal_fsync: FsyncPolicy::Always,
+            snapshot_every: 0,
+            ..ServiceConfig::default()
+        };
+        let (service, _) =
+            FuncxService::recover_shared(Arc::clone(&clock), config, Arc::clone(&auth))
+                .expect("fresh service recovers");
+        let info = MemberInfo {
+            instance: i,
+            rest_addr: String::new(),
+            gossip_addr: format!("inproc-{i}"),
+            wal_dir: String::new(),
+            generation: 0,
+        };
+        let cluster_config = ClusterConfig {
+            gossip_period: Duration::from_millis(10),
+            member_timeout: Duration::from_secs(300),
+            ..ClusterConfig::default()
+        };
+        let node = ClusterNode::new(service, cluster_config, info);
+        let http = serve_front(Arc::clone(&node), "127.0.0.1:0", RouteMode::Redirect)
+            .expect("front door binds");
+        node.set_rest_addr(http.local_addr().to_string());
+        nodes.push(node);
+        doors.push(http);
+    }
+    let (a, b) = inproc_pair();
+    nodes[0].add_peer(a);
+    nodes[1].add_peer(b);
+    for node in &nodes {
+        node.start();
+    }
+
+    // Wait for the ring to settle: both members visible, every partition
+    // leased, both nodes naming the same leader for each partition.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let settled = (0..DEFAULT_PARTITIONS).all(|p| {
+            match (nodes[0].owner_of_partition(p), nodes[1].owner_of_partition(p)) {
+                (Some(x), Some(y)) => x.instance == y.instance,
+                _ => false,
+            }
+        });
+        if settled {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "cluster failed to converge");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let led_by_1 = (0..DEFAULT_PARTITIONS)
+        .filter(|&p| nodes[0].owner_of_partition(p).unwrap().instance == 1)
+        .count();
+    println!(
+        "converged: instance 1 leads {led_by_1}/{DEFAULT_PARTITIONS} partitions, \
+         instance 2 leads {}",
+        DEFAULT_PARTITIONS as usize - led_by_1
+    );
+
+    // Find a user owned by instance 2, then knock on instance 1's door:
+    // the FrontDoor answers 307 with the owner's address.
+    let mut token = String::new();
+    for k in 0..10_000 {
+        let (_, t) = auth.login(&format!("user-{k}"), IdentityProvider::Institution, &[Scope::All]);
+        let owner = nodes[0].owner_of_bearer(&t).expect("fresh token resolves");
+        if owner.instance == 2 {
+            token = t;
+            break;
+        }
+    }
+    assert!(!token.is_empty(), "no user hashed to instance 2");
+    let resp = http_request(doors[0].local_addr(), "GET", "/v1/endpoints", Some(&token), b"")
+        .expect("door 1 answers");
+    let location = resp
+        .headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("location"))
+        .map(|(_, value)| value.clone())
+        .unwrap_or_default();
+    println!("door 1, foreign user: {} -> {location}", resp.status);
+    assert_eq!(resp.status, 307, "non-owner door must redirect");
+    assert_eq!(location, format!("http://{}/v1/endpoints", doors[1].local_addr()));
+
+    // Instance-local surfaces answer from either door, never redirected.
+    for (label, door) in [("door 1", &doors[0]), ("door 2", &doors[1])] {
+        let status = http_request(door.local_addr(), "GET", "/v1/cluster/status", None, b"")
+            .expect("status answers");
+        let metrics = http_request(door.local_addr(), "GET", "/v1/metrics", None, b"")
+            .expect("metrics answers");
+        println!(
+            "{label}: /v1/cluster/status {} ({} bytes), /v1/metrics {} ({} bytes)",
+            status.status,
+            status.body.len(),
+            metrics.status,
+            metrics.body.len()
+        );
+        assert_eq!(status.status, 200);
+        assert_eq!(metrics.status, 200);
+    }
+
+    for node in &nodes {
+        node.shutdown();
+    }
+    println!("ok");
+}

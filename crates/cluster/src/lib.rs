@@ -1,0 +1,27 @@
+//! funcx-cluster: the multi-instance control plane.
+//!
+//! The paper's hosted service is one logical endpoint; this crate lets N
+//! [`FuncxService`](funcx_service::FuncxService) instances serve it
+//! together:
+//!
+//! * [`ring`] — a consistent-hash ring (virtual nodes, deterministic
+//!   seed) maps each user's partition to the instance that owns it;
+//! * [`membership`] — the gossiped member table with virtual-clock
+//!   liveness;
+//! * [`node`] — a [`ClusterNode`] gossips over the fabric's heartbeat
+//!   frames, tails peers' shipped WALs, claims epoch-fenced partition
+//!   leases, and fails over dead members' partitions by replaying their
+//!   logs;
+//! * [`front`] — the FrontDoor REST layer routing each request to the
+//!   partition owner (proxy or `307` redirect) and serving
+//!   `GET /v1/cluster/status`.
+
+pub mod front;
+pub mod membership;
+pub mod node;
+pub mod ring;
+
+pub use front::{make_front_handler, serve_front, RouteMode};
+pub use membership::Membership;
+pub use node::{ClusterConfig, ClusterNode};
+pub use ring::{partition_of_user, HashRing, DEFAULT_PARTITIONS, DEFAULT_SEED, DEFAULT_VNODES};

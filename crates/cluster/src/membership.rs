@@ -1,0 +1,207 @@
+//! The gossiped membership table and its liveness view.
+//!
+//! Each instance keeps one row per member it has heard of — directly or
+//! relayed — plus the (virtual) time it last heard evidence the member was
+//! alive. A member silent past the configured timeout is *suspect*: it
+//! drops out of the ring until gossip proves it back. A member returning
+//! from a crash announces a higher generation, which replaces the stale
+//! row wholesale.
+
+use std::collections::HashMap;
+
+use funcx_proto::MemberInfo;
+use funcx_types::time::{SharedClock, VirtualDuration, VirtualInstant};
+use parking_lot::Mutex;
+
+struct PeerRow {
+    info: MemberInfo,
+    last_heard: VirtualInstant,
+}
+
+/// Liveness-tracked membership table.
+pub struct Membership {
+    clock: SharedClock,
+    timeout: VirtualDuration,
+    self_id: u64,
+    self_info: Mutex<MemberInfo>,
+    peers: Mutex<HashMap<u64, PeerRow>>,
+}
+
+impl Membership {
+    /// A table for the instance described by `self_info`; peers silent
+    /// longer than `timeout` (virtual time) count as dead.
+    pub fn new(clock: SharedClock, timeout: VirtualDuration, self_info: MemberInfo) -> Membership {
+        Membership {
+            clock,
+            timeout,
+            self_id: self_info.instance,
+            self_info: Mutex::new(self_info),
+            peers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// This instance's id.
+    pub fn self_id(&self) -> u64 {
+        self.self_id
+    }
+
+    /// This instance's own row (always alive).
+    pub fn self_info(&self) -> MemberInfo {
+        self.self_info.lock().clone()
+    }
+
+    /// Fill in the REST address once the listener is bound (ephemeral
+    /// ports are only known after binding, and binding the FrontDoor
+    /// needs the node — so the address arrives late).
+    pub fn set_rest_addr(&self, rest_addr: String) {
+        self.self_info.lock().rest_addr = rest_addr;
+    }
+
+    /// Record a member sighting. `direct` sightings (a frame from the
+    /// member itself) refresh liveness; relayed rows only add/update the
+    /// member's metadata — hearsay is not evidence of life.
+    pub fn observe(&self, info: &MemberInfo, direct: bool) {
+        if info.instance == self.self_id {
+            return;
+        }
+        let now = self.clock.now();
+        let mut peers = self.peers.lock();
+        match peers.get_mut(&info.instance) {
+            Some(row) => {
+                if info.generation > row.info.generation {
+                    // A reborn member: newer metadata *and* fresh liveness.
+                    row.info = info.clone();
+                    row.last_heard = now;
+                } else if direct {
+                    row.last_heard = now;
+                }
+            }
+            None => {
+                peers.insert(
+                    info.instance,
+                    PeerRow {
+                        info: info.clone(),
+                        // A newly learned member starts alive: it gets one
+                        // full timeout to speak for itself.
+                        last_heard: now,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Instance ids currently considered alive (always includes self),
+    /// ascending.
+    pub fn alive(&self) -> Vec<u64> {
+        let now = self.clock.now();
+        let peers = self.peers.lock();
+        let mut ids: Vec<u64> = peers
+            .values()
+            .filter(|row| now.saturating_duration_since(row.last_heard) < self.timeout)
+            .map(|row| row.info.instance)
+            .collect();
+        ids.push(self.self_id);
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Whether `instance` is currently considered alive.
+    pub fn is_alive(&self, instance: u64) -> bool {
+        if instance == self.self_id {
+            return true;
+        }
+        let now = self.clock.now();
+        self.peers
+            .lock()
+            .get(&instance)
+            .is_some_and(|row| now.saturating_duration_since(row.last_heard) < self.timeout)
+    }
+
+    /// Metadata for `instance` (self or peer), if known.
+    pub fn info(&self, instance: u64) -> Option<MemberInfo> {
+        if instance == self.self_id {
+            return Some(self.self_info());
+        }
+        self.peers.lock().get(&instance).map(|row| row.info.clone())
+    }
+
+    /// Every known member's metadata (self first, then peers ascending).
+    pub fn roster(&self) -> Vec<MemberInfo> {
+        let mut out = vec![self.self_info()];
+        let peers = self.peers.lock();
+        let mut rest: Vec<MemberInfo> = peers.values().map(|row| row.info.clone()).collect();
+        rest.sort_by_key(|m| m.instance);
+        out.extend(rest);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use funcx_types::time::ManualClock;
+    use std::time::Duration;
+
+    fn member(instance: u64, generation: u64) -> MemberInfo {
+        MemberInfo {
+            instance,
+            rest_addr: format!("127.0.0.1:{}", 8000 + instance),
+            gossip_addr: format!("127.0.0.1:{}", 8100 + instance),
+            wal_dir: String::new(),
+            generation,
+        }
+    }
+
+    #[test]
+    fn silence_past_the_timeout_marks_a_peer_dead() {
+        let clock = ManualClock::new();
+        let table = Membership::new(clock.clone(), Duration::from_secs(10), member(1, 0));
+        table.observe(&member(2, 0), true);
+        assert_eq!(table.alive(), vec![1, 2]);
+
+        clock.advance(Duration::from_secs(11));
+        assert_eq!(table.alive(), vec![1], "peer 2 has been silent too long");
+        assert!(!table.is_alive(2));
+
+        // A direct frame resurrects it.
+        table.observe(&member(2, 0), true);
+        assert_eq!(table.alive(), vec![1, 2]);
+    }
+
+    #[test]
+    fn hearsay_adds_members_but_does_not_refresh_liveness() {
+        let clock = ManualClock::new();
+        let table = Membership::new(clock.clone(), Duration::from_secs(10), member(1, 0));
+        table.observe(&member(2, 0), true);
+        clock.advance(Duration::from_secs(8));
+        // Relayed row for 2: must not reset its silence clock.
+        table.observe(&member(2, 0), false);
+        clock.advance(Duration::from_secs(3));
+        assert!(!table.is_alive(2), "hearsay kept a dead peer alive");
+    }
+
+    #[test]
+    fn a_higher_generation_replaces_the_row() {
+        let clock = ManualClock::new();
+        let table = Membership::new(clock.clone(), Duration::from_secs(10), member(1, 0));
+        table.observe(&member(2, 0), true);
+        clock.advance(Duration::from_secs(30));
+        assert!(!table.is_alive(2));
+        // The member restarted with a new generation — even a relayed
+        // sighting of the new incarnation counts as fresh.
+        table.observe(&member(2, 1), false);
+        assert!(table.is_alive(2));
+        assert_eq!(table.info(2).unwrap().generation, 1);
+    }
+
+    #[test]
+    fn self_is_always_alive_and_never_a_peer_row() {
+        let clock = ManualClock::new();
+        let table = Membership::new(clock.clone(), Duration::from_secs(1), member(1, 0));
+        table.observe(&member(1, 9), true);
+        clock.advance(Duration::from_secs(300));
+        assert_eq!(table.alive(), vec![1]);
+        assert_eq!(table.roster().len(), 1);
+        assert_eq!(table.info(1).unwrap().generation, 0, "self row is authoritative");
+    }
+}

@@ -1,0 +1,159 @@
+//! The consistent-hash ring assigning partitions to instances.
+//!
+//! Ownership is two-level: a user hashes to one of a fixed number of
+//! *partitions* (so ownership moves in coarse, enumerable units), and the
+//! ring maps each partition to the instance that leads it. Each member
+//! projects a fixed number of virtual nodes onto the ring from a
+//! deterministic seed, so every instance — given the same member set —
+//! computes the identical assignment with no coordination, and losing a
+//! member only moves the partitions that member owned.
+
+use funcx_types::UserId;
+
+/// Default virtual nodes per member: enough that a 2–16 instance cluster
+/// spreads partitions within a few percent of even.
+pub const DEFAULT_VNODES: u32 = 64;
+
+/// Default partition count. Coarse on purpose: failover moves whole
+/// partitions, and the status API enumerates them.
+pub const DEFAULT_PARTITIONS: u32 = 16;
+
+/// Default hash seed. All instances must agree on it (it is part of the
+/// cluster configuration, like the partition count).
+pub const DEFAULT_SEED: u64 = 0xfc5a_11ab_1e5e_ed01;
+
+/// SplitMix64 finalizer: a cheap, statistically solid 64-bit mixer. The
+/// seed offsets the input stream so distinct rings don't correlate.
+fn mix(seed: u64, x: u64) -> u64 {
+    let mut z = x.wrapping_add(seed).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Which partition owns `user`'s tasks, functions, and endpoints.
+pub fn partition_of_user(user: UserId, partitions: u32) -> u32 {
+    let raw = user.uuid().as_u128();
+    let folded = (raw as u64) ^ ((raw >> 64) as u64);
+    (mix(0x9a75_0f2d_3c1b_e777, folded) % partitions.max(1) as u64) as u32
+}
+
+/// A consistent-hash ring over instance ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashRing {
+    seed: u64,
+    vnodes: u32,
+    /// `(ring position, instance)`, sorted by position.
+    points: Vec<(u64, u64)>,
+}
+
+impl HashRing {
+    /// Build the ring for `members` (order-insensitive; duplicates are
+    /// collapsed). An empty member set yields a ring that owns nothing.
+    pub fn new(seed: u64, vnodes: u32, members: &[u64]) -> HashRing {
+        let mut unique: Vec<u64> = members.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        let mut points = Vec::with_capacity(unique.len() * vnodes as usize);
+        for &member in &unique {
+            for v in 0..vnodes as u64 {
+                // Position derives from (member, vnode index) only, so a
+                // member's points are identical in every ring that
+                // contains it — the minimal-disruption property.
+                points
+                    .push((mix(seed, member.wrapping_mul(0x1_0000_0001).wrapping_add(v)), member));
+            }
+        }
+        points.sort_unstable();
+        HashRing { seed, vnodes, points }
+    }
+
+    /// The instance owning `partition`, or `None` on an empty ring.
+    pub fn owner_of_partition(&self, partition: u32) -> Option<u64> {
+        self.owner_of_point(mix(self.seed ^ 0x5157_ab11, partition as u64))
+    }
+
+    /// First ring point at or clockwise of `point`, wrapping.
+    fn owner_of_point(&self, point: u64) -> Option<u64> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let idx = self.points.partition_point(|&(pos, _)| pos < point);
+        Some(self.points[idx % self.points.len()].1)
+    }
+
+    /// Every member on the ring, ascending.
+    pub fn members(&self) -> Vec<u64> {
+        let mut m: Vec<u64> = self.points.iter().map(|&(_, i)| i).collect();
+        m.sort_unstable();
+        m.dedup();
+        m
+    }
+
+    /// The full partition→owner map for `partitions` partitions.
+    pub fn assignment(&self, partitions: u32) -> Vec<(u32, u64)> {
+        (0..partitions).filter_map(|p| self.owner_of_partition(p).map(|o| (p, o))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_order_insensitive() {
+        let a = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES, &[3, 1, 2]);
+        let b = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES, &[2, 3, 1, 1]);
+        assert_eq!(a, b);
+        assert_eq!(a.assignment(64), b.assignment(64));
+        assert_eq!(a.members(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn every_member_owns_something() {
+        let ring = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES, &[1, 2, 3, 4]);
+        let assignment = ring.assignment(64);
+        for member in [1u64, 2, 3, 4] {
+            let owned = assignment.iter().filter(|&&(_, o)| o == member).count();
+            assert!(owned > 0, "member {member} owns no partitions");
+            assert!(owned < 64, "member {member} owns everything");
+        }
+    }
+
+    #[test]
+    fn removing_a_member_only_moves_its_partitions() {
+        let before = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES, &[1, 2, 3, 4]);
+        let after = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES, &[1, 2, 4]);
+        for p in 0..256u32 {
+            let was = before.owner_of_partition(p).unwrap();
+            let now = after.owner_of_partition(p).unwrap();
+            if was != 3 {
+                assert_eq!(was, now, "partition {p} moved although its owner survived");
+            } else {
+                assert_ne!(now, 3, "partition {p} still assigned to the removed member");
+            }
+        }
+    }
+
+    #[test]
+    fn user_partitions_are_stable_and_spread() {
+        let partitions = 16;
+        let mut seen = vec![0usize; partitions as usize];
+        for i in 0..4096u128 {
+            let user = UserId::from_u128(i.wrapping_mul(0x1234_5678_9abc_def1));
+            let p = partition_of_user(user, partitions);
+            assert_eq!(p, partition_of_user(user, partitions), "must be stable");
+            seen[p as usize] += 1;
+        }
+        for (p, &count) in seen.iter().enumerate() {
+            assert!(count > 0, "partition {p} never hit");
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        let ring = HashRing::new(DEFAULT_SEED, DEFAULT_VNODES, &[]);
+        assert_eq!(ring.owner_of_partition(0), None);
+        assert!(ring.assignment(8).is_empty());
+    }
+}

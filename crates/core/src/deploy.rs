@@ -14,8 +14,8 @@ use std::time::Duration;
 use funcx_auth::{IdentityProvider, Scope};
 use funcx_container::{ContainerRuntime, SystemProfile, WarmStartConfig, WarmStartEngine};
 use funcx_endpoint::{Agent, EndpointConfig, Manager};
-use funcx_sandbox::SandboxHost;
 use funcx_proto::channel::inproc_pair;
+use funcx_sandbox::SandboxHost;
 use funcx_sdk::{FuncXClient, InProcApi};
 use funcx_serial::Serializer;
 use funcx_service::forwarder::Forwarder;
@@ -209,7 +209,13 @@ impl TestBedBuilder {
             vec![funcx_types::Runtime::FxScript]
         };
         let endpoint_id = service
-            .register_endpoint_with(&token, "testbed-endpoint", "in-process fabric", false, runtimes)
+            .register_endpoint_with(
+                &token,
+                "testbed-endpoint",
+                "in-process fabric",
+                false,
+                runtimes,
+            )
             .expect("registration on a fresh service cannot fail");
 
         let runtime = self
@@ -334,7 +340,8 @@ impl TestBed {
         // Each extra endpoint gets its own sandbox host (per-node session
         // pools; sessions do not migrate between endpoints) when the
         // testbed runs with the sandbox enabled.
-        let sandbox = self.sandbox.as_ref().map(|_| SandboxHost::with_defaults(Arc::clone(&self.clock)));
+        let sandbox =
+            self.sandbox.as_ref().map(|_| SandboxHost::with_defaults(Arc::clone(&self.clock)));
         if let Some(host) = &sandbox {
             agent.attach_sandbox(Arc::clone(host));
         }

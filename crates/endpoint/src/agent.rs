@@ -335,7 +335,7 @@ fn run_agent_loop(
                         pending.push_back((t, now));
                     }
                 }
-                Ok(Message::Heartbeat { seq }) => {
+                Ok(Message::Heartbeat { seq, .. }) => {
                     let _ = forwarder.send(Message::HeartbeatAck { seq });
                 }
                 Ok(Message::HeartbeatAck { .. }) | Ok(Message::RegisterAck) => {}
@@ -405,7 +405,7 @@ fn run_agent_loop(
                                     state.deployed = deployed_containers;
                                 }
                             }
-                            Message::Heartbeat { seq } => {
+                            Message::Heartbeat { seq, .. } => {
                                 let _ = conn.channel.send(Message::HeartbeatAck { seq });
                             }
                             _ => {}
@@ -546,7 +546,7 @@ fn run_agent_loop(
                     sb.fuel_kills + sb.memory_kills + sb.time_kills + sb.output_kills;
             }
             let status = Message::EndpointStatus { endpoint_id, report };
-            if forwarder.send(Message::Heartbeat { seq: hb_seq }).is_err()
+            if forwarder.send(Message::heartbeat(hb_seq)).is_err()
                 || forwarder.send(status).is_err()
             {
                 forwarder_up = false;
@@ -611,7 +611,7 @@ mod tests {
         while out.len() < want && std::time::Instant::now() < deadline {
             match ch.recv_timeout(Duration::from_millis(20)) {
                 Ok(Message::Results(rs)) => out.extend(rs),
-                Ok(Message::Heartbeat { seq }) => {
+                Ok(Message::Heartbeat { seq, .. }) => {
                     let _ = ch.send(Message::HeartbeatAck { seq });
                 }
                 Ok(_) => {}

@@ -209,7 +209,7 @@ fn run_manager_loop(
                     queue.push_back((t, now));
                 }
             }
-            Ok(Message::Heartbeat { seq }) => {
+            Ok(Message::Heartbeat { seq, .. }) => {
                 let _ = agent.send(Message::HeartbeatAck { seq });
             }
             Ok(Message::HeartbeatAck { .. }) | Ok(Message::RegisterAck) => {}
@@ -287,7 +287,7 @@ fn run_manager_loop(
         let now = clock.now();
         if now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period {
             hb_seq += 1;
-            let _ = agent.send(Message::Heartbeat { seq: hb_seq });
+            let _ = agent.send(Message::heartbeat(hb_seq));
             last_heartbeat = now;
         }
     }
@@ -353,7 +353,7 @@ mod tests {
         while out.len() < n && std::time::Instant::now() < deadline {
             match agent_side.recv_timeout(Duration::from_millis(50)) {
                 Ok(Message::Results(rs)) => out.extend(rs),
-                Ok(Message::Heartbeat { seq }) => {
+                Ok(Message::Heartbeat { seq, .. }) => {
                     let _ = agent_side.send(Message::HeartbeatAck { seq });
                 }
                 Ok(_) => {}

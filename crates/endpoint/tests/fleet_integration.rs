@@ -114,7 +114,7 @@ fn drive_provider(provider: Arc<dyn Provider>, tasks: usize) -> (usize, usize) {
     while results < tasks && std::time::Instant::now() < deadline {
         match fwd_side.recv_timeout(Duration::from_millis(50)) {
             Ok(Message::Results(rs)) => results += rs.len(),
-            Ok(Message::Heartbeat { seq }) => {
+            Ok(Message::Heartbeat { seq, .. }) => {
                 let _ = fwd_side.send(Message::HeartbeatAck { seq });
             }
             _ => {}

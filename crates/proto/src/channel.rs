@@ -212,12 +212,9 @@ mod tests {
     #[test]
     fn bidirectional_send_recv() {
         let (a, b) = inproc_pair();
-        a.send(Message::Heartbeat { seq: 1 }).unwrap();
+        a.send(Message::heartbeat(1)).unwrap();
         b.send(Message::HeartbeatAck { seq: 1 }).unwrap();
-        assert_eq!(
-            b.recv_timeout(Duration::from_millis(100)).unwrap(),
-            Message::Heartbeat { seq: 1 }
-        );
+        assert_eq!(b.recv_timeout(Duration::from_millis(100)).unwrap(), Message::heartbeat(1));
         assert_eq!(
             a.recv_timeout(Duration::from_millis(100)).unwrap(),
             Message::HeartbeatAck { seq: 1 }
@@ -263,7 +260,7 @@ mod tests {
         let clock = Arc::new(RealClock::with_speedup(1000.0));
         let (a, b) = inproc_pair_with_latency(clock.clone(), Duration::from_secs(1));
         let t0 = clock.now();
-        a.send(Message::Heartbeat { seq: 1 }).unwrap();
+        a.send(Message::heartbeat(1)).unwrap();
         let _ = b.recv_timeout(Duration::from_secs(10)).unwrap();
         let elapsed = clock.now().saturating_duration_since(t0);
         assert!(elapsed >= Duration::from_millis(900), "one-way delay, got {elapsed:?}");
@@ -278,7 +275,7 @@ mod tests {
         // 10 messages sent back-to-back share the pipe; total time should
         // be ~1 latency, not ~10.
         for seq in 0..10 {
-            a.send(Message::Heartbeat { seq }).unwrap();
+            a.send(Message::heartbeat(seq)).unwrap();
         }
         for _ in 0..10 {
             b.recv_timeout(Duration::from_secs(10)).unwrap();
@@ -301,11 +298,12 @@ mod tests {
         let (a, b) = inproc_pair();
         let h = thread::spawn(move || {
             for seq in 0..1000 {
-                a.send(Message::Heartbeat { seq }).unwrap();
+                a.send(Message::heartbeat(seq)).unwrap();
             }
         });
         for expect in 0..1000 {
-            let Message::Heartbeat { seq } = b.recv_timeout(Duration::from_secs(5)).unwrap() else {
+            let Message::Heartbeat { seq, .. } = b.recv_timeout(Duration::from_secs(5)).unwrap()
+            else {
                 panic!()
             };
             assert_eq!(seq, expect);

@@ -1,0 +1,152 @@
+//! Cluster gossip: the control-plane state instances exchange.
+//!
+//! funcX's hosted service scales by running many cooperating instances
+//! behind one endpoint fabric; ours gossip membership, partition leases,
+//! and WAL-shipping acknowledgements over the same heartbeat cadence the
+//! endpoint fabric already uses. The payload rides an optional field on
+//! [`Message::Heartbeat`](crate::Message::Heartbeat) — `#[serde(default)]`
+//! throughout, so a v1 single-instance peer that has never heard of
+//! clustering still decodes every frame (and new fields can keep being
+//! added under the same discipline).
+
+use serde::{Deserialize, Serialize};
+
+/// One instance's view of a peer (or of itself).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemberInfo {
+    /// Stable instance identifier (unique within the cluster).
+    #[serde(default)]
+    pub instance: u64,
+    /// REST address clients and the FrontDoor proxy dial.
+    #[serde(default)]
+    pub rest_addr: String,
+    /// Gossip (proto/TCP) address peers dial.
+    #[serde(default)]
+    pub gossip_addr: String,
+    /// Where this member ships its WAL from (empty = not shipping).
+    #[serde(default)]
+    pub wal_dir: String,
+    /// Restart counter: a member that comes back after a crash announces
+    /// a higher generation, invalidating stale liveness state.
+    #[serde(default)]
+    pub generation: u64,
+}
+
+/// An epoch-numbered claim on one partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PartitionLease {
+    /// Partition index in `0..partitions`.
+    #[serde(default)]
+    pub partition: u32,
+    /// Instance currently leading the partition.
+    #[serde(default)]
+    pub leader: u64,
+    /// Monotonic fencing token: a lease with a higher epoch supersedes
+    /// any lower-epoch claim on the same partition, regardless of order
+    /// of arrival.
+    #[serde(default)]
+    pub epoch: u64,
+}
+
+/// The gossip payload one instance sends a peer on each heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ClusterGossip {
+    /// Sending instance.
+    #[serde(default)]
+    pub from: u64,
+    /// Every member the sender knows of, including itself.
+    #[serde(default)]
+    pub members: Vec<MemberInfo>,
+    /// Every lease the sender knows of (its own and relayed).
+    #[serde(default)]
+    pub leases: Vec<PartitionLease>,
+    /// WAL-shipping acknowledgements: `(leader instance, acked seq)` —
+    /// how far the sender has replicated each peer's log.
+    #[serde(default)]
+    pub acked: Vec<(u64, u64)>,
+}
+
+impl ClusterGossip {
+    /// Merge `other`'s knowledge into `self` (set union, newest wins):
+    /// members by highest generation, leases by highest epoch.
+    pub fn absorb(&mut self, other: &ClusterGossip) {
+        for m in &other.members {
+            match self.members.iter_mut().find(|x| x.instance == m.instance) {
+                Some(mine) if mine.generation >= m.generation => {}
+                Some(mine) => *mine = m.clone(),
+                None => self.members.push(m.clone()),
+            }
+        }
+        for l in &other.leases {
+            match self.leases.iter_mut().find(|x| x.partition == l.partition) {
+                Some(mine) if mine.epoch >= l.epoch => {}
+                Some(mine) => *mine = *l,
+                None => self.leases.push(*l),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(instance: u64, generation: u64) -> MemberInfo {
+        MemberInfo {
+            instance,
+            rest_addr: format!("127.0.0.1:{}", 9000 + instance),
+            gossip_addr: format!("127.0.0.1:{}", 9100 + instance),
+            wal_dir: format!("/tmp/wal-{instance}"),
+            generation,
+        }
+    }
+
+    #[test]
+    fn absorb_is_newest_wins() {
+        let mut a = ClusterGossip {
+            from: 1,
+            members: vec![member(1, 0), member(2, 3)],
+            leases: vec![PartitionLease { partition: 0, leader: 1, epoch: 2 }],
+            acked: vec![],
+        };
+        let b = ClusterGossip {
+            from: 2,
+            members: vec![member(2, 5), member(3, 1)],
+            leases: vec![
+                PartitionLease { partition: 0, leader: 2, epoch: 1 }, // stale
+                PartitionLease { partition: 1, leader: 3, epoch: 4 }, // new
+            ],
+            acked: vec![],
+        };
+        a.absorb(&b);
+        assert_eq!(a.members.len(), 3);
+        assert_eq!(a.members.iter().find(|m| m.instance == 2).unwrap().generation, 5);
+        let p0 = a.leases.iter().find(|l| l.partition == 0).unwrap();
+        assert_eq!((p0.leader, p0.epoch), (1, 2), "stale epoch must not win");
+        assert_eq!(a.leases.iter().find(|l| l.partition == 1).unwrap().leader, 3);
+    }
+
+    #[test]
+    fn absorb_is_idempotent_and_commutative_on_distinct_keys() {
+        let x = ClusterGossip {
+            from: 1,
+            members: vec![member(1, 1)],
+            leases: vec![PartitionLease { partition: 0, leader: 1, epoch: 1 }],
+            acked: vec![],
+        };
+        let y = ClusterGossip {
+            from: 2,
+            members: vec![member(2, 1)],
+            leases: vec![PartitionLease { partition: 1, leader: 2, epoch: 1 }],
+            acked: vec![],
+        };
+        let mut xy = x.clone();
+        xy.absorb(&y);
+        xy.absorb(&y);
+        let mut yx = y.clone();
+        yx.absorb(&x);
+        assert_eq!(xy.members.len(), 2);
+        assert_eq!(yx.members.len(), 2);
+        assert_eq!(xy.leases.len(), yx.leases.len());
+    }
+}

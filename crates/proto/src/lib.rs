@@ -17,10 +17,12 @@
 //!   forwarder's endpoint-loss detection and the agent's manager watchdog.
 
 pub mod channel;
+pub mod cluster;
 pub mod heartbeat;
 pub mod message;
 pub mod tcp;
 
 pub use channel::{inproc_pair, inproc_pair_with_latency, Channel, ChannelHandle};
+pub use cluster::{ClusterGossip, MemberInfo, PartitionLease};
 pub use heartbeat::HeartbeatTracker;
 pub use message::{Message, TaskDispatch, TaskResult};

@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::cluster::ClusterGossip;
 use funcx_types::trace::SpanContext;
 use funcx_types::{
     Capability, ContainerImageId, EndpointId, EndpointStatsReport, FunctionId, ManagerId, Runtime,
@@ -154,10 +155,17 @@ pub enum Message {
     },
 
     // ---- liveness ---------------------------------------------------------
-    /// Periodic liveness probe (either direction).
+    /// Periodic liveness probe (either direction). Between cluster
+    /// instances the probe doubles as the gossip carrier; endpoint-fabric
+    /// heartbeats leave `gossip` empty, and v1 peers that predate the
+    /// field still decode (unknown fields are ignored on decode, and the
+    /// field is `#[serde(default)]` so v1 frames decode here too).
     Heartbeat {
         /// Monotonic sequence number from the sender.
         seq: u64,
+        /// Cluster membership/lease/ack gossip, instance↔instance only.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        gossip: Option<ClusterGossip>,
     },
     /// Agent → forwarder: queue/capacity snapshot riding the heartbeat
     /// cadence, so the service can serve fleet-wide endpoint health.
@@ -190,6 +198,11 @@ impl Message {
         serde_json::from_slice(bytes).map_err(|e| {
             funcx_types::FuncxError::ProtocolViolation(format!("bad message frame: {e}"))
         })
+    }
+
+    /// A plain liveness heartbeat with no gossip payload.
+    pub fn heartbeat(seq: u64) -> Message {
+        Message::Heartbeat { seq, gossip: None }
     }
 
     /// Short tag for logs/metrics.
@@ -261,7 +274,7 @@ mod tests {
                 prefetch: 8,
                 deployed_containers: vec![],
             },
-            Message::Heartbeat { seq: 42 },
+            Message::heartbeat(42),
             Message::EndpointStatus {
                 endpoint_id: EndpointId::from_u128(9),
                 report: EndpointStatsReport {
@@ -340,6 +353,61 @@ mod tests {
         };
         assert_eq!(results[0].runtime, Runtime::FxScript);
         assert_eq!(results[0].cap_kill, None);
+    }
+
+    /// Gossip-bearing heartbeats and v1 plain heartbeats must interoperate
+    /// in both directions: a v1 peer (whose `Heartbeat` has only `seq`)
+    /// decodes our gossip-bearing frames, and we decode its bare frames
+    /// with `gossip: None`. (Skipped under the offline stub harness.)
+    #[test]
+    fn v1_peers_and_gossip_heartbeats_interoperate() {
+        if serde_json::to_vec(&serde_json::json!({})).is_err() {
+            return;
+        }
+
+        // The wire shape a pre-cluster peer speaks.
+        #[derive(serde::Serialize, serde::Deserialize)]
+        enum V1Message {
+            Heartbeat { seq: u64 },
+        }
+
+        // Our gossip-bearing frame decodes on a v1 peer (unknown fields
+        // are ignored on struct variants).
+        let gossip = crate::cluster::ClusterGossip {
+            from: 1,
+            members: vec![crate::cluster::MemberInfo {
+                instance: 1,
+                rest_addr: "127.0.0.1:8080".into(),
+                gossip_addr: "127.0.0.1:9090".into(),
+                wal_dir: "/tmp/wal-1".into(),
+                generation: 2,
+            }],
+            leases: vec![crate::cluster::PartitionLease { partition: 3, leader: 1, epoch: 7 }],
+            acked: vec![(2, 41)],
+        };
+        let ours = Message::Heartbeat { seq: 9, gossip: Some(gossip.clone()) };
+        let decoded: V1Message = serde_json::from_slice(&ours.to_bytes()).unwrap();
+        let V1Message::Heartbeat { seq } = decoded;
+        assert_eq!(seq, 9, "v1 peer must still see the liveness payload");
+
+        // And the gossip survives a roundtrip through our own decoder.
+        match Message::from_bytes(&ours.to_bytes()).unwrap() {
+            Message::Heartbeat { seq: 9, gossip: Some(g) } => assert_eq!(g, gossip),
+            other => panic!("expected gossip heartbeat, got {other:?}"),
+        }
+
+        // A v1 peer's bare heartbeat decodes here with no gossip.
+        let theirs = serde_json::to_vec(&V1Message::Heartbeat { seq: 4 }).unwrap();
+        match Message::from_bytes(&theirs).unwrap() {
+            Message::Heartbeat { seq: 4, gossip: None } => {}
+            other => panic!("expected bare heartbeat, got {other:?}"),
+        }
+
+        // Plain heartbeats stay bare on the wire — no `gossip` key at all,
+        // byte-identical to what a v1 sender would produce.
+        let bare: serde_json::Value =
+            serde_json::from_slice(&Message::heartbeat(4).to_bytes()).unwrap();
+        assert!(bare["Heartbeat"].get("gossip").is_none());
     }
 
     #[test]

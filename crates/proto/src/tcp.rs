@@ -216,11 +216,8 @@ mod tests {
     #[test]
     fn roundtrip_over_real_sockets() {
         let (client, server) = pair();
-        client.send(Message::Heartbeat { seq: 7 }).unwrap();
-        assert_eq!(
-            server.recv_timeout(Duration::from_secs(2)).unwrap(),
-            Message::Heartbeat { seq: 7 }
-        );
+        client.send(Message::heartbeat(7)).unwrap();
+        assert_eq!(server.recv_timeout(Duration::from_secs(2)).unwrap(), Message::heartbeat(7));
         server.send(Message::HeartbeatAck { seq: 7 }).unwrap();
         assert_eq!(
             client.recv_timeout(Duration::from_secs(2)).unwrap(),
@@ -277,11 +274,12 @@ mod tests {
         let (client, server) = pair();
         let h = thread::spawn(move || {
             for seq in 0..2000 {
-                client.send(Message::Heartbeat { seq }).unwrap();
+                client.send(Message::heartbeat(seq)).unwrap();
             }
         });
         for expect in 0..2000 {
-            let Message::Heartbeat { seq } = server.recv_timeout(Duration::from_secs(5)).unwrap()
+            let Message::Heartbeat { seq, .. } =
+                server.recv_timeout(Duration::from_secs(5)).unwrap()
             else {
                 panic!()
             };

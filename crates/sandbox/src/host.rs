@@ -374,7 +374,11 @@ impl SandboxHost {
             drop(inner);
             Self::validate_imports(&cached.program, extra_modules)?;
             self.stats.lock().clone_hits += 1;
-            return Ok(EnvLease { env: cached, tier: SessionTier::Clone, cost: self.config.clone_cost });
+            return Ok(EnvLease {
+                env: cached,
+                tier: SessionTier::Clone,
+                cost: self.config.clone_cost,
+            });
         }
 
         // Layer 3: cold boot; success caches the compiled program.
@@ -397,11 +401,11 @@ impl SandboxHost {
         let now = self.clock.now();
         let mut inner = self.inner.lock();
         let key = env.key;
-        inner
-            .idle
-            .entry(key)
-            .or_default()
-            .push_back(IdleEnv { env, idle_since: now, provenance: Provenance::Released });
+        inner.idle.entry(key).or_default().push_back(IdleEnv {
+            env,
+            idle_since: now,
+            provenance: Provenance::Released,
+        });
         inner.idle_total += 1;
         let evicted = self.enforce_capacity(&mut inner, key);
         drop(inner);
@@ -537,8 +541,7 @@ impl SandboxHost {
                 continue; // nothing to mint from yet
             }
             let rate = counter.rate_per_sec(self.config.rate_window);
-            let target =
-                ((rate * ttl_secs).ceil() as usize).min(self.config.per_program_capacity);
+            let target = ((rate * ttl_secs).ceil() as usize).min(self.config.per_program_capacity);
             let live = inner.idle.get(key).map(|q| q.len()).unwrap_or(0);
             if target > live {
                 wanted.push((*key, target - live));
@@ -680,7 +683,9 @@ mod tests {
             (stats.cold_misses, stats.warm_hits, stats.clone_hits, stats.predicted_hits),
             (1, 1, 1, 0)
         );
-        assert!(host.config().warm_cost.as_secs_f64() < 0.1 * host.config().cold_cost.as_secs_f64());
+        assert!(
+            host.config().warm_cost.as_secs_f64() < 0.1 * host.config().cold_cost.as_secs_f64()
+        );
     }
 
     #[test]

@@ -201,7 +201,7 @@ impl Meter {
                 line,
             ));
         }
-        if self.fuel_used % DEADLINE_PROBE_EVERY == 0 {
+        if self.fuel_used.is_multiple_of(DEADLINE_PROBE_EVERY) {
             self.check_deadline(line)?;
         }
         Ok(())
@@ -250,10 +250,7 @@ impl Meter {
         if self.live_bytes > self.limits.max_memory_bytes {
             return Err(SandboxError::cap(
                 CapKind::Memory,
-                format!(
-                    "live memory exceeds sandbox cap ({} bytes)",
-                    self.limits.max_memory_bytes
-                ),
+                format!("live memory exceeds sandbox cap ({} bytes)", self.limits.max_memory_bytes),
                 line,
             ));
         }
@@ -350,8 +347,7 @@ mod tests {
 
     #[test]
     fn output_budget_enforced() {
-        let (_c, mut m) =
-            meter(SandboxLimits { max_output_bytes: 10, ..SandboxLimits::default() });
+        let (_c, mut m) = meter(SandboxLimits { max_output_bytes: 10, ..SandboxLimits::default() });
         m.charge_output(8, 1).unwrap();
         let e = m.charge_output(8, 2).unwrap_err();
         assert_eq!(e.kind, Some(CapKind::Output));

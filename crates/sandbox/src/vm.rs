@@ -126,10 +126,9 @@ pub fn run_program(
     hooks: &dyn ExecHooks,
     clock: SharedClock,
 ) -> SandboxResult<ExecOutcome> {
-    let def = globals
-        .get(entry)
-        .cloned()
-        .ok_or_else(|| SandboxError::from(LangError::new(format!("no such function '{entry}'"), 0)))?;
+    let def = globals.get(entry).cloned().ok_or_else(|| {
+        SandboxError::from(LangError::new(format!("no such function '{entry}'"), 0))
+    })?;
     let mut vm = SandboxVm {
         meter: Meter::start(limits, clock),
         hooks,
@@ -147,7 +146,8 @@ pub fn run_program(
         vm.session_live = resident;
         vm.meter.mem_swap(0, resident, 0)?;
     }
-    let value = vm.invoke(&def, args.to_vec(), kwargs.to_vec()).map_err(|e| e.in_function(entry))?;
+    let value =
+        vm.invoke(&def, args.to_vec(), kwargs.to_vec()).map_err(|e| e.in_function(entry))?;
     vm.meter.check_value_size(&value, 0)?;
     if let Some(state) = vm.session.as_deref_mut() {
         state.note_exec();
@@ -176,7 +176,13 @@ impl SandboxVm<'_> {
 
     /// Bind a variable in `frame`, keeping the meter and the frame's
     /// running byte total in sync.
-    fn bind(&mut self, frame: &mut Frame, name: &str, value: Value, line: u32) -> SandboxResult<()> {
+    fn bind(
+        &mut self,
+        frame: &mut Frame,
+        name: &str,
+        value: Value,
+        line: u32,
+    ) -> SandboxResult<()> {
         let new = value.approx_size();
         let old = frame.vars.get(name).map(Value::approx_size).unwrap_or(0);
         self.meter.mem_swap(old, new, line)?;
@@ -844,7 +850,8 @@ def f():
 
     #[test]
     fn output_cap_kills_chatty_function() {
-        let src = "def f():\n    for i in range(1000):\n        print('spam spam spam')\n    return 0\n";
+        let src =
+            "def f():\n    for i in range(1000):\n        print('spam spam spam')\n    return 0\n";
         let limits = SandboxLimits { max_output_bytes: 64, ..SandboxLimits::default() };
         let e = run_simple(src, "f", &[], limits, &[]).unwrap_err();
         assert_eq!(e.kind, Some(CapKind::Output));

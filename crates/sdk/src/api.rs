@@ -169,15 +169,72 @@ impl ServiceApi for InProcApi {
 
 // ---------------------------------------------------------------------------
 
+/// Client-side resilience tunables for [`RestApi`]: how many times a
+/// throttled or unavailable request is retried, how long the client backs
+/// off between tries, and how many `307 Temporary Redirect` hops it will
+/// follow to reach a partition's owning instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total tries per logical request (the first attempt plus retries of
+    /// 429/503 answers). `1` disables retrying entirely.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles on each subsequent retry.
+    pub base_backoff: std::time::Duration,
+    /// Ceiling on any single sleep — applied to the exponential schedule
+    /// *and* to `Retry-After` hints, so a hostile or miscounting server
+    /// cannot park the client for minutes.
+    pub max_backoff: std::time::Duration,
+    /// `307` hops followed before declaring a redirect loop.
+    pub max_redirects: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: std::time::Duration::from_millis(50),
+            max_backoff: std::time::Duration::from_secs(2),
+            max_redirects: 5,
+        }
+    }
+}
+
 /// Real HTTP against a served REST API.
 pub struct RestApi {
     addr: SocketAddr,
+    policy: RetryPolicy,
 }
 
 impl RestApi {
-    /// Point at a server (from `funcx_service::rest::serve_rest`).
+    /// Point at a server (from `funcx_service::rest::serve_rest`) with the
+    /// default [`RetryPolicy`].
     pub fn new(addr: SocketAddr) -> Self {
-        RestApi { addr }
+        RestApi { addr, policy: RetryPolicy::default() }
+    }
+
+    /// Point at a server with explicit resilience tunables.
+    pub fn with_policy(addr: SocketAddr, policy: RetryPolicy) -> Self {
+        RestApi { addr, policy }
+    }
+
+    /// Split a `Location` value into `(addr, path)`. Accepts the absolute
+    /// `http://host:port/path` form a clustered FrontDoor emits and the
+    /// bare `/path` form (same host).
+    fn parse_location(&self, location: &str) -> Result<(SocketAddr, String)> {
+        if let Some(rest) = location.strip_prefix("http://") {
+            let (host, path) = match rest.find('/') {
+                Some(i) => (&rest[..i], rest[i..].to_string()),
+                None => (rest, "/".to_string()),
+            };
+            let addr = host.parse::<SocketAddr>().map_err(|_| {
+                FuncxError::ProtocolViolation(format!("unroutable Location {location:?}"))
+            })?;
+            return Ok((addr, path));
+        }
+        if location.starts_with('/') {
+            return Ok((self.addr, location.to_string()));
+        }
+        Err(FuncxError::ProtocolViolation(format!("unsupported Location {location:?}")))
     }
 
     fn call(
@@ -188,7 +245,45 @@ impl RestApi {
         body: serde_json::Value,
     ) -> Result<serde_json::Value> {
         let raw = if body.is_null() { Vec::new() } else { serde_json::to_vec(&body).unwrap() };
-        let resp = funcx_service::http::http_request(self.addr, method, path, Some(bearer), &raw)?;
+        let mut addr = self.addr;
+        let mut path = path.to_string();
+        let mut redirects = 0u32;
+        let mut attempt = 1u32;
+        let mut backoff = self.policy.base_backoff;
+        let resp = loop {
+            let resp = funcx_service::http::http_request(addr, method, &path, Some(bearer), &raw)?;
+            match resp.status {
+                // A clustered FrontDoor answers 307 when another instance
+                // owns this user's partition: re-issue the identical
+                // request against the owner. A redirect is routing, not a
+                // failure — it consumes no retry attempt.
+                307 => {
+                    redirects += 1;
+                    if redirects > self.policy.max_redirects {
+                        return Err(FuncxError::ProtocolViolation(format!(
+                            "redirect loop: {redirects} hops without an owner"
+                        )));
+                    }
+                    let location = resp.header("Location").ok_or_else(|| {
+                        FuncxError::ProtocolViolation("307 without a Location header".into())
+                    })?;
+                    (addr, path) = self.parse_location(location)?;
+                }
+                // Throttled or momentarily unavailable: back off and
+                // retry, honoring the server's `Retry-After` hint when it
+                // gives one (capped, so a long hint cannot stall us).
+                429 | 503 if attempt < self.policy.max_attempts => {
+                    attempt += 1;
+                    let hinted = resp
+                        .header("Retry-After")
+                        .and_then(|s| s.trim().parse::<u64>().ok())
+                        .map(std::time::Duration::from_secs);
+                    std::thread::sleep(hinted.unwrap_or(backoff).min(self.policy.max_backoff));
+                    backoff = (backoff * 2).min(self.policy.max_backoff);
+                }
+                _ => break resp,
+            }
+        };
         let parsed: serde_json::Value = serde_json::from_slice(&resp.body)
             .map_err(|e| FuncxError::ProtocolViolation(format!("bad JSON from service: {e}")))?;
         if resp.status != 200 {
@@ -203,6 +298,12 @@ impl RestApi {
                 "no_healthy_endpoint" => FuncxError::NoHealthyEndpoint(msg),
                 "task_not_found" => FuncxError::TaskNotFound(msg),
                 "bad_request" => FuncxError::BadRequest(msg),
+                "rate_limited" => FuncxError::RateLimited {
+                    retry_after_secs: resp
+                        .header("Retry-After")
+                        .and_then(|s| s.trim().parse().ok())
+                        .unwrap_or(1),
+                },
                 _ => FuncxError::Internal(format!("{code}: {msg}")),
             });
         }

@@ -40,7 +40,7 @@ pub mod client;
 pub mod data;
 pub mod fmap;
 
-pub use api::{trace_of_task, InProcApi, RestApi, ServiceApi};
+pub use api::{trace_of_task, InProcApi, RestApi, RetryPolicy, ServiceApi};
 pub use client::FuncXClient;
 pub use data::DataStage;
 pub use fmap::FmapSpec;

@@ -1,0 +1,176 @@
+//! SDK transport resilience: the `RestApi` follows 307 redirects to a
+//! partition's owning instance and retries throttled (429) / unavailable
+//! (503) answers with capped exponential backoff, honoring `Retry-After`.
+//!
+//! Each test scripts a tiny real HTTP server (the service's own
+//! `HttpServer`) so the behavior is exercised over actual sockets — one
+//! regression test per status code the cluster FrontDoor can answer with.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use funcx_sdk::api::ServiceApi;
+use funcx_sdk::{RestApi, RetryPolicy};
+use funcx_service::http::{Handler, HttpServer, Response};
+use funcx_types::FuncxError;
+
+/// The local stub harness can't serialize REST bodies; these tests only
+/// run where real serde is linked (CI).
+fn serde_is_stubbed() -> bool {
+    serde_json::to_vec(&serde_json::json!({})).is_err()
+}
+
+/// A short-fuse policy so retry tests finish in milliseconds.
+fn fast_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 4,
+        base_backoff: Duration::from_millis(5),
+        max_backoff: Duration::from_millis(20),
+        max_redirects: 5,
+    }
+}
+
+/// Serve `f` on an ephemeral port.
+fn scripted(
+    f: impl Fn(usize) -> Response + Send + Sync + 'static,
+) -> (HttpServer, Arc<AtomicUsize>) {
+    let hits = Arc::new(AtomicUsize::new(0));
+    let seen = Arc::clone(&hits);
+    let handler: Handler = Arc::new(move |_req| {
+        let n = seen.fetch_add(1, Ordering::SeqCst);
+        f(n)
+    });
+    (HttpServer::serve("127.0.0.1:0", handler).unwrap(), hits)
+}
+
+const SLO_BODY: &[u8] = br#"{"slos": []}"#;
+
+#[test]
+fn temporary_redirects_are_followed_to_the_owner() {
+    if serde_is_stubbed() {
+        return;
+    }
+    // `owner` holds the answer; the front instance only points at it.
+    let (owner, owner_hits) = scripted(|_| Response::json(200, SLO_BODY));
+    let owner_addr = owner.local_addr();
+    let (front, front_hits) = scripted(move |_| {
+        Response::json(307, Vec::new())
+            .with_header("Location", format!("http://{owner_addr}/v1/slo"))
+    });
+
+    let api = RestApi::with_policy(front.local_addr(), fast_policy());
+    let out = api.slo("token").expect("redirect must be followed transparently");
+    assert!(out["slos"].as_array().is_some(), "owner's body must come back: {out}");
+    assert_eq!(front_hits.load(Ordering::SeqCst), 1);
+    assert_eq!(owner_hits.load(Ordering::SeqCst), 1, "exactly one forwarded request");
+}
+
+#[test]
+fn relative_redirects_stay_on_the_same_instance() {
+    if serde_is_stubbed() {
+        return;
+    }
+    let (server, hits) = scripted(|n| {
+        if n == 0 {
+            Response::json(307, Vec::new()).with_header("Location", "/v1/slo")
+        } else {
+            Response::json(200, SLO_BODY)
+        }
+    });
+    let api = RestApi::with_policy(server.local_addr(), fast_policy());
+    api.slo("token").expect("bare-path Location must resolve against the same host");
+    assert_eq!(hits.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn redirect_loops_are_bounded() {
+    if serde_is_stubbed() {
+        return;
+    }
+    // Every answer bounces back to ourselves: the client must give up
+    // after `max_redirects` hops rather than spin forever.
+    let (server, hits) =
+        scripted(|_| Response::json(307, Vec::new()).with_header("Location", "/v1/slo"));
+    let api = RestApi::with_policy(server.local_addr(), fast_policy());
+    let err = api.slo("token").expect_err("a redirect loop must error out");
+    assert!(matches!(err, FuncxError::ProtocolViolation(_)), "got {err:?}");
+    // max_redirects hops plus the original request.
+    assert!(hits.load(Ordering::SeqCst) <= fast_policy().max_redirects as usize + 1);
+}
+
+#[test]
+fn throttled_requests_retry_after_the_hinted_delay() {
+    if serde_is_stubbed() {
+        return;
+    }
+    // Two 429s (with a deliberately huge Retry-After the policy must cap),
+    // then success.
+    let (server, hits) = scripted(|n| {
+        if n < 2 {
+            Response::json(429, br#"{"error": "rate_limited", "message": "slow down"}"#.to_vec())
+                .with_header("Retry-After", "3600")
+        } else {
+            Response::json(200, SLO_BODY)
+        }
+    });
+    let api = RestApi::with_policy(server.local_addr(), fast_policy());
+    let started = std::time::Instant::now();
+    api.slo("token").expect("the third attempt must succeed");
+    assert_eq!(hits.load(Ordering::SeqCst), 3);
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "an hour-long Retry-After must be capped by max_backoff"
+    );
+}
+
+#[test]
+fn exhausted_retries_surface_the_rate_limit() {
+    if serde_is_stubbed() {
+        return;
+    }
+    let (server, hits) = scripted(|_| {
+        Response::json(429, br#"{"error": "rate_limited", "message": "slow down"}"#.to_vec())
+            .with_header("Retry-After", "7")
+    });
+    let api = RestApi::with_policy(server.local_addr(), fast_policy());
+    let err = api.slo("token").expect_err("a permanently throttled user sees the 429");
+    assert!(
+        matches!(err, FuncxError::RateLimited { retry_after_secs: 7 }),
+        "the server's hint must ride the error: {err:?}"
+    );
+    assert_eq!(hits.load(Ordering::SeqCst), fast_policy().max_attempts as usize);
+}
+
+#[test]
+fn unavailable_answers_are_retried_with_backoff() {
+    if serde_is_stubbed() {
+        return;
+    }
+    // One 503 with no Retry-After: the exponential schedule drives the
+    // sleep, and the follow-up succeeds.
+    let (server, hits) = scripted(|n| {
+        if n == 0 {
+            Response::json(503, br#"{"error": "internal", "message": "failing over"}"#.to_vec())
+        } else {
+            Response::json(200, SLO_BODY)
+        }
+    });
+    let api = RestApi::with_policy(server.local_addr(), fast_policy());
+    api.slo("token").expect("a transient 503 must be retried");
+    assert_eq!(hits.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn other_errors_do_not_retry() {
+    if serde_is_stubbed() {
+        return;
+    }
+    let (server, hits) = scripted(|_| {
+        Response::json(400, br#"{"error": "bad_request", "message": "nope"}"#.to_vec())
+    });
+    let api = RestApi::with_policy(server.local_addr(), fast_policy());
+    let err = api.slo("token").expect_err("a 400 is not retryable");
+    assert!(matches!(err, FuncxError::BadRequest(_)), "got {err:?}");
+    assert_eq!(hits.load(Ordering::SeqCst), 1, "no retries for client errors");
+}

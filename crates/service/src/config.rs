@@ -89,6 +89,10 @@ pub struct ServiceConfig {
     /// Declared service-level objectives, evaluated by `GET /v1/slo` and
     /// exported as `funcx_slo_*` gauges.
     pub slos: Vec<crate::slo::SloSpec>,
+    /// Per-user admission control at the REST gateway. `None` (the
+    /// default) admits everything; `Some` enforces a token bucket per
+    /// authenticated user, answering 429 + `Retry-After` when exhausted.
+    pub rate_limit_per_user: Option<crate::ratelimit::RateLimitConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -120,6 +124,7 @@ impl Default for ServiceConfig {
             stats_frames: 128,
             stats_max_keys: 4096,
             slos: crate::slo::default_slos(),
+            rate_limit_per_user: None,
         }
     }
 }
@@ -175,6 +180,7 @@ mod tests {
         assert_eq!(c.trace_head_sample, 1.0, "keep every trace out of the box");
         assert!(c.trace_store_capacity > 0);
         assert!(c.trace_slowest_keep > 0, "the slow tail must survive sampling");
+        assert!(c.rate_limit_per_user.is_none(), "admission control is opt-in");
     }
 
     #[test]

@@ -219,7 +219,7 @@ fn run_forwarder_loop(
                         outstanding.retain(|id| !done.contains(id));
                         store_results(&service, endpoint_id, results, &result_queue);
                     }
-                    Message::Heartbeat { seq } => {
+                    Message::Heartbeat { seq, .. } => {
                         let _ = channel.send(Message::HeartbeatAck { seq });
                     }
                     Message::EndpointStatus { endpoint_id: claimed, report }
@@ -250,7 +250,7 @@ fn run_forwarder_loop(
         let now = clock.now();
         if now.saturating_duration_since(last_heartbeat) >= config.heartbeat_period {
             hb_seq += 1;
-            if channel.send(Message::Heartbeat { seq: hb_seq }).is_err() {
+            if channel.send(Message::heartbeat(hb_seq)).is_err() {
                 agent_lost = true;
             }
             last_heartbeat = now;

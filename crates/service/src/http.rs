@@ -90,6 +90,9 @@ pub struct Response {
     pub status: u16,
     /// Content-Type header value.
     pub content_type: String,
+    /// Extra headers beyond Content-Type/Content-Length/Connection —
+    /// `Location` on redirects, `Retry-After` on throttles.
+    pub headers: Vec<(String, String)>,
     /// Body bytes (JSON in this service; plain text for `/v1/metrics`).
     pub body: Vec<u8>,
 }
@@ -97,17 +100,39 @@ pub struct Response {
 impl Response {
     /// A response with a JSON body.
     pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
-        Response { status, content_type: "application/json".into(), body: body.into() }
+        Response {
+            status,
+            content_type: "application/json".into(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
     }
 
     /// A response in the Prometheus text exposition format.
     pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
-        Response { status, content_type: "text/plain; version=0.0.4".into(), body: body.into() }
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4".into(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Value of header `name`, matched case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 
     fn reason(&self) -> &'static str {
         match self.status {
             200 => "OK",
+            307 => "Temporary Redirect",
             400 => "Bad Request",
             401 => "Unauthorized",
             403 => "Forbidden",
@@ -115,6 +140,7 @@ impl Response {
             408 => "Request Timeout",
             409 => "Conflict",
             413 => "Payload Too Large",
+            429 => "Too Many Requests",
             503 => "Service Unavailable",
             _ => "Internal Server Error",
         }
@@ -242,13 +268,17 @@ fn read_request(reader: &mut BufReader<TcpStream>) -> std::result::Result<Reques
 }
 
 fn write_response(stream: &mut TcpStream, resp: &Response) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
         resp.status,
         resp.reason(),
         resp.content_type,
         resp.body.len()
     );
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     stream.write_all(head.as_bytes())?;
     stream.write_all(&resp.body)?;
     stream.flush()
@@ -287,6 +317,7 @@ pub fn http_request(
         .ok_or_else(|| FuncxError::ProtocolViolation("bad http status line".into()))?;
     let mut content_length = 0usize;
     let mut content_type = String::from("application/json");
+    let mut headers = Vec::new();
     loop {
         let mut hline = String::new();
         reader
@@ -301,6 +332,8 @@ pub fn http_request(
                 content_length = v.trim().parse().unwrap_or(0);
             } else if k.trim().eq_ignore_ascii_case("content-type") {
                 content_type = v.trim().to_string();
+            } else {
+                headers.push((k.trim().to_string(), v.trim().to_string()));
             }
         }
     }
@@ -308,7 +341,7 @@ pub fn http_request(
     reader
         .read_exact(&mut body)
         .map_err(|e| FuncxError::Disconnected(format!("http recv body: {e}")))?;
-    Ok(Response { status, content_type, body })
+    Ok(Response { status, content_type, headers, body })
 }
 
 #[cfg(test)]
@@ -422,5 +455,23 @@ mod tests {
         let server = echo_server();
         let resp = http_request(server.local_addr(), "GET", "/", None, b"").unwrap();
         assert_eq!(resp.status, 200);
+    }
+
+    #[test]
+    fn extra_headers_cross_the_wire() {
+        let server = HttpServer::serve(
+            "127.0.0.1:0",
+            Arc::new(|_req: Request| {
+                Response::json(307, "{}")
+                    .with_header("Location", "http://127.0.0.1:9/v1/submit")
+                    .with_header("Retry-After", "3")
+            }),
+        )
+        .unwrap();
+        let resp = http_request(server.local_addr(), "POST", "/v1/submit", None, b"{}").unwrap();
+        assert_eq!(resp.status, 307);
+        assert_eq!(resp.header("location"), Some("http://127.0.0.1:9/v1/submit"));
+        assert_eq!(resp.header("RETRY-AFTER"), Some("3"));
+        assert_eq!(resp.header("absent"), None);
     }
 }

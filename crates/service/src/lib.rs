@@ -33,6 +33,7 @@ pub mod durability;
 pub mod forwarder;
 pub mod http;
 pub mod memo;
+pub mod ratelimit;
 pub mod rest;
 pub mod service;
 pub mod slo;

@@ -267,6 +267,24 @@ fn route(service: &Arc<FuncxService>, req: Request) -> Response {
     let Some(bearer) = req.bearer().map(str::to_string) else {
         return err_json(&FuncxError::Unauthenticated("missing bearer token".into()));
     };
+    // Admission control: one token per request, charged to the
+    // authenticated user before any route work. Token validation here is
+    // free (no auth_cost) — the real introspection still happens inside
+    // the route; this is the same cheap lookup the FrontDoor router does.
+    if let Some(limiter) = &service.limiter {
+        if let Some(token) = service.auth.tokens.validate(&bearer) {
+            if let crate::ratelimit::Admission::Throttle { retry_after_secs } =
+                limiter.check(token.user)
+            {
+                service
+                    .metrics
+                    .counter("funcx_requests_throttled_total", &[("user", &token.user.to_string())])
+                    .inc();
+                return err_json(&FuncxError::RateLimited { retry_after_secs })
+                    .with_header("Retry-After", retry_after_secs.to_string());
+            }
+        }
+    }
     match (req.method.as_str(), segments.as_slice()) {
         ("POST", ["v1", "functions"]) => {
             let body: RegisterFunctionBody = match parse_body(&req) {
@@ -1145,5 +1163,49 @@ mod tests {
         );
         assert_eq!(status, 200, "{body}");
         assert_eq!(body["task_ids"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn exhausted_users_get_429_with_retry_after_and_a_metric() {
+        if serde_json::to_vec(&serde_json::json!({})).is_err() {
+            return; // stub serde harness: REST bodies cannot serialize here
+        }
+        let clock: SharedClock = Arc::new(RealClock::with_speedup(1000.0));
+        let config = ServiceConfig {
+            rate_limit_per_user: Some(crate::ratelimit::RateLimitConfig {
+                rate_per_sec: 1e-9,
+                burst: 2.0,
+            }),
+            ..ServiceConfig::default()
+        };
+        let service = FuncxService::new(clock, config);
+        let (_, token) = service.auth.login("alice", IdentityProvider::Institution, &[Scope::All]);
+        let server = serve_rest(Arc::clone(&service), "127.0.0.1:0").unwrap();
+
+        let mut statuses = Vec::new();
+        for _ in 0..3 {
+            let resp =
+                http_request(server.local_addr(), "GET", "/v1/endpoints/status", Some(&token), b"")
+                    .unwrap();
+            if resp.status == 429 {
+                let retry = resp.header("Retry-After").expect("429 must carry Retry-After");
+                assert!(retry.parse::<u64>().unwrap() >= 1, "Retry-After must back off");
+                let parsed: serde_json::Value =
+                    serde_json::from_slice(&resp.body).unwrap_or(serde_json::Value::Null);
+                assert_eq!(parsed["error"], "rate_limited");
+            }
+            statuses.push(resp.status);
+        }
+        assert_eq!(statuses, vec![200, 200, 429], "burst of 2 then throttle");
+
+        // The scrape surface is exempt from admission control and counts
+        // the rejection per user.
+        let scrape = http_request(server.local_addr(), "GET", "/v1/metrics", None, b"").unwrap();
+        assert_eq!(scrape.status, 200);
+        let text = String::from_utf8(scrape.body).unwrap();
+        assert!(
+            text.contains("funcx_requests_throttled_total"),
+            "throttle metric missing from scrape:\n{text}"
+        );
     }
 }

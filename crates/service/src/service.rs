@@ -176,6 +176,9 @@ pub struct FuncxService {
     pub(crate) serializer: Serializer,
     /// Durable write-ahead log, when `config.wal_dir` names one.
     pub(crate) wal: Option<Arc<Wal>>,
+    /// Per-user admission control, when `config.rate_limit_per_user` asks
+    /// for it.
+    pub(crate) limiter: Option<crate::ratelimit::RateLimiter>,
     /// Task lifecycle records (the Redis task hashset of §4.1), sharded
     /// so pollers, submitters, and forwarders contend per-shard, never on
     /// one global lock.
@@ -198,6 +201,26 @@ impl FuncxService {
     pub fn recover(
         clock: SharedClock,
         config: ServiceConfig,
+    ) -> std::io::Result<(Arc<Self>, RecoveryReport)> {
+        Self::recover_with_auth(clock, config, None)
+    }
+
+    /// [`FuncxService::recover`], but sharing an existing [`AuthService`]
+    /// instead of minting a fresh one. Cluster instances share one auth
+    /// plane (the paper's Globus Auth is external to the service), so a
+    /// bearer token minted at any instance validates at every instance.
+    pub fn recover_shared(
+        clock: SharedClock,
+        config: ServiceConfig,
+        auth: Arc<AuthService>,
+    ) -> std::io::Result<(Arc<Self>, RecoveryReport)> {
+        Self::recover_with_auth(clock, config, Some(auth))
+    }
+
+    fn recover_with_auth(
+        clock: SharedClock,
+        config: ServiceConfig,
+        shared_auth: Option<Arc<AuthService>>,
     ) -> std::io::Result<(Arc<Self>, RecoveryReport)> {
         let started = std::time::Instant::now();
         let metrics = MetricsRegistry::new(Arc::clone(&clock));
@@ -227,7 +250,7 @@ impl FuncxService {
             metrics.counter("funcx_stats_keys_dropped_total", &[]),
         );
         let service = Arc::new(FuncxService {
-            auth: AuthService::new(Arc::clone(&clock)),
+            auth: shared_auth.unwrap_or_else(|| AuthService::new(Arc::clone(&clock))),
             functions: FunctionRegistry::new(),
             endpoints: EndpointRegistry::new(),
             pools: PoolRegistry::new(),
@@ -244,6 +267,9 @@ impl FuncxService {
             instruments,
             serializer: Serializer::default(),
             wal: wal.clone(),
+            limiter: config
+                .rate_limit_per_user
+                .map(|rl| crate::ratelimit::RateLimiter::new(Arc::clone(&clock), rl)),
             tasks: TaskStore::new(config.task_shards),
             config,
             clock,
@@ -386,6 +412,76 @@ impl FuncxService {
                 report.queue_items_restored += 1;
             }
         }
+    }
+
+    /// Adopt another instance's shipped WAL state — partition failover.
+    ///
+    /// Unlike [`FuncxService::recover`] (which restores this service's
+    /// *own* log before the journal is installed), absorption happens on a
+    /// *running* service: every adopted record is re-logged into our own
+    /// WAL (explicitly for tasks/registries/memo, via the installed
+    /// journal for queue/kv writes), so the adopted partition survives a
+    /// subsequent crash of this instance too. Dispatched-but-unacked tasks
+    /// in the adopted state are re-queued at the front of their queues for
+    /// at-least-once redelivery — the zero-acked-task-loss half of the
+    /// failover contract.
+    pub fn absorb_state(&self, state: &WalState) -> RecoveryReport {
+        let mut report = RecoveryReport::default();
+        if self.wal_enabled() {
+            for record in state.endpoints.values() {
+                self.log_event(&DurableEvent::EndpointRegistered {
+                    record: Box::new(record.clone()),
+                });
+            }
+            for record in state.functions.values() {
+                self.log_event(&DurableEvent::FunctionRegistered {
+                    record: Box::new(record.clone()),
+                });
+            }
+            let mut records: Vec<&TaskRecord> = state.tasks.values().collect();
+            records.sort_by_key(|r| (r.timeline.received, r.spec.task_id));
+            for record in records {
+                self.log_event(&DurableEvent::TaskCreated { record: Box::new(record.clone()) });
+            }
+        }
+        self.restore_state(state, &mut report);
+
+        let unacked: Vec<TaskId> =
+            state.unacked_dispatches().iter().map(|r| r.spec.task_id).collect();
+        for &task_id in unacked.iter().rev() {
+            let Some((endpoint_id, span, task_received)) = self
+                .tasks
+                .with_record_mut(task_id, |record| {
+                    if record.state == TaskState::DispatchedToEndpoint {
+                        record.transition(TaskState::WaitingForEndpoint);
+                        Some((record.spec.endpoint_id, record.spec.span, record.timeline.received))
+                    } else {
+                        None
+                    }
+                })
+                .flatten()
+            else {
+                continue;
+            };
+            self.log_event(&DurableEvent::TaskRequeued { task_id, endpoint_id });
+            self.store
+                .queue(endpoint_id, QueueKind::Task)
+                .push_front(Self::task_id_to_queue_bytes(task_id));
+            self.reopen_recovered_trace(task_id, span, task_received);
+            report.unacked_redelivered += 1;
+        }
+        self.rescue_unqueued(state, &mut report);
+        self.trace.record(
+            "absorb",
+            format!(
+                "adopted tasks {} queued {} redelivered {} rescued {}",
+                report.tasks_restored,
+                report.queue_items_restored,
+                report.unacked_redelivered,
+                report.rescued
+            ),
+        );
+        report
     }
 
     /// Re-enqueue `WaitingForEndpoint` tasks that are in no task queue —
@@ -662,7 +758,14 @@ impl FuncxService {
         let endpoint_id = if runtimes.is_empty() {
             self.endpoints.register(user, name, description, public, self.clock.now())
         } else {
-            self.endpoints.register_with(user, name, description, public, runtimes, self.clock.now())
+            self.endpoints.register_with(
+                user,
+                name,
+                description,
+                public,
+                runtimes,
+                self.clock.now(),
+            )
         };
         if self.wal_enabled() {
             if let Ok(record) = self.endpoints.get(endpoint_id) {
@@ -850,12 +953,7 @@ impl FuncxService {
                         "endpoint {endpoint_id} does not support runtime '{}' \
                          (advertises: {})",
                         function.options.runtime,
-                        endpoint
-                            .runtimes
-                            .iter()
-                            .map(|r| r.as_str())
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        endpoint.runtimes.iter().map(|r| r.as_str()).collect::<Vec<_>>().join(", ")
                     )));
                 }
                 (endpoint_id, None, "pinned")
@@ -2005,14 +2103,7 @@ mod tests {
         svc.endpoints.mark_online(fx_only).unwrap();
         svc.endpoints.mark_online(full).unwrap();
         let pool = svc
-            .create_pool(
-                &token,
-                "mixed",
-                "",
-                vec![fx_only, full],
-                RoutingPolicy::RoundRobin,
-                false,
-            )
+            .create_pool(&token, "mixed", "", vec![fx_only, full], RoutingPolicy::RoundRobin, false)
             .unwrap();
         let f = register_sandbox_fn(&svc, &token);
         let record = svc.pools.get(pool).unwrap();
@@ -2075,10 +2166,7 @@ mod tests {
             "s",
             None,
             Sharing::default(),
-            funcx_types::FunctionOptions {
-                session: Some("state".into()),
-                ..Default::default()
-            },
+            funcx_types::FunctionOptions { session: Some("state".into()), ..Default::default() },
         );
         assert!(matches!(bad_session, Err(FuncxError::BadRequest(_))));
         let bad_caps = svc.register_function_with(

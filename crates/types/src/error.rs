@@ -50,6 +50,9 @@ pub enum FuncxError {
     ContainerFailed(String),
     /// The component has been shut down.
     ShuttingDown,
+    /// Caller exceeded their admission-control rate limit; the payload is
+    /// the suggested wait in whole seconds (`Retry-After`).
+    RateLimited { retry_after_secs: u64 },
     /// Malformed REST request (bad JSON, missing field, bad route).
     BadRequest(String),
     /// Registry constraint violation (duplicate registration, non-owner
@@ -71,6 +74,7 @@ impl FuncxError {
             | FuncxError::PoolNotFound(_)
             | FuncxError::TaskNotFound(_) => 404,
             FuncxError::PayloadTooLarge { .. } => 413,
+            FuncxError::RateLimited { .. } => 429,
             FuncxError::Timeout(_) => 408,
             FuncxError::Registry(_) => 409,
             FuncxError::ShuttingDown | FuncxError::NoHealthyEndpoint(_) => 503,
@@ -90,6 +94,7 @@ impl FuncxError {
             FuncxError::Unauthenticated(_) => "unauthenticated",
             FuncxError::Forbidden(_) => "forbidden",
             FuncxError::PayloadTooLarge { .. } => "payload_too_large",
+            FuncxError::RateLimited { .. } => "rate_limited",
             FuncxError::ExecutionFailed(_) => "execution_failed",
             FuncxError::SerializationFailed(_) => "serialization_failed",
             FuncxError::ProtocolViolation(_) => "protocol_violation",
@@ -119,6 +124,9 @@ impl fmt::Display for FuncxError {
             FuncxError::PayloadTooLarge { size, limit } => {
                 write!(f, "payload of {size} bytes exceeds service limit of {limit} bytes")
             }
+            FuncxError::RateLimited { retry_after_secs } => {
+                write!(f, "rate limited: retry after {retry_after_secs}s")
+            }
             FuncxError::ExecutionFailed(s) => write!(f, "function execution failed: {s}"),
             FuncxError::SerializationFailed(s) => write!(f, "serialization failed: {s}"),
             FuncxError::ProtocolViolation(s) => write!(f, "protocol violation: {s}"),
@@ -146,6 +154,7 @@ mod tests {
         assert_eq!(FuncxError::Forbidden("x".into()).http_status(), 403);
         assert_eq!(FuncxError::TaskNotFound("x".into()).http_status(), 404);
         assert_eq!(FuncxError::PayloadTooLarge { size: 10, limit: 1 }.http_status(), 413);
+        assert_eq!(FuncxError::RateLimited { retry_after_secs: 2 }.http_status(), 429);
         assert_eq!(FuncxError::Internal("x".into()).http_status(), 500);
     }
 
@@ -176,6 +185,7 @@ mod tests {
             FuncxError::Unauthenticated(String::new()),
             FuncxError::Forbidden(String::new()),
             FuncxError::PayloadTooLarge { size: 0, limit: 0 },
+            FuncxError::RateLimited { retry_after_secs: 0 },
             FuncxError::ExecutionFailed(String::new()),
             FuncxError::SerializationFailed(String::new()),
             FuncxError::ProtocolViolation(String::new()),

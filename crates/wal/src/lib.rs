@@ -17,14 +17,17 @@
 //! * [`state`] — [`WalState`], the materialized view / replay target.
 //! * [`snapshot`] — whole-state snapshot encode/decode.
 //! * [`log`] — the [`Wal`]: segments, group commit, compaction, recovery.
+//! * [`ship`] — segment shipping: followers tail a leader's log.
 
 pub mod codec;
 pub mod event;
 pub mod frame;
 pub mod log;
+pub mod ship;
 pub mod snapshot;
 pub mod state;
 
 pub use event::{DurableEvent, QueueKind};
 pub use log::{AppendInfo, FsyncPolicy, RecoveryInfo, Wal, WalConfig, WalInstruments};
+pub use ship::{Follower, SegmentShipper, Shipment};
 pub use state::WalState;

@@ -195,7 +195,11 @@ fn parse_numbered(name: &str, prefix: &str, ext: &str) -> Option<u64> {
     name.strip_prefix(prefix)?.strip_suffix(ext)?.parse().ok()
 }
 
-fn list_numbered(dir: &Path, prefix: &str, ext: &str) -> io::Result<Vec<(u64, PathBuf)>> {
+pub(crate) fn list_numbered(
+    dir: &Path,
+    prefix: &str,
+    ext: &str,
+) -> io::Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
     for entry in fs::read_dir(dir)? {
         let entry = entry?;

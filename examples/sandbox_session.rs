@@ -45,7 +45,6 @@ def record_visit(who):
                 // Belt-and-braces caps: a runaway registration dies at its
                 // own fuel budget, not the endpoint default.
                 limits: TaskLimits { max_fuel: Some(10_000), ..TaskLimits::default() },
-                ..FunctionOptions::default()
             },
         )
         .expect("sandbox function registers");

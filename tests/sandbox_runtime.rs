@@ -189,10 +189,7 @@ fn capability_denied_operation_fails_closed() {
         )
         .unwrap();
     let task = bed.client.run(granted, bed.endpoint_id, vec![], vec![]).unwrap();
-    assert_eq!(
-        bed.client.get_result(task, Duration::from_secs(30)).unwrap(),
-        Value::from("done")
-    );
+    assert_eq!(bed.client.get_result(task, Duration::from_secs(30)).unwrap(), Value::from("done"));
     bed.shutdown();
 }
 
@@ -260,7 +257,9 @@ fn sandbox_runtime_crosses_the_tcp_fabric() {
         assert_eq!(client.get_result(task, Duration::from_secs(30)).unwrap(), Value::Int(n * n));
     }
     let stats = host.stats();
-    assert!(stats.cold_misses >= 1 && stats.warm_hits + stats.predicted_hits + stats.clone_hits >= 1);
+    assert!(
+        stats.cold_misses >= 1 && stats.warm_hits + stats.predicted_hits + stats.clone_hits >= 1
+    );
 
     // Fuel cap kill: cap-specific traceback crosses TCP + HTTP.
     let spin = client
@@ -292,10 +291,7 @@ fn sandbox_runtime_crosses_the_tcp_fabric() {
         .unwrap();
     for expect in [1i64, 2] {
         let task = client.run(bump, endpoint_id, vec![], vec![]).unwrap();
-        assert_eq!(
-            client.get_result(task, Duration::from_secs(30)).unwrap(),
-            Value::Int(expect)
-        );
+        assert_eq!(client.get_result(task, Duration::from_secs(30)).unwrap(), Value::Int(expect));
     }
 
     // Capability denial fails closed.
